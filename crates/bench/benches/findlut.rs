@@ -1,0 +1,78 @@
+//! FINDLUT performance (Section VI-B: "For bitstreams of size less
+//! than 10MB and k = 6, our tool takes less than 4 sec to execute for
+//! a given f"), plus the naive-vs-optimized ablation and the
+//! Section VII-B half scan.
+
+use bench::{payload_of, synthetic_payload, test_board};
+use bitmod::countermeasure::xor_half_scan;
+use bitmod::{find_lut, find_lut_reference, Catalogue, FindLutParams};
+use bitstream::FRAME_BYTES;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_findlut_real_bitstream(c: &mut Criterion) {
+    let board = test_board(false);
+    let payload = payload_of(&board.extract_bitstream());
+    let cat = Catalogue::full();
+    let f2 = cat.shape("f2").unwrap().truth;
+    let params = FindLutParams::k6(FRAME_BYTES);
+
+    let mut g = c.benchmark_group("findlut/real-bitstream");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("f2", |b| b.iter(|| find_lut(&payload, f2, &params)));
+    let m0 = cat.shape("m0").unwrap().truth;
+    g.bench_function("m0", |b| b.iter(|| find_lut(&payload, m0, &params)));
+    g.finish();
+}
+
+fn bench_findlut_scaling(c: &mut Criterion) {
+    // The paper's headline timing claim is for a 10 MB bitstream.
+    let cat = Catalogue::full();
+    let f2 = cat.shape("f2").unwrap().truth;
+    let params = FindLutParams::k6(FRAME_BYTES);
+
+    let mut g = c.benchmark_group("findlut/scaling");
+    g.sample_size(10);
+    for mb in [1usize, 4, 10] {
+        let data = synthetic_payload(mb * 1_000_000, 0xF1A5);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("f2", format!("{mb}MB")), &data, |b, d| {
+            b.iter(|| find_lut(d, f2, &params));
+        });
+    }
+    g.finish();
+}
+
+fn bench_naive_vs_optimized(c: &mut Criterion) {
+    // Ablation: the literal Algorithm 1 transcription vs the
+    // hash-decoded single pass (same results, see property tests).
+    let cat = Catalogue::full();
+    let f2 = cat.shape("f2").unwrap().truth;
+    let params = FindLutParams::k6(FRAME_BYTES);
+    let data = synthetic_payload(100_000, 0xBEEF);
+
+    let mut g = c.benchmark_group("findlut/ablation-100kB");
+    g.sample_size(10);
+    g.bench_function("optimized", |b| b.iter(|| find_lut(&data, f2, &params)));
+    g.bench_function("reference-algorithm1", |b| b.iter(|| find_lut_reference(&data, f2, &params)));
+    g.finish();
+}
+
+fn bench_xor_half_scan(c: &mut Criterion) {
+    let board = test_board(true);
+    let payload = payload_of(&board.extract_bitstream());
+    let mut g = c.benchmark_group("findlut/xor-half-scan");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("protected-bitstream", |b| {
+        b.iter(|| xor_half_scan(&payload, FRAME_BYTES, 0..payload.len()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_findlut_real_bitstream,
+    bench_findlut_scaling,
+    bench_naive_vs_optimized,
+    bench_xor_half_scan
+);
+criterion_main!(benches);

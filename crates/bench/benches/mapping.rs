@@ -1,0 +1,78 @@
+//! Technology mapping performance and the countermeasure's area/delay
+//! cost (Section VII-A), plus the priority-cuts ablation called out
+//! in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netlist::snow3g_circuit::{Snow3gCircuit, Snow3gCircuitConfig};
+use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+use techmap::{map, DelayModel, MapConfig, TimingReport};
+
+fn circuit(protected: bool) -> Snow3gCircuit {
+    let config = if protected {
+        Snow3gCircuitConfig::protected(TEST_SET_1_KEY, TEST_SET_1_IV)
+    } else {
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV)
+    };
+    Snow3gCircuit::generate(config)
+}
+
+fn bench_generate(c: &mut Criterion) {
+    c.bench_function("mapping/generate-circuit", |b| b.iter(|| circuit(false)));
+}
+
+fn bench_map(c: &mut Criterion) {
+    let unprot = circuit(false);
+    let prot = circuit(true);
+    let mut g = c.benchmark_group("mapping/map");
+    g.sample_size(10);
+    g.bench_function("unprotected", |b| {
+        b.iter(|| map(&unprot.network, &MapConfig::default()).expect("maps"));
+    });
+    g.bench_function("protected", |b| {
+        b.iter(|| map(&prot.network, &MapConfig::default()).expect("maps"));
+    });
+    g.finish();
+}
+
+fn bench_max_cuts_ablation(c: &mut Criterion) {
+    // DESIGN.md design choice: how many priority cuts per node are
+    // kept during enumeration. More cuts → better covers, slower
+    // mapping. (LUT counts per setting are printed by paper-tables.)
+    let net = circuit(false);
+    let mut g = c.benchmark_group("mapping/max-cuts-ablation");
+    g.sample_size(10);
+    for max_cuts in [4usize, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(max_cuts), &max_cuts, |b, &mc| {
+            let config = MapConfig { max_cuts: mc, ..MapConfig::default() };
+            b.iter(|| map(&net.network, &config).expect("maps"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_timing_analysis(c: &mut Criterion) {
+    let net = circuit(false);
+    let design = map(&net.network, &MapConfig::default()).expect("maps");
+    c.bench_function("mapping/timing-analysis", |b| {
+        b.iter(|| TimingReport::analyze(&design, &DelayModel::default()));
+    });
+}
+
+fn bench_mapped_simulation(c: &mut Criterion) {
+    let net = circuit(false);
+    let design = map(&net.network, &MapConfig::default()).expect("maps");
+    let probes = net.z_out.clone();
+    c.bench_function("mapping/simulate-50-cycles", |b| {
+        b.iter(|| design.simulate(&[(net.run, true)], 50, &probes));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_map,
+    bench_max_cuts_ablation,
+    bench_timing_analysis,
+    bench_mapped_simulation
+);
+criterion_main!(benches);

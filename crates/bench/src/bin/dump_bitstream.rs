@@ -1,0 +1,17 @@
+//! Writes the standard victim board's golden bitstream to a file
+//! (helper for exercising the `bitmod` CLI on real data).
+//!
+//! ```text
+//! cargo run --release -p bench --bin dump-bitstream -- out.bit [--protected]
+//! ```
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "snow3g.bit".into());
+    let protected = args.any(|a| a == "--protected");
+    let board = bench::test_board(protected);
+    let bs = board.extract_bitstream();
+    std::fs::write(&path, bs.as_bytes())?;
+    println!("wrote {} bytes to {path} (protected: {protected})", bs.len());
+    Ok(())
+}

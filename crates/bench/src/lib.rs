@@ -1,0 +1,63 @@
+//! Shared workloads for the benchmark harness and the `paper-tables`
+//! regeneration binary.
+
+use bitstream::Bitstream;
+use fpga_sim::{ImplementOptions, Snow3gBoard};
+use netlist::snow3g_circuit::Snow3gCircuitConfig;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+
+/// Builds the standard victim board (ETSI Test Set 1 secrets — the
+/// exact configuration the paper's experiment used).
+///
+/// # Panics
+///
+/// Panics if the implementation flow fails (it cannot for the
+/// built-in design).
+#[must_use]
+pub fn test_board(protected: bool) -> Snow3gBoard {
+    let config = if protected {
+        Snow3gCircuitConfig::protected(TEST_SET_1_KEY, TEST_SET_1_IV)
+    } else {
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV)
+    };
+    Snow3gBoard::build(config, &ImplementOptions::default()).expect("board builds")
+}
+
+/// The FDRI payload of a board's golden bitstream.
+///
+/// # Panics
+///
+/// Panics if the bitstream has no FDRI payload (it always does).
+#[must_use]
+pub fn payload_of(bitstream: &Bitstream) -> Vec<u8> {
+    let range = bitstream.fdri_data_range().expect("FDRI payload");
+    bitstream.as_bytes()[range].to_vec()
+}
+
+/// A synthetic payload of `len` pseudorandom bytes, used to reproduce
+/// the Section VI-B timing claim ("for bitstreams of size less than
+/// 10 MB and k = 6, our tool takes less than 4 sec").
+#[must_use]
+pub fn synthetic_payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut data = vec![0u8; len];
+    SmallRng::seed_from_u64(seed).fill_bytes(&mut data);
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        let board = test_board(false);
+        let payload = payload_of(&board.extract_bitstream());
+        assert!(!payload.is_empty());
+        assert_eq!(synthetic_payload(1024, 7).len(), 1024);
+        // Deterministic.
+        assert_eq!(synthetic_payload(64, 9), synthetic_payload(64, 9));
+        assert_ne!(synthetic_payload(64, 9), synthetic_payload(64, 10));
+    }
+}

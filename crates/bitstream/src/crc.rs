@@ -1,0 +1,130 @@
+//! The configuration CRC.
+//!
+//! 7-series devices compute a 32-bit CRC over every `(register
+//! address, data word)` pair written during configuration, reset it
+//! on the `RCRC` command, and compare it against the value written to
+//! the CRC register; a mismatch pulls `INIT_B` low and aborts
+//! configuration (Section V-B). The polynomial is CRC-32C
+//! (Castagnoli); each update feeds the 32 data bits and the 5-bit
+//! register address.
+
+/// Reflected CRC-32C polynomial.
+pub const POLY: u32 = 0x82F6_3B78;
+
+/// A running configuration CRC.
+///
+/// # Example
+///
+/// ```
+/// use bitstream::crc::ConfigCrc;
+///
+/// let mut crc = ConfigCrc::new();
+/// crc.update(2, 0xDEADBEEF); // write to FDRI (reg 2)
+/// let a = crc.value();
+/// crc.reset();
+/// assert_eq!(crc.value(), ConfigCrc::new().value());
+/// assert_ne!(a, crc.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigCrc {
+    state: u32,
+}
+
+impl Default for ConfigCrc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConfigCrc {
+    /// A freshly reset CRC.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: 0 }
+    }
+
+    /// Resets the running value (the `RCRC` command).
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// Feeds one register write: the 32 data bits followed by the
+    /// 5 address bits.
+    pub fn update(&mut self, addr: u16, word: u32) {
+        let mut bits = u64::from(word) | (u64::from(addr & 0x1F) << 32);
+        let mut crc = self.state;
+        for _ in 0..37 {
+            let feed = (crc ^ (bits as u32)) & 1;
+            crc >>= 1;
+            if feed == 1 {
+                crc ^= POLY;
+            }
+            bits >>= 1;
+        }
+        self.state = crc;
+    }
+
+    /// The current CRC value.
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = ConfigCrc::new();
+        a.update(2, 1);
+        a.update(2, 2);
+        let mut b = ConfigCrc::new();
+        b.update(2, 2);
+        b.update(2, 1);
+        assert_ne!(a.value(), b.value());
+
+        let mut c = ConfigCrc::new();
+        c.update(2, 1);
+        c.update(2, 2);
+        assert_eq!(a.value(), c.value());
+    }
+
+    #[test]
+    fn address_matters() {
+        let mut a = ConfigCrc::new();
+        a.update(2, 0x1234);
+        let mut b = ConfigCrc::new();
+        b.update(4, 0x1234);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let words = [0xAAAA_5555u32, 0x0F0F_F0F0, 0x1234_5678];
+        let crc_of = |ws: &[u32]| {
+            let mut c = ConfigCrc::new();
+            for &w in ws {
+                c.update(2, w);
+            }
+            c.value()
+        };
+        let base = crc_of(&words);
+        for i in 0..3 {
+            for bit in [0, 7, 31] {
+                let mut mutated = words;
+                mutated[i] ^= 1 << bit;
+                assert_ne!(crc_of(&mutated), base, "word {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = ConfigCrc::new();
+        c.update(2, 0xFFFF_FFFF);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+}

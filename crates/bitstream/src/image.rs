@@ -1,0 +1,631 @@
+//! Whole-bitstream assembly and parsing.
+//!
+//! A bitstream file consists of a header, the sync word, and a packet
+//! stream that resets the CRC (`RCRC`), writes device registers,
+//! streams the configuration frames into `FDRI`, writes the expected
+//! CRC, and desynchronizes. [`BitstreamBuilder`] produces such files;
+//! [`Bitstream::parse`] consumes them the way the device's
+//! configuration logic does — including the quirk the paper's
+//! CRC-disable trick relies on: all-zero words are ignored, so
+//! overwriting the `Write CRC` packet with zeros removes the check.
+
+use core::fmt;
+use core::ops::Range;
+
+use crate::crc::ConfigCrc;
+use crate::frame::{FrameData, FRAME_WORDS};
+use crate::packet::{
+    CommandCode, Packet, RegisterAddress, BUS_WIDTH_DETECT, BUS_WIDTH_SYNC, DUMMY_WORD, NOP,
+    SYNC_WORD,
+};
+
+/// Default device ID used by the builder.
+pub const DEFAULT_IDCODE: u32 = 0x0362_D093; // Artix-7 XC7A35T
+
+/// Builds a bitstream file from configuration frames.
+///
+/// # Example
+///
+/// ```
+/// use bitstream::{BitstreamBuilder, FrameData};
+///
+/// let frames = FrameData::new(3);
+/// let bs = BitstreamBuilder::new(frames).build();
+/// let config = bs.parse()?;
+/// assert_eq!(config.frames.frame_count(), 3);
+/// assert!(config.crc_checked);
+/// # Ok::<(), bitstream::ParseBitstreamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitstreamBuilder {
+    frames: FrameData,
+    idcode: u32,
+}
+
+impl BitstreamBuilder {
+    /// Starts a builder around the given frame payload.
+    #[must_use]
+    pub fn new(frames: FrameData) -> Self {
+        Self { frames, idcode: DEFAULT_IDCODE }
+    }
+
+    /// Overrides the device ID word.
+    #[must_use]
+    pub fn idcode(mut self, idcode: u32) -> Self {
+        self.idcode = idcode;
+        self
+    }
+
+    /// Serializes the bitstream, computing the correct CRC.
+    #[must_use]
+    pub fn build(self) -> Bitstream {
+        let mut words: Vec<u32> = Vec::new();
+        // Header: dummy pad, bus width detection, sync.
+        words.extend([DUMMY_WORD; 8]);
+        words.push(BUS_WIDTH_SYNC);
+        words.push(BUS_WIDTH_DETECT);
+        words.extend([DUMMY_WORD; 2]);
+        words.push(SYNC_WORD);
+        words.push(NOP);
+
+        let mut crc = ConfigCrc::new();
+        let write1 = |words: &mut Vec<u32>, crc: &mut ConfigCrc, addr: RegisterAddress, vals: &[u32]| {
+            words.push(Packet::type1_header(addr, vals.len()));
+            for &v in vals {
+                words.push(v);
+                if addr != RegisterAddress::Crc {
+                    crc.update(addr as u16, v);
+                }
+            }
+        };
+
+        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Rcrc as u32]);
+        crc.reset();
+        words.push(NOP);
+        write1(&mut words, &mut crc, RegisterAddress::Idcode, &[self.idcode]);
+        write1(&mut words, &mut crc, RegisterAddress::Far, &[0]);
+        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Wcfg as u32]);
+        // FDRI: Type 1 header with count 0, then the Type 2 payload.
+        let payload = self.frames.to_words();
+        words.push(Packet::type1_header(RegisterAddress::Fdri, 0));
+        words.push(Packet::type2_header(payload.len()));
+        for &w in &payload {
+            crc.update(RegisterAddress::Fdri as u16, w);
+            words.push(w);
+        }
+        // Expected CRC.
+        let expected = crc.value();
+        write1(&mut words, &mut crc, RegisterAddress::Crc, &[expected]);
+        words.push(NOP);
+        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Start as u32]);
+        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Desync as u32]);
+        words.extend([NOP; 2]);
+
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_be_bytes());
+        }
+        Bitstream(bytes)
+    }
+}
+
+/// The result of parsing a bitstream, as seen by the configuration
+/// logic.
+#[derive(Debug, Clone)]
+pub struct ConfigData {
+    /// The FDRI payload.
+    pub frames: FrameData,
+    /// The device ID written during configuration, if any.
+    pub idcode: Option<u32>,
+    /// Whether a CRC write was present and matched. When the CRC
+    /// packet has been zeroed out (the paper's disable trick) this is
+    /// `false` and configuration proceeds unchecked.
+    pub crc_checked: bool,
+}
+
+/// An error from [`Bitstream::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBitstreamError {
+    /// No sync word found.
+    NoSync,
+    /// The stream ended in the middle of a packet.
+    Truncated,
+    /// A packet addressed an unknown register.
+    UnknownRegister {
+        /// Raw address field.
+        raw: u16,
+    },
+    /// The CRC written in the stream does not match the computed one;
+    /// the device aborts configuration (pulls `INIT_B` low).
+    CrcMismatch {
+        /// Value found in the stream.
+        stored: u32,
+        /// Value computed from the writes.
+        computed: u32,
+    },
+    /// The FDRI payload was not a whole number of frames.
+    RaggedFrames {
+        /// Number of payload words received.
+        words: usize,
+    },
+}
+
+impl fmt::Display for ParseBitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBitstreamError::NoSync => write!(f, "no sync word found"),
+            ParseBitstreamError::Truncated => write!(f, "bitstream truncated mid-packet"),
+            ParseBitstreamError::UnknownRegister { raw } => {
+                write!(f, "write to unknown register {raw:#x}")
+            }
+            ParseBitstreamError::CrcMismatch { stored, computed } => {
+                write!(f, "crc mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            ParseBitstreamError::RaggedFrames { words } => {
+                write!(f, "FDRI payload of {words} words is not a whole number of frames")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBitstreamError {}
+
+/// A bitstream file: raw bytes plus the operations the attack needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream(Vec<u8>);
+
+impl Bitstream {
+    /// Wraps raw bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self(bytes)
+    }
+
+    /// The raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Mutable access to the raw bytes.
+    pub fn as_mut_bytes(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+
+    /// Consumes the wrapper.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the bitstream is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Finds the first occurrence of a big-endian 32-bit word at a
+    /// 4-byte-aligned offset at or after `from`.
+    #[must_use]
+    pub fn find_word(&self, word: u32, from: usize) -> Option<usize> {
+        let pat = word.to_be_bytes();
+        let mut at = from - (from % 4);
+        while at + 4 <= self.0.len() {
+            if self.0[at..at + 4] == pat {
+                return Some(at);
+            }
+            at += 4;
+        }
+        None
+    }
+
+    /// The byte range of the FDRI Type 2 payload — the region the LUT
+    /// search scans. Mirrors the paper's procedure: locate
+    /// `0x30004000`, read the following Type 2 header's word count.
+    #[must_use]
+    pub fn fdri_data_range(&self) -> Option<Range<usize>> {
+        let hdr = self.find_word(Packet::type1_header(RegisterAddress::Fdri, 0), 0)?;
+        let t2_at = hdr + 4;
+        let t2 = u32::from_be_bytes(self.0.get(t2_at..t2_at + 4)?.try_into().ok()?);
+        let fields = Packet::decode_header(t2);
+        if fields.packet_type != 2 {
+            return None;
+        }
+        let start = t2_at + 4;
+        let end = start + fields.count_type2 * 4;
+        (end <= self.0.len()).then_some(start..end)
+    }
+
+    /// Disables the CRC check by replacing the `Write CRC` packet
+    /// header and its value with all-zero words, exactly as described
+    /// in Section V-B. Returns the number of CRC packets zeroed.
+    pub fn disable_crc(&mut self) -> usize {
+        let hdr = Packet::type1_header(RegisterAddress::Crc, 1);
+        let mut n = 0;
+        let mut from = self.fdri_data_range().map_or(0, |r| r.end);
+        while let Some(at) = self.find_word(hdr, from) {
+            self.0[at..at + 8].fill(0);
+            from = at + 8;
+            n += 1;
+        }
+        n
+    }
+
+    /// Recomputes the configuration CRC after a modification and
+    /// patches the stored value (the alternative to
+    /// [`Bitstream::disable_crc`]). Returns `true` if a CRC packet
+    /// was found and patched.
+    pub fn recompute_crc(&mut self) -> bool {
+        // Walk packets, tracking the running CRC, until the CRC write.
+        let Some(mut at) = self.find_word(SYNC_WORD, 0) else { return false };
+        at += 4;
+        let mut crc = ConfigCrc::new();
+        let mut last_addr: Option<RegisterAddress> = None;
+        while at + 4 <= self.0.len() {
+            let word = u32::from_be_bytes(self.0[at..at + 4].try_into().expect("4 bytes"));
+            at += 4;
+            if word == 0 || word == NOP {
+                continue;
+            }
+            let h = Packet::decode_header(word);
+            match h.packet_type {
+                1 if h.opcode == 2 => {
+                    let Some(addr) = RegisterAddress::from_raw(h.addr) else { return false };
+                    if addr == RegisterAddress::Crc {
+                        let value = crc.value();
+                        if at + 4 > self.0.len() {
+                            return false;
+                        }
+                        self.0[at..at + 4].copy_from_slice(&value.to_be_bytes());
+                        return true;
+                    }
+                    for _ in 0..h.count_type1 {
+                        if at + 4 > self.0.len() {
+                            return false;
+                        }
+                        let v = u32::from_be_bytes(self.0[at..at + 4].try_into().expect("4 bytes"));
+                        if addr == RegisterAddress::Cmd && v == CommandCode::Rcrc as u32 {
+                            crc.reset();
+                        } else {
+                            crc.update(addr as u16, v);
+                        }
+                        at += 4;
+                    }
+                    last_addr = Some(addr);
+                }
+                2 if h.opcode == 2 => {
+                    let Some(addr) = last_addr else { return false };
+                    for _ in 0..h.count_type2 {
+                        if at + 4 > self.0.len() {
+                            return false;
+                        }
+                        let v = u32::from_be_bytes(self.0[at..at + 4].try_into().expect("4 bytes"));
+                        crc.update(addr as u16, v);
+                        at += 4;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Byte-level diff of two bitstreams: ranges (in absolute byte
+    /// offsets) where they differ. Adjacent differing bytes are
+    /// merged into one range. Used by tooling to show exactly which
+    /// configuration bytes an attack touched.
+    #[must_use]
+    pub fn diff(&self, other: &Bitstream) -> Vec<Range<usize>> {
+        let mut out: Vec<Range<usize>> = Vec::new();
+        let n = self.0.len().max(other.0.len());
+        let mut i = 0;
+        while i < n {
+            let differs = self.0.get(i) != other.0.get(i);
+            if differs {
+                match out.last_mut() {
+                    Some(last) if last.end == i => last.end = i + 1,
+                    _ => out.push(i..i + 1),
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Decodes the packet stream for inspection tools: every packet
+    /// after the sync word, with its byte offset. Zero/NOP/dummy
+    /// words are skipped; decoding stops at `DESYNC` or at a word
+    /// that cannot be interpreted.
+    #[must_use]
+    pub fn packets(&self) -> Vec<(usize, Packet)> {
+        let mut out = Vec::new();
+        let Some(mut at) = self.find_word(SYNC_WORD, 0) else { return out };
+        at += 4;
+        let read = |at: usize| -> Option<u32> {
+            self.0.get(at..at + 4).map(|b| u32::from_be_bytes(b.try_into().expect("4 bytes")))
+        };
+        while let Some(word) = read(at) {
+            let start = at;
+            at += 4;
+            if word == 0 || word == DUMMY_WORD {
+                continue;
+            }
+            if word == NOP {
+                out.push((start, Packet::Nop));
+                continue;
+            }
+            let h = Packet::decode_header(word);
+            match (h.packet_type, h.opcode) {
+                (1, 2) => {
+                    let Some(addr) = RegisterAddress::from_raw(h.addr) else { break };
+                    let mut data = Vec::with_capacity(h.count_type1);
+                    for _ in 0..h.count_type1 {
+                        let Some(v) = read(at) else { return out };
+                        data.push(v);
+                        at += 4;
+                    }
+                    let desync = addr == RegisterAddress::Cmd
+                        && data.contains(&(CommandCode::Desync as u32));
+                    out.push((start, Packet::Type1Write { addr, data }));
+                    if desync {
+                        break;
+                    }
+                }
+                (2, 2) => {
+                    let mut data = Vec::with_capacity(h.count_type2.min(1 << 20));
+                    for _ in 0..h.count_type2 {
+                        let Some(v) = read(at) else { return out };
+                        data.push(v);
+                        at += 4;
+                    }
+                    out.push((start, Packet::Type2Write { data }));
+                }
+                (1, 0) => out.push((start, Packet::Nop)),
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Parses the bitstream the way the device configuration logic
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseBitstreamError`]; notably, a stored CRC that does
+    /// not match the computed value aborts parsing, while an *absent*
+    /// CRC write (zeroed packet) does not.
+    pub fn parse(&self) -> Result<ConfigData, ParseBitstreamError> {
+        let mut at = self.find_word(SYNC_WORD, 0).ok_or(ParseBitstreamError::NoSync)? + 4;
+        let mut crc = ConfigCrc::new();
+        let mut last_addr: Option<RegisterAddress> = None;
+        let mut fdri: Vec<u32> = Vec::new();
+        let mut idcode = None;
+        let mut crc_checked = false;
+
+        let read = |at: usize| -> Result<u32, ParseBitstreamError> {
+            self.0
+                .get(at..at + 4)
+                .map(|b| u32::from_be_bytes(b.try_into().expect("4 bytes")))
+                .ok_or(ParseBitstreamError::Truncated)
+        };
+
+        'stream: while at + 4 <= self.0.len() {
+            let word = read(at)?;
+            at += 4;
+            if word == 0 || word == NOP || word == DUMMY_WORD {
+                // Zero words are silently skipped — the behaviour the
+                // CRC-disable trick of the paper exploits.
+                continue;
+            }
+            let h = Packet::decode_header(word);
+            match (h.packet_type, h.opcode) {
+                (1, 2) => {
+                    let addr = RegisterAddress::from_raw(h.addr)
+                        .ok_or(ParseBitstreamError::UnknownRegister { raw: h.addr })?;
+                    let mut values = Vec::with_capacity(h.count_type1);
+                    for _ in 0..h.count_type1 {
+                        values.push(read(at)?);
+                        at += 4;
+                    }
+                    match addr {
+                        RegisterAddress::Crc => {
+                            let stored = *values.first().ok_or(ParseBitstreamError::Truncated)?;
+                            let computed = crc.value();
+                            if stored != computed {
+                                return Err(ParseBitstreamError::CrcMismatch { stored, computed });
+                            }
+                            crc_checked = true;
+                        }
+                        RegisterAddress::Cmd => {
+                            for &v in &values {
+                                if v == CommandCode::Rcrc as u32 {
+                                    crc.reset();
+                                } else {
+                                    crc.update(addr as u16, v);
+                                }
+                                if v == CommandCode::Desync as u32 {
+                                    break 'stream;
+                                }
+                            }
+                        }
+                        RegisterAddress::Idcode => {
+                            idcode = values.first().copied();
+                            for &v in &values {
+                                crc.update(addr as u16, v);
+                            }
+                        }
+                        RegisterAddress::Fdri => {
+                            for &v in &values {
+                                crc.update(addr as u16, v);
+                                fdri.push(v);
+                            }
+                        }
+                        _ => {
+                            for &v in &values {
+                                crc.update(addr as u16, v);
+                            }
+                        }
+                    }
+                    last_addr = Some(addr);
+                }
+                (2, 2) => {
+                    let addr = last_addr.ok_or(ParseBitstreamError::Truncated)?;
+                    for _ in 0..h.count_type2 {
+                        let v = read(at)?;
+                        at += 4;
+                        crc.update(addr as u16, v);
+                        if addr == RegisterAddress::Fdri {
+                            fdri.push(v);
+                        }
+                    }
+                }
+                (1, 0) => {} // packet-level NOP
+                _ => {}      // reads and reserved types are ignored
+            }
+        }
+        if !fdri.len().is_multiple_of(FRAME_WORDS) {
+            return Err(ParseBitstreamError::RaggedFrames { words: fdri.len() });
+        }
+        Ok(ConfigData { frames: FrameData::from_words(&fdri), idcode, crc_checked })
+    }
+}
+
+impl AsRef<[u8]> for Bitstream {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FRAME_BYTES;
+
+    fn sample(frames: usize) -> Bitstream {
+        let mut data = FrameData::new(frames);
+        for (i, b) in data.as_mut_bytes().iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        BitstreamBuilder::new(data).build()
+    }
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let bs = sample(5);
+        let cfg = bs.parse().expect("valid bitstream");
+        assert_eq!(cfg.frames.frame_count(), 5);
+        assert!(cfg.crc_checked);
+        assert_eq!(cfg.idcode, Some(DEFAULT_IDCODE));
+        assert_eq!(cfg.frames.as_bytes()[7], 7);
+    }
+
+    #[test]
+    fn fdri_range_matches_payload() {
+        let bs = sample(3);
+        let range = bs.fdri_data_range().expect("has FDRI payload");
+        assert_eq!(range.len(), 3 * FRAME_BYTES);
+        assert_eq!(&bs.as_bytes()[range.start..range.start + 4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn modification_breaks_crc() {
+        let mut bs = sample(3);
+        let range = bs.fdri_data_range().unwrap();
+        bs.as_mut_bytes()[range.start + 100] ^= 0xFF;
+        assert!(matches!(bs.parse(), Err(ParseBitstreamError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn disable_crc_allows_modification() {
+        let mut bs = sample(3);
+        let range = bs.fdri_data_range().unwrap();
+        bs.as_mut_bytes()[range.start + 100] ^= 0xFF;
+        assert_eq!(bs.disable_crc(), 1);
+        let cfg = bs.parse().expect("parses without CRC");
+        assert!(!cfg.crc_checked);
+        assert_eq!(cfg.frames.as_bytes()[100], 100u8 ^ 0xFF);
+    }
+
+    #[test]
+    fn recompute_crc_allows_modification() {
+        let mut bs = sample(3);
+        let range = bs.fdri_data_range().unwrap();
+        bs.as_mut_bytes()[range.start + 100] ^= 0xFF;
+        assert!(bs.recompute_crc());
+        let cfg = bs.parse().expect("parses with fixed CRC");
+        assert!(cfg.crc_checked, "CRC still present and now correct");
+    }
+
+    #[test]
+    fn no_sync_rejected() {
+        let bs = Bitstream::from_bytes(vec![0u8; 64]);
+        assert_eq!(bs.parse().unwrap_err(), ParseBitstreamError::NoSync);
+    }
+
+    #[test]
+    fn find_word_aligned_only() {
+        let bs = sample(1);
+        let at = bs.find_word(SYNC_WORD, 0).unwrap();
+        assert_eq!(at % 4, 0);
+        assert!(bs.find_word(0x12345677, 0).is_none());
+    }
+
+    #[test]
+    fn diff_reports_touched_ranges() {
+        let a = sample(2);
+        let mut b = a.clone();
+        let range = b.fdri_data_range().unwrap();
+        b.as_mut_bytes()[range.start + 10] ^= 0xFF;
+        b.as_mut_bytes()[range.start + 11] ^= 0xFF;
+        b.as_mut_bytes()[range.start + 100] ^= 0x01;
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], range.start + 10..range.start + 12);
+        assert_eq!(d[1], range.start + 100..range.start + 101);
+        assert!(a.diff(&a).is_empty());
+        // Length differences count as differing bytes.
+        let longer = Bitstream::from_bytes([a.as_bytes(), &[0xEE][..]].concat());
+        assert_eq!(a.diff(&longer).last().unwrap().end, a.len() + 1);
+    }
+
+    #[test]
+    fn packet_listing_matches_structure() {
+        let bs = sample(2);
+        let packets = bs.packets();
+        // RCRC first, FDRI type-2 payload present, CRC write present,
+        // ends at DESYNC.
+        assert!(packets.iter().find(|(_, p)| matches!(p, Packet::Type1Write { addr: RegisterAddress::Cmd, data } if data == &vec![CommandCode::Rcrc as u32])).is_some());
+        let t2 = packets.iter().find_map(|(_, p)| match p {
+            Packet::Type2Write { data } => Some(data.len()),
+            _ => None,
+        });
+        assert_eq!(t2, Some(2 * crate::frame::FRAME_WORDS));
+        let last_write = packets
+            .iter()
+            .rev()
+            .find_map(|(_, p)| match p {
+                Packet::Type1Write { addr: RegisterAddress::Cmd, data } => Some(data.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(last_write.contains(&(CommandCode::Desync as u32)));
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let bs = sample(2);
+        let cut = bs.as_bytes().len() / 2;
+        let bs2 = Bitstream::from_bytes(bs.as_bytes()[..cut].to_vec());
+        assert!(matches!(
+            bs2.parse(),
+            Err(ParseBitstreamError::Truncated | ParseBitstreamError::RaggedFrames { .. })
+        ));
+    }
+}

@@ -1,0 +1,222 @@
+//! Configuration packets.
+//!
+//! 7-series configuration data is a stream of 32-bit words: a sync
+//! word, then Type 1 packets (register reads/writes with an 11-bit
+//! word count) optionally followed by Type 2 packets (long payloads
+//! using the previous packet's address; 27-bit word count). The
+//! constants below reproduce the values quoted in Section V of the
+//! paper: `0x30004000` (Type 1 write FDRI, count 0), `0x5xxxxxxx`
+//! (Type 2 payload), `0x30000001` (write CRC), `0x30008001` +
+//! `0x00000007` (CMD = RCRC).
+
+use core::fmt;
+
+/// The synchronization word that starts configuration.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+
+/// The dummy padding word.
+pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
+
+/// The bus-width auto-detect words.
+pub const BUS_WIDTH_SYNC: u32 = 0x0000_00BB;
+/// Second bus-width detect word.
+pub const BUS_WIDTH_DETECT: u32 = 0x1122_0044;
+
+/// A Type 1 NOP.
+pub const NOP: u32 = 0x2000_0000;
+
+/// Configuration register addresses (7-series subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum RegisterAddress {
+    /// Cyclic-redundancy-check register.
+    Crc = 0,
+    /// Frame address register.
+    Far = 1,
+    /// Frame data input register (configuration payload).
+    Fdri = 2,
+    /// Frame data output register.
+    Fdro = 3,
+    /// Command register.
+    Cmd = 4,
+    /// Control register 0.
+    Ctl0 = 5,
+    /// Mask register.
+    Mask = 6,
+    /// Status register.
+    Stat = 7,
+    /// Legacy output register.
+    Lout = 8,
+    /// Configuration option register 0.
+    Cor0 = 9,
+    /// Device ID register.
+    Idcode = 12,
+}
+
+impl RegisterAddress {
+    /// Decodes a register address field.
+    #[must_use]
+    pub fn from_raw(raw: u16) -> Option<Self> {
+        Some(match raw {
+            0 => Self::Crc,
+            1 => Self::Far,
+            2 => Self::Fdri,
+            3 => Self::Fdro,
+            4 => Self::Cmd,
+            5 => Self::Ctl0,
+            6 => Self::Mask,
+            7 => Self::Stat,
+            8 => Self::Lout,
+            9 => Self::Cor0,
+            12 => Self::Idcode,
+            _ => return None,
+        })
+    }
+}
+
+/// Values written to the CMD register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum CommandCode {
+    /// Null command.
+    Null = 0,
+    /// Write configuration data.
+    Wcfg = 1,
+    /// Reset the CRC register (`CMD[4:0] = 00111`, as quoted in the
+    /// paper).
+    Rcrc = 7,
+    /// Begin the startup sequence.
+    Start = 5,
+    /// Desynchronize: stop interpreting packets.
+    Desync = 13,
+}
+
+/// A decoded configuration packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Type 1 register write with inline payload (≤ 2047 words).
+    Type1Write {
+        /// Target register.
+        addr: RegisterAddress,
+        /// Payload words.
+        data: Vec<u32>,
+    },
+    /// Type 2 long write; uses the address of the preceding Type 1
+    /// packet.
+    Type2Write {
+        /// Payload words.
+        data: Vec<u32>,
+    },
+    /// A NOP word.
+    Nop,
+}
+
+impl Packet {
+    /// Encodes a Type 1 write header for `count` payload words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the 11-bit field.
+    #[must_use]
+    pub fn type1_header(addr: RegisterAddress, count: usize) -> u32 {
+        assert!(count < (1 << 11), "Type 1 word count overflow");
+        0x3000_0000 | ((addr as u32) << 13) | count as u32
+    }
+
+    /// Encodes a Type 2 write header for `count` payload words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the 27-bit field.
+    #[must_use]
+    pub fn type2_header(count: usize) -> u32 {
+        assert!(count < (1 << 27), "Type 2 word count overflow");
+        0x5000_0000 | count as u32
+    }
+
+    /// Decodes the header fields of a packet word:
+    /// `(type, opcode, addr, count)`.
+    #[must_use]
+    pub fn decode_header(word: u32) -> HeaderFields {
+        HeaderFields {
+            packet_type: (word >> 29) as u8,
+            opcode: ((word >> 27) & 0x3) as u8,
+            addr: ((word >> 13) & 0x3FFF) as u16,
+            count_type1: (word & 0x7FF) as usize,
+            count_type2: (word & 0x07FF_FFFF) as usize,
+        }
+    }
+}
+
+/// Raw header fields of a packet word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderFields {
+    /// Bits `[31:29]`.
+    pub packet_type: u8,
+    /// Bits `[28:27]`: 0 = NOP, 1 = read, 2 = write.
+    pub opcode: u8,
+    /// Bits `[26:13]` (Type 1 only).
+    pub addr: u16,
+    /// Bits `[10:0]` (Type 1).
+    pub count_type1: usize,
+    /// Bits `[26:0]` (Type 2).
+    pub count_type2: usize,
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Type1Write { addr, data } => {
+                write!(f, "Type 1: write {addr:?}, {} words", data.len())
+            }
+            Packet::Type2Write { data } => write!(f, "Type 2: write, {} words", data.len()),
+            Packet::Nop => write!(f, "NOP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        // "Packet Type 1: Write FDRI register, WORD_COUNT=0" is
+        // 0x30004000.
+        assert_eq!(Packet::type1_header(RegisterAddress::Fdri, 0), 0x3000_4000);
+        // "Packet Type 1: Write CRC register, WORD_COUNT=1" is
+        // 0x30000001.
+        assert_eq!(Packet::type1_header(RegisterAddress::Crc, 1), 0x3000_0001);
+        // "Packet Type 1: Write CMD register, WORD_COUNT=1" is
+        // 0x30008001.
+        assert_eq!(Packet::type1_header(RegisterAddress::Cmd, 1), 0x3000_8001);
+        // "Packet Type 2: Write FDRI register, WORD_COUNT=2432080" is
+        // 0x50251c50.
+        assert_eq!(Packet::type2_header(2_432_080), 0x5025_1C50);
+    }
+
+    #[test]
+    fn header_field_extraction() {
+        let h = Packet::decode_header(0x3000_4000);
+        assert_eq!(h.packet_type, 1);
+        assert_eq!(h.opcode, 2);
+        assert_eq!(RegisterAddress::from_raw(h.addr), Some(RegisterAddress::Fdri));
+        assert_eq!(h.count_type1, 0);
+
+        let h2 = Packet::decode_header(0x5025_1C50);
+        assert_eq!(h2.packet_type, 2);
+        assert_eq!(h2.count_type2, 2_432_080);
+    }
+
+    #[test]
+    fn rcrc_is_00111() {
+        assert_eq!(CommandCode::Rcrc as u32, 0b00111);
+        assert_eq!(CommandCode::Desync as u32, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count overflow")]
+    fn type1_count_limit() {
+        let _ = Packet::type1_header(RegisterAddress::Fdri, 2048);
+    }
+}

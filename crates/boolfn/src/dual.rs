@@ -1,0 +1,200 @@
+//! Dual-output (fracturable) 6-input LUT semantics.
+//!
+//! Xilinx 7-series LUTs (Fig. 4 of the paper) hold a 64-bit
+//! configuration `INIT`. A LUT implements either
+//!
+//! * a single Boolean function of up to 6 independent variables on
+//!   output `O6`, or
+//! * two Boolean functions of up to 5 *shared* variables: `O5` is read
+//!   from the low half of `INIT` and `O6` from the high half, with the
+//!   sixth input pin tied high to steer the output multiplexer.
+//!
+//! The countermeasure analysis of Section VII-B searches bitstreams for
+//! LUTs with "the 2-input XOR in one half of their truth table and any
+//! Boolean function of up to 5 dependent variables in another half";
+//! [`DualOutputInit::xor_half`] is that predicate.
+
+use core::fmt;
+
+use crate::TruthTable;
+
+/// The 64-bit configuration of a dual-output 6-input LUT.
+///
+/// # Example
+///
+/// ```
+/// use boolfn::{DualOutputInit, TruthTable};
+///
+/// let xor2 = TruthTable::var(5, 1).xor(TruthTable::var(5, 2));
+/// let other = TruthTable::var(5, 3).and(TruthTable::var(5, 4));
+/// let init = DualOutputInit::from_pair(xor2, other);
+/// assert_eq!(init.o5(), xor2);
+/// assert_eq!(init.o6_fractured(), other);
+/// assert_eq!(init.xor_half(), Some((1, 2)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DualOutputInit(u64);
+
+impl DualOutputInit {
+    /// Wraps a raw 64-bit INIT value.
+    #[must_use]
+    pub fn new(init: u64) -> Self {
+        Self(init)
+    }
+
+    /// Configures the LUT as a single 6-input function on `O6`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` has fewer than 6 variables (extend it first with
+    /// [`TruthTable::extend`]).
+    #[must_use]
+    pub fn from_single(f: TruthTable) -> Self {
+        assert_eq!(f.num_vars(), 6, "single-output configuration requires a 6-variable table");
+        Self(f.bits())
+    }
+
+    /// Configures the LUT in fractured mode: `o5` in the low half,
+    /// `o6` in the high half, both functions of the shared inputs
+    /// `a1..a5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either function has more than 5 variables.
+    #[must_use]
+    pub fn from_pair(o5: TruthTable, o6: TruthTable) -> Self {
+        assert!(o5.num_vars() <= 5 && o6.num_vars() <= 5, "fractured halves take at most 5 variables");
+        let lo = o5.extend(5).bits() & 0xffff_ffff;
+        let hi = o6.extend(5).bits() & 0xffff_ffff;
+        Self(lo | (hi << 32))
+    }
+
+    /// The raw 64-bit INIT value.
+    #[must_use]
+    pub fn init(self) -> u64 {
+        self.0
+    }
+
+    /// The full 6-input function seen on `O6` in single-output mode.
+    #[must_use]
+    pub fn o6(self) -> TruthTable {
+        TruthTable::new(6, self.0)
+    }
+
+    /// The `O5` output in fractured mode: the low half of INIT as a
+    /// 5-variable function.
+    #[must_use]
+    pub fn o5(self) -> TruthTable {
+        TruthTable::new(5, self.0 & 0xffff_ffff)
+    }
+
+    /// The `O6` output in fractured mode (sixth input tied high): the
+    /// high half of INIT as a 5-variable function.
+    #[must_use]
+    pub fn o6_fractured(self) -> TruthTable {
+        TruthTable::new(5, self.0 >> 32)
+    }
+
+    /// Whether this INIT encodes a genuinely fractured LUT, i.e. the
+    /// 6-input function on `O6` actually depends on `a6` (the two
+    /// halves differ).
+    #[must_use]
+    pub fn is_fractured(self) -> bool {
+        (self.0 & 0xffff_ffff) != (self.0 >> 32)
+    }
+
+    /// The Section VII-B countermeasure-scan predicate: if either half
+    /// of the truth table is exactly a 2-input XOR of two of the five
+    /// shared variables, returns that pair (1-based).
+    ///
+    /// Checks the `O5` half first, then the `O6` half.
+    #[must_use]
+    pub fn xor_half(self) -> Option<(u8, u8)> {
+        self.o5().as_xor_pair().or_else(|| self.o6_fractured().as_xor_pair())
+    }
+}
+
+impl fmt::Debug for DualOutputInit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DualOutputInit(0x{:016x})", self.0)
+    }
+}
+
+impl fmt::Display for DualOutputInit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "64'h{:016x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for DualOutputInit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for DualOutputInit {
+    fn from(init: u64) -> Self {
+        Self(init)
+    }
+}
+
+impl From<DualOutputInit> for u64 {
+    fn from(d: DualOutputInit) -> u64 {
+        d.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::var;
+
+    #[test]
+    fn single_output_roundtrip() {
+        let f = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6)).truth_table(6);
+        let init = DualOutputInit::from_single(f);
+        assert_eq!(init.o6(), f);
+    }
+
+    #[test]
+    fn fractured_pair_roundtrip() {
+        let g = (var(1) ^ var(4)).truth_table(5);
+        let h = (var(2) & var(3) & var(5)).truth_table(5);
+        let init = DualOutputInit::from_pair(g, h);
+        assert_eq!(init.o5(), g);
+        assert_eq!(init.o6_fractured(), h);
+        assert!(init.is_fractured());
+    }
+
+    #[test]
+    fn unfractured_when_halves_match() {
+        let g = (var(1) & var(2)).truth_table(5);
+        let init = DualOutputInit::from_pair(g, g);
+        assert!(!init.is_fractured());
+        // The equivalent 6-input function ignores a6.
+        assert!(!init.o6().depends_on(6));
+    }
+
+    #[test]
+    fn xor_half_predicate() {
+        let xor = (var(2) ^ var(5)).truth_table(5);
+        let other = (var(1) | (var(3) & var(4))).truth_table(5);
+        assert_eq!(DualOutputInit::from_pair(xor, other).xor_half(), Some((2, 5)));
+        assert_eq!(DualOutputInit::from_pair(other, xor).xor_half(), Some((2, 5)));
+        assert_eq!(DualOutputInit::from_pair(other, other).xor_half(), None);
+        // Both XOR halves: the countermeasure's "both outputs implement
+        // the 2-input XOR" case still reports a pair.
+        assert!(DualOutputInit::from_pair(xor, xor).xor_half().is_some());
+    }
+
+    #[test]
+    fn o6_mode_combines_halves_via_a6() {
+        let g = (var(1) & var(2)).truth_table(5);
+        let h = (var(1) | var(2)).truth_table(5);
+        let init = DualOutputInit::from_pair(g, h);
+        let full = init.o6();
+        // a6 = 0 selects the low half, a6 = 1 the high half.
+        assert_eq!(full.restrict(6, false).bits() & 0xffff_ffff, g.bits());
+        assert_eq!(full.restrict(6, true).bits() & 0xffff_ffff, h.bits());
+    }
+}

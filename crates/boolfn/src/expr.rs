@@ -1,0 +1,428 @@
+//! A small Boolean expression builder.
+//!
+//! The paper's candidate functions (Table II / Table VI) are written as
+//! algebraic expressions such as `f2 = (a1 ⊕ a2 ⊕ a3) a4 a5 ā6`. This
+//! module lets the attack crate transcribe those formulas directly:
+//!
+//! ```
+//! use boolfn::expr::var;
+//!
+//! let (a1, a2, a3, a4, a5, a6) = (var(1), var(2), var(3), var(4), var(5), var(6));
+//! let f2 = (a1 ^ a2 ^ a3) & a4 & a5 & !a6;
+//! assert_eq!(f2.truth_table(6).weight(), 4);
+//! ```
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+use core::str::FromStr;
+
+use crate::TruthTable;
+
+/// A Boolean expression over the variables `a1..a6`.
+///
+/// Expressions are small trees built with the `&`, `|`, `^` and `!`
+/// operators and converted into a [`TruthTable`] with
+/// [`Expr::truth_table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.
+    Const(bool),
+    /// The variable `a_n` (1-based, `1..=6`).
+    Var(u8),
+    /// Logical complement.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+/// Returns the variable `a_n` as an expression (1-based).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 6.
+#[must_use]
+pub fn var(n: u8) -> Expr {
+    assert!((1..=6).contains(&n), "variable index must be in 1..=6, got {n}");
+    Expr::Var(n)
+}
+
+/// Returns a constant expression.
+#[must_use]
+pub fn constant(value: bool) -> Expr {
+    Expr::Const(value)
+}
+
+impl Expr {
+    /// Evaluates the expression for the input assignment `input`
+    /// (variable `a_j` is bit `j-1`).
+    #[must_use]
+    pub fn eval(&self, input: u8) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Var(n) => (input >> (n - 1)) & 1 == 1,
+            Expr::Not(e) => !e.eval(input),
+            Expr::And(l, r) => l.eval(input) && r.eval(input),
+            Expr::Or(l, r) => l.eval(input) || r.eval(input),
+            Expr::Xor(l, r) => l.eval(input) ^ r.eval(input),
+        }
+    }
+
+    /// Converts the expression to a `k`-variable truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 6` or the expression references a variable above
+    /// `a_k`.
+    #[must_use]
+    pub fn truth_table(&self, k: u8) -> TruthTable {
+        assert!(self.max_var() <= k, "expression references a variable above a{k}");
+        TruthTable::from_fn(k, |i| self.eval(i))
+    }
+
+    /// The highest variable index referenced (0 for constants).
+    #[must_use]
+    pub fn max_var(&self) -> u8 {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(n) => *n,
+            Expr::Not(e) => e.max_var(),
+            Expr::And(l, r) | Expr::Or(l, r) | Expr::Xor(l, r) => l.max_var().max(r.max_var()),
+        }
+    }
+}
+
+impl Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+}
+
+impl BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl BitXor for Expr {
+    type Output = Expr;
+    fn bitxor(self, rhs: Expr) -> Expr {
+        Expr::Xor(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(b) => write!(f, "{}", u8::from(*b)),
+            Expr::Var(n) => write!(f, "a{n}"),
+            Expr::Not(e) => match e.as_ref() {
+                Expr::Var(n) => write!(f, "~a{n}"),
+                other => write!(f, "~({other})"),
+            },
+            Expr::And(l, r) => {
+                fn factor(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+                    match e {
+                        Expr::Or(..) | Expr::Xor(..) => write!(f, "({e})"),
+                        _ => write!(f, "{e}"),
+                    }
+                }
+                factor(f, l)?;
+                write!(f, " & ")?;
+                factor(f, r)
+            }
+            Expr::Or(l, r) => write!(f, "{l} | {r}"),
+            Expr::Xor(l, r) => {
+                fn term(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+                    match e {
+                        Expr::Or(..) => write!(f, "({e})"),
+                        _ => write!(f, "{e}"),
+                    }
+                }
+                term(f, l)?;
+                write!(f, " ^ ")?;
+                term(f, r)
+            }
+        }
+    }
+}
+
+/// An error from parsing a Boolean formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+/// Parses a Boolean formula over `a1..a6`.
+///
+/// Grammar (loosest binding first):
+///
+/// ```text
+/// expr   := xor ( '|' xor )*
+/// xor    := term ( '^' term )*
+/// term   := factor ( '&' factor )*       -- '&' may be omitted: "a1 a2" = a1 & a2
+/// factor := '~' factor | '!' factor | '(' expr ')' | 'a'[1-6] | '0' | '1'
+/// ```
+///
+/// This matches the notation of the paper's Table II, e.g.
+/// `"(a1^a2^a3) a4 a5 ~a6"` is its `f2`.
+///
+/// # Example
+///
+/// ```
+/// use boolfn::expr::{parse, var};
+///
+/// let f2 = parse("(a1^a2^a3) a4 a5 ~a6")?;
+/// let built = (var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6);
+/// assert_eq!(f2.truth_table(6), built.truth_table(6));
+/// # Ok::<(), boolfn::expr::ParseExprError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseExprError`] on malformed input.
+pub fn parse(input: &str) -> Result<Expr, ParseExprError> {
+    let mut p = Parser { bytes: input.as_bytes(), at: 0 };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(e)
+}
+
+impl FromStr for Expr {
+    type Err = ParseExprError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse(s)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseExprError {
+        ParseExprError { at: self.at, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.at).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut e = self.xor()?;
+        while self.eat(b'|') {
+            e = e | self.xor()?;
+        }
+        Ok(e)
+    }
+
+    fn xor(&mut self) -> Result<Expr, ParseExprError> {
+        let mut e = self.term()?;
+        while self.eat(b'^') {
+            e = e ^ self.term()?;
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseExprError> {
+        let mut e = self.factor()?;
+        loop {
+            if self.eat(b'&') {
+                e = e & self.factor()?;
+                continue;
+            }
+            // Implicit conjunction: a factor directly follows.
+            match self.peek() {
+                Some(b'~' | b'!' | b'(' | b'a' | b'0' | b'1') => {
+                    e = e & self.factor()?;
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseExprError> {
+        match self.peek() {
+            Some(b'~') | Some(b'!') => {
+                self.at += 1;
+                Ok(!self.factor()?)
+            }
+            Some(b'(') => {
+                self.at += 1;
+                let e = self.expr()?;
+                if !self.eat(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(b'a') => {
+                self.at += 1;
+                match self.bytes.get(self.at) {
+                    Some(d @ b'1'..=b'6') => {
+                        self.at += 1;
+                        Ok(var(d - b'0'))
+                    }
+                    _ => Err(self.error("expected a variable index 1..6 after 'a'")),
+                }
+            }
+            Some(b'0') => {
+                self.at += 1;
+                Ok(constant(false))
+            }
+            Some(b'1') => {
+                self.at += 1;
+                Ok(constant(true))
+            }
+            _ => Err(self.error("expected a factor")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_build_expected_tables() {
+        let f = (var(1) ^ var(2)) & !var(3);
+        let tt = f.truth_table(3);
+        let want = TruthTable::var(3, 1)
+            .xor(TruthTable::var(3, 2))
+            .and(TruthTable::var(3, 3).not());
+        assert_eq!(tt, want);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(constant(false).truth_table(4), TruthTable::zero(4));
+        assert_eq!(constant(true).truth_table(4), TruthTable::one(4));
+    }
+
+    #[test]
+    fn paper_f2_properties() {
+        // f2 = (a1 ^ a2 ^ a3) a4 a5 ~a6: weight 4 (of the 8 assignments
+        // with a4 a5 ~a6 true, the 3-input XOR is 1 on half).
+        let f2 = (var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6);
+        let tt = f2.truth_table(6);
+        assert_eq!(tt.weight(), 4);
+        assert_eq!(tt.support(), 0b111111);
+    }
+
+    #[test]
+    fn mux2_expression() {
+        // f_MUX2 = a6(a1 a2 + ~a1 a3) + ~a6(a1 a4 + ~a1 a5)
+        let f = (var(6) & ((var(1) & var(2)) | (!var(1) & var(3))))
+            | (!var(6) & ((var(1) & var(4)) | (!var(1) & var(5))));
+        let tt = f.truth_table(6);
+        assert_eq!(tt.support(), 0b111111);
+        // With a6=1, a1=1 the output equals a2.
+        assert!(tt.eval(0b100011));
+        assert!(!tt.eval(0b100001));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let f = (var(1) ^ var(2)) & !var(4) | (var(3) & var(6));
+        assert_eq!(format!("{f}"), "(a1 ^ a2) & ~a4 | a3 & a6");
+    }
+
+    #[test]
+    #[should_panic(expected = "references a variable above")]
+    fn truth_table_checks_max_var() {
+        let _ = var(5).truth_table(3);
+    }
+
+    #[test]
+    fn parse_paper_f2() {
+        let parsed: Expr = "(a1^a2^a3) a4 a5 ~a6".parse().unwrap();
+        let built = (var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6);
+        assert_eq!(parsed.truth_table(6), built.truth_table(6));
+    }
+
+    #[test]
+    fn parse_paper_f19() {
+        let parsed: Expr = "(a1^a2)~a4 ^ a3&a6".parse().unwrap();
+        let built = ((var(1) ^ var(2)) & !var(4)) ^ (var(3) & var(6));
+        assert_eq!(parsed.truth_table(6), built.truth_table(6));
+    }
+
+    #[test]
+    fn parse_precedence() {
+        // '&' binds tighter than '^' binds tighter than '|'.
+        let parsed: Expr = "a1 | a2 ^ a3 & a4".parse().unwrap();
+        let built = var(1) | (var(2) ^ (var(3) & var(4)));
+        assert_eq!(parsed.truth_table(4), built.truth_table(4));
+    }
+
+    #[test]
+    fn parse_constants_and_bang() {
+        let parsed: Expr = "!(a1 ^ 1) & !0".parse().unwrap();
+        let built = !(var(1) ^ constant(true)) & !constant(false);
+        assert_eq!(parsed.truth_table(1), built.truth_table(1));
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for src in ["(a1 ^ a2) & ~a4 | a3 & a6", "a1 ^ (a2 & a3)", "~a1 & a2"] {
+            let e: Expr = src.parse().unwrap();
+            let again: Expr = e.to_string().parse().unwrap();
+            assert_eq!(e.truth_table(6), again.truth_table(6), "{src}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("a7".parse::<Expr>().is_err());
+        assert!("a1 &".parse::<Expr>().is_err());
+        assert!("(a1".parse::<Expr>().is_err());
+        assert!("a1) ".parse::<Expr>().is_err());
+        assert!("".parse::<Expr>().is_err());
+        let err = "a1 @ a2".parse::<Expr>().unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+}

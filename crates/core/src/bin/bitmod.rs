@@ -1,0 +1,87 @@
+//! `bitmod` — bitstream inspection and modification tool.
+//!
+//! ```text
+//! bitmod findlut <file> <name-or-formula> [--stride N]
+//! bitmod table2  <file> [--stride N]
+//! bitmod xorscan <file> [--stride N] [--window A..B]
+//! bitmod packets <file>
+//! bitmod crc     <file> (--disable | --recompute) [-o OUT]
+//! bitmod diff    <file> <other-file>
+//! ```
+//!
+//! Functions are catalogue names (`f2`, `m0b`, ...) or formulas over
+//! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`.
+
+use std::process::ExitCode;
+
+use bitmod::cli;
+use bitstream::Bitstream;
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "bitmod (findlut|table2|xorscan|packets|crc|diff) <file> [...]";
+    let (cmd, rest) = args.split_first().ok_or(usage)?;
+    let (file, rest) = rest.split_first().ok_or(usage)?;
+    let bs = Bitstream::from_bytes(std::fs::read(file)?);
+
+    let mut stride = cli::default_stride();
+    let mut window: Option<(usize, usize)> = None;
+    let mut disable = false;
+    let mut recompute = false;
+    let mut out_path: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stride" => {
+                stride = it.next().ok_or("--stride needs a value")?.parse()?;
+            }
+            "--window" => {
+                let spec = it.next().ok_or("--window needs A..B")?;
+                let (a, b) = spec.split_once("..").ok_or("--window needs A..B")?;
+                window = Some((a.parse()?, b.parse()?));
+            }
+            "--disable" => disable = true,
+            "--recompute" => recompute = true,
+            "-o" => out_path = Some(it.next().ok_or("-o needs a path")?.clone()),
+            _ => positional.push(arg),
+        }
+    }
+
+    match cmd.as_str() {
+        "findlut" => {
+            let f = positional.first().ok_or("findlut needs a function")?;
+            print!("{}", cli::cmd_findlut(&bs, f, stride)?);
+        }
+        "table2" => print!("{}", cli::cmd_table2(&bs, stride)?),
+        "xorscan" => print!("{}", cli::cmd_xorscan(&bs, stride, window)?),
+        "packets" => print!("{}", cli::cmd_packets(&bs)),
+        "diff" => {
+            let other = positional.first().ok_or("diff needs a second file")?;
+            let b = Bitstream::from_bytes(std::fs::read(other)?);
+            print!("{}", cli::cmd_diff(&bs, &b));
+        }
+        "crc" => {
+            if disable == recompute {
+                return Err("crc needs exactly one of --disable / --recompute".into());
+            }
+            let (fixed, msg) = cli::cmd_crc(&bs, disable);
+            println!("{msg}");
+            let out = out_path.unwrap_or_else(|| format!("{file}.out"));
+            std::fs::write(&out, fixed.as_bytes())?;
+            println!("wrote {out}");
+        }
+        other => return Err(format!("unknown command '{other}'; {usage}").into()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bitmod: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The candidate-function catalogue.
+//!
+//! Step 2 of the paper's strategy (Section IV-B) guesses which
+//! k-variable Boolean function implements the target node `v` in the
+//! mapped netlist, based on the cipher's block diagram and the LUT
+//! architecture. Table II lists the paper's 21 guesses for their
+//! Vivado-mapped VHDL implementation; this module carries those rows
+//! *and* the cover shapes produced by this repository's
+//! implementation flow (see `techmap`'s `snow3g_mapping` tests for
+//! the frozen ground truth), each annotated with its stuck-at-0 fault
+//! semantics:
+//!
+//! * `alpha` — the truth table with `v := 0`, used in the final key
+//!   extraction configuration (`γ(K, IV)` loading preserved);
+//! * `keyindep` — the truth table with `v := 0` *and* the `γ` load
+//!   constant forced to 0, used in the key-independent configuration
+//!   of Section VI-D (`α₁ + β`);
+//! * `variants` — for keystream-path shapes, the per-pair `α₂` forms
+//!   used to disambiguate which LUT inputs feed `v`.
+
+use boolfn::expr::{var, Expr};
+use boolfn::TruthTable;
+
+/// What part of the design a shape belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Covers `v` on the keystream (z_t) path — the paper's `LUT₁`.
+    ZPath,
+    /// Covers `v` on the LFSR feedback path — the paper's
+    /// `LUT₂`/`LUT₃`.
+    Feedback,
+    /// An `s₁₅` load-multiplexer shape that does *not* contain `v`
+    /// (the outer-byte covers of our flow); edited only by `β`.
+    LoadMux,
+    /// A Table II row kept for candidate counting only.
+    TableRow,
+}
+
+/// A pair-disambiguation variant for keystream-path shapes: dropping
+/// the XOR pair `(i, j)` (1-based pins of the *candidate* function)
+/// yields `faulted`.
+#[derive(Debug, Clone)]
+pub struct PairVariant {
+    /// The hypothesised inputs of `v`.
+    pub pair: (u8, u8),
+    /// The candidate function with that pair's XOR forced to 0.
+    pub faulted: TruthTable,
+}
+
+/// A candidate cover shape.
+#[derive(Debug, Clone)]
+pub struct Shape {
+    /// Short identifier (e.g. `"f2"`, `"m0b"`).
+    pub name: &'static str,
+    /// Human-readable formula.
+    pub formula: String,
+    /// The candidate function (always extended to 6 variables).
+    pub truth: TruthTable,
+    /// Design role.
+    pub role: Role,
+    /// `v := 0` form for the final `α` configuration.
+    pub alpha: Option<TruthTable>,
+    /// `v := 0` and load-0 form for the key-independent
+    /// configuration.
+    pub keyindep: Option<TruthTable>,
+    /// `α₂` pair variants (keystream path only).
+    pub variants: Vec<PairVariant>,
+}
+
+impl Shape {
+    fn new(name: &'static str, role: Role, e: &Expr) -> Self {
+        Self {
+            name,
+            formula: format!("{e}"),
+            truth: e.truth_table(6),
+            role,
+            alpha: None,
+            keyindep: None,
+            variants: Vec::new(),
+        }
+    }
+
+    fn with_alpha(mut self, e: &Expr) -> Self {
+        self.alpha = Some(e.truth_table(6));
+        self
+    }
+
+    fn with_keyindep(mut self, e: &Expr) -> Self {
+        self.keyindep = Some(e.truth_table(6));
+        self
+    }
+
+    fn with_variant(mut self, pair: (u8, u8), e: &Expr) -> Self {
+        self.variants.push(PairVariant { pair, faulted: e.truth_table(6) });
+        self
+    }
+}
+
+/// A set of candidate shapes.
+///
+/// # Example
+///
+/// ```
+/// use bitmod::Catalogue;
+///
+/// let cat = Catalogue::full();
+/// let f2 = cat.shape("f2").expect("the keystream-path cover");
+/// assert_eq!(f2.variants.len(), 3, "three α₂ pair hypotheses");
+/// assert_eq!(cat.shape("f19").unwrap().variants.len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Catalogue {
+    /// The shapes, in search priority order.
+    pub shapes: Vec<Shape>,
+}
+
+impl Catalogue {
+    /// The paper's Table II rows `f1..f21`, verbatim.
+    #[must_use]
+    pub fn paper_table2() -> Self {
+        let v = || var(1) ^ var(2);
+        let x3 = || var(1) ^ var(2) ^ var(3);
+        let rows: Vec<(&'static str, Expr)> = vec![
+            ("f1", x3() & var(4) & var(5) & var(6)),
+            ("f2", x3() & var(4) & var(5) & !var(6)),
+            ("f3", x3() & var(4) & !var(5) & !var(6)),
+            ("f4", x3() & !var(4) & !var(5) & !var(6)),
+            ("f5", x3() & !var(4) & !var(5)),
+            ("f6", x3() & !var(4) & var(5)),
+            ("f7", x3() & var(4) & var(5)),
+            ("f8", (v() & !var(3) & var(4) & var(5)) ^ var(6)),
+            ("f9", (v() & !var(3) & !var(4) & var(5)) ^ var(6)),
+            ("f10", (v() & !var(3) & !var(4) & !var(5)) ^ var(6)),
+            ("f11", (v() & var(3) & var(4) & var(5)) ^ var(6)),
+            ("f12", (v() & var(4) & var(5)) ^ (var(3) & var(6))),
+            ("f13", (v() & var(4) & var(5)) ^ (!var(3) & var(6))),
+            ("f14", (v() & var(4) & !var(5)) ^ (var(3) & var(6))),
+            ("f15", (v() & var(4) & !var(5)) ^ (!var(3) & var(6))),
+            ("f16", (v() & !var(4) & !var(5)) ^ (var(3) & var(6))),
+            ("f17", (v() & !var(4) & !var(5)) ^ (!var(3) & var(6))),
+            ("f18", (v() & var(4)) ^ (var(3) & var(6))),
+            ("f19", (v() & !var(4)) ^ (var(3) & var(6))),
+            ("f20", (v() & var(4)) ^ (!var(3) & var(6))),
+            ("f21", (v() & !var(4)) ^ (!var(3) & var(6))),
+        ];
+        Self { shapes: rows.into_iter().map(|(n, e)| Shape::new(n, Role::TableRow, &e)).collect() }
+    }
+
+    /// The cover shapes of this repository's implementation flow,
+    /// with fault semantics (the frozen ground truth of the
+    /// `techmap` mapping tests — but usable blindly: the attack
+    /// verifies every hit through the keystream oracle).
+    #[must_use]
+    pub fn implementation_family() -> Self {
+        let v = || var(1) ^ var(2);
+        let x3 = || var(1) ^ var(2) ^ var(3);
+        let x4 = || var(1) ^ var(2) ^ var(3) ^ var(4);
+        let x5 = || var(2) ^ var(3) ^ var(4) ^ var(5) ^ var(6);
+        let zero = Expr::Const(false);
+
+        // LUT1: z path, f2 = (a1⊕a2⊕a3)·a4·a5·ā6 with the three α₂
+        // pair variants of Section VI-D.
+        let f2 = Shape::new("f2", Role::ZPath, &(x3() & var(4) & var(5) & !var(6)))
+            .with_variant((1, 2), &(var(3) & var(4) & var(5) & !var(6)))
+            .with_variant((1, 3), &(var(2) & var(4) & var(5) & !var(6)))
+            .with_variant((2, 3), &(var(1) & var(4) & var(5) & !var(6)));
+
+        // Feedback middle bits: the s15 load mux folded with the key
+        // constant (γ bit 0 / 1) — the analog of the paper's
+        // f19-style gated-linear shapes.
+        let m0_full = !var(3) & ((v() & var(4) & var(5)) ^ var(6));
+        let m0 = Shape::new("m0", Role::Feedback, &m0_full)
+            .with_alpha(&(!var(3) & var(6)))
+            .with_keyindep(&(!var(3) & var(6)));
+        let m0b_full = var(3) | ((v() & var(4) & var(5)) ^ var(6));
+        let m0b = Shape::new("m0b", Role::Feedback, &m0b_full)
+            .with_alpha(&(var(3) | var(6)))
+            .with_keyindep(&(!var(3) & var(6)));
+
+        // Feedback outer bits: the gated XOR covers rooted at the
+        // W-gating AND chain. Forcing v = 0 zeroes the whole LUT.
+        let g4 = Shape::new("g4", Role::Feedback, &(x4() & var(5) & var(6)))
+            .with_alpha(&zero)
+            .with_keyindep(&zero);
+        let f7 = Shape::new("f7", Role::Feedback, &(x3() & var(4) & var(5)))
+            .with_alpha(&zero)
+            .with_keyindep(&zero);
+        let g3c = Shape::new(
+            "g3c",
+            Role::Feedback,
+            &((var(1) ^ (var(2) & var(3)) ^ var(4)) & var(5) & var(6)),
+        )
+        .with_alpha(&zero)
+        .with_keyindep(&zero);
+
+        // s15 outer-bit load-mux covers (lin absorbed, v NOT inside):
+        // only the γ = 1 form needs a β edit (load 0 instead of 1).
+        let m1 = Shape::new("m1", Role::LoadMux, &(!var(1) & x5()));
+        let m1b = Shape::new("m1b", Role::LoadMux, &(var(1) | x5()))
+            .with_keyindep(&(!var(1) & x5()));
+
+        Self { shapes: vec![f2, m0, m0b, g4, f7, g3c, m1, m1b] }
+    }
+
+    /// The full catalogue: implementation family first (search
+    /// priority), then the remaining Table II rows for candidate
+    /// counting.
+    #[must_use]
+    pub fn full() -> Self {
+        let mut shapes = Self::implementation_family().shapes;
+        for row in Self::paper_table2().shapes {
+            if !shapes.iter().any(|s| s.name == row.name) {
+                shapes.push(row);
+            }
+        }
+        Self { shapes }
+    }
+
+    /// Looks a shape up by name.
+    #[must_use]
+    pub fn shape(&self, name: &str) -> Option<&Shape> {
+        self.shapes.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfn::pclass;
+
+    #[test]
+    fn paper_rows_count() {
+        assert_eq!(Catalogue::paper_table2().shapes.len(), 21);
+    }
+
+    #[test]
+    fn all_shapes_distinct_p_classes() {
+        // The whole point of a candidate table: rows must be
+        // distinguishable by the search.
+        let cat = Catalogue::full();
+        for (i, a) in cat.shapes.iter().enumerate() {
+            for b in &cat.shapes[i + 1..] {
+                assert!(
+                    !pclass::equivalent(a.truth, b.truth),
+                    "{} and {} are P-equivalent",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f2_variants_drop_one_xor_input() {
+        let cat = Catalogue::implementation_family();
+        let f2 = cat.shape("f2").unwrap();
+        assert_eq!(f2.variants.len(), 3);
+        for vnt in &f2.variants {
+            // The variant no longer depends on the dropped pair.
+            assert!(!vnt.faulted.depends_on(vnt.pair.0));
+            assert!(!vnt.faulted.depends_on(vnt.pair.1));
+            // And it agrees with f2 wherever the pair XOR is 0.
+            for input in 0..64u8 {
+                let pa = (input >> (vnt.pair.0 - 1)) & 1;
+                let pb = (input >> (vnt.pair.1 - 1)) & 1;
+                if pa == pb {
+                    assert_eq!(
+                        vnt.faulted.eval(input & !(1 << (vnt.pair.0 - 1)) & !(1 << (vnt.pair.1 - 1))),
+                        f2.truth.eval(input & !(1 << (vnt.pair.0 - 1)) & !(1 << (vnt.pair.1 - 1))),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m0b_keyindep_matches_m0_alpha() {
+        // Load-0 + v = 0 collapses both γ variants to the same form.
+        let cat = Catalogue::implementation_family();
+        let m0 = cat.shape("m0").unwrap();
+        let m0b = cat.shape("m0b").unwrap();
+        assert_eq!(m0.keyindep, m0b.keyindep);
+        assert_ne!(m0b.alpha, m0b.keyindep, "α preserves the γ = 1 load");
+    }
+
+    #[test]
+    fn feedback_gated_shapes_fault_to_zero() {
+        let cat = Catalogue::implementation_family();
+        for name in ["g4", "f7", "g3c"] {
+            let s = cat.shape(name).unwrap();
+            assert_eq!(s.alpha, Some(TruthTable::zero(6)), "{name}");
+        }
+    }
+
+    #[test]
+    fn m1b_beta_form_is_m1() {
+        let cat = Catalogue::implementation_family();
+        let m1 = cat.shape("m1").unwrap();
+        let m1b = cat.shape("m1b").unwrap();
+        assert_eq!(m1b.keyindep, Some(m1.truth));
+        assert!(m1.keyindep.is_none(), "γ = 0 already loads 0");
+    }
+
+    #[test]
+    fn full_catalogue_merges_without_duplicates() {
+        let cat = Catalogue::full();
+        // f2 and f7 appear once (implementation family wins).
+        assert_eq!(cat.shapes.iter().filter(|s| s.name == "f2").count(), 1);
+        assert_eq!(cat.shapes.iter().filter(|s| s.name == "f7").count(), 1);
+        assert_eq!(cat.shapes.len(), 8 + 21 - 2);
+        assert!(cat.shape("f2").unwrap().variants.len() == 3, "family f2 kept");
+    }
+}

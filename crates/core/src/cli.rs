@@ -1,0 +1,296 @@
+//! The command-line surface of the tool: text-mode operations over
+//! bitstream files. The `bitmod` binary is a thin wrapper; the logic
+//! lives here so it can be tested.
+//!
+//! The paper describes the artifact as "a tool which automatically
+//! finds a k-input LUT implementing a given k-variable Boolean
+//! function and all Boolean functions within the same P equivalence
+//! class in the bitstream ... intended to assist in evaluating
+//! resistance of FPGAs to reverse engineering and bitstream
+//! modification".
+
+use core::fmt;
+
+use boolfn::expr::Expr;
+use boolfn::TruthTable;
+
+use bitstream::{Bitstream, Packet, FRAME_BYTES};
+
+use crate::candidates::Catalogue;
+use crate::countermeasure::xor_half_scan;
+use crate::findlut::{find_lut, FindLutParams};
+
+/// An error from a CLI operation.
+#[derive(Debug)]
+pub enum CliError {
+    /// The function argument was neither a catalogue name nor a
+    /// parsable formula.
+    BadFunction {
+        /// The offending argument.
+        arg: String,
+        /// The parser's complaint.
+        parse: boolfn::expr::ParseExprError,
+    },
+    /// The bitstream has no FDRI payload.
+    NoPayload,
+    /// Malformed command-line usage.
+    Usage(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::BadFunction { arg, parse } => {
+                write!(f, "'{arg}' is not a candidate name or formula ({parse})")
+            }
+            CliError::NoPayload => write!(f, "bitstream has no FDRI payload"),
+            CliError::Usage(msg) => write!(f, "usage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Resolves a function argument: a catalogue shape name (`f2`, `m0b`,
+/// ...) or a formula over `a1..a6` (`"(a1^a2^a3) a4 a5 ~a6"`).
+///
+/// # Errors
+///
+/// Returns [`CliError::BadFunction`] if neither interpretation works.
+pub fn resolve_function(arg: &str) -> Result<(String, TruthTable), CliError> {
+    if let Some(shape) = Catalogue::full().shape(arg) {
+        return Ok((format!("{} = {}", shape.name, shape.formula), shape.truth));
+    }
+    match arg.parse::<Expr>() {
+        Ok(e) => Ok((format!("{e}"), e.truth_table(6))),
+        Err(parse) => Err(CliError::BadFunction { arg: arg.to_string(), parse }),
+    }
+}
+
+/// `findlut`: searches a bitstream for a function's P class; returns a
+/// printable report.
+///
+/// # Errors
+///
+/// Propagates argument and payload errors.
+pub fn cmd_findlut(bs: &Bitstream, function: &str, d: usize) -> Result<String, CliError> {
+    let (label, truth) = resolve_function(function)?;
+    let range = bs.fdri_data_range().ok_or(CliError::NoPayload)?;
+    let payload = &bs.as_bytes()[range.clone()];
+    let t0 = std::time::Instant::now();
+    let hits = find_lut(payload, truth, &FindLutParams { k: 6, d, orders: None });
+    let dt = t0.elapsed();
+    let mut out = String::new();
+    use fmt::Write;
+    let _ = writeln!(out, "searching for {label}");
+    let _ = writeln!(
+        out,
+        "payload: {} bytes at file offset {}; d = {d}, r = 4, k = 6",
+        payload.len(),
+        range.start
+    );
+    let _ = writeln!(out, "{} hit(s) in {:.1} ms:", hits.len(), dt.as_secs_f64() * 1e3);
+    for h in &hits {
+        let _ = writeln!(
+            out,
+            "  l = {:>8}  (file offset {:>8})  order = {:?}  perm = {}  init = {}",
+            h.l,
+            range.start + h.l,
+            h.order,
+            h.perm,
+            h.init
+        );
+    }
+    Ok(out)
+}
+
+/// `table2`: the full candidate sweep over a bitstream.
+///
+/// # Errors
+///
+/// Propagates payload errors.
+pub fn cmd_table2(bs: &Bitstream, d: usize) -> Result<String, CliError> {
+    let range = bs.fdri_data_range().ok_or(CliError::NoPayload)?;
+    let payload = &bs.as_bytes()[range];
+    let mut out = String::new();
+    use fmt::Write;
+    let _ = writeln!(out, "candidate sweep (Table II analog):");
+    let _ = writeln!(out, "  shape |  hits | formula");
+    for shape in &Catalogue::full().shapes {
+        let hits = find_lut(payload, shape.truth, &FindLutParams { k: 6, d, orders: None });
+        let _ = writeln!(out, "  {:>5} | {:>5} | {}", shape.name, hits.len(), shape.formula);
+    }
+    Ok(out)
+}
+
+/// `xorscan`: the Section VII-B dual-output XOR-half scan.
+///
+/// # Errors
+///
+/// Propagates payload errors.
+pub fn cmd_xorscan(bs: &Bitstream, d: usize, window: Option<(usize, usize)>) -> Result<String, CliError> {
+    let range = bs.fdri_data_range().ok_or(CliError::NoPayload)?;
+    let payload = &bs.as_bytes()[range];
+    let w = window.map_or(0..payload.len(), |(a, b)| a..b.min(payload.len()));
+    let hits = xor_half_scan(payload, d, w.clone());
+    let mut out = String::new();
+    use fmt::Write;
+    let _ = writeln!(
+        out,
+        "XOR-half scan over bytes {}..{}: {} candidate LUT(s)",
+        w.start,
+        w.end,
+        hits.len()
+    );
+    for h in hits.iter().take(20) {
+        let halves = [h.init.o5(), h.init.o6_fractured()];
+        let desc: Vec<String> = halves
+            .iter()
+            .map(|t| match t.as_xor_pair() {
+                Some((x, y)) => format!("a{x}^a{y}"),
+                None => format!("{t}"),
+            })
+            .collect();
+        let _ = writeln!(out, "  l = {:>8}  order = {:?}  O5 = {}, O6 = {}", h.l, h.order, desc[0], desc[1]);
+    }
+    if hits.len() > 20 {
+        let _ = writeln!(out, "  ... and {} more", hits.len() - 20);
+    }
+    Ok(out)
+}
+
+/// `packets`: decodes the configuration packet stream.
+#[must_use]
+pub fn cmd_packets(bs: &Bitstream) -> String {
+    let mut out = String::new();
+    use fmt::Write;
+    for (offset, p) in bs.packets() {
+        match &p {
+            Packet::Nop => {} // keep the listing short
+            other => {
+                let _ = writeln!(out, "  {offset:>8}: {other}");
+            }
+        }
+    }
+    out
+}
+
+/// `crc`: repairs or disables the configuration CRC; returns the
+/// modified bitstream and a message.
+#[must_use]
+pub fn cmd_crc(bs: &Bitstream, disable: bool) -> (Bitstream, String) {
+    let mut out = bs.clone();
+    if disable {
+        let n = out.disable_crc();
+        (out, format!("zeroed {n} CRC packet(s)"))
+    } else {
+        let ok = out.recompute_crc();
+        (out, if ok { "CRC recomputed".into() } else { "no CRC packet found".into() })
+    }
+}
+
+/// `diff`: lists the byte ranges where two bitstreams differ.
+#[must_use]
+pub fn cmd_diff(a: &Bitstream, b: &Bitstream) -> String {
+    use fmt::Write;
+    let ranges = a.diff(b);
+    let mut out = String::new();
+    let total: usize = ranges.iter().map(|r| r.len()).sum();
+    let _ = writeln!(out, "{} differing range(s), {total} byte(s):", ranges.len());
+    for r in &ranges {
+        let _ = writeln!(out, "  bytes {:>8}..{:<8} ({} byte(s))", r.start, r.end, r.len());
+    }
+    out
+}
+
+/// The default sub-vector stride.
+#[must_use]
+pub fn default_stride() -> usize {
+    FRAME_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitstream::{codec, BitstreamBuilder, FrameData, LutLocation, SubVectorOrder};
+    use boolfn::DualOutputInit;
+
+    fn sample() -> Bitstream {
+        let mut frames = FrameData::new(8);
+        let f2 = Catalogue::full().shape("f2").unwrap().truth;
+        codec::write_lut(
+            frames.as_mut_bytes(),
+            LutLocation { l: 42, d: FRAME_BYTES, order: SubVectorOrder::SliceM },
+            DualOutputInit::from_single(f2),
+        );
+        BitstreamBuilder::new(frames).build()
+    }
+
+    #[test]
+    fn resolve_by_name_and_formula() {
+        let (label, t1) = resolve_function("f2").unwrap();
+        assert!(label.starts_with("f2 ="));
+        let (_, t2) = resolve_function("(a1^a2^a3) a4 a5 ~a6").unwrap();
+        assert_eq!(t1, t2);
+        assert!(resolve_function("not-a-function!!").is_err());
+    }
+
+    #[test]
+    fn findlut_reports_the_plant() {
+        let bs = sample();
+        let report = cmd_findlut(&bs, "f2", FRAME_BYTES).unwrap();
+        assert!(report.contains("l =       42"), "{report}");
+        assert!(report.contains("SliceM"), "{report}");
+    }
+
+    #[test]
+    fn table2_lists_all_shapes() {
+        let bs = sample();
+        let report = cmd_table2(&bs, FRAME_BYTES).unwrap();
+        for name in ["f2", "m0b", "f21"] {
+            assert!(report.contains(name), "{report}");
+        }
+    }
+
+    #[test]
+    fn xorscan_runs() {
+        let bs = sample();
+        let report = cmd_xorscan(&bs, FRAME_BYTES, None).unwrap();
+        assert!(report.contains("XOR-half scan"));
+        let windowed = cmd_xorscan(&bs, FRAME_BYTES, Some((0, 100))).unwrap();
+        assert!(windowed.contains("bytes 0..100"));
+    }
+
+    #[test]
+    fn packets_lists_writes() {
+        let bs = sample();
+        let listing = cmd_packets(&bs);
+        assert!(listing.contains("write Fdri"), "{listing}");
+        assert!(listing.contains("write Crc"), "{listing}");
+    }
+
+    #[test]
+    fn diff_command() {
+        let a = sample();
+        let mut b = a.clone();
+        let range = b.fdri_data_range().unwrap();
+        b.as_mut_bytes()[range.start + 5] ^= 1;
+        let report = cmd_diff(&a, &b);
+        assert!(report.contains("1 differing range(s), 1 byte(s)"), "{report}");
+    }
+
+    #[test]
+    fn crc_commands() {
+        let bs = sample();
+        let (disabled, msg) = cmd_crc(&bs, true);
+        assert!(msg.contains("zeroed 1"));
+        assert!(!disabled.parse().unwrap().crc_checked);
+
+        let mut broken = bs.clone();
+        let range = broken.fdri_data_range().unwrap();
+        broken.as_mut_bytes()[range.start] ^= 1;
+        let (fixed, msg) = cmd_crc(&broken, false);
+        assert!(msg.contains("recomputed"));
+        assert!(fixed.parse().unwrap().crc_checked);
+    }
+}

@@ -1,0 +1,225 @@
+//! Bitstream patching: writing faulted LUT functions at search hits.
+//!
+//! A [`crate::findlut::LutHit`] records the input permutation
+//! under which a candidate matched; any replacement function must be
+//! stored under the *same* permutation so the LUT's pins keep their
+//! meaning. After editing, the configuration CRC is repaired —
+//! either recomputed, or disabled by zeroing the CRC packet as in
+//! Section V-B of the paper.
+
+use boolfn::{DualOutputInit, Permutation, TruthTable};
+
+use bitstream::{codec, Bitstream};
+
+use crate::findlut::LutHit;
+
+/// How to keep the device accepting a modified bitstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrcStrategy {
+    /// Recompute and patch the stored CRC value.
+    #[default]
+    Recompute,
+    /// Zero out the CRC packet (the paper's approach).
+    Disable,
+}
+
+/// A bitstream being edited: tracks the FDRI payload region and
+/// repairs the CRC on [`EditSession::finish`].
+#[derive(Debug, Clone)]
+pub struct EditSession {
+    bitstream: Bitstream,
+    data_start: usize,
+    d: usize,
+}
+
+impl EditSession {
+    /// Starts editing a copy of `bitstream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitstream has no FDRI payload.
+    #[must_use]
+    pub fn new(bitstream: &Bitstream, d: usize) -> Self {
+        let range = bitstream.fdri_data_range().expect("bitstream has an FDRI payload");
+        Self { bitstream: bitstream.clone(), data_start: range.start, d }
+    }
+
+    /// The payload-relative base offset used by search hits.
+    #[must_use]
+    pub fn data_start(&self) -> usize {
+        self.data_start
+    }
+
+    /// Writes `function` (a 6-variable table) at `hit`, permuted the
+    /// same way the original content was stored.
+    pub fn write_function(&mut self, hit: &LutHit, function: TruthTable) {
+        let stored = function.extend(6).permute(&extend_perm(&hit.perm));
+        self.write_init(hit, DualOutputInit::from_single(stored));
+    }
+
+    /// Writes a raw INIT value at `hit`.
+    pub fn write_init(&mut self, hit: &LutHit, init: DualOutputInit) {
+        let data = &mut self.bitstream.as_mut_bytes()[self.data_start..];
+        codec::write_lut(data, hit.location(self.d), init);
+    }
+
+    /// Replaces a single half of the INIT at `hit`: `half` 0 is the
+    /// `O5` (low) half, 1 the `O6` (high) half. The 5-variable
+    /// replacement is stored as-is (pin order preserved by the
+    /// caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is not 0 or 1.
+    pub fn write_half(&mut self, hit: &LutHit, half: u8, function: TruthTable) {
+        assert!(half < 2, "half must be 0 (O5) or 1 (O6)");
+        let data = &self.bitstream.as_bytes()[self.data_start..];
+        let current = codec::read_lut(data, hit.location(self.d));
+        let bits = function.extend(5).bits() & 0xffff_ffff;
+        let new = if half == 0 {
+            (current.init() & 0xffff_ffff_0000_0000) | bits
+        } else {
+            (current.init() & 0x0000_0000_ffff_ffff) | (bits << 32)
+        };
+        self.write_init(hit, DualOutputInit::new(new));
+    }
+
+    /// Reads the INIT currently stored at `hit`.
+    #[must_use]
+    pub fn read_init(&self, hit: &LutHit) -> DualOutputInit {
+        let data = &self.bitstream.as_bytes()[self.data_start..];
+        codec::read_lut(data, hit.location(self.d))
+    }
+
+    /// Finalizes the edit, repairing the CRC.
+    #[must_use]
+    pub fn finish(mut self, crc: CrcStrategy) -> Bitstream {
+        match crc {
+            CrcStrategy::Recompute => {
+                let ok = self.bitstream.recompute_crc();
+                debug_assert!(ok, "bitstream had a CRC packet to patch");
+            }
+            CrcStrategy::Disable => {
+                self.bitstream.disable_crc();
+            }
+        }
+        self.bitstream
+    }
+}
+
+/// Extends a `k ≤ 6` permutation to exactly 6 pins (identity on the
+/// rest).
+#[must_use]
+pub fn extend_perm(p: &Permutation) -> Permutation {
+    if p.len() == 6 {
+        return *p;
+    }
+    let mut full = [0u8; 6];
+    for (j, &x) in p.as_slice().iter().enumerate() {
+        full[j] = x;
+    }
+    for (j, slot) in full.iter_mut().enumerate().skip(p.len()) {
+        *slot = j as u8;
+    }
+    Permutation::from_slice(&full).expect("valid permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfn::expr::var;
+    use bitstream::{BitstreamBuilder, FrameData, LutLocation, SubVectorOrder, FRAME_BYTES};
+    use crate::findlut::{find_lut, FindLutParams};
+
+    fn sample_bitstream_with(f: TruthTable, l: usize) -> Bitstream {
+        let mut frames = FrameData::new(8);
+        codec::write_lut(
+            frames.as_mut_bytes(),
+            LutLocation { l, d: FRAME_BYTES, order: SubVectorOrder::SliceL },
+            DualOutputInit::from_single(f.extend(6)),
+        );
+        BitstreamBuilder::new(frames).build()
+    }
+
+    #[test]
+    fn edit_at_hit_then_reparse() {
+        let f2 = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6)).truth_table(6);
+        let bs = sample_bitstream_with(f2, 64);
+        let range = bs.fdri_data_range().unwrap();
+        let hits = find_lut(&bs.as_bytes()[range], f2, &FindLutParams::k6(FRAME_BYTES));
+        let hit = hits.iter().find(|h| h.l == 64).expect("hit at plant");
+
+        let mut session = EditSession::new(&bs, FRAME_BYTES);
+        session.write_function(hit, TruthTable::zero(6));
+        let edited = session.finish(CrcStrategy::Recompute);
+        let cfg = edited.parse().expect("CRC repaired");
+        assert!(cfg.crc_checked);
+        // The LUT now stores constant 0.
+        let data_range = edited.fdri_data_range().unwrap();
+        let init = codec::read_lut(
+            &edited.as_bytes()[data_range],
+            LutLocation { l: 64, d: FRAME_BYTES, order: SubVectorOrder::SliceL },
+        );
+        assert_eq!(init.init(), 0);
+    }
+
+    #[test]
+    fn disable_strategy_removes_crc() {
+        let f = (var(1) & var(2)).truth_table(6);
+        let bs = sample_bitstream_with(f, 0);
+        let range = bs.fdri_data_range().unwrap();
+        let hits = find_lut(&bs.as_bytes()[range], f, &FindLutParams::k6(FRAME_BYTES));
+        let mut session = EditSession::new(&bs, FRAME_BYTES);
+        session.write_function(&hits[0], TruthTable::one(6));
+        let edited = session.finish(CrcStrategy::Disable);
+        let cfg = edited.parse().expect("parses");
+        assert!(!cfg.crc_checked);
+    }
+
+    #[test]
+    fn permuted_write_respects_pin_roles() {
+        // Store f2 under a scrambled permutation, then write the α₂
+        // variant; the stored bytes must equal variant.permute(same).
+        let f2 = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6)).truth_table(6);
+        let p = Permutation::from_slice(&[3, 1, 5, 0, 2, 4]).unwrap();
+        let stored = f2.permute(&p);
+        let bs = sample_bitstream_with(stored, 120);
+        let range = bs.fdri_data_range().unwrap();
+        let hits = find_lut(&bs.as_bytes()[range], f2, &FindLutParams::k6(FRAME_BYTES));
+        let hit = hits.iter().find(|h| h.l == 120).expect("found");
+
+        let variant = (var(3) & var(4) & var(5) & !var(6)).truth_table(6);
+        let mut session = EditSession::new(&bs, FRAME_BYTES);
+        session.write_function(hit, variant);
+        let got = session.read_init(hit);
+        assert_eq!(got.o6(), variant.permute(&hit.perm));
+    }
+
+    #[test]
+    fn half_writes_preserve_other_half() {
+        let a = (var(1) | var(2)).truth_table(5);
+        let b = (var(3) & var(4)).truth_table(5);
+        let mut frames = FrameData::new(8);
+        let loc = LutLocation { l: 10, d: FRAME_BYTES, order: SubVectorOrder::SliceM };
+        codec::write_lut(frames.as_mut_bytes(), loc, DualOutputInit::from_pair(a, b));
+        let bs = BitstreamBuilder::new(frames).build();
+
+        let mut session = EditSession::new(&bs, FRAME_BYTES);
+        let hit = LutHit {
+            l: 10,
+            order: SubVectorOrder::SliceM,
+            perm: Permutation::identity(6),
+            init: session.read_init(&LutHit {
+                l: 10,
+                order: SubVectorOrder::SliceM,
+                perm: Permutation::identity(6),
+                init: DualOutputInit::new(0),
+            }),
+        };
+        let repl = (!var(1) & var(2)).truth_table(5);
+        session.write_half(&hit, 0, repl);
+        let got = session.read_init(&hit);
+        assert_eq!(got.o5(), repl);
+        assert_eq!(got.o6_fractured(), b, "O6 half untouched");
+    }
+}

@@ -1,0 +1,47 @@
+//! `bitmod` — the bitstream modification attack on SNOW 3G
+//! (Moraitis & Dubrova, DATE 2020), plus the proposed countermeasure
+//! and its evaluation.
+//!
+//! The crate implements the paper's contribution end to end:
+//!
+//! * [`findlut`] — Algorithm 1: find every `k`-input LUT implementing
+//!   a given Boolean function (and its whole P equivalence class) in
+//!   a bitstream, in both the literal form of the paper's pseudo-code
+//!   and an optimized single-pass form; plus the dual-output *half
+//!   scan* used by Section VII-B;
+//! * [`candidates`] — the candidate-function catalogue: the paper's
+//!   Table II functions `f1..f21` and the cover shapes of this
+//!   repository's implementation flow, each with its stuck-at-0 fault
+//!   semantics (`α`, `α₁`, `α₂`, `β`);
+//! * [`oracle`] — the victim-device interface (*load bitstream, read
+//!   keystream*) the attack drives;
+//! * [`edit`] — bitstream patching under a matched input permutation,
+//!   with CRC repair or disable;
+//! * [`attack`] — the full key-recovery pipeline of Section VI:
+//!   identify the keystream-path LUTs, hypothesise the feedback-path
+//!   LUTs, enter the key-independent configuration (`α₁ + β`),
+//!   disambiguate the XOR input pairs with two keystream
+//!   computations, inject `α`, and reverse the LFSR to the key;
+//! * [`countermeasure`] — Section VII: constrained-mapping
+//!   evaluation, the XOR-half candidate scan, and the Lemma VII-A
+//!   complexity bounds;
+//! * [`bifi`] — the untargeted BiFI baseline (the paper's reference
+//!   \[23\]), demonstrating that single-LUT faults do not break
+//!   SNOW 3G and motivating the targeted attack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod bifi;
+pub mod candidates;
+pub mod cli;
+pub mod countermeasure;
+pub mod edit;
+pub mod findlut;
+pub mod oracle;
+
+pub use attack::{Attack, AttackError, AttackReport};
+pub use candidates::{Catalogue, Role, Shape};
+pub use findlut::{find_lut, find_lut_reference, FindLutParams, LutHit};
+pub use oracle::{KeystreamOracle, OracleError};

@@ -1,0 +1,70 @@
+//! The victim-device interface the attack drives.
+//!
+//! Per the attack model (Section IV-A), the adversary can load a
+//! (possibly modified) bitstream into the victim FPGA and collect
+//! keystream words. Nothing else — no netlist, no placement, no key.
+
+use core::fmt;
+
+use bitstream::Bitstream;
+
+/// An error from the device.
+#[derive(Debug)]
+pub enum OracleError {
+    /// The device refused the bitstream (CRC failure, malformed
+    /// stream, wrong size).
+    Rejected(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Rejected(why) => write!(f, "device refused configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// *Load a bitstream, generate keystream* — the only capability the
+/// attack needs from the victim device.
+pub trait KeystreamOracle {
+    /// Loads `bitstream` and returns `words` keystream words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::Rejected`] when the device aborts
+    /// configuration.
+    fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError>;
+}
+
+impl KeystreamOracle for fpga_sim::Snow3gBoard {
+    fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError> {
+        self.generate_keystream(bitstream, words)
+            .map_err(|e| OracleError::Rejected(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_sim::{ImplementOptions, Snow3gBoard};
+    use netlist::snow3g_circuit::Snow3gCircuitConfig;
+    use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+
+    #[test]
+    fn board_implements_oracle() {
+        let board = Snow3gBoard::build(
+            Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
+            &ImplementOptions::default(),
+        )
+        .expect("board");
+        let oracle: &dyn KeystreamOracle = &board;
+        let z = oracle.keystream(&board.extract_bitstream(), 2).expect("runs");
+        assert_eq!(z, vec![0xABEE9704, 0x7AC31373]);
+        let err = oracle
+            .keystream(&Bitstream::from_bytes(vec![0; 64]), 1)
+            .expect_err("garbage rejected");
+        assert!(err.to_string().contains("refused"));
+    }
+}

@@ -1,0 +1,575 @@
+//! The device fabric: static routing database, configuration from a
+//! bitstream, and cycle simulation.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use boolfn::DualOutputInit;
+use netlist::NodeId;
+
+use bitstream::{codec, Bitstream, ParseBitstreamError};
+
+use crate::geom::{Geometry, SiteId};
+
+/// A net identifier (inherited from the source design's node ids).
+pub type NetId = NodeId;
+
+/// A placed LUT cell: the site tells the configuration logic where
+/// its truth table lives; the nets are part of the static routing.
+#[derive(Debug, Clone)]
+pub struct LutCell {
+    /// The physical site.
+    pub site: SiteId,
+    /// Input nets in pin order `a1..`.
+    pub inputs: Vec<NetId>,
+    /// Net driven by O6.
+    pub o6: NetId,
+    /// Net driven by O5 (fractured LUTs).
+    pub o5: Option<NetId>,
+}
+
+/// A flip-flop cell.
+#[derive(Debug, Clone, Copy)]
+pub struct FfCell {
+    /// Output net.
+    pub q: NetId,
+    /// Data input net.
+    pub d: NetId,
+    /// Power-up value (set by global set/reset at configuration).
+    pub init: bool,
+}
+
+/// A block RAM configured as a 256×32 ROM. Contents are part of the
+/// static database in this model (see DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct BramCellDb {
+    /// ROM contents.
+    pub table: Box<[u32; 256]>,
+    /// Address nets (LSB first).
+    pub addr: Vec<NetId>,
+    /// Data nets (LSB first).
+    pub data: Vec<NetId>,
+}
+
+/// The static part of an implemented design: everything except LUT
+/// truth tables.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingDb {
+    /// Placed LUTs.
+    pub luts: Vec<LutCell>,
+    /// Flip-flops.
+    pub ffs: Vec<FfCell>,
+    /// Block RAMs.
+    pub brams: Vec<BramCellDb>,
+    /// Primary input nets with names.
+    pub inputs: Vec<(String, NetId)>,
+    /// Nets tied to constants.
+    pub ties: Vec<(NetId, bool)>,
+}
+
+/// An error from [`Fpga::program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The bitstream failed to parse or its CRC mismatched — the
+    /// device refuses configuration (INIT_B low).
+    Bitstream(ParseBitstreamError),
+    /// The payload has the wrong number of frames for this device.
+    WrongFrameCount {
+        /// Frames found.
+        got: usize,
+        /// Frames the device expects.
+        expected: usize,
+    },
+    /// The bitstream was built for a different device (IDCODE
+    /// mismatch) — real devices refuse such streams.
+    WrongDevice {
+        /// IDCODE found in the stream, if any.
+        got: Option<u32>,
+        /// This device's IDCODE.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Bitstream(e) => write!(f, "configuration aborted: {e}"),
+            ProgramError::WrongFrameCount { got, expected } => {
+                write!(f, "payload has {got} frames, device expects {expected}")
+            }
+            ProgramError::WrongDevice { got, expected } => {
+                write!(f, "bitstream idcode {got:08x?} does not match device {expected:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProgramError::Bitstream(e) => Some(e),
+            ProgramError::WrongFrameCount { .. } | ProgramError::WrongDevice { .. } => None,
+        }
+    }
+}
+
+impl From<ParseBitstreamError> for ProgramError {
+    fn from(e: ParseBitstreamError) -> Self {
+        ProgramError::Bitstream(e)
+    }
+}
+
+/// One evaluation step of the configured fabric.
+#[derive(Debug, Clone, Copy)]
+enum EvalStep {
+    Lut(usize),
+    Bram(usize),
+}
+
+/// A device: geometry plus the static routing database.
+#[derive(Debug, Clone)]
+pub struct Fpga {
+    geometry: Geometry,
+    db: RoutingDb,
+    order: Vec<EvalStep>,
+    net_count: usize,
+    idcode: u32,
+}
+
+impl Fpga {
+    /// Creates a device from geometry and routing database,
+    /// precomputing the evaluation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database contains a combinational cycle or a
+    /// site outside the geometry.
+    #[must_use]
+    pub fn new(geometry: Geometry, db: RoutingDb) -> Self {
+        geometry.assert_valid();
+        for lut in &db.luts {
+            let _ = geometry.lut_location(lut.site); // bounds check
+        }
+        let net_count = net_count(&db);
+        let order = eval_order(&db);
+        Self { geometry, db, order, net_count, idcode: bitstream::image::DEFAULT_IDCODE }
+    }
+
+    /// Overrides the device IDCODE (enforced during configuration).
+    #[must_use]
+    pub fn with_idcode(mut self, idcode: u32) -> Self {
+        self.idcode = idcode;
+        self
+    }
+
+    /// The device IDCODE.
+    #[must_use]
+    pub fn idcode(&self) -> u32 {
+        self.idcode
+    }
+
+    /// The device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The static routing database.
+    #[must_use]
+    pub fn routing_db(&self) -> &RoutingDb {
+        &self.db
+    }
+
+    /// Configures the device from a bitstream: parses it, enforces
+    /// the CRC if present, and loads every LUT site's INIT value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if parsing fails, the CRC mismatches
+    /// or the payload size is wrong.
+    pub fn program(&self, bs: &Bitstream) -> Result<ConfiguredFpga<'_>, ProgramError> {
+        let config = bs.parse()?;
+        if config.idcode != Some(self.idcode) {
+            return Err(ProgramError::WrongDevice { got: config.idcode, expected: self.idcode });
+        }
+        if config.frames.frame_count() != self.geometry.frame_count() {
+            return Err(ProgramError::WrongFrameCount {
+                got: config.frames.frame_count(),
+                expected: self.geometry.frame_count(),
+            });
+        }
+        let data = config.frames.as_bytes();
+        let inits: Vec<DualOutputInit> = self
+            .db
+            .luts
+            .iter()
+            .map(|cell| codec::read_lut(data, self.geometry.lut_location(cell.site)))
+            .collect();
+        let mut values = vec![false; self.net_count];
+        for ff in &self.db.ffs {
+            values[ff.q.index()] = ff.init;
+        }
+        for &(net, v) in &self.db.ties {
+            values[net.index()] = v;
+        }
+        Ok(ConfiguredFpga { fpga: self, inits, values, cycle: 0 })
+    }
+}
+
+fn net_count(db: &RoutingDb) -> usize {
+    let mut max = 0usize;
+    let mut consider = |n: NetId| max = max.max(n.index() + 1);
+    for l in &db.luts {
+        l.inputs.iter().copied().for_each(&mut consider);
+        consider(l.o6);
+        if let Some(o5) = l.o5 {
+            consider(o5);
+        }
+    }
+    for f in &db.ffs {
+        consider(f.q);
+        consider(f.d);
+    }
+    for b in &db.brams {
+        b.addr.iter().copied().for_each(&mut consider);
+        b.data.iter().copied().for_each(&mut consider);
+    }
+    for &(n, _) in &db.ties {
+        consider(n);
+    }
+    for &(_, n) in &db.inputs {
+        consider(n);
+    }
+    max
+}
+
+fn eval_order(db: &RoutingDb) -> Vec<EvalStep> {
+    // Kahn over combinational dependencies (FF outputs, inputs and
+    // ties are sources).
+    let mut producer: HashMap<NetId, EvalStep> = HashMap::new();
+    for (i, l) in db.luts.iter().enumerate() {
+        producer.insert(l.o6, EvalStep::Lut(i));
+        if let Some(o5) = l.o5 {
+            producer.insert(o5, EvalStep::Lut(i));
+        }
+    }
+    for (i, b) in db.brams.iter().enumerate() {
+        for &d in &b.data {
+            producer.insert(d, EvalStep::Bram(i));
+        }
+    }
+    let idx = |s: EvalStep| match s {
+        EvalStep::Lut(i) => i,
+        EvalStep::Bram(i) => db.luts.len() + i,
+    };
+    let total = db.luts.len() + db.brams.len();
+    let mut indeg = vec![0usize; total];
+    let mut fanout: Vec<Vec<EvalStep>> = vec![Vec::new(); total];
+    let deps = |s: EvalStep| -> Vec<NetId> {
+        match s {
+            EvalStep::Lut(i) => db.luts[i].inputs.clone(),
+            EvalStep::Bram(i) => db.brams[i].addr.clone(),
+        }
+    };
+    let steps: Vec<EvalStep> = (0..db.luts.len())
+        .map(EvalStep::Lut)
+        .chain((0..db.brams.len()).map(EvalStep::Bram))
+        .collect();
+    for &s in &steps {
+        for net in deps(s) {
+            if let Some(&p) = producer.get(&net) {
+                indeg[idx(s)] += 1;
+                fanout[idx(p)].push(s);
+            }
+        }
+    }
+    let mut queue: Vec<EvalStep> = steps.iter().copied().filter(|&s| indeg[idx(s)] == 0).collect();
+    let mut order = Vec::with_capacity(total);
+    let mut head = 0;
+    while head < queue.len() {
+        let s = queue[head];
+        head += 1;
+        order.push(s);
+        for &succ in &fanout[idx(s)].clone() {
+            indeg[idx(succ)] -= 1;
+            if indeg[idx(succ)] == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+    assert_eq!(order.len(), total, "combinational cycle in routing database");
+    order
+}
+
+/// A configured (programmed) device, ready to clock.
+#[derive(Debug, Clone)]
+pub struct ConfiguredFpga<'a> {
+    fpga: &'a Fpga,
+    inits: Vec<DualOutputInit>,
+    values: Vec<bool>,
+    cycle: u64,
+}
+
+impl ConfiguredFpga<'_> {
+    /// The INIT value loaded at LUT cell `i` (diagnostics).
+    #[must_use]
+    pub fn lut_init(&self, i: usize) -> DualOutputInit {
+        self.inits[i]
+    }
+
+    /// Drives a primary input net.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        self.values[net.index()] = value;
+    }
+
+    /// The current value of a net (after the last evaluation).
+    #[must_use]
+    pub fn net(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Reads 32 nets as a word, LSB first.
+    #[must_use]
+    pub fn word(&self, nets: &[NetId]) -> u32 {
+        nets.iter()
+            .enumerate()
+            .fold(0u32, |acc, (i, &n)| acc | (u32::from(self.net(n)) << i))
+    }
+
+    /// Clock cycles executed.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn evaluate(&mut self) {
+        let db = &self.fpga.db;
+        for &step in &self.fpga.order {
+            match step {
+                EvalStep::Lut(i) => {
+                    let cell = &db.luts[i];
+                    let init = self.inits[i];
+                    let mut addr = 0u8;
+                    for (p, net) in cell.inputs.iter().enumerate() {
+                        if self.values[net.index()] {
+                            addr |= 1 << p;
+                        }
+                    }
+                    match cell.o5 {
+                        None => {
+                            // Single-output mode: O6 reads the full
+                            // 6-input table (unconnected pins low).
+                            self.values[cell.o6.index()] = init.o6().eval(addr & 0x3F);
+                        }
+                        Some(o5) => {
+                            // Fractured: both halves share pins a1..a5.
+                            let a = addr & 0x1F;
+                            self.values[o5.index()] = init.o5().eval(a);
+                            self.values[cell.o6.index()] = init.o6_fractured().eval(a);
+                        }
+                    }
+                }
+                EvalStep::Bram(i) => {
+                    let cell = &db.brams[i];
+                    let mut a = 0usize;
+                    for (p, net) in cell.addr.iter().enumerate() {
+                        if self.values[net.index()] {
+                            a |= 1 << p;
+                        }
+                    }
+                    let word = cell.table[a];
+                    for (bit, net) in cell.data.iter().enumerate() {
+                        self.values[net.index()] = (word >> bit) & 1 == 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one clock cycle with the current input values.
+    pub fn step(&mut self) {
+        self.evaluate();
+        let db = &self.fpga.db;
+        let latched: Vec<(usize, bool)> =
+            db.ffs.iter().map(|ff| (ff.q.index(), self.values[ff.d.index()])).collect();
+        for (q, v) in latched {
+            self.values[q] = v;
+        }
+        self.cycle += 1;
+        self.evaluate();
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Configuration readback (the `FDRO` path of real devices):
+    /// reconstructs the frame contents from the loaded LUT INITs.
+    /// Non-LUT bits (routing) are masked to zero, mirroring the mask
+    /// files vendors ship for readback verification.
+    #[must_use]
+    pub fn readback_frames(&self) -> bitstream::FrameData {
+        let geometry = self.fpga.geometry();
+        let mut frames = bitstream::FrameData::new(geometry.frame_count());
+        for (cell, &init) in self.fpga.db.luts.iter().zip(&self.inits) {
+            codec::write_lut(frames.as_mut_bytes(), geometry.lut_location(cell.site), init);
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitstream::{codec, BitstreamBuilder, FrameData};
+
+    /// A tiny device: one LUT computing a function of two FF outputs,
+    /// both toggling.
+    fn tiny() -> (Fpga, Vec<NetId>) {
+        let geometry = Geometry::with_columns(2);
+        let n = |i: u32| NodeId(i);
+        let db = RoutingDb {
+            luts: vec![
+                // LUT computing o = a ^ b at site (0,0,0).
+                LutCell {
+                    site: SiteId { col: 0, row: 0, lut: 0 },
+                    inputs: vec![n(0), n(1)],
+                    o6: n(2),
+                    o5: None,
+                },
+                // Inverter for the toggle FF at site (1,3,2).
+                LutCell {
+                    site: SiteId { col: 1, row: 3, lut: 2 },
+                    inputs: vec![n(0)],
+                    o6: n(3),
+                    o5: None,
+                },
+            ],
+            ffs: vec![
+                FfCell { q: n(0), d: n(3), init: false }, // toggles
+                FfCell { q: n(1), d: n(1), init: true },  // holds 1
+            ],
+            brams: vec![],
+            inputs: vec![],
+            ties: vec![],
+        };
+        (Fpga::new(geometry, db), vec![n(2)])
+    }
+
+    fn bitstream_for(fpga: &Fpga, xor_init: u64, inv_init: u64) -> Bitstream {
+        let mut frames = FrameData::new(fpga.geometry().frame_count());
+        let loc0 = fpga.geometry().lut_location(SiteId { col: 0, row: 0, lut: 0 });
+        let loc1 = fpga.geometry().lut_location(SiteId { col: 1, row: 3, lut: 2 });
+        codec::write_lut(frames.as_mut_bytes(), loc0, DualOutputInit::new(xor_init));
+        codec::write_lut(frames.as_mut_bytes(), loc1, DualOutputInit::new(inv_init));
+        BitstreamBuilder::new(frames).build()
+    }
+
+    /// 6-var extension of XOR2 on pins a1, a2.
+    fn xor2_init() -> u64 {
+        boolfn::TruthTable::var(6, 1).xor(boolfn::TruthTable::var(6, 2)).bits()
+    }
+
+    /// 6-var extension of NOT on pin a1.
+    fn not1_init() -> u64 {
+        boolfn::TruthTable::var(6, 1).not().bits()
+    }
+
+    #[test]
+    fn configured_device_follows_lut_contents() {
+        let (fpga, outs) = tiny();
+        let bs = bitstream_for(&fpga, xor2_init(), not1_init());
+        let mut dev = fpga.program(&bs).expect("programs");
+        // q0 toggles 0,1,0,...; q1 holds 1; o = q0 ^ q1.
+        let mut expect_q0 = false;
+        for _ in 0..6 {
+            dev.step();
+            expect_q0 = !expect_q0;
+            assert_eq!(dev.net(outs[0]), expect_q0 ^ true);
+        }
+    }
+
+    #[test]
+    fn modified_lut_changes_behaviour() {
+        let (fpga, outs) = tiny();
+        // Replace XOR with constant-0 (the paper's verification
+        // fault): output must be stuck at 0.
+        let bs = bitstream_for(&fpga, 0, not1_init());
+        let mut dev = fpga.program(&bs).expect("programs");
+        for _ in 0..4 {
+            dev.step();
+            assert!(!dev.net(outs[0]));
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_refuses_configuration() {
+        let (fpga, _) = tiny();
+        let mut bs = bitstream_for(&fpga, xor2_init(), not1_init());
+        let range = bs.fdri_data_range().unwrap();
+        bs.as_mut_bytes()[range.start + 11] ^= 0x40;
+        assert!(matches!(
+            fpga.program(&bs),
+            Err(ProgramError::Bitstream(ParseBitstreamError::CrcMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn crc_disabled_configuration_proceeds() {
+        let (fpga, outs) = tiny();
+        let mut bs = bitstream_for(&fpga, xor2_init(), not1_init());
+        // Flip a bit inside the XOR LUT's init: turn XOR into XNOR by
+        // rewriting the whole LUT.
+        let loc = fpga.geometry().lut_location(SiteId { col: 0, row: 0, lut: 0 });
+        let range = bs.fdri_data_range().unwrap();
+        let xnor = boolfn::TruthTable::var(6, 1).xor(boolfn::TruthTable::var(6, 2)).not().bits();
+        codec::write_lut(
+            &mut bs.as_mut_bytes()[range.clone()],
+            loc,
+            DualOutputInit::new(xnor),
+        );
+        assert!(fpga.program(&bs).is_err(), "CRC still enforced");
+        bs.disable_crc();
+        let mut dev = fpga.program(&bs).expect("CRC disabled");
+        dev.step();
+        assert!(dev.net(outs[0]), "after one step q0=1, q1=1, and XNOR(1,1)=1");
+    }
+
+    #[test]
+    fn readback_returns_loaded_inits() {
+        let (fpga, _) = tiny();
+        let bs = bitstream_for(&fpga, xor2_init(), not1_init());
+        let dev = fpga.program(&bs).expect("programs");
+        let frames = dev.readback_frames();
+        let loc = fpga.geometry().lut_location(SiteId { col: 0, row: 0, lut: 0 });
+        let got = codec::read_lut(frames.as_bytes(), loc);
+        assert_eq!(got.init(), xor2_init());
+        // Routing bits are masked out.
+        let ranges = fpga.geometry().non_init_ranges();
+        for r in ranges {
+            assert!(frames.as_bytes()[r].iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn wrong_idcode_rejected() {
+        let (fpga, _) = tiny();
+        let frames = {
+            let cfg = bitstream_for(&fpga, xor2_init(), not1_init()).parse().unwrap();
+            cfg.frames
+        };
+        let bs = BitstreamBuilder::new(frames).idcode(0x1234_5678).build();
+        assert!(matches!(fpga.program(&bs), Err(ProgramError::WrongDevice { .. })));
+    }
+
+    #[test]
+    fn wrong_payload_size_rejected() {
+        let (fpga, _) = tiny();
+        let frames = FrameData::new(fpga.geometry().frame_count() + 1);
+        let bs = BitstreamBuilder::new(frames).build();
+        assert!(matches!(fpga.program(&bs), Err(ProgramError::WrongFrameCount { .. })));
+    }
+}

@@ -1,0 +1,365 @@
+//! Device geometry: slices, LUT sites and their configuration-frame
+//! addresses.
+//!
+//! The configuration memory is organised in columns. Each slice
+//! column owns four consecutive *INIT frames* (one per LUT
+//! sub-vector, matching the 7-series property that a LUT's four
+//! 16-bit sub-vectors sit at a fixed offset `d` from each other —
+//! here `d` is one frame, 404 bytes), followed by a number of
+//! *routing frames* whose bits this model treats as opaque.
+
+use bitstream::{LutLocation, SubVectorOrder, FRAME_BYTES};
+
+/// Number of LUTs per slice.
+pub const LUTS_PER_SLICE: usize = 4;
+
+/// How a LUT's four 16-bit sub-vectors are laid out in configuration
+/// memory. The paper only pins the *stride* `d` between sub-vectors;
+/// both layouts below satisfy the format it describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitLayout {
+    /// Sub-vectors at the same intra-frame offset of four consecutive
+    /// frames: `d` = one frame = 404 bytes (prjxray-style).
+    #[default]
+    FourFrames,
+    /// Sub-vectors in the four 101-byte quarters of a single frame:
+    /// `d` = 101 bytes — the value the paper's tool used.
+    QuarterFrame,
+}
+
+impl InitLayout {
+    /// The sub-vector stride in bytes.
+    #[must_use]
+    pub fn stride(self) -> usize {
+        match self {
+            InitLayout::FourFrames => FRAME_BYTES,
+            InitLayout::QuarterFrame => FRAME_BYTES / 4,
+        }
+    }
+
+    /// INIT frames consumed per column.
+    #[must_use]
+    pub fn init_frames(self) -> usize {
+        match self {
+            InitLayout::FourFrames => 4,
+            InitLayout::QuarterFrame => 4, // four frames of 50 slots each
+        }
+    }
+
+    /// LUT slots per INIT frame group.
+    #[must_use]
+    pub fn slots_per_frame(self) -> usize {
+        match self {
+            // 2 bytes per slot per frame, last 4 bytes spare.
+            InitLayout::FourFrames => FRAME_BYTES / 2 - 2,
+            // 2 bytes per slot per 101-byte quarter (50 slots, 1 byte
+            // spare per quarter).
+            InitLayout::QuarterFrame => FRAME_BYTES / 4 / 2,
+        }
+    }
+}
+
+/// A LUT site: column, row and LUT position (0..4 = A..D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId {
+    /// Slice column.
+    pub col: u16,
+    /// Slice row.
+    pub row: u16,
+    /// LUT position within the slice.
+    pub lut: u8,
+}
+
+/// Device geometry parameters.
+///
+/// # Example
+///
+/// ```
+/// use fpga_sim::Geometry;
+///
+/// let g = Geometry::with_columns(4);
+/// assert_eq!(g.stride(), 404); // d = one frame
+/// let quarter = Geometry::with_columns_quarter(4);
+/// assert_eq!(quarter.stride(), 101); // the paper's d
+/// assert_eq!(g.site_count(), quarter.site_count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of slice columns.
+    pub columns: usize,
+    /// Slice rows per column.
+    pub rows: usize,
+    /// Opaque routing frames following each column's INIT frames.
+    pub routing_frames: usize,
+    /// Sub-vector layout of the device family.
+    pub layout: InitLayout,
+}
+
+impl Geometry {
+    /// A geometry with the default 50 rows, 8 routing frames per
+    /// column and the four-frame layout.
+    #[must_use]
+    pub fn with_columns(columns: usize) -> Self {
+        Self { columns, rows: 50, routing_frames: 8, layout: InitLayout::FourFrames }
+    }
+
+    /// The same geometry on the `d = 101` (quarter-frame) family.
+    #[must_use]
+    pub fn with_columns_quarter(columns: usize) -> Self {
+        // 50 slots per frame × 4 INIT frames = 200 slots = 50 rows,
+        // the same column capacity as the four-frame family.
+        Self { columns, rows: 50, routing_frames: 8, layout: InitLayout::QuarterFrame }
+    }
+
+    /// The sub-vector stride `d` of this family, in bytes.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.layout.stride()
+    }
+
+    /// Frames occupied by one column (INIT frames + routing).
+    #[must_use]
+    pub fn frames_per_column(&self) -> usize {
+        self.layout.init_frames() + self.routing_frames
+    }
+
+    /// Total frame count of the device.
+    #[must_use]
+    pub fn frame_count(&self) -> usize {
+        self.columns * self.frames_per_column()
+    }
+
+    /// Total LUT sites.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.columns * self.rows * LUTS_PER_SLICE
+    }
+
+    /// Iterates over all sites in column-major order.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        let (cols, rows) = (self.columns, self.rows);
+        (0..cols).flat_map(move |c| {
+            (0..rows).flat_map(move |r| {
+                (0..LUTS_PER_SLICE).map(move |l| SiteId {
+                    col: c as u16,
+                    row: r as u16,
+                    lut: l as u8,
+                })
+            })
+        })
+    }
+
+    /// The slice type of a column: even columns are SLICEL, odd
+    /// columns SLICEM (a simplification of the 7-series column mix).
+    #[must_use]
+    pub fn slice_type(&self, col: u16) -> SubVectorOrder {
+        if col.is_multiple_of(2) {
+            SubVectorOrder::SliceL
+        } else {
+            SubVectorOrder::SliceM
+        }
+    }
+
+    /// Where a site's LUT INIT lives inside the FDRI payload.
+    ///
+    /// * `FourFrames`: the four sub-vectors sit at the same
+    ///   intra-frame offset in the column's four consecutive INIT
+    ///   frames (`d` = one frame).
+    /// * `QuarterFrame`: the sub-vectors sit in the four 101-byte
+    ///   quarters of the slot's frame (`d` = 101 bytes), with the
+    ///   slots of a column spread across its four INIT frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is outside the geometry.
+    #[must_use]
+    pub fn lut_location(&self, site: SiteId) -> LutLocation {
+        assert!((site.col as usize) < self.columns, "column out of range");
+        assert!((site.row as usize) < self.rows, "row out of range");
+        assert!((site.lut as usize) < LUTS_PER_SLICE, "lut out of range");
+        let base_frame = site.col as usize * self.frames_per_column();
+        let slot = site.row as usize * LUTS_PER_SLICE + site.lut as usize;
+        let order = self.slice_type(site.col);
+        match self.layout {
+            InitLayout::FourFrames => LutLocation {
+                l: base_frame * FRAME_BYTES + slot * 2,
+                d: self.stride(),
+                order,
+            },
+            InitLayout::QuarterFrame => {
+                let per_frame = self.layout.slots_per_frame();
+                let frame = base_frame + slot / per_frame;
+                let within = (slot % per_frame) * 2;
+                LutLocation { l: frame * FRAME_BYTES + within, d: self.stride(), order }
+            }
+        }
+    }
+
+    /// Validates that the rows fit the layout's slot capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column's slots would overflow its INIT frames.
+    pub fn assert_valid(&self) {
+        let slots = self.rows * LUTS_PER_SLICE;
+        let capacity = match self.layout {
+            InitLayout::FourFrames => self.layout.slots_per_frame(),
+            InitLayout::QuarterFrame => {
+                self.layout.slots_per_frame() * self.layout.init_frames()
+            }
+        };
+        assert!(
+            slots <= capacity,
+            "{rows} rows need {slots} slots, column capacity is {capacity}",
+            rows = self.rows
+        );
+    }
+
+    /// Byte ranges inside the FDRI payload that hold no LUT INIT
+    /// data: routing frames and the slack after the last LUT slot.
+    #[must_use]
+    pub fn non_init_ranges(&self) -> Vec<core::ops::Range<usize>> {
+        let mut out = Vec::new();
+        for c in 0..self.columns {
+            let base = c * self.frames_per_column();
+            match self.layout {
+                InitLayout::FourFrames => {
+                    let used = self.rows * LUTS_PER_SLICE * 2;
+                    for f in 0..4 {
+                        let start = (base + f) * FRAME_BYTES;
+                        if used < FRAME_BYTES {
+                            out.push(start + used..start + FRAME_BYTES);
+                        }
+                    }
+                }
+                InitLayout::QuarterFrame => {
+                    let slots = self.rows * LUTS_PER_SLICE;
+                    let per_frame = self.layout.slots_per_frame();
+                    let quarter = FRAME_BYTES / 4;
+                    for f in 0..self.layout.init_frames() {
+                        let start = (base + f) * FRAME_BYTES;
+                        let first = f * per_frame;
+                        let used_slots = slots.saturating_sub(first).min(per_frame);
+                        // Slack at the end of each quarter.
+                        for q in 0..4 {
+                            let qstart = start + q * quarter;
+                            out.push(qstart + used_slots * 2..qstart + quarter);
+                        }
+                        // The 404th byte (after four 101-byte quarters)
+                        // does not exist: 4 * 101 = 404 exactly.
+                    }
+                }
+            }
+            let rstart = (base + self.layout.init_frames()) * FRAME_BYTES;
+            let rend = (base + self.frames_per_column()) * FRAME_BYTES;
+            if rstart < rend {
+                out.push(rstart..rend);
+            }
+        }
+        out.retain(|r| !r.is_empty());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_count_and_iteration_agree() {
+        let g = Geometry::with_columns(3);
+        g.assert_valid();
+        assert_eq!(g.sites().count(), g.site_count());
+        assert_eq!(g.site_count(), 3 * 50 * 4);
+    }
+
+    #[test]
+    fn locations_do_not_collide() {
+        let g = Geometry::with_columns(2);
+        let mut seen = std::collections::HashSet::new();
+        for site in g.sites() {
+            let loc = g.lut_location(site);
+            assert!(seen.insert(loc.l), "duplicate base offset {}", loc.l);
+            assert_eq!(loc.d, FRAME_BYTES);
+        }
+    }
+
+    #[test]
+    fn locations_fit_payload() {
+        let g = Geometry::with_columns(4);
+        let payload = g.frame_count() * FRAME_BYTES;
+        for site in g.sites() {
+            let loc = g.lut_location(site);
+            assert!(loc.span().end <= payload, "site {site:?} out of payload");
+        }
+    }
+
+    #[test]
+    fn slice_types_alternate() {
+        let g = Geometry::with_columns(4);
+        assert_eq!(g.slice_type(0), SubVectorOrder::SliceL);
+        assert_eq!(g.slice_type(1), SubVectorOrder::SliceM);
+        assert_eq!(g.slice_type(2), SubVectorOrder::SliceL);
+    }
+
+    #[test]
+    fn quarter_layout_uses_paper_stride() {
+        let g = Geometry::with_columns_quarter(3);
+        g.assert_valid();
+        assert_eq!(g.stride(), 101, "the paper's d");
+        assert_eq!(g.site_count(), 3 * 50 * 4);
+        let mut seen = std::collections::HashSet::new();
+        for site in g.sites() {
+            let loc = g.lut_location(site);
+            assert_eq!(loc.d, 101);
+            assert!(seen.insert(loc.l), "duplicate base {}", loc.l);
+            assert!(loc.span().end <= g.frame_count() * FRAME_BYTES);
+        }
+    }
+
+    #[test]
+    fn quarter_layout_subvectors_stay_inside_one_frame() {
+        let g = Geometry::with_columns_quarter(2);
+        for site in g.sites() {
+            let loc = g.lut_location(site);
+            let frame = loc.l / FRAME_BYTES;
+            for j in 0..4 {
+                assert_eq!(
+                    (loc.l + j * loc.d) / FRAME_BYTES,
+                    frame,
+                    "sub-vector {j} of {site:?} crosses a frame"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quarter_non_init_ranges_disjoint_from_luts() {
+        let g = Geometry::with_columns_quarter(2);
+        let ranges = g.non_init_ranges();
+        for site in g.sites() {
+            let loc = g.lut_location(site);
+            for j in 0..4 {
+                let b = loc.l + j * loc.d;
+                for r in &ranges {
+                    assert!(!r.contains(&b), "byte {b} of {site:?} inside filler {r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_init_ranges_disjoint_from_luts() {
+        let g = Geometry::with_columns(2);
+        let ranges = g.non_init_ranges();
+        for site in g.sites() {
+            let loc = g.lut_location(site);
+            for j in 0..4 {
+                let b = loc.l + j * loc.d;
+                for r in &ranges {
+                    assert!(!r.contains(&b), "byte {b} of {site:?} inside filler {r:?}");
+                }
+            }
+        }
+    }
+}

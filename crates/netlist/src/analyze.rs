@@ -1,0 +1,317 @@
+//! Structural analysis: the `Fanin`/`Fanout`/`TrFanin`/`TrFanout`
+//! notation of the paper's Section II-A, logic cones, depth
+//! statistics, and a brute-force combinational equivalence check used
+//! to validate generator and mapper transformations on small
+//! networks.
+
+use std::collections::HashSet;
+
+use crate::graph::{Network, NetworkError, NodeId, NodeKind};
+use crate::sim::Simulator;
+
+/// `Fanin(v)`: the direct predecessors of `v`.
+#[must_use]
+pub fn fanin(network: &Network, v: NodeId) -> Vec<NodeId> {
+    network.node(v).fanin.clone()
+}
+
+/// `Fanout(v)`: the direct successors of `v`.
+#[must_use]
+pub fn fanout(network: &Network, v: NodeId) -> Vec<NodeId> {
+    network
+        .iter()
+        .filter(|(_, n)| n.fanin.contains(&v))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// `TrFanin(v)`: all nodes in the transitive fanin of `v`
+/// (excluding `v` itself), following combinational and sequential
+/// edges alike.
+#[must_use]
+pub fn transitive_fanin(network: &Network, v: NodeId) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<NodeId> = network.node(v).fanin.clone();
+    while let Some(id) = stack.pop() {
+        if seen.insert(id) {
+            stack.extend(network.node(id).fanin.iter().copied());
+        }
+    }
+    seen
+}
+
+/// `TrFanout(v)`: all nodes in the transitive fanout of `v`
+/// (excluding `v` itself).
+#[must_use]
+pub fn transitive_fanout(network: &Network, v: NodeId) -> HashSet<NodeId> {
+    let fanouts = network.fanouts();
+    let mut seen = HashSet::new();
+    let mut stack: Vec<NodeId> = fanouts[v.index()].clone();
+    while let Some(id) = stack.pop() {
+        if seen.insert(id) {
+            stack.extend(fanouts[id.index()].iter().copied());
+        }
+    }
+    seen
+}
+
+/// The *combinational cone* of `root`: every gate reachable from
+/// `root` going backward without crossing a source (input, constant,
+/// flip-flop, ROM output). This is the region a LUT cover may absorb.
+#[must_use]
+pub fn combinational_cone(network: &Network, root: NodeId) -> Vec<NodeId> {
+    let mut seen = HashSet::new();
+    let mut order = Vec::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !network.node(id).kind.is_gate() || !seen.insert(id) {
+            continue;
+        }
+        order.push(id);
+        stack.extend(network.node(id).fanin.iter().copied());
+    }
+    order
+}
+
+/// Gate-level depth of every node (sources at 0); the maximum is the
+/// network's combinational depth.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError::CombinationalCycle`].
+pub fn depths(network: &Network) -> Result<Vec<usize>, NetworkError> {
+    let order = network.topo_order()?;
+    let mut depth = vec![0usize; network.len()];
+    for id in order {
+        let node = network.node(id);
+        if !node.kind.is_gate() && !matches!(node.kind, NodeKind::RomOut { .. }) {
+            continue;
+        }
+        depth[id.index()] =
+            node.fanin.iter().map(|f| depth[f.index()]).max().unwrap_or(0) + 1;
+    }
+    Ok(depth)
+}
+
+/// Summary statistics of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Combinational gates.
+    pub gates: usize,
+    /// Flip-flops.
+    pub ffs: usize,
+    /// ROM output bits.
+    pub rom_bits: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Combinational depth.
+    pub depth: usize,
+    /// Number of 2-input XOR gates — the population the paper's
+    /// countermeasure hides the target in.
+    pub xor2_gates: usize,
+}
+
+/// Computes [`NetworkStats`].
+///
+/// # Example
+///
+/// ```
+/// use netlist::{analyze, Network};
+///
+/// let mut n = Network::new();
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let x = n.xor(a, b);
+/// n.set_output("o", x);
+/// let stats = analyze::stats(&n)?;
+/// assert_eq!(stats.xor2_gates, 1);
+/// assert_eq!(stats.depth, 1);
+/// # Ok::<(), netlist::NetworkError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates validation errors.
+pub fn stats(network: &Network) -> Result<NetworkStats, NetworkError> {
+    network.validate()?;
+    let d = depths(network)?;
+    Ok(NetworkStats {
+        nodes: network.len(),
+        gates: network.gate_count(),
+        ffs: network.dff_count(),
+        rom_bits: network
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::RomOut { .. }))
+            .count(),
+        inputs: network.inputs().len(),
+        depth: d.into_iter().max().unwrap_or(0),
+        xor2_gates: network.iter().filter(|(_, n)| matches!(n.kind, NodeKind::Xor)).count(),
+    })
+}
+
+/// Brute-force combinational equivalence of two networks over their
+/// declared outputs: both must have the same number of primary inputs
+/// (≤ 20) and outputs; every input assignment is enumerated.
+///
+/// # Errors
+///
+/// Propagates validation errors from either network.
+///
+/// # Panics
+///
+/// Panics if a network has more than 20 inputs (2^20 assignments is
+/// the practical cap for the exhaustive check).
+pub fn equivalent(a: &Network, b: &Network) -> Result<bool, NetworkError> {
+    assert!(a.inputs().len() <= 20, "exhaustive check capped at 20 inputs");
+    if a.inputs().len() != b.inputs().len() || a.outputs().len() != b.outputs().len() {
+        return Ok(false);
+    }
+    let mut sim_a = Simulator::new(a)?;
+    let mut sim_b = Simulator::new(b)?;
+    for assignment in 0u64..(1 << a.inputs().len()) {
+        let drive = |inputs: &[NodeId]| -> Vec<(NodeId, bool)> {
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, (assignment >> i) & 1 == 1))
+                .collect()
+        };
+        sim_a.step(&drive(a.inputs()));
+        sim_b.step(&drive(b.inputs()));
+        for ((_, oa), (_, ob)) in a.outputs().iter().zip(b.outputs()) {
+            if sim_a.value(*oa) != sim_b.value(*ob) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Renders the network in Graphviz DOT format (combinational edges
+/// solid, sequential D-input edges dashed). Useful for inspecting the
+/// covers and the countermeasure's keep annotations.
+#[must_use]
+pub fn to_dot(network: &Network, name: &str) -> String {
+    use core::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR; node [fontsize=9];");
+    for (id, node) in network.iter() {
+        let (label, shape) = match &node.kind {
+            NodeKind::Input { name } => (name.to_string(), "invhouse"),
+            NodeKind::Const(b) => (format!("{}", u8::from(*b)), "plaintext"),
+            NodeKind::Not => ("not".into(), "invtriangle"),
+            NodeKind::And => ("and".into(), "box"),
+            NodeKind::Or => ("or".into(), "ellipse"),
+            NodeKind::Xor => ("xor".into(), "diamond"),
+            NodeKind::Mux => ("mux".into(), "trapezium"),
+            NodeKind::Dff { init } => (format!("dff[{}]", u8::from(*init)), "box3d"),
+            NodeKind::RomOut { rom, bit } => (format!("rom{}[{bit}]", rom.0), "cylinder"),
+        };
+        let style = if node.keep { ", style=bold, color=red" } else { "" };
+        let _ = writeln!(out, "  n{} [label=\"{label}\", shape={shape}{style}];", id.0);
+    }
+    for (id, node) in network.iter() {
+        let dashed = matches!(node.kind, NodeKind::Dff { .. });
+        for f in &node.fanin {
+            let attr = if dashed { " [style=dashed]" } else { "" };
+            let _ = writeln!(out, "  n{} -> n{}{attr};", f.0, id.0);
+        }
+    }
+    for (name, id) in network.outputs() {
+        let _ = writeln!(out, "  \"out_{name}\" [shape=house]; n{} -> \"out_{name}\";", id.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Network;
+
+    fn sample() -> (Network, NodeId, NodeId, NodeId, NodeId) {
+        let mut n = Network::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.xor(a, b);
+        let g = n.and(x, a);
+        n.set_output("o", g);
+        (n, a, b, x, g)
+    }
+
+    #[test]
+    fn fanin_fanout() {
+        let (n, a, b, x, g) = sample();
+        assert_eq!(fanin(&n, x), vec![a, b]);
+        assert_eq!(fanout(&n, x), vec![g]);
+        assert_eq!(fanout(&n, a).len(), 2);
+    }
+
+    #[test]
+    fn transitive_sets() {
+        let (n, a, b, x, g) = sample();
+        let tfi = transitive_fanin(&n, g);
+        assert!(tfi.contains(&a) && tfi.contains(&b) && tfi.contains(&x));
+        assert!(!tfi.contains(&g));
+        let tfo = transitive_fanout(&n, a);
+        assert!(tfo.contains(&x) && tfo.contains(&g));
+    }
+
+    #[test]
+    fn cone_stops_at_sources() {
+        let (n, _, _, x, g) = sample();
+        let cone = combinational_cone(&n, g);
+        assert!(cone.contains(&g) && cone.contains(&x));
+        assert_eq!(cone.len(), 2, "inputs are not part of the cone");
+    }
+
+    #[test]
+    fn depth_and_stats() {
+        let (n, ..) = sample();
+        let s = stats(&n).unwrap();
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.xor2_gates, 1);
+        assert_eq!(s.inputs, 2);
+    }
+
+    #[test]
+    fn dot_export_mentions_everything() {
+        let (mut n, _, _, x, _) = sample();
+        n.set_keep(x);
+        let dot = to_dot(&n, "sample");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=diamond"), "{dot}");
+        assert!(dot.contains("color=red"), "keep nodes highlighted");
+        assert!(dot.contains("out_o"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn equivalence_positive_and_negative() {
+        // a ^ b == (a & !b) | (!a & b)
+        let (n1, ..) = sample();
+        let mut n2 = Network::new();
+        let a = n2.input("a");
+        let b = n2.input("b");
+        let nb = n2.not(b);
+        let na = n2.not(a);
+        let t1 = n2.and(a, nb);
+        let t2 = n2.and(na, b);
+        let x = n2.or(t1, t2);
+        let g = n2.and(x, a);
+        n2.set_output("o", g);
+        assert!(equivalent(&n1, &n2).unwrap());
+
+        let mut n3 = Network::new();
+        let a = n3.input("a");
+        let b = n3.input("b");
+        let x = n3.or(a, b); // different function
+        let g = n3.and(x, a);
+        n3.set_output("o", g);
+        assert!(!equivalent(&n1, &n3).unwrap());
+    }
+}

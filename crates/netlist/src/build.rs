@@ -1,0 +1,241 @@
+//! Word-level construction helpers: 32-bit buses over a [`Network`].
+
+use crate::graph::{Network, NodeId, RomId};
+
+/// A 32-bit bus of net ids; index 0 is the least significant bit.
+#[derive(Debug, Clone)]
+pub struct Word32(pub Vec<NodeId>);
+
+impl Word32 {
+    /// Wraps 32 bit nets into a bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` does not have 32 elements.
+    #[must_use]
+    pub fn new(bits: Vec<NodeId>) -> Self {
+        assert_eq!(bits.len(), 32, "a Word32 needs exactly 32 bits");
+        Self(bits)
+    }
+
+    /// The bit nets, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[NodeId] {
+        &self.0
+    }
+
+    /// Bit `i` (0 = LSB).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> NodeId {
+        self.0[i]
+    }
+
+    /// Byte `b` (0 = least significant byte) as 8 nets, LSB first.
+    #[must_use]
+    pub fn byte(&self, b: usize) -> Vec<NodeId> {
+        assert!(b < 4, "byte index out of range");
+        self.0[b * 8..(b + 1) * 8].to_vec()
+    }
+}
+
+/// Word-level gate builders over a [`Network`].
+///
+/// These helpers expand 32-bit operations into two-input gates; the
+/// SNOW 3G circuit generator is written entirely in terms of them.
+pub trait WordOps {
+    /// A bus of constant drivers for `value`.
+    fn const_word(&mut self, value: u32) -> Word32;
+    /// Bitwise XOR of two buses.
+    fn xor_word(&mut self, a: &Word32, b: &Word32) -> Word32;
+    /// Bitwise XOR, returning both the result and the 32 XOR gate ids
+    /// (used to tag the target node vector `v`).
+    fn xor_word_tagged(&mut self, a: &Word32, b: &Word32) -> (Word32, Vec<NodeId>);
+    /// Bitwise AND of a bus with a single control net.
+    fn and_word_scalar(&mut self, a: &Word32, s: NodeId) -> Word32;
+    /// Per-bit multiplexer `sel ? a : b`.
+    fn mux_word(&mut self, sel: NodeId, a: &Word32, b: &Word32) -> Word32;
+    /// Ripple-carry adder modulo 2³² (the `⊞` gates of Fig. 2).
+    fn add_word(&mut self, a: &Word32, b: &Word32) -> Word32;
+    /// A bank of 32 flip-flops with the given power-up word.
+    fn dff_word(&mut self, init: u32) -> Word32;
+    /// Connects the D inputs of a flip-flop bus.
+    fn connect_dff_word(&mut self, ff: &Word32, d: &Word32);
+    /// A 256×32 ROM lookup (block-RAM model); `addr` is 8 nets, LSB
+    /// first.
+    fn rom_word(&mut self, rom: RomId, addr: &[NodeId]) -> Word32;
+    /// Left shift by 8 bits (one byte), zero fill.
+    fn shl8(&mut self, a: &Word32) -> Word32;
+    /// Right shift by 8 bits (one byte), zero fill.
+    fn shr8(&mut self, a: &Word32) -> Word32;
+}
+
+impl WordOps for Network {
+    fn const_word(&mut self, value: u32) -> Word32 {
+        Word32::new((0..32).map(|i| self.constant((value >> i) & 1 == 1)).collect())
+    }
+
+    fn xor_word(&mut self, a: &Word32, b: &Word32) -> Word32 {
+        self.xor_word_tagged(a, b).0
+    }
+
+    fn xor_word_tagged(&mut self, a: &Word32, b: &Word32) -> (Word32, Vec<NodeId>) {
+        let gates: Vec<NodeId> =
+            (0..32).map(|i| self.xor(a.bit(i), b.bit(i))).collect();
+        (Word32::new(gates.clone()), gates)
+    }
+
+    fn and_word_scalar(&mut self, a: &Word32, s: NodeId) -> Word32 {
+        Word32::new((0..32).map(|i| self.and(a.bit(i), s)).collect())
+    }
+
+    fn mux_word(&mut self, sel: NodeId, a: &Word32, b: &Word32) -> Word32 {
+        Word32::new((0..32).map(|i| self.mux(sel, a.bit(i), b.bit(i))).collect())
+    }
+
+    fn add_word(&mut self, a: &Word32, b: &Word32) -> Word32 {
+        let mut sum = Vec::with_capacity(32);
+        let mut carry: Option<NodeId> = None;
+        for i in 0..32 {
+            let p = self.xor(a.bit(i), b.bit(i)); // propagate
+            let g = self.and(a.bit(i), b.bit(i)); // generate
+            match carry {
+                None => {
+                    sum.push(p);
+                    carry = Some(g);
+                }
+                Some(c) => {
+                    let s = self.xor(p, c);
+                    sum.push(s);
+                    if i < 31 {
+                        let pc = self.and(p, c);
+                        let cout = self.or(g, pc);
+                        carry = Some(cout);
+                    }
+                }
+            }
+        }
+        Word32::new(sum)
+    }
+
+    fn dff_word(&mut self, init: u32) -> Word32 {
+        Word32::new((0..32).map(|i| self.dff((init >> i) & 1 == 1)).collect())
+    }
+
+    fn connect_dff_word(&mut self, ff: &Word32, d: &Word32) {
+        for i in 0..32 {
+            self.connect_dff(ff.bit(i), d.bit(i));
+        }
+    }
+
+    fn rom_word(&mut self, rom: RomId, addr: &[NodeId]) -> Word32 {
+        Word32::new(self.rom_outputs(rom, addr))
+    }
+
+    fn shl8(&mut self, a: &Word32) -> Word32 {
+        let zero = self.constant(false);
+        let mut bits = vec![zero; 8];
+        bits.extend_from_slice(&a.bits()[..24]);
+        Word32::new(bits)
+    }
+
+    fn shr8(&mut self, a: &Word32) -> Word32 {
+        let zero = self.constant(false);
+        let mut bits = a.bits()[8..].to_vec();
+        bits.extend(std::iter::repeat_n(zero, 8));
+        Word32::new(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    /// Drives `word` as inputs is impossible (consts only), so build
+    /// arithmetic from constant words and check the result via sim.
+    fn eval_binop(f: impl Fn(&mut Network, &Word32, &Word32) -> Word32, a: u32, b: u32) -> u32 {
+        let mut n = Network::new();
+        let wa = n.const_word(a);
+        let wb = n.const_word(b);
+        let out = f(&mut n, &wa, &wb);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[]);
+        sim.word(out.bits())
+    }
+
+    #[test]
+    fn adder_matches_wrapping_add() {
+        let cases = [
+            (0u32, 0u32),
+            (1, 1),
+            (0xFFFF_FFFF, 1),
+            (0x8000_0000, 0x8000_0000),
+            (0x2BD6_459F, 0x82C5_B300),
+            (0xDEAD_BEEF, 0x0BAD_F00D),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                eval_binop(|n, x, y| n.add_word(x, y), a, b),
+                a.wrapping_add(b),
+                "{a:#x} + {b:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_matches() {
+        assert_eq!(
+            eval_binop(|n, x, y| n.xor_word(x, y), 0xAAAA5555, 0x0F0F0F0F),
+            0xAAAA5555 ^ 0x0F0F0F0F
+        );
+    }
+
+    #[test]
+    fn shifts_match() {
+        let mut n = Network::new();
+        let w = n.const_word(0x12345678);
+        let l = n.shl8(&w);
+        let r = n.shr8(&w);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[]);
+        assert_eq!(sim.word(l.bits()), 0x12345678u32 << 8);
+        assert_eq!(sim.word(r.bits()), 0x12345678u32 >> 8);
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut n = Network::new();
+        let sel = n.input("sel");
+        let a = n.const_word(0xAAAAAAAA);
+        let b = n.const_word(0x55555555);
+        let m = n.mux_word(sel, &a, &b);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[(sel, true)]);
+        assert_eq!(sim.word(m.bits()), 0xAAAAAAAA);
+        sim.step(&[(sel, false)]);
+        assert_eq!(sim.word(m.bits()), 0x55555555);
+    }
+
+    #[test]
+    fn dff_word_latches() {
+        let mut n = Network::new();
+        let ff = n.dff_word(0);
+        let d = n.const_word(0xCAFEBABE);
+        n.connect_dff_word(&ff, &d);
+        let mut sim = Simulator::new(&n).unwrap();
+        assert_eq!(sim.word(ff.bits()), 0);
+        sim.step(&[]);
+        assert_eq!(sim.word(ff.bits()), 0xCAFEBABE);
+    }
+
+    #[test]
+    fn byte_extraction() {
+        let mut n = Network::new();
+        let w = n.const_word(0x11223344);
+        let b3 = w.byte(3);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[]);
+        let v = b3.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | (u8::from(sim.value(b)) << i));
+        assert_eq!(v, 0x11);
+    }
+}

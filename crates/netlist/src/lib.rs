@@ -1,0 +1,30 @@
+//! Gate-level Boolean networks and a SNOW 3G circuit generator.
+//!
+//! This crate is the "VHDL implementation" substrate of the
+//! reproduction: it models a synthesized design as a Boolean network
+//! `N = (V, E)` (Section II-A of the paper) with primary inputs,
+//! two-input gates, multiplexers, D flip-flops and block-ROM outputs,
+//! provides a reference cycle simulator, and generates the complete
+//! SNOW 3G circuit of Figs. 2 and 3 — LFSR, FSM, T-table S-boxes,
+//! `MULα`/`DIVα` ROMs, ripple-carry adders, load multiplexers with the
+//! key folded in as constants, and the mode control FSM.
+//!
+//! The [`snow3g_circuit`] generator can emit the *unprotected* design
+//! attacked in Section VI or the *protected* design of Section VII, in
+//! which the target XOR vector `v` and five decoy XOR vectors carry
+//! `KEEP`/`DONT_TOUCH`-style attributes that constrain technology
+//! mapping to trivial cuts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod build;
+pub mod protect;
+pub mod graph;
+pub mod sim;
+pub mod snow3g_circuit;
+
+pub use graph::{Network, NetworkError, Node, NodeId, NodeKind, RomId};
+pub use sim::Simulator;
+pub use snow3g_circuit::{Snow3gCircuit, Snow3gCircuitConfig};

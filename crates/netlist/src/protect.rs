@@ -1,0 +1,186 @@
+//! The generic countermeasure pass (Section VII-A).
+//!
+//! The paper's defence constrains technology mapping so that target
+//! nodes — and `r` decoy nodes *with the same function* — are covered
+//! by trivial cuts, and notes that the transformation "can be
+//! automated and incorporated into industrial design tools" and that
+//! the performance penalty can be reduced "by choosing to cover by
+//! trivial cuts the nodes u ∈ U which are at non-critical paths".
+//!
+//! [`protect`] is that automated pass: given any network and a set of
+//! target nodes, it marks the targets `KEEP` plus up to `r` decoys
+//! drawn from the same-function population `U`, preferring shallow
+//! (non-critical) nodes.
+
+use crate::analyze;
+use crate::graph::{Network, NetworkError, NodeId, NodeKind};
+
+/// Outcome of a [`protect`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectReport {
+    /// Target nodes marked.
+    pub targets: usize,
+    /// Decoy nodes marked.
+    pub decoys: usize,
+    /// Size of the same-function population `U` the decoys were
+    /// drawn from (excluding the targets).
+    pub population: usize,
+}
+
+/// Two nodes "implement the same function" for decoy purposes when
+/// they are the same gate kind (the paper's `f_u = f_v` for the
+/// 2-input XOR targets; commutative 2-input gates have a single
+/// function up to input order).
+fn same_function(a: &NodeKind, b: &NodeKind) -> bool {
+    matches!(
+        (a, b),
+        (NodeKind::Xor, NodeKind::Xor)
+            | (NodeKind::And, NodeKind::And)
+            | (NodeKind::Or, NodeKind::Or)
+            | (NodeKind::Not, NodeKind::Not)
+            | (NodeKind::Mux, NodeKind::Mux)
+    )
+}
+
+/// Marks `targets` and up to `decoy_count` same-function decoys with
+/// the `KEEP` attribute, preferring decoys with the smallest logic
+/// depth (non-critical placement, per the paper's §VII-A remark).
+///
+/// Returns the marking report.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{protect, Network};
+///
+/// let mut n = Network::new();
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let x1 = n.xor(a, b);       // the target
+/// let x2 = n.xor(x1, a);      // a same-function decoy
+/// n.set_output("o", x2);
+/// let report = protect::protect(&mut n, &[x1], 8)?;
+/// assert_eq!(report.targets, 1);
+/// assert_eq!(report.decoys, 1);
+/// # Ok::<(), netlist::NetworkError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates validation errors (the depth analysis needs an acyclic
+/// combinational network).
+///
+/// # Panics
+///
+/// Panics if a target id is out of range.
+pub fn protect(
+    network: &mut Network,
+    targets: &[NodeId],
+    decoy_count: usize,
+) -> Result<ProtectReport, NetworkError> {
+    let depths = analyze::depths(network)?;
+    for &t in targets {
+        network.set_keep(t);
+    }
+    // The population U: same-function nodes that are not targets.
+    let mut candidates: Vec<(usize, NodeId)> = network
+        .iter()
+        .filter(|(id, node)| {
+            node.kind.is_gate()
+                && !targets.contains(id)
+                && targets.iter().any(|&t| same_function(&network.node(t).kind, &node.kind))
+        })
+        .map(|(id, _)| (depths[id.index()], id))
+        .collect();
+    let population = candidates.len();
+    // Prefer shallow nodes: keeping them trivial costs the least
+    // slack. Deterministic tie-break by node id.
+    candidates.sort_unstable();
+    let chosen: Vec<NodeId> =
+        candidates.into_iter().take(decoy_count).map(|(_, id)| id).collect();
+    for &d in &chosen {
+        network.set_keep(d);
+    }
+    Ok(ProtectReport { targets: targets.len(), decoys: chosen.len(), population })
+}
+
+/// The Lemma VII-A decoy budget for `m` targets and a security level
+/// of `bits`: the smallest `r` such that `C(m + r, m) ≥ 2^bits`
+/// (computed exactly, not via the Stirling bound).
+#[must_use]
+pub fn decoys_for_security(m: u64, bits: f64) -> u64 {
+    // log2 C(m+r, m) grows monotonically in r.
+    let log2_binomial = |n: u64, m: u64| -> f64 {
+        let m = m.min(n - m);
+        let mut ln = 0.0f64;
+        for i in 0..m {
+            ln += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+        }
+        ln / core::f64::consts::LN_2
+    };
+    let mut r = 0u64;
+    while log2_binomial(m + r, m) < bits {
+        r += m.max(1); // the paper sizes r in multiples of the word width
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::equivalent;
+
+    fn xor_network() -> (Network, Vec<NodeId>) {
+        let mut n = Network::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let x1 = n.xor(a, b); // depth 1
+        let x2 = n.xor(x1, c); // depth 2
+        let x3 = n.xor(x2, a); // depth 3
+        let g = n.and(x3, b);
+        n.set_output("o", g);
+        (n, vec![x1, x2, x3])
+    }
+
+    #[test]
+    fn marks_targets_and_shallow_decoys() {
+        let (mut n, xors) = xor_network();
+        let target = xors[2]; // the deepest XOR
+        let report = protect(&mut n, &[target], 1).unwrap();
+        assert_eq!(report.targets, 1);
+        assert_eq!(report.decoys, 1);
+        assert_eq!(report.population, 2);
+        assert!(n.node(target).keep);
+        // The shallowest same-function node is chosen as decoy.
+        assert!(n.node(xors[0]).keep);
+        assert!(!n.node(xors[1]).keep);
+    }
+
+    #[test]
+    fn protection_does_not_change_function() {
+        let (reference, _) = xor_network();
+        let (mut protected, xors) = xor_network();
+        protect(&mut protected, &xors, 10).unwrap();
+        assert!(equivalent(&reference, &protected).unwrap());
+    }
+
+    #[test]
+    fn decoy_count_capped_by_population() {
+        let (mut n, xors) = xor_network();
+        let report = protect(&mut n, &[xors[0]], 100).unwrap();
+        assert_eq!(report.decoys, 2, "only two other XORs exist");
+    }
+
+    #[test]
+    fn lemma_budget() {
+        // m = 32, 128 bits: r = 32x with x ≥ 4.886 → r = 160 by the
+        // bound; the exact binomial reaches 2^128 a little later.
+        let r = decoys_for_security(32, 128.0);
+        assert_eq!(r % 32, 0);
+        assert!(r >= 160, "exact budget at least the Stirling estimate: {r}");
+        assert!(r <= 320, "budget should be moderate: {r}");
+        // Sanity at small scale.
+        assert_eq!(decoys_for_security(1, 3.0), 7); // C(8,1) = 8 ≥ 2^3
+    }
+}

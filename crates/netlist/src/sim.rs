@@ -1,0 +1,252 @@
+//! A reference cycle simulator for [`Network`]s.
+
+use crate::graph::{Network, NetworkError, NodeId, NodeKind};
+
+/// A two-phase (evaluate, then latch) simulator.
+///
+/// Flip-flops power up at their `init` value, mirroring FPGA
+/// configuration (GSR). Each [`Simulator::step`] evaluates all
+/// combinational logic with the current register values and input
+/// assignment, then latches every flip-flop's D input.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Network, Simulator};
+///
+/// let mut n = Network::new();
+/// let ff = n.dff(false);
+/// let inv = n.not(ff);
+/// n.connect_dff(ff, inv);
+/// n.set_output("q", ff);
+///
+/// let mut sim = Simulator::new(&n)?;
+/// assert!(!sim.output("q").unwrap());
+/// sim.step(&[]);
+/// assert!(sim.output("q").unwrap());
+/// # Ok::<(), netlist::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    network: &'a Network,
+    order: Vec<NodeId>,
+    values: Vec<bool>,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator; validates the network first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetworkError`] from validation.
+    pub fn new(network: &'a Network) -> Result<Self, NetworkError> {
+        network.validate()?;
+        let order = network.topo_order()?;
+        let mut values = vec![false; network.len()];
+        for (id, node) in network.iter() {
+            if let NodeKind::Dff { init } = node.kind {
+                values[id.index()] = init;
+            }
+        }
+        let mut sim = Self { network, order, values, cycle: 0 };
+        // Settle combinational logic for the power-up state with all
+        // inputs low so that pre-step reads are meaningful.
+        sim.evaluate(&[]);
+        Ok(sim)
+    }
+
+    /// The current value of node `id` (combinational values are those
+    /// of the most recent evaluation).
+    #[must_use]
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// The current value of named output `name`.
+    #[must_use]
+    pub fn output(&self, name: &str) -> Option<bool> {
+        self.network.output(name).map(|id| self.value(id))
+    }
+
+    /// Reads a 32-bit word from 32 output nodes, `bits[0]` the LSB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` does not have exactly 32 elements.
+    #[must_use]
+    pub fn word(&self, bits: &[NodeId]) -> u32 {
+        assert_eq!(bits.len(), 32, "expected 32 bit nodes");
+        bits.iter().enumerate().fold(0u32, |acc, (i, &b)| acc | (u32::from(self.value(b)) << i))
+    }
+
+    /// Number of clock cycles executed so far.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn evaluate(&mut self, inputs: &[(NodeId, bool)]) {
+        for &(id, v) in inputs {
+            debug_assert!(
+                matches!(self.network.node(id).kind, NodeKind::Input { .. }),
+                "{id} is not a primary input"
+            );
+            self.values[id.index()] = v;
+        }
+        for &id in &self.order {
+            let node = self.network.node(id);
+            let v = match &node.kind {
+                NodeKind::Input { .. } | NodeKind::Dff { .. } => continue,
+                NodeKind::Const(b) => *b,
+                NodeKind::Not => !self.values[node.fanin[0].index()],
+                NodeKind::And => {
+                    self.values[node.fanin[0].index()] && self.values[node.fanin[1].index()]
+                }
+                NodeKind::Or => {
+                    self.values[node.fanin[0].index()] || self.values[node.fanin[1].index()]
+                }
+                NodeKind::Xor => {
+                    self.values[node.fanin[0].index()] ^ self.values[node.fanin[1].index()]
+                }
+                NodeKind::Mux => {
+                    if self.values[node.fanin[0].index()] {
+                        self.values[node.fanin[1].index()]
+                    } else {
+                        self.values[node.fanin[2].index()]
+                    }
+                }
+                NodeKind::RomOut { rom, bit } => {
+                    let mut addr = 0usize;
+                    for (i, &a) in node.fanin.iter().enumerate() {
+                        addr |= usize::from(self.values[a.index()]) << i;
+                    }
+                    (self.network.rom_table(*rom)[addr] >> bit) & 1 == 1
+                }
+            };
+            self.values[id.index()] = v;
+        }
+    }
+
+    /// Runs one clock cycle: evaluates combinational logic with the
+    /// given input assignment, then latches all flip-flops.
+    pub fn step(&mut self, inputs: &[(NodeId, bool)]) {
+        self.evaluate(inputs);
+        // Latch phase: read all D values first, then commit, so that
+        // register-to-register paths see pre-edge values.
+        let mut latched = Vec::new();
+        for (id, node) in self.network.iter() {
+            if matches!(node.kind, NodeKind::Dff { .. }) {
+                latched.push((id, self.values[node.fanin[0].index()]));
+            }
+        }
+        for (id, v) in latched {
+            self.values[id.index()] = v;
+        }
+        self.cycle += 1;
+        // Re-evaluate so post-step combinational reads reflect the new
+        // register state.
+        self.evaluate(inputs);
+    }
+
+    /// Runs `n` cycles with a constant input assignment.
+    pub fn run(&mut self, n: usize, inputs: &[(NodeId, bool)]) {
+        for _ in 0..n {
+            self.step(inputs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Network;
+
+    #[test]
+    fn combinational_gates() {
+        let mut n = Network::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let and = n.and(a, b);
+        let or = n.or(a, b);
+        let xor = n.xor(a, b);
+        let not = n.not(a);
+        let mux = n.mux(a, b, not);
+        for (ids, f) in [
+            (and, (|x: bool, y: bool| x && y) as fn(bool, bool) -> bool),
+            (or, |x, y| x || y),
+            (xor, |x, y| x ^ y),
+        ] {
+            for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+                let mut sim = Simulator::new(&n).unwrap();
+                sim.step(&[(a, va), (b, vb)]);
+                assert_eq!(sim.value(ids), f(va, vb), "a={va} b={vb}");
+            }
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[(a, true), (b, false)]);
+        assert!(!sim.value(mux), "mux selects b when a is true");
+        sim.step(&[(a, false), (b, false)]);
+        assert!(sim.value(mux), "mux selects !a when a is false");
+    }
+
+    #[test]
+    fn toggle_ff() {
+        let mut n = Network::new();
+        let ff = n.dff(false);
+        let inv = n.not(ff);
+        n.connect_dff(ff, inv);
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut expected = false;
+        for _ in 0..8 {
+            assert_eq!(sim.value(ff), expected);
+            sim.step(&[]);
+            expected = !expected;
+        }
+    }
+
+    #[test]
+    fn shift_register_moves_one_per_cycle() {
+        let mut n = Network::new();
+        let a = n.input("a");
+        let f1 = n.dff(false);
+        let f2 = n.dff(false);
+        n.connect_dff(f1, a);
+        n.connect_dff(f2, f1);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step(&[(a, true)]);
+        assert!(sim.value(f1));
+        assert!(!sim.value(f2));
+        sim.step(&[(a, false)]);
+        assert!(!sim.value(f1));
+        assert!(sim.value(f2));
+    }
+
+    #[test]
+    fn rom_lookup() {
+        let mut n = Network::new();
+        let mut table = [0u32; 256];
+        for (i, t) in table.iter_mut().enumerate() {
+            *t = (i as u32).wrapping_mul(0x01010101);
+        }
+        let addr: Vec<_> = (0..8).map(|i| n.input(format!("a{i}"))).collect();
+        let rom = n.add_rom(table);
+        let outs = n.rom_outputs(rom, &addr);
+        let mut sim = Simulator::new(&n).unwrap();
+        let inputs: Vec<_> = addr.iter().enumerate().map(|(i, &a)| (a, (0xA5 >> i) & 1 == 1)).collect();
+        sim.step(&inputs);
+        assert_eq!(sim.word(&outs), 0xA5A5A5A5);
+    }
+
+    #[test]
+    fn power_up_values() {
+        let mut n = Network::new();
+        let f0 = n.dff(true);
+        let f1 = n.dff(false);
+        n.connect_dff(f0, f0);
+        n.connect_dff(f1, f1);
+        let sim = Simulator::new(&n).unwrap();
+        assert!(sim.value(f0));
+        assert!(!sim.value(f1));
+    }
+}

@@ -1,0 +1,405 @@
+//! A gate-level SNOW 3G circuit, standing in for the VHDL
+//! implementation attacked by the paper.
+//!
+//! The generated design follows Figs. 2 and 3:
+//!
+//! * sixteen 32-bit LFSR stages with per-bit load multiplexers whose
+//!   `γ(K, IV)` side is a *constant* — the key is stored in the
+//!   bitstream, as the paper's attack model assumes;
+//! * the FSM registers `R1`, `R2`, `R3`, with `S1`/`S2` evaluated as
+//!   XORs of four 256×32 block-ROM T-tables (the paper notes the
+//!   S-boxes are "evaluated by a Block RAM lookup");
+//! * the `MULα`/`DIVα` ROMs and byte-shift XOR network of the
+//!   feedback;
+//! * two ripple-carry adders (`⊞`);
+//! * a mode-control counter producing `c_load`, `c_init` and the
+//!   keystream-valid signal, plus the external enable `c_run`.
+//!
+//! The structure around the target node `v = (s₁₅ ⊞ R1) ⊕ R2` is
+//! gated such that a 6-feasible cut of the keystream output cone is
+//! exactly the paper's `f₂ = (a₁⊕a₂⊕a₃)a₄a₅ā₆` (P-class) and a
+//! 6-feasible cut of the feedback cone is exactly `f₈ =
+//! (a₁⊕a₂)ā₃a₄a₅ ⊕ a₆` (P-class).
+
+use snow3g::cipher::{gamma, Iv, Key};
+use snow3g::tables;
+
+use crate::build::{Word32, WordOps};
+use crate::graph::{Network, NodeId};
+
+/// Configuration of the generated circuit.
+#[derive(Debug, Clone, Copy)]
+pub struct Snow3gCircuitConfig {
+    /// The key folded into the load-multiplexer constants.
+    pub key: Key,
+    /// The IV folded into the load-multiplexer constants.
+    pub iv: Iv,
+    /// When set, applies the Section VII-A countermeasure: the target
+    /// XOR vector `v` and five additional 32-bit XOR vectors are
+    /// marked `KEEP`, forcing technology mapping to cover each 2-input
+    /// XOR with a trivial cut.
+    pub protected: bool,
+}
+
+impl Snow3gCircuitConfig {
+    /// An unprotected circuit for the given secrets.
+    #[must_use]
+    pub fn unprotected(key: Key, iv: Iv) -> Self {
+        Self { key, iv, protected: false }
+    }
+
+    /// A countermeasure-protected circuit for the given secrets.
+    #[must_use]
+    pub fn protected(key: Key, iv: Iv) -> Self {
+        Self { key, iv, protected: true }
+    }
+}
+
+/// Number of clock cycles from power-up until the first keystream
+/// word is available in the output register: 1 load cycle + 32
+/// initialization rounds + 1 discarded keystream-mode clocking.
+pub const WARMUP_CYCLES: usize = 34;
+
+/// The generated SNOW 3G circuit plus ground-truth metadata.
+///
+/// The metadata fields (`v_nodes`, `load_mux_nodes`, ...) identify
+/// design structures for *tests and evaluation*; the attack code never
+/// reads them — it only sees bitstream bytes and keystream words.
+#[derive(Debug, Clone)]
+pub struct Snow3gCircuit {
+    /// The gate-level network.
+    pub network: Network,
+    /// External enable input (`c_run`); must be driven high.
+    pub run: NodeId,
+    /// The 32 keystream output register bits, LSB first.
+    pub z_out: Vec<NodeId>,
+    /// The keystream-valid signal (high from the first keystream
+    /// cycle on).
+    pub valid: NodeId,
+    /// Ground truth: the 32 XOR gates of the target node vector `v`
+    /// (`W = (s₁₅ ⊞ R1) ⊕ R2`), LSB first.
+    pub v_nodes: Vec<NodeId>,
+    /// Ground truth: the 32 XOR gates of `z = s₀ ⊕ W`.
+    pub z_xor_nodes: Vec<NodeId>,
+    /// Ground truth: the 512 load-multiplexer nodes (16 stages × 32
+    /// bits, stage-major), each `c_load ? γ_bit : shift_in`.
+    pub load_mux_nodes: Vec<NodeId>,
+    /// Ground truth: the loaded state `γ(K, IV)`.
+    pub gamma: [u32; 16],
+    /// Whether the countermeasure was applied.
+    pub protected: bool,
+}
+
+impl Snow3gCircuit {
+    /// Generates the circuit.
+    #[must_use]
+    pub fn generate(config: Snow3gCircuitConfig) -> Self {
+        let mut n = Network::new();
+        let g = gamma(config.key, config.iv);
+
+        // --- Control ---------------------------------------------------
+        let run = n.input("run");
+        let cnt: Vec<NodeId> = (0..6).map(|_| n.dff(false)).collect();
+        // Saturating increment: next = cnt + 1, all-ones once reached.
+        let mut inc = Vec::with_capacity(6);
+        let mut carry: Option<NodeId> = None;
+        for &bit in &cnt {
+            match carry {
+                None => {
+                    let s = n.not(bit);
+                    inc.push(s);
+                    carry = Some(bit);
+                }
+                Some(c) => {
+                    let s = n.xor(bit, c);
+                    inc.push(s);
+                    let c2 = n.and(bit, c);
+                    carry = Some(c2);
+                }
+            }
+        }
+        let sat = {
+            let a = n.and(cnt[0], cnt[1]);
+            let b = n.and(cnt[2], cnt[3]);
+            let c = n.and(cnt[4], cnt[5]);
+            let ab = n.and(a, b);
+            n.and(ab, c)
+        };
+        for (i, &bit) in cnt.iter().enumerate() {
+            let next = n.or(inc[i], sat);
+            n.connect_dff(bit, next);
+        }
+        // Mode signals are REGISTERED (one-cycle lookahead from the
+        // counter), as a timing-conscious RTL author would write them.
+        // Registered controls are also mapping boundaries, which keeps
+        // the LUT covers around the target node v in the shapes the
+        // paper reports (f2/f8).
+        //
+        // c_load: high only in the very first cycle after
+        // configuration.
+        let c_load = n.dff(true);
+        let zero = n.constant(false);
+        n.connect_dff(c_load, zero);
+        // c_init for the NEXT cycle: next_cnt ∈ [1, 32] ⟺ cnt ∈ [0, 31]
+        // ⟺ ¬cnt5 (the counter saturates far above 32).
+        let c_init = n.dff(false);
+        let not_cnt5 = n.not(cnt[5]);
+        n.connect_dff(c_init, not_cnt5);
+        // valid for the NEXT cycle: next_cnt ≥ 34 ⟺ cnt ≥ 33
+        // ⟺ cnt5 & (cnt0 | cnt1 | cnt2 | cnt3 | cnt4).
+        let low_or = {
+            let a = n.or(cnt[0], cnt[1]);
+            let b = n.or(cnt[2], cnt[3]);
+            let ab = n.or(a, b);
+            n.or(ab, cnt[4])
+        };
+        let ge33 = n.and(cnt[5], low_or);
+        let valid = n.dff(false);
+        n.connect_dff(valid, ge33);
+        let not_load = n.not(c_load);
+
+        // --- State registers -------------------------------------------
+        let s: Vec<Word32> = (0..16).map(|_| n.dff_word(0)).collect();
+        let r1 = n.dff_word(0);
+        let r2 = n.dff_word(0);
+        let r3 = n.dff_word(0);
+
+        // --- ROMs (block RAMs) -----------------------------------------
+        let s1_t = tables::s1_t_tables();
+        let s2_t = tables::s2_t_tables();
+        let rom_s1: Vec<_> = (0..4).map(|i| n.add_rom(s1_t[i])).collect();
+        let rom_s2: Vec<_> = (0..4).map(|i| n.add_rom(s2_t[i])).collect();
+        let rom_mula = n.add_rom(*tables::mul_alpha_table());
+        let rom_diva = n.add_rom(*tables::div_alpha_table());
+
+        // --- FSM ---------------------------------------------------------
+        // add1 = s15 ⊞ R1.
+        let add1 = n.add_word(&s[15], &r1);
+        // v = W = add1 ⊕ R2 — the target node vector.
+        let (w, v_nodes) = n.xor_word_tagged(&add1, &r2);
+        // r = R2 ⊞ (R3 ⊕ s5).
+        let (r3_x_s5, r3_s5_nodes) = n.xor_word_tagged(&r3, &s[5]);
+        let r_new = n.add_word(&r2, &r3_x_s5);
+        // S1(R1), S2(R2) via T-table ROMs. T0 is addressed by the most
+        // significant byte.
+        let s1_out = {
+            let t0 = n.rom_word(rom_s1[0], &r1.byte(3));
+            let t1 = n.rom_word(rom_s1[1], &r1.byte(2));
+            let t2 = n.rom_word(rom_s1[2], &r1.byte(1));
+            let t3 = n.rom_word(rom_s1[3], &r1.byte(0));
+            let x01 = n.xor_word(&t0, &t1);
+            let x23 = n.xor_word(&t2, &t3);
+            n.xor_word(&x01, &x23)
+        };
+        let s2_out = {
+            let t0 = n.rom_word(rom_s2[0], &r2.byte(3));
+            let t1 = n.rom_word(rom_s2[1], &r2.byte(2));
+            let t2 = n.rom_word(rom_s2[2], &r2.byte(1));
+            let t3 = n.rom_word(rom_s2[3], &r2.byte(0));
+            let x01 = n.xor_word(&t0, &t1);
+            let x23 = n.xor_word(&t2, &t3);
+            n.xor_word(&x01, &x23)
+        };
+        // Register updates; all FSM registers reset to 0 in the load
+        // cycle (paper: "R1, R2, R3 ... are loaded with 0s").
+        let r1_next = n.and_word_scalar(&r_new, not_load);
+        let r2_next = n.and_word_scalar(&s1_out, not_load);
+        let r3_next = n.and_word_scalar(&s2_out, not_load);
+        n.connect_dff_word(&r1, &r1_next);
+        n.connect_dff_word(&r2, &r2_next);
+        n.connect_dff_word(&r3, &r3_next);
+
+        // --- LFSR feedback -----------------------------------------------
+        // α·s0 = (s0 << 8) ⊕ MULα(s0[31:24]).
+        let mula_out = n.rom_word(rom_mula, &s[0].byte(3));
+        let s0_shl = n.shl8(&s[0]);
+        let (alpha_s0, alpha_nodes) = n.xor_word_tagged(&s0_shl, &mula_out);
+        // α⁻¹·s11 = (s11 >> 8) ⊕ DIVα(s11[7:0]).
+        let diva_out = n.rom_word(rom_diva, &s[11].byte(0));
+        let s11_shr = n.shr8(&s[11]);
+        let (alphainv_s11, _alphainv_nodes) = n.xor_word_tagged(&s11_shr, &diva_out);
+        // lin = α·s0 ⊕ s2 ⊕ α⁻¹·s11.
+        let (lin_a, lin_a_nodes) = n.xor_word_tagged(&alpha_s0, &s[2]);
+        let (lin, lin_b_nodes) = n.xor_word_tagged(&lin_a, &alphainv_s11);
+        // The FSM word is consumed only during initialization:
+        // fb = lin ⊕ (W & c_init & c_run & ¬c_load). The gating chain
+        // makes the natural 6-feasible cut of fb's cone equal the
+        // paper's f8 = (a1⊕a2)·ā3·a4·a5 ⊕ a6 up to input permutation.
+        let w_gated: Vec<NodeId> = (0..32)
+            .map(|i| {
+                let g1 = n.and(w.bit(i), c_init);
+                let g2 = n.and(g1, run);
+                n.and(g2, not_load)
+            })
+            .collect();
+        let w_gated = Word32::new(w_gated);
+        let fb = n.xor_word(&w_gated, &lin);
+
+        // --- LFSR stage updates (load MUXes with γ constants) ------------
+        let mut load_mux_nodes = Vec::with_capacity(512);
+        for j in 0..16 {
+            let shift_in: Word32 = if j < 15 { s[j + 1].clone() } else { fb.clone() };
+            let mut next_bits = Vec::with_capacity(32);
+            for i in 0..32 {
+                let gbit = n.constant((g[j] >> i) & 1 == 1);
+                let m = n.mux(c_load, gbit, shift_in.bit(i));
+                load_mux_nodes.push(m);
+                next_bits.push(m);
+            }
+            let next = Word32::new(next_bits);
+            n.connect_dff_word(&s[j], &next);
+        }
+
+        // --- Keystream output ---------------------------------------------
+        // z = (s0 ⊕ W) gated by valid, run and ¬c_load; the natural
+        // 6-feasible cut is the paper's f2 = (a1⊕a2⊕a3)·a4·a5·ā6 up to
+        // input permutation.
+        let (zx, z_xor_nodes) = n.xor_word_tagged(&s[0], &w);
+        let z_gated: Vec<NodeId> = (0..32)
+            .map(|i| {
+                let o1 = n.and(zx.bit(i), valid);
+                let o2 = n.and(o1, run);
+                n.and(o2, not_load)
+            })
+            .collect();
+        let z_reg = n.dff_word(0);
+        n.connect_dff_word(&z_reg, &Word32::new(z_gated));
+
+        for (i, &bit) in z_reg.bits().iter().enumerate() {
+            n.set_output(format!("z{i}"), bit);
+        }
+        let valid_reg = n.dff(false);
+        n.connect_dff(valid_reg, valid);
+        n.set_output("valid", valid_reg);
+
+        // --- Countermeasure ------------------------------------------------
+        if config.protected {
+            for nodes in [
+                &v_nodes,
+                &z_xor_nodes,
+                &r3_s5_nodes,
+                &alpha_nodes,
+                &lin_a_nodes,
+                &lin_b_nodes,
+            ] {
+                for &id in nodes.iter() {
+                    n.set_keep(id);
+                }
+            }
+        }
+
+        Self {
+            network: n,
+            run,
+            z_out: z_reg.bits().to_vec(),
+            valid: valid_reg,
+            v_nodes,
+            z_xor_nodes,
+            load_mux_nodes,
+            gamma: g,
+            protected: config.protected,
+        }
+    }
+
+    /// Runs the circuit with the reference simulator and collects `n`
+    /// keystream words — the specification-level check that the
+    /// netlist implements SNOW 3G.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network fails validation (generator bug).
+    #[must_use]
+    pub fn simulate_keystream(&self, words: usize) -> Vec<u32> {
+        let mut sim = crate::sim::Simulator::new(&self.network).expect("generated network is valid");
+        let inputs = [(self.run, true)];
+        sim.run(WARMUP_CYCLES, &inputs);
+        let mut out = Vec::with_capacity(words);
+        for _ in 0..words {
+            sim.step(&inputs);
+            debug_assert!(sim.value(self.valid), "valid must be high in keystream phase");
+            out.push(sim.word(&self.z_out));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+    use snow3g::Snow3g;
+
+    fn test_circuit(protected: bool) -> Snow3gCircuit {
+        let cfg = Snow3gCircuitConfig { key: TEST_SET_1_KEY, iv: TEST_SET_1_IV, protected };
+        Snow3gCircuit::generate(cfg)
+    }
+
+    #[test]
+    fn circuit_matches_software_model() {
+        let circuit = test_circuit(false);
+        let hw = circuit.simulate_keystream(8);
+        let sw = Snow3g::new(TEST_SET_1_KEY, TEST_SET_1_IV).keystream(8);
+        assert_eq!(hw, sw, "gate-level circuit must match the software model");
+    }
+
+    #[test]
+    fn circuit_matches_etsi_vector() {
+        let circuit = test_circuit(false);
+        let hw = circuit.simulate_keystream(2);
+        assert_eq!(hw, vec![0xABEE9704, 0x7AC31373]);
+    }
+
+    #[test]
+    fn protected_circuit_same_function() {
+        let unprot = test_circuit(false).simulate_keystream(4);
+        let prot = test_circuit(true).simulate_keystream(4);
+        assert_eq!(unprot, prot, "the countermeasure must not change functionality");
+    }
+
+    #[test]
+    fn protected_marks_keep_nodes() {
+        let c = test_circuit(true);
+        let marked = c.network.nodes().iter().filter(|n| n.keep).count();
+        assert_eq!(marked, 6 * 32, "v plus five decoy XOR vectors");
+        let u = test_circuit(false);
+        assert_eq!(u.network.nodes().iter().filter(|n| n.keep).count(), 0);
+    }
+
+    #[test]
+    fn metadata_sizes() {
+        let c = test_circuit(false);
+        assert_eq!(c.v_nodes.len(), 32);
+        assert_eq!(c.z_xor_nodes.len(), 32);
+        assert_eq!(c.load_mux_nodes.len(), 512);
+        assert_eq!(c.network.rom_count(), 10);
+    }
+
+    #[test]
+    fn different_keys_give_different_circuits_same_shape() {
+        use snow3g::{Iv, Key};
+        let a = Snow3gCircuit::generate(Snow3gCircuitConfig::unprotected(
+            Key([1, 2, 3, 4]),
+            Iv([5, 6, 7, 8]),
+        ));
+        let b = test_circuit(false);
+        assert_eq!(a.network.len(), b.network.len(), "same structure");
+        let za = a.simulate_keystream(2);
+        let zb = b.simulate_keystream(2);
+        assert_ne!(za, zb, "different constants");
+        let sw = Snow3g::new(Key([1, 2, 3, 4]), Iv([5, 6, 7, 8])).keystream(2);
+        assert_eq!(za, sw);
+    }
+
+    #[test]
+    fn valid_goes_high_after_warmup() {
+        let c = test_circuit(false);
+        let mut sim = crate::sim::Simulator::new(&c.network).unwrap();
+        let inputs = [(c.run, true)];
+        for _ in 0..WARMUP_CYCLES {
+            assert!(!sim.value(c.valid), "valid must be low during warm-up");
+            sim.step(&inputs);
+        }
+        sim.step(&inputs);
+        assert!(sim.value(c.valid));
+    }
+}

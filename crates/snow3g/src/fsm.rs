@@ -1,0 +1,113 @@
+//! The SNOW 3G finite state machine: registers `R1`, `R2`, `R3`, the
+//! S-boxes `S1`/`S2`, and the output word `F = (s₁₅ ⊞ R1) ⊕ R2`.
+
+use core::fmt;
+
+use crate::tables::{s1, s2};
+
+/// The SNOW 3G FSM (spec §5).
+///
+/// # Example
+///
+/// ```
+/// use snow3g::fsm::Fsm;
+///
+/// let mut fsm = Fsm::new();
+/// // From the all-0 state, the first output is 0 ...
+/// assert_eq!(fsm.clock(0, 0), 0);
+/// // ... but the state diverges from 0 afterwards because the
+/// // S-boxes map 0 to a non-zero word.
+/// assert_ne!(fsm.clock(0, 0), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fsm {
+    r1: u32,
+    r2: u32,
+    r3: u32,
+}
+
+impl Fsm {
+    /// Creates an FSM with all registers zero, as at the start of
+    /// initialization.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an FSM from explicit register values.
+    #[must_use]
+    pub fn from_registers(r1: u32, r2: u32, r3: u32) -> Self {
+        Self { r1, r2, r3 }
+    }
+
+    /// The registers `(R1, R2, R3)`.
+    #[must_use]
+    pub fn registers(&self) -> (u32, u32, u32) {
+        (self.r1, self.r2, self.r3)
+    }
+
+    /// Clocks the FSM (spec §5.1): computes the output
+    /// `F = (s₁₅ ⊞ R1) ⊕ R2` from the *current* registers, then updates
+    /// `R1 ← R2 ⊞ (R3 ⊕ s₅)`, `R3 ← S2(R2)`, `R2 ← S1(R1)`.
+    ///
+    /// `s15` and `s5` are the corresponding LFSR stages sampled before
+    /// the LFSR itself is clocked.
+    pub fn clock(&mut self, s15: u32, s5: u32) -> u32 {
+        let f = s15.wrapping_add(self.r1) ^ self.r2;
+        let r = self.r2.wrapping_add(self.r3 ^ s5);
+        self.r3 = s2(self.r2);
+        self.r2 = s1(self.r1);
+        self.r1 = r;
+        f
+    }
+
+    /// Computes the output word without updating the registers.
+    #[must_use]
+    pub fn peek_output(&self, s15: u32) -> u32 {
+        s15.wrapping_add(self.r1) ^ self.r2
+    }
+}
+
+impl fmt::Debug for Fsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fsm {{ r1: {:08x}, r2: {:08x}, r3: {:08x} }}", self.r1, self.r2, self.r3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{s1, s2};
+
+    #[test]
+    fn first_clock_from_zero() {
+        let mut fsm = Fsm::new();
+        let f = fsm.clock(0, 0);
+        assert_eq!(f, 0);
+        let (r1, r2, r3) = fsm.registers();
+        assert_eq!(r1, 0);
+        assert_eq!(r2, s1(0));
+        assert_eq!(r3, s2(0));
+    }
+
+    #[test]
+    fn output_uses_pre_update_registers() {
+        let mut fsm = Fsm::from_registers(0x11111111, 0x22222222, 0x33333333);
+        let s15: u32 = 0xAAAAAAAA;
+        let expect = s15.wrapping_add(0x11111111) ^ 0x22222222;
+        assert_eq!(fsm.peek_output(s15), expect);
+        assert_eq!(fsm.clock(s15, 0), expect);
+    }
+
+    #[test]
+    fn update_order_matches_spec() {
+        // R3 must be computed from the OLD R2 and R2 from the OLD R1.
+        let mut fsm = Fsm::from_registers(0xCAFEBABE, 0x8BADF00D, 0x0D15EA5E);
+        let s5 = 0x01020304;
+        fsm.clock(0, s5);
+        let (r1, r2, r3) = fsm.registers();
+        assert_eq!(r1, 0x8BADF00Du32.wrapping_add(0x0D15EA5E ^ s5));
+        assert_eq!(r2, s1(0xCAFEBABE));
+        assert_eq!(r3, s2(0x8BADF00D));
+    }
+}

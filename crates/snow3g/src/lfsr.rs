@@ -1,0 +1,198 @@
+//! The SNOW 3G LFSR: sixteen 32-bit stages over GF(2³²), forward
+//! clocking in initialization and keystream modes, and backward
+//! stepping for key recovery.
+
+use core::fmt;
+
+use crate::tables::{div_alpha_word, mul_alpha_word};
+
+/// A snapshot of the sixteen LFSR stages `(s0, s1, ..., s15)`.
+pub type LfsrState = [u32; 16];
+
+/// The SNOW 3G linear feedback shift register.
+///
+/// The feedback polynomial over GF(2³²) is
+/// `α x¹⁶ + x¹⁴ + α⁻¹ x⁵ + 1`, giving the update
+/// `s₁₆ = α·s₀ ⊕ s₂ ⊕ α⁻¹·s₁₁` (spec §3.4).
+///
+/// # Example
+///
+/// ```
+/// use snow3g::Lfsr;
+///
+/// let mut l = Lfsr::from_state([1u32; 16]);
+/// let before = l.state();
+/// l.clock_keystream();
+/// l.unclock();
+/// assert_eq!(l.state(), before);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    s: LfsrState,
+}
+
+impl Lfsr {
+    /// Creates an LFSR from a full state snapshot.
+    #[must_use]
+    pub fn from_state(s: LfsrState) -> Self {
+        Self { s }
+    }
+
+    /// The current state `(s0, ..., s15)`.
+    #[must_use]
+    pub fn state(&self) -> LfsrState {
+        self.s
+    }
+
+    /// The stage `s_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 15`.
+    #[inline]
+    #[must_use]
+    pub fn stage(&self, i: usize) -> u32 {
+        self.s[i]
+    }
+
+    /// The linear part of the feedback: `α·s₀ ⊕ s₂ ⊕ α⁻¹·s₁₁`.
+    #[inline]
+    #[must_use]
+    pub fn feedback(&self) -> u32 {
+        mul_alpha_word(self.s[0]) ^ self.s[2] ^ div_alpha_word(self.s[11])
+    }
+
+    /// Clocks the LFSR in initialization mode, consuming the FSM output
+    /// word `f` (spec §4.1): `s₁₅ ← feedback ⊕ f`.
+    pub fn clock_init(&mut self, f: u32) {
+        let v = self.feedback() ^ f;
+        self.shift(v);
+    }
+
+    /// Clocks the LFSR in keystream mode (spec §4.2):
+    /// `s₁₅ ← feedback`.
+    pub fn clock_keystream(&mut self) {
+        let v = self.feedback();
+        self.shift(v);
+    }
+
+    /// Reverses one keystream-mode clocking. This inverts
+    /// [`Lfsr::clock_keystream`]; to invert an initialization-mode
+    /// clocking the consumed FSM word must be XORed into `s₁₅` first
+    /// (for the stuck-at-0 fault of the attack that word is 0, so the
+    /// whole initialization becomes uniformly reversible).
+    ///
+    /// Derivation: after a forward step, `s₁₅' = α·s₀ ⊕ s₂ ⊕ α⁻¹·s₁₁`
+    /// and `sᵢ' = sᵢ₊₁`. Hence the pre-image has `sᵢ₊₁ = sᵢ'` and
+    /// `s₀ = α⁻¹·(s₁₅' ⊕ s₁' ⊕ α⁻¹·s₁₀')`.
+    pub fn unclock(&mut self) {
+        let s15_new = self.s[15];
+        for i in (1..16).rev() {
+            self.s[i] = self.s[i - 1];
+        }
+        // At this point s[1..16] hold the previous s[0..15]; reconstruct s0.
+        let prev_s2 = self.s[2];
+        let prev_s11 = self.s[11];
+        self.s[0] = div_alpha_word(s15_new ^ prev_s2 ^ div_alpha_word(prev_s11));
+    }
+
+    /// Steps the LFSR backwards `steps` times (see [`Lfsr::unclock`]).
+    pub fn unclock_by(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.unclock();
+        }
+    }
+}
+
+impl fmt::Debug for Lfsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lfsr[")?;
+        for (i, w) in self.s.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:08x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Lfsr {
+    #[inline]
+    fn shift(&mut self, s15_new: u32) {
+        for i in 0..15 {
+            self.s[i] = self.s[i + 1];
+        }
+        self.s[15] = s15_new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_state(seed: u32) -> LfsrState {
+        let mut s = [0u32; 16];
+        let mut x = seed;
+        for w in &mut s {
+            x = x.wrapping_mul(0x9E3779B9).wrapping_add(12345);
+            *w = x;
+        }
+        s
+    }
+
+    #[test]
+    fn unclock_inverts_clock() {
+        let mut l = Lfsr::from_state(pseudo_state(7));
+        let start = l.state();
+        for _ in 0..100 {
+            l.clock_keystream();
+        }
+        l.unclock_by(100);
+        assert_eq!(l.state(), start);
+    }
+
+    #[test]
+    fn clock_then_unclock_single() {
+        for seed in 0..50 {
+            let mut l = Lfsr::from_state(pseudo_state(seed));
+            let start = l.state();
+            l.clock_keystream();
+            l.unclock();
+            assert_eq!(l.state(), start, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_state_is_fixed_point() {
+        // The key-independent exploration of the paper relies on the
+        // all-0 state staying all-0 under the linear update.
+        let mut l = Lfsr::from_state([0u32; 16]);
+        for _ in 0..64 {
+            l.clock_keystream();
+            assert_eq!(l.state(), [0u32; 16]);
+        }
+    }
+
+    #[test]
+    fn init_clock_consumes_fsm_word() {
+        let mut a = Lfsr::from_state(pseudo_state(3));
+        let mut b = a;
+        a.clock_init(0);
+        b.clock_keystream();
+        assert_eq!(a.state(), b.state(), "init with f = 0 equals keystream clocking");
+
+        let mut c = Lfsr::from_state(pseudo_state(3));
+        c.clock_init(0xDEADBEEF);
+        assert_eq!(c.stage(15), b.stage(15) ^ 0xDEADBEEF);
+    }
+
+    #[test]
+    fn shift_moves_stages() {
+        let mut l = Lfsr::from_state(pseudo_state(11));
+        let before = l.state();
+        l.clock_keystream();
+        let after = l.state();
+        assert_eq!(&after[..15], &before[1..]);
+    }
+}

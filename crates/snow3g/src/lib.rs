@@ -1,0 +1,53 @@
+//! A spec-faithful implementation of the SNOW 3G stream cipher with a
+//! faultable model, LFSR reversal and key recovery.
+//!
+//! SNOW 3G (ETSI/SAGE, 2009) is the core of the UEA2/UIA2 (3G),
+//! 128-EEA1/128-EIA1 (LTE) and 128-NEA1/128-NIA1 (5G) algorithms. This
+//! crate provides:
+//!
+//! * [`Snow3g`] — the cipher itself (LFSR over GF(2³²) + FSM),
+//!   validated against the ETSI test sets;
+//! * [`fault`] — a fault-injection model reproducing the stuck-at-0
+//!   faults of the DATE 2020 bitstream-modification attack (FSM output
+//!   `v = 0` on the LFSR-feedback and/or keystream paths, and the all-0
+//!   LFSR load used for key-independent exploration);
+//! * [`recover`] — key extraction from a faulty keystream by reversing
+//!   the (linearised) LFSR 33 steps back to the loaded state
+//!   `γ(K, IV)`.
+//!
+//! # Example
+//!
+//! ```
+//! use snow3g::{Key, Iv, Snow3g};
+//!
+//! let key = Key([0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48]);
+//! let iv = Iv([0xEA024714, 0xAD5C4D84, 0xDF1F9B25, 0x1C0BF45F]);
+//! let mut cipher = Snow3g::new(key, iv);
+//! let z = cipher.keystream_word();
+//! assert_eq!(z, 0xABEE9704);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cipher;
+pub mod fault;
+pub mod fsm;
+pub mod lfsr;
+pub mod recover;
+pub mod tables;
+pub mod vectors;
+
+pub use cipher::{Iv, Key, Snow3g};
+pub use fault::{FaultSpec, FaultySnow3g};
+pub use lfsr::{Lfsr, LfsrState};
+pub use recover::{recover_key, RecoverKeyError, RecoveredSecret};
+
+/// Number of two-step initialization rounds performed by SNOW 3G.
+pub const INIT_ROUNDS: usize = 32;
+
+/// Number of LFSR clockings between the loaded state `S^0 = γ(K, IV)`
+/// and the state `S^33` exposed by the faulty keystream: 32
+/// initialization rounds plus the one keystream-mode clocking whose FSM
+/// output is discarded.
+pub const REVERSAL_STEPS: usize = 33;

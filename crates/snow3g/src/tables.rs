@@ -1,0 +1,337 @@
+//! SNOW 3G arithmetic primitives: `MULx`, `MULxPOW`, the `MULα`/`DIVα`
+//! byte-to-word maps, and the two S-boxes `S1` (Rijndael-based) and
+//! `S2` (Dickson-polynomial-based, via the `SQ` table).
+//!
+//! Definitions follow the ETSI/SAGE specification "Document 2: SNOW 3G
+//! Specification". The Rijndael S-box is generated algorithmically
+//! (inverse in GF(2⁸) modulo `x⁸+x⁴+x³+x+1`, then the affine map) to
+//! rule out transcription errors; `SQ` is tabulated as in the spec.
+
+use std::sync::OnceLock;
+
+/// `MULx(V, c)`: multiply `V` by `x` in GF(2⁸) with reduction constant
+/// `c` (spec §3.1.1).
+#[inline]
+#[must_use]
+pub fn mulx(v: u8, c: u8) -> u8 {
+    if v & 0x80 != 0 {
+        (v << 1) ^ c
+    } else {
+        v << 1
+    }
+}
+
+/// `MULxPOW(V, i, c)`: apply [`mulx`] `i` times (spec §3.1.2).
+#[must_use]
+pub fn mulx_pow(v: u8, i: u32, c: u8) -> u8 {
+    let mut r = v;
+    for _ in 0..i {
+        r = mulx(r, c);
+    }
+    r
+}
+
+/// The reduction constant used by `MULα`/`DIVα`.
+pub const ALPHA_C: u8 = 0xA9;
+
+/// The reduction constant used inside `S1` (Rijndael MixColumn).
+pub const S1_C: u8 = 0x1B;
+
+/// The reduction constant used inside `S2`.
+pub const S2_C: u8 = 0x69;
+
+/// `MULα(c)`: the 8-bit to 32-bit map of the LFSR feedback
+/// (spec §3.4.2).
+#[must_use]
+pub fn mul_alpha(c: u8) -> u32 {
+    (u32::from(mulx_pow(c, 23, ALPHA_C)) << 24)
+        | (u32::from(mulx_pow(c, 245, ALPHA_C)) << 16)
+        | (u32::from(mulx_pow(c, 48, ALPHA_C)) << 8)
+        | u32::from(mulx_pow(c, 239, ALPHA_C))
+}
+
+/// `DIVα(c)`: the 8-bit to 32-bit map of the inverse LFSR feedback
+/// (spec §3.4.3).
+#[must_use]
+pub fn div_alpha(c: u8) -> u32 {
+    (u32::from(mulx_pow(c, 16, ALPHA_C)) << 24)
+        | (u32::from(mulx_pow(c, 39, ALPHA_C)) << 16)
+        | (u32::from(mulx_pow(c, 6, ALPHA_C)) << 8)
+        | u32::from(mulx_pow(c, 64, ALPHA_C))
+}
+
+fn table_256(f: fn(u8) -> u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    for (i, e) in t.iter_mut().enumerate() {
+        *e = f(i as u8);
+    }
+    t
+}
+
+/// Precomputed [`mul_alpha`] table (what an FPGA implementation stores
+/// in block RAM or LUTs).
+#[must_use]
+pub fn mul_alpha_table() -> &'static [u32; 256] {
+    static T: OnceLock<[u32; 256]> = OnceLock::new();
+    T.get_or_init(|| table_256(mul_alpha))
+}
+
+/// Precomputed [`div_alpha`] table.
+#[must_use]
+pub fn div_alpha_table() -> &'static [u32; 256] {
+    static T: OnceLock<[u32; 256]> = OnceLock::new();
+    T.get_or_init(|| table_256(div_alpha))
+}
+
+/// Multiplication of a 32-bit LFSR word by `α`:
+/// `(v << 8) ⊕ MULα(v >> 24)` (the "α ⊙" gate of Fig. 2).
+#[inline]
+#[must_use]
+pub fn mul_alpha_word(v: u32) -> u32 {
+    (v << 8) ^ mul_alpha_table()[(v >> 24) as usize]
+}
+
+/// Multiplication of a 32-bit LFSR word by `α⁻¹`:
+/// `(v >> 8) ⊕ DIVα(v & 0xff)` (the "α⁻¹ ⊙" gate of Fig. 2).
+#[inline]
+#[must_use]
+pub fn div_alpha_word(v: u32) -> u32 {
+    (v >> 8) ^ div_alpha_table()[(v & 0xff) as usize]
+}
+
+/// The Rijndael S-box `S_R`, generated algorithmically.
+#[must_use]
+pub fn rijndael_sbox() -> &'static [u8; 256] {
+    static T: OnceLock<[u8; 256]> = OnceLock::new();
+    T.get_or_init(|| {
+        // Multiplicative inverse in GF(2^8) mod x^8+x^4+x^3+x+1,
+        // via exhaustive products (256 values; speed is irrelevant).
+        fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                a = mulx(a, 0x1B);
+                b >>= 1;
+            }
+            p
+        }
+        let mut inv = [0u8; 256];
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                if gf_mul(a, b) == 1 {
+                    inv[a as usize] = b;
+                    break;
+                }
+            }
+        }
+        let mut s = [0u8; 256];
+        for (i, e) in s.iter_mut().enumerate() {
+            let x = inv[i];
+            // Affine transform: s = x ^ rotl(x,1) ^ rotl(x,2) ^ rotl(x,3) ^ rotl(x,4) ^ 0x63.
+            *e = x
+                ^ x.rotate_left(1)
+                ^ x.rotate_left(2)
+                ^ x.rotate_left(3)
+                ^ x.rotate_left(4)
+                ^ 0x63;
+        }
+        s
+    })
+}
+
+/// The `SQ` S-box of SNOW 3G (spec §3.3.2), derived from the Dickson
+/// polynomial `g₄₉`; tabulated as in the specification.
+pub const SQ: [u8; 256] = [
+    0x25, 0x24, 0x73, 0x67, 0xD7, 0xAE, 0x5C, 0x30, 0xA4, 0xEE, 0x6E, 0xCB, 0x7D, 0xB5, 0x82,
+    0xDB, 0xE4, 0x8E, 0x48, 0x49, 0x4F, 0x5D, 0x6A, 0x78, 0x70, 0x88, 0xE8, 0x5F, 0x5E, 0x84,
+    0x65, 0xE2, 0xD8, 0xE9, 0xCC, 0xED, 0x40, 0x2F, 0x11, 0x28, 0x57, 0xD2, 0xAC, 0xE3, 0x4A,
+    0x15, 0x1B, 0xB9, 0xB2, 0x80, 0x85, 0xA6, 0x2E, 0x02, 0x47, 0x29, 0x07, 0x4B, 0x0E, 0xC1,
+    0x51, 0xAA, 0x89, 0xD4, 0xCA, 0x01, 0x46, 0xB3, 0xEF, 0xDD, 0x44, 0x7B, 0xC2, 0x7F, 0xBE,
+    0xC3, 0x9F, 0x20, 0x4C, 0x64, 0x83, 0xA2, 0x68, 0x42, 0x13, 0xB4, 0x41, 0xCD, 0xBA, 0xC6,
+    0xBB, 0x6D, 0x4D, 0x71, 0x21, 0xF4, 0x8D, 0xB0, 0xE5, 0x93, 0xFE, 0x8F, 0xE6, 0xCF, 0x43,
+    0x45, 0x31, 0x22, 0x37, 0x36, 0x96, 0xFA, 0xBC, 0x0F, 0x08, 0x52, 0x1D, 0x55, 0x1A, 0xC5,
+    0x4E, 0x23, 0x69, 0x7A, 0x92, 0xFF, 0x5B, 0x5A, 0xEB, 0x9A, 0x1C, 0xA9, 0xD1, 0x7E, 0x0D,
+    0xFC, 0x50, 0x8A, 0xB6, 0x62, 0xF5, 0x0A, 0xF8, 0xDC, 0x03, 0x3C, 0x0C, 0x39, 0xF1, 0xB8,
+    0xF3, 0x3D, 0xF2, 0xD5, 0x97, 0x66, 0x81, 0x32, 0xA0, 0x00, 0x06, 0xCE, 0xF6, 0xEA, 0xB7,
+    0x17, 0xF7, 0x8C, 0x79, 0xD6, 0xA7, 0xBF, 0x8B, 0x3F, 0x1F, 0x53, 0x63, 0x75, 0x35, 0x2C,
+    0x60, 0xFD, 0x27, 0xD3, 0x94, 0xA5, 0x7C, 0xA1, 0x05, 0x58, 0x2D, 0xBD, 0xD9, 0xC7, 0xAF,
+    0x6B, 0x54, 0x0B, 0xE0, 0x38, 0x04, 0xC8, 0x9D, 0xE7, 0x14, 0xB1, 0x87, 0x9C, 0xDF, 0x6F,
+    0xF9, 0xDA, 0x2A, 0xC4, 0x59, 0x16, 0x74, 0x91, 0xAB, 0x26, 0x61, 0x76, 0x34, 0x2B, 0xAD,
+    0x99, 0xFB, 0x72, 0xEC, 0x33, 0x12, 0xDE, 0x98, 0x3B, 0xC0, 0x9B, 0x3E, 0x18, 0x10, 0x3A,
+    0x56, 0xE1, 0x77, 0xC9, 0x1E, 0x9E, 0x95, 0xA3, 0x90, 0x19, 0xA8, 0x6C, 0x09, 0xD0, 0xF0,
+    0x86,
+];
+
+fn mix(t0: u8, t1: u8, t2: u8, t3: u8, c: u8) -> u32 {
+    // The MixColumn-style diffusion shared by S1 and S2 (spec §3.3):
+    // matrix [[x, 1, 1, x+1], [x+1, x, 1, 1], [1, x+1, x, 1], [1, 1, x+1, x]].
+    let r0 = mulx(t0, c) ^ t1 ^ t2 ^ mulx(t3, c) ^ t3;
+    let r1 = mulx(t0, c) ^ t0 ^ mulx(t1, c) ^ t2 ^ t3;
+    let r2 = t0 ^ mulx(t1, c) ^ t1 ^ mulx(t2, c) ^ t3;
+    let r3 = t0 ^ t1 ^ mulx(t2, c) ^ t2 ^ mulx(t3, c);
+    (u32::from(r0) << 24) | (u32::from(r1) << 16) | (u32::from(r2) << 8) | u32::from(r3)
+}
+
+/// The 32-bit S-box `S1` (spec §3.3.1): Rijndael byte substitution
+/// followed by the MixColumn-style diffusion with constant `0x1B`.
+#[must_use]
+pub fn s1(w: u32) -> u32 {
+    let sr = rijndael_sbox();
+    mix(
+        sr[(w >> 24) as usize],
+        sr[((w >> 16) & 0xff) as usize],
+        sr[((w >> 8) & 0xff) as usize],
+        sr[(w & 0xff) as usize],
+        S1_C,
+    )
+}
+
+/// The 32-bit S-box `S2` (spec §3.3.2): `SQ` byte substitution followed
+/// by the diffusion with constant `0x69`.
+#[must_use]
+pub fn s2(w: u32) -> u32 {
+    mix(
+        SQ[(w >> 24) as usize],
+        SQ[((w >> 16) & 0xff) as usize],
+        SQ[((w >> 8) & 0xff) as usize],
+        SQ[(w & 0xff) as usize],
+        S2_C,
+    )
+}
+
+/// The four byte-indexed T-tables whose XOR computes `S1`, i.e.
+/// `S1(w) = T0[w₀] ⊕ T1[w₁] ⊕ T2[w₂] ⊕ T3[w₃]` with `w₀` the most
+/// significant byte.
+///
+/// This is the form in which an FPGA implementation evaluates the
+/// S-box from block RAM (Section VII-A of the paper notes that "S-box
+/// is evaluated by a Block RAM lookup"); the [`crate::vectors`] tests
+/// pin the decomposition to the direct definition.
+#[must_use]
+pub fn s1_t_tables() -> &'static [[u32; 256]; 4] {
+    static T: OnceLock<[[u32; 256]; 4]> = OnceLock::new();
+    T.get_or_init(|| t_tables(rijndael_sbox(), S1_C))
+}
+
+/// The four byte-indexed T-tables whose XOR computes `S2`; see
+/// [`s1_t_tables`].
+#[must_use]
+pub fn s2_t_tables() -> &'static [[u32; 256]; 4] {
+    static T: OnceLock<[[u32; 256]; 4]> = OnceLock::new();
+    T.get_or_init(|| t_tables(&SQ, S2_C))
+}
+
+fn t_tables(sbox: &[u8; 256], c: u8) -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    for b in 0..256usize {
+        let s = sbox[b];
+        let m = mulx(s, c);
+        let s32 = u32::from(s);
+        let m32 = u32::from(m);
+        // Column contributions of byte position 0..3 to (r0, r1, r2, r3).
+        t[0][b] = (m32 << 24) | ((m32 ^ s32) << 16) | (s32 << 8) | s32;
+        t[1][b] = (s32 << 24) | (m32 << 16) | ((m32 ^ s32) << 8) | s32;
+        t[2][b] = (s32 << 24) | (s32 << 16) | (m32 << 8) | (m32 ^ s32);
+        t[3][b] = ((m32 ^ s32) << 24) | (s32 << 16) | (s32 << 8) | m32;
+    }
+    t
+}
+
+/// Evaluates `S1` via the T-table decomposition (block-RAM form).
+#[must_use]
+pub fn s1_via_t_tables(w: u32) -> u32 {
+    let t = s1_t_tables();
+    t[0][(w >> 24) as usize]
+        ^ t[1][((w >> 16) & 0xff) as usize]
+        ^ t[2][((w >> 8) & 0xff) as usize]
+        ^ t[3][(w & 0xff) as usize]
+}
+
+/// Evaluates `S2` via the T-table decomposition (block-RAM form).
+#[must_use]
+pub fn s2_via_t_tables(w: u32) -> u32 {
+    let t = s2_t_tables();
+    t[0][(w >> 24) as usize]
+        ^ t[1][((w >> 16) & 0xff) as usize]
+        ^ t[2][((w >> 8) & 0xff) as usize]
+        ^ t[3][(w & 0xff) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mulx_matches_definition() {
+        assert_eq!(mulx(0x01, 0x1B), 0x02);
+        assert_eq!(mulx(0x80, 0x1B), 0x1B);
+        assert_eq!(mulx(0xFF, 0x1B), 0xE5);
+    }
+
+    #[test]
+    fn rijndael_known_values() {
+        let s = rijndael_sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7C);
+        assert_eq!(s[0x10], 0xCA);
+        assert_eq!(s[0x53], 0xED);
+        assert_eq!(s[0xFF], 0x16);
+    }
+
+    #[test]
+    fn rijndael_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in rijndael_sbox().iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn sq_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SQ.iter() {
+            assert!(!seen[v as usize], "duplicate SQ value {v:#x}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn alpha_inverse_cancels() {
+        // α · α⁻¹ = 1 in GF(2³²): the word operations must cancel.
+        let mut x: u32 = 0x12345678;
+        for _ in 0..10_000 {
+            assert_eq!(div_alpha_word(mul_alpha_word(x)), x);
+            assert_eq!(mul_alpha_word(div_alpha_word(x)), x);
+            x = x.wrapping_mul(0x9E3779B9).wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn t_tables_match_direct_sboxes() {
+        let mut w: u32 = 1;
+        for _ in 0..10_000 {
+            assert_eq!(s1_via_t_tables(w), s1(w));
+            assert_eq!(s2_via_t_tables(w), s2(w));
+            w = w.wrapping_mul(0x9E3779B9).wrapping_add(0x1234);
+        }
+    }
+
+    #[test]
+    fn tables_agree_with_functions() {
+        for c in 0..=255u8 {
+            assert_eq!(mul_alpha_table()[c as usize], mul_alpha(c));
+            assert_eq!(div_alpha_table()[c as usize], div_alpha(c));
+        }
+    }
+
+    #[test]
+    fn s_boxes_are_nonlinear() {
+        // Spot-check that S1/S2 are not affine: f(a)^f(b)^f(a^b) != f(0).
+        let (a, b) = (0xDEADBEEFu32, 0x01234567u32);
+        assert_ne!(s1(a) ^ s1(b) ^ s1(a ^ b), s1(0));
+        assert_ne!(s2(a) ^ s2(b) ^ s2(a ^ b), s2(0));
+    }
+}

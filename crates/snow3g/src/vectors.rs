@@ -1,0 +1,106 @@
+//! Reference test vectors.
+//!
+//! Two sources of ground truth pin this implementation:
+//!
+//! 1. **ETSI/SAGE implementors' test data, Test Set 1** — the
+//!    unfaulted keystream.
+//! 2. **The paper's Tables III, IV and V** — keystreams of the faulted
+//!    device and the recovered initial LFSR state. These are exactly
+//!    reproducible in software because they are determined by the
+//!    algorithm and the (test-set) key/IV alone. Notably, the key and
+//!    IV the paper's experiment used are recoverable from its Table V
+//!    and turn out to be ETSI Test Set 1.
+
+use crate::cipher::{Iv, Key};
+
+/// ETSI Test Set 1 key: `2BD6459F82C5B300952C49104881FF48`.
+pub const TEST_SET_1_KEY: Key = Key([0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48]);
+
+/// ETSI Test Set 1 IV: `EA024714AD5C4D84DF1F9B251C0BF45F`.
+pub const TEST_SET_1_IV: Iv = Iv([0xEA024714, 0xAD5C4D84, 0xDF1F9B25, 0x1C0BF45F]);
+
+/// First two keystream words of ETSI Test Set 1.
+pub const TEST_SET_1_KEYSTREAM: [u32; 2] = [0xABEE9704, 0x7AC31373];
+
+/// Table III of the paper: the key-independent keystream generated
+/// when the FSM output is stuck to 0 during initialization and the
+/// LFSR is initialized to the all-0 state (faults `α₁ + β`).
+pub const PAPER_TABLE_III: [u32; 16] = [
+    0xa1fb4788, 0xe4382f8e, 0x3b72471c, 0x33ebb59a, 0x32ac43c7, 0x5eebfd82, 0x3a325fd4,
+    0x1e1d7001, 0xb7f15767, 0x3282c5b0, 0x103da78f, 0xe42761e4, 0xc6ded1bb, 0x089fa36c,
+    0x01c7c690, 0xbf921256,
+];
+
+/// Table IV of the paper: the keystream generated when the FSM output
+/// is stuck to 0 during both initialization and keystream generation
+/// (fault `α`), for the Test Set 1 key/IV. These 16 words equal the
+/// LFSR state `S³³`.
+pub const PAPER_TABLE_IV: [u32; 16] = [
+    0x3ffe4851, 0x35d1c393, 0x5914acef, 0xe98446cc, 0x689782d9, 0x8abdb7fc, 0xa11b0377,
+    0x5a2dd294, 0x5deb29fa, 0xc2c6009a, 0xa82ee62f, 0x925268ed, 0xd04e2c33, 0x3890311b,
+    0xe8d27b84, 0xa70aeeaa,
+];
+
+/// Table V of the paper: the recovered initial LFSR state
+/// `S⁰ = γ(K, IV)` obtained by reversing the LFSR 33 steps from
+/// Table IV.
+pub const PAPER_TABLE_V: [u32; 16] = [
+    0xd429ba60, 0x7d3a4cff, 0x6ad3b6ef, 0xb77e00b7, 0x2bd6459f, 0x82c5b300, 0x952c4910,
+    0x4881ff48, 0xd429ba60, 0x6131b8a0, 0xb5cc2dca, 0xb77e00b7, 0x868a081b, 0x82c5b300,
+    0x952c4910, 0xa283b85c,
+];
+
+/// The key the paper's experiment recovered (its Section VI-D.3),
+/// printed there as `0x2BD6459F82C5B300952C49104881FF48`.
+pub const PAPER_RECOVERED_KEY: Key = TEST_SET_1_KEY;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::{gamma, Snow3g};
+    use crate::fault::{FaultSpec, FaultySnow3g};
+    use crate::recover::recover_key;
+    use crate::lfsr::Lfsr;
+
+    #[test]
+    fn etsi_test_set_1() {
+        let z = Snow3g::new(TEST_SET_1_KEY, TEST_SET_1_IV).keystream(2);
+        assert_eq!(z, TEST_SET_1_KEYSTREAM);
+    }
+
+    #[test]
+    fn paper_table_iii_exact() {
+        let z = FaultySnow3g::new(TEST_SET_1_KEY, TEST_SET_1_IV, FaultSpec::key_independent())
+            .keystream(16);
+        assert_eq!(z, PAPER_TABLE_III, "key-independent keystream must match Table III");
+    }
+
+    #[test]
+    fn paper_table_iii_is_key_independent() {
+        let z = FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent())
+            .keystream(16);
+        assert_eq!(z, PAPER_TABLE_III);
+    }
+
+    #[test]
+    fn paper_table_iv_exact() {
+        let z = FaultySnow3g::new(TEST_SET_1_KEY, TEST_SET_1_IV, FaultSpec::alpha()).keystream(16);
+        assert_eq!(z, PAPER_TABLE_IV, "α-faulted keystream must match Table IV");
+    }
+
+    #[test]
+    fn paper_table_v_exact() {
+        let mut lfsr = Lfsr::from_state(PAPER_TABLE_IV);
+        lfsr.unclock_by(crate::REVERSAL_STEPS);
+        assert_eq!(lfsr.state(), PAPER_TABLE_V, "reversed state must match Table V");
+        assert_eq!(PAPER_TABLE_V, gamma(TEST_SET_1_KEY, TEST_SET_1_IV));
+    }
+
+    #[test]
+    fn paper_key_recovery_end_to_end() {
+        let secret = recover_key(&PAPER_TABLE_IV).expect("Table IV yields the key");
+        assert_eq!(secret.key, PAPER_RECOVERED_KEY);
+        assert_eq!(secret.key.to_string(), "2BD6459F82C5B300952C49104881FF48");
+        assert_eq!(secret.initial_state, PAPER_TABLE_V);
+    }
+}

@@ -1,0 +1,358 @@
+//! k-feasible cut enumeration.
+//!
+//! A set of nodes `C` is a *cut* of node `v` if every path from a
+//! primary input to `v` passes through a node in `C`; it is
+//! `k`-feasible if `|C| ≤ k` (Section II-B). Cuts are enumerated
+//! bottom-up: the cut set of a gate is the cross-merge of its fanins'
+//! cut sets (each fanin contributing either one of its own cuts or
+//! itself as a leaf), pruned to a bounded number of candidates.
+
+use netlist::{Network, NodeId, NodeKind};
+
+/// A cut: a sorted, deduplicated set of leaf nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+}
+
+impl Cut {
+    /// The empty cut (a cone of constants).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { leaves: Vec::new() }
+    }
+
+    /// The singleton cut `{n}`.
+    #[must_use]
+    pub fn singleton(n: NodeId) -> Self {
+        Self { leaves: vec![n] }
+    }
+
+    /// Builds a cut from arbitrary leaves (sorted and deduplicated).
+    #[must_use]
+    pub fn from_leaves(mut leaves: Vec<NodeId>) -> Self {
+        leaves.sort_unstable();
+        leaves.dedup();
+        Self { leaves }
+    }
+
+    /// The leaves, sorted ascending.
+    #[must_use]
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the cut has no leaves.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Merges two cuts; returns `None` if the union exceeds `k`
+    /// leaves.
+    #[must_use]
+    pub fn merge(&self, other: &Self, k: usize) -> Option<Self> {
+        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            let take_left = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(a), Some(b)) => {
+                    if a == b {
+                        j += 1;
+                        true
+                    } else {
+                        a < b
+                    }
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("loop condition"),
+            };
+            if take_left {
+                leaves.push(self.leaves[i]);
+                i += 1;
+            } else {
+                leaves.push(other.leaves[j]);
+                j += 1;
+            }
+            if leaves.len() > k {
+                return None;
+            }
+        }
+        Some(Self { leaves })
+    }
+
+    /// Whether `other`'s leaves are a subset of this cut's leaves
+    /// (i.e. `other` dominates `self`).
+    #[must_use]
+    pub fn dominated_by(&self, other: &Self) -> bool {
+        if other.leaves.len() > self.leaves.len() {
+            return false;
+        }
+        let mut i = 0;
+        for &l in &other.leaves {
+            loop {
+                match self.leaves.get(i) {
+                    Some(&s) if s < l => i += 1,
+                    Some(&s) if s == l => {
+                        i += 1;
+                        break;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Enumeration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct CutParams {
+    /// Maximum leaves per cut (`k` of the target LUT architecture).
+    pub k: usize,
+    /// Maximum cuts retained per node (priority cuts).
+    pub max_cuts: usize,
+}
+
+impl Default for CutParams {
+    fn default() -> Self {
+        Self { k: 6, max_cuts: 16 }
+    }
+}
+
+/// A cut together with its estimated covered volume (number of gates
+/// the corresponding LUT would absorb; an upper estimate under
+/// reconvergence, used only as a pruning priority).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedCut {
+    /// The cut.
+    pub cut: Cut,
+    /// Estimated covered gate count.
+    pub vol: u32,
+}
+
+/// All k-feasible cuts for every node, indexed by node id.
+///
+/// For mapping-boundary nodes (inputs, flip-flops, ROM outputs) the
+/// set is just the singleton cut. For `keep`-marked nodes the set
+/// *visible to fanouts* is also just the singleton — that is how the
+/// countermeasure prevents the node from being absorbed into a larger
+/// LUT.
+#[derive(Debug)]
+pub struct CutSets {
+    sets: Vec<Vec<RankedCut>>,
+}
+
+impl CutSets {
+    /// Enumerates cut sets for the whole network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains a combinational cycle (callers
+    /// validate first).
+    #[must_use]
+    pub fn enumerate(network: &Network, params: CutParams) -> Self {
+        let order = network.topo_order().expect("validated network");
+        let mut sets: Vec<Vec<RankedCut>> = vec![Vec::new(); network.len()];
+        for id in order {
+            let node = network.node(id);
+            let set: Vec<RankedCut> = match &node.kind {
+                NodeKind::Input { .. } | NodeKind::Dff { .. } | NodeKind::RomOut { .. } => {
+                    vec![RankedCut { cut: Cut::singleton(id), vol: 0 }]
+                }
+                NodeKind::Const(_) => vec![RankedCut { cut: Cut::empty(), vol: 0 }],
+                _ if node.keep => {
+                    // Covered by its trivial cut only; fanouts may use
+                    // it only as a leaf (the countermeasure).
+                    vec![RankedCut { cut: Cut::singleton(id), vol: 0 }]
+                }
+                _gate => {
+                    let fanin_sets: Vec<&[RankedCut]> =
+                        node.fanin.iter().map(|f| sets[f.index()].as_slice()).collect();
+                    let mut merged: Vec<RankedCut> =
+                        vec![RankedCut { cut: Cut::empty(), vol: 1 }];
+                    for fs in fanin_sets {
+                        let mut next = Vec::new();
+                        for base in &merged {
+                            for c in fs {
+                                if let Some(m) = base.cut.merge(&c.cut, params.k) {
+                                    next.push(RankedCut { cut: m, vol: base.vol + c.vol });
+                                }
+                            }
+                        }
+                        merged = next;
+                        if merged.is_empty() {
+                            break;
+                        }
+                    }
+                    // Keep the highest-volume cuts plus a few of the
+                    // smallest ones (so modular "immediate fanin"
+                    // chains survive for higher merges); fanouts can
+                    // still choose the node itself as a leaf.
+                    prune(&mut merged, params.max_cuts);
+                    // The immediate-fanin cut is always available.
+                    let trivial = Cut::from_leaves(
+                        node.fanin
+                            .iter()
+                            .copied()
+                            .filter(|f| !matches!(network.node(*f).kind, NodeKind::Const(_)))
+                            .collect(),
+                    );
+                    if !merged.iter().any(|r| r.cut == trivial) {
+                        merged.push(RankedCut { cut: trivial, vol: 1 });
+                    }
+                    merged.push(RankedCut { cut: Cut::singleton(id), vol: 0 });
+                    merged
+                }
+            };
+            sets[id.index()] = set;
+        }
+        Self { sets }
+    }
+
+    /// The ranked cut set of `id` (includes the singleton leaf cut for
+    /// gates, with volume 0).
+    #[must_use]
+    pub fn cuts(&self, id: NodeId) -> &[RankedCut] {
+        &self.sets[id.index()]
+    }
+}
+
+fn prune(cuts: &mut Vec<RankedCut>, max: usize) {
+    // Deduplicate by leaf set, keeping the best volume estimate.
+    cuts.sort_by(|a, b| a.cut.leaves().cmp(b.cut.leaves()).then(b.vol.cmp(&a.vol)));
+    cuts.dedup_by(|b, a| {
+        if a.cut == b.cut {
+            a.vol = a.vol.max(b.vol);
+            true
+        } else {
+            false
+        }
+    });
+    // Priority: largest estimated volume first, then fewer leaves,
+    // then lexicographically smallest leaf set for determinism.
+    cuts.sort_by(|a, b| {
+        b.vol
+            .cmp(&a.vol)
+            .then(a.cut.len().cmp(&b.cut.len()))
+            .then_with(|| a.cut.leaves().cmp(b.cut.leaves()))
+    });
+    if cuts.len() > max {
+        // Reserve the tail slots for the smallest cuts so that
+        // shallow, modular cuts survive for further merging.
+        let reserve = (max / 4).max(1);
+        let mut head: Vec<RankedCut> = cuts.drain(..max - reserve).collect();
+        cuts.sort_by(|a, b| {
+            a.cut
+                .len()
+                .cmp(&b.cut.len())
+                .then(b.vol.cmp(&a.vol))
+                .then_with(|| a.cut.leaves().cmp(b.cut.leaves()))
+        });
+        head.extend(cuts.drain(..reserve.min(cuts.len())));
+        head.sort_by(|a, b| a.cut.leaves().cmp(b.cut.leaves()));
+        head.dedup_by(|b, a| a.cut == b.cut);
+        *cuts = head;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Network;
+
+    #[test]
+    fn merge_respects_k() {
+        let a = Cut::from_leaves(vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let b = Cut::from_leaves(vec![NodeId(3), NodeId(4), NodeId(5)]);
+        let m = a.merge(&b, 6).unwrap();
+        assert_eq!(m.len(), 5);
+        assert!(a.merge(&b, 4).is_none());
+    }
+
+    #[test]
+    fn domination() {
+        let big = Cut::from_leaves(vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let small = Cut::from_leaves(vec![NodeId(1), NodeId(3)]);
+        assert!(big.dominated_by(&small));
+        assert!(!small.dominated_by(&big));
+        assert!(big.dominated_by(&big));
+    }
+
+    #[test]
+    fn enumerate_xor_tree() {
+        // x = (a ^ b) ^ (c ^ d): the root must have a cut {a,b,c,d}.
+        let mut n = Network::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let d = n.input("d");
+        let x1 = n.xor(a, b);
+        let x2 = n.xor(c, d);
+        let root = n.xor(x1, x2);
+        let sets = CutSets::enumerate(&n, CutParams::default());
+        let has = |c: &Cut| sets.cuts(root).iter().any(|r| &r.cut == c);
+        let want = Cut::from_leaves(vec![a, b, c, d]);
+        assert!(has(&want), "missing the full 4-leaf cut");
+        // And the two-leaf cut {x1, x2}.
+        let two = Cut::from_leaves(vec![x1, x2]);
+        assert!(has(&two));
+        // The 4-leaf cut must be ranked with the larger volume.
+        let v4 = sets.cuts(root).iter().find(|r| r.cut == want).unwrap().vol;
+        let v2 = sets.cuts(root).iter().find(|r| r.cut == two).unwrap().vol;
+        assert!(v4 > v2);
+    }
+
+    #[test]
+    fn keep_nodes_are_barriers() {
+        let mut n = Network::new();
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let x = n.xor(a, b);
+        n.set_keep(x);
+        let y = n.and(x, c);
+        let sets = CutSets::enumerate(&n, CutParams::default());
+        // Every cut of y must use x as a leaf, never {a, b, c}.
+        let absorbed = Cut::from_leaves(vec![a, b, c]);
+        assert!(!sets.cuts(y).iter().any(|r| r.cut == absorbed));
+        let want = Cut::from_leaves(vec![x, c]);
+        assert!(sets.cuts(y).iter().any(|r| r.cut == want));
+    }
+
+    #[test]
+    fn const_fanins_fold_away() {
+        let mut n = Network::new();
+        let a = n.input("a");
+        let z = n.constant(false);
+        let x = n.xor(a, z);
+        let sets = CutSets::enumerate(&n, CutParams::default());
+        let want = Cut::singleton(a);
+        assert!(sets.cuts(x).iter().any(|r| r.cut == want), "constant folded out of the cut");
+    }
+
+    #[test]
+    fn cut_count_is_bounded() {
+        // A chain of XORs: cut sets must stay within max_cuts + leaf.
+        let mut n = Network::new();
+        let mut prev = n.input("i0");
+        for i in 1..40 {
+            let x = n.input(format!("i{i}"));
+            prev = n.xor(prev, x);
+        }
+        let params = CutParams { k: 6, max_cuts: 8 };
+        let sets = CutSets::enumerate(&n, params);
+        for (id, node) in n.iter() {
+            if node.kind.is_gate() {
+                assert!(sets.cuts(id).len() <= params.max_cuts + 1, "node {id}");
+            }
+        }
+    }
+}

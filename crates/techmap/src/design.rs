@@ -1,0 +1,281 @@
+//! Mapped-design data structures and a functional simulator used to
+//! verify that mapping preserved the circuit's behaviour.
+
+use std::collections::HashMap;
+
+use boolfn::{DualOutputInit, TruthTable};
+use netlist::{Network, NodeId, NodeKind, RomId};
+
+/// A selected cover: node `root` is realised by a LUT whose inputs
+/// are `leaves` (pin order `a1..ak`) computing `truth`.
+#[derive(Debug, Clone)]
+pub struct Cover {
+    /// The covered node (the LUT output net).
+    pub root: NodeId,
+    /// LUT input nets in pin order.
+    pub leaves: Vec<NodeId>,
+    /// The LUT function over those pins.
+    pub truth: TruthTable,
+}
+
+/// A flip-flop cell.
+#[derive(Debug, Clone, Copy)]
+pub struct DffCell {
+    /// Output net (the original flip-flop node).
+    pub q: NodeId,
+    /// Input net.
+    pub d: NodeId,
+    /// Power-up value.
+    pub init: bool,
+}
+
+/// A block-RAM cell configured as a 256×32 ROM.
+#[derive(Debug, Clone)]
+pub struct BramCell {
+    /// Which ROM table of the source network.
+    pub rom: RomId,
+    /// The eight address nets, LSB first.
+    pub addr: Vec<NodeId>,
+    /// The 32 data nets (original `RomOut` node ids), LSB first.
+    pub data: Vec<NodeId>,
+}
+
+/// A physical dual-output LUT after packing.
+#[derive(Debug, Clone)]
+pub struct PackedLut {
+    /// Input nets in pin order `a1..` (at most 6; at most 5 when
+    /// fractured).
+    pub inputs: Vec<NodeId>,
+    /// The 64-bit configuration.
+    pub init: DualOutputInit,
+    /// Net driven by `O6`.
+    pub o6: NodeId,
+    /// Net driven by `O5` when the LUT is fractured.
+    pub o5: Option<NodeId>,
+}
+
+impl PackedLut {
+    /// Whether the LUT hosts two functions.
+    #[must_use]
+    pub fn is_fractured(&self) -> bool {
+        self.o5.is_some()
+    }
+}
+
+/// The result of technology mapping: LUT covers, packed physical LUTs,
+/// and pass-through sequential cells.
+#[derive(Debug, Clone)]
+pub struct MappedDesign {
+    /// The source network (kept for reference and simulation).
+    pub network: Network,
+    /// One cover per realised combinational node.
+    pub covers: Vec<Cover>,
+    /// Packed physical LUTs (what placement will put on sites).
+    pub luts: Vec<PackedLut>,
+    /// Flip-flop cells.
+    pub dffs: Vec<DffCell>,
+    /// Block-RAM cells.
+    pub brams: Vec<BramCell>,
+}
+
+impl MappedDesign {
+    /// Index of the cover rooted at each node.
+    #[must_use]
+    pub fn cover_index(&self) -> HashMap<NodeId, usize> {
+        self.covers.iter().enumerate().map(|(i, c)| (c.root, i)).collect()
+    }
+
+    /// Number of physical LUTs.
+    #[must_use]
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// Number of fractured (dual-output) LUTs.
+    #[must_use]
+    pub fn fractured_count(&self) -> usize {
+        self.luts.iter().filter(|l| l.is_fractured()).count()
+    }
+
+    /// LUT-level depth of the mapping: the maximum number of LUTs on
+    /// any source-to-sink combinational path (BRAM lookups count as
+    /// one level).
+    #[must_use]
+    pub fn logic_depth(&self) -> usize {
+        let index = self.cover_index();
+        let mut depth: HashMap<NodeId, usize> = HashMap::new();
+        // Iterate in an order where dependencies resolve: Kahn over
+        // cover/bram dependency edges.
+        let order = self.evaluation_order();
+        for item in order {
+            match item {
+                EvalItem::Cover(i) => {
+                    let c = &self.covers[i];
+                    let d = c
+                        .leaves
+                        .iter()
+                        .map(|l| depth.get(l).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                        + 1;
+                    depth.insert(c.root, d);
+                }
+                EvalItem::Bram(i) => {
+                    let b = &self.brams[i];
+                    let d = b
+                        .addr
+                        .iter()
+                        .map(|l| depth.get(l).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                        + 1;
+                    for &o in &b.data {
+                        depth.insert(o, d);
+                    }
+                }
+            }
+        }
+        let _ = index;
+        depth.values().copied().max().unwrap_or(0)
+    }
+
+    /// A dependency-respecting evaluation order over covers and BRAM
+    /// cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapped design contains a combinational cycle
+    /// (cannot happen for designs produced by [`crate::map`]).
+    #[must_use]
+    pub fn evaluation_order(&self) -> Vec<EvalItem> {
+        // Net -> producing item.
+        let mut producer: HashMap<NodeId, EvalItem> = HashMap::new();
+        for (i, c) in self.covers.iter().enumerate() {
+            producer.insert(c.root, EvalItem::Cover(i));
+        }
+        for (i, b) in self.brams.iter().enumerate() {
+            for &o in &b.data {
+                producer.insert(o, EvalItem::Bram(i));
+            }
+        }
+        let deps = |item: EvalItem| -> Vec<EvalItem> {
+            let nets: Vec<NodeId> = match item {
+                EvalItem::Cover(i) => self.covers[i].leaves.clone(),
+                EvalItem::Bram(i) => self.brams[i].addr.clone(),
+            };
+            nets.iter().filter_map(|n| producer.get(n).copied()).collect()
+        };
+        let items: Vec<EvalItem> = (0..self.covers.len())
+            .map(EvalItem::Cover)
+            .chain((0..self.brams.len()).map(EvalItem::Bram))
+            .collect();
+        // Kahn.
+        let key = |it: EvalItem| match it {
+            EvalItem::Cover(i) => i,
+            EvalItem::Bram(i) => self.covers.len() + i,
+        };
+        let mut indeg = vec![0usize; self.covers.len() + self.brams.len()];
+        let mut fanout: Vec<Vec<EvalItem>> = vec![Vec::new(); indeg.len()];
+        for &it in &items {
+            for dep in deps(it) {
+                indeg[key(it)] += 1;
+                fanout[key(dep)].push(it);
+            }
+        }
+        let mut queue: Vec<EvalItem> = items.iter().copied().filter(|&i| indeg[key(i)] == 0).collect();
+        let mut order = Vec::with_capacity(items.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let it = queue[head];
+            head += 1;
+            order.push(it);
+            for &succ in &fanout[key(it)].clone() {
+                indeg[key(succ)] -= 1;
+                if indeg[key(succ)] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        assert_eq!(order.len(), items.len(), "combinational cycle in mapped design");
+        order
+    }
+
+    /// Simulates the mapped design for `cycles` clock cycles with the
+    /// given constant input assignment, returning the final values of
+    /// the requested nets after each cycle.
+    ///
+    /// This is the mapping-correctness oracle used by tests: it must
+    /// agree with [`netlist::Simulator`] on the source network.
+    #[must_use]
+    pub fn simulate(
+        &self,
+        inputs: &[(NodeId, bool)],
+        cycles: usize,
+        probes: &[NodeId],
+    ) -> Vec<Vec<bool>> {
+        let order = self.evaluation_order();
+        let mut values: HashMap<NodeId, bool> = HashMap::new();
+        for (id, node) in self.network.iter() {
+            if let NodeKind::Const(b) = node.kind {
+                values.insert(id, b);
+            }
+        }
+        for d in &self.dffs {
+            values.insert(d.q, d.init);
+        }
+        for &(i, v) in inputs {
+            values.insert(i, v);
+        }
+        let mut out = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            // Combinational phase.
+            for &item in &order {
+                match item {
+                    EvalItem::Cover(i) => {
+                        let c = &self.covers[i];
+                        let mut idx = 0u8;
+                        for (p, l) in c.leaves.iter().enumerate() {
+                            if values.get(l).copied().unwrap_or(false) {
+                                idx |= 1 << p;
+                            }
+                        }
+                        values.insert(c.root, c.truth.eval(idx));
+                    }
+                    EvalItem::Bram(i) => {
+                        let b = &self.brams[i];
+                        let mut addr = 0usize;
+                        for (p, a) in b.addr.iter().enumerate() {
+                            if values.get(a).copied().unwrap_or(false) {
+                                addr |= 1 << p;
+                            }
+                        }
+                        let word = self.network.rom_table(b.rom)[addr];
+                        for (bit, &o) in b.data.iter().enumerate() {
+                            values.insert(o, (word >> bit) & 1 == 1);
+                        }
+                    }
+                }
+            }
+            // Latch phase.
+            let next: Vec<(NodeId, bool)> = self
+                .dffs
+                .iter()
+                .map(|d| (d.q, values.get(&d.d).copied().unwrap_or(false)))
+                .collect();
+            for (q, v) in next {
+                values.insert(q, v);
+            }
+            out.push(probes.iter().map(|p| values.get(p).copied().unwrap_or(false)).collect());
+        }
+        out
+    }
+}
+
+/// An item in the mapped design's evaluation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalItem {
+    /// Index into [`MappedDesign::covers`].
+    Cover(usize),
+    /// Index into [`MappedDesign::brams`].
+    Bram(usize),
+}

@@ -1,0 +1,182 @@
+//! A simple delay model and critical-path analysis for mapped
+//! designs.
+//!
+//! Used to reproduce the Section VII-A observation that the
+//! countermeasure's trivial-cut constraint deepens the logic: in the
+//! paper the unprotected critical path was 6.313 ns (through a BRAM
+//! S-box lookup) and the protected design's `MULα → s15` feedback
+//! became critical at 7.514 ns. Our absolute numbers come from this
+//! model, so only the ordering and the identity of the critical path
+//! are expected to match.
+
+use std::collections::HashMap;
+
+use netlist::NodeId;
+
+use crate::design::{EvalItem, MappedDesign};
+
+/// Component delays in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayModel {
+    /// LUT propagation delay.
+    pub lut_ns: f64,
+    /// Average routing delay per net hop.
+    pub wire_ns: f64,
+    /// Block-RAM lookup delay.
+    pub bram_ns: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        // Roughly Artix-7-ish ratios: a BRAM access costs several LUT
+        // levels.
+        Self { lut_ns: 0.45, wire_ns: 0.45, bram_ns: 2.10 }
+    }
+}
+
+/// The result of timing analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Worst combinational delay (register/input to register/output).
+    pub critical_ns: f64,
+    /// Nets on the critical path, source first.
+    pub path: Vec<NodeId>,
+    /// LUT-level depth of the design.
+    pub depth: usize,
+}
+
+impl TimingReport {
+    /// Analyzes `design` under `model`.
+    #[must_use]
+    pub fn analyze(design: &MappedDesign, model: &DelayModel) -> Self {
+        let order = design.evaluation_order();
+        let mut arrival: HashMap<NodeId, f64> = HashMap::new();
+        let mut pred: HashMap<NodeId, NodeId> = HashMap::new();
+        for item in order {
+            match item {
+                EvalItem::Cover(i) => {
+                    let c = &design.covers[i];
+                    let (t, from) = worst_input(&arrival, &c.leaves);
+                    let t = t + model.wire_ns + model.lut_ns;
+                    arrival.insert(c.root, t);
+                    if let Some(f) = from {
+                        pred.insert(c.root, f);
+                    }
+                }
+                EvalItem::Bram(i) => {
+                    let b = &design.brams[i];
+                    let (t, from) = worst_input(&arrival, &b.addr);
+                    let t = t + model.wire_ns + model.bram_ns;
+                    for &o in &b.data {
+                        arrival.insert(o, t);
+                        if let Some(f) = from {
+                            pred.insert(o, f);
+                        }
+                    }
+                }
+            }
+        }
+        // Sinks: flip-flop D inputs and primary outputs.
+        let mut worst: Option<(f64, NodeId)> = None;
+        let mut consider = |net: NodeId, arrival: &HashMap<NodeId, f64>| {
+            let t = arrival.get(&net).copied().unwrap_or(0.0) + model.wire_ns;
+            if worst.is_none_or(|(w, _)| t > w) {
+                worst = Some((t, net));
+            }
+        };
+        for d in &design.dffs {
+            consider(d.d, &arrival);
+        }
+        for (_, id) in design.network.outputs() {
+            consider(*id, &arrival);
+        }
+        let (critical_ns, end) = worst.unwrap_or((0.0, NodeId(0)));
+        let mut path = vec![end];
+        let mut cur = end;
+        while let Some(&p) = pred.get(&cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Self { critical_ns, path, depth: design.logic_depth() }
+    }
+}
+
+fn worst_input(arrival: &HashMap<NodeId, f64>, nets: &[NodeId]) -> (f64, Option<NodeId>) {
+    let mut worst = 0.0;
+    let mut from = None;
+    for &n in nets {
+        let t = arrival.get(&n).copied().unwrap_or(0.0);
+        if from.is_none() || t > worst {
+            worst = t;
+            from = Some(n);
+        }
+    }
+    (worst, from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{map, MapConfig};
+    use netlist::Network;
+
+    #[test]
+    fn deeper_logic_longer_path() {
+        // A 24-input XOR tree needs more LUT levels than a 4-input one.
+        fn xor_net(n: usize) -> Network {
+            let mut net = Network::new();
+            let inputs: Vec<_> = (0..n).map(|i| net.input(format!("i{i}"))).collect();
+            let mut acc = inputs[0];
+            for &i in &inputs[1..] {
+                acc = net.xor(acc, i);
+            }
+            net.set_output("o", acc);
+            net
+        }
+        let model = DelayModel::default();
+        let small = TimingReport::analyze(&map(&xor_net(4), &MapConfig::default()).unwrap(), &model);
+        let big = TimingReport::analyze(&map(&xor_net(24), &MapConfig::default()).unwrap(), &model);
+        assert!(big.critical_ns > small.critical_ns);
+        assert!(big.depth > small.depth);
+    }
+
+    #[test]
+    fn keep_constraint_increases_delay() {
+        // g = ((a ^ b) & c) — absorbed: 1 LUT; with keep on the XOR: 2
+        // LUT levels.
+        fn make(keep: bool) -> Network {
+            let mut net = Network::new();
+            let a = net.input("a");
+            let b = net.input("b");
+            let c = net.input("c");
+            let x = net.xor(a, b);
+            if keep {
+                net.set_keep(x);
+            }
+            let g = net.and(x, c);
+            net.set_output("o", g);
+            net
+        }
+        let model = DelayModel::default();
+        let plain = TimingReport::analyze(&map(&make(false), &MapConfig::default()).unwrap(), &model);
+        let kept = TimingReport::analyze(&map(&make(true), &MapConfig::default()).unwrap(), &model);
+        assert!(kept.critical_ns > plain.critical_ns);
+        assert_eq!(kept.depth, plain.depth + 1);
+    }
+
+    #[test]
+    fn path_endpoints_consistent() {
+        let mut net = Network::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let x = net.xor(a, b);
+        let ff = net.dff(false);
+        net.connect_dff(ff, x);
+        net.set_output("q", ff);
+        let design = map(&net, &MapConfig::default()).unwrap();
+        let report = TimingReport::analyze(&design, &DelayModel::default());
+        assert!(report.critical_ns > 0.0);
+        assert_eq!(*report.path.last().unwrap(), x, "path ends at the FF's D net");
+    }
+}

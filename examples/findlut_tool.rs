@@ -1,0 +1,77 @@
+//! The FINDLUT tool (Section IV-C / Algorithm 1): search a bitstream
+//! for every LUT implementing a Boolean function, up to input
+//! permutation (its entire P equivalence class).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example findlut_tool -- [FORMULA]
+//! ```
+//!
+//! `FORMULA` selects a candidate from the built-in catalogue by name
+//! (e.g. `f2`, `f8`, `m0`); without arguments the full Table II sweep
+//! is printed. The bitstream searched is the victim board's golden
+//! bitstream, generated on the fly.
+
+use std::time::Instant;
+
+use bitmod::{find_lut, Catalogue, FindLutParams};
+use bitstream::FRAME_BYTES;
+use fpga_sim::{ImplementOptions, Snow3gBoard};
+use netlist::snow3g_circuit::Snow3gCircuitConfig;
+use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
+        &ImplementOptions::default(),
+    )?;
+    let golden = board.extract_bitstream();
+    let range = golden.fdri_data_range().expect("FDRI payload");
+    let payload = &golden.as_bytes()[range];
+    println!("searching {} payload bytes (d = {} bytes, r = 4, k = 6)", payload.len(), FRAME_BYTES);
+
+    let catalogue = Catalogue::full();
+    let params = FindLutParams::k6(FRAME_BYTES);
+    let wanted: Vec<String> = std::env::args().skip(1).collect();
+
+    let shapes: Vec<_> = if wanted.is_empty() {
+        catalogue.shapes.iter().collect()
+    } else {
+        catalogue
+            .shapes
+            .iter()
+            .filter(|s| wanted.iter().any(|w| w == s.name))
+            .collect()
+    };
+    if shapes.is_empty() {
+        eprintln!(
+            "unknown candidate name; available: {}",
+            catalogue.shapes.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(1);
+    }
+
+    for shape in shapes {
+        let t0 = Instant::now();
+        let hits = find_lut(payload, shape.truth, &params);
+        let dt = t0.elapsed();
+        println!(
+            "\n{} = {}   ({} hits, {:.1} ms)",
+            shape.name,
+            shape.formula,
+            hits.len(),
+            dt.as_secs_f64() * 1e3
+        );
+        for h in hits.iter().take(8) {
+            println!(
+                "  l = {:>7}  order = {:?}  perm = {}  init = {}",
+                h.l, h.order, h.perm, h.init
+            );
+        }
+        if hits.len() > 8 {
+            println!("  ... and {} more", hits.len() - 8);
+        }
+    }
+    Ok(())
+}

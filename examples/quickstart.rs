@@ -1,0 +1,41 @@
+//! Quickstart: build a SNOW 3G victim board, run the complete
+//! bitstream-modification attack, and print the recovered key.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bitmod::Attack;
+use fpga_sim::{ImplementOptions, Snow3gBoard};
+use netlist::snow3g_circuit::Snow3gCircuitConfig;
+use snow3g::{Iv, Key};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The victim: a SNOW 3G design with the key folded into the
+    // bitstream, implemented on the simulated Artix-7-style device.
+    let key = Key([0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48]);
+    let iv = Iv([0xEA024714, 0xAD5C4D84, 0xDF1F9B25, 0x1C0BF45F]);
+    let board =
+        Snow3gBoard::build(Snow3gCircuitConfig::unprotected(key, iv), &ImplementOptions::default())?;
+    println!("victim board: {board:?}");
+
+    // The attacker extracts the bitstream (e.g. probing the flash)
+    // and runs the attack. Only the bitstream bytes and the keystream
+    // oracle are used.
+    let golden = board.extract_bitstream();
+    println!("extracted bitstream: {} bytes", golden.len());
+
+    let report = Attack::new(&board, golden)?.run()?;
+
+    println!();
+    println!("recovered key : {}", report.recovered.key);
+    println!("recovered IV  : {}", report.recovered.iv);
+    println!("device loads  : {}", report.oracle_loads);
+    println!("z-path LUTs   : {}", report.z_luts.len());
+    println!("feedback LUTs : {}", report.feedback_luts.len());
+    println!("beta edits    : {}", report.beta_edits);
+
+    assert_eq!(report.recovered.key, key);
+    println!("\nsuccess: the key was extracted from the bitstream alone.");
+    Ok(())
+}

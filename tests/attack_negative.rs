@@ -1,0 +1,87 @@
+//! Negative paths of the attack pipeline: wrong devices, broken
+//! oracles, garbage bitstreams.
+
+use bitmod::{Attack, AttackError, KeystreamOracle, OracleError};
+use bitstream::{Bitstream, BitstreamBuilder, FrameData};
+use fpga_sim::{ImplementOptions, Snow3gBoard};
+use netlist::snow3g_circuit::Snow3gCircuitConfig;
+use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+
+#[test]
+fn garbage_bitstream_has_no_payload() {
+    struct Never;
+    impl KeystreamOracle for Never {
+        fn keystream(&self, _: &Bitstream, _: usize) -> Result<Vec<u32>, OracleError> {
+            Err(OracleError::Rejected("unused".into()))
+        }
+    }
+    let err = Attack::new(&Never, Bitstream::from_bytes(vec![0u8; 256])).unwrap_err();
+    assert!(matches!(err, AttackError::NoFdriPayload), "{err}");
+}
+
+#[test]
+fn dead_oracle_fails_cleanly() {
+    struct Dead;
+    impl KeystreamOracle for Dead {
+        fn keystream(&self, _: &Bitstream, _: usize) -> Result<Vec<u32>, OracleError> {
+            Err(OracleError::Rejected("device unreachable".into()))
+        }
+    }
+    // A structurally valid (but empty) bitstream so that payload
+    // extraction succeeds and the first oracle call is reached.
+    let bs = BitstreamBuilder::new(FrameData::new(4)).build();
+    let err = Attack::new(&Dead, bs).unwrap_err();
+    assert!(matches!(err, AttackError::Oracle(_)), "{err}");
+    assert!(err.to_string().contains("device unreachable"));
+}
+
+#[test]
+fn empty_device_yields_no_z_path() {
+    // An oracle that accepts everything but produces a constant
+    // keystream: no candidate can be verified.
+    struct Constant;
+    impl KeystreamOracle for Constant {
+        fn keystream(&self, _: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError> {
+            Ok(vec![0xDEADBEEF; words])
+        }
+    }
+    let bs = BitstreamBuilder::new(FrameData::new(8)).build();
+    let err = Attack::new(&Constant, bs).unwrap().run().unwrap_err();
+    assert!(matches!(err, AttackError::ZPathIncomplete { bits_found: 0 }), "{err}");
+}
+
+#[test]
+fn mismatched_golden_bitstream_is_rejected_by_device() {
+    // Attacking board A with board B's (differently sized) bitstream:
+    // the device refuses configuration on the very first load.
+    let board_a = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
+        &ImplementOptions { columns: Some(4), ..ImplementOptions::default() },
+    )
+    .expect("board a");
+    let board_b = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
+        &ImplementOptions { columns: Some(6), ..ImplementOptions::default() },
+    )
+    .expect("board b");
+    let err = Attack::new(&board_a, board_b.extract_bitstream()).unwrap_err();
+    assert!(matches!(err, AttackError::Oracle(_)), "{err}");
+}
+
+#[test]
+fn truncated_golden_bitstream() {
+    let board = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
+        &ImplementOptions::default(),
+    )
+    .expect("board");
+    let golden = board.extract_bitstream();
+    let cut = Bitstream::from_bytes(golden.as_bytes()[..golden.len() / 2].to_vec());
+    // Either payload extraction fails or the device rejects; both are
+    // clean errors, never a panic.
+    match Attack::new(&board, cut) {
+        Err(AttackError::NoFdriPayload | AttackError::Oracle(_)) => {}
+        Err(other) => panic!("unexpected error kind: {other}"),
+        Ok(_) => panic!("truncated bitstream must not prepare"),
+    }
+}

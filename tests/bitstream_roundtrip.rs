@@ -1,0 +1,141 @@
+//! Property tests over the bitstream container: build/parse
+//! round-trips, LUT codec round-trips through a full file, CRC error
+//! detection, the CRC-disable trick, and the secure (Fig. 1)
+//! container.
+
+use bitstream::secure::SecureBitstream;
+use bitstream::{
+    codec, Bitstream, BitstreamBuilder, FrameData, LutLocation, ParseBitstreamError,
+    SubVectorOrder, FRAME_BYTES,
+};
+use boolfn::DualOutputInit;
+use proptest::prelude::*;
+
+fn arb_order() -> impl Strategy<Value = SubVectorOrder> {
+    prop_oneof![Just(SubVectorOrder::SliceL), Just(SubVectorOrder::SliceM)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn build_parse_roundtrip(frames in 1usize..6, seed in any::<u64>()) {
+        let mut data = FrameData::new(frames);
+        let mut x = seed;
+        for b in data.as_mut_bytes().iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 56) as u8;
+        }
+        let bs = BitstreamBuilder::new(data.clone()).build();
+        let cfg = bs.parse().expect("round-trips");
+        prop_assert!(cfg.crc_checked);
+        prop_assert_eq!(cfg.frames, data);
+    }
+
+    #[test]
+    fn lut_codec_roundtrip_through_file(
+        init in any::<u64>(),
+        order in arb_order(),
+        slot in 0usize..200,
+    ) {
+        let mut data = FrameData::new(8);
+        let loc = LutLocation { l: slot * 2, d: FRAME_BYTES, order };
+        codec::write_lut(data.as_mut_bytes(), loc, DualOutputInit::new(init));
+        let bs = BitstreamBuilder::new(data).build();
+        let cfg = bs.parse().expect("parses");
+        let got = codec::read_lut(cfg.frames.as_bytes(), loc);
+        prop_assert_eq!(got.init(), init);
+    }
+
+    #[test]
+    fn any_payload_flip_is_detected(
+        frames in 1usize..4,
+        byte in any::<usize>(),
+        bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let mut data = FrameData::new(frames);
+        let mut x = seed;
+        for b in data.as_mut_bytes().iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            *b = (x >> 48) as u8;
+        }
+        let mut bs = BitstreamBuilder::new(data).build();
+        let range = bs.fdri_data_range().expect("payload");
+        let at = range.start + byte % range.len();
+        bs.as_mut_bytes()[at] ^= 1 << bit;
+        let mismatch = matches!(bs.parse(), Err(ParseBitstreamError::CrcMismatch { .. }));
+        prop_assert!(mismatch);
+        // The paper's fix: zero the CRC packet and the device accepts.
+        bs.disable_crc();
+        let cfg = bs.parse().expect("accepted without CRC");
+        prop_assert!(!cfg.crc_checked);
+    }
+
+    #[test]
+    fn recompute_crc_always_heals(
+        byte in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut data = FrameData::new(3);
+        for (i, b) in data.as_mut_bytes().iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let mut bs = BitstreamBuilder::new(data).build();
+        let range = bs.fdri_data_range().expect("payload");
+        let at = range.start + byte % range.len();
+        bs.as_mut_bytes()[at] ^= 1 << bit;
+        prop_assert!(bs.recompute_crc());
+        let cfg = bs.parse().expect("parses after CRC repair");
+        prop_assert!(cfg.crc_checked);
+    }
+
+    #[test]
+    fn secure_container_roundtrip(
+        len in 0usize..600,
+        k_enc in any::<[u8; 32]>(),
+        k_auth in any::<[u8; 32]>(),
+        iv in any::<[u8; 16]>(),
+    ) {
+        let body: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+        let bs = Bitstream::from_bytes(body);
+        let sealed = SecureBitstream::seal(&bs, &k_enc, &k_auth, iv);
+        let opened = sealed.open(&k_enc).expect("opens with the right key");
+        prop_assert_eq!(opened.bitstream, bs);
+        prop_assert_eq!(opened.k_auth, k_auth);
+    }
+
+    #[test]
+    fn secure_container_rejects_wrong_key(
+        k_enc in any::<[u8; 32]>(),
+        wrong in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(k_enc != wrong);
+        let bs = Bitstream::from_bytes(vec![0xAB; 64]);
+        let sealed = SecureBitstream::seal(&bs, &k_enc, &[7; 32], [9; 16]);
+        prop_assert!(sealed.open(&wrong).is_err());
+    }
+
+    #[test]
+    fn secure_container_detects_tampering(
+        flip in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let bs = Bitstream::from_bytes((0..256u32).map(|i| i as u8).collect());
+        let k_enc = [3; 32];
+        let mut sealed = SecureBitstream::seal(&bs, &k_enc, &[4; 32], [5; 16]);
+        let at = flip % sealed.ciphertext.len();
+        sealed.ciphertext[at] ^= 1 << bit;
+        prop_assert!(sealed.open(&k_enc).is_err());
+    }
+}
+
+#[test]
+fn fdri_range_is_stable_under_rebuild() {
+    let mut data = FrameData::new(4);
+    data.as_mut_bytes()[100] = 0xEE;
+    let a = BitstreamBuilder::new(data.clone()).build();
+    let b = BitstreamBuilder::new(data).build();
+    assert_eq!(a, b, "builder is deterministic");
+    assert_eq!(a.fdri_data_range(), b.fdri_data_range());
+}

@@ -24,7 +24,9 @@ fn bench_initialization(c: &mut Criterion) {
 fn bench_faulty_models(c: &mut Criterion) {
     let mut g = c.benchmark_group("cipher/faulty");
     g.bench_function("alpha-16-words", |b| {
-        b.iter(|| FaultySnow3g::new(TEST_SET_1_KEY, TEST_SET_1_IV, FaultSpec::alpha()).keystream(16));
+        b.iter(|| {
+            FaultySnow3g::new(TEST_SET_1_KEY, TEST_SET_1_IV, FaultSpec::alpha()).keystream(16)
+        });
     });
     g.bench_function("key-independent-16-words", |b| {
         b.iter(|| {

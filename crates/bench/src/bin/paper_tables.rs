@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use bench::{payload_of, test_board};
 use bitmod::countermeasure::{self, complexity};
-use bitmod::{find_lut, Attack, Catalogue, FindLutParams};
+use bitmod::{Attack, Catalogue, Scanner};
 use bitstream::{xi, FRAME_BYTES};
 use snow3g::vectors::{PAPER_TABLE_III, PAPER_TABLE_IV, PAPER_TABLE_V};
 use techmap::{map, DelayModel, MapConfig, TimingReport};
@@ -33,9 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Sections that need the unprotected board / attack run.
-    let need_attack = ["table2", "table3", "table4", "table5", "fig5"]
-        .iter()
-        .any(|s| want(&sections, s));
+    let need_attack =
+        ["table2", "table3", "table4", "table5", "fig5"].iter().any(|s| want(&sections, s));
     if need_attack {
         let board = test_board(false);
         let report = Attack::new(&board, board.extract_bitstream())?.run()?;
@@ -43,13 +42,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print_table2(&report);
         }
         if want(&sections, "table3") {
-            print_words("TABLE III — key-independent keystream", &report.key_independent_keystream, &PAPER_TABLE_III);
+            print_words(
+                "TABLE III — key-independent keystream",
+                &report.key_independent_keystream,
+                &PAPER_TABLE_III,
+            );
         }
         if want(&sections, "table4") {
-            print_words("TABLE IV — keystream under fault α (= S³³)", &report.alpha_keystream, &PAPER_TABLE_IV);
+            print_words(
+                "TABLE IV — keystream under fault α (= S³³)",
+                &report.alpha_keystream,
+                &PAPER_TABLE_IV,
+            );
         }
         if want(&sections, "table5") {
-            print_words("TABLE V — recovered initial state S⁰", &report.recovered.initial_state, &PAPER_TABLE_V);
+            print_words(
+                "TABLE V — recovered initial state S⁰",
+                &report.recovered.initial_state,
+                &PAPER_TABLE_V,
+            );
             println!("recovered key: 0x{}", report.recovered.key);
         }
         if want(&sections, "fig5") {
@@ -88,11 +99,7 @@ fn print_ablation() {
     for max_cuts in [4usize, 8, 16, 32] {
         let cfg = MapConfig { max_cuts, ..MapConfig::default() };
         let design = map(net, &cfg).expect("maps");
-        println!(
-            "  {max_cuts:>8} | {:>11} | {:>5}",
-            design.covers.len(),
-            design.logic_depth()
-        );
+        println!("  {max_cuts:>8} | {:>11} | {:>5}", design.covers.len(), design.logic_depth());
     }
     println!("cover-selection objective (max_cuts = 16):");
     for (name, objective) in [("area", MapObjective::Area), ("depth", MapObjective::Depth)] {
@@ -179,7 +186,10 @@ fn print_fig4() {
     let design = &board.design;
     let total = design.lut_count();
     let fractured = design.fractured_count();
-    println!("physical LUTs: {total}, fractured (two outputs): {fractured}, single: {}", total - fractured);
+    println!(
+        "physical LUTs: {total}, fractured (two outputs): {fractured}, single: {}",
+        total - fractured
+    );
     let pboard = test_board(true);
     println!(
         "protected design: {} LUTs, {} fractured (the trivial XOR pairs of Section VII-A)",
@@ -237,8 +247,8 @@ fn print_protected(sections: &[String]) -> Result<(), Box<dyn std::error::Error>
         let payload = payload_of(&golden);
         let cat = Catalogue::full();
         println!("   shape | hits");
-        for shape in &cat.shapes {
-            let hits = find_lut(&payload, shape.truth, &FindLutParams::k6(FRAME_BYTES));
+        let scanner = Scanner::builder().stride(FRAME_BYTES).catalogue(&cat).build()?;
+        for (shape, hits) in cat.shapes.iter().zip(scanner.scan_grouped(&payload)) {
             println!("   {:>5} | {}", shape.name, hits.len());
         }
         println!("(paper: all feedback rows 0; stray z-path-class matches remain but are \"not useful\")");
@@ -249,10 +259,16 @@ fn print_protected(sections: &[String]) -> Result<(), Box<dyn std::error::Error>
         let t0 = Instant::now();
         let full = countermeasure::xor_half_scan(&payload, FRAME_BYTES, 0..payload.len());
         let dt = t0.elapsed();
-        let windowed =
-            countermeasure::xor_half_scan(&payload, FRAME_BYTES, 0..payload.len() / 2);
-        println!("unconstrained scan: {} hits in {:.1} ms (paper: 481 hits)", full.len(), dt.as_secs_f64() * 1e3);
-        println!("constrained scan (half-payload window): {} hits (paper: 203 in a 200k window)", windowed.len());
+        let windowed = countermeasure::xor_half_scan(&payload, FRAME_BYTES, 0..payload.len() / 2);
+        println!(
+            "unconstrained scan: {} hits in {:.1} ms (paper: 481 hits)",
+            full.len(),
+            dt.as_secs_f64() * 1e3
+        );
+        println!(
+            "constrained scan (half-payload window): {} hits (paper: 203 in a 200k window)",
+            windowed.len()
+        );
         let report = countermeasure::evaluate(&board, &golden, Some(0..payload.len() / 2))?;
         println!(
             "after pruning {} z-path XORs: {} candidates remain → search 2^{:.1} (paper: C(171,32) ≈ 2^115)",

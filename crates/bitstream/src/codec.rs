@@ -202,9 +202,6 @@ mod tests {
         // all-0 bytes — which is why the "replace with 0s" fault of
         // the paper is easy to spot-check.
         assert_eq!(encode(DualOutputInit::new(0), SubVectorOrder::SliceL), [0; 4]);
-        assert_eq!(
-            encode(DualOutputInit::new(u64::MAX), SubVectorOrder::SliceM),
-            [u16::MAX; 4]
-        );
+        assert_eq!(encode(DualOutputInit::new(u64::MAX), SubVectorOrder::SliceM), [u16::MAX; 4]);
     }
 }

@@ -69,15 +69,16 @@ impl BitstreamBuilder {
         words.push(NOP);
 
         let mut crc = ConfigCrc::new();
-        let write1 = |words: &mut Vec<u32>, crc: &mut ConfigCrc, addr: RegisterAddress, vals: &[u32]| {
-            words.push(Packet::type1_header(addr, vals.len()));
-            for &v in vals {
-                words.push(v);
-                if addr != RegisterAddress::Crc {
-                    crc.update(addr as u16, v);
+        let write1 =
+            |words: &mut Vec<u32>, crc: &mut ConfigCrc, addr: RegisterAddress, vals: &[u32]| {
+                words.push(Packet::type1_header(addr, vals.len()));
+                for &v in vals {
+                    words.push(v);
+                    if addr != RegisterAddress::Crc {
+                        crc.update(addr as u16, v);
+                    }
                 }
-            }
-        };
+            };
 
         write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Rcrc as u32]);
         crc.reset();

@@ -63,7 +63,10 @@ impl DualOutputInit {
     /// Panics if either function has more than 5 variables.
     #[must_use]
     pub fn from_pair(o5: TruthTable, o6: TruthTable) -> Self {
-        assert!(o5.num_vars() <= 5 && o6.num_vars() <= 5, "fractured halves take at most 5 variables");
+        assert!(
+            o5.num_vars() <= 5 && o6.num_vars() <= 5,
+            "fractured halves take at most 5 variables"
+        );
         let lo = o5.extend(5).bits() & 0xffff_ffff;
         let hi = o6.extend(5).bits() & 0xffff_ffff;
         Self(lo | (hi << 32))

@@ -331,9 +331,8 @@ mod tests {
     fn operators_build_expected_tables() {
         let f = (var(1) ^ var(2)) & !var(3);
         let tt = f.truth_table(3);
-        let want = TruthTable::var(3, 1)
-            .xor(TruthTable::var(3, 2))
-            .and(TruthTable::var(3, 3).not());
+        let want =
+            TruthTable::var(3, 1).xor(TruthTable::var(3, 2)).and(TruthTable::var(3, 3).not());
         assert_eq!(tt, want);
     }
 

@@ -363,9 +363,7 @@ mod tests {
     #[test]
     fn support_of_gated_xor() {
         // (a1 ^ a2) & a4 should depend on a1, a2, a4 but not a3.
-        let f = TruthTable::var(4, 1)
-            .xor(TruthTable::var(4, 2))
-            .and(TruthTable::var(4, 4));
+        let f = TruthTable::var(4, 1).xor(TruthTable::var(4, 2)).and(TruthTable::var(4, 4));
         assert_eq!(f.support(), 0b1011);
         assert!(f.depends_on(1));
         assert!(!f.depends_on(3));

@@ -38,7 +38,7 @@ use snow3g::{FaultSpec, FaultySnow3g, Iv, Key};
 
 use crate::candidates::{Catalogue, Role, Shape};
 use crate::edit::{CrcStrategy, EditSession};
-use crate::findlut::{find_lut, scan_halves, FindLutParams, LutHit};
+use crate::findlut::{LutHit, ScanConfigError, Scanner};
 use crate::oracle::{KeystreamOracle, OracleError};
 
 /// A verified keystream-path LUT (`LUT₁[i]`).
@@ -78,16 +78,36 @@ impl SiteLattice {
     #[must_use]
     pub fn infer(samples: &[(usize, bitstream::SubVectorOrder)], d: usize) -> Self {
         fn gcd(a: usize, b: usize) -> usize {
-            if b == 0 { a } else { gcd(b, a % b) }
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
         }
         let permissive =
             Self { parity: None, modulus: 1, residue: 0, d, order_of_group: [None, None] };
-        let Some(&(first, _)) = samples.first() else { return permissive };
-        let parity = first % 2;
-        if samples.iter().any(|(l, _)| l % 2 != parity) {
+        if samples.is_empty() {
             return permissive;
         }
-        let parity = Some(parity);
+        // Majority-vote parity (≥ 80% decisive), mirroring the
+        // frame-modulus handling below: a single misaligned window
+        // that verified by coincidence must not disable the whole
+        // lattice.
+        let even = samples.iter().filter(|(l, _)| l % 2 == 0).count();
+        let odd = samples.len() - even;
+        let parity = if even * 5 >= samples.len() * 4 {
+            Some(0)
+        } else if odd * 5 >= samples.len() * 4 {
+            Some(1)
+        } else {
+            None
+        };
+        // Off-parity samples are outliers; exclude them from stride
+        // and order inference.
+        let samples: Vec<(usize, bitstream::SubVectorOrder)> =
+            samples.iter().copied().filter(|(l, _)| parity.is_none_or(|p| l % 2 == p)).collect();
+        let samples = &samples[..];
+        let Some(&(first, _)) = samples.first() else { return permissive };
         let f0 = first / d;
         let base = samples.iter().fold(0usize, |g, &(l, _)| gcd(g, (l / d).abs_diff(f0)));
         if base == 0 {
@@ -100,7 +120,8 @@ impl SiteLattice {
         let mut modulus = base.max(1);
         for factor in [8usize, 4, 2] {
             let g = base.max(1) * factor;
-            let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
             for &(l, _) in samples {
                 *counts.entry((l / d) % g).or_default() += 1;
             }
@@ -123,11 +144,8 @@ impl SiteLattice {
             .max_by_key(|&(r, c)| (c, std::cmp::Reverse(r)))
             .map_or(f0 % modulus, |(r, _)| r);
         // Order inference restricted to on-lattice samples.
-        let samples: Vec<(usize, bitstream::SubVectorOrder)> = samples
-            .iter()
-            .copied()
-            .filter(|(l, _)| (l / d) % modulus == residue)
-            .collect();
+        let samples: Vec<(usize, bitstream::SubVectorOrder)> =
+            samples.iter().copied().filter(|(l, _)| (l / d) % modulus == residue).collect();
         let samples = &samples[..];
         // Learn the slice-type alternation by majority vote: which
         // sub-vector order appears in even vs odd column groups. A
@@ -163,8 +181,7 @@ impl SiteLattice {
     /// Whether a candidate byte offset lies on the lattice.
     #[must_use]
     pub fn accepts(&self, l: usize) -> bool {
-        self.parity.is_none_or(|p| l % 2 == p)
-            && (l / self.d) % self.modulus == self.residue
+        self.parity.is_none_or(|p| l % 2 == p) && (l / self.d) % self.modulus == self.residue
     }
 
     /// Whether a hit's sub-vector order matches the slice type
@@ -273,6 +290,8 @@ pub enum AttackError {
     },
     /// LFSR reversal failed on the final faulty keystream.
     Recover(RecoverKeyError),
+    /// The candidate scan could not be configured (e.g. zero stride).
+    Config(ScanConfigError),
 }
 
 impl fmt::Display for AttackError {
@@ -290,11 +309,21 @@ impl fmt::Display for AttackError {
                 write!(f, "could not resolve the v input pair for keystream bit {bit}")
             }
             AttackError::Recover(e) => write!(f, "key recovery failed: {e}"),
+            AttackError::Config(e) => write!(f, "invalid scan configuration: {e}"),
         }
     }
 }
 
-impl std::error::Error for AttackError {}
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Oracle(e) => Some(e),
+            AttackError::Recover(e) => Some(e),
+            AttackError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<OracleError> for AttackError {
     fn from(e: OracleError) -> Self {
@@ -305,6 +334,12 @@ impl From<OracleError> for AttackError {
 impl From<RecoverKeyError> for AttackError {
     fn from(e: RecoverKeyError) -> Self {
         AttackError::Recover(e)
+    }
+}
+
+impl From<ScanConfigError> for AttackError {
+    fn from(e: ScanConfigError) -> Self {
+        AttackError::Config(e)
     }
 }
 
@@ -395,12 +430,18 @@ impl<'a> Attack<'a> {
     /// predicts for its site, re-deriving the matching permutation.
     /// Hits that no longer match the candidate under the corrected
     /// order are returned unchanged.
-    fn normalize_hit(&self, hit: &LutHit, shape_truth: TruthTable, lattice: &SiteLattice) -> LutHit {
+    fn normalize_hit(
+        &self,
+        hit: &LutHit,
+        shape_truth: TruthTable,
+        lattice: &SiteLattice,
+    ) -> LutHit {
         let Some(order) = lattice.expected_order(hit.l) else { return hit.clone() };
         if order == hit.order {
             return hit.clone();
         }
-        let corrected = crate::findlut::rematch_at(&self.payload, hit.l, self.d, order, shape_truth);
+        let corrected =
+            crate::findlut::rematch_at(&self.payload, hit.l, self.d, order, shape_truth);
         corrected.unwrap_or_else(|| hit.clone())
     }
 
@@ -410,12 +451,13 @@ impl<'a> Attack<'a> {
     ///
     /// See [`AttackError`].
     pub fn run(mut self) -> Result<AttackReport, AttackError> {
-        // Phase 1: candidate search (Table II data).
-        let params = FindLutParams::k6(self.d);
+        // Phase 1: candidate search (Table II data) — the whole
+        // catalogue in one pass over the payload.
+        let scanner = Scanner::builder().k(6).stride(self.d).catalogue(&self.catalogue).build()?;
+        let grouped = scanner.scan_grouped(&self.payload);
         let mut hits_by_shape: HashMap<&'static str, Vec<LutHit>> = HashMap::new();
         let mut candidate_counts = Vec::new();
-        for shape in &self.catalogue.shapes.clone() {
-            let hits = find_lut(&self.payload, shape.truth, &params);
+        for (shape, hits) in self.catalogue.shapes.iter().zip(grouped) {
             candidate_counts.push((shape.name, hits.len()));
             hits_by_shape.insert(shape.name, hits);
         }
@@ -444,8 +486,10 @@ impl<'a> Attack<'a> {
         }
         if std::env::var_os("BITMOD_DEBUG").is_some() {
             eprintln!("[lattice] {lattice:?}");
-            eprintln!("[lattice] sample frames: {:?}",
-                samples.iter().map(|(l, o)| (l / self.d, *o)).collect::<Vec<_>>());
+            eprintln!(
+                "[lattice] sample frames: {:?}",
+                samples.iter().map(|(l, o)| (l / self.d, *o)).collect::<Vec<_>>()
+            );
         }
 
         // Normalize verified hits to the lattice-predicted orders so
@@ -536,13 +580,8 @@ impl<'a> Attack<'a> {
         hits_by_shape: &HashMap<&'static str, Vec<LutHit>>,
         lattice: &SiteLattice,
     ) -> Result<(Vec<FeedbackLut>, usize), AttackError> {
-        let shapes: Vec<Shape> = self
-            .catalogue
-            .shapes
-            .iter()
-            .filter(|s| s.role == Role::Feedback)
-            .cloned()
-            .collect();
+        let shapes: Vec<Shape> =
+            self.catalogue.shapes.iter().filter(|s| s.role == Role::Feedback).cloned().collect();
         let mut out: Vec<FeedbackLut> = Vec::new();
         let mut dead = 0usize;
         for shape in shapes {
@@ -670,7 +709,8 @@ impl<'a> Attack<'a> {
     ) -> Result<(Vec<LoadMuxHalf>, usize), AttackError> {
         // Scan for LUTs with an OR-of-two-pins half, on the site
         // lattice learned from the verified LUTs.
-        let raw = scan_halves(&self.payload, self.d, 0..self.payload.len(), |o5, o6| {
+        let scanner = Scanner::builder().stride(self.d).build()?;
+        let raw = scanner.scan_halves(&self.payload, 0..self.payload.len(), |o5, o6| {
             or_pair(o5).is_some() || or_pair(o6).is_some()
         });
         let mut out: Vec<LoadMuxHalf> = Vec::new();
@@ -693,9 +733,7 @@ impl<'a> Attack<'a> {
                 // orders when the lattice could not learn the slice
                 // alternation; one edit suffices (both views write
                 // the same reachable-row semantics).
-                if out.iter().any(|h| {
-                    h.half == half && h.hit.l == hit.l
-                }) {
+                if out.iter().any(|h| h.half == half && h.hit.l == hit.l) {
                     continue;
                 }
                 // Null test: a genuine load mux is insensitive to
@@ -910,8 +948,8 @@ mod tests {
         // alternating orders by column parity.
         let d = 404usize;
         let samples: Vec<(usize, bitstream::SubVectorOrder)> = vec![
-            (0 * d + 10, SliceL),
-            (0 * d + 44, SliceL),
+            (10, SliceL),
+            (44, SliceL),
             (12 * d + 8, SliceM),
             (12 * d + 70, SliceM),
             (24 * d + 2, SliceL),
@@ -936,6 +974,23 @@ mod tests {
         let lat = SiteLattice::infer(&samples, d);
         assert!(lat.accepts(36 * d), "true sites still accepted");
         assert!(!lat.accepts(7 * d + 6), "the outlier itself is rejected");
+    }
+
+    #[test]
+    fn lattice_tolerates_parity_outliers() {
+        use bitstream::SubVectorOrder::SliceL;
+        let d = 404usize;
+        // Nine even-offset samples and one odd-offset coincidence: a
+        // single misaligned window that verified by accident must not
+        // disable the lattice (it once did, leaving the d=101 family
+        // with 39 feedback candidates and an intractable drop search).
+        let mut samples: Vec<(usize, bitstream::SubVectorOrder)> =
+            (0..9).map(|i| (i * 4 * d + 2 * i, SliceL)).collect();
+        samples.push((7 * d + 9, SliceL));
+        let lat = SiteLattice::infer(&samples, d);
+        assert!(lat.accepts(16 * d + 2), "true sites still accepted");
+        assert!(!lat.accepts(16 * d + 3), "odd offsets rejected");
+        assert!(!lat.accepts(7 * d + 9), "the parity outlier itself is rejected");
     }
 
     #[test]

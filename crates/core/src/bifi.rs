@@ -131,12 +131,7 @@ pub fn candidate_positions(payload: &[u8], d: usize) -> Vec<LutHit> {
             }
             let init = bitstream::codec::decode(stored, order);
             if init.init() != 0 {
-                out.push(LutHit {
-                    l,
-                    order,
-                    perm: boolfn::Permutation::identity(6),
-                    init,
-                });
+                out.push(LutHit { l, order, perm: boolfn::Permutation::identity(6), init });
                 break;
             }
         }
@@ -155,9 +150,8 @@ pub fn run(
     golden: &Bitstream,
     config: &BifiConfig,
 ) -> Result<BifiReport, OracleError> {
-    let range = golden
-        .fdri_data_range()
-        .ok_or_else(|| OracleError::Rejected("no FDRI payload".into()))?;
+    let range =
+        golden.fdri_data_range().ok_or_else(|| OracleError::Rejected("no FDRI payload".into()))?;
     let payload = &golden.as_bytes()[range];
     let d = bitstream::FRAME_BYTES;
     let golden_keystream = oracle.keystream(golden, config.words)?;
@@ -224,7 +218,8 @@ mod tests {
 
     #[test]
     fn empty_payload_yields_no_candidates() {
-        let positions = candidate_positions(&[0u8; 4 * bitstream::FRAME_BYTES], bitstream::FRAME_BYTES);
+        let positions =
+            candidate_positions(&[0u8; 4 * bitstream::FRAME_BYTES], bitstream::FRAME_BYTES);
         assert!(positions.is_empty());
     }
 }

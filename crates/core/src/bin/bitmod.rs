@@ -1,8 +1,8 @@
 //! `bitmod` — bitstream inspection and modification tool.
 //!
 //! ```text
-//! bitmod findlut <file> <name-or-formula> [--stride N]
-//! bitmod table2  <file> [--stride N]
+//! bitmod findlut <file> <name-or-formula> [--stride N] [--json]
+//! bitmod table2  <file> [--stride N] [--json]
 //! bitmod xorscan <file> [--stride N] [--window A..B]
 //! bitmod packets <file>
 //! bitmod crc     <file> (--disable | --recompute) [-o OUT]
@@ -10,7 +10,9 @@
 //! ```
 //!
 //! Functions are catalogue names (`f2`, `m0b`, ...) or formulas over
-//! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`.
+//! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`. With `--json`, `findlut`
+//! and `table2` emit one stable JSON record per hit instead of the
+//! human-readable report (see [`cli::lut_hit_json`]).
 
 use std::process::ExitCode;
 
@@ -26,6 +28,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut stride = cli::default_stride();
     let mut window: Option<(usize, usize)> = None;
+    let mut json = false;
     let mut disable = false;
     let mut recompute = false;
     let mut out_path: Option<String> = None;
@@ -41,9 +44,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 let (a, b) = spec.split_once("..").ok_or("--window needs A..B")?;
                 window = Some((a.parse()?, b.parse()?));
             }
+            "--json" => json = true,
             "--disable" => disable = true,
             "--recompute" => recompute = true,
             "-o" => out_path = Some(it.next().ok_or("-o needs a path")?.clone()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option '{flag}'; {usage}").into());
+            }
             _ => positional.push(arg),
         }
     }
@@ -51,9 +58,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     match cmd.as_str() {
         "findlut" => {
             let f = positional.first().ok_or("findlut needs a function")?;
-            print!("{}", cli::cmd_findlut(&bs, f, stride)?);
+            print!("{}", cli::cmd_findlut(&bs, f, stride, json)?);
         }
-        "table2" => print!("{}", cli::cmd_table2(&bs, stride)?),
+        "table2" => print!("{}", cli::cmd_table2(&bs, stride, json)?),
         "xorscan" => print!("{}", cli::cmd_xorscan(&bs, stride, window)?),
         "packets" => print!("{}", cli::cmd_packets(&bs)),
         "diff" => {

@@ -196,8 +196,8 @@ impl Catalogue {
         // s15 outer-bit load-mux covers (lin absorbed, v NOT inside):
         // only the γ = 1 form needs a β edit (load 0 instead of 1).
         let m1 = Shape::new("m1", Role::LoadMux, &(!var(1) & x5()));
-        let m1b = Shape::new("m1b", Role::LoadMux, &(var(1) | x5()))
-            .with_keyindep(&(!var(1) & x5()));
+        let m1b =
+            Shape::new("m1b", Role::LoadMux, &(var(1) | x5())).with_keyindep(&(!var(1) & x5()));
 
         Self { shapes: vec![f2, m0, m0b, g4, f7, g3c, m1, m1b] }
     }
@@ -265,7 +265,8 @@ mod tests {
                 let pb = (input >> (vnt.pair.1 - 1)) & 1;
                 if pa == pb {
                     assert_eq!(
-                        vnt.faulted.eval(input & !(1 << (vnt.pair.0 - 1)) & !(1 << (vnt.pair.1 - 1))),
+                        vnt.faulted
+                            .eval(input & !(1 << (vnt.pair.0 - 1)) & !(1 << (vnt.pair.1 - 1))),
                         f2.truth.eval(input & !(1 << (vnt.pair.0 - 1)) & !(1 << (vnt.pair.1 - 1))),
                     );
                 }

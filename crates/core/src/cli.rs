@@ -18,7 +18,7 @@ use bitstream::{Bitstream, Packet, FRAME_BYTES};
 
 use crate::candidates::Catalogue;
 use crate::countermeasure::xor_half_scan;
-use crate::findlut::{find_lut, FindLutParams};
+use crate::findlut::{LutHit, ScanConfigError, Scanner};
 
 /// An error from a CLI operation.
 #[derive(Debug)]
@@ -35,6 +35,8 @@ pub enum CliError {
     NoPayload,
     /// Malformed command-line usage.
     Usage(String),
+    /// The requested scan configuration was invalid.
+    Config(ScanConfigError),
 }
 
 impl fmt::Display for CliError {
@@ -45,11 +47,26 @@ impl fmt::Display for CliError {
             }
             CliError::NoPayload => write!(f, "bitstream has no FDRI payload"),
             CliError::Usage(msg) => write!(f, "usage: {msg}"),
+            CliError::Config(e) => write!(f, "invalid scan configuration: {e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::BadFunction { parse, .. } => Some(parse),
+            CliError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScanConfigError> for CliError {
+    fn from(e: ScanConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
 
 /// Resolves a function argument: a catalogue shape name (`f2`, `m0b`,
 /// ...) or a formula over `a1..a6` (`"(a1^a2^a3) a4 a5 ~a6"`).
@@ -67,21 +84,53 @@ pub fn resolve_function(arg: &str) -> Result<(String, TruthTable), CliError> {
     }
 }
 
+/// Serializes one [`LutHit`] as a stable single-line JSON record.
+///
+/// The field set and order are part of the CLI contract (consumers
+/// may line-split and parse): `candidate`, `l`, `file_offset`,
+/// `order`, `perm`, `init`.
+#[must_use]
+pub fn lut_hit_json(candidate: &str, file_offset: usize, hit: &LutHit) -> String {
+    let perm: Vec<String> = hit.perm.as_slice().iter().map(u8::to_string).collect();
+    format!(
+        "{{\"candidate\":\"{}\",\"l\":{},\"file_offset\":{},\"order\":\"{:?}\",\"perm\":[{}],\"init\":\"{:#018x}\"}}",
+        candidate.escape_default(),
+        hit.l,
+        file_offset,
+        hit.order,
+        perm.join(","),
+        hit.init.init()
+    )
+}
+
 /// `findlut`: searches a bitstream for a function's P class; returns a
-/// printable report.
+/// printable report, or (with `json`) one JSON record per hit.
 ///
 /// # Errors
 ///
 /// Propagates argument and payload errors.
-pub fn cmd_findlut(bs: &Bitstream, function: &str, d: usize) -> Result<String, CliError> {
+pub fn cmd_findlut(
+    bs: &Bitstream,
+    function: &str,
+    d: usize,
+    json: bool,
+) -> Result<String, CliError> {
     let (label, truth) = resolve_function(function)?;
     let range = bs.fdri_data_range().ok_or(CliError::NoPayload)?;
     let payload = &bs.as_bytes()[range.clone()];
+    let scanner = Scanner::builder().k(6).stride(d).candidate(truth).build()?;
     let t0 = std::time::Instant::now();
-    let hits = find_lut(payload, truth, &FindLutParams { k: 6, d, orders: None });
+    let hits = scanner.scan(payload);
     let dt = t0.elapsed();
     let mut out = String::new();
     use fmt::Write;
+    if json {
+        let name = function;
+        for h in &hits {
+            let _ = writeln!(out, "{}", lut_hit_json(name, range.start + h.hit.l, &h.hit));
+        }
+        return Ok(out);
+    }
     let _ = writeln!(out, "searching for {label}");
     let _ = writeln!(
         out,
@@ -91,6 +140,7 @@ pub fn cmd_findlut(bs: &Bitstream, function: &str, d: usize) -> Result<String, C
     );
     let _ = writeln!(out, "{} hit(s) in {:.1} ms:", hits.len(), dt.as_secs_f64() * 1e3);
     for h in &hits {
+        let h = &h.hit;
         let _ = writeln!(
             out,
             "  l = {:>8}  (file offset {:>8})  order = {:?}  perm = {}  init = {}",
@@ -104,20 +154,30 @@ pub fn cmd_findlut(bs: &Bitstream, function: &str, d: usize) -> Result<String, C
     Ok(out)
 }
 
-/// `table2`: the full candidate sweep over a bitstream.
+/// `table2`: the full candidate sweep over a bitstream — the whole
+/// catalogue in a single [`Scanner`] pass. With `json`, emits one
+/// record per hit instead of the count table.
 ///
 /// # Errors
 ///
 /// Propagates payload errors.
-pub fn cmd_table2(bs: &Bitstream, d: usize) -> Result<String, CliError> {
+pub fn cmd_table2(bs: &Bitstream, d: usize, json: bool) -> Result<String, CliError> {
     let range = bs.fdri_data_range().ok_or(CliError::NoPayload)?;
-    let payload = &bs.as_bytes()[range];
+    let payload = &bs.as_bytes()[range.clone()];
+    let catalogue = Catalogue::full();
+    let scanner = Scanner::builder().k(6).stride(d).catalogue(&catalogue).build()?;
     let mut out = String::new();
     use fmt::Write;
+    if json {
+        for h in scanner.scan(payload) {
+            let name = catalogue.shapes[h.candidate].name;
+            let _ = writeln!(out, "{}", lut_hit_json(name, range.start + h.hit.l, &h.hit));
+        }
+        return Ok(out);
+    }
     let _ = writeln!(out, "candidate sweep (Table II analog):");
     let _ = writeln!(out, "  shape |  hits | formula");
-    for shape in &Catalogue::full().shapes {
-        let hits = find_lut(payload, shape.truth, &FindLutParams { k: 6, d, orders: None });
+    for (shape, hits) in catalogue.shapes.iter().zip(scanner.scan_grouped(payload)) {
         let _ = writeln!(out, "  {:>5} | {:>5} | {}", shape.name, hits.len(), shape.formula);
     }
     Ok(out)
@@ -128,7 +188,11 @@ pub fn cmd_table2(bs: &Bitstream, d: usize) -> Result<String, CliError> {
 /// # Errors
 ///
 /// Propagates payload errors.
-pub fn cmd_xorscan(bs: &Bitstream, d: usize, window: Option<(usize, usize)>) -> Result<String, CliError> {
+pub fn cmd_xorscan(
+    bs: &Bitstream,
+    d: usize,
+    window: Option<(usize, usize)>,
+) -> Result<String, CliError> {
     let range = bs.fdri_data_range().ok_or(CliError::NoPayload)?;
     let payload = &bs.as_bytes()[range];
     let w = window.map_or(0..payload.len(), |(a, b)| a..b.min(payload.len()));
@@ -151,7 +215,11 @@ pub fn cmd_xorscan(bs: &Bitstream, d: usize, window: Option<(usize, usize)>) -> 
                 None => format!("{t}"),
             })
             .collect();
-        let _ = writeln!(out, "  l = {:>8}  order = {:?}  O5 = {}, O6 = {}", h.l, h.order, desc[0], desc[1]);
+        let _ = writeln!(
+            out,
+            "  l = {:>8}  order = {:?}  O5 = {}, O6 = {}",
+            h.l, h.order, desc[0], desc[1]
+        );
     }
     if hits.len() > 20 {
         let _ = writeln!(out, "  ... and {} more", hits.len() - 20);
@@ -238,18 +306,56 @@ mod tests {
     #[test]
     fn findlut_reports_the_plant() {
         let bs = sample();
-        let report = cmd_findlut(&bs, "f2", FRAME_BYTES).unwrap();
+        let report = cmd_findlut(&bs, "f2", FRAME_BYTES, false).unwrap();
         assert!(report.contains("l =       42"), "{report}");
         assert!(report.contains("SliceM"), "{report}");
     }
 
     #[test]
+    fn findlut_json_record_format_is_stable() {
+        let bs = sample();
+        let out = cmd_findlut(&bs, "f2", FRAME_BYTES, true).unwrap();
+        let line =
+            out.lines().find(|l| l.contains("\"l\":42,")).expect("planted hit emitted as JSON");
+        // The exact record is part of the CLI contract.
+        let file_offset = bs.fdri_data_range().unwrap().start + 42;
+        let f2 = Catalogue::full().shape("f2").unwrap().truth;
+        let init = DualOutputInit::from_single(f2).init();
+        assert_eq!(
+            line,
+            format!(
+                "{{\"candidate\":\"f2\",\"l\":42,\"file_offset\":{file_offset},\
+                 \"order\":\"SliceM\",\"perm\":[0,1,2,3,4,5],\"init\":\"{init:#018x}\"}}"
+            )
+        );
+    }
+
+    #[test]
     fn table2_lists_all_shapes() {
         let bs = sample();
-        let report = cmd_table2(&bs, FRAME_BYTES).unwrap();
+        let report = cmd_table2(&bs, FRAME_BYTES, false).unwrap();
         for name in ["f2", "m0b", "f21"] {
             assert!(report.contains(name), "{report}");
         }
+    }
+
+    #[test]
+    fn table2_json_names_the_candidate() {
+        let bs = sample();
+        let out = cmd_table2(&bs, FRAME_BYTES, true).unwrap();
+        assert!(
+            out.lines().any(|l| l.contains("\"candidate\":\"f2\"") && l.contains("\"l\":42,")),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn config_errors_surface_with_source() {
+        use std::error::Error;
+        let bs = sample();
+        let err = cmd_findlut(&bs, "f2", 0, false).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)));
+        assert!(err.source().is_some());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use bitstream::Bitstream;
 use crate::attack::{AttackError, ZPathLut};
 use crate::candidates::Catalogue;
 use crate::edit::{CrcStrategy, EditSession};
-use crate::findlut::{find_lut, scan_halves, FindLutParams, LutHit};
+use crate::findlut::{scan_halves, LutHit, Scanner};
 use crate::oracle::KeystreamOracle;
 
 /// Lemma VII-A arithmetic.
@@ -168,19 +168,21 @@ pub fn evaluate(
     let golden_keystream =
         oracle.keystream(golden, words).map_err(AttackError::Oracle).inspect(|_| loads += 1)?;
 
-    // Table VI analog.
-    let params = FindLutParams::k6(d);
+    // Table VI analog — one pass over the payload for the whole
+    // catalogue.
     let catalogue = Catalogue::full();
-    let mut candidate_counts = Vec::new();
-    for shape in &catalogue.shapes {
-        let hits = find_lut(&payload, shape.truth, &params);
-        candidate_counts.push((shape.name, hits.len()));
-    }
+    let scanner = Scanner::builder().k(6).stride(d).catalogue(&catalogue).build()?;
+    let candidate_counts: Vec<(&'static str, usize)> = catalogue
+        .shapes
+        .iter()
+        .zip(scanner.scan_grouped(&payload))
+        .map(|(shape, hits)| (shape.name, hits.len()))
+        .collect();
 
-    // XOR-half scans.
-    let unconstrained = xor_half_scan(&payload, d, 0..payload.len());
+    // XOR-half scans (parallel; the predicate is stateless).
+    let unconstrained = scanner.scan_halves(&payload, 0..payload.len(), xor_half_predicate);
     let window = constrained_window.unwrap_or(0..payload.len());
-    let constrained = xor_half_scan(&payload, d, window);
+    let constrained = scanner.scan_halves(&payload, window, xor_half_predicate);
 
     // Prune the z-path XORs: replace each candidate's XOR half with
     // constant 0 and look for the stuck-bit signature.

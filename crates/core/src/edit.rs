@@ -127,9 +127,14 @@ pub fn extend_perm(p: &Permutation) -> Permutation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use boolfn::expr::var;
+    use crate::findlut::Scanner;
     use bitstream::{BitstreamBuilder, FrameData, LutLocation, SubVectorOrder, FRAME_BYTES};
-    use crate::findlut::{find_lut, FindLutParams};
+    use boolfn::expr::var;
+
+    fn find_lut(data: &[u8], f: TruthTable) -> Vec<LutHit> {
+        let scanner = Scanner::builder().stride(FRAME_BYTES).candidate(f).build().unwrap();
+        scanner.scan(data).into_iter().map(|h| h.hit).collect()
+    }
 
     fn sample_bitstream_with(f: TruthTable, l: usize) -> Bitstream {
         let mut frames = FrameData::new(8);
@@ -146,7 +151,7 @@ mod tests {
         let f2 = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6)).truth_table(6);
         let bs = sample_bitstream_with(f2, 64);
         let range = bs.fdri_data_range().unwrap();
-        let hits = find_lut(&bs.as_bytes()[range], f2, &FindLutParams::k6(FRAME_BYTES));
+        let hits = find_lut(&bs.as_bytes()[range], f2);
         let hit = hits.iter().find(|h| h.l == 64).expect("hit at plant");
 
         let mut session = EditSession::new(&bs, FRAME_BYTES);
@@ -168,7 +173,7 @@ mod tests {
         let f = (var(1) & var(2)).truth_table(6);
         let bs = sample_bitstream_with(f, 0);
         let range = bs.fdri_data_range().unwrap();
-        let hits = find_lut(&bs.as_bytes()[range], f, &FindLutParams::k6(FRAME_BYTES));
+        let hits = find_lut(&bs.as_bytes()[range], f);
         let mut session = EditSession::new(&bs, FRAME_BYTES);
         session.write_function(&hits[0], TruthTable::one(6));
         let edited = session.finish(CrcStrategy::Disable);
@@ -185,7 +190,7 @@ mod tests {
         let stored = f2.permute(&p);
         let bs = sample_bitstream_with(stored, 120);
         let range = bs.fdri_data_range().unwrap();
-        let hits = find_lut(&bs.as_bytes()[range], f2, &FindLutParams::k6(FRAME_BYTES));
+        let hits = find_lut(&bs.as_bytes()[range], f2);
         let hit = hits.iter().find(|h| h.l == 120).expect("found");
 
         let variant = (var(3) & var(4) & var(5) & !var(6)).truth_table(6);

@@ -1,0 +1,101 @@
+//! The crate-level error type.
+//!
+//! Every fallible subsystem keeps its own precise error enum
+//! ([`CliError`], [`AttackError`], [`OracleError`],
+//! [`ScanConfigError`]); [`Error`] unifies them for callers that drive
+//! several subsystems and want one `?`-compatible type with intact
+//! [`std::error::Error::source`] chains.
+
+use core::fmt;
+
+use crate::attack::AttackError;
+use crate::cli::CliError;
+use crate::findlut::ScanConfigError;
+use crate::oracle::OracleError;
+
+/// Any error produced by this crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A CLI operation failed.
+    Cli(CliError),
+    /// The attack pipeline aborted.
+    Attack(AttackError),
+    /// The victim device refused an operation.
+    Oracle(OracleError),
+    /// A scan was misconfigured.
+    Config(ScanConfigError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Cli(e) => write!(f, "cli: {e}"),
+            Error::Attack(e) => write!(f, "attack: {e}"),
+            Error::Oracle(e) => write!(f, "oracle: {e}"),
+            Error::Config(e) => write!(f, "scan config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Cli(e) => Some(e),
+            Error::Attack(e) => Some(e),
+            Error::Oracle(e) => Some(e),
+            Error::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<CliError> for Error {
+    fn from(e: CliError) -> Self {
+        Error::Cli(e)
+    }
+}
+
+impl From<AttackError> for Error {
+    fn from(e: AttackError) -> Self {
+        Error::Attack(e)
+    }
+}
+
+impl From<OracleError> for Error {
+    fn from(e: OracleError) -> Self {
+        Error::Oracle(e)
+    }
+}
+
+impl From<ScanConfigError> for Error {
+    fn from(e: ScanConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn source_chains_reach_the_leaf() {
+        let leaf = ScanConfigError::ZeroStride;
+        let top: Error = AttackError::from(leaf).into();
+        assert!(matches!(top, Error::Attack(_)));
+        // Error -> AttackError -> ScanConfigError.
+        let mid = top.source().expect("attack layer");
+        let bottom = mid.source().expect("config layer");
+        assert_eq!(bottom.to_string(), leaf.to_string());
+        assert!(bottom.source().is_none());
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = ScanConfigError::KOutOfRange(9).into();
+        assert!(e.to_string().contains("k=9"));
+        let e: Error = CliError::NoPayload.into();
+        assert!(e.to_string().starts_with("cli:"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,113 @@
+//! Sequential dual-output half scan (Section VII-B) for predicates
+//! that are not [`Sync`]; the parallel equivalent is
+//! [`Scanner::scan_halves`](super::Scanner::scan_halves).
+
+use bitstream::{codec, SubVectorOrder};
+use boolfn::{Permutation, TruthTable};
+
+use super::{stored_at, LutHit};
+
+/// Scans every byte position, decoding the dual-output LUT stored
+/// there under each sub-vector order, and reports positions where
+/// `predicate` accepts the two 5-variable halves `(O5, O6)`.
+///
+/// This is the Section VII-B search ("all LUTs having the 2-input XOR
+/// in one half of their truth table and any Boolean function of up to
+/// 5 dependent variables in another"), generalised to an arbitrary
+/// predicate. `range` restricts the scan (the paper's "constrained
+/// search over an interval of 200,000 byte positions").
+///
+/// Unlike [`Scanner::scan_halves`](super::Scanner::scan_halves) the
+/// predicate may be a stateful [`FnMut`], and the scan stays on the
+/// calling thread.
+///
+/// # Example
+///
+/// ```
+/// use bitmod::findlut::scan_halves;
+/// use bitstream::FRAME_BYTES;
+///
+/// let data = vec![0u8; 6 * FRAME_BYTES];
+/// // Count LUTs whose O5 half is a 2-input XOR (none in zeroed data).
+/// let hits = scan_halves(&data, FRAME_BYTES, 0..data.len(), |o5, _| {
+///     o5.as_xor_pair().is_some()
+/// });
+/// assert!(hits.is_empty());
+/// ```
+#[must_use]
+pub fn scan_halves<P>(
+    data: &[u8],
+    d: usize,
+    range: core::ops::Range<usize>,
+    mut predicate: P,
+) -> Vec<LutHit>
+where
+    P: FnMut(TruthTable, TruthTable) -> bool,
+{
+    let mut hits = Vec::new();
+    if data.len() < 3 * d + 2 {
+        return hits;
+    }
+    let last = (data.len() - (3 * d + 2)).min(range.end.saturating_sub(1));
+    for l in range.start..=last {
+        for order in SubVectorOrder::both() {
+            let init = codec::decode(stored_at(data, l, d), order);
+            if predicate(init.o5(), init.o6_fractured()) {
+                hits.push(LutHit { l, order, perm: Permutation::identity(6), init });
+                // No break: a position can satisfy the predicate
+                // under both sub-vector orders, and only the order
+                // matching the hosting slice type survives the
+                // caller's oracle tests.
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitstream::{LutLocation, FRAME_BYTES};
+    use boolfn::expr::var;
+    use boolfn::DualOutputInit;
+
+    #[test]
+    fn scan_halves_finds_xor_half() {
+        let xor = (var(2) ^ var(4)).truth_table(5);
+        let other = (var(1) & var(3)).truth_table(5);
+        let mut data = vec![0u8; 6 * FRAME_BYTES];
+        codec::write_lut(
+            &mut data,
+            LutLocation { l: 99, d: FRAME_BYTES, order: SubVectorOrder::SliceL },
+            DualOutputInit::from_pair(xor, other),
+        );
+        let hits = scan_halves(&data, FRAME_BYTES, 0..data.len(), |o5, o6| {
+            o5.as_xor_pair().is_some() || o6.as_xor_pair().is_some()
+        });
+        assert!(hits.iter().any(|h| h.l == 99));
+    }
+
+    #[test]
+    fn scan_halves_respects_range() {
+        let xor = (var(1) ^ var(2)).truth_table(5);
+        let mut data = vec![0u8; 6 * FRAME_BYTES];
+        codec::write_lut(
+            &mut data,
+            LutLocation { l: 900, d: FRAME_BYTES, order: SubVectorOrder::SliceL },
+            DualOutputInit::from_pair(xor, xor),
+        );
+        let hits = scan_halves(&data, FRAME_BYTES, 0..100, |o5, _| o5.as_xor_pair().is_some());
+        assert!(hits.iter().all(|h| h.l < 100));
+    }
+
+    #[test]
+    fn stateful_predicate_allowed() {
+        let data = vec![0u8; 6 * FRAME_BYTES];
+        let mut count = 0usize;
+        let _ = scan_halves(&data, FRAME_BYTES, 0..data.len(), |_, _| {
+            count += 1;
+            false
+        });
+        assert!(count > 0);
+    }
+}

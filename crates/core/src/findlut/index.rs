@@ -1,0 +1,147 @@
+//! The one-pass candidate index.
+//!
+//! All candidate functions of a [`super::Scanner`] are compiled into a
+//! single `HashMap` keyed by the packed stored sub-vectors: for every
+//! candidate, every deduplicated input permutation of its truth table
+//! is ξ-permuted, partitioned, and projected into the stored domain
+//! once per sub-vector order. Scanning then reads the four stored
+//! sub-vectors at a byte position exactly once — the packed key is the
+//! same under every order; only the index construction differs — and a
+//! single lookup yields every `(candidate, permutation, order)` triple
+//! matching there.
+//!
+//! Entries carry the *rank* of their permutation in `P_k` enumeration
+//! order so the scan can reproduce the reference algorithm's hit
+//! selection exactly: [`find_lut_reference`](super::find_lut_reference)
+//! iterates permutations in rank order outside the position loop and
+//! marks positions, so the surviving hit per `(position, candidate)`
+//! minimises `(rank, order_position)`. Entry lists are pre-sorted by
+//! `(candidate, rank, order_position)`, making "first entry per
+//! candidate" the correct winner during the scan.
+
+use std::collections::HashMap;
+
+use boolfn::{Permutation, TruthTable};
+
+use bitstream::{codec, xi, SubVectorOrder};
+
+use super::{extend_permutation, pack_stored};
+
+/// One `(candidate, permutation, order)` triple that matches a packed
+/// stored key.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry {
+    /// Index of the candidate in the scanner's candidate list.
+    pub cand: u32,
+    /// Rank of `perm` in `Permutation::all(k)` enumeration order.
+    pub rank: u16,
+    /// Position of `order` in the scanner's order list.
+    pub order_pos: u8,
+    /// Matching sub-vector order.
+    pub order: SubVectorOrder,
+    /// Input permutation mapping the candidate onto the stored bits.
+    pub perm: Permutation,
+}
+
+/// Deduplicated permuted-truth-table index over all candidates.
+#[derive(Debug, Default)]
+pub(crate) struct CandidateIndex {
+    /// Packed stored sub-vectors → matching entries, sorted by
+    /// `(cand, rank, order_pos)`.
+    map: HashMap<u64, Vec<Entry>>,
+    /// 65536-bit prefilter over sub-vector 0 (union of all orders and
+    /// candidates).
+    first: Vec<u64>,
+}
+
+impl CandidateIndex {
+    /// Compiles the index for `candidates` under permutation width `k`
+    /// and the given sub-vector order list.
+    pub(crate) fn build(candidates: &[TruthTable], k: u8, orders: &[SubVectorOrder]) -> Self {
+        let mut map: HashMap<u64, Vec<Entry>> = HashMap::new();
+        let mut first = vec![0u64; 1024];
+        for (cand, &f) in candidates.iter().enumerate() {
+            let f6 = f.extend(6);
+            // Deduplicate permuted tables, keeping the minimal rank:
+            // two permutations producing the same stored bits are
+            // indistinguishable at scan time, and the reference
+            // algorithm reports the first.
+            let mut tables: HashMap<u64, (u16, Permutation)> = HashMap::new();
+            for (rank, p) in Permutation::all(k).enumerate() {
+                let p6 = extend_permutation(&p, k);
+                tables.entry(f6.permute(&p6).bits()).or_insert((rank as u16, p));
+            }
+            for (&bits, &(rank, perm)) in &tables {
+                let parts = codec::split(xi::permute(bits));
+                for (order_pos, &order) in orders.iter().enumerate() {
+                    let idx = order.indices();
+                    let stored = [parts[idx[0]], parts[idx[1]], parts[idx[2]], parts[idx[3]]];
+                    first[(stored[0] >> 6) as usize] |= 1 << (stored[0] & 63);
+                    map.entry(pack_stored(stored)).or_default().push(Entry {
+                        cand: cand as u32,
+                        rank,
+                        order_pos: order_pos as u8,
+                        order,
+                        perm,
+                    });
+                }
+            }
+        }
+        for entries in map.values_mut() {
+            entries.sort_by_key(|e| (e.cand, e.rank, e.order_pos));
+        }
+        Self { map, first }
+    }
+
+    /// Whether any indexed key starts with sub-vector `s0`.
+    #[inline]
+    pub(crate) fn may_start_with(&self, s0: u16) -> bool {
+        self.first[(s0 >> 6) as usize] & (1 << (s0 & 63)) != 0
+    }
+
+    /// The entries matching a packed stored key, if any.
+    #[inline]
+    pub(crate) fn entries(&self, key: u64) -> Option<&[Entry]> {
+        self.map.get(&key).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolfn::expr::var;
+
+    #[test]
+    fn entries_sorted_and_prefilter_consistent() {
+        let f = ((var(1) ^ var(2)) & var(3)).truth_table(6);
+        let g = (var(1) & var(2) & var(3)).truth_table(6);
+        let idx = CandidateIndex::build(&[f, g], 6, &SubVectorOrder::both());
+        assert!(!idx.map.is_empty());
+        for (&key, entries) in &idx.map {
+            let s0 = key as u16;
+            assert!(idx.may_start_with(s0), "prefilter misses indexed key");
+            let mut sorted = entries.clone();
+            sorted.sort_by_key(|e| (e.cand, e.rank, e.order_pos));
+            assert!(
+                entries
+                    .iter()
+                    .zip(&sorted)
+                    .all(|(a, b)| (a.cand, a.rank, a.order_pos) == (b.cand, b.rank, b.order_pos)),
+                "entry list not sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_minimal_rank() {
+        // A totally symmetric function: every permutation produces the
+        // same table, so exactly rank 0 must survive per order.
+        let sym = (var(1) & var(2) & var(3) & var(4) & var(5) & var(6)).truth_table(6);
+        let idx = CandidateIndex::build(&[sym], 6, &SubVectorOrder::both());
+        for entries in idx.map.values() {
+            for e in entries {
+                assert_eq!(e.rank, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Literal transcription of the paper's Algorithm 1, kept as the
+//! differential-test ground truth for the [`Scanner`](super::Scanner).
+
+use bitstream::{codec, xi};
+use boolfn::Permutation;
+use boolfn::TruthTable;
+
+use super::{extend_permutation, FindLutParams, LutHit};
+
+/// Literal transcription of Algorithm 1 (reference implementation,
+/// used to validate the optimized [`Scanner`](super::Scanner)).
+#[must_use]
+pub fn find_lut_reference(data: &[u8], f: TruthTable, params: &FindLutParams) -> Vec<LutHit> {
+    let mut found: Vec<LutHit> = Vec::new();
+    let mut marked = vec![false; data.len()];
+    if data.len() < 3 * params.d + 2 {
+        return found;
+    }
+    let last = data.len() - (3 * params.d + 2);
+    let f6 = f.extend(6);
+    // for each (i1..ik) ∈ Pk
+    for p in Permutation::all(params.k) {
+        // F = GETTRUTHTABLE(f, i1..ik), B = ξ(F), partitioned.
+        let p6 = extend_permutation(&p, params.k);
+        let b = xi::permute(f6.permute(&p6).bits());
+        let parts = codec::split(b);
+        // for each l, for each (j1..jr) ∈ Pr (we restrict to the two
+        // orders that occur in hardware, as the paper's Section V
+        // does).
+        #[allow(clippy::needless_range_loop)] // l is also the byte offset being tested
+        for l in 0..=last {
+            if marked[l] {
+                continue;
+            }
+            for order in params.order_list() {
+                let idx = order.indices();
+                let matches = (0..4).all(|j| {
+                    let at = l + j * params.d;
+                    u16::from_le_bytes([data[at], data[at + 1]]) == parts[idx[j]]
+                });
+                if matches {
+                    let mut stored = [0u16; 4];
+                    for (j, sv) in stored.iter_mut().enumerate() {
+                        let at = l + j * params.d;
+                        *sv = u16::from_le_bytes([data[at], data[at + 1]]);
+                    }
+                    found.push(LutHit { l, order, perm: p, init: codec::decode(stored, order) });
+                    marked[l] = true;
+                    break;
+                }
+            }
+        }
+    }
+    found.sort_by_key(|h| h.l);
+    found
+}

@@ -4,11 +4,12 @@
 //!
 //! The crate implements the paper's contribution end to end:
 //!
-//! * [`findlut`] — Algorithm 1: find every `k`-input LUT implementing
-//!   a given Boolean function (and its whole P equivalence class) in
-//!   a bitstream, in both the literal form of the paper's pseudo-code
-//!   and an optimized single-pass form; plus the dual-output *half
-//!   scan* used by Section VII-B;
+//! * [`findlut`] — Algorithm 1: the parallel multi-candidate
+//!   [`Scanner`] finds every `k`-input LUT implementing any function
+//!   of a candidate *set* (and their whole P equivalence classes) in
+//!   one pass over a bitstream, validated against a literal
+//!   transcription of the paper's pseudo-code; plus the dual-output
+//!   *half scan* used by Section VII-B;
 //! * [`candidates`] — the candidate-function catalogue: the paper's
 //!   Table II functions `f1..f21` and the cover shapes of this
 //!   repository's implementation flow, each with its stuck-at-0 fault
@@ -38,10 +39,16 @@ pub mod candidates;
 pub mod cli;
 pub mod countermeasure;
 pub mod edit;
+pub mod error;
 pub mod findlut;
 pub mod oracle;
 
 pub use attack::{Attack, AttackError, AttackReport};
 pub use candidates::{Catalogue, Role, Shape};
-pub use findlut::{find_lut, find_lut_reference, FindLutParams, LutHit};
+pub use error::Error;
+#[allow(deprecated)]
+pub use findlut::find_lut;
+pub use findlut::{
+    find_lut_reference, FindLutParams, LutHit, ScanConfigError, ScanHit, Scanner, ScannerBuilder,
+};
 pub use oracle::{KeystreamOracle, OracleError};

@@ -40,8 +40,7 @@ pub trait KeystreamOracle {
 
 impl KeystreamOracle for fpga_sim::Snow3gBoard {
     fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError> {
-        self.generate_keystream(bitstream, words)
-            .map_err(|e| OracleError::Rejected(e.to_string()))
+        self.generate_keystream(bitstream, words).map_err(|e| OracleError::Rejected(e.to_string()))
     }
 }
 
@@ -62,9 +61,8 @@ mod tests {
         let oracle: &dyn KeystreamOracle = &board;
         let z = oracle.keystream(&board.extract_bitstream(), 2).expect("runs");
         assert_eq!(z, vec![0xABEE9704, 0x7AC31373]);
-        let err = oracle
-            .keystream(&Bitstream::from_bytes(vec![0; 64]), 1)
-            .expect_err("garbage rejected");
+        let err =
+            oracle.keystream(&Bitstream::from_bytes(vec![0; 64]), 1).expect_err("garbage rejected");
         assert!(err.to_string().contains("refused"));
     }
 }

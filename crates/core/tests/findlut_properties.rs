@@ -1,7 +1,11 @@
-//! Property tests pinning the optimized FINDLUT to the literal
-//! Algorithm 1 transcription, on random data with random plants.
+//! Property tests pinning the optimized FINDLUT (the multi-candidate
+//! `Scanner` and its deprecated single-candidate `find_lut` wrapper)
+//! to the literal Algorithm 1 transcription, on random data with
+//! random plants; plus thread-count determinism.
 
-use bitmod::findlut::{find_lut, find_lut_reference, rematch_at, FindLutParams};
+#![allow(deprecated)] // find_lut is intentionally pinned here too
+
+use bitmod::findlut::{find_lut, find_lut_reference, rematch_at, FindLutParams, Scanner};
 use bitmod::Catalogue;
 use bitstream::{codec, LutLocation, SubVectorOrder, FRAME_BYTES};
 use boolfn::{DualOutputInit, Permutation, TruthTable};
@@ -21,8 +25,7 @@ fn arb_perm6() -> impl Strategy<Value = Permutation> {
 fn arb_shape() -> impl Strategy<Value = TruthTable> {
     // Draw from the real candidate catalogue: these are the functions
     // the attack actually searches for.
-    (0usize..Catalogue::full().shapes.len())
-        .prop_map(|i| Catalogue::full().shapes[i].truth)
+    (0usize..Catalogue::full().shapes.len()).prop_map(|i| Catalogue::full().shapes[i].truth)
 }
 
 proptest! {
@@ -62,6 +65,46 @@ proptest! {
         // Every plant is found.
         for loc in &planted {
             prop_assert!(fast.iter().any(|h| h.l == loc.l), "missed plant at {}", loc.l);
+        }
+    }
+
+    #[test]
+    fn scanner_one_pass_matches_reference_per_candidate(
+        start in 0usize..Catalogue::full().shapes.len(),
+        seed in any::<u64>(),
+        plants in prop::collection::vec((0usize..1200, 0usize..3, arb_perm6(), any::<bool>()), 0..4),
+    ) {
+        // Three candidates scanned in one pass must each produce a hit
+        // list byte-identical to the reference algorithm run alone.
+        let cat = Catalogue::full();
+        let n = cat.shapes.len();
+        let cands: Vec<TruthTable> = (0..3).map(|i| cat.shapes[(start + i) % n].truth).collect();
+        let mut data = vec![0u8; 6 * FRAME_BYTES];
+        let mut x = seed;
+        for b in data.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (x >> 55) as u8;
+        }
+        let mut planted: Vec<LutLocation> = Vec::new();
+        for (l, ci, perm, slicem) in &plants {
+            let order = if *slicem { SubVectorOrder::SliceM } else { SubVectorOrder::SliceL };
+            let loc = LutLocation { l: *l, d: FRAME_BYTES, order };
+            if planted.iter().any(|p| p.overlaps(&loc)) {
+                continue;
+            }
+            codec::write_lut(&mut data, loc, DualOutputInit::from_single(cands[*ci].permute(perm)));
+            planted.push(loc);
+        }
+        let scanner = Scanner::builder()
+            .k(6)
+            .stride(FRAME_BYTES)
+            .candidates(cands.iter().copied())
+            .build()
+            .expect("valid configuration");
+        let grouped = scanner.scan_grouped(&data);
+        for (i, &c) in cands.iter().enumerate() {
+            let reference = find_lut_reference(&data, c, &FindLutParams::k6(FRAME_BYTES));
+            prop_assert_eq!(grouped[i].clone(), reference, "candidate {} diverges", i);
         }
     }
 
@@ -108,6 +151,45 @@ proptest! {
         if let Some(wrong) = rematch_at(&data, l, FRAME_BYTES, SubVectorOrder::SliceL, shape) {
             prop_assert_eq!(shape.permute(&wrong.perm), wrong.init.o6());
         }
+    }
+}
+
+#[test]
+fn scanner_thread_count_does_not_change_hits() {
+    // The parallel scan must be deterministic: any worker count yields
+    // the same hit list in the same order (chunk results are merged in
+    // chunk order, not completion order).
+    let cat = Catalogue::full();
+    let f2 = cat.shape("f2").unwrap().truth;
+    let m0 = cat.shape("m0").unwrap().truth;
+    // Large enough to engage the parallel path.
+    let mut data = vec![0u8; 1300 * FRAME_BYTES];
+    let mut x = 0x9e3779b9u64;
+    for b in data.iter_mut() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *b = (x >> 55) as u8;
+    }
+    for (i, &tt) in [f2, m0, f2, m0, f2].iter().enumerate() {
+        let order = if i % 2 == 0 { SubVectorOrder::SliceL } else { SubVectorOrder::SliceM };
+        codec::write_lut(
+            &mut data,
+            LutLocation { l: 200 * (i + 1) * FRAME_BYTES / 2 + 7 * i, d: FRAME_BYTES, order },
+            DualOutputInit::from_single(tt),
+        );
+    }
+    let scan = |threads: usize| {
+        Scanner::builder()
+            .stride(FRAME_BYTES)
+            .threads(threads)
+            .catalogue(&cat)
+            .build()
+            .expect("valid configuration")
+            .scan(&data)
+    };
+    let sequential = scan(1);
+    assert!(!sequential.is_empty(), "plants must be found");
+    for threads in [2, 4, 7] {
+        assert_eq!(scan(threads), sequential, "thread count {threads} changes the hit list");
     }
 }
 

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the subset of the 0.5 API
+//! the workspace's benches use — groups, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`, `Throughput`,
+//! `BenchmarkId`, `sample_size` — over a simple but honest measurement
+//! loop: each benchmark is warmed up, then timed over `sample_size`
+//! samples whose iteration counts are auto-calibrated; the median
+//! sample is reported, with throughput when configured.
+//!
+//! Statistical analysis, plotting, and baselines are out of scope;
+//! relative comparisons (the only thing the repo's EXPERIMENTS.md
+//! records) are meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration of one measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one routine
+/// call per setup call regardless of the hint.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// A parameterised benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered
+    /// `name/param`.
+    pub fn new(name: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per sample (calibrated by the harness).
+    iters: u64,
+    /// Accumulated duration of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Runs one benchmark closure to a median-of-samples estimate.
+fn measure<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up / calibration: grow the iteration count until one
+    // sample takes TARGET_SAMPLE.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (TARGET_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * grow).ceil() as u64).max(iters + 1);
+    };
+    // Long benchmarks: a single calibrated sample is the estimate.
+    let mut estimates = vec![per_iter];
+    if per_iter < TARGET_SAMPLE.as_secs_f64() {
+        for _ in 1..samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            estimates.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+    }
+    estimates.sort_by(f64::total_cmp);
+    let median = estimates[estimates.len() / 2];
+    let time = format_seconds(median);
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / median / (1024.0 * 1024.0);
+            println!("{label:<50} time: {time:>12}   thrpt: {rate:>10.2} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / median;
+            println!("{label:<50} time: {time:>12}   thrpt: {rate:>10.0} elem/s");
+        }
+        None => println!("{label:<50} time: {time:>12}"),
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// A group of related benchmarks sharing throughput and sampling
+    /// settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// A standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        measure(id, 10, None, |b| f(b));
+        self
+    }
+}
+
+/// See [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        measure(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        measure(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                black_box(count)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f2", "10MB").id, "f2/10MB");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

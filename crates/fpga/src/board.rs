@@ -170,11 +170,7 @@ mod tests {
     use snow3g::{FaultSpec, FaultySnow3g, Snow3g};
 
     fn board(protected: bool) -> Snow3gBoard {
-        let config = Snow3gCircuitConfig {
-            key: TEST_SET_1_KEY,
-            iv: TEST_SET_1_IV,
-            protected,
-        };
+        let config = Snow3gCircuitConfig { key: TEST_SET_1_KEY, iv: TEST_SET_1_IV, protected };
         Snow3gBoard::build(config, &ImplementOptions::default()).expect("board builds")
     }
 

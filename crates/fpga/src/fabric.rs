@@ -331,9 +331,7 @@ impl ConfiguredFpga<'_> {
     /// Reads 32 nets as a word, LSB first.
     #[must_use]
     pub fn word(&self, nets: &[NetId]) -> u32 {
-        nets.iter()
-            .enumerate()
-            .fold(0u32, |acc, (i, &n)| acc | (u32::from(self.net(n)) << i))
+        nets.iter().enumerate().fold(0u32, |acc, (i, &n)| acc | (u32::from(self.net(n)) << i))
     }
 
     /// Clock cycles executed.
@@ -526,11 +524,7 @@ mod tests {
         let loc = fpga.geometry().lut_location(SiteId { col: 0, row: 0, lut: 0 });
         let range = bs.fdri_data_range().unwrap();
         let xnor = boolfn::TruthTable::var(6, 1).xor(boolfn::TruthTable::var(6, 2)).not().bits();
-        codec::write_lut(
-            &mut bs.as_mut_bytes()[range.clone()],
-            loc,
-            DualOutputInit::new(xnor),
-        );
+        codec::write_lut(&mut bs.as_mut_bytes()[range.clone()], loc, DualOutputInit::new(xnor));
         assert!(fpga.program(&bs).is_err(), "CRC still enforced");
         bs.disable_crc();
         let mut dev = fpga.program(&bs).expect("CRC disabled");

@@ -181,11 +181,9 @@ impl Geometry {
         let slot = site.row as usize * LUTS_PER_SLICE + site.lut as usize;
         let order = self.slice_type(site.col);
         match self.layout {
-            InitLayout::FourFrames => LutLocation {
-                l: base_frame * FRAME_BYTES + slot * 2,
-                d: self.stride(),
-                order,
-            },
+            InitLayout::FourFrames => {
+                LutLocation { l: base_frame * FRAME_BYTES + slot * 2, d: self.stride(), order }
+            }
             InitLayout::QuarterFrame => {
                 let per_frame = self.layout.slots_per_frame();
                 let frame = base_frame + slot / per_frame;
@@ -204,9 +202,7 @@ impl Geometry {
         let slots = self.rows * LUTS_PER_SLICE;
         let capacity = match self.layout {
             InitLayout::FourFrames => self.layout.slots_per_frame(),
-            InitLayout::QuarterFrame => {
-                self.layout.slots_per_frame() * self.layout.init_frames()
-            }
+            InitLayout::QuarterFrame => self.layout.slots_per_frame() * self.layout.init_frames(),
         };
         assert!(
             slots <= capacity,

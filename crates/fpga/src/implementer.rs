@@ -117,12 +117,7 @@ pub fn implement(
     // Routing database.
     let mut db = RoutingDb::default();
     for (lut, &site) in design.luts.iter().zip(&placement) {
-        db.luts.push(LutCell {
-            site,
-            inputs: lut.inputs.clone(),
-            o6: lut.o6,
-            o5: lut.o5,
-        });
+        db.luts.push(LutCell { site, inputs: lut.inputs.clone(), o6: lut.o6, o5: lut.o5 });
     }
     for ff in &design.dffs {
         db.ffs.push(FfCell { q: ff.q, d: ff.d, init: ff.init });
@@ -200,8 +195,16 @@ mod tests {
     #[test]
     fn different_seeds_move_luts() {
         let design = small_design();
-        let a = implement(&design, &ImplementOptions { seed: 1, columns: Some(2), ..ImplementOptions::default() }).unwrap();
-        let b = implement(&design, &ImplementOptions { seed: 2, columns: Some(2), ..ImplementOptions::default() }).unwrap();
+        let a = implement(
+            &design,
+            &ImplementOptions { seed: 1, columns: Some(2), ..ImplementOptions::default() },
+        )
+        .unwrap();
+        let b = implement(
+            &design,
+            &ImplementOptions { seed: 2, columns: Some(2), ..ImplementOptions::default() },
+        )
+        .unwrap();
         assert_ne!(a.placement, b.placement);
         // But both behave identically.
         let run = |imp: &Implementation| {
@@ -232,7 +235,10 @@ mod tests {
             n.set_output(format!("o{w}"), g3);
         }
         let big = map(&n, &MapConfig::default()).unwrap();
-        let r = implement(&big, &ImplementOptions { seed: 0, columns: Some(1), ..ImplementOptions::default() });
+        let r = implement(
+            &big,
+            &ImplementOptions { seed: 0, columns: Some(1), ..ImplementOptions::default() },
+        );
         if big.luts.len() > Geometry::with_columns(1).site_count() {
             assert!(matches!(r, Err(ImplementError::Capacity { .. })));
         }

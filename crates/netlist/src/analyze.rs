@@ -18,11 +18,7 @@ pub fn fanin(network: &Network, v: NodeId) -> Vec<NodeId> {
 /// `Fanout(v)`: the direct successors of `v`.
 #[must_use]
 pub fn fanout(network: &Network, v: NodeId) -> Vec<NodeId> {
-    network
-        .iter()
-        .filter(|(_, n)| n.fanin.contains(&v))
-        .map(|(id, _)| id)
-        .collect()
+    network.iter().filter(|(_, n)| n.fanin.contains(&v)).map(|(id, _)| id).collect()
 }
 
 /// `TrFanin(v)`: all nodes in the transitive fanin of `v`
@@ -87,8 +83,7 @@ pub fn depths(network: &Network) -> Result<Vec<usize>, NetworkError> {
         if !node.kind.is_gate() && !matches!(node.kind, NodeKind::RomOut { .. }) {
             continue;
         }
-        depth[id.index()] =
-            node.fanin.iter().map(|f| depth[f.index()]).max().unwrap_or(0) + 1;
+        depth[id.index()] = node.fanin.iter().map(|f| depth[f.index()]).max().unwrap_or(0) + 1;
     }
     Ok(depth)
 }
@@ -141,10 +136,7 @@ pub fn stats(network: &Network) -> Result<NetworkStats, NetworkError> {
         nodes: network.len(),
         gates: network.gate_count(),
         ffs: network.dff_count(),
-        rom_bits: network
-            .iter()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::RomOut { .. }))
-            .count(),
+        rom_bits: network.iter().filter(|(_, n)| matches!(n.kind, NodeKind::RomOut { .. })).count(),
         inputs: network.inputs().len(),
         depth: d.into_iter().max().unwrap_or(0),
         xor2_gates: network.iter().filter(|(_, n)| matches!(n.kind, NodeKind::Xor)).count(),
@@ -172,11 +164,7 @@ pub fn equivalent(a: &Network, b: &Network) -> Result<bool, NetworkError> {
     let mut sim_b = Simulator::new(b)?;
     for assignment in 0u64..(1 << a.inputs().len()) {
         let drive = |inputs: &[NodeId]| -> Vec<(NodeId, bool)> {
-            inputs
-                .iter()
-                .enumerate()
-                .map(|(i, &id)| (id, (assignment >> i) & 1 == 1))
-                .collect()
+            inputs.iter().enumerate().map(|(i, &id)| (id, (assignment >> i) & 1 == 1)).collect()
         };
         sim_a.step(&drive(a.inputs()));
         sim_b.step(&drive(b.inputs()));

@@ -79,8 +79,7 @@ impl WordOps for Network {
     }
 
     fn xor_word_tagged(&mut self, a: &Word32, b: &Word32) -> (Word32, Vec<NodeId>) {
-        let gates: Vec<NodeId> =
-            (0..32).map(|i| self.xor(a.bit(i), b.bit(i))).collect();
+        let gates: Vec<NodeId> = (0..32).map(|i| self.xor(a.bit(i), b.bit(i))).collect();
         (Word32::new(gates.clone()), gates)
     }
 

@@ -279,9 +279,7 @@ impl Network {
     /// Panics if `addr` does not have exactly 8 elements.
     pub fn rom_outputs(&mut self, rom: RomId, addr: &[NodeId]) -> Vec<NodeId> {
         assert_eq!(addr.len(), 8, "ROM address must be 8 bits");
-        (0..32)
-            .map(|bit| self.push(NodeKind::RomOut { rom, bit }, addr.to_vec()))
-            .collect()
+        (0..32).map(|bit| self.push(NodeKind::RomOut { rom, bit }, addr.to_vec())).collect()
     }
 
     /// The ROM table registered under `rom`.
@@ -394,8 +392,10 @@ impl Network {
         let n = self.nodes.len();
         let mut deg = vec![0usize; n];
         for (i, node) in self.nodes.iter().enumerate() {
-            if matches!(node.kind, NodeKind::Dff { .. } | NodeKind::Input { .. } | NodeKind::Const(_))
-            {
+            if matches!(
+                node.kind,
+                NodeKind::Dff { .. } | NodeKind::Input { .. } | NodeKind::Const(_)
+            ) {
                 deg[i] = 0;
             } else {
                 deg[i] = node
@@ -567,8 +567,7 @@ mod tests {
         let x = n.xor(a, b);
         let y = n.and(x, b);
         let order = n.topo_order().unwrap();
-        let pos =
-            |id: NodeId| order.iter().position(|&o| o == id).expect("node present in order");
+        let pos = |id: NodeId| order.iter().position(|&o| o == id).expect("node present in order");
         assert!(pos(x) < pos(y));
     }
 

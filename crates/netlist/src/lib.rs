@@ -20,8 +20,8 @@
 
 pub mod analyze;
 pub mod build;
-pub mod protect;
 pub mod graph;
+pub mod protect;
 pub mod sim;
 pub mod snow3g_circuit;
 

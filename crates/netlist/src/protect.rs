@@ -96,8 +96,7 @@ pub fn protect(
     // Prefer shallow nodes: keeping them trivial costs the least
     // slack. Deterministic tie-break by node id.
     candidates.sort_unstable();
-    let chosen: Vec<NodeId> =
-        candidates.into_iter().take(decoy_count).map(|(_, id)| id).collect();
+    let chosen: Vec<NodeId> = candidates.into_iter().take(decoy_count).map(|(_, id)| id).collect();
     for &d in &chosen {
         network.set_keep(d);
     }

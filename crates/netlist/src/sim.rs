@@ -233,7 +233,8 @@ mod tests {
         let rom = n.add_rom(table);
         let outs = n.rom_outputs(rom, &addr);
         let mut sim = Simulator::new(&n).unwrap();
-        let inputs: Vec<_> = addr.iter().enumerate().map(|(i, &a)| (a, (0xA5 >> i) & 1 == 1)).collect();
+        let inputs: Vec<_> =
+            addr.iter().enumerate().map(|(i, &a)| (a, (0xA5 >> i) & 1 == 1)).collect();
         sim.step(&inputs);
         assert_eq!(sim.word(&outs), 0xA5A5A5A5);
     }

@@ -274,14 +274,9 @@ impl Snow3gCircuit {
 
         // --- Countermeasure ------------------------------------------------
         if config.protected {
-            for nodes in [
-                &v_nodes,
-                &z_xor_nodes,
-                &r3_s5_nodes,
-                &alpha_nodes,
-                &lin_a_nodes,
-                &lin_b_nodes,
-            ] {
+            for nodes in
+                [&v_nodes, &z_xor_nodes, &r3_s5_nodes, &alpha_nodes, &lin_a_nodes, &lin_b_nodes]
+            {
                 for &id in nodes.iter() {
                     n.set_keep(id);
                 }
@@ -310,7 +305,8 @@ impl Snow3gCircuit {
     /// Panics if the network fails validation (generator bug).
     #[must_use]
     pub fn simulate_keystream(&self, words: usize) -> Vec<u32> {
-        let mut sim = crate::sim::Simulator::new(&self.network).expect("generated network is valid");
+        let mut sim =
+            crate::sim::Simulator::new(&self.network).expect("generated network is valid");
         let inputs = [(self.run, true)];
         sim.run(WARMUP_CYCLES, &inputs);
         let mut out = Vec::with_capacity(words);

@@ -96,22 +96,22 @@ pub fn gamma(key: Key, iv: Iv) -> LfsrState {
     let [iv0, iv1, iv2, iv3] = iv.0;
     let ones = u32::MAX;
     [
-        k0 ^ ones,        // s0
-        k1 ^ ones,        // s1
-        k2 ^ ones,        // s2
-        k3 ^ ones,        // s3
-        k0,               // s4
-        k1,               // s5
-        k2,               // s6
-        k3,               // s7
-        k0 ^ ones,        // s8
-        k1 ^ ones ^ iv3,  // s9
-        k2 ^ ones ^ iv2,  // s10
-        k3 ^ ones,        // s11
-        k0 ^ iv1,         // s12
-        k1,               // s13
-        k2,               // s14
-        k3 ^ iv0,         // s15
+        k0 ^ ones,       // s0
+        k1 ^ ones,       // s1
+        k2 ^ ones,       // s2
+        k3 ^ ones,       // s3
+        k0,              // s4
+        k1,              // s5
+        k2,              // s6
+        k3,              // s7
+        k0 ^ ones,       // s8
+        k1 ^ ones ^ iv3, // s9
+        k2 ^ ones ^ iv2, // s10
+        k3 ^ ones,       // s11
+        k0 ^ iv1,        // s12
+        k1,              // s13
+        k2,              // s14
+        k3 ^ iv0,        // s15
     ]
 }
 
@@ -226,11 +226,7 @@ mod tests {
     fn key_iv_byte_roundtrip() {
         let key = Key([0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48]);
         assert_eq!(Key::from_bytes(&key.to_bytes()), key);
-        assert_eq!(
-            key.to_bytes()[..4],
-            [0x2B, 0xD6, 0x45, 0x9F],
-            "big-endian word order"
-        );
+        assert_eq!(key.to_bytes()[..4], [0x2B, 0xD6, 0x45, 0x9F], "big-endian word order");
         let iv = Iv([0xEA024714, 0xAD5C4D84, 0xDF1F9B25, 0x1C0BF45F]);
         assert_eq!(Iv::from_bytes(&iv.to_bytes()), iv);
     }

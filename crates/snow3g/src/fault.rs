@@ -208,8 +208,9 @@ mod tests {
     #[test]
     fn key_independent_keystream_ignores_key() {
         let z1 = FaultySnow3g::new(KEY, IV, FaultSpec::key_independent()).keystream(16);
-        let z2 = FaultySnow3g::new(Key([0, 0, 0, 0]), Iv([0, 0, 0, 0]), FaultSpec::key_independent())
-            .keystream(16);
+        let z2 =
+            FaultySnow3g::new(Key([0, 0, 0, 0]), Iv([0, 0, 0, 0]), FaultSpec::key_independent())
+                .keystream(16);
         assert_eq!(z1, z2);
         // And it is NOT the all-zero stream: the FSM self-evolves.
         assert!(z1.iter().any(|&w| w != 0));
@@ -217,10 +218,15 @@ mod tests {
 
     #[test]
     fn output_fault_alone_still_key_dependent() {
-        let z1 = FaultySnow3g::new(KEY, IV, FaultSpec { fsm_to_output_zero: true, ..FaultSpec::none() })
-            .keystream(4);
-        let z2 = FaultySnow3g::new(Key([1, 1, 1, 1]), IV, FaultSpec { fsm_to_output_zero: true, ..FaultSpec::none() })
-            .keystream(4);
+        let z1 =
+            FaultySnow3g::new(KEY, IV, FaultSpec { fsm_to_output_zero: true, ..FaultSpec::none() })
+                .keystream(4);
+        let z2 = FaultySnow3g::new(
+            Key([1, 1, 1, 1]),
+            IV,
+            FaultSpec { fsm_to_output_zero: true, ..FaultSpec::none() },
+        )
+        .keystream(4);
         assert_ne!(z1, z2);
     }
 

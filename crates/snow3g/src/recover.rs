@@ -53,7 +53,10 @@ impl fmt::Display for RecoverKeyError {
                 write!(f, "need 16 faulty keystream words, got {got}")
             }
             RecoverKeyError::NotAGammaState { stage } => {
-                write!(f, "reversed state is not gamma(K, IV): redundancy check failed at stage s{stage}")
+                write!(
+                    f,
+                    "reversed state is not gamma(K, IV): redundancy check failed at stage s{stage}"
+                )
             }
         }
     }

@@ -26,9 +26,8 @@ pub const TEST_SET_1_KEYSTREAM: [u32; 2] = [0xABEE9704, 0x7AC31373];
 /// when the FSM output is stuck to 0 during initialization and the
 /// LFSR is initialized to the all-0 state (faults `α₁ + β`).
 pub const PAPER_TABLE_III: [u32; 16] = [
-    0xa1fb4788, 0xe4382f8e, 0x3b72471c, 0x33ebb59a, 0x32ac43c7, 0x5eebfd82, 0x3a325fd4,
-    0x1e1d7001, 0xb7f15767, 0x3282c5b0, 0x103da78f, 0xe42761e4, 0xc6ded1bb, 0x089fa36c,
-    0x01c7c690, 0xbf921256,
+    0xa1fb4788, 0xe4382f8e, 0x3b72471c, 0x33ebb59a, 0x32ac43c7, 0x5eebfd82, 0x3a325fd4, 0x1e1d7001,
+    0xb7f15767, 0x3282c5b0, 0x103da78f, 0xe42761e4, 0xc6ded1bb, 0x089fa36c, 0x01c7c690, 0xbf921256,
 ];
 
 /// Table IV of the paper: the keystream generated when the FSM output
@@ -36,18 +35,16 @@ pub const PAPER_TABLE_III: [u32; 16] = [
 /// (fault `α`), for the Test Set 1 key/IV. These 16 words equal the
 /// LFSR state `S³³`.
 pub const PAPER_TABLE_IV: [u32; 16] = [
-    0x3ffe4851, 0x35d1c393, 0x5914acef, 0xe98446cc, 0x689782d9, 0x8abdb7fc, 0xa11b0377,
-    0x5a2dd294, 0x5deb29fa, 0xc2c6009a, 0xa82ee62f, 0x925268ed, 0xd04e2c33, 0x3890311b,
-    0xe8d27b84, 0xa70aeeaa,
+    0x3ffe4851, 0x35d1c393, 0x5914acef, 0xe98446cc, 0x689782d9, 0x8abdb7fc, 0xa11b0377, 0x5a2dd294,
+    0x5deb29fa, 0xc2c6009a, 0xa82ee62f, 0x925268ed, 0xd04e2c33, 0x3890311b, 0xe8d27b84, 0xa70aeeaa,
 ];
 
 /// Table V of the paper: the recovered initial LFSR state
 /// `S⁰ = γ(K, IV)` obtained by reversing the LFSR 33 steps from
 /// Table IV.
 pub const PAPER_TABLE_V: [u32; 16] = [
-    0xd429ba60, 0x7d3a4cff, 0x6ad3b6ef, 0xb77e00b7, 0x2bd6459f, 0x82c5b300, 0x952c4910,
-    0x4881ff48, 0xd429ba60, 0x6131b8a0, 0xb5cc2dca, 0xb77e00b7, 0x868a081b, 0x82c5b300,
-    0x952c4910, 0xa283b85c,
+    0xd429ba60, 0x7d3a4cff, 0x6ad3b6ef, 0xb77e00b7, 0x2bd6459f, 0x82c5b300, 0x952c4910, 0x4881ff48,
+    0xd429ba60, 0x6131b8a0, 0xb5cc2dca, 0xb77e00b7, 0x868a081b, 0x82c5b300, 0x952c4910, 0xa283b85c,
 ];
 
 /// The key the paper's experiment recovered (its Section VI-D.3),
@@ -59,8 +56,8 @@ mod tests {
     use super::*;
     use crate::cipher::{gamma, Snow3g};
     use crate::fault::{FaultSpec, FaultySnow3g};
-    use crate::recover::recover_key;
     use crate::lfsr::Lfsr;
+    use crate::recover::recover_key;
 
     #[test]
     fn etsi_test_set_1() {
@@ -77,8 +74,8 @@ mod tests {
 
     #[test]
     fn paper_table_iii_is_key_independent() {
-        let z = FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent())
-            .keystream(16);
+        let z =
+            FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent()).keystream(16);
         assert_eq!(z, PAPER_TABLE_III);
     }
 

@@ -38,7 +38,12 @@ pub struct MapConfig {
 
 impl Default for MapConfig {
     fn default() -> Self {
-        Self { k: 6, max_cuts: 16, scramble_seed: 0x00B1_7D0D_5EED_u64, objective: MapObjective::Area }
+        Self {
+            k: 6,
+            max_cuts: 16,
+            scramble_seed: 0x00B1_7D0D_5EED_u64,
+            objective: MapObjective::Area,
+        }
     }
 }
 
@@ -152,7 +157,9 @@ pub fn map(network: &Network, config: &MapConfig) -> Result<MappedDesign, MapErr
         let cut = choose_cut(network, &cut_sets, root, config.k, labels.as_deref());
         let mut leaves: Vec<NodeId> = cut.leaves().to_vec();
         // Deterministic pin scrambling (placement-like pin rotation).
-        leaves.sort_by_key(|l| splitmix64(config.scramble_seed ^ (u64::from(root.0) << 32) ^ u64::from(l.0)));
+        leaves.sort_by_key(|l| {
+            splitmix64(config.scramble_seed ^ (u64::from(root.0) << 32) ^ u64::from(l.0))
+        });
         let truth = cone_truth(network, root, &leaves);
         for &l in &leaves {
             require(l, &mut required, &mut seen);
@@ -205,8 +212,7 @@ fn depth_labels(network: &Network, cut_sets: &CutSets, k: usize) -> Vec<usize> {
     for id in order {
         let node = network.node(id);
         if let NodeKind::RomOut { .. } = node.kind {
-            label[id.index()] =
-                node.fanin.iter().map(|f| label[f.index()]).max().unwrap_or(0) + 1;
+            label[id.index()] = node.fanin.iter().map(|f| label[f.index()]).max().unwrap_or(0) + 1;
             continue;
         }
         if !node.kind.is_gate() {
@@ -272,11 +278,7 @@ fn choose_cut(
             None => 0,
         };
         let vol = cone_volume(network, root, cut);
-        let srcs = cut
-            .leaves()
-            .iter()
-            .filter(|l| network.node(**l).kind.is_source())
-            .count();
+        let srcs = cut.leaves().iter().filter(|l| network.node(**l).kind.is_source()).count();
         let better = match &best {
             None => true,
             Some((bd, bv, bl, bs, bc)) => {
@@ -445,12 +447,7 @@ mod tests {
         net.set_output("o", o);
         let design = map(&net, &MapConfig::default()).unwrap();
         for v in 0..16u8 {
-            let inputs = [
-                (a, v & 1 != 0),
-                (b, v & 2 != 0),
-                (c, v & 4 != 0),
-                (d, v & 8 != 0),
-            ];
+            let inputs = [(a, v & 1 != 0), (b, v & 2 != 0), (c, v & 4 != 0), (d, v & 8 != 0)];
             let want = {
                 let (va, vb, vc, vd) = (v & 1 != 0, v & 2 != 0, v & 4 != 0, v & 8 != 0);
                 ((va ^ vb) && vc) || (!vd && (vb ^ vc))
@@ -540,11 +537,9 @@ mod tests {
         }
         net.set_output("o", acc);
         let area = map(&net, &MapConfig::default()).unwrap();
-        let depth = map(
-            &net,
-            &MapConfig { objective: MapObjective::Depth, ..MapConfig::default() },
-        )
-        .unwrap();
+        let depth =
+            map(&net, &MapConfig { objective: MapObjective::Depth, ..MapConfig::default() })
+                .unwrap();
         assert!(
             depth.logic_depth() <= area.logic_depth(),
             "depth {} vs area {}",

@@ -176,8 +176,7 @@ impl CutSets {
                 _gate => {
                     let fanin_sets: Vec<&[RankedCut]> =
                         node.fanin.iter().map(|f| sets[f.index()].as_slice()).collect();
-                    let mut merged: Vec<RankedCut> =
-                        vec![RankedCut { cut: Cut::empty(), vol: 1 }];
+                    let mut merged: Vec<RankedCut> = vec![RankedCut { cut: Cut::empty(), vol: 1 }];
                     for fs in fanin_sets {
                         let mut next = Vec::new();
                         for base in &merged {

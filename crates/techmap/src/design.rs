@@ -182,7 +182,8 @@ impl MappedDesign {
                 fanout[key(dep)].push(it);
             }
         }
-        let mut queue: Vec<EvalItem> = items.iter().copied().filter(|&i| indeg[key(i)] == 0).collect();
+        let mut queue: Vec<EvalItem> =
+            items.iter().copied().filter(|&i| indeg[key(i)] == 0).collect();
         let mut order = Vec::with_capacity(items.len());
         let mut head = 0;
         while head < queue.len() {

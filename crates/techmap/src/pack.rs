@@ -144,11 +144,7 @@ mod tests {
     use boolfn::expr::var;
 
     fn cover(root: u32, leaves: &[u32], truth: TruthTable) -> Cover {
-        Cover {
-            root: NodeId(root),
-            leaves: leaves.iter().map(|&l| NodeId(l)).collect(),
-            truth,
-        }
+        Cover { root: NodeId(root), leaves: leaves.iter().map(|&l| NodeId(l)).collect(), truth }
     }
 
     #[test]
@@ -177,9 +173,7 @@ mod tests {
     fn pin_perm(lut: &PackedLut, orig: &[u32]) -> boolfn::Permutation {
         let map: Vec<u8> = (0..orig.len())
             .map(|j| {
-                orig.iter()
-                    .position(|&o| NodeId(o) == lut.inputs[j])
-                    .expect("pin present") as u8
+                orig.iter().position(|&o| NodeId(o) == lut.inputs[j]).expect("pin present") as u8
             })
             .collect();
         boolfn::Permutation::from_slice(&map).expect("valid permutation")

@@ -135,7 +135,8 @@ mod tests {
             net
         }
         let model = DelayModel::default();
-        let small = TimingReport::analyze(&map(&xor_net(4), &MapConfig::default()).unwrap(), &model);
+        let small =
+            TimingReport::analyze(&map(&xor_net(4), &MapConfig::default()).unwrap(), &model);
         let big = TimingReport::analyze(&map(&xor_net(24), &MapConfig::default()).unwrap(), &model);
         assert!(big.critical_ns > small.critical_ns);
         assert!(big.depth > small.depth);
@@ -159,7 +160,8 @@ mod tests {
             net
         }
         let model = DelayModel::default();
-        let plain = TimingReport::analyze(&map(&make(false), &MapConfig::default()).unwrap(), &model);
+        let plain =
+            TimingReport::analyze(&map(&make(false), &MapConfig::default()).unwrap(), &model);
         let kept = TimingReport::analyze(&map(&make(true), &MapConfig::default()).unwrap(), &model);
         assert!(kept.critical_ns > plain.critical_ns);
         assert_eq!(kept.depth, plain.depth + 1);

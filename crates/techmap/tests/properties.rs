@@ -14,7 +14,13 @@ struct Recipe {
 }
 
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (2usize..6, prop::collection::vec((0u8..6, any::<usize>(), any::<usize>(), any::<usize>(), any::<bool>()), 1..40))
+    (
+        2usize..6,
+        prop::collection::vec(
+            (0u8..6, any::<usize>(), any::<usize>(), any::<usize>(), any::<bool>()),
+            1..40,
+        ),
+    )
         .prop_map(|(n_inputs, ops)| Recipe { n_inputs, ops })
 }
 

@@ -82,10 +82,8 @@ fn v_cover_classes(
         // composite covers count.
         if vhit && gates > 1 {
             let t6 = cov.truth.extend(6);
-            let name = fam
-                .iter()
-                .find(|(_, ft)| pclass::equivalent(*ft, t6))
-                .map_or("other", |(n, _)| n);
+            let name =
+                fam.iter().find(|(_, ft)| pclass::equivalent(*ft, t6)).map_or("other", |(n, _)| n);
             *counts.entry(name).or_insert(0) += 1;
         }
     }
@@ -232,11 +230,9 @@ fn depth_objective_maps_snow3g_correctly() {
     use techmap::MapObjective;
     let c = circuit(false);
     let area = map(&c.network, &MapConfig::default()).expect("area maps");
-    let depth = map(
-        &c.network,
-        &MapConfig { objective: MapObjective::Depth, ..MapConfig::default() },
-    )
-    .expect("depth maps");
+    let depth =
+        map(&c.network, &MapConfig { objective: MapObjective::Depth, ..MapConfig::default() })
+            .expect("depth maps");
     assert!(depth.logic_depth() <= area.logic_depth());
     let hw = mapped_keystream(&depth, &c, 2);
     assert_eq!(hw, vec![0xABEE9704, 0x7AC31373]);
@@ -265,9 +261,8 @@ fn automated_protect_pass_defeats_composite_covers() {
     // hand-annotated protected circuit.
     let mut c = circuit(false);
     let budget = netlist::protect::decoys_for_security(32, 128.0);
-    let report =
-        netlist::protect::protect(&mut c.network, &c.v_nodes.clone(), budget as usize)
-            .expect("protect pass runs");
+    let report = netlist::protect::protect(&mut c.network, &c.v_nodes.clone(), budget as usize)
+        .expect("protect pass runs");
     assert_eq!(report.targets, 32);
     assert!(report.decoys as u64 >= budget.min(report.population as u64));
     let design = map(&c.network, &MapConfig::default()).expect("maps");

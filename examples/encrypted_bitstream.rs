@@ -26,8 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // on-chip AES key K_E and an HMAC key K_A.
     let key = Key([0x0F1E2D3C, 0x4B5A6978, 0x8796A5B4, 0xC3D2E1F0]);
     let iv = Iv([0x11111111, 0x22222222, 0x33333333, 0x44444444]);
-    let board =
-        Snow3gBoard::build(Snow3gCircuitConfig::unprotected(key, iv), &ImplementOptions::default())?;
+    let board = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(key, iv),
+        &ImplementOptions::default(),
+    )?;
     let k_enc: [u8; 32] = *b"on-chip AES-256 bitstream key!!!";
     let k_auth: [u8; 32] = *b"vendor's HMAC-SHA-256 key (K_A)!";
     let sealed = SecureBitstream::seal(&board.extract_bitstream(), &k_enc, &k_auth, [0xA5; 16]);
@@ -70,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let opened = sealed
                 .open(&self.k_enc)
                 .map_err(|e| bitmod::OracleError::Rejected(e.to_string()))?;
-            self.board.generate_keystream(&opened.bitstream, words)
+            self.board
+                .generate_keystream(&opened.bitstream, words)
                 .map_err(|e| bitmod::OracleError::Rejected(e.to_string()))
         }
     }

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use bitmod::{find_lut, Catalogue, FindLutParams};
+use bitmod::{Catalogue, Scanner};
 use bitstream::FRAME_BYTES;
 use fpga_sim::{ImplementOptions, Snow3gBoard};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;
@@ -32,17 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("searching {} payload bytes (d = {} bytes, r = 4, k = 6)", payload.len(), FRAME_BYTES);
 
     let catalogue = Catalogue::full();
-    let params = FindLutParams::k6(FRAME_BYTES);
     let wanted: Vec<String> = std::env::args().skip(1).collect();
 
     let shapes: Vec<_> = if wanted.is_empty() {
         catalogue.shapes.iter().collect()
     } else {
-        catalogue
-            .shapes
-            .iter()
-            .filter(|s| wanted.iter().any(|w| w == s.name))
-            .collect()
+        catalogue.shapes.iter().filter(|s| wanted.iter().any(|w| w == s.name)).collect()
     };
     if shapes.is_empty() {
         eprintln!(
@@ -52,17 +47,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::process::exit(1);
     }
 
-    for shape in shapes {
-        let t0 = Instant::now();
-        let hits = find_lut(payload, shape.truth, &params);
-        let dt = t0.elapsed();
-        println!(
-            "\n{} = {}   ({} hits, {:.1} ms)",
-            shape.name,
-            shape.formula,
-            hits.len(),
-            dt.as_secs_f64() * 1e3
-        );
+    // All requested shapes are searched in one pass over the payload.
+    let scanner = Scanner::builder()
+        .k(6)
+        .stride(FRAME_BYTES)
+        .candidates(shapes.iter().map(|s| s.truth))
+        .build()?;
+    let t0 = Instant::now();
+    let grouped = scanner.scan_grouped(payload);
+    let dt = t0.elapsed();
+    println!("one-pass scan of {} candidate(s): {:.1} ms", shapes.len(), dt.as_secs_f64() * 1e3);
+
+    for (shape, hits) in shapes.iter().zip(grouped) {
+        println!("\n{} = {}   ({} hits)", shape.name, shape.formula, hits.len());
         for h in hits.iter().take(8) {
             println!(
                 "  l = {:>7}  order = {:?}  perm = {}  init = {}",

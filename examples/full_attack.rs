@@ -8,7 +8,9 @@
 use bitmod::Attack;
 use fpga_sim::{ImplementOptions, Snow3gBoard};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;
-use snow3g::vectors::{PAPER_TABLE_III, PAPER_TABLE_IV, PAPER_TABLE_V, TEST_SET_1_IV, TEST_SET_1_KEY};
+use snow3g::vectors::{
+    PAPER_TABLE_III, PAPER_TABLE_IV, PAPER_TABLE_V, TEST_SET_1_IV, TEST_SET_1_KEY,
+};
 
 fn print_table(title: &str, ours: &[u32], paper: &[u32]) {
     println!("\n{title}");
@@ -42,12 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {name:>5} | {count}");
         }
     }
-    let zeros: Vec<&str> = report
-        .candidate_counts
-        .iter()
-        .filter(|(_, c)| *c == 0)
-        .map(|(n, _)| *n)
-        .collect();
+    let zeros: Vec<&str> =
+        report.candidate_counts.iter().filter(|(_, c)| *c == 0).map(|(n, _)| *n).collect();
     println!("  (zero hits: {})", zeros.join(", "));
 
     println!("\nVerified keystream-path LUTs (LUT1): {}", report.z_luts.len());

@@ -27,10 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== Countermeasure cost (Section VII-A) ==");
     let model = DelayModel::default();
-    let t_u = TimingReport::analyze(
-        &map(&unprotected.circuit.network, &MapConfig::default())?,
-        &model,
-    );
+    let t_u =
+        TimingReport::analyze(&map(&unprotected.circuit.network, &MapConfig::default())?, &model);
     let t_p =
         TimingReport::analyze(&map(&protected.circuit.network, &MapConfig::default())?, &model);
     println!("critical path, unprotected: {:.3} ns (depth {})", t_u.critical_ns, t_u.depth);
@@ -60,10 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Section VII-C: complexity after pruning the z-path XORs ==");
     println!("keystream-path XOR LUTs pruned: {}", report.z_path_pruned);
     println!("remaining candidates          : {}", report.remaining);
-    println!(
-        "exhaustive search: C({}, 32) = 2^{:.1}",
-        report.remaining, report.search_bits
-    );
+    println!("exhaustive search: C({}, 32) = 2^{:.1}", report.remaining, report.search_bits);
     println!(
         "(paper: C(171, 32) = 2^{:.1} — practically infeasible)",
         complexity::log2_binomial(171, 32)

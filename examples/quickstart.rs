@@ -15,8 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // bitstream, implemented on the simulated Artix-7-style device.
     let key = Key([0x2BD6459F, 0x82C5B300, 0x952C4910, 0x4881FF48]);
     let iv = Iv([0xEA024714, 0xAD5C4D84, 0xDF1F9B25, 0x1C0BF45F]);
-    let board =
-        Snow3gBoard::build(Snow3gCircuitConfig::unprotected(key, iv), &ImplementOptions::default())?;
+    let board = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(key, iv),
+        &ImplementOptions::default(),
+    )?;
     println!("victim board: {board:?}");
 
     // The attacker extracts the bitstream (e.g. probing the flash)

@@ -23,9 +23,7 @@ fn protected_board() -> Snow3gBoard {
 #[test]
 fn attack_fails_on_protected_board() {
     let board = protected_board();
-    let result = Attack::new(&board, board.extract_bitstream())
-        .expect("attack prepares")
-        .run();
+    let result = Attack::new(&board, board.extract_bitstream()).expect("attack prepares").run();
     // The keystream-path LUTs no longer exist as composite f2 covers,
     // so the attack cannot even complete its first identification
     // phase.
@@ -57,15 +55,15 @@ fn table6_analog_feedback_rows_are_zero() {
     // g4 shape, a gated 4-input XOR, also occurs in adder covers);
     // what matters is that the 32-strong target populations are gone.
     let cat = Catalogue::full();
-    for (name, max) in [("m0", 2), ("m0b", 2), ("g4", 8), ("g3c", 2)] {
-        let shape = cat.shape(name).unwrap();
-        let hits = bitmod::find_lut(
-            payload,
-            shape.truth,
-            &bitmod::FindLutParams::k6(bitstream::FRAME_BYTES),
-        );
+    let rows = [("m0", 2), ("m0b", 2), ("g4", 8), ("g3c", 2)];
+    let scanner = bitmod::Scanner::builder()
+        .stride(bitstream::FRAME_BYTES)
+        .candidates(rows.iter().map(|(name, _)| cat.shape(name).unwrap().truth))
+        .build()
+        .expect("valid scan configuration");
+    for ((name, max), hits) in rows.iter().zip(scanner.scan_grouped(payload)) {
         assert!(
-            hits.len() <= max,
+            hits.len() <= *max,
             "protected bitstream should have almost no {name} covers, found {}",
             hits.len()
         );
@@ -80,8 +78,7 @@ fn xor_half_scan_leaves_intractable_search() {
     // ("interval of 200,000 byte positions").
     let range = golden.fdri_data_range().unwrap();
     let window = 0..(range.len() / 2);
-    let report = countermeasure::evaluate(&board, &golden, Some(window))
-        .expect("evaluation runs");
+    let report = countermeasure::evaluate(&board, &golden, Some(window)).expect("evaluation runs");
 
     // The scan floods the attacker with candidates...
     assert!(
@@ -116,9 +113,7 @@ fn lemma_arithmetic_matches_paper() {
     let x = complexity::required_decoy_multiple(128.0);
     assert!(x > 4.8 && x < 5.0);
     // And the bound is monotone in r.
-    assert!(
-        complexity::log2_stirling_bound(32, 32 * 5) > complexity::log2_stirling_bound(32, 32)
-    );
+    assert!(complexity::log2_stirling_bound(32, 32 * 5) > complexity::log2_stirling_bound(32, 32));
 }
 
 #[test]

@@ -10,11 +10,8 @@ use snow3g::vectors::{PAPER_TABLE_III, PAPER_TABLE_V, TEST_SET_1_IV, TEST_SET_1_
 use snow3g::{Iv, Key};
 
 fn build_board(key: Key, iv: Iv) -> Snow3gBoard {
-    Snow3gBoard::build(
-        Snow3gCircuitConfig::unprotected(key, iv),
-        &ImplementOptions::default(),
-    )
-    .expect("board builds")
+    Snow3gBoard::build(Snow3gCircuitConfig::unprotected(key, iv), &ImplementOptions::default())
+        .expect("board builds")
 }
 
 #[test]
@@ -86,11 +83,7 @@ fn candidate_counts_shape_matches_paper() {
     let report =
         Attack::new(&board, board.extract_bitstream()).expect("prepares").run().expect("runs");
     let count = |name: &str| {
-        report
-            .candidate_counts
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map_or(0, |(_, c)| *c)
+        report.candidate_counts.iter().find(|(n, _)| *n == name).map_or(0, |(_, c)| *c)
     };
     assert!(count("f2") >= 32, "f2 hits: {}", count("f2"));
     assert!(count("m0") + count("m0b") >= 16);

@@ -36,8 +36,7 @@ fn section_v_packet_words() {
 
 #[test]
 fn table_iii_exact() {
-    let z = FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent())
-        .keystream(16);
+    let z = FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent()).keystream(16);
     assert_eq!(z, PAPER_TABLE_III);
 }
 

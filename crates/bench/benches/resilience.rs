@@ -1,0 +1,68 @@
+//! Resilience-layer costs: what the flaky-board survival machinery
+//! charges on a *clean* board (the overhead an operator pays for
+//! turning it on defensively), and the per-call cost of the bitwise
+//! majority vote itself.
+
+use bench::test_board;
+use bitmod::resilient::{majority, ResilienceConfig, ResilientOracle};
+use bitmod::KeystreamOracle;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpga_sim::{FaultProfile, UnreliableBoard};
+
+fn bench_clean_path_overhead(c: &mut Criterion) {
+    let board = test_board(false);
+    let golden = board.extract_bitstream();
+    let mut g = c.benchmark_group("resilience/clean-path");
+    g.sample_size(20);
+    // Baseline: the raw oracle, no wrapper.
+    g.bench_function("raw-oracle", |b| {
+        b.iter(|| board.keystream(&golden, 16).expect("runs"));
+    });
+    // The wrapper in pass-through mode: measures pure layer overhead
+    // (should be indistinguishable from the baseline).
+    g.bench_function("wrapped-off", |b| {
+        let mut oracle = ResilientOracle::new(&board, ResilienceConfig::off());
+        b.iter(|| oracle.query(&golden, 16).expect("runs"));
+    });
+    // Majority voting on a clean board: 3 and 5 full reads per
+    // logical query — the defensive-mode cost multiplier.
+    for votes in [3u32, 5] {
+        g.bench_function(format!("wrapped-{votes}-votes"), |b| {
+            let config = ResilienceConfig::noisy(1).with_votes(votes);
+            let mut oracle = ResilientOracle::new(&board, config);
+            b.iter(|| oracle.query(&golden, 16).expect("runs"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_noisy_path(c: &mut Criterion) {
+    let board = UnreliableBoard::new(test_board(false), FaultProfile::flaky(7));
+    let golden = board.extract_bitstream();
+    let mut g = c.benchmark_group("resilience/noisy-path");
+    g.sample_size(20);
+    // The full treatment against the flaky preset: retries and
+    // votes included (virtual backoff costs no wall-clock).
+    g.bench_function("flaky-board-5-votes", |b| {
+        let mut oracle = ResilientOracle::new(&board, ResilienceConfig::noisy(7));
+        b.iter(|| oracle.query(&golden, 16).expect("recovers"));
+    });
+    g.finish();
+}
+
+fn bench_majority_vote(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resilience/majority");
+    for (votes, words) in [(5usize, 16usize), (5, 512), (9, 16)] {
+        let ballots: Vec<Vec<u32>> = (0..votes)
+            .map(|v| (0..words).map(|w| (w as u32).wrapping_mul(0x9E37_79B9) ^ v as u32).collect())
+            .collect();
+        g.throughput(Throughput::Elements((votes * words) as u64));
+        g.bench_function(format!("{votes}-ballots-{words}-words"), |b| {
+            b.iter(|| majority(&ballots));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_clean_path_overhead, bench_noisy_path, bench_majority_vote);
+criterion_main!(benches);

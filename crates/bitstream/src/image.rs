@@ -15,8 +15,8 @@ use core::ops::Range;
 use crate::crc::ConfigCrc;
 use crate::frame::{FrameData, FRAME_WORDS};
 use crate::packet::{
-    CommandCode, Packet, RegisterAddress, BUS_WIDTH_DETECT, BUS_WIDTH_SYNC, DUMMY_WORD, NOP,
-    SYNC_WORD,
+    CommandCode, Packet, PacketEncodeError, RegisterAddress, BUS_WIDTH_DETECT, BUS_WIDTH_SYNC,
+    DUMMY_WORD, NOP, SYNC_WORD,
 };
 
 /// Default device ID used by the builder.
@@ -57,8 +57,24 @@ impl BitstreamBuilder {
     }
 
     /// Serializes the bitstream, computing the correct CRC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame payload exceeds the 27-bit Type 2 word
+    /// count (≥ 512 MiB of frames); use [`BitstreamBuilder::try_build`]
+    /// to handle that case as a typed error.
     #[must_use]
     pub fn build(self) -> Bitstream {
+        self.try_build().expect("frame payload fits the Type 2 word count")
+    }
+
+    /// Serializes the bitstream, computing the correct CRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketEncodeError`] if the frame payload does not fit
+    /// the Type 2 word-count field.
+    pub fn try_build(self) -> Result<Bitstream, PacketEncodeError> {
         let mut words: Vec<u32> = Vec::new();
         // Header: dummy pad, bus width detection, sync.
         words.extend([DUMMY_WORD; 8]);
@@ -69,44 +85,48 @@ impl BitstreamBuilder {
         words.push(NOP);
 
         let mut crc = ConfigCrc::new();
-        let write1 =
-            |words: &mut Vec<u32>, crc: &mut ConfigCrc, addr: RegisterAddress, vals: &[u32]| {
-                words.push(Packet::type1_header(addr, vals.len()));
-                for &v in vals {
-                    words.push(v);
-                    if addr != RegisterAddress::Crc {
-                        crc.update(addr as u16, v);
-                    }
+        let write1 = |words: &mut Vec<u32>,
+                      crc: &mut ConfigCrc,
+                      addr: RegisterAddress,
+                      vals: &[u32]|
+         -> Result<(), PacketEncodeError> {
+            words.push(Packet::type1_header(addr, vals.len())?);
+            for &v in vals {
+                words.push(v);
+                if addr != RegisterAddress::Crc {
+                    crc.update(addr as u16, v);
                 }
-            };
+            }
+            Ok(())
+        };
 
-        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Rcrc as u32]);
+        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Rcrc as u32])?;
         crc.reset();
         words.push(NOP);
-        write1(&mut words, &mut crc, RegisterAddress::Idcode, &[self.idcode]);
-        write1(&mut words, &mut crc, RegisterAddress::Far, &[0]);
-        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Wcfg as u32]);
+        write1(&mut words, &mut crc, RegisterAddress::Idcode, &[self.idcode])?;
+        write1(&mut words, &mut crc, RegisterAddress::Far, &[0])?;
+        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Wcfg as u32])?;
         // FDRI: Type 1 header with count 0, then the Type 2 payload.
         let payload = self.frames.to_words();
-        words.push(Packet::type1_header(RegisterAddress::Fdri, 0));
-        words.push(Packet::type2_header(payload.len()));
+        words.push(Packet::type1_header(RegisterAddress::Fdri, 0)?);
+        words.push(Packet::type2_header(payload.len())?);
         for &w in &payload {
             crc.update(RegisterAddress::Fdri as u16, w);
             words.push(w);
         }
         // Expected CRC.
         let expected = crc.value();
-        write1(&mut words, &mut crc, RegisterAddress::Crc, &[expected]);
+        write1(&mut words, &mut crc, RegisterAddress::Crc, &[expected])?;
         words.push(NOP);
-        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Start as u32]);
-        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Desync as u32]);
+        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Start as u32])?;
+        write1(&mut words, &mut crc, RegisterAddress::Cmd, &[CommandCode::Desync as u32])?;
         words.extend([NOP; 2]);
 
         let mut bytes = Vec::with_capacity(words.len() * 4);
         for w in words {
             bytes.extend_from_slice(&w.to_be_bytes());
         }
-        Bitstream(bytes)
+        Ok(Bitstream(bytes))
     }
 }
 
@@ -231,7 +251,7 @@ impl Bitstream {
     /// `0x30004000`, read the following Type 2 header's word count.
     #[must_use]
     pub fn fdri_data_range(&self) -> Option<Range<usize>> {
-        let hdr = self.find_word(Packet::type1_header(RegisterAddress::Fdri, 0), 0)?;
+        let hdr = self.find_word(crate::packet::FDRI_WRITE_HEADER, 0)?;
         let t2_at = hdr + 4;
         let t2 = u32::from_be_bytes(self.0.get(t2_at..t2_at + 4)?.try_into().ok()?);
         let fields = Packet::decode_header(t2);
@@ -247,12 +267,15 @@ impl Bitstream {
     /// header and its value with all-zero words, exactly as described
     /// in Section V-B. Returns the number of CRC packets zeroed.
     pub fn disable_crc(&mut self) -> usize {
-        let hdr = Packet::type1_header(RegisterAddress::Crc, 1);
+        let hdr = crate::packet::CRC_WRITE_HEADER;
         let mut n = 0;
         let mut from = self.fdri_data_range().map_or(0, |r| r.end);
         while let Some(at) = self.find_word(hdr, from) {
-            self.0[at..at + 8].fill(0);
-            from = at + 8;
+            // A truncated stream may end right after the header; zero
+            // only the bytes that exist.
+            let end = (at + 8).min(self.0.len());
+            self.0[at..end].fill(0);
+            from = end;
             n += 1;
         }
         n

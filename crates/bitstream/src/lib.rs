@@ -35,4 +35,4 @@ pub mod xi;
 pub use codec::{LutLocation, SubVectorOrder};
 pub use frame::{FrameData, FRAME_BYTES, FRAME_WORDS};
 pub use image::{Bitstream, BitstreamBuilder, ConfigData, ParseBitstreamError};
-pub use packet::{CommandCode, Packet, RegisterAddress, SYNC_WORD};
+pub use packet::{CommandCode, Packet, PacketEncodeError, RegisterAddress, SYNC_WORD};

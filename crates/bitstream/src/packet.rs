@@ -25,6 +25,14 @@ pub const BUS_WIDTH_DETECT: u32 = 0x1122_0044;
 /// A Type 1 NOP.
 pub const NOP: u32 = 0x2000_0000;
 
+/// The Type 1 "write FDRI register, WORD_COUNT=0" header the paper
+/// quotes (`0x30004000`) — the anchor the payload search locates.
+pub const FDRI_WRITE_HEADER: u32 = 0x3000_4000;
+
+/// The Type 1 "write CRC register, WORD_COUNT=1" header the paper
+/// quotes (`0x30000001`) — the packet the CRC-disable trick zeroes.
+pub const CRC_WRITE_HEADER: u32 = 0x3000_0001;
+
 /// Configuration register addresses (7-series subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u16)]
@@ -111,27 +119,62 @@ pub enum Packet {
     Nop,
 }
 
+/// A word count that does not fit its packet header field. Encoding
+/// is total over all other inputs; these are the only failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketEncodeError {
+    /// A Type 1 count exceeds the 11-bit field.
+    Type1CountOverflow {
+        /// The offending word count.
+        count: usize,
+    },
+    /// A Type 2 count exceeds the 27-bit field.
+    Type2CountOverflow {
+        /// The offending word count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for PacketEncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketEncodeError::Type1CountOverflow { count } => {
+                write!(f, "word count {count} exceeds the 11-bit Type 1 field")
+            }
+            PacketEncodeError::Type2CountOverflow { count } => {
+                write!(f, "word count {count} exceeds the 27-bit Type 2 field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketEncodeError {}
+
 impl Packet {
     /// Encodes a Type 1 write header for `count` payload words.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `count` exceeds the 11-bit field.
-    #[must_use]
-    pub fn type1_header(addr: RegisterAddress, count: usize) -> u32 {
-        assert!(count < (1 << 11), "Type 1 word count overflow");
-        0x3000_0000 | ((addr as u32) << 13) | count as u32
+    /// Returns [`PacketEncodeError::Type1CountOverflow`] if `count`
+    /// exceeds the 11-bit field.
+    pub fn type1_header(addr: RegisterAddress, count: usize) -> Result<u32, PacketEncodeError> {
+        if count >= (1 << 11) {
+            return Err(PacketEncodeError::Type1CountOverflow { count });
+        }
+        Ok(0x3000_0000 | ((addr as u32) << 13) | count as u32)
     }
 
     /// Encodes a Type 2 write header for `count` payload words.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `count` exceeds the 27-bit field.
-    #[must_use]
-    pub fn type2_header(count: usize) -> u32 {
-        assert!(count < (1 << 27), "Type 2 word count overflow");
-        0x5000_0000 | count as u32
+    /// Returns [`PacketEncodeError::Type2CountOverflow`] if `count`
+    /// exceeds the 27-bit field.
+    pub fn type2_header(count: usize) -> Result<u32, PacketEncodeError> {
+        if count >= (1 << 27) {
+            return Err(PacketEncodeError::Type2CountOverflow { count });
+        }
+        Ok(0x5000_0000 | count as u32)
     }
 
     /// Decodes the header fields of a packet word:
@@ -183,16 +226,16 @@ mod tests {
     fn paper_constants() {
         // "Packet Type 1: Write FDRI register, WORD_COUNT=0" is
         // 0x30004000.
-        assert_eq!(Packet::type1_header(RegisterAddress::Fdri, 0), 0x3000_4000);
+        assert_eq!(Packet::type1_header(RegisterAddress::Fdri, 0), Ok(FDRI_WRITE_HEADER));
         // "Packet Type 1: Write CRC register, WORD_COUNT=1" is
         // 0x30000001.
-        assert_eq!(Packet::type1_header(RegisterAddress::Crc, 1), 0x3000_0001);
+        assert_eq!(Packet::type1_header(RegisterAddress::Crc, 1), Ok(CRC_WRITE_HEADER));
         // "Packet Type 1: Write CMD register, WORD_COUNT=1" is
         // 0x30008001.
-        assert_eq!(Packet::type1_header(RegisterAddress::Cmd, 1), 0x3000_8001);
+        assert_eq!(Packet::type1_header(RegisterAddress::Cmd, 1), Ok(0x3000_8001));
         // "Packet Type 2: Write FDRI register, WORD_COUNT=2432080" is
         // 0x50251c50.
-        assert_eq!(Packet::type2_header(2_432_080), 0x5025_1C50);
+        assert_eq!(Packet::type2_header(2_432_080), Ok(0x5025_1C50));
     }
 
     #[test]
@@ -215,8 +258,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "word count overflow")]
-    fn type1_count_limit() {
-        let _ = Packet::type1_header(RegisterAddress::Fdri, 2048);
+    fn count_overflow_is_a_typed_error_not_a_panic() {
+        assert_eq!(
+            Packet::type1_header(RegisterAddress::Fdri, 2048),
+            Err(PacketEncodeError::Type1CountOverflow { count: 2048 })
+        );
+        assert_eq!(Packet::type1_header(RegisterAddress::Fdri, 2047).map(|w| w & 0x7FF), Ok(2047));
+        assert_eq!(
+            Packet::type2_header(1 << 27),
+            Err(PacketEncodeError::Type2CountOverflow { count: 1 << 27 })
+        );
+        let e = Packet::type2_header(usize::MAX).unwrap_err();
+        assert!(e.to_string().contains("27-bit"));
     }
 }

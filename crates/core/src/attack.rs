@@ -40,6 +40,7 @@ use crate::candidates::{Catalogue, Role, Shape};
 use crate::edit::{CrcStrategy, EditSession};
 use crate::findlut::{LutHit, ScanConfigError, Scanner};
 use crate::oracle::{KeystreamOracle, OracleError};
+use crate::resilient::{ResilienceConfig, ResilienceError, ResilientOracle, ResilientStats};
 
 /// A verified keystream-path LUT (`LUT₁[i]`).
 #[derive(Debug, Clone)]
@@ -238,6 +239,85 @@ pub struct LoadMuxHalf {
     pub pins: (u8, u8),
 }
 
+/// How far the attack progressed (checkpoint granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AttackPhase {
+    /// Phase 1: FINDLUT candidate search (no oracle queries).
+    CandidateSearch,
+    /// Phase 2: keystream-path verification.
+    ZPathVerification,
+    /// Phase 3: feedback-path hypothesis.
+    FeedbackHypothesis,
+    /// Phase 4: key-independent configuration.
+    KeyIndependent,
+    /// Phase 5: pair disambiguation.
+    PairDisambiguation,
+    /// Phase 6: α injection and key extraction.
+    KeyExtraction,
+}
+
+impl fmt::Display for AttackPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AttackPhase::CandidateSearch => "candidate search",
+            AttackPhase::ZPathVerification => "keystream-path verification",
+            AttackPhase::FeedbackHypothesis => "feedback-path hypothesis",
+            AttackPhase::KeyIndependent => "key-independent configuration",
+            AttackPhase::PairDisambiguation => "pair disambiguation",
+            AttackPhase::KeyExtraction => "key extraction",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A structured partial result: everything verified before the
+/// oracle budget ran out. A later run can skip re-verifying these
+/// findings (the whole point of surviving a flaky board with a
+/// metered configuration port).
+#[derive(Debug, Clone)]
+pub struct AttackCheckpoint {
+    /// The phase the attack was executing when it stopped.
+    pub phase: AttackPhase,
+    /// Physical oracle attempts spent.
+    pub oracle_attempts: u64,
+    /// Raw FINDLUT match counts (phase 1; oracle-free, always
+    /// present).
+    pub candidate_counts: Vec<(&'static str, usize)>,
+    /// Keystream-path LUTs verified so far.
+    pub z_luts: Vec<ZPathLut>,
+    /// Feedback-path LUTs surviving pruning so far.
+    pub feedback_luts: Vec<FeedbackLut>,
+    /// The site lattice, once inferred (end of phase 2).
+    pub lattice: Option<SiteLattice>,
+}
+
+impl AttackCheckpoint {
+    fn new() -> Self {
+        Self {
+            phase: AttackPhase::CandidateSearch,
+            oracle_attempts: 0,
+            candidate_counts: Vec::new(),
+            z_luts: Vec::new(),
+            feedback_luts: Vec::new(),
+            lattice: None,
+        }
+    }
+}
+
+impl fmt::Display for AttackCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stopped during {}: {} z-path LUTs, {} feedback LUTs, lattice {}, {} attempts spent",
+            self.phase,
+            self.z_luts.len(),
+            self.feedback_luts.len(),
+            if self.lattice.is_some() { "inferred" } else { "unknown" },
+            self.oracle_attempts
+        )
+    }
+}
+
 /// The attack's findings and effort metrics.
 #[derive(Debug, Clone)]
 pub struct AttackReport {
@@ -264,8 +344,12 @@ pub struct AttackReport {
     pub alpha_bitstream: Bitstream,
     /// The recovered secrets (Table V and the key).
     pub recovered: RecoveredSecret,
-    /// Number of device configurations the attack performed.
+    /// Number of device configurations the attack performed
+    /// (physical attempts, including retries and majority-vote
+    /// re-reads).
     pub oracle_loads: usize,
+    /// Resilience-layer effort counters (retries, votes, backoff).
+    pub resilience: ResilientStats,
 }
 
 /// An error aborting the attack.
@@ -292,6 +376,17 @@ pub enum AttackError {
     Recover(RecoverKeyError),
     /// The candidate scan could not be configured (e.g. zero stride).
     Config(ScanConfigError),
+    /// The resilience layer gave up (retries exhausted or a fatal
+    /// oracle error behind the retry loop).
+    Resilience(ResilienceError),
+    /// The oracle-query budget ran out mid-run. Carries everything
+    /// verified so far as a structured partial result.
+    Exhausted {
+        /// Findings accumulated before the budget ran out.
+        checkpoint: Box<AttackCheckpoint>,
+        /// The underlying budget failure.
+        source: ResilienceError,
+    },
 }
 
 impl fmt::Display for AttackError {
@@ -310,6 +405,10 @@ impl fmt::Display for AttackError {
             }
             AttackError::Recover(e) => write!(f, "key recovery failed: {e}"),
             AttackError::Config(e) => write!(f, "invalid scan configuration: {e}"),
+            AttackError::Resilience(e) => write!(f, "oracle resilience failure: {e}"),
+            AttackError::Exhausted { checkpoint, source } => {
+                write!(f, "{source}; partial result: {checkpoint}")
+            }
         }
     }
 }
@@ -320,7 +419,21 @@ impl std::error::Error for AttackError {
             AttackError::Oracle(e) => Some(e),
             AttackError::Recover(e) => Some(e),
             AttackError::Config(e) => Some(e),
+            AttackError::Resilience(e) => Some(e),
+            AttackError::Exhausted { source, .. } => Some(source),
             _ => None,
+        }
+    }
+}
+
+impl From<ResilienceError> for AttackError {
+    fn from(e: ResilienceError) -> Self {
+        match e {
+            // A fatal (non-transient, non-budget) rejection is the
+            // device speaking, not the resilience layer: keep the
+            // pre-resilience `Oracle` contract for it.
+            ResilienceError::Fatal(e) => AttackError::Oracle(e),
+            other => AttackError::Resilience(other),
         }
     }
 }
@@ -345,14 +458,14 @@ impl From<ScanConfigError> for AttackError {
 
 /// The attack driver.
 pub struct Attack<'a> {
-    oracle: &'a dyn KeystreamOracle,
+    oracle: ResilientOracle<'a>,
     golden: Bitstream,
     payload: Vec<u8>,
     d: usize,
     words: usize,
     catalogue: Catalogue,
-    loads: usize,
     golden_keystream: Vec<u32>,
+    checkpoint: AttackCheckpoint,
 }
 
 impl fmt::Debug for Attack<'_> {
@@ -363,7 +476,7 @@ impl fmt::Debug for Attack<'_> {
             self.payload.len(),
             self.d,
             self.words,
-            self.loads
+            self.oracle.stats().attempts
         )
     }
 }
@@ -392,17 +505,36 @@ impl<'a> Attack<'a> {
         golden: Bitstream,
         d: usize,
     ) -> Result<Self, AttackError> {
+        Self::with_resilience(oracle, golden, d, ResilienceConfig::off())
+    }
+
+    /// Like [`Attack::with_stride`] but with a resilience layer
+    /// between the attack and the oracle — for unreliable boards
+    /// (retry transient load failures, majority-vote keystream reads,
+    /// meter the total number of device configurations).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Attack::new`], plus [`AttackError::Resilience`] /
+    /// [`AttackError::Exhausted`] if even the initial golden read
+    /// does not survive the configured policy.
+    pub fn with_resilience(
+        oracle: &'a dyn KeystreamOracle,
+        golden: Bitstream,
+        d: usize,
+        config: ResilienceConfig,
+    ) -> Result<Self, AttackError> {
         let range = golden.fdri_data_range().ok_or(AttackError::NoFdriPayload)?;
         let payload = golden.as_bytes()[range].to_vec();
         let mut attack = Self {
-            oracle,
+            oracle: ResilientOracle::new(oracle, config),
             golden,
             payload,
             d,
             words: 16,
             catalogue: Catalogue::full(),
-            loads: 0,
             golden_keystream: Vec::new(),
+            checkpoint: AttackCheckpoint::new(),
         };
         attack.golden_keystream = attack.run_oracle(&attack.golden.clone())?;
         Ok(attack)
@@ -421,9 +553,32 @@ impl<'a> Attack<'a> {
         &self.golden
     }
 
+    /// The resilience configuration in force.
+    #[must_use]
+    pub fn resilience_config(&self) -> &ResilienceConfig {
+        self.oracle.config()
+    }
+
+    /// Resilience-layer effort counters so far.
+    #[must_use]
+    pub fn resilience_stats(&self) -> ResilientStats {
+        self.oracle.stats()
+    }
+
+    /// The single oracle chokepoint: every phase queries through the
+    /// resilience layer here. Budget exhaustion is converted into a
+    /// checkpointed partial result on the spot, so it carries
+    /// whatever was verified up to the failing query.
     fn run_oracle(&mut self, bs: &Bitstream) -> Result<Vec<u32>, AttackError> {
-        self.loads += 1;
-        Ok(self.oracle.keystream(bs, self.words)?)
+        match self.oracle.query(bs, self.words) {
+            Ok(z) => Ok(z),
+            Err(e @ ResilienceError::BudgetExhausted { .. }) => {
+                let mut checkpoint = self.checkpoint.clone();
+                checkpoint.oracle_attempts = self.oracle.stats().attempts;
+                Err(AttackError::Exhausted { checkpoint: Box::new(checkpoint), source: e })
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Re-expresses a hit under the sub-vector order the lattice
@@ -461,6 +616,8 @@ impl<'a> Attack<'a> {
             candidate_counts.push((shape.name, hits.len()));
             hits_by_shape.insert(shape.name, hits);
         }
+        self.checkpoint.candidate_counts = candidate_counts.clone();
+        self.checkpoint.phase = AttackPhase::ZPathVerification;
 
         // Phase 2: verify the keystream path. A misaligned window
         // over two real LUTs can occasionally verify *instead of* a
@@ -477,6 +634,7 @@ impl<'a> Attack<'a> {
         let samples: Vec<(usize, bitstream::SubVectorOrder)> =
             z_pass1.iter().map(|z| (z.hit.l, z.hit.order)).collect();
         let lattice = SiteLattice::infer(&samples, self.d);
+        self.checkpoint.lattice = Some(lattice.clone());
         let on_lattice: Vec<LutHit> =
             f2_hits.into_iter().filter(|h| lattice.accepts(h.l)).collect();
         let (z_luts, _) = self.verify_z_path(on_lattice)?;
@@ -499,11 +657,15 @@ impl<'a> Attack<'a> {
             .into_iter()
             .map(|z| ZPathLut { hit: self.normalize_hit(&z.hit, f2_truth, &lattice), ..z })
             .collect();
+        self.checkpoint.z_luts = z_luts.clone();
+        self.checkpoint.phase = AttackPhase::FeedbackHypothesis;
 
         // Phase 3: feedback-path hypothesis.
         let (fb_candidates, fb_dead) =
             self.feedback_hypothesis(&z_luts, &hits_by_shape, &lattice)?;
         dead += fb_dead;
+        self.checkpoint.feedback_luts = fb_candidates.clone();
+        self.checkpoint.phase = AttackPhase::KeyIndependent;
 
         // Phase 4: key-independent configuration (selects the true
         // 32-LUT feedback subset if there are surplus candidates).
@@ -517,9 +679,13 @@ impl<'a> Attack<'a> {
         let (feedback_luts, keyindep_bs, keyindep_z, beta_edits, mux_dead) =
             self.key_independent(&z_luts, fb_candidates, &m1b_hits, &lattice)?;
         dead += mux_dead;
+        self.checkpoint.feedback_luts = feedback_luts.clone();
+        self.checkpoint.phase = AttackPhase::PairDisambiguation;
 
         // Phase 5: pair disambiguation (two keystream computations).
         let z_luts = self.disambiguate_pairs(z_luts, &keyindep_bs)?;
+        self.checkpoint.z_luts = z_luts.clone();
+        self.checkpoint.phase = AttackPhase::KeyExtraction;
 
         // Phase 6: inject α into a fresh copy and extract the key.
         let (alpha_bitstream, alpha_keystream) = self.extract(&z_luts, &feedback_luts)?;
@@ -535,7 +701,8 @@ impl<'a> Attack<'a> {
             alpha_keystream,
             alpha_bitstream,
             recovered,
-            oracle_loads: self.loads,
+            oracle_loads: self.oracle.stats().attempts as usize,
+            resilience: self.oracle.stats(),
         })
     }
 
@@ -547,6 +714,9 @@ impl<'a> Attack<'a> {
     ) -> Result<(Vec<ZPathLut>, usize), AttackError> {
         let mut verified: Vec<ZPathLut> = Vec::new();
         let mut dead = 0usize;
+        // Mid-phase checkpoint fidelity: LUTs verified before a
+        // budget cut are part of the partial result.
+        self.checkpoint.z_luts.clear();
         'cand: for hit in candidates {
             // Two valid LUTs cannot overlap in a bitstream
             // (Section VI-C): skip candidates clashing with verified
@@ -561,7 +731,10 @@ impl<'a> Attack<'a> {
             let bs = session.finish(CrcStrategy::Recompute);
             let z = self.run_oracle(&bs)?;
             match stuck_bit(&z, &self.golden_keystream) {
-                Some(bit) => verified.push(ZPathLut { hit, bit, pair: None }),
+                Some(bit) => {
+                    verified.push(ZPathLut { hit: hit.clone(), bit, pair: None });
+                    self.checkpoint.z_luts.push(ZPathLut { hit, bit, pair: None });
+                }
                 None => {
                     if z == self.golden_keystream {
                         dead += 1;
@@ -584,6 +757,7 @@ impl<'a> Attack<'a> {
             self.catalogue.shapes.iter().filter(|s| s.role == Role::Feedback).cloned().collect();
         let mut out: Vec<FeedbackLut> = Vec::new();
         let mut dead = 0usize;
+        self.checkpoint.feedback_luts.clear();
         for shape in shapes {
             let name = shape.name;
             for hit in hits_by_shape.get(name).cloned().unwrap_or_default() {
@@ -606,7 +780,8 @@ impl<'a> Attack<'a> {
                     dead += 1;
                     continue;
                 }
-                out.push(FeedbackLut { shape: name, hit });
+                out.push(FeedbackLut { shape: name, hit: hit.clone() });
+                self.checkpoint.feedback_luts.push(FeedbackLut { shape: name, hit });
             }
         }
         Ok((out, dead))

@@ -174,6 +174,13 @@ pub fn run(
                     report.rejected += 1;
                     continue;
                 }
+                // The untargeted campaign has no resilience layer;
+                // a transiently failed trial is simply abandoned.
+                Err(e) if e.is_transient() => {
+                    report.rejected += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
             };
             if z == golden_keystream {
                 report.keystream_unchanged += 1;

@@ -7,7 +7,17 @@
 //! bitmod packets <file>
 //! bitmod crc     <file> (--disable | --recompute) [-o OUT]
 //! bitmod diff    <file> <other-file>
+//! bitmod attack  [--noisy] [--seed N] [--glitch P] [--load-fail P]
+//!                [--votes N] [--budget N] [--stride N]
 //! ```
+//!
+//! `attack` builds the simulated SNOW 3G victim board (ETSI Test
+//! Set 1) and runs the full key-recovery pipeline against it. With
+//! `--noisy` the board injects seeded faults (per-bit keystream
+//! glitches, transient load failures, timeouts, truncated reads) and
+//! the attack survives them through the resilience layer; `--budget`
+//! caps the number of physical device configurations, and hitting it
+//! prints a structured partial result.
 //!
 //! Functions are catalogue names (`f2`, `m0b`, ...) or formulas over
 //! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`. With `--json`, `findlut`
@@ -19,10 +29,34 @@ use std::process::ExitCode;
 use bitmod::cli;
 use bitstream::Bitstream;
 
+fn run_attack(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = cli::AttackOptions::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--noisy" => opts.noisy = true,
+            "--seed" => opts.seed = it.next().ok_or("--seed needs a value")?.parse()?,
+            "--glitch" => opts.glitch = it.next().ok_or("--glitch needs a value")?.parse()?,
+            "--load-fail" => {
+                opts.load_fail = it.next().ok_or("--load-fail needs a value")?.parse()?;
+            }
+            "--votes" => opts.votes = it.next().ok_or("--votes needs a value")?.parse()?,
+            "--budget" => opts.budget = Some(it.next().ok_or("--budget needs a value")?.parse()?),
+            "--stride" => opts.stride = it.next().ok_or("--stride needs a value")?.parse()?,
+            flag => return Err(format!("unknown attack option '{flag}'").into()),
+        }
+    }
+    print!("{}", cli::cmd_attack(&opts)?);
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "bitmod (findlut|table2|xorscan|packets|crc|diff) <file> [...]";
+    let usage = "bitmod (findlut|table2|xorscan|packets|crc|diff|attack) <file> [...]";
     let (cmd, rest) = args.split_first().ok_or(usage)?;
+    if cmd == "attack" {
+        return run_attack(rest);
+    }
     let (file, rest) = rest.split_first().ok_or(usage)?;
     let bs = Bitstream::from_bytes(std::fs::read(file)?);
 

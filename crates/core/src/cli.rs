@@ -16,12 +16,16 @@ use boolfn::TruthTable;
 
 use bitstream::{Bitstream, Packet, FRAME_BYTES};
 
+use crate::attack::{Attack, AttackError};
 use crate::candidates::Catalogue;
 use crate::countermeasure::xor_half_scan;
 use crate::findlut::{LutHit, ScanConfigError, Scanner};
+use crate::oracle::KeystreamOracle;
+use crate::resilient::ResilienceConfig;
 
 /// An error from a CLI operation.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CliError {
     /// The function argument was neither a catalogue name nor a
     /// parsable formula.
@@ -37,6 +41,10 @@ pub enum CliError {
     Usage(String),
     /// The requested scan configuration was invalid.
     Config(ScanConfigError),
+    /// Building the simulated victim board failed.
+    Board(fpga_sim::BoardError),
+    /// The attack pipeline aborted.
+    Attack(AttackError),
 }
 
 impl fmt::Display for CliError {
@@ -48,6 +56,8 @@ impl fmt::Display for CliError {
             CliError::NoPayload => write!(f, "bitstream has no FDRI payload"),
             CliError::Usage(msg) => write!(f, "usage: {msg}"),
             CliError::Config(e) => write!(f, "invalid scan configuration: {e}"),
+            CliError::Board(e) => write!(f, "victim board construction failed: {e}"),
+            CliError::Attack(e) => write!(f, "attack failed: {e}"),
         }
     }
 }
@@ -57,6 +67,8 @@ impl std::error::Error for CliError {
         match self {
             CliError::BadFunction { parse, .. } => Some(parse),
             CliError::Config(e) => Some(e),
+            CliError::Board(e) => Some(e),
+            CliError::Attack(e) => Some(e),
             _ => None,
         }
     }
@@ -65,6 +77,18 @@ impl std::error::Error for CliError {
 impl From<ScanConfigError> for CliError {
     fn from(e: ScanConfigError) -> Self {
         CliError::Config(e)
+    }
+}
+
+impl From<fpga_sim::BoardError> for CliError {
+    fn from(e: fpga_sim::BoardError) -> Self {
+        CliError::Board(e)
+    }
+}
+
+impl From<AttackError> for CliError {
+    fn from(e: AttackError) -> Self {
+        CliError::Attack(e)
     }
 }
 
@@ -277,49 +301,180 @@ pub fn default_stride() -> usize {
     FRAME_BYTES
 }
 
+/// Options for [`cmd_attack`]: the simulated end-to-end demo,
+/// optionally against an unreliable board.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackOptions {
+    /// Run against an [`fpga_sim::UnreliableBoard`] instead of the
+    /// ideal board.
+    pub noisy: bool,
+    /// Seed for the fault model and the resilience jitter.
+    pub seed: u64,
+    /// Per-bit keystream glitch probability (noisy mode).
+    pub glitch: f64,
+    /// Transient load-failure probability (noisy mode).
+    pub load_fail: f64,
+    /// Majority-vote reads per oracle query (noisy mode).
+    pub votes: u32,
+    /// Cap on physical oracle attempts (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// Sub-vector stride `d`.
+    pub stride: usize,
+}
+
+impl Default for AttackOptions {
+    fn default() -> Self {
+        Self {
+            noisy: false,
+            seed: 1,
+            glitch: 0.01,
+            load_fail: 0.10,
+            votes: 5,
+            budget: None,
+            stride: FRAME_BYTES,
+        }
+    }
+}
+
+/// `attack`: builds the simulated SNOW 3G victim (ETSI Test Set 1)
+/// and runs the full key-recovery pipeline against it. With `noisy`,
+/// the board is wrapped in the seeded fault model and the attack
+/// queries through the resilience layer (retry + majority vote +
+/// budget). Budget exhaustion is reported as a structured partial
+/// result, not an error.
+///
+/// # Errors
+///
+/// Propagates board-construction and attack failures.
+pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
+    use fmt::Write;
+    let config = netlist::snow3g_circuit::Snow3gCircuitConfig::unprotected(
+        snow3g::vectors::TEST_SET_1_KEY,
+        snow3g::vectors::TEST_SET_1_IV,
+    );
+    let board = fpga_sim::Snow3gBoard::build(config, &fpga_sim::ImplementOptions::default())?;
+    let golden = board.extract_bitstream();
+
+    let noisy_board;
+    let (oracle, resilience): (&dyn KeystreamOracle, ResilienceConfig) = if opts.noisy {
+        let profile = fpga_sim::FaultProfile::flaky(opts.seed)
+            .with_bit_glitch(opts.glitch)
+            .with_load_failure(opts.load_fail);
+        noisy_board = fpga_sim::UnreliableBoard::new(board, profile);
+        // Decorrelate the jitter stream from the board's fault
+        // stream while keeping both functions of one user seed.
+        let mut config = ResilienceConfig::noisy(opts.seed ^ 0x5EED).with_votes(opts.votes);
+        if let Some(budget) = opts.budget {
+            config = config.with_budget(budget);
+        }
+        (&noisy_board, config)
+    } else {
+        let mut config = ResilienceConfig::off();
+        if let Some(budget) = opts.budget {
+            config = config.with_budget(budget);
+        }
+        (&board, config)
+    };
+
+    let mut out = String::new();
+    if opts.noisy {
+        let _ = writeln!(
+            out,
+            "noisy mode: glitch {:.2}%/bit, load failure {:.1}%, {} votes, seed {}",
+            opts.glitch * 100.0,
+            opts.load_fail * 100.0,
+            opts.votes,
+            opts.seed
+        );
+    }
+    let attack = Attack::with_resilience(oracle, golden, opts.stride, resilience)?;
+    match attack.run() {
+        Ok(report) => {
+            let _ = writeln!(out, "recovered key: {}", report.recovered.key);
+            let _ = writeln!(out, "recovered iv:  {}", report.recovered.iv);
+            let _ = writeln!(
+                out,
+                "oracle loads: {} physical ({} logical queries, {} retries absorbed, \
+                 {} ballots, {} virtual ms backing off)",
+                report.oracle_loads,
+                report.resilience.queries,
+                report.resilience.transient_errors,
+                report.resilience.votes_cast,
+                report.resilience.backoff_ms
+            );
+            let _ = writeln!(
+                out,
+                "verified: {} keystream-path LUTs, {} feedback LUTs, {} dead candidates",
+                report.z_luts.len(),
+                report.feedback_luts.len(),
+                report.dead_candidates
+            );
+            Ok(out)
+        }
+        Err(AttackError::Exhausted { checkpoint, source }) => {
+            let _ = writeln!(out, "query budget exhausted: {source}");
+            let _ = writeln!(out, "partial result: {checkpoint}");
+            let _ = writeln!(
+                out,
+                "  verified z-path bits: {:032b}",
+                checkpoint.z_luts.iter().fold(0u32, |m, z| m | 1 << z.bit)
+            );
+            Ok(out)
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bitstream::{codec, BitstreamBuilder, FrameData, LutLocation, SubVectorOrder};
     use boolfn::DualOutputInit;
 
-    fn sample() -> Bitstream {
+    /// Tests propagate failures with `?` instead of unwrapping: a
+    /// failing assertion should name the failed step, not panic in a
+    /// combinator.
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn sample() -> Result<Bitstream, Box<dyn std::error::Error>> {
         let mut frames = FrameData::new(8);
-        let f2 = Catalogue::full().shape("f2").unwrap().truth;
+        let f2 = Catalogue::full().shape("f2").ok_or("f2 missing from catalogue")?.truth;
         codec::write_lut(
             frames.as_mut_bytes(),
             LutLocation { l: 42, d: FRAME_BYTES, order: SubVectorOrder::SliceM },
             DualOutputInit::from_single(f2),
         );
-        BitstreamBuilder::new(frames).build()
+        Ok(BitstreamBuilder::new(frames).build())
     }
 
     #[test]
-    fn resolve_by_name_and_formula() {
-        let (label, t1) = resolve_function("f2").unwrap();
+    fn resolve_by_name_and_formula() -> TestResult {
+        let (label, t1) = resolve_function("f2")?;
         assert!(label.starts_with("f2 ="));
-        let (_, t2) = resolve_function("(a1^a2^a3) a4 a5 ~a6").unwrap();
+        let (_, t2) = resolve_function("(a1^a2^a3) a4 a5 ~a6")?;
         assert_eq!(t1, t2);
         assert!(resolve_function("not-a-function!!").is_err());
+        Ok(())
     }
 
     #[test]
-    fn findlut_reports_the_plant() {
-        let bs = sample();
-        let report = cmd_findlut(&bs, "f2", FRAME_BYTES, false).unwrap();
+    fn findlut_reports_the_plant() -> TestResult {
+        let bs = sample()?;
+        let report = cmd_findlut(&bs, "f2", FRAME_BYTES, false)?;
         assert!(report.contains("l =       42"), "{report}");
         assert!(report.contains("SliceM"), "{report}");
+        Ok(())
     }
 
     #[test]
-    fn findlut_json_record_format_is_stable() {
-        let bs = sample();
-        let out = cmd_findlut(&bs, "f2", FRAME_BYTES, true).unwrap();
+    fn findlut_json_record_format_is_stable() -> TestResult {
+        let bs = sample()?;
+        let out = cmd_findlut(&bs, "f2", FRAME_BYTES, true)?;
         let line =
-            out.lines().find(|l| l.contains("\"l\":42,")).expect("planted hit emitted as JSON");
+            out.lines().find(|l| l.contains("\"l\":42,")).ok_or("planted hit missing from JSON")?;
         // The exact record is part of the CLI contract.
-        let file_offset = bs.fdri_data_range().unwrap().start + 42;
-        let f2 = Catalogue::full().shape("f2").unwrap().truth;
+        let file_offset = bs.fdri_data_range().ok_or(CliError::NoPayload)?.start + 42;
+        let f2 = Catalogue::full().shape("f2").ok_or("f2 missing from catalogue")?.truth;
         let init = DualOutputInit::from_single(f2).init();
         assert_eq!(
             line,
@@ -328,75 +483,95 @@ mod tests {
                  \"order\":\"SliceM\",\"perm\":[0,1,2,3,4,5],\"init\":\"{init:#018x}\"}}"
             )
         );
+        Ok(())
     }
 
     #[test]
-    fn table2_lists_all_shapes() {
-        let bs = sample();
-        let report = cmd_table2(&bs, FRAME_BYTES, false).unwrap();
+    fn table2_lists_all_shapes() -> TestResult {
+        let bs = sample()?;
+        let report = cmd_table2(&bs, FRAME_BYTES, false)?;
         for name in ["f2", "m0b", "f21"] {
             assert!(report.contains(name), "{report}");
         }
+        Ok(())
     }
 
     #[test]
-    fn table2_json_names_the_candidate() {
-        let bs = sample();
-        let out = cmd_table2(&bs, FRAME_BYTES, true).unwrap();
+    fn table2_json_names_the_candidate() -> TestResult {
+        let bs = sample()?;
+        let out = cmd_table2(&bs, FRAME_BYTES, true)?;
         assert!(
             out.lines().any(|l| l.contains("\"candidate\":\"f2\"") && l.contains("\"l\":42,")),
             "{out}"
         );
+        Ok(())
     }
 
     #[test]
-    fn config_errors_surface_with_source() {
+    fn config_errors_surface_with_source() -> TestResult {
         use std::error::Error;
-        let bs = sample();
-        let err = cmd_findlut(&bs, "f2", 0, false).unwrap_err();
+        let bs = sample()?;
+        let Err(err) = cmd_findlut(&bs, "f2", 0, false) else {
+            return Err("zero stride must be rejected".into());
+        };
         assert!(matches!(err, CliError::Config(_)));
         assert!(err.source().is_some());
+        Ok(())
     }
 
     #[test]
-    fn xorscan_runs() {
-        let bs = sample();
-        let report = cmd_xorscan(&bs, FRAME_BYTES, None).unwrap();
+    fn xorscan_runs() -> TestResult {
+        let bs = sample()?;
+        let report = cmd_xorscan(&bs, FRAME_BYTES, None)?;
         assert!(report.contains("XOR-half scan"));
-        let windowed = cmd_xorscan(&bs, FRAME_BYTES, Some((0, 100))).unwrap();
+        let windowed = cmd_xorscan(&bs, FRAME_BYTES, Some((0, 100)))?;
         assert!(windowed.contains("bytes 0..100"));
+        Ok(())
     }
 
     #[test]
-    fn packets_lists_writes() {
-        let bs = sample();
+    fn packets_lists_writes() -> TestResult {
+        let bs = sample()?;
         let listing = cmd_packets(&bs);
         assert!(listing.contains("write Fdri"), "{listing}");
         assert!(listing.contains("write Crc"), "{listing}");
+        Ok(())
     }
 
     #[test]
-    fn diff_command() {
-        let a = sample();
+    fn diff_command() -> TestResult {
+        let a = sample()?;
         let mut b = a.clone();
-        let range = b.fdri_data_range().unwrap();
+        let range = b.fdri_data_range().ok_or(CliError::NoPayload)?;
         b.as_mut_bytes()[range.start + 5] ^= 1;
         let report = cmd_diff(&a, &b);
         assert!(report.contains("1 differing range(s), 1 byte(s)"), "{report}");
+        Ok(())
     }
 
     #[test]
-    fn crc_commands() {
-        let bs = sample();
+    fn crc_commands() -> TestResult {
+        let bs = sample()?;
         let (disabled, msg) = cmd_crc(&bs, true);
         assert!(msg.contains("zeroed 1"));
-        assert!(!disabled.parse().unwrap().crc_checked);
+        assert!(!disabled.parse()?.crc_checked);
 
         let mut broken = bs.clone();
-        let range = broken.fdri_data_range().unwrap();
+        let range = broken.fdri_data_range().ok_or(CliError::NoPayload)?;
         broken.as_mut_bytes()[range.start] ^= 1;
         let (fixed, msg) = cmd_crc(&broken, false);
         assert!(msg.contains("recomputed"));
-        assert!(fixed.parse().unwrap().crc_checked);
+        assert!(fixed.parse()?.crc_checked);
+        Ok(())
+    }
+
+    #[test]
+    fn attack_error_conversions_chain() {
+        use std::error::Error;
+        let e: CliError = AttackError::NoFdriPayload.into();
+        assert!(matches!(e, CliError::Attack(_)));
+        assert!(e.source().is_some());
+        let e: crate::error::Error = CliError::NoPayload.into();
+        assert!(e.to_string().starts_with("cli:"));
     }
 }

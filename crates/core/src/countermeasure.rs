@@ -18,6 +18,7 @@ use crate::candidates::Catalogue;
 use crate::edit::{CrcStrategy, EditSession};
 use crate::findlut::{scan_halves, LutHit, Scanner};
 use crate::oracle::KeystreamOracle;
+use crate::resilient::{ResilienceConfig, ResilientOracle};
 
 /// Lemma VII-A arithmetic.
 pub mod complexity {
@@ -159,14 +160,32 @@ pub fn evaluate(
     golden: &Bitstream,
     constrained_window: Option<core::ops::Range<usize>>,
 ) -> Result<CountermeasureReport, AttackError> {
+    evaluate_with(oracle, golden, constrained_window, ResilienceConfig::off())
+}
+
+/// [`evaluate`] with a resilience layer between the verification
+/// passes and the oracle, for unreliable boards (see
+/// [`crate::resilient`]). The stuck-bit pruning of step 3 performs
+/// hundreds of loads; on a flaky board each is retried and
+/// majority-voted per the configuration.
+///
+/// # Errors
+///
+/// Propagates oracle and resilience failures (budget exhaustion
+/// surfaces as [`AttackError::Resilience`]).
+pub fn evaluate_with(
+    oracle: &dyn KeystreamOracle,
+    golden: &Bitstream,
+    constrained_window: Option<core::ops::Range<usize>>,
+    config: ResilienceConfig,
+) -> Result<CountermeasureReport, AttackError> {
     let range = golden.fdri_data_range().ok_or(AttackError::NoFdriPayload)?;
     let payload = golden.as_bytes()[range].to_vec();
     let d = bitstream::FRAME_BYTES;
-    let mut loads = 0usize;
     let words = 16usize;
+    let mut oracle = ResilientOracle::new(oracle, config);
 
-    let golden_keystream =
-        oracle.keystream(golden, words).map_err(AttackError::Oracle).inspect(|_| loads += 1)?;
+    let golden_keystream = oracle.query(golden, words).map_err(AttackError::from)?;
 
     // Table VI analog — one pass over the payload for the whole
     // catalogue.
@@ -197,9 +216,8 @@ pub fn evaluate(
             let mut session = EditSession::new(golden, d);
             session.write_half(hit, half, TruthTable::zero(5));
             let z = oracle
-                .keystream(&session.finish(CrcStrategy::Recompute), words)
-                .map_err(AttackError::Oracle)?;
-            loads += 1;
+                .query(&session.finish(CrcStrategy::Recompute), words)
+                .map_err(AttackError::from)?;
             if z == golden_keystream {
                 continue; // dead bytes
             }
@@ -218,6 +236,6 @@ pub fn evaluate(
         z_path_pruned: z_path.len(),
         remaining,
         search_bits: complexity::log2_binomial(remaining as u64, 32),
-        oracle_loads: loads,
+        oracle_loads: oracle.stats().attempts as usize,
     })
 }

@@ -12,6 +12,7 @@ use crate::attack::AttackError;
 use crate::cli::CliError;
 use crate::findlut::ScanConfigError;
 use crate::oracle::OracleError;
+use crate::resilient::ResilienceError;
 
 /// Any error produced by this crate.
 #[derive(Debug)]
@@ -25,6 +26,8 @@ pub enum Error {
     Oracle(OracleError),
     /// A scan was misconfigured.
     Config(ScanConfigError),
+    /// The resilience layer gave up (budget or retries exhausted).
+    Resilience(ResilienceError),
 }
 
 impl fmt::Display for Error {
@@ -34,6 +37,7 @@ impl fmt::Display for Error {
             Error::Attack(e) => write!(f, "attack: {e}"),
             Error::Oracle(e) => write!(f, "oracle: {e}"),
             Error::Config(e) => write!(f, "scan config: {e}"),
+            Error::Resilience(e) => write!(f, "resilience: {e}"),
         }
     }
 }
@@ -45,6 +49,7 @@ impl std::error::Error for Error {
             Error::Attack(e) => Some(e),
             Error::Oracle(e) => Some(e),
             Error::Config(e) => Some(e),
+            Error::Resilience(e) => Some(e),
         }
     }
 }
@@ -70,6 +75,12 @@ impl From<OracleError> for Error {
 impl From<ScanConfigError> for Error {
     fn from(e: ScanConfigError) -> Self {
         Error::Config(e)
+    }
+}
+
+impl From<ResilienceError> for Error {
+    fn from(e: ResilienceError) -> Self {
+        Error::Resilience(e)
     }
 }
 

@@ -16,6 +16,10 @@
 //!   semantics (`α`, `α₁`, `α₂`, `β`);
 //! * [`oracle`] — the victim-device interface (*load bitstream, read
 //!   keystream*) the attack drives;
+//! * [`resilient`] — the flaky-board survival layer: retry with
+//!   seeded exponential backoff, per-bit majority voting, a physical
+//!   query budget and a deterministic virtual clock between the
+//!   attack and the oracle;
 //! * [`edit`] — bitstream patching under a matched input permutation,
 //!   with CRC repair or disable;
 //! * [`attack`] — the full key-recovery pipeline of Section VI:
@@ -42,8 +46,9 @@ pub mod edit;
 pub mod error;
 pub mod findlut;
 pub mod oracle;
+pub mod resilient;
 
-pub use attack::{Attack, AttackError, AttackReport};
+pub use attack::{Attack, AttackCheckpoint, AttackError, AttackPhase, AttackReport};
 pub use candidates::{Catalogue, Role, Shape};
 pub use error::Error;
 #[allow(deprecated)]
@@ -52,3 +57,6 @@ pub use findlut::{
     find_lut_reference, FindLutParams, LutHit, ScanConfigError, ScanHit, Scanner, ScannerBuilder,
 };
 pub use oracle::{KeystreamOracle, OracleError};
+pub use resilient::{
+    ResilienceConfig, ResilienceError, ResilientOracle, ResilientStats, RetryPolicy, VirtualClock,
+};

@@ -10,16 +10,55 @@ use bitstream::Bitstream;
 
 /// An error from the device.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum OracleError {
     /// The device refused the bitstream (CRC failure, malformed
-    /// stream, wrong size).
+    /// stream, wrong size). Deterministic: retrying the same load
+    /// fails the same way.
     Rejected(String),
+    /// The configuration port glitched mid-load. Transient: the same
+    /// bitstream can succeed on retry.
+    TransientLoad(String),
+    /// The configuration interface stopped responding. Transient.
+    Timeout {
+        /// How long the (possibly simulated) wait lasted.
+        ms: u64,
+    },
+    /// The read returned fewer keystream words than requested.
+    /// Transient: a clean retry can return the full read.
+    ShortRead {
+        /// Words actually returned.
+        got: usize,
+        /// Words requested.
+        want: usize,
+    },
+}
+
+impl OracleError {
+    /// Whether retrying the same query can succeed. The resilience
+    /// layer retries transient errors and aborts on the rest.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            OracleError::TransientLoad(_)
+                | OracleError::Timeout { .. }
+                | OracleError::ShortRead { .. }
+        )
+    }
 }
 
 impl fmt::Display for OracleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OracleError::Rejected(why) => write!(f, "device refused configuration: {why}"),
+            OracleError::TransientLoad(why) => write!(f, "transient load failure: {why}"),
+            OracleError::Timeout { ms } => {
+                write!(f, "configuration interface timed out after {ms} ms")
+            }
+            OracleError::ShortRead { got, want } => {
+                write!(f, "short keystream read: {got} of {want} words")
+            }
         }
     }
 }
@@ -41,6 +80,23 @@ pub trait KeystreamOracle {
 impl KeystreamOracle for fpga_sim::Snow3gBoard {
     fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError> {
         self.generate_keystream(bitstream, words).map_err(|e| OracleError::Rejected(e.to_string()))
+    }
+}
+
+impl KeystreamOracle for fpga_sim::UnreliableBoard {
+    fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError> {
+        use fpga_sim::{BoardError, ProgramError};
+        match self.generate_keystream(bitstream, words) {
+            Ok(z) if z.len() < words => Err(OracleError::ShortRead { got: z.len(), want: words }),
+            Ok(z) => Ok(z),
+            Err(BoardError::Program(ProgramError::TransientLoad)) => {
+                Err(OracleError::TransientLoad("configuration port glitched mid-load".into()))
+            }
+            Err(BoardError::Program(ProgramError::ConfigTimeout { ms })) => {
+                Err(OracleError::Timeout { ms })
+            }
+            Err(e) => Err(OracleError::Rejected(e.to_string())),
+        }
     }
 }
 

@@ -1,0 +1,531 @@
+//! Surviving a flaky board: retry, backoff, majority voting and a
+//! query budget between the attack and the oracle.
+//!
+//! The paper's attack assumes every *load bitstream / read keystream*
+//! query succeeds and returns the true keystream. A real lab board
+//! does not cooperate: loads transiently fail, the configuration port
+//! times out, readback glitches bits and truncates transfers (the
+//! fault classes modelled by `fpga_sim::UnreliableBoard`). This
+//! module wraps any [`KeystreamOracle`] in a resilience layer:
+//!
+//! * **retry with exponential backoff** — transient errors
+//!   ([`OracleError::is_transient`]) are retried up to a configured
+//!   attempt count, with seeded jitter so concurrent retries would
+//!   not stampede a shared programmer;
+//! * **per-bit majority voting** — each logical query performs an odd
+//!   number of full reads and takes the bitwise majority. At a 1%
+//!   per-bit glitch rate a 512-bit read is almost never entirely
+//!   clean, so vote-per-read cannot work; vote-per-*bit* drives the
+//!   per-bit error from 10⁻² to ≈10⁻⁵ with 5 reads;
+//! * **query budget** — a hard cap on physical oracle attempts.
+//!   Exhausting it mid-attack surfaces as a typed
+//!   [`ResilienceError::BudgetExhausted`], which the attack driver
+//!   converts into a checkpointed partial result;
+//! * **virtual clock** — backoff advances a deterministic virtual
+//!   clock instead of sleeping, so noisy runs are bit-reproducible
+//!   and tests run instantly.
+//!
+//! Determinism argument: faults come from the board's seeded RNG,
+//! jitter from this layer's seeded RNG, time from the virtual clock,
+//! and queries are issued sequentially — a fixed (seed, call
+//! sequence) pair replays the identical noisy run.
+
+use core::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use bitstream::Bitstream;
+
+use crate::oracle::{KeystreamOracle, OracleError};
+
+/// A deterministic clock: backoff advances it, nothing sleeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Milliseconds elapsed on the virtual timeline.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances the timeline (saturating).
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+    }
+}
+
+/// Exponential-backoff retry policy for transient oracle errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Physical attempts per read (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling, in virtual milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is final.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { max_attempts: 1, base_delay_ms: 0, max_delay_ms: 0 }
+    }
+
+    /// The default flaky-board policy: 8 attempts, 10 ms base delay
+    /// doubling up to 2 s.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 2_000 }
+    }
+
+    /// The backoff before retry number `attempt` (0-based): an
+    /// exponential ramp capped at the ceiling, plus up to 50% seeded
+    /// jitter.
+    fn delay_ms(&self, attempt: u32, rng: &mut SmallRng) -> u64 {
+        let ramp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_delay_ms.max(self.base_delay_ms));
+        if ramp == 0 {
+            return 0;
+        }
+        ramp + rng.gen_range(0..=ramp / 2)
+    }
+}
+
+/// How a [`ResilientOracle`] behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Full keystream reads per logical query; the bitwise majority
+    /// wins. Use an odd count — even counts resolve ties toward 0.
+    pub votes: u32,
+    /// Retry policy for transient errors.
+    pub retry: RetryPolicy,
+    /// Cap on *physical* oracle attempts across the whole run
+    /// (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// Seed for the backoff jitter.
+    pub seed: u64,
+}
+
+impl ResilienceConfig {
+    /// The pass-through configuration: one vote, no retries, no
+    /// budget. Against an ideal oracle this is byte-for-byte the
+    /// unwrapped behaviour.
+    #[must_use]
+    pub fn off() -> Self {
+        Self { votes: 1, retry: RetryPolicy::none(), budget: None, seed: 0 }
+    }
+
+    /// The flaky-board configuration: 5 votes, standard backoff, no
+    /// budget.
+    #[must_use]
+    pub fn noisy(seed: u64) -> Self {
+        Self { votes: 5, retry: RetryPolicy::standard(), budget: None, seed }
+    }
+
+    /// Overrides the vote count.
+    #[must_use]
+    pub fn with_votes(mut self, votes: u32) -> Self {
+        self.votes = votes;
+        self
+    }
+
+    /// Sets the physical-attempt budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Overrides the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// A resilience-layer failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ResilienceError {
+    /// The physical-attempt budget ran out. The attack driver turns
+    /// this into a checkpointed partial result.
+    BudgetExhausted {
+        /// Attempts performed.
+        used: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// Every allowed attempt of one read failed transiently.
+    RetriesExhausted {
+        /// Attempts performed for this read.
+        attempts: u32,
+        /// The last transient error observed.
+        last: OracleError,
+    },
+    /// A non-transient oracle error; retrying cannot help.
+    Fatal(OracleError),
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::BudgetExhausted { used, limit } => {
+                write!(f, "oracle query budget exhausted ({used}/{limit} attempts)")
+            }
+            ResilienceError::RetriesExhausted { attempts, last } => {
+                write!(f, "read still failing after {attempts} attempts: {last}")
+            }
+            ResilienceError::Fatal(e) => write!(f, "unrecoverable oracle error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResilienceError::BudgetExhausted { .. } => None,
+            ResilienceError::RetriesExhausted { last, .. } => Some(last),
+            ResilienceError::Fatal(e) => Some(e),
+        }
+    }
+}
+
+/// Effort and fault counters for one resilient run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilientStats {
+    /// Logical queries served.
+    pub queries: u64,
+    /// Physical oracle attempts (what the budget caps).
+    pub attempts: u64,
+    /// Successful full reads (majority-vote ballots).
+    pub votes_cast: u64,
+    /// Transient errors absorbed by retry.
+    pub transient_errors: u64,
+    /// Virtual milliseconds spent backing off.
+    pub backoff_ms: u64,
+}
+
+/// A [`KeystreamOracle`] front-end that retries, votes and meters.
+pub struct ResilientOracle<'a> {
+    inner: &'a dyn KeystreamOracle,
+    config: ResilienceConfig,
+    clock: VirtualClock,
+    rng: SmallRng,
+    stats: ResilientStats,
+}
+
+impl fmt::Debug for ResilientOracle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ResilientOracle(votes: {}, attempts: {}/{:?}, t: {} ms)",
+            self.config.votes,
+            self.stats.attempts,
+            self.config.budget,
+            self.clock.now_ms()
+        )
+    }
+}
+
+impl<'a> ResilientOracle<'a> {
+    /// Wraps an oracle in the resilience layer.
+    #[must_use]
+    pub fn new(inner: &'a dyn KeystreamOracle, config: ResilienceConfig) -> Self {
+        Self {
+            inner,
+            config,
+            clock: VirtualClock::new(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            stats: ResilientStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// Effort counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ResilientStats {
+        self.stats
+    }
+
+    /// The virtual timeline (advanced by backoff only).
+    #[must_use]
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Physical attempts still allowed (`None` = unlimited).
+    #[must_use]
+    pub fn remaining_budget(&self) -> Option<u64> {
+        self.config.budget.map(|limit| limit.saturating_sub(self.stats.attempts))
+    }
+
+    /// One logical query: collect the configured number of full
+    /// reads (each individually retried) and return their bitwise
+    /// majority.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::BudgetExhausted`] when the attempt cap is
+    /// hit, [`ResilienceError::RetriesExhausted`] when a read stays
+    /// transiently broken, [`ResilienceError::Fatal`] on a
+    /// non-transient oracle error.
+    pub fn query(
+        &mut self,
+        bitstream: &Bitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, ResilienceError> {
+        self.stats.queries += 1;
+        let votes = self.config.votes.max(1);
+        let mut ballots: Vec<Vec<u32>> = Vec::with_capacity(votes as usize);
+        for _ in 0..votes {
+            ballots.push(self.read_once(bitstream, words)?);
+        }
+        if ballots.len() == 1 {
+            return Ok(ballots.pop().expect("one ballot"));
+        }
+        Ok(majority(&ballots))
+    }
+
+    /// One full read, retried through transient errors.
+    fn read_once(
+        &mut self,
+        bitstream: &Bitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, ResilienceError> {
+        let policy = self.config.retry;
+        let attempts = policy.max_attempts.max(1);
+        let mut last: Option<OracleError> = None;
+        for attempt in 0..attempts {
+            if let Some(limit) = self.config.budget {
+                if self.stats.attempts >= limit {
+                    return Err(ResilienceError::BudgetExhausted {
+                        used: self.stats.attempts,
+                        limit,
+                    });
+                }
+            }
+            self.stats.attempts += 1;
+            // A short Ok from a non-typed oracle is the same fault as
+            // a typed ShortRead: retry it.
+            let outcome = match self.inner.keystream(bitstream, words) {
+                Ok(z) if z.len() < words => {
+                    Err(OracleError::ShortRead { got: z.len(), want: words })
+                }
+                other => other,
+            };
+            match outcome {
+                Ok(z) => {
+                    self.stats.votes_cast += 1;
+                    return Ok(z);
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.transient_errors += 1;
+                    let delay = policy.delay_ms(attempt, &mut self.rng);
+                    self.clock.advance(delay);
+                    self.stats.backoff_ms += delay;
+                    last = Some(e);
+                }
+                Err(e) => return Err(ResilienceError::Fatal(e)),
+            }
+        }
+        Err(ResilienceError::RetriesExhausted {
+            attempts,
+            last: last.unwrap_or(OracleError::ShortRead { got: 0, want: words }),
+        })
+    }
+}
+
+/// The bitwise majority of equal-length ballots: bit `b` of word `w`
+/// is 1 iff a strict majority of ballots has it 1 (even-split ties
+/// resolve to 0). Ballots shorter than the longest are treated as
+/// missing (not zero) for the words they lack.
+#[must_use]
+pub fn majority(ballots: &[Vec<u32>]) -> Vec<u32> {
+    let words = ballots.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(words);
+    for w in 0..words {
+        let mut word = 0u32;
+        for bit in 0..32 {
+            let (mut ones, mut present) = (0usize, 0usize);
+            for ballot in ballots {
+                if let Some(v) = ballot.get(w) {
+                    present += 1;
+                    ones += usize::from((v >> bit) & 1 == 1);
+                }
+            }
+            if ones * 2 > present {
+                word |= 1 << bit;
+            }
+        }
+        out.push(word);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A scriptable oracle: pops the front of the script on every
+    /// call; an empty script returns the clean keystream.
+    struct Scripted {
+        clean: Vec<u32>,
+        script: RefCell<Vec<Result<Vec<u32>, OracleError>>>,
+        calls: RefCell<usize>,
+    }
+
+    impl Scripted {
+        fn new(clean: Vec<u32>, script: Vec<Result<Vec<u32>, OracleError>>) -> Self {
+            Self { clean, script: RefCell::new(script), calls: RefCell::new(0) }
+        }
+
+        fn calls(&self) -> usize {
+            *self.calls.borrow()
+        }
+    }
+
+    impl KeystreamOracle for Scripted {
+        fn keystream(&self, _bs: &Bitstream, _words: usize) -> Result<Vec<u32>, OracleError> {
+            *self.calls.borrow_mut() += 1;
+            let mut script = self.script.borrow_mut();
+            if script.is_empty() {
+                Ok(self.clean.clone())
+            } else {
+                script.remove(0)
+            }
+        }
+    }
+
+    fn bs() -> Bitstream {
+        Bitstream::from_bytes(vec![0; 16])
+    }
+
+    #[test]
+    fn off_config_is_pass_through() {
+        let oracle = Scripted::new(vec![0xAB, 0xCD], vec![]);
+        let mut r = ResilientOracle::new(&oracle, ResilienceConfig::off());
+        assert_eq!(r.query(&bs(), 2).expect("clean"), vec![0xAB, 0xCD]);
+        assert_eq!(oracle.calls(), 1);
+        assert_eq!(r.stats().attempts, 1);
+        assert_eq!(r.clock().now_ms(), 0, "no backoff on the clean path");
+    }
+
+    #[test]
+    fn transient_errors_are_retried_with_backoff() {
+        let oracle = Scripted::new(
+            vec![7, 7],
+            vec![
+                Err(OracleError::TransientLoad("glitch".into())),
+                Err(OracleError::Timeout { ms: 120 }),
+            ],
+        );
+        let mut r = ResilientOracle::new(&oracle, ResilienceConfig::noisy(1).with_votes(1));
+        assert_eq!(r.query(&bs(), 2).expect("recovers"), vec![7, 7]);
+        assert_eq!(oracle.calls(), 3);
+        let stats = r.stats();
+        assert_eq!(stats.transient_errors, 2);
+        assert!(stats.backoff_ms > 0, "backoff advanced the virtual clock");
+        assert_eq!(r.clock().now_ms(), stats.backoff_ms);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let oracle = Scripted::new(vec![1], vec![Err(OracleError::Rejected("bad CRC".into()))]);
+        let mut r = ResilientOracle::new(&oracle, ResilienceConfig::noisy(1).with_votes(1));
+        assert!(matches!(r.query(&bs(), 1), Err(ResilienceError::Fatal(_))));
+        assert_eq!(oracle.calls(), 1, "a deterministic rejection is never retried");
+    }
+
+    #[test]
+    fn retries_exhausted_is_typed_and_chains_source() {
+        use std::error::Error as _;
+        let oracle =
+            Scripted::new(vec![1], (0..8).map(|_| Err(OracleError::Timeout { ms: 5 })).collect());
+        let mut r = ResilientOracle::new(&oracle, ResilienceConfig::noisy(9).with_votes(1));
+        let err = r.query(&bs(), 1).expect_err("board never recovers");
+        assert!(matches!(err, ResilienceError::RetriesExhausted { attempts: 8, .. }));
+        assert!(err.source().expect("chains to the oracle error").to_string().contains("5 ms"));
+    }
+
+    #[test]
+    fn short_ok_reads_are_retried_like_short_read_errors() {
+        let oracle = Scripted::new(vec![3, 4], vec![Ok(vec![3])]);
+        let mut r = ResilientOracle::new(&oracle, ResilienceConfig::noisy(2).with_votes(1));
+        assert_eq!(r.query(&bs(), 2).expect("full read on retry"), vec![3, 4]);
+        assert_eq!(r.stats().transient_errors, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_exact() {
+        let oracle = Scripted::new(vec![1], vec![]);
+        let mut r = ResilientOracle::new(&oracle, ResilienceConfig::off().with_budget(3));
+        for _ in 0..3 {
+            r.query(&bs(), 1).expect("within budget");
+        }
+        assert_eq!(r.remaining_budget(), Some(0));
+        let err = r.query(&bs(), 1).expect_err("over budget");
+        assert!(matches!(err, ResilienceError::BudgetExhausted { used: 3, limit: 3 }));
+        assert_eq!(oracle.calls(), 3, "the budget gate precedes the device");
+    }
+
+    #[test]
+    fn majority_vote_outvotes_disjoint_glitches() {
+        // Three reads, each with a different single-bit flip: the
+        // per-bit majority is the clean keystream.
+        let clean = vec![0xDEAD_BEEFu32, 0x0123_4567];
+        let oracle = Scripted::new(
+            clean.clone(),
+            vec![
+                Ok(vec![clean[0] ^ 1, clean[1]]),
+                Ok(vec![clean[0], clean[1] ^ (1 << 30)]),
+                Ok(vec![clean[0] ^ (1 << 9), clean[1]]),
+            ],
+        );
+        let mut r = ResilientOracle::new(&oracle, ResilienceConfig::noisy(5).with_votes(3));
+        assert_eq!(r.query(&bs(), 2).expect("votes"), clean);
+        assert_eq!(r.stats().votes_cast, 3);
+    }
+
+    #[test]
+    fn majority_handles_ties_and_ragged_ballots() {
+        assert_eq!(majority(&[]), Vec::<u32>::new());
+        // Even split resolves to 0.
+        assert_eq!(majority(&[vec![0b11], vec![0b01]]), vec![0b01]);
+        // A short ballot abstains on the words it lacks.
+        assert_eq!(majority(&[vec![1, 0xF0], vec![1], vec![3, 0xF0]]), vec![1, 0xF0]);
+    }
+
+    #[test]
+    fn same_seed_same_backoff_trace() {
+        let run = |seed: u64| {
+            let oracle = Scripted::new(
+                vec![1],
+                (0..5).map(|_| Err(OracleError::TransientLoad("x".into()))).collect(),
+            );
+            let mut r = ResilientOracle::new(&oracle, ResilienceConfig::noisy(seed).with_votes(1));
+            r.query(&bs(), 1).expect("recovers on attempt 6");
+            r.stats().backoff_ms
+        };
+        assert_eq!(run(11), run(11), "jitter is a function of the seed");
+    }
+}

@@ -88,6 +88,17 @@ pub enum ProgramError {
         /// This device's IDCODE.
         expected: u32,
     },
+    /// The configuration port glitched mid-load (`INIT_B` pulsed low
+    /// with a valid stream). Transient: retrying the same load can
+    /// succeed. Only injected by fault models such as
+    /// [`crate::UnreliableBoard`]; the ideal fabric never emits it.
+    TransientLoad,
+    /// The configuration interface stopped responding before `DONE`
+    /// went high. Transient: retrying can succeed.
+    ConfigTimeout {
+        /// Milliseconds waited before giving up (simulated).
+        ms: u64,
+    },
 }
 
 impl fmt::Display for ProgramError {
@@ -100,7 +111,23 @@ impl fmt::Display for ProgramError {
             ProgramError::WrongDevice { got, expected } => {
                 write!(f, "bitstream idcode {got:08x?} does not match device {expected:08x}")
             }
+            ProgramError::TransientLoad => {
+                write!(f, "configuration port glitched mid-load (transient)")
+            }
+            ProgramError::ConfigTimeout { ms } => {
+                write!(f, "configuration interface timed out after {ms} ms (transient)")
+            }
         }
+    }
+}
+
+impl ProgramError {
+    /// Whether retrying the same load can succeed. CRC/size/IDCODE
+    /// refusals are permanent properties of the stream; port glitches
+    /// and timeouts are not.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProgramError::TransientLoad | ProgramError::ConfigTimeout { .. })
     }
 }
 
@@ -108,7 +135,10 @@ impl std::error::Error for ProgramError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProgramError::Bitstream(e) => Some(e),
-            ProgramError::WrongFrameCount { .. } | ProgramError::WrongDevice { .. } => None,
+            ProgramError::WrongFrameCount { .. }
+            | ProgramError::WrongDevice { .. }
+            | ProgramError::TransientLoad
+            | ProgramError::ConfigTimeout { .. } => None,
         }
     }
 }
@@ -504,25 +534,26 @@ mod tests {
     }
 
     #[test]
-    fn crc_mismatch_refuses_configuration() {
+    fn crc_mismatch_refuses_configuration() -> Result<(), Box<dyn std::error::Error>> {
         let (fpga, _) = tiny();
         let mut bs = bitstream_for(&fpga, xor2_init(), not1_init());
-        let range = bs.fdri_data_range().unwrap();
+        let range = bs.fdri_data_range().ok_or("golden stream has no FDRI write")?;
         bs.as_mut_bytes()[range.start + 11] ^= 0x40;
         assert!(matches!(
             fpga.program(&bs),
             Err(ProgramError::Bitstream(ParseBitstreamError::CrcMismatch { .. }))
         ));
+        Ok(())
     }
 
     #[test]
-    fn crc_disabled_configuration_proceeds() {
+    fn crc_disabled_configuration_proceeds() -> Result<(), Box<dyn std::error::Error>> {
         let (fpga, outs) = tiny();
         let mut bs = bitstream_for(&fpga, xor2_init(), not1_init());
         // Flip a bit inside the XOR LUT's init: turn XOR into XNOR by
         // rewriting the whole LUT.
         let loc = fpga.geometry().lut_location(SiteId { col: 0, row: 0, lut: 0 });
-        let range = bs.fdri_data_range().unwrap();
+        let range = bs.fdri_data_range().ok_or("golden stream has no FDRI write")?;
         let xnor = boolfn::TruthTable::var(6, 1).xor(boolfn::TruthTable::var(6, 2)).not().bits();
         codec::write_lut(&mut bs.as_mut_bytes()[range.clone()], loc, DualOutputInit::new(xnor));
         assert!(fpga.program(&bs).is_err(), "CRC still enforced");
@@ -530,6 +561,7 @@ mod tests {
         let mut dev = fpga.program(&bs).expect("CRC disabled");
         dev.step();
         assert!(dev.net(outs[0]), "after one step q0=1, q1=1, and XNOR(1,1)=1");
+        Ok(())
     }
 
     #[test]
@@ -549,14 +581,12 @@ mod tests {
     }
 
     #[test]
-    fn wrong_idcode_rejected() {
+    fn wrong_idcode_rejected() -> Result<(), ParseBitstreamError> {
         let (fpga, _) = tiny();
-        let frames = {
-            let cfg = bitstream_for(&fpga, xor2_init(), not1_init()).parse().unwrap();
-            cfg.frames
-        };
+        let frames = bitstream_for(&fpga, xor2_init(), not1_init()).parse()?.frames;
         let bs = BitstreamBuilder::new(frames).idcode(0x1234_5678).build();
         assert!(matches!(fpga.program(&bs), Err(ProgramError::WrongDevice { .. })));
+        Ok(())
     }
 
     #[test]

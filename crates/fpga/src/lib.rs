@@ -30,8 +30,10 @@ pub mod board;
 pub mod fabric;
 pub mod geom;
 pub mod implementer;
+pub mod unreliable;
 
 pub use board::{BoardError, Snow3gBoard};
 pub use fabric::{ConfiguredFpga, Fpga, ProgramError};
 pub use geom::{Geometry, InitLayout, SiteId};
 pub use implementer::{implement, ImplementError, ImplementOptions, Implementation};
+pub use unreliable::{FaultProfile, FaultStats, UnreliableBoard};

@@ -1,0 +1,318 @@
+//! A flaky victim board: the [`Snow3gBoard`] behind an unreliable
+//! configuration link.
+//!
+//! The paper's experiments ran against a real Artix-7 over a
+//! configuration port. On real hardware, loads transiently fail
+//! (`INIT_B` pulses low on a perfectly valid stream), the port can
+//! stop responding, and keystream readback can glitch individual
+//! bits or cut a transfer short. [`UnreliableBoard`] injects exactly
+//! those fault classes — governed by a seeded [`FaultProfile`], so
+//! every run is reproducible — behind the same *load bitstream / read
+//! keystream* interface the ideal board exposes. The resilience layer
+//! in the attack crate (`bitmod::resilient`) is evaluated against it.
+
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use bitstream::Bitstream;
+
+use crate::board::{BoardError, Snow3gBoard};
+use crate::fabric::{Fpga, ProgramError};
+
+/// The seeded fault model of an unreliable board. All probabilities
+/// are per-event in `[0, 1]`; the draw sequence is fixed (load
+/// failure, timeout, truncation, then one draw per keystream bit), so
+/// a given seed reproduces the same fault trace for the same call
+/// sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProfile {
+    /// RNG seed; the whole fault trace is a function of it.
+    pub seed: u64,
+    /// Probability a load aborts with [`ProgramError::TransientLoad`].
+    pub load_failure: f64,
+    /// Probability a load aborts with [`ProgramError::ConfigTimeout`].
+    pub timeout: f64,
+    /// Per-bit probability that a keystream bit reads back flipped.
+    pub bit_glitch: f64,
+    /// Probability a keystream read returns fewer words than asked.
+    pub truncate: f64,
+}
+
+impl FaultProfile {
+    /// A fault-free profile (the wrapper becomes a transparent proxy).
+    #[must_use]
+    pub fn clean(seed: u64) -> Self {
+        Self { seed, load_failure: 0.0, timeout: 0.0, bit_glitch: 0.0, truncate: 0.0 }
+    }
+
+    /// The "flaky lab board" preset the noise experiments use: 10%
+    /// transient load failures, 2% timeouts, 1% keystream bit
+    /// glitches, 2% truncated reads.
+    #[must_use]
+    pub fn flaky(seed: u64) -> Self {
+        Self { seed, load_failure: 0.10, timeout: 0.02, bit_glitch: 0.01, truncate: 0.02 }
+    }
+
+    /// Overrides the transient-load-failure probability.
+    #[must_use]
+    pub fn with_load_failure(mut self, p: f64) -> Self {
+        self.load_failure = p;
+        self
+    }
+
+    /// Overrides the timeout probability.
+    #[must_use]
+    pub fn with_timeout(mut self, p: f64) -> Self {
+        self.timeout = p;
+        self
+    }
+
+    /// Overrides the per-bit keystream glitch probability.
+    #[must_use]
+    pub fn with_bit_glitch(mut self, p: f64) -> Self {
+        self.bit_glitch = p;
+        self
+    }
+
+    /// Overrides the truncated-read probability.
+    #[must_use]
+    pub fn with_truncate(mut self, p: f64) -> Self {
+        self.truncate = p;
+        self
+    }
+}
+
+/// Counters of the faults actually injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Keystream requests received (including failed ones).
+    pub loads_attempted: u64,
+    /// Loads aborted with a transient failure.
+    pub transient_failures: u64,
+    /// Loads aborted with a simulated timeout.
+    pub timeouts: u64,
+    /// Keystream reads that returned fewer words than requested.
+    pub truncated_reads: u64,
+    /// Keystream bits flipped by glitch injection.
+    pub bits_flipped: u64,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rng: SmallRng,
+    stats: FaultStats,
+}
+
+/// The [`Snow3gBoard`] behind an unreliable configuration link.
+///
+/// Exposes the board interface the attack drives (extract the golden
+/// bitstream, load a bitstream and read keystream words) with faults
+/// injected per the profile. Interior mutability keeps the interface
+/// `&self` like the ideal board's; the RNG advances deterministically
+/// with each call.
+#[derive(Debug)]
+pub struct UnreliableBoard {
+    inner: Snow3gBoard,
+    profile: FaultProfile,
+    state: Mutex<FaultState>,
+}
+
+impl UnreliableBoard {
+    /// Wraps a board in the fault model.
+    #[must_use]
+    pub fn new(inner: Snow3gBoard, profile: FaultProfile) -> Self {
+        let rng = SmallRng::seed_from_u64(profile.seed);
+        Self { inner, profile, state: Mutex::new(FaultState { rng, stats: FaultStats::default() }) }
+    }
+
+    /// The ideal board underneath (ground truth for tests).
+    #[must_use]
+    pub fn inner(&self) -> &Snow3gBoard {
+        &self.inner
+    }
+
+    /// The active fault profile.
+    #[must_use]
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Faults injected so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the
+    /// internal lock.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state.lock().expect("fault state lock").stats
+    }
+
+    /// Extracting the bitstream from external flash does not use the
+    /// configuration port; it is reliable.
+    #[must_use]
+    pub fn extract_bitstream(&self) -> Bitstream {
+        self.inner.extract_bitstream()
+    }
+
+    /// The device model (public knowledge, same as the ideal board).
+    #[must_use]
+    pub fn fpga(&self) -> &Fpga {
+        self.inner.fpga()
+    }
+
+    /// Loads `bitstream` and collects up to `words` keystream words,
+    /// with faults injected: the load can transiently fail or time
+    /// out, the read can come back short, and each returned bit can be
+    /// flipped.
+    ///
+    /// # Errors
+    ///
+    /// [`ProgramError::TransientLoad`] / [`ProgramError::ConfigTimeout`]
+    /// (wrapped in [`BoardError::Program`]) for injected faults, plus
+    /// everything the ideal board can return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the
+    /// internal lock.
+    pub fn generate_keystream(
+        &self,
+        bitstream: &Bitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, BoardError> {
+        let mut state = self.state.lock().expect("fault state lock");
+        state.stats.loads_attempted += 1;
+        // Fixed draw order: load glitch, timeout, truncation point,
+        // then one draw per returned bit. Determinism in the seed and
+        // the call sequence is what makes noisy runs reproducible.
+        if bernoulli(&mut state.rng, self.profile.load_failure) {
+            state.stats.transient_failures += 1;
+            return Err(BoardError::Program(ProgramError::TransientLoad));
+        }
+        if bernoulli(&mut state.rng, self.profile.timeout) {
+            state.stats.timeouts += 1;
+            let ms = 100 + state.rng.gen_range(0u64..900);
+            return Err(BoardError::Program(ProgramError::ConfigTimeout { ms }));
+        }
+        let keep = if words > 0 && bernoulli(&mut state.rng, self.profile.truncate) {
+            state.stats.truncated_reads += 1;
+            state.rng.gen_range(0..words)
+        } else {
+            words
+        };
+        // The (fault-free) device does the actual work; readback
+        // glitches are applied to what it produced.
+        let mut z = self.inner.generate_keystream(bitstream, keep)?;
+        if self.profile.bit_glitch > 0.0 {
+            for w in &mut z {
+                for bit in 0..32 {
+                    if bernoulli(&mut state.rng, self.profile.bit_glitch) {
+                        *w ^= 1 << bit;
+                        state.stats.bits_flipped += 1;
+                    }
+                }
+            }
+        }
+        Ok(z)
+    }
+}
+
+/// One Bernoulli draw with probability `p` (53-bit uniform mantissa).
+fn bernoulli(rng: &mut SmallRng, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+    ((rng.next_u64() >> 11) as f64) * SCALE < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implementer::ImplementOptions;
+    use netlist::snow3g_circuit::Snow3gCircuitConfig;
+    use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+
+    fn board(profile: FaultProfile) -> UnreliableBoard {
+        let config = Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV);
+        let inner = Snow3gBoard::build(config, &ImplementOptions::default()).expect("board builds");
+        UnreliableBoard::new(inner, profile)
+    }
+
+    #[test]
+    fn clean_profile_is_transparent() {
+        let b = board(FaultProfile::clean(1));
+        let golden = b.extract_bitstream();
+        let z = b.generate_keystream(&golden, 4).expect("clean board runs");
+        let reference = b.inner().generate_keystream(&golden, 4).expect("ideal board runs");
+        assert_eq!(z, reference);
+        assert_eq!(b.fault_stats().bits_flipped, 0);
+        assert_eq!(b.fault_stats().transient_failures, 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_trace() {
+        let run = |seed: u64| -> (Vec<Result<Vec<u32>, String>>, FaultStats) {
+            let b = board(FaultProfile::flaky(seed));
+            let golden = b.extract_bitstream();
+            let outs = (0..12)
+                .map(|_| b.generate_keystream(&golden, 4).map_err(|e| e.to_string()))
+                .collect();
+            (outs, b.fault_stats())
+        };
+        let (a, sa) = run(7);
+        let (b, sb) = run(7);
+        let (c, sc) = run(8);
+        assert_eq!(a, b, "identical seeds replay the identical trace");
+        assert_eq!(sa, sb);
+        assert!(a != c || sa != sc, "a different seed perturbs the trace");
+    }
+
+    #[test]
+    fn faults_are_injected_at_the_configured_rates() {
+        let b = board(FaultProfile::clean(42).with_load_failure(0.5));
+        let golden = b.extract_bitstream();
+        let failures = (0..40)
+            .filter(|_| {
+                matches!(
+                    b.generate_keystream(&golden, 1),
+                    Err(BoardError::Program(ProgramError::TransientLoad))
+                )
+            })
+            .count();
+        assert!((10..=30).contains(&failures), "≈ 50% failures, got {failures}/40");
+        let stats = b.fault_stats();
+        assert_eq!(stats.transient_failures as usize, failures);
+        assert_eq!(stats.loads_attempted, 40);
+    }
+
+    #[test]
+    fn glitches_flip_bits_and_truncation_shortens_reads() {
+        let b = board(FaultProfile::clean(3).with_bit_glitch(0.05).with_truncate(0.5));
+        let golden = b.extract_bitstream();
+        let mut short = 0usize;
+        for _ in 0..10 {
+            let z = b.generate_keystream(&golden, 4).expect("no load faults configured");
+            if z.len() < 4 {
+                short += 1;
+            }
+        }
+        let stats = b.fault_stats();
+        assert_eq!(stats.truncated_reads as usize, short);
+        assert!(short > 0, "truncation at 50% must occur in 10 reads");
+        assert!(stats.bits_flipped > 0, "5% glitch rate must flip bits");
+    }
+
+    #[test]
+    fn transient_errors_expose_their_nature() {
+        assert!(ProgramError::TransientLoad.is_transient());
+        assert!(ProgramError::ConfigTimeout { ms: 250 }.is_transient());
+        assert!(!ProgramError::WrongFrameCount { got: 1, expected: 2 }.is_transient());
+    }
+}

@@ -1,0 +1,76 @@
+//! The Section VI attack against a *flaky* board: transient
+//! configuration failures, simulated timeouts, truncated reads and
+//! per-bit keystream glitches, survived with retries, exponential
+//! backoff and per-bit majority voting.
+//!
+//! ```text
+//! cargo run --release --example noisy_attack
+//! ```
+//!
+//! Everything is seeded: the same seed reproduces the same faults,
+//! the same retries and the same physical query count.
+
+use bitmod::resilient::ResilienceConfig;
+use bitmod::{Attack, AttackError};
+use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard};
+use netlist::snow3g_circuit::Snow3gCircuitConfig;
+use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 7u64;
+
+    println!("== Building the victim ==");
+    let ideal = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
+        &ImplementOptions::default(),
+    )?;
+
+    println!("\n== Wrapping it in a fault profile (seed {seed}) ==");
+    // The "flaky" preset: 10% transient load failures, 2% timeouts,
+    // 2% truncated reads, 1% per-bit keystream glitches.
+    let profile = FaultProfile::flaky(seed);
+    println!("{profile:?}");
+    let board = UnreliableBoard::new(ideal, profile);
+    let golden = board.extract_bitstream();
+
+    println!("\n== Running the attack through the resilience layer ==");
+    // 5-ballot per-bit majority voting, 8 retry attempts with seeded
+    // exponential backoff, and a hard physical-attempt budget. The
+    // jitter seed is decorrelated from the fault seed.
+    let config = ResilienceConfig::noisy(seed ^ 0x5EED).with_budget(8_000);
+    let outcome = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)?.run();
+
+    let report = match outcome {
+        Ok(report) => report,
+        // A budget cut mid-run is a structured partial result, not a
+        // panic: the checkpoint says which phase stopped and what was
+        // already verified.
+        Err(AttackError::Exhausted { checkpoint, source }) => {
+            println!("budget exhausted: {source}");
+            println!("partial result: {checkpoint}");
+            return Ok(());
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    println!("recovered key: 0x{}", report.recovered.key);
+    println!("recovered IV : 0x{}", report.recovered.iv);
+    assert_eq!(report.recovered.key, TEST_SET_1_KEY);
+
+    println!("\n== What the flaky board threw at us ==");
+    let faults = board.fault_stats();
+    println!("physical loads attempted : {}", faults.loads_attempted);
+    println!("transient load failures  : {}", faults.transient_failures);
+    println!("simulated timeouts       : {}", faults.timeouts);
+    println!("truncated reads          : {}", faults.truncated_reads);
+    println!("keystream bits flipped   : {}", faults.bits_flipped);
+
+    println!("\n== What surviving it cost ==");
+    let r = &report.resilience;
+    println!("logical oracle queries   : {}", r.queries);
+    println!("physical attempts        : {}", r.attempts);
+    println!("majority-vote ballots    : {}", r.votes_cast);
+    println!("transient errors retried : {}", r.transient_errors);
+    println!("virtual backoff          : {} ms", r.backoff_ms);
+    Ok(())
+}

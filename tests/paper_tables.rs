@@ -27,10 +27,10 @@ fn table_i_xi_permutation() {
 #[test]
 fn section_v_packet_words() {
     // The exact configuration words quoted in Section V.
-    assert_eq!(Packet::type1_header(RegisterAddress::Fdri, 0), 0x3000_4000);
-    assert_eq!(Packet::type2_header(2_432_080), 0x5025_1C50);
-    assert_eq!(Packet::type1_header(RegisterAddress::Crc, 1), 0x3000_0001);
-    assert_eq!(Packet::type1_header(RegisterAddress::Cmd, 1), 0x3000_8001);
+    assert_eq!(Packet::type1_header(RegisterAddress::Fdri, 0), Ok(0x3000_4000));
+    assert_eq!(Packet::type2_header(2_432_080), Ok(0x5025_1C50));
+    assert_eq!(Packet::type1_header(RegisterAddress::Crc, 1), Ok(0x3000_0001));
+    assert_eq!(Packet::type1_header(RegisterAddress::Cmd, 1), Ok(0x3000_8001));
     assert_eq!(CommandCode::Rcrc as u32, 0b00111);
 }
 

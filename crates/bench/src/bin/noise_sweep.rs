@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md table.
 //!
 //! ```text
-//! noise-sweep [--smoke] [--seed N] [--votes N]
+//! noise-sweep [--smoke] [--seed N] [--votes N] [--journal PATH]
 //! ```
 //!
 //! Each cell wraps the victim in [`UnreliableBoard`] at a (per-bit
@@ -11,56 +11,52 @@
 //! attack through the resilience layer, and reports whether the
 //! Test Set 1 key was recovered plus the physical query cost.
 //! `--smoke` runs a single noisy cell (for CI).
+//!
+//! The grid runs under the [`Campaign`] engine: each cell is panic-
+//! isolated, and with `--journal` completed cells are persisted
+//! (write-ahead, atomic) so a killed sweep resumes at the first
+//! incomplete cell.
 
 use std::process::ExitCode;
 
+use bitmod::campaign::{Campaign, CellOutcome, CellStats, CellSupervisor};
 use bitmod::resilient::ResilienceConfig;
 use bitmod::Attack;
 use fpga_sim::{FaultProfile, UnreliableBoard};
 use snow3g::vectors::TEST_SET_1_KEY;
 
-struct Cell {
+fn run_cell(
     glitch: f64,
     load_fail: f64,
-    recovered: bool,
-    physical: usize,
-    logical: u64,
-    retries: u64,
-    backoff_ms: u64,
-    note: String,
-}
-
-fn run_cell(glitch: f64, load_fail: f64, seed: u64, votes: u32) -> Cell {
+    seed: u64,
+    votes: u32,
+    supervisor: &CellSupervisor,
+) -> CellOutcome {
     let profile = FaultProfile::flaky(seed).with_bit_glitch(glitch).with_load_failure(load_fail);
     let board = UnreliableBoard::new(bench::test_board(false), profile);
     let golden = board.extract_bitstream();
+    let oracle = supervisor.supervise(&board);
     let config = ResilienceConfig::noisy(seed ^ 0x5EED).with_votes(votes);
-    let outcome = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)
+    let outcome = Attack::with_resilience(&oracle, golden, bitstream::FRAME_BYTES, config)
         .and_then(Attack::run);
     match outcome {
-        Ok(report) => Cell {
-            glitch,
-            load_fail,
-            recovered: report.recovered.key == TEST_SET_1_KEY,
-            physical: report.oracle_loads,
-            logical: report.resilience.queries,
-            retries: report.resilience.transient_errors,
-            backoff_ms: report.resilience.backoff_ms,
-            note: String::new(),
-        },
-        Err(e) => Cell {
-            glitch,
-            load_fail,
-            recovered: false,
-            physical: 0,
-            logical: 0,
-            retries: 0,
-            backoff_ms: 0,
-            // The typed failure is the finding: it separates "voting
-            // overwhelmed" (attack-layer mismatch) from "board never
-            // answered" (retries exhausted).
-            note: e.to_string(),
-        },
+        Ok(report) => {
+            let stats = CellStats {
+                physical: report.oracle_loads as u64,
+                logical: report.resilience.queries,
+                retries: report.resilience.transient_errors,
+                backoff_ms: report.resilience.backoff_ms,
+            };
+            if report.recovered.key == TEST_SET_1_KEY {
+                CellOutcome::Recovered(stats)
+            } else {
+                CellOutcome::Failed { stats, note: String::new() }
+            }
+        }
+        // The typed failure is the finding: it separates "voting
+        // overwhelmed" (attack-layer mismatch) from "board never
+        // answered" (retries exhausted).
+        Err(e) => CellOutcome::Failed { stats: CellStats::default(), note: e.to_string() },
     }
 }
 
@@ -69,6 +65,7 @@ fn main() -> ExitCode {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut seed = 7u64;
     let mut votes = 5u32;
+    let mut journal: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -86,10 +83,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--journal" => match it.next() {
+                Some(path) => journal = Some(path.clone()),
+                None => {
+                    eprintln!("--journal needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--smoke" => {}
             other => {
                 eprintln!(
-                    "unknown option '{other}'; usage: noise-sweep [--smoke] [--seed N] [--votes N]"
+                    "unknown option '{other}'; usage: \
+                     noise-sweep [--smoke] [--seed N] [--votes N] [--journal PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -104,29 +109,60 @@ fn main() -> ExitCode {
         let load_fails = [0.0, 0.10, 0.25];
         glitches.iter().flat_map(|&g| load_fails.iter().map(move |&l| (g, l))).collect()
     };
+    // The label identifies a cell in the campaign journal, so it
+    // carries everything trace-determining: rates, seed and votes.
+    let labels: Vec<String> = grid
+        .iter()
+        .map(|(g, l)| format!("glitch={g} load_fail={l} seed={seed} votes={votes}"))
+        .collect();
+
+    let mut campaign = Campaign::new();
+    if let Some(path) = journal {
+        campaign = campaign.with_journal(path);
+    }
+    let report = match campaign.run(&labels, |i, supervisor| {
+        let (glitch, load_fail) = grid[i];
+        run_cell(glitch, load_fail, seed, votes, supervisor)
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("noise-sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("noise sweep: seed {seed}, {votes} votes, {} cell(s)", grid.len());
+    if report.resumed_count() > 0 {
+        println!("resumed: {} cell(s) replayed from the journal", report.resumed_count());
+    }
     println!("glitch/bit | load-fail | key | physical | logical | retries | backoff(vms)");
     // Cells outside the envelope failing is a *finding*, not a
     // harness error; only the acceptance-floor cell (1% glitch, 10%
     // load failure) gates the exit code.
     let mut floor_ok = true;
-    for (glitch, load_fail) in grid {
-        let cell = run_cell(glitch, load_fail, seed, votes);
-        if (glitch, load_fail) == (0.01, 0.10) {
-            floor_ok = cell.recovered;
+    for ((glitch, load_fail), record) in grid.iter().zip(&report.cells) {
+        let (recovered, stats, note) = match &record.outcome {
+            CellOutcome::Recovered(stats) => (true, stats.clone(), String::new()),
+            CellOutcome::Failed { stats, note } => (false, stats.clone(), note.clone()),
+            CellOutcome::Panicked { message } => {
+                (false, CellStats::default(), format!("panic: {message}"))
+            }
+            CellOutcome::Cancelled => (false, CellStats::default(), "cancelled".to_string()),
+        };
+        if (*glitch, *load_fail) == (0.01, 0.10) {
+            floor_ok = recovered;
         }
         println!(
             "{:>9.2}% | {:>8.1}% | {} | {:>8} | {:>7} | {:>7} | {:>12}{}{}",
-            cell.glitch * 100.0,
-            cell.load_fail * 100.0,
-            if cell.recovered { "yes" } else { "NO " },
-            cell.physical,
-            cell.logical,
-            cell.retries,
-            cell.backoff_ms,
-            if cell.note.is_empty() { "" } else { "  # " },
-            cell.note
+            glitch * 100.0,
+            load_fail * 100.0,
+            if recovered { "yes" } else { "NO " },
+            stats.physical,
+            stats.logical,
+            stats.retries,
+            stats.backoff_ms,
+            if note.is_empty() { "" } else { "  # " },
+            note
         );
     }
     if floor_ok {

@@ -71,6 +71,64 @@ impl ConfigCrc {
     }
 }
 
+/// A running CRC-32C over a plain byte stream (same Castagnoli
+/// polynomial as [`ConfigCrc`], fed 8 bits at a time instead of
+/// 37-bit register writes). This is the guard the crash-safe journal
+/// codec puts on every frame it writes: a torn write or a flipped
+/// bit in a persisted checkpoint must be detected, never decoded.
+///
+/// The value is finalised like the standard CRC-32C (initial value
+/// `0xFFFF_FFFF`, output complemented), so `ByteCrc::of(b"123456789")`
+/// is the catalogue check value `0xE306_9283`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteCrc {
+    state: u32,
+}
+
+impl Default for ByteCrc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ByteCrc {
+    /// A fresh CRC (initial state `0xFFFF_FFFF`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: u32::MAX }
+    }
+
+    /// Feeds a slice of bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                let feed = crc & 1;
+                crc >>= 1;
+                if feed == 1 {
+                    crc ^= POLY;
+                }
+            }
+        }
+        self.state = crc;
+    }
+
+    /// The finalised CRC value (complemented state).
+    #[must_use]
+    pub fn value(&self) -> u32 {
+        !self.state
+    }
+
+    /// One-shot CRC of a byte slice.
+    #[must_use]
+    pub fn of(bytes: &[u8]) -> u32 {
+        let mut crc = Self::new();
+        crc.update(bytes);
+        crc.value()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +174,33 @@ mod tests {
                 let mut mutated = words;
                 mutated[i] ^= 1 << bit;
                 assert_ne!(crc_of(&mutated), base, "word {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_crc_matches_the_crc32c_check_value() {
+        // The catalogue check value for CRC-32C ("iSCSI CRC").
+        assert_eq!(ByteCrc::of(b"123456789"), 0xE306_9283);
+        assert_eq!(ByteCrc::of(b""), 0);
+    }
+
+    #[test]
+    fn byte_crc_is_incremental_and_bit_sensitive() {
+        let mut inc = ByteCrc::new();
+        inc.update(b"hello ");
+        inc.update(b"world");
+        assert_eq!(inc.value(), ByteCrc::of(b"hello world"));
+        let mut mutated = b"hello world".to_vec();
+        for i in 0..mutated.len() {
+            for bit in [0u8, 3, 7] {
+                mutated[i] ^= 1 << bit;
+                assert_ne!(
+                    ByteCrc::of(&mutated),
+                    ByteCrc::of(b"hello world"),
+                    "byte {i} bit {bit}"
+                );
+                mutated[i] ^= 1 << bit;
             }
         }
     }

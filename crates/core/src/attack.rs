@@ -43,7 +43,7 @@ use crate::oracle::{KeystreamOracle, OracleError};
 use crate::resilient::{ResilienceConfig, ResilienceError, ResilientOracle, ResilientStats};
 
 /// A verified keystream-path LUT (`LUT₁[i]`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ZPathLut {
     /// The bitstream location.
     pub hit: LutHit,
@@ -58,19 +58,19 @@ pub struct ZPathLut {
 /// "in which frames LUTs are located" and limiting the search). It
 /// prunes misaligned windows over real configuration data that would
 /// otherwise look like additional candidates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SiteLattice {
     /// Byte parity of LUT base offsets (`None` = unconstrained).
-    parity: Option<usize>,
+    pub(crate) parity: Option<usize>,
     /// Frame-index modulus.
-    modulus: usize,
+    pub(crate) modulus: usize,
     /// Frame-index residue.
-    residue: usize,
+    pub(crate) residue: usize,
     /// Sub-vector stride (bytes per frame).
-    d: usize,
+    pub(crate) d: usize,
     /// Observed sub-vector order per column-group parity
     /// (SLICEL/SLICEM column alternation); `None` when inconsistent.
-    order_of_group: [Option<bitstream::SubVectorOrder>; 2],
+    pub(crate) order_of_group: [Option<bitstream::SubVectorOrder>; 2],
 }
 
 impl SiteLattice {
@@ -213,7 +213,7 @@ impl SiteLattice {
 }
 
 /// A hypothesised feedback-path LUT (`LUT₂`/`LUT₃` analog).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeedbackLut {
     /// Which catalogue shape matched.
     pub shape: &'static str,
@@ -229,7 +229,7 @@ pub struct FeedbackLut {
 /// is still at its power-up value 0) and then holds 0 — exactly the
 /// behaviour an all-zero LFSR needs in the key-independent
 /// configuration, under either pin assignment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadMuxHalf {
     /// The bitstream location of the hosting LUT.
     pub hit: LutHit,
@@ -274,32 +274,64 @@ impl fmt::Display for AttackPhase {
 /// oracle budget ran out. A later run can skip re-verifying these
 /// findings (the whole point of surviving a flaky board with a
 /// metered configuration port).
-#[derive(Debug, Clone)]
+///
+/// The `pass`/`cursor` fields pin the exact loop position the attack
+/// had reached, so a journalled checkpoint resumes *mid-phase*: the
+/// phases iterate deterministic item lists (candidate hits, drop
+/// sets, f2 variants), and a resumed run continues at `cursor` with
+/// the restored RNG states, replaying the identical query trace an
+/// uninterrupted run would have produced.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackCheckpoint {
     /// The phase the attack was executing when it stopped.
     pub phase: AttackPhase,
+    /// The pass within the phase (phases 2 and 4 run two passes; all
+    /// others a single pass 0).
+    pub pass: u8,
+    /// Items of the current pass's deterministic work list consumed.
+    pub cursor: usize,
     /// Physical oracle attempts spent.
     pub oracle_attempts: u64,
+    /// Candidates discarded because editing them did not change the
+    /// keystream (dead configuration bytes / false positives).
+    pub dead_candidates: u64,
     /// Raw FINDLUT match counts (phase 1; oracle-free, always
     /// present).
     pub candidate_counts: Vec<(&'static str, usize)>,
-    /// Keystream-path LUTs verified so far.
+    /// The golden keystream read at attack setup (resume skips the
+    /// initial golden query).
+    pub golden_keystream: Vec<u32>,
+    /// Phase 2 first-pass verifications (pre-lattice; kept for
+    /// forensics — the lattice was inferred from these positions).
+    pub z_pass1: Vec<ZPathLut>,
+    /// Keystream-path LUTs verified so far (current pass).
     pub z_luts: Vec<ZPathLut>,
     /// Feedback-path LUTs surviving pruning so far.
     pub feedback_luts: Vec<FeedbackLut>,
-    /// The site lattice, once inferred (end of phase 2).
+    /// The site lattice, once inferred (end of phase 2 pass 0).
     pub lattice: Option<SiteLattice>,
+    /// γ=1 load-mux halves located so far (phase 4 pass 0).
+    pub mux_halves: Vec<LoadMuxHalf>,
+    /// Phase 5 stuck-bit masks, one per completed f2 variant.
+    pub stuck_masks: Vec<u32>,
 }
 
 impl AttackCheckpoint {
     fn new() -> Self {
         Self {
             phase: AttackPhase::CandidateSearch,
+            pass: 0,
+            cursor: 0,
             oracle_attempts: 0,
+            dead_candidates: 0,
             candidate_counts: Vec::new(),
+            golden_keystream: Vec::new(),
+            z_pass1: Vec::new(),
             z_luts: Vec::new(),
             feedback_luts: Vec::new(),
             lattice: None,
+            mux_halves: Vec::new(),
+            stuck_masks: Vec::new(),
         }
     }
 }
@@ -308,8 +340,11 @@ impl fmt::Display for AttackCheckpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "stopped during {}: {} z-path LUTs, {} feedback LUTs, lattice {}, {} attempts spent",
+            "stopped during {} (pass {}, item {}): {} z-path LUTs, {} feedback LUTs, \
+             lattice {}, {} attempts spent",
             self.phase,
+            self.pass,
+            self.cursor,
             self.z_luts.len(),
             self.feedback_luts.len(),
             if self.lattice.is_some() { "inferred" } else { "unknown" },
@@ -379,8 +414,12 @@ pub enum AttackError {
     /// The resilience layer gave up (retries exhausted or a fatal
     /// oracle error behind the retry loop).
     Resilience(ResilienceError),
-    /// The oracle-query budget ran out mid-run. Carries everything
-    /// verified so far as a structured partial result.
+    /// The crash-safe journal could not be written, read or matched
+    /// against this run's configuration.
+    Journal(crate::journal::JournalError),
+    /// The oracle-query budget (or virtual-clock deadline) ran out
+    /// mid-run. Carries everything verified so far as a structured
+    /// partial result.
     Exhausted {
         /// Findings accumulated before the budget ran out.
         checkpoint: Box<AttackCheckpoint>,
@@ -406,6 +445,7 @@ impl fmt::Display for AttackError {
             AttackError::Recover(e) => write!(f, "key recovery failed: {e}"),
             AttackError::Config(e) => write!(f, "invalid scan configuration: {e}"),
             AttackError::Resilience(e) => write!(f, "oracle resilience failure: {e}"),
+            AttackError::Journal(e) => write!(f, "attack journal failure: {e}"),
             AttackError::Exhausted { checkpoint, source } => {
                 write!(f, "{source}; partial result: {checkpoint}")
             }
@@ -420,6 +460,7 @@ impl std::error::Error for AttackError {
             AttackError::Recover(e) => Some(e),
             AttackError::Config(e) => Some(e),
             AttackError::Resilience(e) => Some(e),
+            AttackError::Journal(e) => Some(e),
             AttackError::Exhausted { source, .. } => Some(source),
             _ => None,
         }
@@ -456,16 +497,24 @@ impl From<ScanConfigError> for AttackError {
     }
 }
 
+impl From<crate::journal::JournalError> for AttackError {
+    fn from(e: crate::journal::JournalError) -> Self {
+        AttackError::Journal(e)
+    }
+}
+
 /// The attack driver.
 pub struct Attack<'a> {
     oracle: ResilientOracle<'a>,
     golden: Bitstream,
+    golden_crc: u32,
     payload: Vec<u8>,
     d: usize,
     words: usize,
     catalogue: Catalogue,
     golden_keystream: Vec<u32>,
     checkpoint: AttackCheckpoint,
+    journal: Option<crate::journal::AttackJournal>,
 }
 
 impl fmt::Debug for Attack<'_> {
@@ -526,18 +575,149 @@ impl<'a> Attack<'a> {
     ) -> Result<Self, AttackError> {
         let range = golden.fdri_data_range().ok_or(AttackError::NoFdriPayload)?;
         let payload = golden.as_bytes()[range].to_vec();
+        let golden_crc = bitstream::crc::ByteCrc::of(golden.as_bytes());
         let mut attack = Self {
             oracle: ResilientOracle::new(oracle, config),
             golden,
+            golden_crc,
             payload,
             d,
             words: 16,
             catalogue: Catalogue::full(),
             golden_keystream: Vec::new(),
             checkpoint: AttackCheckpoint::new(),
+            journal: None,
         };
         attack.golden_keystream = attack.run_oracle(&attack.golden.clone())?;
+        attack.checkpoint.golden_keystream = attack.golden_keystream.clone();
         Ok(attack)
+    }
+
+    /// Attaches a crash-safe journal: from here on, every completed
+    /// work item persists the checkpoint (plus the RNG/clock states
+    /// of the resilience layer and the board) atomically to disk, and
+    /// a killed process can continue with [`Attack::resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::Journal`] if the initial journal write fails.
+    pub fn with_journal(
+        mut self,
+        journal: crate::journal::AttackJournal,
+    ) -> Result<Self, AttackError> {
+        self.journal = Some(journal);
+        self.save_journal()?;
+        Ok(self)
+    }
+
+    /// Rebuilds an in-flight attack from a journal written by a
+    /// previous (killed) run, continuing with the configuration the
+    /// journal recorded. The resumed run replays the identical query
+    /// trace the uninterrupted run would have produced: the verified
+    /// findings, loop cursors, jitter RNG, virtual clock and (for
+    /// simulated boards) the device fault state are all restored.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::Journal`] if the journal is unreadable,
+    /// corrupt, or was recorded against a different golden bitstream;
+    /// [`AttackError::Oracle`] if the oracle rejects the journalled
+    /// device state.
+    pub fn resume(
+        oracle: &'a dyn KeystreamOracle,
+        golden: Bitstream,
+        journal: crate::journal::AttackJournal,
+    ) -> Result<Self, AttackError> {
+        let config = journal.load()?.config;
+        Self::resume_with(oracle, golden, journal, config)
+    }
+
+    /// Like [`Attack::resume`] but with an overridden resilience
+    /// configuration — for raising the budget or deadline of the
+    /// resumed run. The override must drive the same noisy trace as
+    /// the journalled run ([`ResilienceConfig::same_trace`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Attack::resume`], plus
+    /// [`crate::journal::JournalError::ConfigMismatch`] (wrapped in
+    /// [`AttackError::Journal`]) when `config` changes a
+    /// trace-determining parameter.
+    pub fn resume_with(
+        oracle: &'a dyn KeystreamOracle,
+        golden: Bitstream,
+        journal: crate::journal::AttackJournal,
+        config: ResilienceConfig,
+    ) -> Result<Self, AttackError> {
+        use crate::journal::JournalError;
+        let doc = journal.load()?;
+        if !config.same_trace(&doc.config) {
+            return Err(JournalError::ConfigMismatch {
+                journalled: Box::new(doc.config),
+                requested: Box::new(config),
+            }
+            .into());
+        }
+        let golden_crc = bitstream::crc::ByteCrc::of(golden.as_bytes());
+        if golden_crc != doc.golden_crc || golden.as_bytes().len() as u64 != doc.golden_len {
+            return Err(JournalError::GoldenMismatch {
+                journalled: doc.golden_crc,
+                found: golden_crc,
+            }
+            .into());
+        }
+        if let Some(state) = &doc.oracle_state {
+            oracle.restore_state(state).map_err(AttackError::Oracle)?;
+        }
+        let range = golden.fdri_data_range().ok_or(AttackError::NoFdriPayload)?;
+        let payload = golden.as_bytes()[range].to_vec();
+        Ok(Self {
+            oracle: ResilientOracle::from_snapshot(oracle, config, &doc.resilient),
+            golden,
+            golden_crc,
+            payload,
+            d: doc.d,
+            words: doc.words,
+            catalogue: Catalogue::full(),
+            golden_keystream: doc.checkpoint.golden_keystream.clone(),
+            checkpoint: doc.checkpoint,
+            journal: Some(journal),
+        })
+    }
+
+    /// Persists the current checkpoint (no-op without a journal).
+    fn save_journal(&mut self) -> Result<(), AttackError> {
+        let Some(journal) = &self.journal else { return Ok(()) };
+        self.checkpoint.oracle_attempts = self.oracle.stats().attempts;
+        let doc = crate::journal::JournalDoc {
+            config: *self.oracle.config(),
+            d: self.d,
+            words: self.words,
+            golden_len: self.golden.as_bytes().len() as u64,
+            golden_crc: self.golden_crc,
+            resilient: self.oracle.snapshot(),
+            oracle_state: self.oracle.inner().state_snapshot(),
+            checkpoint: self.checkpoint.clone(),
+        };
+        journal.save(&doc)?;
+        Ok(())
+    }
+
+    /// Moves the checkpoint to a new phase (pass 0, cursor 0) and
+    /// persists it.
+    fn advance_phase(&mut self, phase: AttackPhase) -> Result<(), AttackError> {
+        self.checkpoint.phase = phase;
+        self.checkpoint.pass = 0;
+        self.checkpoint.cursor = 0;
+        self.save_journal()
+    }
+
+    /// Moves the checkpoint to the next pass of the current phase and
+    /// persists it.
+    fn advance_pass(&mut self) -> Result<(), AttackError> {
+        self.checkpoint.pass += 1;
+        self.checkpoint.cursor = 0;
+        self.save_journal()
     }
 
     /// Number of keystream words used per observation (the paper's
@@ -566,13 +746,16 @@ impl<'a> Attack<'a> {
     }
 
     /// The single oracle chokepoint: every phase queries through the
-    /// resilience layer here. Budget exhaustion is converted into a
-    /// checkpointed partial result on the spot, so it carries
-    /// whatever was verified up to the failing query.
+    /// resilience layer here. Budget and deadline exhaustion are
+    /// converted into a checkpointed partial result on the spot, so
+    /// they carry whatever was verified up to the failing query.
     fn run_oracle(&mut self, bs: &Bitstream) -> Result<Vec<u32>, AttackError> {
         match self.oracle.query(bs, self.words) {
             Ok(z) => Ok(z),
-            Err(e @ ResilienceError::BudgetExhausted { .. }) => {
+            Err(
+                e @ (ResilienceError::BudgetExhausted { .. }
+                | ResilienceError::DeadlineExceeded { .. }),
+            ) => {
                 let mut checkpoint = self.checkpoint.clone();
                 checkpoint.oracle_attempts = self.oracle.stats().attempts;
                 Err(AttackError::Exhausted { checkpoint: Box::new(checkpoint), source: e })
@@ -600,14 +783,19 @@ impl<'a> Attack<'a> {
         corrected.unwrap_or_else(|| hit.clone())
     }
 
-    /// Runs the complete attack.
+    /// Runs the complete attack (or, for a resumed instance, the
+    /// remainder of it: completed phases and items are skipped, and
+    /// the restored RNG/clock states make the continuation replay the
+    /// identical query trace an uninterrupted run would have).
     ///
     /// # Errors
     ///
     /// See [`AttackError`].
     pub fn run(mut self) -> Result<AttackReport, AttackError> {
         // Phase 1: candidate search (Table II data) — the whole
-        // catalogue in one pass over the payload.
+        // catalogue in one pass over the payload. Oracle-free and
+        // deterministic, so a resumed run recomputes it instead of
+        // journalling the hit lists.
         let scanner = Scanner::builder().k(6).stride(self.d).catalogue(&self.catalogue).build()?;
         let grouped = scanner.scan_grouped(&self.payload);
         let mut hits_by_shape: HashMap<&'static str, Vec<LutHit>> = HashMap::new();
@@ -617,7 +805,12 @@ impl<'a> Attack<'a> {
             hits_by_shape.insert(shape.name, hits);
         }
         self.checkpoint.candidate_counts = candidate_counts.clone();
-        self.checkpoint.phase = AttackPhase::ZPathVerification;
+        if self.checkpoint.phase == AttackPhase::CandidateSearch {
+            self.advance_phase(AttackPhase::ZPathVerification)?;
+        }
+
+        let f2_hits = hits_by_shape.remove("f2").unwrap_or_default();
+        let f2_truth = self.catalogue.shape("f2").expect("f2").truth;
 
         // Phase 2: verify the keystream path. A misaligned window
         // over two real LUTs can occasionally verify *instead of* a
@@ -627,45 +820,51 @@ impl<'a> Attack<'a> {
         // which frames LUTs are located ... and limit the search"),
         // and the second pass re-verifies with off-lattice candidates
         // removed.
-        let f2_hits = hits_by_shape.remove("f2").unwrap_or_default();
-        let mut dead = 0usize;
-        let (z_pass1, z_dead) = self.verify_z_path(f2_hits.clone())?;
-        dead += z_dead;
-        let samples: Vec<(usize, bitstream::SubVectorOrder)> =
-            z_pass1.iter().map(|z| (z.hit.l, z.hit.order)).collect();
-        let lattice = SiteLattice::infer(&samples, self.d);
-        self.checkpoint.lattice = Some(lattice.clone());
-        let on_lattice: Vec<LutHit> =
-            f2_hits.into_iter().filter(|h| lattice.accepts(h.l)).collect();
-        let (z_luts, _) = self.verify_z_path(on_lattice)?;
-        let bits_found = z_luts.iter().map(|z| 1u32 << z.bit).fold(0u32, |a, b| a | b);
-        if bits_found != u32::MAX {
-            return Err(AttackError::ZPathIncomplete { bits_found: bits_found.count_ones() });
-        }
-        if std::env::var_os("BITMOD_DEBUG").is_some() {
-            eprintln!("[lattice] {lattice:?}");
-            eprintln!(
-                "[lattice] sample frames: {:?}",
-                samples.iter().map(|(l, o)| (l / self.d, *o)).collect::<Vec<_>>()
-            );
+        if self.checkpoint.phase == AttackPhase::ZPathVerification {
+            if self.checkpoint.pass == 0 {
+                self.verify_z_path(&f2_hits, true)?;
+                let samples: Vec<(usize, bitstream::SubVectorOrder)> =
+                    self.checkpoint.z_luts.iter().map(|z| (z.hit.l, z.hit.order)).collect();
+                let lattice = SiteLattice::infer(&samples, self.d);
+                if std::env::var_os("BITMOD_DEBUG").is_some() {
+                    eprintln!("[lattice] {lattice:?}");
+                    eprintln!(
+                        "[lattice] sample frames: {:?}",
+                        samples.iter().map(|(l, o)| (l / self.d, *o)).collect::<Vec<_>>()
+                    );
+                }
+                self.checkpoint.z_pass1 = std::mem::take(&mut self.checkpoint.z_luts);
+                self.checkpoint.lattice = Some(lattice);
+                self.advance_pass()?;
+            }
+            let lattice = self.checkpoint.lattice.clone().expect("lattice set at pass 0 → 1");
+            let on_lattice: Vec<LutHit> =
+                f2_hits.iter().filter(|h| lattice.accepts(h.l)).cloned().collect();
+            self.verify_z_path(&on_lattice, false)?;
+            let bits_found =
+                self.checkpoint.z_luts.iter().map(|z| 1u32 << z.bit).fold(0u32, |a, b| a | b);
+            if bits_found != u32::MAX {
+                return Err(AttackError::ZPathIncomplete { bits_found: bits_found.count_ones() });
+            }
+            // Normalize verified hits to the lattice-predicted orders
+            // so that subsequent permuted writes land on the right
+            // bytes.
+            let z_luts: Vec<ZPathLut> = std::mem::take(&mut self.checkpoint.z_luts)
+                .into_iter()
+                .map(|z| ZPathLut { hit: self.normalize_hit(&z.hit, f2_truth, &lattice), ..z })
+                .collect();
+            self.checkpoint.z_luts = z_luts;
+            self.advance_phase(AttackPhase::FeedbackHypothesis)?;
         }
 
-        // Normalize verified hits to the lattice-predicted orders so
-        // that subsequent permuted writes land on the right bytes.
-        let f2_truth = self.catalogue.shape("f2").expect("f2").truth;
-        let z_luts: Vec<ZPathLut> = z_luts
-            .into_iter()
-            .map(|z| ZPathLut { hit: self.normalize_hit(&z.hit, f2_truth, &lattice), ..z })
-            .collect();
-        self.checkpoint.z_luts = z_luts.clone();
-        self.checkpoint.phase = AttackPhase::FeedbackHypothesis;
+        let lattice =
+            self.checkpoint.lattice.clone().expect("past phase 2, the lattice is inferred");
 
         // Phase 3: feedback-path hypothesis.
-        let (fb_candidates, fb_dead) =
-            self.feedback_hypothesis(&z_luts, &hits_by_shape, &lattice)?;
-        dead += fb_dead;
-        self.checkpoint.feedback_luts = fb_candidates.clone();
-        self.checkpoint.phase = AttackPhase::KeyIndependent;
+        if self.checkpoint.phase == AttackPhase::FeedbackHypothesis {
+            self.feedback_hypothesis(&hits_by_shape, &lattice)?;
+            self.advance_phase(AttackPhase::KeyIndependent)?;
+        }
 
         // Phase 4: key-independent configuration (selects the true
         // 32-LUT feedback subset if there are surplus candidates).
@@ -676,27 +875,58 @@ impl<'a> Attack<'a> {
             .into_iter()
             .filter(|h| lattice.accepts_hit(h))
             .collect();
-        let (feedback_luts, keyindep_bs, keyindep_z, beta_edits, mux_dead) =
-            self.key_independent(&z_luts, fb_candidates, &m1b_hits, &lattice)?;
-        dead += mux_dead;
-        self.checkpoint.feedback_luts = feedback_luts.clone();
-        self.checkpoint.phase = AttackPhase::PairDisambiguation;
+        let mut keyindep_bs = None;
+        if self.checkpoint.phase == AttackPhase::KeyIndependent {
+            if self.checkpoint.pass == 0 {
+                self.find_load_mux_halves(&lattice)?;
+                if std::env::var_os("BITMOD_DEBUG").is_some() {
+                    eprintln!(
+                        "[keyindep] fb_candidates={} halves={} m1b_hits={}",
+                        self.checkpoint.feedback_luts.len(),
+                        self.checkpoint.mux_halves.len(),
+                        m1b_hits.len()
+                    );
+                }
+                self.advance_pass()?;
+            }
+            let (feedback, bs) = self.select_feedback_subset(&m1b_hits)?;
+            self.checkpoint.feedback_luts = feedback;
+            keyindep_bs = Some(bs);
+            self.advance_phase(AttackPhase::PairDisambiguation)?;
+        }
+        // The key-independent keystream equals the attacker's public
+        // software model by construction (phase 4 accepts nothing
+        // else), and the β + α₁ bitstream rebuilds deterministically
+        // from the journalled findings — neither needs journalling.
+        let keyindep_z = FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent())
+            .keystream(self.words);
+        let keyindep_bs = keyindep_bs.unwrap_or_else(|| {
+            self.build_keyindep(&self.checkpoint.feedback_luts.clone(), &m1b_hits)
+        });
 
         // Phase 5: pair disambiguation (two keystream computations).
-        let z_luts = self.disambiguate_pairs(z_luts, &keyindep_bs)?;
-        self.checkpoint.z_luts = z_luts.clone();
-        self.checkpoint.phase = AttackPhase::KeyExtraction;
+        if self.checkpoint.phase == AttackPhase::PairDisambiguation {
+            self.disambiguate_pairs(&keyindep_bs)?;
+            self.advance_phase(AttackPhase::KeyExtraction)?;
+        }
 
         // Phase 6: inject α into a fresh copy and extract the key.
-        let (alpha_bitstream, alpha_keystream) = self.extract(&z_luts, &feedback_luts)?;
+        let (alpha_bitstream, alpha_keystream) = self.extract()?;
         let recovered = recover_key(&alpha_keystream)?;
+
+        // The attack is complete; the journal has served its purpose.
+        // Removal is best-effort — a lingering file only costs a
+        // redundant (successful) phase-6 replay if resumed again.
+        if let Some(journal) = &self.journal {
+            let _ = journal.remove();
+        }
 
         Ok(AttackReport {
             candidate_counts,
-            z_luts,
-            feedback_luts,
-            beta_edits,
-            dead_candidates: dead,
+            z_luts: self.checkpoint.z_luts.clone(),
+            feedback_luts: self.checkpoint.feedback_luts.clone(),
+            beta_edits: self.checkpoint.mux_halves.len(),
+            dead_candidates: self.checkpoint.dead_candidates as usize,
             key_independent_keystream: keyindep_z,
             alpha_keystream,
             alpha_bitstream,
@@ -707,199 +937,142 @@ impl<'a> Attack<'a> {
     }
 
     /// Phase 2: Section VI-C.1 — verify `f2` candidates by the
-    /// stuck-bit signature.
+    /// stuck-bit signature. Iterates `candidates` from the checkpoint
+    /// cursor, accumulating into `checkpoint.z_luts`; `count_dead`
+    /// is set on the first pass only (the second pass revisits the
+    /// same dead bytes).
     fn verify_z_path(
         &mut self,
-        candidates: Vec<LutHit>,
-    ) -> Result<(Vec<ZPathLut>, usize), AttackError> {
-        let mut verified: Vec<ZPathLut> = Vec::new();
-        let mut dead = 0usize;
-        // Mid-phase checkpoint fidelity: LUTs verified before a
-        // budget cut are part of the partial result.
-        self.checkpoint.z_luts.clear();
-        'cand: for hit in candidates {
+        candidates: &[LutHit],
+        count_dead: bool,
+    ) -> Result<(), AttackError> {
+        while self.checkpoint.cursor < candidates.len() {
+            let hit = candidates[self.checkpoint.cursor].clone();
             // Two valid LUTs cannot overlap in a bitstream
             // (Section VI-C): skip candidates clashing with verified
-            // ones.
-            for z in &verified {
-                if hit.location(self.d).overlaps(&z.hit.location(self.d)) {
-                    continue 'cand;
-                }
+            // ones. Oracle-free, so no journal write on this path.
+            let loc = hit.location(self.d);
+            if self.checkpoint.z_luts.iter().any(|z| loc.overlaps(&z.hit.location(self.d))) {
+                self.checkpoint.cursor += 1;
+                continue;
             }
             let mut session = EditSession::new(&self.golden, self.d);
             session.write_function(&hit, TruthTable::zero(6));
             let bs = session.finish(CrcStrategy::Recompute);
             let z = self.run_oracle(&bs)?;
             match stuck_bit(&z, &self.golden_keystream) {
-                Some(bit) => {
-                    verified.push(ZPathLut { hit: hit.clone(), bit, pair: None });
-                    self.checkpoint.z_luts.push(ZPathLut { hit, bit, pair: None });
-                }
+                Some(bit) => self.checkpoint.z_luts.push(ZPathLut { hit, bit, pair: None }),
                 None => {
-                    if z == self.golden_keystream {
-                        dead += 1;
+                    if count_dead && z == self.golden_keystream {
+                        self.checkpoint.dead_candidates += 1;
                     }
                 }
             }
+            self.checkpoint.cursor += 1;
+            self.save_journal()?;
         }
-        Ok((verified, dead))
+        Ok(())
     }
 
     /// Phase 3: collect feedback-shape hits, pruning overlaps and
-    /// dead bytes.
+    /// dead bytes. Accumulates into `checkpoint.feedback_luts` from
+    /// the checkpoint cursor over a deterministic flattened
+    /// (shape, hit) list.
     fn feedback_hypothesis(
         &mut self,
-        z_luts: &[ZPathLut],
         hits_by_shape: &HashMap<&'static str, Vec<LutHit>>,
         lattice: &SiteLattice,
-    ) -> Result<(Vec<FeedbackLut>, usize), AttackError> {
+    ) -> Result<(), AttackError> {
         let shapes: Vec<Shape> =
             self.catalogue.shapes.iter().filter(|s| s.role == Role::Feedback).cloned().collect();
-        let mut out: Vec<FeedbackLut> = Vec::new();
-        let mut dead = 0usize;
-        self.checkpoint.feedback_luts.clear();
-        for shape in shapes {
-            let name = shape.name;
-            for hit in hits_by_shape.get(name).cloned().unwrap_or_default() {
-                if !lattice.accepts_hit(&hit) {
-                    continue;
-                }
-                let loc = hit.location(self.d);
-                if z_luts.iter().any(|z| loc.overlaps(&z.hit.location(self.d)))
-                    || out.iter().any(|f| loc.overlaps(&f.hit.location(self.d)))
-                {
-                    continue;
-                }
-                // Dead-byte pruning: a modification that does not
-                // change the keystream hit filler bits.
-                let mut session = EditSession::new(&self.golden, self.d);
-                session.write_function(&hit, TruthTable::zero(6));
-                let bs = session.finish(CrcStrategy::Recompute);
-                let z = self.run_oracle(&bs)?;
-                if z == self.golden_keystream {
-                    dead += 1;
-                    continue;
-                }
-                out.push(FeedbackLut { shape: name, hit: hit.clone() });
+        let mut items: Vec<(&'static str, LutHit)> = Vec::new();
+        for shape in &shapes {
+            for hit in hits_by_shape.get(shape.name).cloned().unwrap_or_default() {
+                items.push((shape.name, hit));
+            }
+        }
+        while self.checkpoint.cursor < items.len() {
+            let (name, hit) = items[self.checkpoint.cursor].clone();
+            let loc = hit.location(self.d);
+            if !lattice.accepts_hit(&hit)
+                || self.checkpoint.z_luts.iter().any(|z| loc.overlaps(&z.hit.location(self.d)))
+                || self
+                    .checkpoint
+                    .feedback_luts
+                    .iter()
+                    .any(|f| loc.overlaps(&f.hit.location(self.d)))
+            {
+                self.checkpoint.cursor += 1;
+                continue;
+            }
+            // Dead-byte pruning: a modification that does not change
+            // the keystream hit filler bits.
+            let mut session = EditSession::new(&self.golden, self.d);
+            session.write_function(&hit, TruthTable::zero(6));
+            let bs = session.finish(CrcStrategy::Recompute);
+            let z = self.run_oracle(&bs)?;
+            if z == self.golden_keystream {
+                self.checkpoint.dead_candidates += 1;
+            } else {
                 self.checkpoint.feedback_luts.push(FeedbackLut { shape: name, hit });
             }
+            self.checkpoint.cursor += 1;
+            self.save_journal()?;
         }
-        Ok((out, dead))
+        Ok(())
     }
 
-    /// Phase 4: Section VI-D — β + α₁, validated against the
-    /// key-independent keystream computed with the public software
-    /// model. When more feedback candidates than the 32 required by
-    /// SNOW 3G's word width survive pruning, the true subset is
-    /// selected by hypothesis testing — the paper's Section VI-C.2
-    /// move ("the sum of matches ... is 32 ... we make a
-    /// hypothesis").
-    #[allow(clippy::type_complexity)]
-    fn key_independent(
-        &mut self,
-        z_luts: &[ZPathLut],
-        fb_candidates: Vec<FeedbackLut>,
-        m1b_hits: &[LutHit],
-        lattice: &SiteLattice,
-    ) -> Result<(Vec<FeedbackLut>, Bitstream, Vec<u32>, usize, usize), AttackError> {
-        // Expected keystream: the attacker simulates the public
-        // algorithm with an all-0 LFSR and the FSM disconnected
-        // during initialization (Section VI-D, Table III).
-        let expected = FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent())
-            .keystream(self.words);
-
-        // Locate the stage-s0..s14 load-mux halves.
-        let (halves, mux_dead) = self.find_load_mux_halves(z_luts, &fb_candidates, lattice)?;
-        if std::env::var_os("BITMOD_DEBUG").is_some() {
-            eprintln!(
-                "[keyindep] fb_candidates={} halves={} mux_dead={} m1b_hits={}",
-                fb_candidates.len(),
-                halves.len(),
-                mux_dead,
-                m1b_hits.len()
-            );
-        }
-
-        let build = |attack: &Attack<'_>, feedback: &[FeedbackLut]| {
-            let mut session = EditSession::new(&attack.golden, attack.d);
-            for f in feedback {
-                let shape = attack.catalogue.shape(f.shape).expect("catalogue shape");
-                if let Some(ki) = shape.keyindep {
-                    session.write_function(&f.hit, ki);
-                }
-            }
-            // s15 outer-byte γ=1 load-mux covers.
-            let m1b = attack.catalogue.shape("m1b").expect("m1b shape");
-            for hit in m1b_hits {
-                session.write_function(hit, m1b.keyindep.expect("m1b has keyindep"));
-            }
-            // Stage 0..14 γ=1 halves: (x ∨ y) → (x ∧ y), the role-free
-            // load-0 form (see [`LoadMuxHalf`]).
-            for h in &halves {
-                let (x, y) = h.pins;
-                let edit = TruthTable::var(5, x).and(TruthTable::var(5, y));
-                session.write_half(&h.hit, h.half, edit);
-            }
-            session.finish(CrcStrategy::Recompute)
-        };
-
-        // SNOW 3G has a 32-bit word: exactly 32 feedback LUTs carry
-        // v. Enumerate which surplus candidates to drop (usually
-        // none) — the paper's Section VI-C.2 hypothesis over counts
-        // summing to 32.
-        let n = fb_candidates.len();
-        if n < 32 {
-            return Err(AttackError::KeyIndependentMismatch);
-        }
-        let drop_count = n - 32;
-        let mut drop_sets = subsets(n, drop_count);
-        if drop_sets.len() > 20_000 {
-            drop_sets.truncate(20_000);
-        }
-        for drops in &drop_sets {
-            let feedback: Vec<FeedbackLut> = fb_candidates
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| !drops.contains(i))
-                .map(|(_, f)| f.clone())
-                .collect();
-            let bs = build(self, &feedback);
-            let z = self.run_oracle(&bs)?;
-            if z == expected {
-                return Ok((feedback, bs, z, halves.len(), mux_dead));
-            }
-            if std::env::var_os("BITMOD_DEBUG").is_some() {
-                eprintln!("[keyindep] drops={drops:?} got {:08x?}", &z[..2]);
+    /// Builds the β + α₁ bitstream for a feedback-LUT subset, using
+    /// the journalled load-mux halves (Section VI-D).
+    fn build_keyindep(&self, feedback: &[FeedbackLut], m1b_hits: &[LutHit]) -> Bitstream {
+        let mut session = EditSession::new(&self.golden, self.d);
+        for f in feedback {
+            let shape = self.catalogue.shape(f.shape).expect("catalogue shape");
+            if let Some(ki) = shape.keyindep {
+                session.write_function(&f.hit, ki);
             }
         }
-        Err(AttackError::KeyIndependentMismatch)
+        // s15 outer-byte γ=1 load-mux covers.
+        let m1b = self.catalogue.shape("m1b").expect("m1b shape");
+        for hit in m1b_hits {
+            session.write_function(hit, m1b.keyindep.expect("m1b has keyindep"));
+        }
+        // Stage 0..14 γ=1 halves: (x ∨ y) → (x ∧ y), the role-free
+        // load-0 form (see [`LoadMuxHalf`]).
+        for h in &self.checkpoint.mux_halves {
+            let (x, y) = h.pins;
+            let edit = TruthTable::var(5, x).and(TruthTable::var(5, y));
+            session.write_half(&h.hit, h.half, edit);
+        }
+        session.finish(CrcStrategy::Recompute)
     }
 
-    /// Finds the γ=1 load-mux halves of stages `s0..s14`.
-    fn find_load_mux_halves(
-        &mut self,
-        z_luts: &[ZPathLut],
-        feedback: &[FeedbackLut],
-        lattice: &SiteLattice,
-    ) -> Result<(Vec<LoadMuxHalf>, usize), AttackError> {
+    /// Phase 4 pass 0: finds the γ=1 load-mux halves of stages
+    /// `s0..s14`, accumulating into `checkpoint.mux_halves` from the
+    /// checkpoint cursor.
+    fn find_load_mux_halves(&mut self, lattice: &SiteLattice) -> Result<(), AttackError> {
         // Scan for LUTs with an OR-of-two-pins half, on the site
         // lattice learned from the verified LUTs.
         let scanner = Scanner::builder().stride(self.d).build()?;
         let raw = scanner.scan_halves(&self.payload, 0..self.payload.len(), |o5, o6| {
             or_pair(o5).is_some() || or_pair(o6).is_some()
         });
-        let mut out: Vec<LoadMuxHalf> = Vec::new();
-        let mut dead = 0usize;
-        'hit: for hit in raw {
-            if !lattice.accepts_hit(&hit) {
-                continue;
-            }
+        while self.checkpoint.cursor < raw.len() {
+            let hit = raw[self.checkpoint.cursor].clone();
             let loc = hit.location(self.d);
-            if z_luts.iter().any(|z| loc.overlaps(&z.hit.location(self.d)))
-                || feedback.iter().any(|f| loc.overlaps(&f.hit.location(self.d)))
+            if !lattice.accepts_hit(&hit)
+                || self.checkpoint.z_luts.iter().any(|z| loc.overlaps(&z.hit.location(self.d)))
+                || self
+                    .checkpoint
+                    .feedback_luts
+                    .iter()
+                    .any(|f| loc.overlaps(&f.hit.location(self.d)))
             {
+                self.checkpoint.cursor += 1;
                 continue;
             }
+            let mut queried = false;
+            let mut found: Vec<LoadMuxHalf> = Vec::new();
             let halves = [hit.init.o5(), hit.init.o6_fractured()];
             for half in 0..2u8 {
                 let Some((p, q)) = or_pair(halves[half as usize]) else { continue };
@@ -908,7 +1081,7 @@ impl<'a> Attack<'a> {
                 // orders when the lattice could not learn the slice
                 // alternation; one edit suffices (both views write
                 // the same reachable-row semantics).
-                if out.iter().any(|h| h.half == half && h.hit.l == hit.l) {
+                if self.checkpoint.mux_halves.iter().any(|h| h.half == half && h.hit.l == hit.l) {
                     continue;
                 }
                 // Null test: a genuine load mux is insensitive to
@@ -917,6 +1090,7 @@ impl<'a> Attack<'a> {
                 // device (c_load is high only in the first cycle,
                 // when every shift-in is still at its power-up
                 // value 0).
+                queried = true;
                 let mut session = EditSession::new(&self.golden, self.d);
                 let xor = TruthTable::var(5, p).xor(TruthTable::var(5, q));
                 session.write_half(&hit, half, xor);
@@ -930,37 +1104,106 @@ impl<'a> Attack<'a> {
                 session.write_half(&hit, half, TruthTable::zero(5));
                 let z = self.run_oracle(&session.finish(CrcStrategy::Recompute))?;
                 if z == self.golden_keystream {
-                    dead += 1;
-                    continue 'hit;
+                    self.checkpoint.dead_candidates += 1;
+                    break; // dead filler: skip the hit's remaining half
                 }
-                out.push(LoadMuxHalf { hit: hit.clone(), half, pins: (p, q) });
+                found.push(LoadMuxHalf { hit: hit.clone(), half, pins: (p, q) });
+            }
+            // The whole hit is one journal item: its half edits and
+            // the dead verdict land in the checkpoint atomically with
+            // the cursor advance, before any state is persisted.
+            self.checkpoint.mux_halves.extend(found);
+            self.checkpoint.cursor += 1;
+            if queried {
+                self.save_journal()?;
             }
         }
-        Ok((out, dead))
+        Ok(())
+    }
+
+    /// Phase 4 pass 1: Section VI-D — β + α₁, validated against the
+    /// key-independent keystream computed with the public software
+    /// model. When more feedback candidates than the 32 required by
+    /// SNOW 3G's word width survive pruning, the true subset is
+    /// selected by hypothesis testing — the paper's Section VI-C.2
+    /// move ("the sum of matches ... is 32 ... we make a
+    /// hypothesis"). The checkpoint cursor walks the deterministic
+    /// drop-set enumeration.
+    fn select_feedback_subset(
+        &mut self,
+        m1b_hits: &[LutHit],
+    ) -> Result<(Vec<FeedbackLut>, Bitstream), AttackError> {
+        // Expected keystream: the attacker simulates the public
+        // algorithm with an all-0 LFSR and the FSM disconnected
+        // during initialization (Section VI-D, Table III).
+        let expected = FaultySnow3g::new(Key([0; 4]), Iv([0; 4]), FaultSpec::key_independent())
+            .keystream(self.words);
+        let fb_candidates = self.checkpoint.feedback_luts.clone();
+        let n = fb_candidates.len();
+        if n < 32 {
+            return Err(AttackError::KeyIndependentMismatch);
+        }
+        let drop_count = n - 32;
+        let mut drop_sets = subsets(n, drop_count);
+        if drop_sets.len() > 20_000 {
+            drop_sets.truncate(20_000);
+        }
+        while self.checkpoint.cursor < drop_sets.len() {
+            let drops = &drop_sets[self.checkpoint.cursor];
+            let feedback: Vec<FeedbackLut> = fb_candidates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drops.contains(i))
+                .map(|(_, f)| f.clone())
+                .collect();
+            let bs = self.build_keyindep(&feedback, m1b_hits);
+            let z = self.run_oracle(&bs)?;
+            if z == expected {
+                // The cursor still points at the matching drop set;
+                // the caller's phase advance persists the selection.
+                // (Journalling `cursor + 1` here instead would make a
+                // crash-resumed run skip past the match and never
+                // converge.)
+                return Ok((feedback, bs));
+            }
+            if std::env::var_os("BITMOD_DEBUG").is_some() {
+                eprintln!("[keyindep] drops={drops:?} got {:08x?}", &z[..2]);
+            }
+            self.checkpoint.cursor += 1;
+            self.save_journal()?;
+        }
+        Err(AttackError::KeyIndependentMismatch)
     }
 
     /// Phase 5: Section VI-D.1 — two keystream computations resolve
-    /// every keystream-path LUT's `v` input pair.
-    fn disambiguate_pairs(
-        &mut self,
-        mut z_luts: Vec<ZPathLut>,
-        keyindep: &Bitstream,
-    ) -> Result<Vec<ZPathLut>, AttackError> {
+    /// every keystream-path LUT's `v` input pair. The checkpoint
+    /// cursor walks the f2 fault variants; the observed stuck-bit
+    /// masks are journalled so a resumed run re-queries only the
+    /// variants it has not yet seen.
+    fn disambiguate_pairs(&mut self, keyindep: &Bitstream) -> Result<(), AttackError> {
         let f2 = self.catalogue.shape("f2").expect("f2 shape").clone();
-        let mut stuck = Vec::new();
-        for variant in &f2.variants[..2] {
-            let mut session = EditSession::new(keyindep, self.d);
-            for z in &z_luts {
-                session.write_function(&z.hit, variant.faulted);
-            }
-            let zs = self.run_oracle(&session.finish(CrcStrategy::Recompute))?;
+        while self.checkpoint.cursor < 2 {
+            let variant = &f2.variants[self.checkpoint.cursor];
+            let bs = {
+                let mut session = EditSession::new(keyindep, self.d);
+                for z in &self.checkpoint.z_luts {
+                    session.write_function(&z.hit, variant.faulted);
+                }
+                session.finish(CrcStrategy::Recompute)
+            };
+            let zs = self.run_oracle(&bs)?;
             let mut mask = u32::MAX;
             for w in &zs {
                 mask &= !w;
             }
-            stuck.push(mask); // bit set ⇒ that keystream bit was all-0
+            self.checkpoint.stuck_masks.push(mask); // bit set ⇒ all-0
+            self.checkpoint.cursor += 1;
+            self.save_journal()?;
         }
-        for z in &mut z_luts {
+        // Pure computation over the journalled masks — idempotent, so
+        // replaying it on resume is harmless.
+        let stuck = self.checkpoint.stuck_masks.clone();
+        for z in &mut self.checkpoint.z_luts {
             let bit = z.bit;
             let pair = if (stuck[0] >> bit) & 1 == 1 {
                 f2.variants[0].pair
@@ -971,35 +1214,33 @@ impl<'a> Attack<'a> {
             };
             z.pair = Some(pair);
         }
-        Ok(z_luts)
+        Ok(())
     }
 
     /// Phase 6: inject the full `α` (keystream-path `α₂` with the
     /// resolved pairs + feedback-path `α₁`) into a fresh copy of the
     /// golden bitstream, and read the faulty keystream.
-    fn extract(
-        &mut self,
-        z_luts: &[ZPathLut],
-        feedback: &[FeedbackLut],
-    ) -> Result<(Bitstream, Vec<u32>), AttackError> {
+    fn extract(&mut self) -> Result<(Bitstream, Vec<u32>), AttackError> {
         let f2 = self.catalogue.shape("f2").expect("f2 shape").clone();
-        let mut session = EditSession::new(&self.golden, self.d);
-        for z in z_luts {
-            let pair = z.pair.ok_or(AttackError::PairUnresolved { bit: z.bit })?;
-            let variant = f2
-                .variants
-                .iter()
-                .find(|v| v.pair == pair)
-                .ok_or(AttackError::PairUnresolved { bit: z.bit })?;
-            session.write_function(&z.hit, variant.faulted);
-        }
-        for f in feedback {
-            let shape = self.catalogue.shape(f.shape).expect("catalogue shape");
-            if let Some(alpha) = shape.alpha {
-                session.write_function(&f.hit, alpha);
+        let bs = {
+            let mut session = EditSession::new(&self.golden, self.d);
+            for z in &self.checkpoint.z_luts {
+                let pair = z.pair.ok_or(AttackError::PairUnresolved { bit: z.bit })?;
+                let variant = f2
+                    .variants
+                    .iter()
+                    .find(|v| v.pair == pair)
+                    .ok_or(AttackError::PairUnresolved { bit: z.bit })?;
+                session.write_function(&z.hit, variant.faulted);
             }
-        }
-        let bs = session.finish(CrcStrategy::Recompute);
+            for f in &self.checkpoint.feedback_luts {
+                let shape = self.catalogue.shape(f.shape).expect("catalogue shape");
+                if let Some(alpha) = shape.alpha {
+                    session.write_function(&f.hit, alpha);
+                }
+            }
+            session.finish(CrcStrategy::Recompute)
+        };
         let z = self.run_oracle(&bs)?;
         Ok((bs, z))
     }

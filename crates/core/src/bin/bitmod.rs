@@ -9,6 +9,7 @@
 //! bitmod diff    <file> <other-file>
 //! bitmod attack  [--noisy] [--seed N] [--glitch P] [--load-fail P]
 //!                [--votes N] [--budget N] [--stride N]
+//!                [--journal PATH] [--resume]
 //! ```
 //!
 //! `attack` builds the simulated SNOW 3G victim board (ETSI Test
@@ -17,7 +18,11 @@
 //! glitches, transient load failures, timeouts, truncated reads) and
 //! the attack survives them through the resilience layer; `--budget`
 //! caps the number of physical device configurations, and hitting it
-//! prints a structured partial result.
+//! prints a structured partial result. With `--journal` the attack
+//! checkpoints to a crash-safe journal after every completed work
+//! item, and `--resume` continues a killed or budget-cut run from
+//! that journal, replaying the exact query trace an uninterrupted
+//! run would have produced.
 //!
 //! Functions are catalogue names (`f2`, `m0b`, ...) or formulas over
 //! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`. With `--json`, `findlut`
@@ -43,6 +48,10 @@ fn run_attack(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--votes" => opts.votes = it.next().ok_or("--votes needs a value")?.parse()?,
             "--budget" => opts.budget = Some(it.next().ok_or("--budget needs a value")?.parse()?),
             "--stride" => opts.stride = it.next().ok_or("--stride needs a value")?.parse()?,
+            "--journal" => {
+                opts.journal = Some(it.next().ok_or("--journal needs a path")?.into());
+            }
+            "--resume" => opts.resume = true,
             flag => return Err(format!("unknown attack option '{flag}'").into()),
         }
     }

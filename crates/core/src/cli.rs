@@ -303,7 +303,7 @@ pub fn default_stride() -> usize {
 
 /// Options for [`cmd_attack`]: the simulated end-to-end demo,
 /// optionally against an unreliable board.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AttackOptions {
     /// Run against an [`fpga_sim::UnreliableBoard`] instead of the
     /// ideal board.
@@ -320,6 +320,12 @@ pub struct AttackOptions {
     pub budget: Option<u64>,
     /// Sub-vector stride `d`.
     pub stride: usize,
+    /// Persist a crash-safe journal here after every completed work
+    /// item.
+    pub journal: Option<std::path::PathBuf>,
+    /// Resume a previous (killed or budget-cut) run from the journal
+    /// instead of starting fresh. Requires `journal`.
+    pub resume: bool,
 }
 
 impl Default for AttackOptions {
@@ -332,6 +338,8 @@ impl Default for AttackOptions {
             votes: 5,
             budget: None,
             stride: FRAME_BYTES,
+            journal: None,
+            resume: false,
         }
     }
 }
@@ -343,9 +351,16 @@ impl Default for AttackOptions {
 /// budget). Budget exhaustion is reported as a structured partial
 /// result, not an error.
 ///
+/// With `journal`, the attack persists a crash-safe checkpoint after
+/// every completed work item; with `resume`, it continues a previous
+/// run from that journal instead of starting over (the journalled
+/// resilience configuration is authoritative, except that a fresh
+/// `budget` may raise the cap of the resumed run).
+///
 /// # Errors
 ///
-/// Propagates board-construction and attack failures.
+/// Propagates board-construction, journal and attack failures;
+/// [`CliError::Usage`] when `resume` is set without `journal`.
 pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
     use fmt::Write;
     let config = netlist::snow3g_circuit::Snow3gCircuitConfig::unprotected(
@@ -356,24 +371,14 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
     let golden = board.extract_bitstream();
 
     let noisy_board;
-    let (oracle, resilience): (&dyn KeystreamOracle, ResilienceConfig) = if opts.noisy {
+    let oracle: &dyn KeystreamOracle = if opts.noisy {
         let profile = fpga_sim::FaultProfile::flaky(opts.seed)
             .with_bit_glitch(opts.glitch)
             .with_load_failure(opts.load_fail);
         noisy_board = fpga_sim::UnreliableBoard::new(board, profile);
-        // Decorrelate the jitter stream from the board's fault
-        // stream while keeping both functions of one user seed.
-        let mut config = ResilienceConfig::noisy(opts.seed ^ 0x5EED).with_votes(opts.votes);
-        if let Some(budget) = opts.budget {
-            config = config.with_budget(budget);
-        }
-        (&noisy_board, config)
+        &noisy_board
     } else {
-        let mut config = ResilienceConfig::off();
-        if let Some(budget) = opts.budget {
-            config = config.with_budget(budget);
-        }
-        (&board, config)
+        &board
     };
 
     let mut out = String::new();
@@ -387,7 +392,41 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
             opts.seed
         );
     }
-    let attack = Attack::with_resilience(oracle, golden, opts.stride, resilience)?;
+
+    let attack = if opts.resume {
+        let Some(path) = &opts.journal else {
+            return Err(CliError::Usage("attack --resume requires --journal PATH".into()));
+        };
+        let journal = crate::journal::AttackJournal::new(path);
+        let _ = writeln!(out, "resuming from journal {}", path.display());
+        match opts.budget {
+            // A fresh budget raises the cap of the resumed run; all
+            // trace-determining parameters stay journalled.
+            Some(budget) => {
+                let config = journal.load().map_err(AttackError::from)?.config.with_budget(budget);
+                Attack::resume_with(oracle, golden, journal, config)?
+            }
+            None => Attack::resume(oracle, golden, journal)?,
+        }
+    } else {
+        let mut resilience = if opts.noisy {
+            // Decorrelate the jitter stream from the board's fault
+            // stream while keeping both functions of one user seed.
+            ResilienceConfig::noisy(opts.seed ^ 0x5EED).with_votes(opts.votes)
+        } else {
+            ResilienceConfig::off()
+        };
+        if let Some(budget) = opts.budget {
+            resilience = resilience.with_budget(budget);
+        }
+        let mut attack = Attack::with_resilience(oracle, golden, opts.stride, resilience)?;
+        if let Some(path) = &opts.journal {
+            attack = attack.with_journal(crate::journal::AttackJournal::new(path))?;
+            let _ = writeln!(out, "journalling to {}", path.display());
+        }
+        attack
+    };
+
     match attack.run() {
         Ok(report) => {
             let _ = writeln!(out, "recovered key: {}", report.recovered.key);
@@ -419,6 +458,13 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
                 "  verified z-path bits: {:032b}",
                 checkpoint.z_luts.iter().fold(0u32, |m, z| m | 1 << z.bit)
             );
+            if let Some(path) = &opts.journal {
+                let _ = writeln!(
+                    out,
+                    "journal saved: rerun with --journal {} --resume --budget N to continue",
+                    path.display()
+                );
+            }
             Ok(out)
         }
         Err(e) => Err(e.into()),

@@ -20,6 +20,13 @@
 //!   seeded exponential backoff, per-bit majority voting, a physical
 //!   query budget and a deterministic virtual clock between the
 //!   attack and the oracle;
+//! * [`journal`] — the crash-safe attack journal: a versioned,
+//!   CRC-guarded snapshot of an in-flight attack, written atomically
+//!   after every completed work item so a killed run resumes
+//!   mid-phase with a bit-identical query trace;
+//! * [`campaign`] — the supervised multi-run campaign engine: a grid
+//!   of attack cells with panic isolation, cooperative cancellation,
+//!   per-cell deadlines and a write-ahead results journal;
 //! * [`edit`] — bitstream patching under a matched input permutation,
 //!   with CRC repair or disable;
 //! * [`attack`] — the full key-recovery pipeline of Section VI:
@@ -39,16 +46,22 @@
 
 pub mod attack;
 pub mod bifi;
+pub mod campaign;
 pub mod candidates;
 pub mod cli;
 pub mod countermeasure;
 pub mod edit;
 pub mod error;
 pub mod findlut;
+pub mod journal;
 pub mod oracle;
 pub mod resilient;
 
 pub use attack::{Attack, AttackCheckpoint, AttackError, AttackPhase, AttackReport};
+pub use campaign::{
+    Campaign, CampaignError, CampaignReport, CancelToken, CellOutcome, CellRecord, CellStats,
+    CellSupervisor, SupervisedOracle,
+};
 pub use candidates::{Catalogue, Role, Shape};
 pub use error::Error;
 #[allow(deprecated)]
@@ -56,7 +69,9 @@ pub use findlut::find_lut;
 pub use findlut::{
     find_lut_reference, FindLutParams, LutHit, ScanConfigError, ScanHit, Scanner, ScannerBuilder,
 };
+pub use journal::{AttackJournal, JournalDoc, JournalError};
 pub use oracle::{KeystreamOracle, OracleError};
 pub use resilient::{
-    ResilienceConfig, ResilienceError, ResilientOracle, ResilientStats, RetryPolicy, VirtualClock,
+    ResilienceConfig, ResilienceError, ResilientOracle, ResilientSnapshot, ResilientStats,
+    RetryPolicy, VirtualClock,
 };

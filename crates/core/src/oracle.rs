@@ -75,6 +75,29 @@ pub trait KeystreamOracle {
     /// Returns [`OracleError::Rejected`] when the device aborts
     /// configuration.
     fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError>;
+
+    /// An opaque snapshot of any mutable device-side state, for
+    /// crash-safe attack journals. Simulated boards persist their
+    /// fault-model position here so a resumed run replays the exact
+    /// fault trace an uninterrupted run would have seen; stateless
+    /// oracles (ideal boards, real hardware) return `None` and resume
+    /// works without it.
+    fn state_snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores a [`KeystreamOracle::state_snapshot`]. The default
+    /// rejects: an oracle that never produces snapshots cannot be
+    /// handed one from a journal recorded against a different device.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::Rejected`] if this oracle does not support
+    /// state restoration or the snapshot does not match its
+    /// configuration.
+    fn restore_state(&self, _state: &[u8]) -> Result<(), OracleError> {
+        Err(OracleError::Rejected("oracle does not support state restoration".into()))
+    }
 }
 
 impl KeystreamOracle for fpga_sim::Snow3gBoard {
@@ -97,6 +120,16 @@ impl KeystreamOracle for fpga_sim::UnreliableBoard {
             }
             Err(e) => Err(OracleError::Rejected(e.to_string())),
         }
+    }
+
+    fn state_snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.snapshot().to_bytes())
+    }
+
+    fn restore_state(&self, state: &[u8]) -> Result<(), OracleError> {
+        let snapshot = fpga_sim::FaultSnapshot::from_bytes(state)
+            .ok_or_else(|| OracleError::Rejected("malformed fault-state snapshot".into()))?;
+        self.restore(&snapshot).map_err(|e| OracleError::Rejected(e.to_string()))
     }
 }
 

@@ -115,6 +115,12 @@ pub struct ResilienceConfig {
     /// Cap on *physical* oracle attempts across the whole run
     /// (`None` = unlimited).
     pub budget: Option<u64>,
+    /// Virtual-clock deadline in milliseconds (`None` = unlimited):
+    /// once backoff has advanced the clock past it, further queries
+    /// fail with [`ResilienceError::DeadlineExceeded`]. Campaign
+    /// cells use this to bound how long a single run may fight a
+    /// hostile board.
+    pub deadline_ms: Option<u64>,
     /// Seed for the backoff jitter.
     pub seed: u64,
 }
@@ -125,14 +131,14 @@ impl ResilienceConfig {
     /// unwrapped behaviour.
     #[must_use]
     pub fn off() -> Self {
-        Self { votes: 1, retry: RetryPolicy::none(), budget: None, seed: 0 }
+        Self { votes: 1, retry: RetryPolicy::none(), budget: None, deadline_ms: None, seed: 0 }
     }
 
     /// The flaky-board configuration: 5 votes, standard backoff, no
     /// budget.
     #[must_use]
     pub fn noisy(seed: u64) -> Self {
-        Self { votes: 5, retry: RetryPolicy::standard(), budget: None, seed }
+        Self { votes: 5, retry: RetryPolicy::standard(), budget: None, deadline_ms: None, seed }
     }
 
     /// Overrides the vote count.
@@ -155,6 +161,24 @@ impl ResilienceConfig {
         self.retry = retry;
         self
     }
+
+    /// Sets the virtual-clock deadline.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Whether two configurations drive the *same* noisy trace: the
+    /// vote count, retry policy and jitter seed determine every RNG
+    /// draw and backoff, while `budget` and `deadline_ms` only decide
+    /// where a run is cut short. A journal may therefore be resumed
+    /// under a raised budget or deadline, but never under a different
+    /// trace-determining configuration.
+    #[must_use]
+    pub fn same_trace(&self, other: &Self) -> bool {
+        self.votes == other.votes && self.retry == other.retry && self.seed == other.seed
+    }
 }
 
 /// A resilience-layer failure.
@@ -168,6 +192,14 @@ pub enum ResilienceError {
         used: u64,
         /// The configured cap.
         limit: u64,
+    },
+    /// The virtual-clock deadline passed. Like a budget cut, the
+    /// attack driver turns this into a checkpointed partial result.
+    DeadlineExceeded {
+        /// The virtual timeline position.
+        now_ms: u64,
+        /// The configured deadline.
+        limit_ms: u64,
     },
     /// Every allowed attempt of one read failed transiently.
     RetriesExhausted {
@@ -186,6 +218,9 @@ impl fmt::Display for ResilienceError {
             ResilienceError::BudgetExhausted { used, limit } => {
                 write!(f, "oracle query budget exhausted ({used}/{limit} attempts)")
             }
+            ResilienceError::DeadlineExceeded { now_ms, limit_ms } => {
+                write!(f, "virtual-clock deadline exceeded ({now_ms} ms of {limit_ms} ms allowed)")
+            }
             ResilienceError::RetriesExhausted { attempts, last } => {
                 write!(f, "read still failing after {attempts} attempts: {last}")
             }
@@ -197,7 +232,9 @@ impl fmt::Display for ResilienceError {
 impl std::error::Error for ResilienceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ResilienceError::BudgetExhausted { .. } => None,
+            ResilienceError::BudgetExhausted { .. } | ResilienceError::DeadlineExceeded { .. } => {
+                None
+            }
             ResilienceError::RetriesExhausted { last, .. } => Some(last),
             ResilienceError::Fatal(e) => Some(e),
         }
@@ -217,6 +254,21 @@ pub struct ResilientStats {
     pub transient_errors: u64,
     /// Virtual milliseconds spent backing off.
     pub backoff_ms: u64,
+}
+
+/// The complete mutable state of a [`ResilientOracle`], for
+/// crash-safe journals. Restoring it (with the *same* trace-relevant
+/// [`ResilienceConfig`], see [`ResilienceConfig::same_trace`]) makes
+/// the resumed layer produce the identical stream of jitter draws,
+/// backoff delays and stats a never-interrupted run would have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilientSnapshot {
+    /// Effort counters at the snapshot point.
+    pub stats: ResilientStats,
+    /// Virtual-clock position, in milliseconds.
+    pub clock_ms: u64,
+    /// Raw jitter-RNG state ([`SmallRng::state_bytes`]).
+    pub rng_state: [u8; 16],
 }
 
 /// A [`KeystreamOracle`] front-end that retries, votes and meters.
@@ -252,6 +304,43 @@ impl<'a> ResilientOracle<'a> {
             rng: SmallRng::seed_from_u64(config.seed),
             stats: ResilientStats::default(),
         }
+    }
+
+    /// Rebuilds a resilience layer mid-run from a journal snapshot.
+    /// `config` may raise the budget or deadline relative to the run
+    /// that produced `snap`, but must drive the same trace
+    /// ([`ResilienceConfig::same_trace`]) — the caller enforces that.
+    #[must_use]
+    pub fn from_snapshot(
+        inner: &'a dyn KeystreamOracle,
+        config: ResilienceConfig,
+        snap: &ResilientSnapshot,
+    ) -> Self {
+        let mut clock = VirtualClock::new();
+        clock.advance(snap.clock_ms);
+        Self {
+            inner,
+            config,
+            clock,
+            rng: SmallRng::from_state_bytes(snap.rng_state),
+            stats: snap.stats,
+        }
+    }
+
+    /// The full mutable state, for crash-safe journals.
+    #[must_use]
+    pub fn snapshot(&self) -> ResilientSnapshot {
+        ResilientSnapshot {
+            stats: self.stats,
+            clock_ms: self.clock.now_ms(),
+            rng_state: self.rng.state_bytes(),
+        }
+    }
+
+    /// The wrapped oracle (e.g. for journalling its device state).
+    #[must_use]
+    pub fn inner(&self) -> &dyn KeystreamOracle {
+        self.inner
     }
 
     /// The active configuration.
@@ -320,6 +409,14 @@ impl<'a> ResilientOracle<'a> {
                     return Err(ResilienceError::BudgetExhausted {
                         used: self.stats.attempts,
                         limit,
+                    });
+                }
+            }
+            if let Some(limit_ms) = self.config.deadline_ms {
+                if self.clock.now_ms() > limit_ms {
+                    return Err(ResilienceError::DeadlineExceeded {
+                        now_ms: self.clock.now_ms(),
+                        limit_ms,
                     });
                 }
             }
@@ -513,6 +610,70 @@ mod tests {
         assert_eq!(majority(&[vec![0b11], vec![0b01]]), vec![0b01]);
         // A short ballot abstains on the words it lacks.
         assert_eq!(majority(&[vec![1, 0xF0], vec![1], vec![3, 0xF0]]), vec![1, 0xF0]);
+    }
+
+    #[test]
+    fn deadline_cuts_a_run_once_backoff_passes_it() {
+        // Every read fails transiently, so backoff keeps advancing
+        // the virtual clock until the deadline gate trips.
+        let oracle =
+            Scripted::new(vec![1], (0..64).map(|_| Err(OracleError::Timeout { ms: 5 })).collect());
+        let config = ResilienceConfig::noisy(3).with_votes(1).with_deadline_ms(40);
+        let mut r = ResilientOracle::new(&oracle, config);
+        let err = loop {
+            match r.query(&bs(), 1) {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, ResilienceError::DeadlineExceeded { now_ms, limit_ms: 40 } if now_ms > 40),
+            "got {err:?}"
+        );
+        use std::error::Error as _;
+        assert!(err.source().is_none(), "a deadline cut has no underlying oracle error");
+    }
+
+    #[test]
+    fn snapshot_resumes_the_exact_noisy_trace() {
+        // Reference: one uninterrupted noisy run of 6 queries.
+        let script = || -> Vec<Result<Vec<u32>, OracleError>> {
+            (0..9)
+                .flat_map(|i| {
+                    vec![Err(OracleError::TransientLoad(format!("glitch {i}"))), Ok(vec![i, i + 1])]
+                })
+                .collect()
+        };
+        let oracle = Scripted::new(vec![0xAA], script());
+        let mut full = ResilientOracle::new(&oracle, ResilienceConfig::noisy(21).with_votes(1));
+        let full_out: Vec<_> = (0..6).map(|_| full.query(&bs(), 2).expect("reads")).collect();
+        let full_stats = full.stats();
+
+        // Interrupted run: 3 queries, snapshot, rebuild, 3 more.
+        let oracle2 = Scripted::new(vec![0xAA], script());
+        let mut first = ResilientOracle::new(&oracle2, ResilienceConfig::noisy(21).with_votes(1));
+        let mut out: Vec<_> = (0..3).map(|_| first.query(&bs(), 2).expect("reads")).collect();
+        let snap = first.snapshot();
+        // (the first "process" is dead from here on; only `snap` survives)
+        let mut resumed = ResilientOracle::from_snapshot(
+            &oracle2,
+            ResilienceConfig::noisy(21).with_votes(1).with_budget(10_000),
+            &snap,
+        );
+        out.extend((0..3).map(|_| resumed.query(&bs(), 2).expect("reads")));
+
+        assert_eq!(out, full_out, "results are bit-identical");
+        assert_eq!(resumed.stats(), full_stats, "attempt/backoff accounting is identical");
+        assert_eq!(resumed.clock().now_ms(), full.clock().now_ms());
+    }
+
+    #[test]
+    fn same_trace_ignores_budget_and_deadline_only() {
+        let base = ResilienceConfig::noisy(5);
+        assert!(base.same_trace(&base.with_budget(9).with_deadline_ms(100)));
+        assert!(!base.same_trace(&ResilienceConfig::noisy(6)));
+        assert!(!base.same_trace(&base.with_votes(3)));
+        assert!(!base.same_trace(&base.with_retry(RetryPolicy::none())));
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use board::{BoardError, Snow3gBoard};
 pub use fabric::{ConfiguredFpga, Fpga, ProgramError};
 pub use geom::{Geometry, InitLayout, SiteId};
 pub use implementer::{implement, ImplementError, ImplementOptions, Implementation};
-pub use unreliable::{FaultProfile, FaultStats, UnreliableBoard};
+pub use unreliable::{FaultProfile, FaultSnapshot, FaultStats, RestoreError, UnreliableBoard};

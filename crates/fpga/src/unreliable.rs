@@ -26,7 +26,7 @@ use crate::fabric::{Fpga, ProgramError};
 /// failure, timeout, truncation, then one draw per keystream bit), so
 /// a given seed reproduces the same fault trace for the same call
 /// sequence.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultProfile {
     /// RNG seed; the whole fault trace is a function of it.
     pub seed: u64,
@@ -99,6 +99,120 @@ pub struct FaultStats {
     pub bits_flipped: u64,
 }
 
+/// A portable snapshot of an [`UnreliableBoard`]'s mutable state:
+/// the fault profile it was configured with, the fault counters, and
+/// the exact RNG position. Restoring it resumes the *identical* fault
+/// trace — the property crash-safe attack journals rely on: a run
+/// killed after N loads and resumed from a snapshot injects exactly
+/// the faults loads N+1, N+2, ... of an uninterrupted run would see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSnapshot {
+    /// The profile in force when the snapshot was taken.
+    pub profile: FaultProfile,
+    /// Fault counters at the snapshot point.
+    pub stats: FaultStats,
+    /// The raw RNG state ([`SmallRng::state_bytes`]).
+    pub rng_state: [u8; 16],
+}
+
+impl FaultSnapshot {
+    /// Serialized size of [`FaultSnapshot::to_bytes`].
+    pub const BYTES: usize = 96;
+
+    /// Encodes the snapshot as a fixed-width little-endian record
+    /// (the opaque oracle-state section of an attack journal).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::BYTES);
+        out.extend_from_slice(&self.profile.seed.to_le_bytes());
+        for p in [
+            self.profile.load_failure,
+            self.profile.timeout,
+            self.profile.bit_glitch,
+            self.profile.truncate,
+        ] {
+            out.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        for c in [
+            self.stats.loads_attempted,
+            self.stats.transient_failures,
+            self.stats.timeouts,
+            self.stats.truncated_reads,
+            self.stats.bits_flipped,
+        ] {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.rng_state);
+        debug_assert_eq!(out.len(), Self::BYTES);
+        out
+    }
+
+    /// Decodes a [`FaultSnapshot::to_bytes`] record; `None` if the
+    /// length is wrong or a probability field is not a valid
+    /// probability (corruption that slipped past outer CRC guards).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::BYTES {
+            return None;
+        }
+        let u64_at = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_le_bytes(b)
+        };
+        let prob_at = |i: usize| {
+            let p = f64::from_bits(u64_at(i));
+            ((0.0..=1.0).contains(&p)).then_some(p)
+        };
+        let mut rng_state = [0u8; 16];
+        rng_state.copy_from_slice(&bytes[80..96]);
+        Some(Self {
+            profile: FaultProfile {
+                seed: u64_at(0),
+                load_failure: prob_at(8)?,
+                timeout: prob_at(16)?,
+                bit_glitch: prob_at(24)?,
+                truncate: prob_at(32)?,
+            },
+            stats: FaultStats {
+                loads_attempted: u64_at(40),
+                transient_failures: u64_at(48),
+                timeouts: u64_at(56),
+                truncated_reads: u64_at(64),
+                bits_flipped: u64_at(72),
+            },
+            rng_state,
+        })
+    }
+}
+
+/// An error restoring a [`FaultSnapshot`] onto a board.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The snapshot was taken under a different fault profile;
+    /// resuming would not reproduce the interrupted trace.
+    ProfileMismatch {
+        /// The profile the board is configured with.
+        board: FaultProfile,
+        /// The profile recorded in the snapshot.
+        snapshot: FaultProfile,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::ProfileMismatch { board, snapshot } => write!(
+                f,
+                "fault-profile mismatch: board is configured with {board:?} \
+                 but the snapshot was taken under {snapshot:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 #[derive(Debug)]
 struct FaultState {
     rng: SmallRng,
@@ -148,6 +262,50 @@ impl UnreliableBoard {
     #[must_use]
     pub fn fault_stats(&self) -> FaultStats {
         self.state.lock().expect("fault state lock").stats
+    }
+
+    /// Snapshots the board's mutable state (profile, fault counters,
+    /// RNG position) for a crash-safe journal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the
+    /// internal lock.
+    #[must_use]
+    pub fn snapshot(&self) -> FaultSnapshot {
+        let state = self.state.lock().expect("fault state lock");
+        FaultSnapshot {
+            profile: self.profile,
+            stats: state.stats,
+            rng_state: state.rng.state_bytes(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`UnreliableBoard::snapshot`],
+    /// rewinding (or fast-forwarding) the fault trace to the exact
+    /// point the snapshot captured.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::ProfileMismatch`] if the board's profile
+    /// differs from the snapshot's — the resumed trace would not
+    /// reproduce the interrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the
+    /// internal lock.
+    pub fn restore(&self, snapshot: &FaultSnapshot) -> Result<(), RestoreError> {
+        if self.profile != snapshot.profile {
+            return Err(RestoreError::ProfileMismatch {
+                board: self.profile,
+                snapshot: snapshot.profile,
+            });
+        }
+        let mut state = self.state.lock().expect("fault state lock");
+        state.stats = snapshot.stats;
+        state.rng = SmallRng::from_state_bytes(snapshot.rng_state);
+        Ok(())
     }
 
     /// Extracting the bitstream from external flash does not use the
@@ -307,6 +465,57 @@ mod tests {
         assert_eq!(stats.truncated_reads as usize, short);
         assert!(short > 0, "truncation at 50% must occur in 10 reads");
         assert!(stats.bits_flipped > 0, "5% glitch rate must flip bits");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_exact_fault_trace() {
+        // Reference: one uninterrupted run of 20 reads.
+        let reference = board(FaultProfile::flaky(9));
+        let golden = reference.extract_bitstream();
+        let full: Vec<_> = (0..20)
+            .map(|_| reference.generate_keystream(&golden, 4).map_err(|e| e.to_string()))
+            .collect();
+
+        // Interrupted run: 8 reads, snapshot, "crash", restore onto a
+        // fresh board, 12 more reads.
+        let first = board(FaultProfile::flaky(9));
+        for _ in 0..8 {
+            let _ = first.generate_keystream(&golden, 4);
+        }
+        let snap = first.snapshot();
+        drop(first);
+        let resumed = board(FaultProfile::flaky(9));
+        resumed.restore(&snap).expect("matching profile restores");
+        let tail: Vec<_> = (0..12)
+            .map(|_| resumed.generate_keystream(&golden, 4).map_err(|e| e.to_string()))
+            .collect();
+        assert_eq!(tail, full[8..], "restored board continues the identical trace");
+        assert_eq!(resumed.fault_stats(), reference.fault_stats(), "counters line up too");
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip_and_reject_garbage() {
+        let b = board(FaultProfile::flaky(3).with_bit_glitch(0.25));
+        let golden = b.extract_bitstream();
+        let _ = b.generate_keystream(&golden, 2);
+        let snap = b.snapshot();
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), FaultSnapshot::BYTES);
+        assert_eq!(FaultSnapshot::from_bytes(&bytes), Some(snap));
+        assert_eq!(FaultSnapshot::from_bytes(&bytes[..40]), None, "short record rejected");
+        let mut bad = bytes.clone();
+        bad[15] = 0x7F; // load_failure's exponent explodes out of [0, 1]
+        assert_eq!(FaultSnapshot::from_bytes(&bad), None, "invalid probability rejected");
+    }
+
+    #[test]
+    fn restore_refuses_a_mismatched_profile() {
+        let a = board(FaultProfile::flaky(1));
+        let b = board(FaultProfile::flaky(1).with_bit_glitch(0.5));
+        let snap = a.snapshot();
+        let err = b.restore(&snap).expect_err("profile differs");
+        assert!(err.to_string().contains("mismatch"));
+        assert!(matches!(err, RestoreError::ProfileMismatch { .. }));
     }
 
     #[test]

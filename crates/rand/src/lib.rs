@@ -124,6 +124,23 @@ pub mod rngs {
     const MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
 
     impl SmallRng {
+        /// Exports the full generator state (shim extension, used by
+        /// crash-safe journals to persist and restore an in-flight
+        /// RNG exactly; the real `rand` would use serde for this).
+        #[must_use]
+        pub fn state_bytes(&self) -> [u8; 16] {
+            self.state.to_le_bytes()
+        }
+
+        /// Rebuilds a generator from [`SmallRng::state_bytes`] output.
+        /// Unlike [`SeedableRng::from_seed`] this restores the state
+        /// verbatim (an MCG state is always odd, so restored bytes
+        /// from a live generator are valid as-is).
+        #[must_use]
+        pub fn from_state_bytes(bytes: [u8; 16]) -> Self {
+            Self { state: u128::from_le_bytes(bytes) | 1 }
+        }
+
         fn step(&mut self) -> u64 {
             self.state = self.state.wrapping_mul(MULTIPLIER);
             let rot = (self.state >> 122) as u32;
@@ -179,6 +196,18 @@ mod tests {
         let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_exact_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state_bytes(a.state_bytes());
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys, "restored state continues the identical stream");
     }
 
     #[test]

@@ -400,6 +400,11 @@ mod tests {
     use super::*;
     use netlist::Network;
 
+    /// Tests propagate failures with `?` instead of unwrapping: a
+    /// failing assertion should name the failed step, not panic in a
+    /// combinator.
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     fn xor_chain(n: usize) -> (Network, Vec<NodeId>, NodeId) {
         let mut net = Network::new();
         let inputs: Vec<NodeId> = (0..n).map(|i| net.input(format!("i{i}"))).collect();
@@ -412,26 +417,28 @@ mod tests {
     }
 
     #[test]
-    fn small_network_single_lut() {
+    fn small_network_single_lut() -> TestResult {
         let (net, inputs, root) = xor_chain(5);
-        let design = map(&net, &MapConfig::default()).unwrap();
+        let design = map(&net, &MapConfig::default())?;
         assert_eq!(design.covers.len(), 1, "a 5-input XOR fits one LUT");
         let c = &design.covers[0];
         assert_eq!(c.root, root);
         let mut leaves = c.leaves.clone();
         leaves.sort_unstable();
         assert_eq!(leaves, inputs);
+        Ok(())
     }
 
     #[test]
-    fn wide_xor_splits() {
+    fn wide_xor_splits() -> TestResult {
         let (net, _, _) = xor_chain(12);
-        let design = map(&net, &MapConfig::default()).unwrap();
+        let design = map(&net, &MapConfig::default())?;
         assert!(design.covers.len() >= 2 && design.covers.len() <= 3);
+        Ok(())
     }
 
     #[test]
-    fn mapping_preserves_function_combinational() {
+    fn mapping_preserves_function_combinational() -> TestResult {
         // f = ((a ^ b) & c) | (!d & (b ^ c)).
         let mut net = Network::new();
         let a = net.input("a");
@@ -445,7 +452,7 @@ mod tests {
         let g2 = net.and(nd, x2);
         let o = net.or(g1, g2);
         net.set_output("o", o);
-        let design = map(&net, &MapConfig::default()).unwrap();
+        let design = map(&net, &MapConfig::default())?;
         for v in 0..16u8 {
             let inputs = [(a, v & 1 != 0), (b, v & 2 != 0), (c, v & 4 != 0), (d, v & 8 != 0)];
             let want = {
@@ -455,10 +462,11 @@ mod tests {
             let got = design.simulate(&inputs, 1, &[o]);
             assert_eq!(got[0][0], want, "v = {v:04b}");
         }
+        Ok(())
     }
 
     #[test]
-    fn keep_node_gets_trivial_cover() {
+    fn keep_node_gets_trivial_cover() -> TestResult {
         let mut net = Network::new();
         let a = net.input("a");
         let b = net.input("b");
@@ -467,7 +475,7 @@ mod tests {
         net.set_keep(x);
         let g = net.and(x, c);
         net.set_output("o", g);
-        let design = map(&net, &MapConfig::default()).unwrap();
+        let design = map(&net, &MapConfig::default())?;
         let idx = design.cover_index();
         let cx = &design.covers[idx[&x]];
         assert_eq!(cx.leaves.len(), 2);
@@ -475,10 +483,11 @@ mod tests {
         // And the downstream LUT uses x as a pin rather than absorbing it.
         let cg = &design.covers[idx[&g]];
         assert!(cg.leaves.contains(&x));
+        Ok(())
     }
 
     #[test]
-    fn unkept_xor_gets_absorbed() {
+    fn unkept_xor_gets_absorbed() -> TestResult {
         let mut net = Network::new();
         let a = net.input("a");
         let b = net.input("b");
@@ -486,9 +495,10 @@ mod tests {
         let x = net.xor(a, b);
         let g = net.and(x, c);
         net.set_output("o", g);
-        let design = map(&net, &MapConfig::default()).unwrap();
+        let design = map(&net, &MapConfig::default())?;
         assert_eq!(design.covers.len(), 1, "x folds into g's LUT");
         assert_eq!(design.covers[0].root, g);
+        Ok(())
     }
 
     #[test]
@@ -505,7 +515,7 @@ mod tests {
     }
 
     #[test]
-    fn scramble_seed_changes_pin_order_not_function() {
+    fn scramble_seed_changes_pin_order_not_function() -> TestResult {
         let mut net = Network::new();
         let a = net.input("a");
         let b = net.input("b");
@@ -513,8 +523,8 @@ mod tests {
         let x = net.xor(a, b);
         let g = net.and(x, c);
         net.set_output("o", g);
-        let d1 = map(&net, &MapConfig { scramble_seed: 1, ..MapConfig::default() }).unwrap();
-        let d2 = map(&net, &MapConfig { scramble_seed: 99, ..MapConfig::default() }).unwrap();
+        let d1 = map(&net, &MapConfig { scramble_seed: 1, ..MapConfig::default() })?;
+        let d2 = map(&net, &MapConfig { scramble_seed: 99, ..MapConfig::default() })?;
         for v in 0..8u8 {
             let inputs = [(a, v & 1 != 0), (b, v & 2 != 0), (c, v & 4 != 0)];
             assert_eq!(
@@ -523,10 +533,11 @@ mod tests {
                 "same function regardless of pin order"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn depth_objective_reduces_levels() {
+    fn depth_objective_reduces_levels() -> TestResult {
         // A 24-input XOR chain: area covering follows the chain shape;
         // depth labels rebalance toward ceil(log_6-ish) levels.
         let mut net = Network::new();
@@ -536,10 +547,9 @@ mod tests {
             acc = net.xor(acc, i);
         }
         net.set_output("o", acc);
-        let area = map(&net, &MapConfig::default()).unwrap();
+        let area = map(&net, &MapConfig::default())?;
         let depth =
-            map(&net, &MapConfig { objective: MapObjective::Depth, ..MapConfig::default() })
-                .unwrap();
+            map(&net, &MapConfig { objective: MapObjective::Depth, ..MapConfig::default() })?;
         assert!(
             depth.logic_depth() <= area.logic_depth(),
             "depth {} vs area {}",
@@ -559,10 +569,11 @@ mod tests {
                 "assignment {assignment:x}"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn depth_objective_respects_keep() {
+    fn depth_objective_respects_keep() -> TestResult {
         let mut net = Network::new();
         let a = net.input("a");
         let b = net.input("b");
@@ -572,24 +583,25 @@ mod tests {
         let g = net.and(x, c);
         net.set_output("o", g);
         let design =
-            map(&net, &MapConfig { objective: MapObjective::Depth, ..MapConfig::default() })
-                .unwrap();
+            map(&net, &MapConfig { objective: MapObjective::Depth, ..MapConfig::default() })?;
         let idx = design.cover_index();
         assert_eq!(design.covers[idx[&x]].leaves.len(), 2, "trivial cover preserved");
+        Ok(())
     }
 
     #[test]
-    fn sequential_design_maps() {
+    fn sequential_design_maps() -> TestResult {
         let mut net = Network::new();
         let a = net.input("a");
         let ff = net.dff(false);
         let x = net.xor(ff, a);
         net.connect_dff(ff, x);
         net.set_output("q", ff);
-        let design = map(&net, &MapConfig::default()).unwrap();
+        let design = map(&net, &MapConfig::default())?;
         assert_eq!(design.dffs.len(), 1);
         // Toggle behaviour: q accumulates XOR of the input.
         let rows = design.simulate(&[(a, true)], 3, &[ff]);
         assert_eq!(rows, vec![vec![true], vec![false], vec![true]]);
+        Ok(())
     }
 }

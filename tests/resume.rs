@@ -1,0 +1,173 @@
+//! Kill-and-resume: a journalled noisy attack cut at an arbitrary
+//! point and resumed in a "new process" (fresh board object, state
+//! restored from the journal) must recover the key AND produce
+//! physical-attempt totals bit-identical to an uninterrupted run —
+//! the journal replays the exact query trace, it does not merely
+//! approximate it.
+
+use bitmod::journal::{AttackJournal, JournalError};
+use bitmod::resilient::ResilienceConfig;
+use bitmod::{Attack, AttackError};
+use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard};
+use netlist::snow3g_circuit::Snow3gCircuitConfig;
+use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+use std::path::PathBuf;
+
+/// The fault seed every deterministic assertion in this file pins.
+const SEED: u64 = 7;
+
+/// Ample ceiling for a full run at seed 7 (needs ≈3,100 attempts).
+const BUDGET: u64 = 8_000;
+
+fn flaky_board(seed: u64) -> UnreliableBoard {
+    let board = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
+        &ImplementOptions::default(),
+    )
+    .expect("board builds");
+    UnreliableBoard::new(board, FaultProfile::flaky(seed))
+}
+
+fn noisy_config(seed: u64) -> ResilienceConfig {
+    ResilienceConfig::noisy(seed ^ 0x5EED).with_budget(BUDGET)
+}
+
+fn journal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bitmod-resume-{tag}-{}.journal", std::process::id()))
+}
+
+struct RunTotals {
+    physical: usize,
+    logical: u64,
+    retries: u64,
+    backoff_ms: u64,
+}
+
+/// The ground truth: the uninterrupted run's key and accounting.
+fn uninterrupted() -> RunTotals {
+    let board = flaky_board(SEED);
+    let golden = board.extract_bitstream();
+    let report =
+        Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, noisy_config(SEED))
+            .expect("prepares")
+            .run()
+            .expect("uninterrupted run recovers");
+    assert_eq!(report.recovered.key, TEST_SET_1_KEY);
+    RunTotals {
+        physical: report.oracle_loads,
+        logical: report.resilience.queries,
+        retries: report.resilience.transient_errors,
+        backoff_ms: report.resilience.backoff_ms,
+    }
+}
+
+/// Cuts a journalled run at `budget` physical attempts ("the kill"),
+/// then resumes it from the journal on a fresh board object ("the new
+/// process") with the full budget.
+fn kill_and_resume(tag: &str, budget: u64) -> RunTotals {
+    let path = journal_path(tag);
+    let _ = std::fs::remove_file(&path);
+
+    let board = flaky_board(SEED);
+    let golden = board.extract_bitstream();
+    let config = noisy_config(SEED).with_budget(budget);
+    let err = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)
+        .expect("prepares")
+        .with_journal(AttackJournal::new(&path))
+        .expect("journal attaches")
+        .run()
+        .expect_err("the cut budget must not cover the full attack");
+    assert!(matches!(err, AttackError::Exhausted { .. }), "structured cut, got: {err}");
+    assert!(path.exists(), "the journal survives the kill");
+
+    let board = flaky_board(SEED);
+    let golden = board.extract_bitstream();
+    let raised =
+        AttackJournal::new(&path).load().expect("journal loads").config.with_budget(BUDGET);
+    let report = Attack::resume_with(&board, golden, AttackJournal::new(&path), raised)
+        .expect("resumes")
+        .run()
+        .expect("resumed run recovers");
+
+    assert_eq!(report.recovered.key, TEST_SET_1_KEY);
+    assert_eq!(report.recovered.iv, TEST_SET_1_IV);
+    assert!(!path.exists(), "the journal removes itself on success");
+    RunTotals {
+        physical: report.oracle_loads,
+        logical: report.resilience.queries,
+        retries: report.resilience.transient_errors,
+        backoff_ms: report.resilience.backoff_ms,
+    }
+}
+
+#[test]
+fn a_killed_run_resumes_to_the_bit_identical_trace() {
+    let truth = uninterrupted();
+    // Cuts land in different phases: 600 stops in the key-independent
+    // configuration, 1500 and 2500 later still — the trace must be
+    // identical no matter where the kill fell.
+    for (tag, budget) in [("early", 600), ("mid", 1_500), ("late", 2_500)] {
+        let resumed = kill_and_resume(tag, budget);
+        assert_eq!(resumed.physical, truth.physical, "physical attempts (cut at {budget})");
+        assert_eq!(resumed.logical, truth.logical, "logical queries (cut at {budget})");
+        assert_eq!(resumed.retries, truth.retries, "absorbed retries (cut at {budget})");
+        assert_eq!(resumed.backoff_ms, truth.backoff_ms, "backoff trace (cut at {budget})");
+    }
+}
+
+#[test]
+fn resume_refuses_a_different_golden_bitstream() {
+    let path = journal_path("wrong-golden");
+    let _ = std::fs::remove_file(&path);
+
+    let board = flaky_board(SEED);
+    let golden = board.extract_bitstream();
+    let config = noisy_config(SEED).with_budget(600);
+    let _ = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)
+        .expect("prepares")
+        .with_journal(AttackJournal::new(&path))
+        .expect("journal attaches")
+        .run();
+
+    // A different victim build produces a different golden bitstream;
+    // resuming against it must be refused, not silently attempted.
+    let board = flaky_board(SEED);
+    let mut golden = board.extract_bitstream();
+    let n = golden.as_bytes().len();
+    golden.as_mut_bytes()[n / 2] ^= 0x40;
+    let err = Attack::resume(&board, golden, AttackJournal::new(&path))
+        .expect_err("mismatched golden refused");
+    assert!(
+        matches!(err, AttackError::Journal(JournalError::GoldenMismatch { .. })),
+        "typed refusal, got: {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_refuses_a_trace_changing_config_override() {
+    let path = journal_path("wrong-config");
+    let _ = std::fs::remove_file(&path);
+
+    let board = flaky_board(SEED);
+    let golden = board.extract_bitstream();
+    let config = noisy_config(SEED).with_budget(600);
+    let _ = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)
+        .expect("prepares")
+        .with_journal(AttackJournal::new(&path))
+        .expect("journal attaches")
+        .run();
+
+    // Changing the vote count would diverge the physical trace from
+    // the journalled prefix — refused. Raising the budget is fine.
+    let board = flaky_board(SEED);
+    let golden = board.extract_bitstream();
+    let diverging = noisy_config(SEED).with_votes(3);
+    let err = Attack::resume_with(&board, golden, AttackJournal::new(&path), diverging)
+        .expect_err("trace-changing override refused");
+    assert!(
+        matches!(err, AttackError::Journal(JournalError::ConfigMismatch { .. })),
+        "typed refusal, got: {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}

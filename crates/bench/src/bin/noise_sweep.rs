@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! noise-sweep [--smoke] [--seed N] [--votes N] [--journal PATH]
+//!             [--trace PATH]
 //! ```
 //!
 //! Each cell wraps the victim in [`UnreliableBoard`] at a (per-bit
@@ -15,13 +16,17 @@
 //! The grid runs under the [`Campaign`] engine: each cell is panic-
 //! isolated, and with `--journal` completed cells are persisted
 //! (write-ahead, atomic) so a killed sweep resumes at the first
-//! incomplete cell.
+//! incomplete cell. Every cell's effort numbers are read back from
+//! the telemetry recorder the campaign attaches to it — the printed
+//! table *is* the telemetry rollup — and `--trace` streams the full
+//! NDJSON event feed (per-cell metric bags included) to a file.
 
 use std::process::ExitCode;
 
 use bitmod::campaign::{Campaign, CellOutcome, CellStats, CellSupervisor};
 use bitmod::resilient::ResilienceConfig;
-use bitmod::Attack;
+use bitmod::telemetry::names;
+use bitmod::{Attack, Telemetry};
 use fpga_sim::{FaultProfile, UnreliableBoard};
 use snow3g::vectors::TEST_SET_1_KEY;
 
@@ -36,17 +41,31 @@ fn run_cell(
     let board = UnreliableBoard::new(bench::test_board(false), profile);
     let golden = board.extract_bitstream();
     let oracle = supervisor.supervise(&board);
+    let telemetry = supervisor.telemetry();
     let config = ResilienceConfig::noisy(seed ^ 0x5EED).with_votes(votes);
-    let outcome = Attack::with_resilience(&oracle, golden, bitstream::FRAME_BYTES, config)
-        .and_then(Attack::run);
+    let outcome =
+        Attack::instrumented(&oracle, golden, bitstream::FRAME_BYTES, config, telemetry.clone())
+            .and_then(Attack::run);
+    let fs = board.fault_stats();
+    telemetry.record_board_faults(
+        fs.loads_attempted,
+        fs.transient_failures,
+        fs.timeouts,
+        fs.truncated_reads,
+        fs.bits_flipped,
+    );
+    // The cell's effort numbers come from the recorder, not the
+    // report — so a *failed* cell still accounts for the physical
+    // work it burned before giving up.
+    let m = telemetry.metrics();
+    let stats = CellStats {
+        physical: m.counter(names::ORACLE_LOADS),
+        logical: m.counter(names::ORACLE_QUERIES),
+        retries: m.counter(names::ORACLE_RETRIES),
+        backoff_ms: m.counter(names::ORACLE_BACKOFF_MS),
+    };
     match outcome {
         Ok(report) => {
-            let stats = CellStats {
-                physical: report.oracle_loads as u64,
-                logical: report.resilience.queries,
-                retries: report.resilience.transient_errors,
-                backoff_ms: report.resilience.backoff_ms,
-            };
             if report.recovered.key == TEST_SET_1_KEY {
                 CellOutcome::Recovered(stats)
             } else {
@@ -56,7 +75,7 @@ fn run_cell(
         // The typed failure is the finding: it separates "voting
         // overwhelmed" (attack-layer mismatch) from "board never
         // answered" (retries exhausted).
-        Err(e) => CellOutcome::Failed { stats: CellStats::default(), note: e.to_string() },
+        Err(e) => CellOutcome::Failed { stats, note: e.to_string() },
     }
 }
 
@@ -66,6 +85,7 @@ fn main() -> ExitCode {
     let mut seed = 7u64;
     let mut votes = 5u32;
     let mut journal: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -90,16 +110,39 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match it.next() {
+                Some(path) => trace = Some(path.clone()),
+                None => {
+                    eprintln!("--trace needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--smoke" => {}
             other => {
                 eprintln!(
                     "unknown option '{other}'; usage: \
-                     noise-sweep [--smoke] [--seed N] [--votes N] [--journal PATH]"
+                     noise-sweep [--smoke] [--seed N] [--votes N] [--journal PATH] [--trace PATH]"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
+
+    // An unwritable trace path is a typed, pre-flight failure — not a
+    // panic halfway through a multi-minute sweep.
+    let telemetry = match &trace {
+        Some(path) => match Telemetry::to_path(path) {
+            Ok(t) => {
+                println!("tracing to {path}");
+                t
+            }
+            Err(e) => {
+                eprintln!("noise-sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Telemetry::off(),
+    };
 
     let grid: Vec<(f64, f64)> = if smoke {
         // One genuinely noisy cell at the acceptance floor.
@@ -116,7 +159,7 @@ fn main() -> ExitCode {
         .map(|(g, l)| format!("glitch={g} load_fail={l} seed={seed} votes={votes}"))
         .collect();
 
-    let mut campaign = Campaign::new();
+    let mut campaign = Campaign::new().with_telemetry(telemetry.clone());
     if let Some(path) = journal {
         campaign = campaign.with_journal(path);
     }
@@ -165,6 +208,31 @@ fn main() -> ExitCode {
             note
         );
     }
+
+    // The campaign rollup: every live cell's metric bag merged with
+    // the associative [`bitmod::Metrics::merge`].
+    let totals = &report.metrics;
+    if !totals.is_empty() {
+        println!(
+            "campaign totals: {} physical loads, {} logical queries, {} retries, \
+             {} board faults injected",
+            totals.counter(names::ORACLE_LOADS),
+            totals.counter(names::ORACLE_QUERIES),
+            totals.counter(names::ORACLE_RETRIES),
+            totals.counter(names::BOARD_INJECTED),
+        );
+    }
+    if telemetry.is_enabled() {
+        // A sink that failed mid-sweep surfaces here, typed, and
+        // fails the run loudly rather than shipping a silently
+        // truncated trace.
+        if let Err(e) = telemetry.finish() {
+            eprintln!("noise-sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+        print!("{}", telemetry.summary_table());
+    }
+
     if floor_ok {
         ExitCode::SUCCESS
     } else {

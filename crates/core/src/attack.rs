@@ -41,6 +41,7 @@ use crate::edit::{CrcStrategy, EditSession};
 use crate::findlut::{LutHit, ScanConfigError, Scanner};
 use crate::oracle::{KeystreamOracle, OracleError};
 use crate::resilient::{ResilienceConfig, ResilienceError, ResilientOracle, ResilientStats};
+use crate::telemetry::Telemetry;
 
 /// A verified keystream-path LUT (`LUT₁[i]`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -515,6 +516,7 @@ pub struct Attack<'a> {
     golden_keystream: Vec<u32>,
     checkpoint: AttackCheckpoint,
     journal: Option<crate::journal::AttackJournal>,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for Attack<'_> {
@@ -573,11 +575,32 @@ impl<'a> Attack<'a> {
         d: usize,
         config: ResilienceConfig,
     ) -> Result<Self, AttackError> {
+        Self::instrumented(oracle, golden, d, config, Telemetry::off())
+    }
+
+    /// Like [`Attack::with_resilience`] but with a telemetry recorder
+    /// installed *before* the initial golden query, so the trace
+    /// meters every oracle interaction the attack performs. Telemetry
+    /// is inert: the query trace is bit-identical with recording on
+    /// or off.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Attack::with_resilience`].
+    pub fn instrumented(
+        oracle: &'a dyn KeystreamOracle,
+        golden: Bitstream,
+        d: usize,
+        config: ResilienceConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self, AttackError> {
         let range = golden.fdri_data_range().ok_or(AttackError::NoFdriPayload)?;
         let payload = golden.as_bytes()[range].to_vec();
         let golden_crc = bitstream::crc::ByteCrc::of(golden.as_bytes());
+        let mut resilient = ResilientOracle::new(oracle, config);
+        resilient.set_telemetry(telemetry.clone());
         let mut attack = Self {
-            oracle: ResilientOracle::new(oracle, config),
+            oracle: resilient,
             golden,
             golden_crc,
             payload,
@@ -587,10 +610,22 @@ impl<'a> Attack<'a> {
             golden_keystream: Vec::new(),
             checkpoint: AttackCheckpoint::new(),
             journal: None,
+            telemetry,
         };
         attack.golden_keystream = attack.run_oracle(&attack.golden.clone())?;
         attack.checkpoint.golden_keystream = attack.golden_keystream.clone();
         Ok(attack)
+    }
+
+    /// Installs a telemetry recorder on an already-built attack (the
+    /// resume path: [`Attack::resume`] cannot take it up front).
+    /// Recording starts from this call; queries already performed are
+    /// not retrofitted.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.oracle.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
     }
 
     /// Attaches a crash-safe journal: from here on, every completed
@@ -682,6 +717,7 @@ impl<'a> Attack<'a> {
             golden_keystream: doc.checkpoint.golden_keystream.clone(),
             checkpoint: doc.checkpoint,
             journal: Some(journal),
+            telemetry: Telemetry::off(),
         })
     }
 
@@ -699,7 +735,8 @@ impl<'a> Attack<'a> {
             oracle_state: self.oracle.inner().state_snapshot(),
             checkpoint: self.checkpoint.clone(),
         };
-        journal.save(&doc)?;
+        let bytes = journal.save(&doc)?;
+        self.telemetry.record_journal_write(bytes as u64);
         Ok(())
     }
 
@@ -792,10 +829,12 @@ impl<'a> Attack<'a> {
     ///
     /// See [`AttackError`].
     pub fn run(mut self) -> Result<AttackReport, AttackError> {
+        let _attack_span = self.telemetry.span("attack");
         // Phase 1: candidate search (Table II data) — the whole
         // catalogue in one pass over the payload. Oracle-free and
         // deterministic, so a resumed run recomputes it instead of
         // journalling the hit lists.
+        let scan_span = self.telemetry.span("phase:candidate-search");
         let scanner = Scanner::builder().k(6).stride(self.d).catalogue(&self.catalogue).build()?;
         let grouped = scanner.scan_grouped(&self.payload);
         let mut hits_by_shape: HashMap<&'static str, Vec<LutHit>> = HashMap::new();
@@ -805,6 +844,8 @@ impl<'a> Attack<'a> {
             hits_by_shape.insert(shape.name, hits);
         }
         self.checkpoint.candidate_counts = candidate_counts.clone();
+        self.telemetry.record_candidates(&candidate_counts);
+        drop(scan_span);
         if self.checkpoint.phase == AttackPhase::CandidateSearch {
             self.advance_phase(AttackPhase::ZPathVerification)?;
         }
@@ -821,11 +862,14 @@ impl<'a> Attack<'a> {
         // and the second pass re-verifies with off-lattice candidates
         // removed.
         if self.checkpoint.phase == AttackPhase::ZPathVerification {
+            let _span = self.telemetry.span("phase:z-path-verification");
             if self.checkpoint.pass == 0 {
                 self.verify_z_path(&f2_hits, true)?;
+                let lattice_span = self.telemetry.span("lattice-inference");
                 let samples: Vec<(usize, bitstream::SubVectorOrder)> =
                     self.checkpoint.z_luts.iter().map(|z| (z.hit.l, z.hit.order)).collect();
                 let lattice = SiteLattice::infer(&samples, self.d);
+                drop(lattice_span);
                 if std::env::var_os("BITMOD_DEBUG").is_some() {
                     eprintln!("[lattice] {lattice:?}");
                     eprintln!(
@@ -862,6 +906,7 @@ impl<'a> Attack<'a> {
 
         // Phase 3: feedback-path hypothesis.
         if self.checkpoint.phase == AttackPhase::FeedbackHypothesis {
+            let _span = self.telemetry.span("phase:feedback-hypothesis");
             self.feedback_hypothesis(&hits_by_shape, &lattice)?;
             self.advance_phase(AttackPhase::KeyIndependent)?;
         }
@@ -877,6 +922,7 @@ impl<'a> Attack<'a> {
             .collect();
         let mut keyindep_bs = None;
         if self.checkpoint.phase == AttackPhase::KeyIndependent {
+            let _span = self.telemetry.span("phase:key-independent");
             if self.checkpoint.pass == 0 {
                 self.find_load_mux_halves(&lattice)?;
                 if std::env::var_os("BITMOD_DEBUG").is_some() {
@@ -906,13 +952,16 @@ impl<'a> Attack<'a> {
 
         // Phase 5: pair disambiguation (two keystream computations).
         if self.checkpoint.phase == AttackPhase::PairDisambiguation {
+            let _span = self.telemetry.span("phase:pair-disambiguation");
             self.disambiguate_pairs(&keyindep_bs)?;
             self.advance_phase(AttackPhase::KeyExtraction)?;
         }
 
         // Phase 6: inject α into a fresh copy and extract the key.
+        let extract_span = self.telemetry.span("phase:key-extraction");
         let (alpha_bitstream, alpha_keystream) = self.extract()?;
         let recovered = recover_key(&alpha_keystream)?;
+        drop(extract_span);
 
         // The attack is complete; the journal has served its purpose.
         // Removal is best-effort — a lingering file only costs a

@@ -9,7 +9,7 @@
 //! bitmod diff    <file> <other-file>
 //! bitmod attack  [--noisy] [--seed N] [--glitch P] [--load-fail P]
 //!                [--votes N] [--budget N] [--stride N]
-//!                [--journal PATH] [--resume]
+//!                [--journal PATH] [--resume] [--trace PATH]
 //! ```
 //!
 //! `attack` builds the simulated SNOW 3G victim board (ETSI Test
@@ -22,7 +22,11 @@
 //! checkpoints to a crash-safe journal after every completed work
 //! item, and `--resume` continues a killed or budget-cut run from
 //! that journal, replaying the exact query trace an uninterrupted
-//! run would have produced.
+//! run would have produced. With `--trace` the attack streams
+//! telemetry events (NDJSON, one object per line: phase spans, oracle
+//! queries, journal writes, board fault accounting) to the given path
+//! and appends a summary table — recording is inert, so the traced
+//! run is bit-identical to an untraced one.
 //!
 //! Functions are catalogue names (`f2`, `m0b`, ...) or formulas over
 //! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`. With `--json`, `findlut`
@@ -52,6 +56,7 @@ fn run_attack(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 opts.journal = Some(it.next().ok_or("--journal needs a path")?.into());
             }
             "--resume" => opts.resume = true,
+            "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a path")?.into()),
             flag => return Err(format!("unknown attack option '{flag}'").into()),
         }
     }

@@ -41,6 +41,7 @@ use bitstream::Bitstream;
 
 use crate::journal::{frame, unframe, write_atomic, Dec, Enc, JournalError};
 use crate::oracle::{KeystreamOracle, OracleError};
+use crate::telemetry::{names, Metrics, Telemetry};
 
 /// The 8-byte campaign-journal file magic.
 pub const CAMPAIGN_MAGIC: [u8; 8] = *b"BMODCAMP";
@@ -148,6 +149,11 @@ pub struct CellRecord {
 pub struct CampaignReport {
     /// Per-cell outcomes, one per grid cell that was reached.
     pub cells: Vec<CellRecord>,
+    /// Telemetry rollup across the cells that ran in this process:
+    /// every cell's metrics folded together with the associative
+    /// [`Metrics::merge`] (journal-replayed cells contribute
+    /// nothing — their effort was spent in the earlier process).
+    pub metrics: Metrics,
 }
 
 impl CampaignReport {
@@ -235,6 +241,7 @@ impl From<JournalError> for CampaignError {
 pub struct CellSupervisor {
     cancel: CancelToken,
     deadline: Option<Instant>,
+    telemetry: Telemetry,
 }
 
 impl CellSupervisor {
@@ -244,13 +251,27 @@ impl CellSupervisor {
         self.cancel.is_cancelled()
     }
 
+    /// This cell's telemetry recorder. Pass it to
+    /// [`crate::attack::Attack::instrumented`] (or record into it
+    /// directly) and the campaign folds the cell's metrics into the
+    /// report rollup when the cell completes.
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
     /// Wraps an oracle so every query first checks the cancellation
     /// token and this cell's wall-clock deadline. Both surface as the
     /// non-transient [`OracleError::Rejected`], which the resilience
     /// layer aborts on immediately instead of retrying.
     #[must_use]
     pub fn supervise<'a>(&'a self, inner: &'a dyn KeystreamOracle) -> SupervisedOracle<'a> {
-        SupervisedOracle { inner, cancel: self.cancel.clone(), deadline: self.deadline }
+        SupervisedOracle {
+            inner,
+            cancel: self.cancel.clone(),
+            deadline: self.deadline,
+            telemetry: self.telemetry.clone(),
+        }
     }
 }
 
@@ -260,15 +281,19 @@ pub struct SupervisedOracle<'a> {
     inner: &'a dyn KeystreamOracle,
     cancel: CancelToken,
     deadline: Option<Instant>,
+    telemetry: Telemetry,
 }
 
 impl KeystreamOracle for SupervisedOracle<'_> {
     fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError> {
+        self.telemetry.incr(names::SUPERVISED_CALLS, 1);
         if self.cancel.is_cancelled() {
+            self.telemetry.incr(names::SUPERVISED_REJECTIONS, 1);
             return Err(OracleError::Rejected("campaign cancelled".into()));
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() > deadline {
+                self.telemetry.incr(names::SUPERVISED_REJECTIONS, 1);
                 return Err(OracleError::Rejected("cell wall-clock deadline exceeded".into()));
             }
         }
@@ -291,6 +316,7 @@ pub struct Campaign {
     journal: Option<PathBuf>,
     cell_deadline: Option<Duration>,
     cancel: CancelToken,
+    telemetry: Telemetry,
 }
 
 impl Campaign {
@@ -329,6 +355,16 @@ impl Campaign {
         self.cancel.clone()
     }
 
+    /// Streams campaign-level telemetry (one `cell` event per live
+    /// cell, carrying its merged metrics) into `telemetry`. The
+    /// per-cell rollup in [`CampaignReport::metrics`] works with or
+    /// without this.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Runs the campaign: `cell(i, supervisor)` once per label, in
     /// order, each under panic isolation. With a journal configured,
     /// previously completed cells are replayed from disk instead of
@@ -350,6 +386,7 @@ impl Campaign {
             .into_iter()
             .map(|(label, outcome)| CellRecord { label, outcome, resumed: true })
             .collect();
+        let mut rollup = Metrics::new();
 
         for (i, label) in labels.iter().enumerate().skip(cells.len()) {
             if self.cancel.is_cancelled() {
@@ -360,9 +397,13 @@ impl Campaign {
                 }));
                 break;
             }
+            // Every cell gets a live recorder regardless of whether
+            // campaign-level tracing is on: the rollup in the report
+            // must not depend on `--trace`.
             let supervisor = CellSupervisor {
                 cancel: self.cancel.clone(),
                 deadline: self.cell_deadline.map(|d| Instant::now() + d),
+                telemetry: Telemetry::new(),
             };
             let outcome = match panic::catch_unwind(AssertUnwindSafe(|| cell(i, &supervisor))) {
                 Ok(outcome) => outcome,
@@ -374,21 +415,24 @@ impl Campaign {
             // recorded as cancelled and left out of the journal for
             // the next run to redo. A genuine recovery that raced the
             // token stands.
-            if (self.cancel.is_cancelled() && !outcome.recovered())
+            let outcome = if (self.cancel.is_cancelled() && !outcome.recovered())
                 || outcome == CellOutcome::Cancelled
             {
-                cells.push(CellRecord {
-                    label: clone_label(label),
-                    outcome: CellOutcome::Cancelled,
-                    resumed: false,
-                });
-                continue;
-            }
+                CellOutcome::Cancelled
+            } else {
+                outcome
+            };
+            let cell_metrics = supervisor.telemetry.metrics();
+            rollup.merge(&cell_metrics);
+            self.telemetry.record_cell(label, &outcome.to_string(), &cell_metrics);
+            let completed = outcome != CellOutcome::Cancelled;
             cells.push(CellRecord { label: clone_label(label), outcome, resumed: false });
-            self.save_journal(fingerprint, &cells)?;
+            if completed {
+                self.save_journal(fingerprint, &cells)?;
+            }
         }
 
-        Ok(CampaignReport { cells })
+        Ok(CampaignReport { cells, metrics: rollup })
     }
 
     fn load_journal(
@@ -625,17 +669,22 @@ mod tests {
         let bs = Bitstream::from_bytes(vec![0; 8]);
 
         let cancel = CancelToken::new();
-        let supervisor = CellSupervisor { cancel: cancel.clone(), deadline: None };
+        let supervisor =
+            CellSupervisor { cancel: cancel.clone(), deadline: None, telemetry: Telemetry::new() };
         let oracle = supervisor.supervise(&Null);
         assert_eq!(oracle.keystream(&bs, 2).expect("clean"), vec![0, 0]);
         cancel.cancel();
         let err = oracle.keystream(&bs, 2).expect_err("cancelled");
         assert!(!err.is_transient(), "cancellation must not be retried");
         assert!(err.to_string().contains("cancelled"), "{err}");
+        let m = supervisor.telemetry.metrics();
+        assert_eq!(m.counter(names::SUPERVISED_CALLS), 2);
+        assert_eq!(m.counter(names::SUPERVISED_REJECTIONS), 1);
 
         let supervisor = CellSupervisor {
             cancel: CancelToken::new(),
             deadline: Some(Instant::now() - Duration::from_millis(1)),
+            telemetry: Telemetry::new(),
         };
         let err = supervisor.supervise(&Null).keystream(&bs, 2).expect_err("expired");
         assert!(!err.is_transient());

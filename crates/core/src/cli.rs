@@ -45,6 +45,8 @@ pub enum CliError {
     Board(fpga_sim::BoardError),
     /// The attack pipeline aborted.
     Attack(AttackError),
+    /// The telemetry trace sink could not be opened or written.
+    Telemetry(crate::telemetry::TelemetryError),
 }
 
 impl fmt::Display for CliError {
@@ -58,6 +60,7 @@ impl fmt::Display for CliError {
             CliError::Config(e) => write!(f, "invalid scan configuration: {e}"),
             CliError::Board(e) => write!(f, "victim board construction failed: {e}"),
             CliError::Attack(e) => write!(f, "attack failed: {e}"),
+            CliError::Telemetry(e) => write!(f, "telemetry failure: {e}"),
         }
     }
 }
@@ -69,6 +72,7 @@ impl std::error::Error for CliError {
             CliError::Config(e) => Some(e),
             CliError::Board(e) => Some(e),
             CliError::Attack(e) => Some(e),
+            CliError::Telemetry(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +93,12 @@ impl From<fpga_sim::BoardError> for CliError {
 impl From<AttackError> for CliError {
     fn from(e: AttackError) -> Self {
         CliError::Attack(e)
+    }
+}
+
+impl From<crate::telemetry::TelemetryError> for CliError {
+    fn from(e: crate::telemetry::TelemetryError) -> Self {
+        CliError::Telemetry(e)
     }
 }
 
@@ -326,6 +336,9 @@ pub struct AttackOptions {
     /// Resume a previous (killed or budget-cut) run from the journal
     /// instead of starting fresh. Requires `journal`.
     pub resume: bool,
+    /// Stream telemetry events (NDJSON, one object per line) to this
+    /// path and append the end-of-run summary table to the output.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for AttackOptions {
@@ -340,6 +353,7 @@ impl Default for AttackOptions {
             stride: FRAME_BYTES,
             journal: None,
             resume: false,
+            trace: None,
         }
     }
 }
@@ -370,18 +384,25 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
     let board = fpga_sim::Snow3gBoard::build(config, &fpga_sim::ImplementOptions::default())?;
     let golden = board.extract_bitstream();
 
-    let noisy_board;
+    let mut noisy_board = None;
     let oracle: &dyn KeystreamOracle = if opts.noisy {
         let profile = fpga_sim::FaultProfile::flaky(opts.seed)
             .with_bit_glitch(opts.glitch)
             .with_load_failure(opts.load_fail);
-        noisy_board = fpga_sim::UnreliableBoard::new(board, profile);
-        &noisy_board
+        noisy_board.insert(fpga_sim::UnreliableBoard::new(board, profile))
     } else {
         &board
     };
 
     let mut out = String::new();
+    let telemetry = match &opts.trace {
+        Some(path) => {
+            let t = crate::telemetry::Telemetry::to_path(path)?;
+            let _ = writeln!(out, "tracing to {}", path.display());
+            t
+        }
+        None => crate::telemetry::Telemetry::off(),
+    };
     if opts.noisy {
         let _ = writeln!(
             out,
@@ -408,6 +429,7 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
             }
             None => Attack::resume(oracle, golden, journal)?,
         }
+        .with_telemetry(telemetry.clone())
     } else {
         let mut resilience = if opts.noisy {
             // Decorrelate the jitter stream from the board's fault
@@ -419,7 +441,8 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
         if let Some(budget) = opts.budget {
             resilience = resilience.with_budget(budget);
         }
-        let mut attack = Attack::with_resilience(oracle, golden, opts.stride, resilience)?;
+        let mut attack =
+            Attack::instrumented(oracle, golden, opts.stride, resilience, telemetry.clone())?;
         if let Some(path) = &opts.journal {
             attack = attack.with_journal(crate::journal::AttackJournal::new(path))?;
             let _ = writeln!(out, "journalling to {}", path.display());
@@ -427,7 +450,22 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
         attack
     };
 
-    match attack.run() {
+    let result = attack.run();
+    // Board-side fault accounting (faults *injected*) — recorded
+    // after the run so the trace can set it against the retries the
+    // attack *observed* (glitched bits that majority voting outvotes
+    // never surface as retries).
+    if let Some(b) = &noisy_board {
+        let fs = b.fault_stats();
+        telemetry.record_board_faults(
+            fs.loads_attempted,
+            fs.transient_failures,
+            fs.timeouts,
+            fs.truncated_reads,
+            fs.bits_flipped,
+        );
+    }
+    match result {
         Ok(report) => {
             let _ = writeln!(out, "recovered key: {}", report.recovered.key);
             let _ = writeln!(out, "recovered iv:  {}", report.recovered.iv);
@@ -448,7 +486,6 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
                 report.feedback_luts.len(),
                 report.dead_candidates
             );
-            Ok(out)
         }
         Err(AttackError::Exhausted { checkpoint, source }) => {
             let _ = writeln!(out, "query budget exhausted: {source}");
@@ -465,10 +502,14 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
                     path.display()
                 );
             }
-            Ok(out)
         }
-        Err(e) => Err(e.into()),
+        Err(e) => return Err(e.into()),
     }
+    if telemetry.is_enabled() {
+        telemetry.finish()?;
+        out.push_str(&telemetry.summary_table());
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -216,12 +216,16 @@ impl AttackJournal {
     /// Atomically persists `doc`: the complete frame is written to a
     /// sibling temporary file, synced, and renamed over the journal
     /// path, so a crash mid-save leaves the previous journal intact.
+    /// Returns the size of the written frame in bytes (what telemetry
+    /// meters as `journal.bytes`).
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] on any filesystem failure.
-    pub fn save(&self, doc: &JournalDoc) -> Result<(), JournalError> {
-        write_atomic(&self.path, &encode_frame(doc))
+    pub fn save(&self, doc: &JournalDoc) -> Result<usize, JournalError> {
+        let frame = encode_frame(doc);
+        write_atomic(&self.path, &frame)?;
+        Ok(frame.len())
     }
 
     /// Loads and verifies the journal.

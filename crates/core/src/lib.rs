@@ -27,6 +27,12 @@
 //! * [`campaign`] — the supervised multi-run campaign engine: a grid
 //!   of attack cells with panic isolation, cooperative cancellation,
 //!   per-cell deadlines and a write-ahead results journal;
+//! * [`telemetry`] — the attack-phase telemetry engine: hierarchical
+//!   spans over the attack phases, counters and histograms at the
+//!   oracle chokepoints, an NDJSON event sink
+//!   (`bitmod attack --trace`) and an associative [`Metrics`] rollup
+//!   for campaigns — provably inert: recording never perturbs the
+//!   query trace;
 //! * [`edit`] — bitstream patching under a matched input permutation,
 //!   with CRC repair or disable;
 //! * [`attack`] — the full key-recovery pipeline of Section VI:
@@ -56,6 +62,7 @@ pub mod findlut;
 pub mod journal;
 pub mod oracle;
 pub mod resilient;
+pub mod telemetry;
 
 pub use attack::{Attack, AttackCheckpoint, AttackError, AttackPhase, AttackReport};
 pub use campaign::{
@@ -75,3 +82,4 @@ pub use resilient::{
     ResilienceConfig, ResilienceError, ResilientOracle, ResilientSnapshot, ResilientStats,
     RetryPolicy, VirtualClock,
 };
+pub use telemetry::{Histogram, Metrics, Span, Telemetry, TelemetryError};

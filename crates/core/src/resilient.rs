@@ -38,6 +38,7 @@ use rand::{Rng, SeedableRng};
 use bitstream::Bitstream;
 
 use crate::oracle::{KeystreamOracle, OracleError};
+use crate::telemetry::Telemetry;
 
 /// A deterministic clock: backoff advances it, nothing sleeps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -278,6 +279,11 @@ pub struct ResilientOracle<'a> {
     clock: VirtualClock,
     rng: SmallRng,
     stats: ResilientStats,
+    /// Inert observer: records per-query effort deltas *after* each
+    /// query completes. Never consulted for control flow, never draws
+    /// from the RNG, never advances the clock — so an instrumented
+    /// run replays the identical query trace (see `telemetry`).
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for ResilientOracle<'_> {
@@ -303,6 +309,7 @@ impl<'a> ResilientOracle<'a> {
             clock: VirtualClock::new(),
             rng: SmallRng::seed_from_u64(config.seed),
             stats: ResilientStats::default(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -324,7 +331,20 @@ impl<'a> ResilientOracle<'a> {
             clock,
             rng: SmallRng::from_state_bytes(snap.rng_state),
             stats: snap.stats,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Installs a telemetry recorder. Recording is observation only —
+    /// the query trace is bit-identical with telemetry on or off.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle (disabled by default).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The full mutable state, for crash-safe journals.
@@ -378,6 +398,34 @@ impl<'a> ResilientOracle<'a> {
     /// transiently broken, [`ResilienceError::Fatal`] on a
     /// non-transient oracle error.
     pub fn query(
+        &mut self,
+        bitstream: &Bitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, ResilienceError> {
+        let before = self.stats;
+        let result = self.query_inner(bitstream, words);
+        if self.telemetry.is_enabled() {
+            let outcome = match &result {
+                Ok(_) => "ok",
+                Err(ResilienceError::BudgetExhausted { .. }) => "budget-exhausted",
+                Err(ResilienceError::DeadlineExceeded { .. }) => "deadline-exceeded",
+                Err(ResilienceError::RetriesExhausted { .. }) => "retries-exhausted",
+                Err(_) => "fatal",
+            };
+            self.telemetry.record_query(
+                self.stats.attempts - before.attempts,
+                self.stats.votes_cast - before.votes_cast,
+                self.stats.transient_errors - before.transient_errors,
+                self.stats.backoff_ms - before.backoff_ms,
+                outcome,
+            );
+        }
+        result
+    }
+
+    /// The uninstrumented query body — everything that touches the
+    /// RNG, clock and budget lives here, *before* any recording.
+    fn query_inner(
         &mut self,
         bitstream: &Bitstream,
         words: usize,

@@ -99,6 +99,17 @@ pub struct FaultStats {
     pub bits_flipped: u64,
 }
 
+impl FaultStats {
+    /// Total faults injected across all classes — the board-side
+    /// number a telemetry trace sets against the retries the attack
+    /// *observed* (glitched bits that majority voting silently
+    /// outvotes never surface as retries).
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.transient_failures + self.timeouts + self.truncated_reads + self.bits_flipped
+    }
+}
+
 /// A portable snapshot of an [`UnreliableBoard`]'s mutable state:
 /// the fault profile it was configured with, the fault counters, and
 /// the exact RNG position. Restoring it resumes the *identical* fault

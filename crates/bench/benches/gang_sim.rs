@@ -1,0 +1,35 @@
+//! Gang-simulator costs: 64 scalar board loads versus one 64-lane
+//! bit-parallel batch over the same bitstreams — the core ratio the
+//! batched oracle pipeline's speedup comes from.
+
+use bench::test_board;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_sim::GANG_LANES;
+
+const WORDS: usize = 16;
+
+fn bench_keystream(c: &mut Criterion) {
+    let board = test_board(false);
+    let golden = board.extract_bitstream();
+    let batch: Vec<_> = (0..GANG_LANES).map(|_| golden.clone()).collect();
+    let mut g = c.benchmark_group("gang/keystream-16-words");
+    g.sample_size(10);
+    g.bench_function("scalar-x64", |b| {
+        b.iter(|| {
+            for bs in &batch {
+                board.generate_keystream(bs, WORDS).expect("runs");
+            }
+        });
+    });
+    g.bench_function("gang-1x64", |b| {
+        b.iter(|| {
+            for lane in board.keystream_batch(&batch, WORDS) {
+                lane.expect("runs");
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_keystream);
+criterion_main!(benches);

@@ -67,7 +67,10 @@ impl LutLocation {
         mine.iter().any(|b| theirs.contains(b))
     }
 
-    fn byte_indices(&self) -> Vec<usize> {
+    /// The eight byte indices this location's sub-vectors occupy
+    /// (two bytes at each of the four strided offsets).
+    #[must_use]
+    pub fn byte_indices(&self) -> Vec<usize> {
         (0..4).flat_map(|j| [self.l + j * self.d, self.l + j * self.d + 1]).collect()
     }
 }

@@ -11,6 +11,46 @@
 /// Reflected CRC-32C polynomial.
 pub const POLY: u32 = 0x82F6_3B78;
 
+/// Runs `k` steps of the reflected LFSR with an all-zero bit feed.
+///
+/// This is the kernel both lookup tables are built from: by linearity
+/// of the LFSR over GF(2), feeding `k` data bits `b` from state `crc`
+/// equals `(crc >> k) ^ step_zero((crc ^ b) & mask_k, k)`.
+const fn step_zero(mut crc: u32, k: u32) -> u32 {
+    let mut j = 0;
+    while j < k {
+        let feed = crc & 1;
+        crc >>= 1;
+        if feed == 1 {
+            crc ^= POLY;
+        }
+        j += 1;
+    }
+    crc
+}
+
+/// Byte-at-a-time table for the 32 data bits of a register write.
+const TABLE8: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = step_zero(i as u32, 8);
+        i += 1;
+    }
+    t
+};
+
+/// Five-bit table for the register-address tail of a register write.
+const TABLE5: [u32; 32] = {
+    let mut t = [0u32; 32];
+    let mut i = 0;
+    while i < 32 {
+        t[i] = step_zero(i as u32, 5);
+        i += 1;
+    }
+    t
+};
+
 /// A running configuration CRC.
 ///
 /// # Example
@@ -43,6 +83,17 @@ impl ConfigCrc {
         Self { state: 0 }
     }
 
+    /// A CRC resumed from a previously observed running value.
+    ///
+    /// The register stream is fed through a plain LFSR, so the whole
+    /// computation is a function of the running value alone; this
+    /// constructor lets differential tooling (e.g. the candidate-edit
+    /// forge) continue a walk from a cached midpoint.
+    #[must_use]
+    pub fn with_state(state: u32) -> Self {
+        Self { state }
+    }
+
     /// Resets the running value (the `RCRC` command).
     pub fn reset(&mut self) {
         self.state = 0;
@@ -50,17 +101,18 @@ impl ConfigCrc {
 
     /// Feeds one register write: the 32 data bits followed by the
     /// 5 address bits.
+    ///
+    /// Table-driven (four byte steps for the data word, one 5-bit
+    /// step for the address); bit-for-bit equivalent to the reference
+    /// 37-step LFSR loop, which the test suite pins.
     pub fn update(&mut self, addr: u16, word: u32) {
-        let mut bits = u64::from(word) | (u64::from(addr & 0x1F) << 32);
         let mut crc = self.state;
-        for _ in 0..37 {
-            let feed = (crc ^ (bits as u32)) & 1;
-            crc >>= 1;
-            if feed == 1 {
-                crc ^= POLY;
-            }
-            bits >>= 1;
+        let mut w = word;
+        for _ in 0..4 {
+            crc = (crc >> 8) ^ TABLE8[((crc ^ w) & 0xFF) as usize];
+            w >>= 8;
         }
+        crc = (crc >> 5) ^ TABLE5[((crc ^ u32::from(addr)) & 0x1F) as usize];
         self.state = crc;
     }
 
@@ -132,6 +184,68 @@ impl ByteCrc {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-table reference implementation: one LFSR step per bit,
+    /// 32 data bits then 5 address bits.
+    fn update_reference(state: u32, addr: u16, word: u32) -> u32 {
+        let mut bits = u64::from(word) | (u64::from(addr & 0x1F) << 32);
+        let mut crc = state;
+        for _ in 0..37 {
+            let feed = (crc ^ (bits as u32)) & 1;
+            crc >>= 1;
+            if feed == 1 {
+                crc ^= POLY;
+            }
+            bits >>= 1;
+        }
+        crc
+    }
+
+    #[test]
+    fn table_update_matches_bitwise_reference() {
+        // A deterministic pseudo-random sweep over (state, addr, word)
+        // triples plus the structured corners.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut cases: Vec<(u32, u16, u32)> = vec![
+            (0, 0, 0),
+            (0, 0x1F, 0),
+            (0, 2, 0xFFFF_FFFF),
+            (u32::MAX, 0x1F, u32::MAX),
+            (1, 0, 1),
+            (0x8000_0000, 0x10, 0x8000_0000),
+        ];
+        for _ in 0..2000 {
+            let r = next();
+            cases.push((r as u32, (r >> 32) as u16 & 0x3F, (r >> 13) as u32));
+        }
+        for (state, addr, word) in cases {
+            let mut c = ConfigCrc::with_state(state);
+            c.update(addr, word);
+            assert_eq!(
+                c.value(),
+                update_reference(state, addr, word),
+                "state {state:#x} addr {addr:#x} word {word:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_state_resumes_a_walk() {
+        let mut whole = ConfigCrc::new();
+        whole.update(2, 0xDEAD_BEEF);
+        whole.update(2, 0x0123_4567);
+        let mut front = ConfigCrc::new();
+        front.update(2, 0xDEAD_BEEF);
+        let mut back = ConfigCrc::with_state(front.value());
+        back.update(2, 0x0123_4567);
+        assert_eq!(whole.value(), back.value());
+    }
 
     #[test]
     fn deterministic_and_order_sensitive() {

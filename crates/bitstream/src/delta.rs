@@ -1,0 +1,342 @@
+//! Differential configuration-CRC arithmetic.
+//!
+//! The configuration CRC is a linear feedback shift register, hence
+//! linear over GF(2) in (state, fed bits): for a stream `x` and a
+//! byte-delta `δ` confined to the FDRI payload,
+//! `crc(x ⊕ δ) = crc(x) ⊕ L(δ)`, where `L` advances a 32-bit delta
+//! state through precomputed powers of the one-update transition
+//! matrix. A [`DeltaCrc`] caches one slow walk of a reference stream
+//! (where the CRC value lives, how payload words map onto update
+//! indices, the doubling matrices) and then prices any variant's CRC
+//! at O(changed words × log stream) XORs instead of a full re-walk.
+//!
+//! Two consumers share this module: the candidate-edit forge in the
+//! attack crate (patching a forged variant's CRC so the device
+//! accepts it) and the gang batch decoder in the FPGA simulator
+//! (verifying a lane's CRC against its stored value without
+//! re-walking the packet stream per lane). Both are pinned
+//! byte-for-byte against the slow full walk by their test suites.
+
+use crate::crc::ConfigCrc;
+use crate::image::Bitstream;
+use crate::packet::{CommandCode, Packet, RegisterAddress, NOP, SYNC_WORD};
+
+/// Applies a GF(2) linear map in column form: `out = Σ m[i]` over the
+/// set bits `i` of `v`.
+fn apply(m: &[u32; 32], v: u32) -> u32 {
+    let mut out = 0;
+    for (i, &col) in m.iter().enumerate() {
+        if (v >> i) & 1 == 1 {
+            out ^= col;
+        }
+    }
+    out
+}
+
+/// The one-update state-advance map `A`: column `i` is where state
+/// `1 << i` lands after one `update` whose fed bits are all zero.
+/// (The config CRC is linear over GF(2), so
+/// `update(s, a, w) = A·s ⊕ f(a, w)` and `A` is recovered by feeding
+/// zero bits from each basis state.)
+fn advance_matrix() -> [u32; 32] {
+    let mut m = [0u32; 32];
+    for (i, col) in m.iter_mut().enumerate() {
+        let mut crc = ConfigCrc::with_state(1 << i);
+        crc.update(0, 0);
+        *col = crc.value();
+    }
+    m
+}
+
+/// Matrix square in column form: `(m²)[i] = m · m[i]`.
+fn square(m: &[u32; 32]) -> [u32; 32] {
+    let mut out = [0u32; 32];
+    for (i, col) in out.iter_mut().enumerate() {
+        *col = apply(m, m[i]);
+    }
+    out
+}
+
+/// The contribution a payload-word delta `d` makes to the CRC delta
+/// state at its own update step: `f(0, d)` from the zero state. The
+/// register-address bits are identical on the reference and variant
+/// streams (both FDRI), so they cancel out of the delta and only the
+/// word bits remain.
+fn word_delta(d: u32) -> u32 {
+    let mut crc = ConfigCrc::with_state(0);
+    crc.update(0, d);
+    crc.value()
+}
+
+/// A cached differential-CRC analysis of one reference bitstream,
+/// from which any payload-only variant's CRC follows in
+/// O(changed words × log stream) — see the module docs.
+#[derive(Debug, Clone)]
+pub struct DeltaCrc {
+    /// Absolute byte offset of the stored CRC value word.
+    crc_value_at: usize,
+    /// The running CRC the slow walk computes for the reference image
+    /// — exactly what [`Bitstream::recompute_crc`] would store.
+    reference_crc: u32,
+    /// Update index (counting from the last `RCRC` reset) at which
+    /// payload word 0 is fed.
+    first_payload_update: u64,
+    /// Total updates fed before the CRC value is written.
+    total_updates: u64,
+    /// `pow[j]` advances a delta state by `2^j` zero-delta updates.
+    pow: Vec<[u32; 32]>,
+}
+
+impl DeltaCrc {
+    /// Walks `bs` exactly like [`Bitstream::recompute_crc`], recording
+    /// where the CRC lives and how the FDRI payload maps onto update
+    /// indices. Returns `None` (→ slow-path fallback) on any structure
+    /// the delta model does not cover: misaligned payload, an `RCRC`
+    /// reset after the payload starts, a payload not fed as one
+    /// contiguous run of updates, or no CRC packet at all.
+    #[must_use]
+    pub fn analyze(bs: &Bitstream, payload: &core::ops::Range<usize>) -> Option<Self> {
+        if !payload.start.is_multiple_of(4) || !payload.end.is_multiple_of(4) || payload.is_empty()
+        {
+            return None;
+        }
+        let bytes = bs.as_bytes();
+        let mut at = bs.find_word(SYNC_WORD, 0)? + 4;
+        let mut crc = ConfigCrc::new();
+        let mut last_addr: Option<RegisterAddress> = None;
+        let mut updates: u64 = 0;
+        let mut first: Option<u64> = None;
+        let mut last: Option<u64> = None;
+        let note = |pos: usize, updates: u64, first: &mut Option<u64>, last: &mut Option<u64>| {
+            if pos == payload.start {
+                *first = Some(updates);
+            }
+            if pos + 4 == payload.end {
+                *last = Some(updates);
+            }
+        };
+        while at + 4 <= bytes.len() {
+            let word = u32::from_be_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            at += 4;
+            if word == 0 || word == NOP {
+                continue;
+            }
+            let h = Packet::decode_header(word);
+            match h.packet_type {
+                1 if h.opcode == 2 => {
+                    let addr = RegisterAddress::from_raw(h.addr)?;
+                    if addr == RegisterAddress::Crc {
+                        if at + 4 > bytes.len() {
+                            return None;
+                        }
+                        let first = first?;
+                        // The payload must have been one contiguous
+                        // run of updates, or word→update arithmetic
+                        // is off.
+                        if last? != first + (payload.len() / 4 - 1) as u64 {
+                            return None;
+                        }
+                        let mut pow = vec![advance_matrix()];
+                        while (1u64 << pow.len()) < updates {
+                            pow.push(square(pow.last().expect("non-empty")));
+                        }
+                        return Some(DeltaCrc {
+                            crc_value_at: at,
+                            reference_crc: crc.value(),
+                            first_payload_update: first,
+                            total_updates: updates,
+                            pow,
+                        });
+                    }
+                    for _ in 0..h.count_type1 {
+                        if at + 4 > bytes.len() {
+                            return None;
+                        }
+                        let v = u32::from_be_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+                        if addr == RegisterAddress::Cmd && v == CommandCode::Rcrc as u32 {
+                            if first.is_some() {
+                                // A reset between payload and CRC
+                                // write would wipe the delta.
+                                return None;
+                            }
+                            crc.reset();
+                            updates = 0;
+                        } else {
+                            note(at, updates, &mut first, &mut last);
+                            crc.update(addr as u16, v);
+                            updates += 1;
+                        }
+                        at += 4;
+                    }
+                    last_addr = Some(addr);
+                }
+                2 if h.opcode == 2 => {
+                    let addr = last_addr?;
+                    for _ in 0..h.count_type2 {
+                        if at + 4 > bytes.len() {
+                            return None;
+                        }
+                        let v = u32::from_be_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+                        note(at, updates, &mut first, &mut last);
+                        crc.update(addr as u16, v);
+                        updates += 1;
+                        at += 4;
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Absolute byte offset of the stored CRC value word in the
+    /// reference stream (and any same-structure variant).
+    #[must_use]
+    pub fn crc_value_at(&self) -> usize {
+        self.crc_value_at
+    }
+
+    /// The stored CRC value word of a same-structure variant.
+    #[must_use]
+    pub fn stored(&self, variant: &[u8]) -> u32 {
+        u32::from_be_bytes(
+            variant[self.crc_value_at..self.crc_value_at + 4].try_into().expect("4 bytes"),
+        )
+    }
+
+    /// Advances a delta state by `k` zero-delta updates via the
+    /// doubling matrices.
+    fn advance(&self, mut v: u32, k: u64) -> u32 {
+        debug_assert_eq!(k >> self.pow.len(), 0, "gap exceeds precomputed powers");
+        for (j, m) in self.pow.iter().enumerate() {
+            if (k >> j) & 1 == 1 {
+                v = apply(m, v);
+            }
+        }
+        v
+    }
+
+    /// The configuration CRC the device would compute for `variant`,
+    /// given that it differs from `reference` only at the payload word
+    /// indices `words` (sorted ascending, deduplicated; indices whose
+    /// words turn out equal are skipped). Bit-identical to a full
+    /// re-walk of the variant.
+    #[must_use]
+    pub fn value_for(
+        &self,
+        reference: &[u8],
+        variant: &[u8],
+        payload_start: usize,
+        words: &[usize],
+    ) -> u32 {
+        let mut state = 0u32;
+        let mut prev: Option<u64> = None;
+        for &w in words {
+            let at = payload_start + 4 * w;
+            let g = u32::from_be_bytes(reference[at..at + 4].try_into().expect("4 bytes"));
+            let m = u32::from_be_bytes(variant[at..at + 4].try_into().expect("4 bytes"));
+            if g == m {
+                continue;
+            }
+            let u = self.first_payload_update + w as u64;
+            if let Some(p) = prev {
+                state = self.advance(state, u - p);
+            }
+            state ^= word_delta(g ^ m);
+            prev = Some(u);
+        }
+        match prev {
+            None => self.reference_crc,
+            Some(last) => self.reference_crc ^ self.advance(state, self.total_updates - 1 - last),
+        }
+    }
+
+    /// Repairs `variant`'s stored CRC from the byte delta against
+    /// `reference`: computes [`DeltaCrc::value_for`] and writes it at
+    /// the CRC value word.
+    pub fn patch(
+        &self,
+        reference: &[u8],
+        variant: &mut [u8],
+        payload_start: usize,
+        words: &[usize],
+    ) {
+        let value = self.value_for(reference, variant, payload_start, words);
+        variant[self.crc_value_at..self.crc_value_at + 4].copy_from_slice(&value.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameData;
+    use crate::image::BitstreamBuilder;
+
+    fn sample(frames: usize, seed: u64) -> Bitstream {
+        let mut data = FrameData::new(frames);
+        let mut x = seed | 1;
+        for b in data.as_mut_bytes() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        BitstreamBuilder::new(data).build()
+    }
+
+    #[test]
+    fn value_for_matches_full_recompute() {
+        let golden = sample(8, 0x5EED);
+        let payload = golden.fdri_data_range().expect("payload");
+        let delta = DeltaCrc::analyze(&golden, &payload).expect("builder output analyzes");
+
+        // Several edit shapes: single word, adjacent words, first and
+        // last payload words, and a no-op (equal words listed).
+        let word_count = payload.len() / 4;
+        let cases: Vec<Vec<usize>> = vec![
+            vec![0],
+            vec![5, 6],
+            vec![word_count - 1],
+            vec![0, word_count / 2, word_count - 1],
+            vec![3], // listed but left unchanged below for i == 3
+        ];
+        for (case, words) in cases.iter().enumerate() {
+            let mut variant = golden.clone();
+            for &w in words {
+                if case == 4 {
+                    continue; // no-op case: words listed, bytes equal
+                }
+                let at = payload.start + 4 * w;
+                variant.as_mut_bytes()[at] ^= 0xA5;
+                variant.as_mut_bytes()[at + 3] ^= 0x3C;
+            }
+            let fast = delta.value_for(golden.as_bytes(), variant.as_bytes(), payload.start, words);
+            let mut slow = variant.clone();
+            assert!(slow.recompute_crc(), "slow path patches");
+            assert_eq!(delta.stored(slow.as_bytes()), fast, "case {case}");
+
+            let mut patched = variant.clone();
+            delta.patch(golden.as_bytes(), patched.as_mut_bytes(), payload.start, words);
+            assert_eq!(patched.as_bytes(), slow.as_bytes(), "case {case}");
+            assert!(patched.parse().expect("parses").crc_checked, "case {case}");
+        }
+    }
+
+    #[test]
+    fn detects_unlisted_word_changes_as_mismatch() {
+        // A changed word NOT in the list makes value_for disagree with
+        // the device's walk — the property the batch decoder's CRC
+        // check rests on.
+        let golden = sample(4, 0xBAD);
+        let payload = golden.fdri_data_range().expect("payload");
+        let delta = DeltaCrc::analyze(&golden, &payload).expect("analyzes");
+        let mut variant = golden.clone();
+        variant.as_mut_bytes()[payload.start + 40] ^= 0x01;
+        let claimed = delta.value_for(golden.as_bytes(), variant.as_bytes(), payload.start, &[]);
+        assert_eq!(claimed, delta.stored(golden.as_bytes()), "empty list claims reference CRC");
+        assert!(
+            matches!(variant.parse(), Err(crate::image::ParseBitstreamError::CrcMismatch { .. })),
+            "the device rejects the unpatched variant"
+        );
+    }
+}

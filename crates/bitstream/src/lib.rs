@@ -26,6 +26,7 @@
 
 pub mod codec;
 pub mod crc;
+pub mod delta;
 pub mod frame;
 pub mod image;
 pub mod packet;
@@ -33,6 +34,7 @@ pub mod secure;
 pub mod xi;
 
 pub use codec::{LutLocation, SubVectorOrder};
+pub use delta::DeltaCrc;
 pub use frame::{FrameData, FRAME_BYTES, FRAME_WORDS};
 pub use image::{Bitstream, BitstreamBuilder, ConfigData, ParseBitstreamError};
 pub use packet::{CommandCode, Packet, PacketEncodeError, RegisterAddress, SYNC_WORD};

@@ -37,7 +37,7 @@ use snow3g::recover::{recover_key, RecoverKeyError, RecoveredSecret};
 use snow3g::{FaultSpec, FaultySnow3g, Iv, Key};
 
 use crate::candidates::{Catalogue, Role, Shape};
-use crate::edit::{CrcStrategy, EditSession};
+use crate::edit::{CrcStrategy, EditSession, GoldenForge};
 use crate::findlut::{LutHit, ScanConfigError, Scanner};
 use crate::oracle::{KeystreamOracle, OracleError};
 use crate::resilient::{ResilienceConfig, ResilienceError, ResilientOracle, ResilientStats};
@@ -512,6 +512,9 @@ pub struct Attack<'a> {
     payload: Vec<u8>,
     d: usize,
     words: usize,
+    /// Maximum queries issued per oracle batch (1 = serial).
+    batch: usize,
+    forge: GoldenForge,
     catalogue: Catalogue,
     golden_keystream: Vec<u32>,
     checkpoint: AttackCheckpoint,
@@ -597,6 +600,7 @@ impl<'a> Attack<'a> {
         let range = golden.fdri_data_range().ok_or(AttackError::NoFdriPayload)?;
         let payload = golden.as_bytes()[range].to_vec();
         let golden_crc = bitstream::crc::ByteCrc::of(golden.as_bytes());
+        let forge = GoldenForge::new(&golden, d);
         let mut resilient = ResilientOracle::new(oracle, config);
         resilient.set_telemetry(telemetry.clone());
         let mut attack = Self {
@@ -606,6 +610,8 @@ impl<'a> Attack<'a> {
             payload,
             d,
             words: 16,
+            batch: 1,
+            forge,
             catalogue: Catalogue::full(),
             golden_keystream: Vec::new(),
             checkpoint: AttackCheckpoint::new(),
@@ -615,6 +621,22 @@ impl<'a> Attack<'a> {
         attack.golden_keystream = attack.run_oracle(&attack.golden.clone())?;
         attack.checkpoint.golden_keystream = attack.golden_keystream.clone();
         Ok(attack)
+    }
+
+    /// Sets the oracle batch width: phases with a precomputable work
+    /// list (keystream-path verification, feedback hypothesis, pair
+    /// disambiguation) issue up to `batch` queries per oracle call,
+    /// exploiting a batched substrate such as the 64-lane gang
+    /// simulator. `batch ≤ 1` keeps the serial query loop. Batched
+    /// and serial runs recover the same key from identical per-query
+    /// keystreams with identical load accounting (pinned by the
+    /// batch-equivalence tests); batching changes throughput and
+    /// journal write cadence only (one write per batch instead of one
+    /// per item).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 
     /// Installs a telemetry recorder on an already-built attack (the
@@ -706,6 +728,7 @@ impl<'a> Attack<'a> {
         }
         let range = golden.fdri_data_range().ok_or(AttackError::NoFdriPayload)?;
         let payload = golden.as_bytes()[range].to_vec();
+        let forge = GoldenForge::new(&golden, doc.d);
         Ok(Self {
             oracle: ResilientOracle::from_snapshot(oracle, config, &doc.resilient),
             golden,
@@ -713,6 +736,8 @@ impl<'a> Attack<'a> {
             payload,
             d: doc.d,
             words: doc.words,
+            batch: 1,
+            forge,
             catalogue: Catalogue::full(),
             golden_keystream: doc.checkpoint.golden_keystream.clone(),
             checkpoint: doc.checkpoint,
@@ -787,17 +812,22 @@ impl<'a> Attack<'a> {
     /// converted into a checkpointed partial result on the spot, so
     /// they carry whatever was verified up to the failing query.
     fn run_oracle(&mut self, bs: &Bitstream) -> Result<Vec<u32>, AttackError> {
-        match self.oracle.query(bs, self.words) {
-            Ok(z) => Ok(z),
-            Err(
-                e @ (ResilienceError::BudgetExhausted { .. }
-                | ResilienceError::DeadlineExceeded { .. }),
-            ) => {
+        self.oracle.query(bs, self.words).map_err(|e| self.attack_error(e))
+    }
+
+    /// Converts a resilience-layer failure into an attack error,
+    /// snapshotting the checkpoint for budget/deadline exhaustion.
+    /// The caller must have `checkpoint.cursor` pointing at the work
+    /// item whose query failed (matching where a serial run stops).
+    fn attack_error(&self, e: ResilienceError) -> AttackError {
+        match e {
+            e @ (ResilienceError::BudgetExhausted { .. }
+            | ResilienceError::DeadlineExceeded { .. }) => {
                 let mut checkpoint = self.checkpoint.clone();
                 checkpoint.oracle_attempts = self.oracle.stats().attempts;
-                Err(AttackError::Exhausted { checkpoint: Box::new(checkpoint), source: e })
+                AttackError::Exhausted { checkpoint: Box::new(checkpoint), source: e }
             }
-            Err(e) => Err(e.into()),
+            e => e.into(),
         }
     }
 
@@ -995,6 +1025,9 @@ impl<'a> Attack<'a> {
         candidates: &[LutHit],
         count_dead: bool,
     ) -> Result<(), AttackError> {
+        if self.batch > 1 {
+            return self.verify_z_path_batched(candidates, count_dead);
+        }
         while self.checkpoint.cursor < candidates.len() {
             let hit = candidates[self.checkpoint.cursor].clone();
             // Two valid LUTs cannot overlap in a bitstream
@@ -1005,7 +1038,7 @@ impl<'a> Attack<'a> {
                 self.checkpoint.cursor += 1;
                 continue;
             }
-            let mut session = EditSession::new(&self.golden, self.d);
+            let mut session = self.forge.session();
             session.write_function(&hit, TruthTable::zero(6));
             let bs = session.finish(CrcStrategy::Recompute);
             let z = self.run_oracle(&bs)?;
@@ -1021,6 +1054,97 @@ impl<'a> Attack<'a> {
             self.save_journal()?;
         }
         Ok(())
+    }
+
+    /// Batched phase 2: same verdicts as the serial loop, issued up
+    /// to `self.batch` queries per oracle call.
+    ///
+    /// Correctness of the greedy batch grouping: a candidate's *skip*
+    /// decision depends only on overlap with LUTs verified before it.
+    /// Within a batch, members are mutually non-overlapping (the
+    /// batch closes at the first candidate touching a pending
+    /// member's bytes), so no member's verification can change
+    /// another member's skip status — the decisions computed up front
+    /// equal the serial ones. Candidates overlapping an
+    /// already-verified LUT are consumed as skips without a query,
+    /// exactly as in the serial loop.
+    fn verify_z_path_batched(
+        &mut self,
+        candidates: &[LutHit],
+        count_dead: bool,
+    ) -> Result<(), AttackError> {
+        while self.checkpoint.cursor < candidates.len() {
+            let (queries, end) = self.plan_batch(candidates.len(), |this, j| {
+                let loc = candidates[j].location(this.d);
+                if this.checkpoint.z_luts.iter().any(|z| loc.overlaps(&z.hit.location(this.d))) {
+                    BatchSlot::Skip
+                } else {
+                    BatchSlot::Query(loc)
+                }
+            });
+            if queries.is_empty() {
+                self.checkpoint.cursor = end;
+                continue;
+            }
+            let bss: Vec<Bitstream> = queries
+                .iter()
+                .map(|&j| {
+                    let mut session = self.forge.session();
+                    session.write_function(&candidates[j], TruthTable::zero(6));
+                    session.finish(CrcStrategy::Recompute)
+                })
+                .collect();
+            let results = self.oracle.query_batch(&bss, self.words);
+            for (&j, result) in queries.iter().zip(results) {
+                self.checkpoint.cursor = j;
+                let z = result.map_err(|e| self.attack_error(e))?;
+                let hit = candidates[j].clone();
+                match stuck_bit(&z, &self.golden_keystream) {
+                    Some(bit) => self.checkpoint.z_luts.push(ZPathLut { hit, bit, pair: None }),
+                    None => {
+                        if count_dead && z == self.golden_keystream {
+                            self.checkpoint.dead_candidates += 1;
+                        }
+                    }
+                }
+            }
+            self.checkpoint.cursor = end;
+            self.save_journal()?;
+        }
+        Ok(())
+    }
+
+    /// Greedy overlap-safe batch planner shared by the batched
+    /// phases. Starting at the checkpoint cursor, classifies items
+    /// via `classify` (which must depend only on state preceding the
+    /// batch): skips are consumed inline, queries accumulate up to
+    /// `self.batch` members, and the batch closes early at the first
+    /// item whose bytes overlap a pending member — its outcome could
+    /// depend on that member's verdict, so it belongs to the next
+    /// batch. Returns the item indices to query and the cursor value
+    /// after the batch.
+    fn plan_batch(
+        &self,
+        len: usize,
+        classify: impl Fn(&Self, usize) -> BatchSlot,
+    ) -> (Vec<usize>, usize) {
+        let mut queries: Vec<usize> = Vec::new();
+        let mut pending: Vec<bitstream::LutLocation> = Vec::new();
+        let mut j = self.checkpoint.cursor;
+        while j < len && queries.len() < self.batch {
+            match classify(self, j) {
+                BatchSlot::Skip => {}
+                BatchSlot::Query(loc) => {
+                    if pending.iter().any(|p| loc.overlaps(p)) {
+                        break;
+                    }
+                    queries.push(j);
+                    pending.push(loc);
+                }
+            }
+            j += 1;
+        }
+        (queries, j)
     }
 
     /// Phase 3: collect feedback-shape hits, pruning overlaps and
@@ -1040,6 +1164,9 @@ impl<'a> Attack<'a> {
                 items.push((shape.name, hit));
             }
         }
+        if self.batch > 1 {
+            return self.feedback_hypothesis_batched(&items, lattice);
+        }
         while self.checkpoint.cursor < items.len() {
             let (name, hit) = items[self.checkpoint.cursor].clone();
             let loc = hit.location(self.d);
@@ -1056,7 +1183,7 @@ impl<'a> Attack<'a> {
             }
             // Dead-byte pruning: a modification that does not change
             // the keystream hit filler bits.
-            let mut session = EditSession::new(&self.golden, self.d);
+            let mut session = self.forge.session();
             session.write_function(&hit, TruthTable::zero(6));
             let bs = session.finish(CrcStrategy::Recompute);
             let z = self.run_oracle(&bs)?;
@@ -1071,10 +1198,65 @@ impl<'a> Attack<'a> {
         Ok(())
     }
 
+    /// Batched phase 3: same verdicts as the serial loop (see
+    /// [`Attack::verify_z_path_batched`] for the grouping argument —
+    /// here the dynamic pruning state is `feedback_luts`, which also
+    /// only grows by batch members' own locations).
+    fn feedback_hypothesis_batched(
+        &mut self,
+        items: &[(&'static str, LutHit)],
+        lattice: &SiteLattice,
+    ) -> Result<(), AttackError> {
+        while self.checkpoint.cursor < items.len() {
+            let (queries, end) = self.plan_batch(items.len(), |this, j| {
+                let hit = &items[j].1;
+                let loc = hit.location(this.d);
+                if !lattice.accepts_hit(hit)
+                    || this.checkpoint.z_luts.iter().any(|z| loc.overlaps(&z.hit.location(this.d)))
+                    || this
+                        .checkpoint
+                        .feedback_luts
+                        .iter()
+                        .any(|f| loc.overlaps(&f.hit.location(this.d)))
+                {
+                    BatchSlot::Skip
+                } else {
+                    BatchSlot::Query(loc)
+                }
+            });
+            if queries.is_empty() {
+                self.checkpoint.cursor = end;
+                continue;
+            }
+            let bss: Vec<Bitstream> = queries
+                .iter()
+                .map(|&j| {
+                    let mut session = self.forge.session();
+                    session.write_function(&items[j].1, TruthTable::zero(6));
+                    session.finish(CrcStrategy::Recompute)
+                })
+                .collect();
+            let results = self.oracle.query_batch(&bss, self.words);
+            for (&j, result) in queries.iter().zip(results) {
+                self.checkpoint.cursor = j;
+                let z = result.map_err(|e| self.attack_error(e))?;
+                let (name, hit) = items[j].clone();
+                if z == self.golden_keystream {
+                    self.checkpoint.dead_candidates += 1;
+                } else {
+                    self.checkpoint.feedback_luts.push(FeedbackLut { shape: name, hit });
+                }
+            }
+            self.checkpoint.cursor = end;
+            self.save_journal()?;
+        }
+        Ok(())
+    }
+
     /// Builds the β + α₁ bitstream for a feedback-LUT subset, using
     /// the journalled load-mux halves (Section VI-D).
     fn build_keyindep(&self, feedback: &[FeedbackLut], m1b_hits: &[LutHit]) -> Bitstream {
-        let mut session = EditSession::new(&self.golden, self.d);
+        let mut session = self.forge.session();
         for f in feedback {
             let shape = self.catalogue.shape(f.shape).expect("catalogue shape");
             if let Some(ki) = shape.keyindep {
@@ -1101,11 +1283,21 @@ impl<'a> Attack<'a> {
     /// checkpoint cursor.
     fn find_load_mux_halves(&mut self, lattice: &SiteLattice) -> Result<(), AttackError> {
         // Scan for LUTs with an OR-of-two-pins half, on the site
-        // lattice learned from the verified LUTs.
+        // lattice learned from the verified LUTs. The lattice is a
+        // pure position test, so applying it as a scan prefilter
+        // skips the expensive sub-vector decode at off-lattice
+        // positions; the serial loop's `accepts_hit` check below
+        // still rejects hits whose *order* contradicts the lattice.
         let scanner = Scanner::builder().stride(self.d).build()?;
-        let raw = scanner.scan_halves(&self.payload, 0..self.payload.len(), |o5, o6| {
-            or_pair(o5).is_some() || or_pair(o6).is_some()
-        });
+        let raw = scanner.scan_halves_where(
+            &self.payload,
+            0..self.payload.len(),
+            |l| lattice.accepts(l),
+            |o5, o6| or_pair(o5).is_some() || or_pair(o6).is_some(),
+        );
+        if self.batch > 1 && self.oracle.batching_transparent() {
+            return self.find_load_mux_halves_batched(lattice, &raw);
+        }
         while self.checkpoint.cursor < raw.len() {
             let hit = raw[self.checkpoint.cursor].clone();
             let loc = hit.location(self.d);
@@ -1140,7 +1332,7 @@ impl<'a> Attack<'a> {
                 // when every shift-in is still at its power-up
                 // value 0).
                 queried = true;
-                let mut session = EditSession::new(&self.golden, self.d);
+                let mut session = self.forge.session();
                 let xor = TruthTable::var(5, p).xor(TruthTable::var(5, q));
                 session.write_half(&hit, half, xor);
                 let z = self.run_oracle(&session.finish(CrcStrategy::Recompute))?;
@@ -1149,7 +1341,7 @@ impl<'a> Attack<'a> {
                 }
                 // Liveness: forcing the half to 0 must disturb the
                 // keystream, otherwise these are dead filler bytes.
-                let mut session = EditSession::new(&self.golden, self.d);
+                let mut session = self.forge.session();
                 session.write_half(&hit, half, TruthTable::zero(5));
                 let z = self.run_oracle(&session.finish(CrcStrategy::Recompute))?;
                 if z == self.golden_keystream {
@@ -1164,6 +1356,226 @@ impl<'a> Attack<'a> {
             self.checkpoint.mux_halves.extend(found);
             self.checkpoint.cursor += 1;
             if queried {
+                self.save_journal()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched load-mux scan: drives each hit's sequential decision
+    /// chain (XOR null test → zero liveness test, per half) as a
+    /// rolling wavefront — every round batches each in-flight hit's
+    /// *next* query into one oracle call, and finished hits free
+    /// their lane for the next pending hit immediately.
+    ///
+    /// Unlike the other batched phases this reorders queries relative
+    /// to the serial loop (hit A's second query rides alongside hit
+    /// B's first), so it is only taken when the oracle is order-free
+    /// — [`ResilientOracle::batching_transparent`] — and noisy
+    /// configurations keep the serial path and its exact fault trace.
+    /// The query *set* is unchanged: every hit runs the same chain
+    /// with the same verdicts as the serial loop, because
+    ///
+    /// - the accept/reject filter reads only state this phase never
+    ///   writes (the lattice, `z_luts`, `feedback_luts`), so it is
+    ///   static and precomputable, and
+    /// - the only cross-hit dependency — the duplicate-claim skip,
+    ///   which compares byte offsets `l` — is confined to same-`l`
+    ///   hits, and a hit is admitted only once every earlier same-`l`
+    ///   hit has finished (later different-`l` hits may overtake it).
+    ///
+    /// Verdicts commit to the checkpoint strictly in serial hit
+    /// order; a mid-flight oracle error rewinds the cursor to the
+    /// first uncommitted hit so a resumed run redoes everything past
+    /// the committed prefix.
+    fn find_load_mux_halves_batched(
+        &mut self,
+        lattice: &SiteLattice,
+        raw: &[LutHit],
+    ) -> Result<(), AttackError> {
+        // The static accept filter, applied once up front.
+        let accepted: Vec<usize> = (self.checkpoint.cursor..raw.len())
+            .filter(|&j| {
+                let hit = &raw[j];
+                let loc = hit.location(self.d);
+                lattice.accepts_hit(hit)
+                    && !self.checkpoint.z_luts.iter().any(|z| loc.overlaps(&z.hit.location(self.d)))
+                    && !self
+                        .checkpoint
+                        .feedback_luts
+                        .iter()
+                        .any(|f| loc.overlaps(&f.hit.location(self.d)))
+            })
+            .collect();
+        if accepted.is_empty() {
+            self.checkpoint.cursor = raw.len();
+            return Ok(());
+        }
+
+        // Per-hit state machine, identical to one serial loop body.
+        // `half` and `stage` name the next query to issue; `pos`
+        // indexes `accepted`.
+        enum Stage {
+            Xor,
+            Zero,
+        }
+        struct HitState {
+            pos: usize,
+            half: u8,
+            pins: (u8, u8),
+            stage: Stage,
+            found: Vec<LoadMuxHalf>,
+            dead: bool,
+            done: bool,
+        }
+        // (half, l) pairs already claimed — the serial loop's
+        // duplicate-view check against `checkpoint.mux_halves`,
+        // extended as hits finish. A same-`l` successor is admitted
+        // only after its predecessors finished, so its claim check
+        // reads exactly the mid-serial-walk state.
+        let mut claimed: Vec<(u8, usize)> =
+            self.checkpoint.mux_halves.iter().map(|h| (h.half, h.hit.l)).collect();
+        let advance = |claimed: &[(u8, usize)], state: &mut HitState, from: u8| {
+            let hit = &raw[accepted[state.pos]];
+            let halves = [hit.init.o5(), hit.init.o6_fractured()];
+            for half in from..2u8 {
+                let Some((p, q)) = or_pair(halves[half as usize]) else { continue };
+                if claimed.contains(&(half, hit.l)) {
+                    continue;
+                }
+                state.half = half;
+                state.pins = (p, q);
+                state.stage = Stage::Xor;
+                return;
+            }
+            state.done = true;
+        };
+
+        let mut pending: Vec<usize> = (0..accepted.len()).collect();
+        let mut inflight: Vec<HitState> = Vec::new();
+        let mut completed: Vec<Option<HitState>> = (0..accepted.len()).map(|_| None).collect();
+        let mut frontier = 0usize;
+        while frontier < accepted.len() {
+            // Admit pending hits into free lanes, in order; a hit
+            // sharing `l` with an unfinished predecessor holds that
+            // `l` — and every later same-`l` hit — back while
+            // different-`l` hits may overtake it.
+            let mut busy: Vec<usize> = inflight.iter().map(|s| raw[accepted[s.pos]].l).collect();
+            let mut rest: Vec<usize> = Vec::new();
+            for &pos in &pending {
+                let l = raw[accepted[pos]].l;
+                if inflight.len() >= self.batch || busy.contains(&l) {
+                    busy.push(l);
+                    rest.push(pos);
+                    continue;
+                }
+                busy.push(l);
+                let mut state = HitState {
+                    pos,
+                    half: 0,
+                    pins: (0, 0),
+                    stage: Stage::Xor,
+                    found: Vec::new(),
+                    dead: false,
+                    done: false,
+                };
+                advance(&claimed, &mut state, 0);
+                if state.done {
+                    // No queryable half: finished without a lane.
+                    completed[pos] = Some(state);
+                } else {
+                    inflight.push(state);
+                }
+            }
+            pending = rest;
+
+            // One oracle call carrying every in-flight hit's next
+            // query.
+            if !inflight.is_empty() {
+                let bss: Vec<Bitstream> = inflight
+                    .iter()
+                    .map(|state| {
+                        let (p, q) = state.pins;
+                        let table = match state.stage {
+                            Stage::Xor => TruthTable::var(5, p).xor(TruthTable::var(5, q)),
+                            Stage::Zero => TruthTable::zero(5),
+                        };
+                        let mut session = self.forge.session();
+                        session.write_half(&raw[accepted[state.pos]], state.half, table);
+                        session.finish(CrcStrategy::Recompute)
+                    })
+                    .collect();
+                let results = self.oracle.query_batch(&bss, self.words);
+                for (state, result) in inflight.iter_mut().zip(results) {
+                    let z = match result {
+                        Ok(z) => z,
+                        Err(e) => {
+                            // Rewind to the first uncommitted hit so
+                            // a resumed run redoes everything past
+                            // the committed prefix.
+                            self.checkpoint.cursor = accepted[frontier];
+                            return Err(self.attack_error(e));
+                        }
+                    };
+                    let half = state.half;
+                    match state.stage {
+                        Stage::Xor => {
+                            if z != self.golden_keystream {
+                                // A real OR gate elsewhere in the
+                                // design: try the other half.
+                                advance(&claimed, state, half + 1);
+                            } else {
+                                state.stage = Stage::Zero;
+                            }
+                        }
+                        Stage::Zero => {
+                            if z == self.golden_keystream {
+                                // Dead filler: skip the hit's
+                                // remaining half.
+                                state.dead = true;
+                                state.done = true;
+                            } else {
+                                let hit = raw[accepted[state.pos]].clone();
+                                state.found.push(LoadMuxHalf { hit, half, pins: state.pins });
+                                advance(&claimed, state, half + 1);
+                            }
+                        }
+                    }
+                }
+                // Retire finished hits: their claims become visible
+                // to same-`l` successors before any can be admitted.
+                let mut i = 0;
+                while i < inflight.len() {
+                    if inflight[i].done {
+                        let state = inflight.swap_remove(i);
+                        for h in &state.found {
+                            claimed.push((h.half, h.hit.l));
+                        }
+                        let pos = state.pos;
+                        completed[pos] = Some(state);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // Commit the finished prefix in serial hit order, then
+            // persist once per round.
+            let mut committed_any = false;
+            while let Some(slot) = completed.get_mut(frontier) {
+                let Some(state) = slot.take() else { break };
+                if state.dead {
+                    self.checkpoint.dead_candidates += 1;
+                }
+                self.checkpoint.mux_halves.extend(state.found);
+                self.checkpoint.cursor = accepted[frontier] + 1;
+                frontier += 1;
+                committed_any = true;
+            }
+            if frontier == accepted.len() {
+                self.checkpoint.cursor = raw.len();
+            }
+            if committed_any {
                 self.save_journal()?;
             }
         }
@@ -1231,15 +1643,36 @@ impl<'a> Attack<'a> {
     /// variants it has not yet seen.
     fn disambiguate_pairs(&mut self, keyindep: &Bitstream) -> Result<(), AttackError> {
         let f2 = self.catalogue.shape("f2").expect("f2 shape").clone();
-        while self.checkpoint.cursor < 2 {
-            let variant = &f2.variants[self.checkpoint.cursor];
-            let bs = {
-                let mut session = EditSession::new(keyindep, self.d);
-                for z in &self.checkpoint.z_luts {
-                    session.write_function(&z.hit, variant.faulted);
+        let variant_bs = |this: &Self, variant: &crate::candidates::PairVariant| {
+            let mut session = EditSession::new(keyindep, this.d);
+            for z in &this.checkpoint.z_luts {
+                session.write_function(&z.hit, variant.faulted);
+            }
+            session.finish(CrcStrategy::Recompute)
+        };
+        // Both variant bitstreams derive from the same static inputs
+        // (the key-independent image and the verified LUT list), so
+        // from a fresh phase they batch as one two-query oracle call.
+        // A mid-phase resume (cursor 1) queries the remainder
+        // serially below.
+        if self.batch > 1 && self.checkpoint.cursor == 0 {
+            let bss: Vec<Bitstream> =
+                f2.variants[..2].iter().map(|v| variant_bs(self, v)).collect();
+            let results = self.oracle.query_batch(&bss, self.words);
+            for (j, result) in results.into_iter().enumerate() {
+                self.checkpoint.cursor = j;
+                let zs = result.map_err(|e| self.attack_error(e))?;
+                let mut mask = u32::MAX;
+                for w in &zs {
+                    mask &= !w;
                 }
-                session.finish(CrcStrategy::Recompute)
-            };
+                self.checkpoint.stuck_masks.push(mask); // bit set ⇒ all-0
+            }
+            self.checkpoint.cursor = 2;
+            self.save_journal()?;
+        }
+        while self.checkpoint.cursor < 2 {
+            let bs = variant_bs(self, &f2.variants[self.checkpoint.cursor]);
             let zs = self.run_oracle(&bs)?;
             let mut mask = u32::MAX;
             for w in &zs {
@@ -1272,7 +1705,7 @@ impl<'a> Attack<'a> {
     fn extract(&mut self) -> Result<(Bitstream, Vec<u32>), AttackError> {
         let f2 = self.catalogue.shape("f2").expect("f2 shape").clone();
         let bs = {
-            let mut session = EditSession::new(&self.golden, self.d);
+            let mut session = self.forge.session();
             for z in &self.checkpoint.z_luts {
                 let pair = z.pair.ok_or(AttackError::PairUnresolved { bit: z.bit })?;
                 let variant = f2
@@ -1293,6 +1726,16 @@ impl<'a> Attack<'a> {
         let z = self.run_oracle(&bs)?;
         Ok((bs, z))
     }
+}
+
+/// How the batch planner treats one work item.
+enum BatchSlot {
+    /// Consumed without an oracle query (pruned by the overlap or
+    /// lattice rules against pre-batch state).
+    Skip,
+    /// Queried; carries the bytes the edit touches, for closing the
+    /// batch before any intra-batch overlap.
+    Query(bitstream::LutLocation),
 }
 
 /// Enumerates all `k`-element subsets of `0..n` (ascending index

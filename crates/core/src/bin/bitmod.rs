@@ -9,7 +9,7 @@
 //! bitmod diff    <file> <other-file>
 //! bitmod attack  [--noisy] [--seed N] [--glitch P] [--load-fail P]
 //!                [--votes N] [--budget N] [--stride N]
-//!                [--journal PATH] [--resume] [--trace PATH]
+//!                [--journal PATH] [--resume] [--trace PATH] [--batch]
 //! ```
 //!
 //! `attack` builds the simulated SNOW 3G victim board (ETSI Test
@@ -26,7 +26,11 @@
 //! telemetry events (NDJSON, one object per line: phase spans, oracle
 //! queries, journal writes, board fault accounting) to the given path
 //! and appends a summary table — recording is inert, so the traced
-//! run is bit-identical to an untraced one.
+//! run is bit-identical to an untraced one. With `--batch` the attack
+//! issues up to 64 oracle queries per call, evaluated bit-parallel by
+//! the 64-lane gang simulator: the recovered key, per-query
+//! keystreams and load accounting are identical to a serial run, only
+//! faster.
 //!
 //! Functions are catalogue names (`f2`, `m0b`, ...) or formulas over
 //! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`. With `--json`, `findlut`
@@ -57,6 +61,7 @@ fn run_attack(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
             "--resume" => opts.resume = true,
             "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a path")?.into()),
+            "--batch" => opts.batch = true,
             flag => return Err(format!("unknown attack option '{flag}'").into()),
         }
     }

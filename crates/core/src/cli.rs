@@ -339,6 +339,11 @@ pub struct AttackOptions {
     /// Stream telemetry events (NDJSON, one object per line) to this
     /// path and append the end-of-run summary table to the output.
     pub trace: Option<std::path::PathBuf>,
+    /// Issue batched oracle queries (up to 64 per call, matching the
+    /// gang simulator's lane count) in the phases with precomputable
+    /// work lists. The recovered key, per-query keystreams and load
+    /// accounting are identical to a serial run.
+    pub batch: bool,
 }
 
 impl Default for AttackOptions {
@@ -354,6 +359,7 @@ impl Default for AttackOptions {
             journal: None,
             resume: false,
             trace: None,
+            batch: false,
         }
     }
 }
@@ -447,6 +453,12 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
             attack = attack.with_journal(crate::journal::AttackJournal::new(path))?;
             let _ = writeln!(out, "journalling to {}", path.display());
         }
+        attack
+    };
+    let attack = if opts.batch {
+        let _ = writeln!(out, "batched oracle: up to {} queries per pass", fpga_sim::GANG_LANES);
+        attack.with_batch(fpga_sim::GANG_LANES)
+    } else {
         attack
     };
 

@@ -6,10 +6,25 @@
 //! meaning. After editing, the configuration CRC is repaired —
 //! either recomputed, or disabled by zeroing the CRC packet as in
 //! Section V-B of the paper.
+//!
+//! Two session types share that contract. [`EditSession`] is the
+//! straightforward one: clone, edit, re-walk the whole packet stream
+//! to recompute the CRC. [`GoldenForge`] + [`ForgeSession`] is the
+//! candidate fast path for attacks that forge thousands of one-LUT
+//! variants of the *same* golden image: the forge walks the golden
+//! stream once, caches where the CRC lives and how many register
+//! writes feed it, and then repairs each candidate's CRC from the
+//! byte *delta* alone. The configuration CRC is a linear feedback
+//! shift register, hence linear over GF(2) in (state, fed bits):
+//! `crc(golden ⊕ δ) = crc(golden) ⊕ L(δ)`, where `L` advances a
+//! 32-bit delta state through precomputed powers of the one-update
+//! transition matrix. A candidate edit costs one image clone plus
+//! O(edited words × log stream) XORs instead of a full re-walk —
+//! byte-identical to the slow path, which the test suite pins.
 
 use boolfn::{DualOutputInit, Permutation, TruthTable};
 
-use bitstream::{codec, Bitstream};
+use bitstream::{codec, Bitstream, DeltaCrc};
 
 use crate::findlut::LutHit;
 
@@ -99,6 +114,151 @@ impl EditSession {
                 let ok = self.bitstream.recompute_crc();
                 debug_assert!(ok, "bitstream had a CRC packet to patch");
             }
+            CrcStrategy::Disable => {
+                self.bitstream.disable_crc();
+            }
+        }
+        self.bitstream
+    }
+}
+
+/// A cached analysis of one golden bitstream, from which thousands of
+/// one-LUT candidate variants can be forged without re-walking the
+/// packet stream per candidate.
+///
+/// Construction performs a single [`Bitstream::recompute_crc`]-shaped
+/// walk; each [`GoldenForge::session`] then clones the golden bytes
+/// and repairs the CRC incrementally from the edit delta (see the
+/// module docs for the linearity argument). On any stream structure
+/// the delta model does not cover, sessions transparently fall back
+/// to the slow full re-walk — output bytes are identical either way.
+#[derive(Debug, Clone)]
+pub struct GoldenForge {
+    golden: Bitstream,
+    data_start: usize,
+    d: usize,
+    delta: Option<DeltaCrc>,
+}
+
+impl GoldenForge {
+    /// Analyzes `bitstream` once for fast candidate forging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitstream has no FDRI payload (same contract as
+    /// [`EditSession::new`]).
+    #[must_use]
+    pub fn new(bitstream: &Bitstream, d: usize) -> Self {
+        let range = bitstream.fdri_data_range().expect("bitstream has an FDRI payload");
+        let delta = DeltaCrc::analyze(bitstream, &range);
+        Self { golden: bitstream.clone(), data_start: range.start, d, delta }
+    }
+
+    /// The golden bitstream this forge derives candidates from.
+    #[must_use]
+    pub fn golden(&self) -> &Bitstream {
+        &self.golden
+    }
+
+    /// The payload-relative base offset used by search hits.
+    #[must_use]
+    pub fn data_start(&self) -> usize {
+        self.data_start
+    }
+
+    /// Whether the delta fast path is active (`false` means every
+    /// session falls back to the full CRC re-walk).
+    #[must_use]
+    pub fn is_fast(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Starts forging one candidate: a fresh copy of the golden image
+    /// with the same write API as [`EditSession`].
+    #[must_use]
+    pub fn session(&self) -> ForgeSession<'_> {
+        ForgeSession { forge: self, bitstream: self.golden.clone(), touched: Vec::new() }
+    }
+}
+
+/// One candidate being forged from a [`GoldenForge`]. Mirrors the
+/// [`EditSession`] API; [`ForgeSession::finish`] repairs the CRC from
+/// the accumulated edit delta instead of re-walking the stream.
+#[derive(Debug)]
+pub struct ForgeSession<'f> {
+    forge: &'f GoldenForge,
+    bitstream: Bitstream,
+    /// Payload word indices the edits may have altered.
+    touched: Vec<usize>,
+}
+
+impl ForgeSession<'_> {
+    /// Writes `function` (a 6-variable table) at `hit`, permuted the
+    /// same way the original content was stored.
+    pub fn write_function(&mut self, hit: &LutHit, function: TruthTable) {
+        let stored = function.extend(6).permute(&extend_perm(&hit.perm));
+        self.write_init(hit, DualOutputInit::from_single(stored));
+    }
+
+    /// Writes a raw INIT value at `hit`.
+    pub fn write_init(&mut self, hit: &LutHit, init: DualOutputInit) {
+        let loc = hit.location(self.forge.d);
+        for j in 0..4 {
+            let b = loc.l + j * loc.d;
+            self.touched.push(b / 4);
+            self.touched.push((b + 1) / 4);
+        }
+        let data = &mut self.bitstream.as_mut_bytes()[self.forge.data_start..];
+        codec::write_lut(data, loc, init);
+    }
+
+    /// Replaces a single half of the INIT at `hit`: `half` 0 is the
+    /// `O5` (low) half, 1 the `O6` (high) half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is not 0 or 1.
+    pub fn write_half(&mut self, hit: &LutHit, half: u8, function: TruthTable) {
+        assert!(half < 2, "half must be 0 (O5) or 1 (O6)");
+        let current = self.read_init(hit);
+        let bits = function.extend(5).bits() & 0xffff_ffff;
+        let new = if half == 0 {
+            (current.init() & 0xffff_ffff_0000_0000) | bits
+        } else {
+            (current.init() & 0x0000_0000_ffff_ffff) | (bits << 32)
+        };
+        self.write_init(hit, DualOutputInit::new(new));
+    }
+
+    /// Reads the INIT currently stored at `hit`.
+    #[must_use]
+    pub fn read_init(&self, hit: &LutHit) -> DualOutputInit {
+        let data = &self.bitstream.as_bytes()[self.forge.data_start..];
+        codec::read_lut(data, hit.location(self.forge.d))
+    }
+
+    /// Finalizes the candidate, repairing the CRC. Byte-identical to
+    /// [`EditSession::finish`] on the same sequence of writes.
+    #[must_use]
+    pub fn finish(mut self, crc: CrcStrategy) -> Bitstream {
+        match crc {
+            CrcStrategy::Recompute => match &self.forge.delta {
+                Some(delta) => {
+                    let mut words = core::mem::take(&mut self.touched);
+                    words.sort_unstable();
+                    words.dedup();
+                    delta.patch(
+                        self.forge.golden.as_bytes(),
+                        self.bitstream.as_mut_bytes(),
+                        self.forge.data_start,
+                        &words,
+                    );
+                }
+                None => {
+                    let ok = self.bitstream.recompute_crc();
+                    debug_assert!(ok, "bitstream had a CRC packet to patch");
+                }
+            },
             CrcStrategy::Disable => {
                 self.bitstream.disable_crc();
             }
@@ -226,5 +386,83 @@ mod tests {
         let got = session.read_init(&hit);
         assert_eq!(got.o5(), repl);
         assert_eq!(got.o6_fractured(), b, "O6 half untouched");
+    }
+
+    /// A raw hit addressing byte `l` directly (identity permutation).
+    fn raw_hit(l: usize, order: SubVectorOrder) -> LutHit {
+        LutHit { l, order, perm: Permutation::identity(6), init: DualOutputInit::new(0) }
+    }
+
+    #[test]
+    fn forge_single_write_matches_slow_path() {
+        let f2 = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6)).truth_table(6);
+        let bs = sample_bitstream_with(f2, 64);
+        let range = bs.fdri_data_range().unwrap();
+        let hits = find_lut(&bs.as_bytes()[range], f2);
+        let hit = hits.iter().find(|h| h.l == 64).expect("hit at plant");
+
+        let forge = GoldenForge::new(&bs, FRAME_BYTES);
+        assert!(forge.is_fast(), "builder output takes the delta path");
+
+        let mut slow = EditSession::new(&bs, FRAME_BYTES);
+        slow.write_function(hit, TruthTable::zero(6));
+        let want = slow.finish(CrcStrategy::Recompute);
+
+        let mut fast = forge.session();
+        fast.write_function(hit, TruthTable::zero(6));
+        let got = fast.finish(CrcStrategy::Recompute);
+
+        assert_eq!(got.as_bytes(), want.as_bytes(), "forge must be byte-identical");
+        assert!(got.parse().expect("parses").crc_checked);
+    }
+
+    #[test]
+    fn forge_multi_write_and_half_write_match_slow_path() {
+        let f2 = ((var(1) ^ var(2) ^ var(3)) & var(4) & var(5) & !var(6)).truth_table(6);
+        let bs = sample_bitstream_with(f2, 64);
+        let a = raw_hit(64, SubVectorOrder::SliceL);
+        let b = raw_hit(301, SubVectorOrder::SliceM);
+        let half = (!var(1) & var(2)).truth_table(5);
+
+        let mut slow = EditSession::new(&bs, FRAME_BYTES);
+        slow.write_init(&a, DualOutputInit::new(0xDEAD_BEEF_0BAD_F00D));
+        slow.write_init(&b, DualOutputInit::new(0x0123_4567_89AB_CDEF));
+        slow.write_half(&b, 1, half);
+        let want = slow.finish(CrcStrategy::Recompute);
+
+        let forge = GoldenForge::new(&bs, FRAME_BYTES);
+        let mut fast = forge.session();
+        fast.write_init(&a, DualOutputInit::new(0xDEAD_BEEF_0BAD_F00D));
+        fast.write_init(&b, DualOutputInit::new(0x0123_4567_89AB_CDEF));
+        fast.write_half(&b, 1, half);
+        assert_eq!(fast.read_init(&b).o6_fractured(), half);
+        let got = fast.finish(CrcStrategy::Recompute);
+
+        assert_eq!(got.as_bytes(), want.as_bytes());
+        assert!(got.parse().expect("parses").crc_checked);
+    }
+
+    #[test]
+    fn forge_disable_and_no_op_match_slow_path() {
+        let f = (var(1) & var(2)).truth_table(6);
+        let bs = sample_bitstream_with(f, 0);
+        let forge = GoldenForge::new(&bs, FRAME_BYTES);
+
+        // Untouched candidate: both paths just re-store the computed
+        // CRC.
+        let want = EditSession::new(&bs, FRAME_BYTES).finish(CrcStrategy::Recompute);
+        let got = forge.session().finish(CrcStrategy::Recompute);
+        assert_eq!(got.as_bytes(), want.as_bytes());
+
+        // Disable delegates to the same zeroing walk.
+        let hit = raw_hit(0, SubVectorOrder::SliceL);
+        let mut slow = EditSession::new(&bs, FRAME_BYTES);
+        slow.write_function(&hit, TruthTable::one(6));
+        let want = slow.finish(CrcStrategy::Disable);
+        let mut fast = forge.session();
+        fast.write_function(&hit, TruthTable::one(6));
+        let got = fast.finish(CrcStrategy::Disable);
+        assert_eq!(got.as_bytes(), want.as_bytes());
+        assert!(!got.parse().expect("parses").crc_checked);
     }
 }

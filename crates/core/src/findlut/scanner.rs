@@ -265,6 +265,30 @@ impl Scanner {
     where
         P: Fn(TruthTable, TruthTable) -> bool + Sync,
     {
+        self.scan_halves_where(data, range, |_| true, predicate)
+    }
+
+    /// [`scan_halves`](Self::scan_halves) with a byte-position
+    /// prefilter: positions rejected by `pos_filter` are skipped
+    /// *before* the stored sub-vectors are decoded. Decoding and
+    /// half-table extraction dominate the scan, so a cheap structural
+    /// filter (e.g. [`SiteLattice::accepts`]) turns a full-payload
+    /// walk into a sparse one while returning exactly the
+    /// `pos_filter`-accepted subset of the unfiltered hit list.
+    ///
+    /// [`SiteLattice::accepts`]: crate::attack::SiteLattice::accepts
+    #[must_use]
+    pub fn scan_halves_where<F, P>(
+        &self,
+        data: &[u8],
+        range: Range<usize>,
+        pos_filter: F,
+        predicate: P,
+    ) -> Vec<LutHit>
+    where
+        F: Fn(usize) -> bool + Sync,
+        P: Fn(TruthTable, TruthTable) -> bool + Sync,
+    {
         let Some(last) = self.last_pos(data.len()) else { return Vec::new() };
         let last = last.min(range.end.saturating_sub(1));
         if range.start > last {
@@ -272,6 +296,9 @@ impl Scanner {
         }
         self.chunked(data, range.start..last + 1, |r, out: &mut Vec<LutHit>| {
             for l in r {
+                if !pos_filter(l) {
+                    continue;
+                }
                 for order in SubVectorOrder::both() {
                     let init = codec::decode(stored_at(data, l, self.d), order);
                     if predicate(init.o5(), init.o6_fractured()) {

@@ -76,6 +76,24 @@ pub trait KeystreamOracle {
     /// configuration.
     fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError>;
 
+    /// Loads every bitstream and returns `words` keystream words from
+    /// each, positionally aligned with the input. The default is a
+    /// serial [`keystream`](Self::keystream) loop in input order, so
+    /// every existing oracle — including stateful fault models, whose
+    /// draw sequence must match a serial run exactly — batches
+    /// correctly without an override. Oracles with a genuinely
+    /// parallel substrate (the gang-simulated [`Snow3gBoard`]
+    /// (fpga_sim::Snow3gBoard)) override this with a wide
+    /// implementation whose per-item results are still bit-identical
+    /// to the serial loop.
+    fn keystream_batch(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        bitstreams.iter().map(|bs| self.keystream(bs, words)).collect()
+    }
+
     /// An opaque snapshot of any mutable device-side state, for
     /// crash-safe attack journals. Simulated boards persist their
     /// fault-model position here so a resumed run replays the exact
@@ -103,6 +121,21 @@ pub trait KeystreamOracle {
 impl KeystreamOracle for fpga_sim::Snow3gBoard {
     fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError> {
         self.generate_keystream(bitstream, words).map_err(|e| OracleError::Rejected(e.to_string()))
+    }
+
+    /// 64-lane gang simulation: up to 64 candidate configurations are
+    /// evaluated bit-parallel per device pass. Lane *i* is
+    /// bit-identical to a serial `keystream` call (pinned by the gang
+    /// differential tests), so batching changes throughput only.
+    fn keystream_batch(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        self.keystream_batch(bitstreams, words)
+            .into_iter()
+            .map(|r| r.map_err(|e| OracleError::Rejected(e.to_string())))
+            .collect()
     }
 }
 

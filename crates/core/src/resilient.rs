@@ -423,6 +423,146 @@ impl<'a> ResilientOracle<'a> {
         result
     }
 
+    /// Whether a batch of queries is *order-free*: with a single
+    /// vote, a single attempt and zero base backoff, no query draws
+    /// from the jitter RNG or advances the simulated clock, so the
+    /// answer to each query is independent of where in the batch it
+    /// runs. Callers that want to reorder speculative query waves
+    /// (the attack's batched candidate scan) must check this first —
+    /// on a voting/retrying configuration the draw order defines the
+    /// reproducible noisy trace, and only the serial order is
+    /// faithful.
+    #[must_use]
+    pub fn batching_transparent(&self) -> bool {
+        self.config.votes.max(1) == 1
+            && self.config.retry.max_attempts.max(1) == 1
+            && self.config.retry.base_delay_ms == 0
+    }
+
+    /// A batch of independent logical queries, answered positionally.
+    ///
+    /// On the pass-through configuration (single vote, single
+    /// attempt, zero base backoff — e.g. [`ResilienceConfig::off`])
+    /// the whole batch is dispatched through the inner oracle's
+    /// [`KeystreamOracle::keystream_batch`] so a gang-simulated board
+    /// evaluates up to 64 candidates per device pass. Every piece of
+    /// bookkeeping — budget and deadline gates, stats, per-query
+    /// telemetry — replicates the serial [`query`](Self::query) loop
+    /// item by item in input order, so results, load accounting and
+    /// journal snapshots are bit-identical to serial execution.
+    ///
+    /// Any configuration that retries, votes or backs off falls back
+    /// to that serial loop outright: those paths draw from the jitter
+    /// RNG and the board's fault stream, whose draw *order* defines
+    /// the reproducible noisy trace, so batching is defined as
+    /// sequential per-item execution there (pinned by tests).
+    pub fn query_batch(
+        &mut self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, ResilienceError>> {
+        if bitstreams.is_empty() {
+            return Vec::new();
+        }
+        let results = if self.batching_transparent() {
+            self.query_batch_wide(bitstreams, words)
+        } else {
+            bitstreams.iter().map(|bs| self.query(bs, words)).collect()
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry.record_batch(bitstreams.len() as u64, fpga_sim::GANG_LANES as u64);
+        }
+        results
+    }
+
+    /// The wide batch path: one inner `keystream_batch` call for the
+    /// budget-admitted prefix, with the serial path's per-item
+    /// bookkeeping replayed around it.
+    fn query_batch_wide(
+        &mut self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, ResilienceError>> {
+        // With at most one attempt per item and zero base delay, no
+        // query can draw jitter or advance the clock, so the budget
+        // and deadline gates are static over the batch: the serial
+        // loop would admit exactly this prefix to the device.
+        let deadline_hit = self.config.deadline_ms.is_some_and(|limit| self.clock.now_ms() > limit);
+        let admitted = if deadline_hit {
+            0
+        } else {
+            match self.config.budget {
+                Some(limit) => {
+                    let room = limit.saturating_sub(self.stats.attempts);
+                    usize::try_from(room).unwrap_or(usize::MAX).min(bitstreams.len())
+                }
+                None => bitstreams.len(),
+            }
+        };
+        let inner_results = self.inner.keystream_batch(&bitstreams[..admitted], words);
+        let mut out = Vec::with_capacity(bitstreams.len());
+        let mut answers = inner_results.into_iter();
+        for i in 0..bitstreams.len() {
+            let before = self.stats;
+            self.stats.queries += 1;
+            let result: Result<Vec<u32>, ResilienceError> = if i >= admitted {
+                // Same gate order as `read_once`: budget, then
+                // deadline.
+                if let Some(limit) =
+                    self.config.budget.filter(|&limit| self.stats.attempts >= limit)
+                {
+                    Err(ResilienceError::BudgetExhausted { used: self.stats.attempts, limit })
+                } else {
+                    let limit_ms = self.config.deadline_ms.unwrap_or(0);
+                    Err(ResilienceError::DeadlineExceeded { now_ms: self.clock.now_ms(), limit_ms })
+                }
+            } else {
+                self.stats.attempts += 1;
+                let outcome = match answers.next().expect("one answer per admitted item") {
+                    Ok(z) if z.len() < words => {
+                        Err(OracleError::ShortRead { got: z.len(), want: words })
+                    }
+                    other => other,
+                };
+                match outcome {
+                    Ok(z) => {
+                        self.stats.votes_cast += 1;
+                        Ok(z)
+                    }
+                    Err(e) if e.is_transient() => {
+                        // Bookkeeping mirrors the serial transient
+                        // arm; with base delay 0 this draws nothing
+                        // and advances nothing.
+                        self.stats.transient_errors += 1;
+                        let delay = self.config.retry.delay_ms(0, &mut self.rng);
+                        self.clock.advance(delay);
+                        self.stats.backoff_ms += delay;
+                        Err(ResilienceError::RetriesExhausted { attempts: 1, last: e })
+                    }
+                    Err(e) => Err(ResilienceError::Fatal(e)),
+                }
+            };
+            if self.telemetry.is_enabled() {
+                let outcome = match &result {
+                    Ok(_) => "ok",
+                    Err(ResilienceError::BudgetExhausted { .. }) => "budget-exhausted",
+                    Err(ResilienceError::DeadlineExceeded { .. }) => "deadline-exceeded",
+                    Err(ResilienceError::RetriesExhausted { .. }) => "retries-exhausted",
+                    Err(_) => "fatal",
+                };
+                self.telemetry.record_query(
+                    self.stats.attempts - before.attempts,
+                    self.stats.votes_cast - before.votes_cast,
+                    self.stats.transient_errors - before.transient_errors,
+                    self.stats.backoff_ms - before.backoff_ms,
+                    outcome,
+                );
+            }
+            out.push(result);
+        }
+        out
+    }
+
     /// The uninstrumented query body — everything that touches the
     /// RNG, clock and budget lives here, *before* any recording.
     fn query_inner(
@@ -722,6 +862,85 @@ mod tests {
         assert!(!base.same_trace(&ResilienceConfig::noisy(6)));
         assert!(!base.same_trace(&base.with_votes(3)));
         assert!(!base.same_trace(&base.with_retry(RetryPolicy::none())));
+    }
+
+    #[test]
+    fn wide_batch_matches_the_serial_loop_exactly() {
+        // Same script run twice: once through query_batch, once
+        // through a serial query loop. Results and every stats
+        // counter must agree, including the budget cut mid-batch.
+        let script = || -> Vec<Result<Vec<u32>, OracleError>> {
+            vec![
+                Ok(vec![1, 2]),
+                Ok(vec![3]), // short Ok → transient → RetriesExhausted
+                Err(OracleError::Rejected("bad".into())), // fatal
+                Ok(vec![4, 5]),
+            ]
+        };
+        let config = ResilienceConfig::off().with_budget(4);
+        let batch: Vec<Bitstream> = (0..6).map(|_| bs()).collect();
+
+        let oracle_a = Scripted::new(vec![9, 9], script());
+        let mut a = ResilientOracle::new(&oracle_a, config);
+        let batched = a.query_batch(&batch, 2);
+
+        let oracle_b = Scripted::new(vec![9, 9], script());
+        let mut b = ResilientOracle::new(&oracle_b, config);
+        let serial: Vec<_> = batch.iter().map(|x| b.query(x, 2)).collect();
+
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(oracle_a.calls(), oracle_b.calls());
+        assert_eq!(batched.len(), serial.len());
+        for (i, (x, y)) in batched.iter().zip(&serial).enumerate() {
+            match (x, y) {
+                (Ok(zx), Ok(zy)) => assert_eq!(zx, zy, "item {i}"),
+                (Err(ex), Err(ey)) => {
+                    assert_eq!(format!("{ex:?}"), format!("{ey:?}"), "item {i}")
+                }
+                other => panic!("item {i} diverged: {other:?}"),
+            }
+        }
+        // Items 4 and 5 were cut by the budget before reaching the
+        // device in both modes.
+        assert!(matches!(batched[4], Err(ResilienceError::BudgetExhausted { used: 4, limit: 4 })));
+        assert_eq!(oracle_a.calls(), 4);
+    }
+
+    #[test]
+    fn noisy_batch_is_defined_as_sequential_per_item_execution() {
+        // A retrying/voting configuration must fall back to the
+        // serial loop so the fault-draw order (hence the reproducible
+        // noisy trace) is unchanged.
+        let script = || -> Vec<Result<Vec<u32>, OracleError>> {
+            vec![
+                Err(OracleError::TransientLoad("glitch".into())),
+                Ok(vec![1, 2]),
+                Ok(vec![1, 6]),
+                Ok(vec![5, 2]),
+                Ok(vec![8, 8]),
+                Err(OracleError::Timeout { ms: 3 }),
+                Ok(vec![8, 8]),
+                Ok(vec![8, 8]),
+            ]
+        };
+        let config = ResilienceConfig::noisy(42).with_votes(3);
+        let batch: Vec<Bitstream> = (0..2).map(|_| bs()).collect();
+
+        let oracle_a = Scripted::new(vec![7, 7], script());
+        let mut a = ResilientOracle::new(&oracle_a, config);
+        let batched = a.query_batch(&batch, 2);
+
+        let oracle_b = Scripted::new(vec![7, 7], script());
+        let mut b = ResilientOracle::new(&oracle_b, config);
+        let serial: Vec<_> = batch.iter().map(|x| b.query(x, 2)).collect();
+
+        assert_eq!(a.stats(), b.stats(), "identical fault trace and accounting");
+        assert_eq!(a.clock().now_ms(), b.clock().now_ms());
+        assert_eq!(a.snapshot().rng_state, b.snapshot().rng_state, "same jitter draws");
+        let unwrap_all = |v: Vec<Result<Vec<u32>, ResilienceError>>| -> Vec<Vec<u32>> {
+            v.into_iter().map(|r| r.expect("recovers")).collect()
+        };
+        assert_eq!(unwrap_all(batched), unwrap_all(serial));
     }
 
     #[test]

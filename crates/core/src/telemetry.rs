@@ -87,6 +87,15 @@ pub mod names {
     pub const BOARD_INJECTED: &str = "board.faults.injected";
     /// FINDLUT candidates found (phase 1, all shapes).
     pub const SCAN_CANDIDATES: &str = "scan.candidates";
+    /// Batched oracle calls issued (each covers many candidates).
+    pub const ORACLE_BATCHES: &str = "oracle.batches";
+    /// Logical queries served through the batched path.
+    pub const ORACLE_BATCHED_QUERIES: &str = "oracle.batched_queries";
+    /// Histogram: candidates per batched oracle call.
+    pub const ORACLE_BATCH_SIZE: &str = "oracle.batch_size";
+    /// Histogram: percent of gang lanes occupied per batched call
+    /// (`100 × items / (gang passes × lanes per pass)`).
+    pub const ORACLE_LANE_UTILISATION_PCT: &str = "oracle.lane_utilisation_pct";
 }
 
 /// Number of histogram buckets: bucket 0 holds the value 0; bucket
@@ -554,6 +563,34 @@ impl Telemetry {
                 .num("retries", retries)
                 .num("backoff_ms", backoff_ms)
                 .str("outcome", outcome)
+                .finish();
+            s.seq += 1;
+            s.emit(&line);
+        });
+    }
+
+    /// Records one batched oracle call of `items` logical queries
+    /// dispatched over gang passes of `lanes` lanes each. Like every
+    /// recorder entry point this is called *after* the batch
+    /// completed and never feeds back into control flow.
+    pub fn record_batch(&self, items: u64, lanes: u64) {
+        self.with_state(|s| {
+            s.metrics.incr(names::ORACLE_BATCHES, 1);
+            s.metrics.incr(names::ORACLE_BATCHED_QUERIES, items);
+            s.metrics.observe(names::ORACLE_BATCH_SIZE, items);
+            // Occupancy across the gang passes the batch needed:
+            // a 64-lane device running 65 items takes two passes at
+            // ~51% average occupancy.
+            let lanes = lanes.max(1);
+            let passes = items.div_ceil(lanes).max(1);
+            let utilisation = (items * 100) / (passes * lanes);
+            s.metrics.observe(names::ORACLE_LANE_UTILISATION_PCT, utilisation);
+            let span = s.spans.last().map(|f| f.id);
+            let line = Json::event(s.seq, "batch")
+                .opt_num("span", span)
+                .num("items", items)
+                .num("lanes", lanes)
+                .num("utilisation_pct", utilisation)
                 .finish();
             s.seq += 1;
             s.emit(&line);

@@ -149,6 +149,56 @@ impl Snow3gBoard {
         Ok(out)
     }
 
+    /// Batched oracle: loads every bitstream and collects `words`
+    /// keystream words from each, packing up to
+    /// [`GANG_LANES`](crate::GANG_LANES) candidates per gang
+    /// simulation. Per-item results are positionally aligned with the
+    /// input; a lane whose bitstream is refused gets its own error
+    /// while the remaining lanes still run.
+    ///
+    /// Each lane is bit-identical to a serial
+    /// [`generate_keystream`](Self::generate_keystream) call with the
+    /// same bitstream — the board farm substitution the batched
+    /// attack pipeline rests on (DESIGN.md §12).
+    #[must_use]
+    pub fn keystream_batch(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, BoardError>> {
+        // Differential decode of the whole batch (one full walk, then
+        // payload deltas), then dense-pack the accepted lanes into
+        // gangs so a refused lane does not waste a slot.
+        let mut out: Vec<Result<Vec<u32>, BoardError>> = Vec::with_capacity(bitstreams.len());
+        let mut live: Vec<(usize, Vec<boolfn::DualOutputInit>)> = Vec::new();
+        for (i, decoded) in self.fpga.decode_lut_inits_batch(bitstreams).into_iter().enumerate() {
+            match decoded {
+                Ok(inits) => {
+                    live.push((i, inits));
+                    out.push(Ok(Vec::with_capacity(words)));
+                }
+                Err(e) => out.push(Err(BoardError::Program(e))),
+            }
+        }
+        for chunk in live.chunks(crate::gang::GANG_LANES) {
+            let lanes: Vec<Vec<boolfn::DualOutputInit>> =
+                chunk.iter().map(|(_, inits)| inits.clone()).collect();
+            let mut gang = crate::gang::GangConfiguredFpga::with_inits(&self.fpga, &lanes);
+            gang.set_input(self.run_net, u64::MAX);
+            gang.run(WARMUP_CYCLES);
+            for _ in 0..words {
+                gang.step();
+                for (lane, (slot, _)) in chunk.iter().enumerate() {
+                    let z = gang.word(lane, &self.z_nets);
+                    if let Ok(zs) = &mut out[*slot] {
+                        zs.push(z);
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Whether the `valid` output is asserted after warm-up with the
     /// given bitstream (diagnostics).
     ///
@@ -236,6 +286,45 @@ mod tests {
         // Other bits unaffected.
         let sw = Snow3g::new(TEST_SET_1_KEY, TEST_SET_1_IV).keystream(8);
         assert!(z.iter().zip(&sw).all(|(a, b)| (a & !1) == (b & !1)));
+    }
+
+    #[test]
+    fn keystream_batch_matches_serial_per_lane() {
+        let b = board(false);
+        let golden = b.extract_bitstream();
+        // Three variants: golden, one faulted LUT, one refused (bad
+        // CRC) — the refused lane must not disturb its neighbours.
+        let mut faulted = golden.clone();
+        let range = faulted.fdri_data_range().unwrap();
+        let z0 = b.circuit.z_out[0];
+        let d0 = b.design.dffs.iter().find(|ff| ff.q == z0).unwrap().d;
+        let (idx, _) = b
+            .design
+            .luts
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.o6 == d0 || l.o5 == Some(d0))
+            .expect("z0 driver is a LUT");
+        let site = b.implementation_placement[idx];
+        let loc = b.fpga().geometry().lut_location(site);
+        bitstream::codec::write_lut(
+            &mut faulted.as_mut_bytes()[range],
+            loc,
+            boolfn::DualOutputInit::new(0),
+        );
+        faulted.recompute_crc();
+        let mut refused = golden.clone();
+        let r = refused.fdri_data_range().unwrap();
+        refused.as_mut_bytes()[r.start + 64] ^= 0x02;
+        let batch = vec![golden.clone(), faulted.clone(), refused.clone(), golden.clone()];
+        let batched = b.keystream_batch(&batch, 6);
+        for (i, bs) in batch.iter().enumerate() {
+            match (&batched[i], b.generate_keystream(bs, 6)) {
+                (Ok(got), Ok(want)) => assert_eq!(got, &want, "lane {i}"),
+                (Err(_), Err(_)) => {}
+                (got, want) => panic!("lane {i}: batched {got:?} vs serial {want:?}"),
+            }
+        }
     }
 
     #[test]

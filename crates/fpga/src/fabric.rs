@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use boolfn::DualOutputInit;
 use netlist::NodeId;
 
-use bitstream::{codec, Bitstream, ParseBitstreamError};
+use bitstream::{codec, Bitstream, DeltaCrc, ParseBitstreamError};
 
 use crate::geom::{Geometry, SiteId};
 
@@ -149,9 +149,10 @@ impl From<ParseBitstreamError> for ProgramError {
     }
 }
 
-/// One evaluation step of the configured fabric.
+/// One evaluation step of the configured fabric. Shared with the
+/// gang simulator so both walk the identical topological order.
 #[derive(Debug, Clone, Copy)]
-enum EvalStep {
+pub(crate) enum EvalStep {
     Lut(usize),
     Bram(usize),
 }
@@ -160,9 +161,9 @@ enum EvalStep {
 #[derive(Debug, Clone)]
 pub struct Fpga {
     geometry: Geometry,
-    db: RoutingDb,
-    order: Vec<EvalStep>,
-    net_count: usize,
+    pub(crate) db: RoutingDb,
+    pub(crate) order: Vec<EvalStep>,
+    pub(crate) net_count: usize,
     idcode: u32,
 }
 
@@ -218,6 +219,28 @@ impl Fpga {
     /// Returns [`ProgramError`] if parsing fails, the CRC mismatches
     /// or the payload size is wrong.
     pub fn program(&self, bs: &Bitstream) -> Result<ConfiguredFpga<'_>, ProgramError> {
+        let inits = self.decode_lut_inits(bs)?;
+        let mut values = vec![false; self.net_count];
+        for ff in &self.db.ffs {
+            values[ff.q.index()] = ff.init;
+        }
+        for &(net, v) in &self.db.ties {
+            values[net.index()] = v;
+        }
+        let latch = vec![false; self.db.ffs.len()];
+        Ok(ConfiguredFpga { fpga: self, inits, values, latch, clean: false, cycle: 0 })
+    }
+
+    /// Parses and validates a bitstream exactly like [`Fpga::program`]
+    /// and returns the per-cell INIT values without building a
+    /// simulator — the configuration half of programming, reused by
+    /// the gang simulator to load each lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if parsing fails, the CRC mismatches
+    /// or the payload size is wrong.
+    pub fn decode_lut_inits(&self, bs: &Bitstream) -> Result<Vec<DualOutputInit>, ProgramError> {
         let config = bs.parse()?;
         if config.idcode != Some(self.idcode) {
             return Err(ProgramError::WrongDevice { got: config.idcode, expected: self.idcode });
@@ -229,20 +252,154 @@ impl Fpga {
             });
         }
         let data = config.frames.as_bytes();
-        let inits: Vec<DualOutputInit> = self
+        Ok(self
             .db
             .luts
             .iter()
             .map(|cell| codec::read_lut(data, self.geometry.lut_location(cell.site)))
-            .collect();
-        let mut values = vec![false; self.net_count];
-        for ff in &self.db.ffs {
-            values[ff.q.index()] = ff.init;
+            .collect())
+    }
+
+    /// Decodes many bitstreams with per-item results, exactly as if
+    /// each went through [`Fpga::decode_lut_inits`] — but
+    /// differentially: the first accepted stream is walked in full and
+    /// becomes the reference; every later stream that differs from it
+    /// only inside the FDRI payload (and the stored CRC word) is
+    /// validated through the linear CRC delta
+    /// ([`bitstream::DeltaCrc`]) and re-reads only the LUTs whose
+    /// bytes changed. Streams the delta model does not cover fall back
+    /// to the full walk, so acceptance, rejection errors and decoded
+    /// INITs are bit-identical to the serial path in every case.
+    #[must_use]
+    pub fn decode_lut_inits_batch(
+        &self,
+        bitstreams: &[Bitstream],
+    ) -> Vec<Result<Vec<DualOutputInit>, ProgramError>> {
+        let mut reference: Option<RefDecode> = None;
+        bitstreams
+            .iter()
+            .map(|bs| {
+                if let Some(r) = &reference {
+                    if let Some(result) = self.decode_against(r, bs) {
+                        return result;
+                    }
+                }
+                let full = self.decode_lut_inits(bs);
+                if reference.is_none() {
+                    if let Ok(inits) = &full {
+                        reference = RefDecode::analyze(self, bs, inits.clone());
+                    }
+                }
+                full
+            })
+            .collect()
+    }
+
+    /// Differential decode of `bs` against the reference, or `None`
+    /// when the byte delta strays outside the payload/CRC-word region
+    /// the delta model covers (→ caller falls back to the full walk).
+    fn decode_against(
+        &self,
+        r: &RefDecode,
+        bs: &Bitstream,
+    ) -> Option<Result<Vec<DualOutputInit>, ProgramError>> {
+        let bytes = bs.as_bytes();
+        if bytes.len() != r.bytes.len() {
+            return None;
         }
-        for &(net, v) in &self.db.ties {
-            values[net.index()] = v;
+        let crc_word = r.delta.crc_value_at()..r.delta.crc_value_at() + 4;
+        let mut words: Vec<usize> = Vec::new();
+        let mut payload_bytes: Vec<usize> = Vec::new();
+        // Diff in 8-byte blocks via u64 loads: near-golden variants
+        // differ in a handful of bytes, so the scan is dominated by
+        // equal blocks and one integer compare retires each of them.
+        let mut diff_at = |pos: usize| -> bool {
+            if r.payload.contains(&pos) {
+                words.push((pos - r.payload.start) / 4);
+                payload_bytes.push(pos - r.payload.start);
+                true
+            } else {
+                crc_word.contains(&pos)
+            }
+        };
+        let mut chunks_a = r.bytes.chunks_exact(8);
+        let mut chunks_b = bytes.chunks_exact(8);
+        let mut block = 0;
+        for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+            let a = u64::from_ne_bytes(ca.try_into().expect("8-byte chunk"));
+            let b = u64::from_ne_bytes(cb.try_into().expect("8-byte chunk"));
+            if a != b {
+                #[allow(clippy::needless_range_loop)]
+                for pos in block..block + 8 {
+                    if r.bytes[pos] != bytes[pos] && !diff_at(pos) {
+                        // A structural difference (headers, commands,
+                        // a zeroed CRC packet): not expressible as a
+                        // payload delta.
+                        return None;
+                    }
+                }
+            }
+            block += 8;
         }
-        Ok(ConfiguredFpga { fpga: self, inits, values, cycle: 0 })
+        for (pos, (a, b)) in chunks_a.remainder().iter().zip(chunks_b.remainder()).enumerate() {
+            if a != b && !diff_at(block + pos) {
+                return None;
+            }
+        }
+        words.dedup();
+        let computed = r.delta.value_for(&r.bytes, bytes, r.payload.start, &words);
+        let stored = r.delta.stored(bytes);
+        if stored != computed {
+            return Some(Err(ProgramError::Bitstream(ParseBitstreamError::CrcMismatch {
+                stored,
+                computed,
+            })));
+        }
+        let mut inits = r.inits.clone();
+        let mut reread: Vec<usize> = Vec::new();
+        for b in payload_bytes {
+            if let Some(luts) = r.byte_luts.get(&b) {
+                reread.extend_from_slice(luts);
+            }
+        }
+        reread.sort_unstable();
+        reread.dedup();
+        let payload = &bytes[r.payload.clone()];
+        for i in reread {
+            inits[i] = codec::read_lut(payload, self.geometry.lut_location(self.db.luts[i].site));
+        }
+        Some(Ok(inits))
+    }
+}
+
+/// The reference stream a [`Fpga::decode_lut_inits_batch`] call
+/// decodes later streams against.
+struct RefDecode {
+    /// Raw bytes of the reference bitstream.
+    bytes: Vec<u8>,
+    /// Byte range of the FDRI payload within `bytes`.
+    payload: core::ops::Range<usize>,
+    /// Differential-CRC analysis of the reference stream.
+    delta: DeltaCrc,
+    /// The reference stream's decoded INIT values.
+    inits: Vec<DualOutputInit>,
+    /// Payload-relative byte index → LUT indices stored there.
+    byte_luts: HashMap<usize, Vec<usize>>,
+}
+
+impl RefDecode {
+    /// Builds the reference from an accepted stream, or `None` when
+    /// the stream's structure defeats the delta model.
+    fn analyze(fpga: &Fpga, bs: &Bitstream, inits: Vec<DualOutputInit>) -> Option<Self> {
+        let payload = bs.fdri_data_range()?;
+        let delta = DeltaCrc::analyze(bs, &payload)?;
+        let mut byte_luts: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, cell) in fpga.db.luts.iter().enumerate() {
+            for b in fpga.geometry.lut_location(cell.site).byte_indices() {
+                byte_luts.entry(b).or_default().push(i);
+            }
+        }
+        Some(Self { bytes: bs.as_bytes().to_vec(), payload, delta, inits, byte_luts })
     }
 }
 
@@ -337,6 +494,14 @@ pub struct ConfiguredFpga<'a> {
     fpga: &'a Fpga,
     inits: Vec<DualOutputInit>,
     values: Vec<bool>,
+    /// Double buffer for FF state: `latch[i]` holds the sampled D
+    /// input of `db.ffs[i]` between the two phases of a step, so no
+    /// step allocates.
+    latch: Vec<bool>,
+    /// Whether `values` reflects a completed combinational evaluation
+    /// of the current state. Cleared by `set_input`; when set, the
+    /// pre-latch evaluation in `step` is a no-op and is skipped.
+    clean: bool,
     cycle: u64,
 }
 
@@ -350,6 +515,7 @@ impl ConfiguredFpga<'_> {
     /// Drives a primary input net.
     pub fn set_input(&mut self, net: NetId, value: bool) {
         self.values[net.index()] = value;
+        self.clean = false;
     }
 
     /// The current value of a net (after the last evaluation).
@@ -416,15 +582,23 @@ impl ConfiguredFpga<'_> {
 
     /// Runs one clock cycle with the current input values.
     pub fn step(&mut self) {
-        self.evaluate();
+        // Evaluation is idempotent, so when the previous step's
+        // post-latch evaluation is still current (no input changed in
+        // between) the pre-latch pass would recompute the same values
+        // and is skipped — back-to-back steps pay one pass, not two.
+        if !self.clean {
+            self.evaluate();
+        }
         let db = &self.fpga.db;
-        let latched: Vec<(usize, bool)> =
-            db.ffs.iter().map(|ff| (ff.q.index(), self.values[ff.d.index()])).collect();
-        for (q, v) in latched {
-            self.values[q] = v;
+        for (slot, ff) in self.latch.iter_mut().zip(&db.ffs) {
+            *slot = self.values[ff.d.index()];
+        }
+        for (slot, ff) in self.latch.iter().zip(&db.ffs) {
+            self.values[ff.q.index()] = *slot;
         }
         self.cycle += 1;
         self.evaluate();
+        self.clean = true;
     }
 
     /// Runs `n` clock cycles.

@@ -28,12 +28,14 @@
 
 pub mod board;
 pub mod fabric;
+pub mod gang;
 pub mod geom;
 pub mod implementer;
 pub mod unreliable;
 
 pub use board::{BoardError, Snow3gBoard};
 pub use fabric::{ConfiguredFpga, Fpga, ProgramError};
+pub use gang::{GangConfiguredFpga, GANG_LANES};
 pub use geom::{Geometry, InitLayout, SiteId};
 pub use implementer::{implement, ImplementError, ImplementOptions, Implementation};
 pub use unreliable::{FaultProfile, FaultSnapshot, FaultStats, RestoreError, UnreliableBoard};

@@ -1,0 +1,161 @@
+//! Differential property test: every gang lane must be bit-identical
+//! to the scalar simulator programmed with the same bitstream, over
+//! random routing databases (single-output LUTs, fractured O5/O6
+//! pairs, block RAMs, flip-flops, ties), random LUT INITs and random
+//! input sequences.
+
+use boolfn::DualOutputInit;
+use fpga_sim::fabric::{BramCellDb, FfCell, LutCell, RoutingDb};
+use fpga_sim::gang::GANG_LANES;
+use fpga_sim::{Fpga, Geometry, SiteId};
+use netlist::NodeId;
+use proptest::prelude::*;
+
+use bitstream::{codec, Bitstream, BitstreamBuilder, FrameData};
+
+/// A deterministic splitmix-style generator so the whole device is a
+/// pure function of one proptest-drawn seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Builds a random layered (hence cycle-free) device: primary inputs
+/// and FF outputs feed LUT layers; a BRAM sits mid-cone; FF D inputs
+/// close the sequential loop over arbitrary nets.
+fn random_device(seed: u64) -> (Fpga, Vec<NodeId>) {
+    let mut rng = Rng(seed);
+    let geometry = Geometry::with_columns(2);
+    let sites: Vec<SiteId> = geometry.sites().collect();
+    let mut next_net = 0u32;
+    let mut fresh = || {
+        next_net += 1;
+        NodeId(next_net - 1)
+    };
+    let n_inputs = 2 + rng.below(3);
+    let inputs: Vec<NodeId> = (0..n_inputs).map(|_| fresh()).collect();
+    let n_ffs = 2 + rng.below(4);
+    let ff_q: Vec<NodeId> = (0..n_ffs).map(|_| fresh()).collect();
+    let tie = fresh();
+    // The pool of nets a later cell may read.
+    let mut pool: Vec<NodeId> = inputs.iter().chain(&ff_q).copied().collect();
+    pool.push(tie);
+
+    let mut luts = Vec::new();
+    let mut brams = Vec::new();
+    let n_luts = 3 + rng.below(6);
+    for _ in 0..n_luts {
+        let n_pins = 1 + rng.below(6);
+        let ins: Vec<NodeId> = (0..n_pins).map(|_| pool[rng.below(pool.len())]).collect();
+        let o6 = fresh();
+        let fractured = n_pins <= 5 && rng.below(3) == 0;
+        let o5 = fractured.then(&mut fresh);
+        luts.push(LutCell { site: sites[luts.len()], inputs: ins, o6, o5 });
+        pool.push(o6);
+        if let Some(o5) = o5 {
+            pool.push(o5);
+        }
+    }
+    if rng.below(2) == 0 {
+        let mut table = Box::new([0u32; 256]);
+        for w in table.iter_mut() {
+            *w = rng.next() as u32;
+        }
+        let addr: Vec<NodeId> = (0..8).map(|_| pool[rng.below(pool.len())]).collect();
+        let data: Vec<NodeId> = (0..32).map(|_| fresh()).collect();
+        pool.extend(&data);
+        brams.push(BramCellDb { table, addr, data });
+    }
+    let ffs: Vec<FfCell> = ff_q
+        .iter()
+        .map(|&q| FfCell { q, d: pool[rng.below(pool.len())], init: rng.below(2) == 0 })
+        .collect();
+    let db = RoutingDb {
+        luts,
+        ffs,
+        brams,
+        inputs: inputs.iter().map(|&n| (format!("i{}", n.index()), n)).collect(),
+        ties: vec![(tie, rng.below(2) == 0)],
+    };
+    (Fpga::new(geometry, db), inputs)
+}
+
+/// A bitstream assigning a random INIT to every LUT site the device
+/// uses.
+fn random_bitstream(fpga: &Fpga, rng: &mut Rng) -> Bitstream {
+    let mut frames = FrameData::new(fpga.geometry().frame_count());
+    for cell in &fpga.routing_db().luts {
+        let loc = fpga.geometry().lut_location(cell.site);
+        codec::write_lut(frames.as_mut_bytes(), loc, DualOutputInit::new(rng.next()));
+    }
+    BitstreamBuilder::new(frames).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_gang_lane_matches_the_scalar_simulator(
+        device_seed in any::<u64>(),
+        config_seed in any::<u64>(),
+        n_lanes in 1usize..=GANG_LANES,
+        cycles in 1usize..8,
+    ) {
+        let (fpga, inputs) = random_device(device_seed);
+        let mut rng = Rng(config_seed);
+        let streams: Vec<Bitstream> =
+            (0..n_lanes).map(|_| random_bitstream(&fpga, &mut rng)).collect();
+        let refs: Vec<&Bitstream> = streams.iter().collect();
+        let mut gang = fpga.program_gang(&refs).expect("gang programs");
+        let mut scalars: Vec<_> = streams
+            .iter()
+            .map(|bs| fpga.program(bs).expect("scalar programs"))
+            .collect();
+        let net_count = {
+            let db = fpga.routing_db();
+            let mut max = 0u32;
+            for l in &db.luts {
+                max = max.max(l.o6.0 + 1);
+                if let Some(o5) = l.o5 { max = max.max(o5.0 + 1); }
+            }
+            for f in &db.ffs { max = max.max(f.q.0 + 1).max(f.d.0 + 1); }
+            for b in &db.brams {
+                for &d in &b.data { max = max.max(d.0 + 1); }
+            }
+            max
+        };
+        for _ in 0..cycles {
+            // Random per-lane input drive: one mask per input net.
+            for &net in &inputs {
+                let mask = rng.next();
+                gang.set_input(net, mask);
+                for (lane, dev) in scalars.iter_mut().enumerate() {
+                    dev.set_input(net, (mask >> lane) & 1 == 1);
+                }
+            }
+            gang.step();
+            for (lane, dev) in scalars.iter_mut().enumerate() {
+                dev.step();
+                for net in 0..net_count {
+                    prop_assert_eq!(
+                        gang.net(lane, NodeId(net)),
+                        dev.net(NodeId(net)),
+                        "seed ({}, {}) lane {} net {} cycle {}",
+                        device_seed, config_seed, lane, net, gang.cycle()
+                    );
+                }
+            }
+        }
+    }
+}

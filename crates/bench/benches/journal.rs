@@ -4,6 +4,11 @@
 //! hot path — the EXPERIMENTS.md claim is that journalling stays
 //! under 1% of campaign wall time.
 
+// These exercise (or ride on) the pre-0.7 free-form `Attack`
+// constructors, kept working behind deprecation warnings; the
+// replacement surface is `bitmod::fleet::SessionSpec`.
+#![allow(deprecated)]
+
 use bench::test_board;
 use bitmod::journal::{decode_frame, encode_frame, AttackJournal};
 use bitmod::resilient::ResilienceConfig;

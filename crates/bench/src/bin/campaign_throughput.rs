@@ -1,0 +1,201 @@
+//! Campaign throughput gate: drives the work-stealing fleet with a
+//! batch of identical clean-board sessions at one worker and at N
+//! workers in one process, and reports the sessions/sec scaling.
+//!
+//! ```text
+//! campaign-throughput [--sessions N] [--workers N]
+//! campaign-throughput --write BENCH_campaign.json
+//! campaign-throughput --check BENCH_campaign.json
+//! ```
+//!
+//! `--write` records the measurement and the scaling floor into a
+//! committed baseline; `--check` re-measures and exits non-zero if
+//! the multi-worker speedup falls below the floor — the CI gate
+//! keeping the fleet scheduler honest about actually parallelising.
+//! The floor is parallelism-aware: the baseline's `min_speedup` is
+//! the bound on a machine with at least `--workers` cores, and the
+//! check clamps it to `0.75 × min(workers, available cores)` so a
+//! 1-core container (where perfect scheduling yields 1.0×) gates on
+//! not *losing* throughput to the scheduler rather than on an
+//! impossible speedup. Every session in both arms must terminate
+//! `recovered`, so the gate doubles as a fleet correctness smoke
+//! test.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use bitmod::fleet::{Fleet, FleetConfig, SessionSpec, SessionState};
+
+/// The floor written into fresh baselines: the acceptance bound at 4
+/// workers on a ≥4-core machine.
+const MIN_SPEEDUP: f64 = 3.0;
+
+/// Per-arm completion deadline.
+const ARM_TIMEOUT: Duration = Duration::from_secs(600);
+
+fn fleet_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bitmod-campaign-bench-{tag}-{}", std::process::id()))
+}
+
+/// Runs `sessions` identical clean batched sessions through a fleet
+/// of `workers` workers; returns sessions per second.
+fn run_arm(workers: usize, sessions: usize) -> Result<f64, String> {
+    let spec =
+        SessionSpec::builder().batch(fpga_sim::GANG_LANES).build().map_err(|e| e.to_string())?;
+    let root = fleet_root(&format!("w{workers}"));
+    let _ = std::fs::remove_dir_all(&root);
+    let fleet =
+        Fleet::start(FleetConfig::new(&root).workers(workers)).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    for _ in 0..sessions {
+        fleet.submit(spec.clone()).map_err(|e| e.to_string())?;
+    }
+    if !fleet.wait_idle(ARM_TIMEOUT) {
+        return Err(format!("fleet did not drain {sessions} sessions in {ARM_TIMEOUT:?}"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    for handle in fleet.sessions() {
+        let status = handle.status();
+        if status.state != SessionState::Recovered {
+            return Err(format!(
+                "session {} ended {} ({}) — the gate requires every session recovered",
+                status.id,
+                status.state.as_str(),
+                status.note
+            ));
+        }
+    }
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(sessions as f64 / elapsed)
+}
+
+struct Measurement {
+    single_rate: f64,
+    multi_rate: f64,
+    speedup: f64,
+}
+
+fn measure(workers: usize, sessions: usize) -> Result<Measurement, String> {
+    // A short untimed warmup pays the cold costs (board synthesis,
+    // allocator pools) that would otherwise bias the first arm.
+    run_arm(1, 2.min(sessions))?;
+    let single_rate = run_arm(1, sessions)?;
+    let multi_rate = run_arm(workers, sessions)?;
+    Ok(Measurement { single_rate, multi_rate, speedup: multi_rate / single_rate })
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The effective gate on this machine: the baseline floor assumes at
+/// least `workers` cores; with fewer, even a perfect scheduler cannot
+/// scale past the core count, so the bound degrades to 75% of the
+/// achievable parallelism (at 1 core: "do not lose throughput").
+fn effective_floor(baseline_floor: f64, workers: usize) -> f64 {
+    baseline_floor.min(0.75 * workers.min(available_cores()) as f64)
+}
+
+fn baseline_json(m: &Measurement, workers: usize, sessions: usize) -> String {
+    format!(
+        "{{\n  \"bench\": \"campaign-throughput\",\n  \
+         \"workload\": \"clean-board batched sessions, 1 worker vs {workers} work-stealing workers\",\n  \
+         \"sessions\": {sessions},\n  \
+         \"workers\": {workers},\n  \
+         \"min_speedup\": {MIN_SPEEDUP},\n  \
+         \"cores_at_write\": {},\n  \
+         \"recorded_single_rate\": {:.2},\n  \
+         \"recorded_multi_rate\": {:.2},\n  \
+         \"recorded_speedup\": {:.2}\n}}\n",
+        available_cores(),
+        m.single_rate,
+        m.multi_rate,
+        m.speedup
+    )
+}
+
+/// Pulls `"min_speedup": <float>` out of the baseline file without a
+/// JSON dependency.
+fn parse_floor(text: &str) -> Option<f64> {
+    let rest = text.split("\"min_speedup\"").nth(1)?;
+    let rest = rest.trim_start().strip_prefix(':')?;
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sessions = 256usize;
+    let mut workers = 4usize;
+    let mut write: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                sessions =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("--sessions needs an integer")?;
+            }
+            "--workers" => {
+                workers =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("--workers needs an integer")?;
+            }
+            "--write" => write = Some(it.next().ok_or("--write needs a path")?.clone()),
+            "--check" => check = Some(it.next().ok_or("--check needs a path")?.clone()),
+            other => {
+                return Err(format!(
+                    "unknown option '{other}'; usage: campaign-throughput \
+                     [--sessions N] [--workers N] [--write PATH | --check PATH]"
+                ));
+            }
+        }
+    }
+    if sessions == 0 || workers == 0 {
+        return Err("--sessions and --workers must be non-zero".into());
+    }
+
+    let m = measure(workers, sessions)?;
+    println!(
+        "campaign throughput: {sessions} sessions — 1 worker {:.2}/s, {workers} workers \
+         {:.2}/s, speedup {:.2}x ({} cores available)",
+        m.single_rate,
+        m.multi_rate,
+        m.speedup,
+        available_cores()
+    );
+
+    if let Some(path) = write {
+        std::fs::write(&path, baseline_json(&m, workers, sessions))
+            .map_err(|e| format!("cannot write baseline {path}: {e}"))?;
+        println!("baseline written to {path} (floor {MIN_SPEEDUP}x at ≥{workers} cores)");
+    }
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let baseline = parse_floor(&text).ok_or(format!("no min_speedup in baseline {path}"))?;
+        let floor = effective_floor(baseline, workers);
+        if m.speedup < floor {
+            eprintln!(
+                "campaign-throughput: {:.2}x is below the {floor:.2}x floor \
+                 (baseline {baseline}x from {path}, {} cores)",
+                m.speedup,
+                available_cores()
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("above the {floor:.2}x effective floor (baseline {baseline}x from {path})");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("campaign-throughput: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,8 +3,8 @@
 //! EXPERIMENTS.md table.
 //!
 //! ```text
-//! noise-sweep [--smoke] [--seed N] [--votes N] [--journal PATH]
-//!             [--trace PATH]
+//! noise-sweep [--smoke] [--seed N] [--votes N] [--dir DIR]
+//!             [--journal PATH] [--trace PATH]
 //! ```
 //!
 //! Each cell wraps the victim in [`UnreliableBoard`] at a (per-bit
@@ -13,69 +13,59 @@
 //! Test Set 1 key was recovered plus the physical query cost.
 //! `--smoke` runs a single noisy cell (for CI).
 //!
-//! The grid runs under the [`Campaign`] engine: each cell is panic-
-//! isolated, and with `--journal` completed cells are persisted
-//! (write-ahead, atomic) so a killed sweep resumes at the first
-//! incomplete cell. Every cell's effort numbers are read back from
-//! the telemetry recorder the campaign attaches to it — the printed
-//! table *is* the telemetry rollup — and `--trace` streams the full
-//! NDJSON event feed (per-cell metric bags included) to a file.
+//! The grid is built by the validating [`SweepGrid`] builder and each
+//! cell runs through the session facade
+//! ([`SessionSpec::run_against`]) — the same engine behind `bitmod
+//! attack` and the fleet workers. The grid runs under the
+//! [`Campaign`] engine: each cell is panic-isolated, and with
+//! `--journal` completed cells are persisted (write-ahead, atomic) so
+//! a killed sweep resumes at the first incomplete cell. `--dir`
+//! resolves both the campaign journal and the NDJSON trace inside one
+//! atomically-created session directory ([`OutputPaths`]); mixing it
+//! with an explicit `--journal`/`--trace` path is a typed error, not
+//! a half-created session.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bitmod::campaign::{Campaign, CellOutcome, CellStats, CellSupervisor};
-use bitmod::resilient::ResilienceConfig;
+use bitmod::fleet::{OutputPaths, ResumePolicy, SessionIo, SessionOutcome, SweepCell, SweepGrid};
 use bitmod::telemetry::names;
-use bitmod::{Attack, Telemetry};
-use fpga_sim::{FaultProfile, UnreliableBoard};
+use bitmod::Telemetry;
+use fpga_sim::UnreliableBoard;
 use snow3g::vectors::TEST_SET_1_KEY;
 
-fn run_cell(
-    glitch: f64,
-    load_fail: f64,
-    seed: u64,
-    votes: u32,
-    supervisor: &CellSupervisor,
-) -> CellOutcome {
-    let profile = FaultProfile::flaky(seed).with_bit_glitch(glitch).with_load_failure(load_fail);
-    let board = UnreliableBoard::new(bench::test_board(false), profile);
+fn run_cell(cell: &SweepCell, supervisor: &CellSupervisor) -> CellOutcome {
+    let board = UnreliableBoard::new(bench::test_board(false), cell.spec.fault_profile());
     let golden = board.extract_bitstream();
-    let oracle = supervisor.supervise(&board);
+    // One cancel token and one recorder span both layers: the
+    // campaign's supervisor and the facade's supervised oracle.
     let telemetry = supervisor.telemetry();
-    let config = ResilienceConfig::noisy(seed ^ 0x5EED).with_votes(votes);
-    let outcome =
-        Attack::instrumented(&oracle, golden, bitstream::FRAME_BYTES, config, telemetry.clone())
-            .and_then(Attack::run);
-    let fs = board.fault_stats();
-    telemetry.record_board_faults(
-        fs.loads_attempted,
-        fs.transient_failures,
-        fs.timeouts,
-        fs.truncated_reads,
-        fs.bits_flipped,
-    );
-    // The cell's effort numbers come from the recorder, not the
-    // report — so a *failed* cell still accounts for the physical
-    // work it burned before giving up.
-    let m = telemetry.metrics();
-    let stats = CellStats {
-        physical: m.counter(names::ORACLE_LOADS),
-        logical: m.counter(names::ORACLE_QUERIES),
-        retries: m.counter(names::ORACLE_RETRIES),
-        backoff_ms: m.counter(names::ORACLE_BACKOFF_MS),
+    let io = SessionIo {
+        journal: None,
+        resume: ResumePolicy::Never,
+        telemetry: telemetry.clone(),
+        cancel: supervisor.cancel_token(),
+        expected_key: Some(TEST_SET_1_KEY),
     };
-    match outcome {
-        Ok(report) => {
-            if report.recovered.key == TEST_SET_1_KEY {
-                CellOutcome::Recovered(stats)
-            } else {
-                CellOutcome::Failed { stats, note: String::new() }
+    let report = cell.spec.run_against(&board, golden, &io);
+    bitmod::fleet::session::record_board_faults(&telemetry, &board);
+    match report {
+        Ok(report) => match report.outcome {
+            SessionOutcome::Recovered(stats) => CellOutcome::Recovered(stats),
+            // The typed failure is the finding: it separates "voting
+            // overwhelmed" (attack-layer mismatch) from "board never
+            // answered" (retries exhausted) from "budget cut".
+            SessionOutcome::Exhausted { stats, summary } => {
+                CellOutcome::Failed { stats, note: summary }
             }
-        }
-        // The typed failure is the finding: it separates "voting
-        // overwhelmed" (attack-layer mismatch) from "board never
-        // answered" (retries exhausted).
-        Err(e) => CellOutcome::Failed { stats, note: e.to_string() },
+            SessionOutcome::Failed { stats, note } => CellOutcome::Failed { stats, note },
+            SessionOutcome::Cancelled => CellOutcome::Cancelled,
+        },
+        Err(e) => CellOutcome::Failed {
+            stats: bitmod::fleet::session::stats_from(&telemetry),
+            note: e.to_string(),
+        },
     }
 }
 
@@ -84,8 +74,9 @@ fn main() -> ExitCode {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut seed = 7u64;
     let mut votes = 5u32;
-    let mut journal: Option<String> = None;
-    let mut trace: Option<String> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -103,15 +94,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--dir" => match it.next() {
+                Some(path) => dir = Some(path.into()),
+                None => {
+                    eprintln!("--dir needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--journal" => match it.next() {
-                Some(path) => journal = Some(path.clone()),
+                Some(path) => journal = Some(path.into()),
                 None => {
                     eprintln!("--journal needs a path");
                     return ExitCode::FAILURE;
                 }
             },
             "--trace" => match it.next() {
-                Some(path) => trace = Some(path.clone()),
+                Some(path) => trace = Some(path.into()),
                 None => {
                     eprintln!("--trace needs a path");
                     return ExitCode::FAILURE;
@@ -121,19 +119,29 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "unknown option '{other}'; usage: \
-                     noise-sweep [--smoke] [--seed N] [--votes N] [--journal PATH] [--trace PATH]"
+                     noise-sweep [--smoke] [--seed N] [--votes N] [--dir DIR] \
+                     [--journal PATH] [--trace PATH]"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
 
-    // An unwritable trace path is a typed, pre-flight failure — not a
-    // panic halfway through a multi-minute sweep.
-    let telemetry = match &trace {
+    // One resolution for both output paths: `--dir` derives them from
+    // an atomically-created session directory, and conflicts (or an
+    // uncreatable directory) fail typed and up front — not halfway
+    // through a multi-minute sweep.
+    let paths = match OutputPaths::resolve(dir.as_deref(), journal, trace) {
+        Ok(paths) => paths,
+        Err(e) => {
+            eprintln!("noise-sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let telemetry = match &paths.trace {
         Some(path) => match Telemetry::to_path(path) {
             Ok(t) => {
-                println!("tracing to {path}");
+                println!("tracing to {}", path.display());
                 t
             }
             Err(e) => {
@@ -144,29 +152,26 @@ fn main() -> ExitCode {
         None => Telemetry::off(),
     };
 
-    let grid: Vec<(f64, f64)> = if smoke {
+    let mut builder = SweepGrid::builder().seed(seed).votes(votes);
+    if smoke {
         // One genuinely noisy cell at the acceptance floor.
-        vec![(0.01, 0.10)]
-    } else {
-        let glitches = [0.0, 0.005, 0.01, 0.02];
-        let load_fails = [0.0, 0.10, 0.25];
-        glitches.iter().flat_map(|&g| load_fails.iter().map(move |&l| (g, l))).collect()
+        builder = builder.smoke();
+    }
+    let grid = match builder.build() {
+        Ok(grid) => grid,
+        Err(e) => {
+            eprintln!("noise-sweep: invalid sweep grid: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    // The label identifies a cell in the campaign journal, so it
-    // carries everything trace-determining: rates, seed and votes.
-    let labels: Vec<String> = grid
-        .iter()
-        .map(|(g, l)| format!("glitch={g} load_fail={l} seed={seed} votes={votes}"))
-        .collect();
 
     let mut campaign = Campaign::new().with_telemetry(telemetry.clone());
-    if let Some(path) = journal {
+    if let Some(path) = &paths.journal {
         campaign = campaign.with_journal(path);
     }
-    let report = match campaign.run(&labels, |i, supervisor| {
-        let (glitch, load_fail) = grid[i];
-        run_cell(glitch, load_fail, seed, votes, supervisor)
-    }) {
+    let report = match campaign
+        .run(&grid.labels(), |i, supervisor| run_cell(&grid.cells()[i], supervisor))
+    {
         Ok(report) => report,
         Err(e) => {
             eprintln!("noise-sweep: {e}");
@@ -183,7 +188,7 @@ fn main() -> ExitCode {
     // harness error; only the acceptance-floor cell (1% glitch, 10%
     // load failure) gates the exit code.
     let mut floor_ok = true;
-    for ((glitch, load_fail), record) in grid.iter().zip(&report.cells) {
+    for (cell, record) in grid.cells().iter().zip(&report.cells) {
         let (recovered, stats, note) = match &record.outcome {
             CellOutcome::Recovered(stats) => (true, stats.clone(), String::new()),
             CellOutcome::Failed { stats, note } => (false, stats.clone(), note.clone()),
@@ -192,13 +197,13 @@ fn main() -> ExitCode {
             }
             CellOutcome::Cancelled => (false, CellStats::default(), "cancelled".to_string()),
         };
-        if (*glitch, *load_fail) == (0.01, 0.10) {
+        if (cell.glitch, cell.load_fail) == (0.01, 0.10) {
             floor_ok = recovered;
         }
         println!(
             "{:>9.2}% | {:>8.1}% | {} | {:>8} | {:>7} | {:>7} | {:>12}{}{}",
-            glitch * 100.0,
-            load_fail * 100.0,
+            cell.glitch * 100.0,
+            cell.load_fail * 100.0,
             if recovered { "yes" } else { "NO " },
             stats.physical,
             stats.logical,

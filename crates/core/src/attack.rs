@@ -545,6 +545,7 @@ impl<'a> Attack<'a> {
     /// Fails if the bitstream has no FDRI payload or the device
     /// rejects the golden bitstream.
     pub fn new(oracle: &'a dyn KeystreamOracle, golden: Bitstream) -> Result<Self, AttackError> {
+        #[allow(deprecated)]
         Self::with_stride(oracle, golden, FRAME_BYTES)
     }
 
@@ -554,11 +555,18 @@ impl<'a> Attack<'a> {
     /// # Errors
     ///
     /// Same as [`Attack::new`].
+    #[deprecated(
+        since = "0.7.0",
+        note = "configure the stride on the session facade instead: \
+                fleet::SessionSpec::builder().stride(d) … and run via \
+                SessionSpec::run_local / run_against"
+    )]
     pub fn with_stride(
         oracle: &'a dyn KeystreamOracle,
         golden: Bitstream,
         d: usize,
     ) -> Result<Self, AttackError> {
+        #[allow(deprecated)]
         Self::with_resilience(oracle, golden, d, ResilienceConfig::off())
     }
 
@@ -572,12 +580,19 @@ impl<'a> Attack<'a> {
     /// Same as [`Attack::new`], plus [`AttackError::Resilience`] /
     /// [`AttackError::Exhausted`] if even the initial golden read
     /// does not survive the configured policy.
+    #[deprecated(
+        since = "0.7.0",
+        note = "the resilience policy is derived from the validated session \
+                spec now: fleet::SessionSpec::builder().noisy(true).votes(v) \
+                .budget(b) … and run via SessionSpec::run_local / run_against"
+    )]
     pub fn with_resilience(
         oracle: &'a dyn KeystreamOracle,
         golden: Bitstream,
         d: usize,
         config: ResilienceConfig,
     ) -> Result<Self, AttackError> {
+        #[allow(deprecated)]
         Self::instrumented(oracle, golden, d, config, Telemetry::off())
     }
 
@@ -590,6 +605,12 @@ impl<'a> Attack<'a> {
     /// # Errors
     ///
     /// Same as [`Attack::with_resilience`].
+    #[deprecated(
+        since = "0.7.0",
+        note = "use the session facade — fleet::SessionSpec::run_against wires \
+                the supervised oracle, resilience config, telemetry, journal \
+                and batch width from one validated spec"
+    )]
     pub fn instrumented(
         oracle: &'a dyn KeystreamOracle,
         golden: Bitstream,

@@ -8,8 +8,14 @@
 //! bitmod crc     <file> (--disable | --recompute) [-o OUT]
 //! bitmod diff    <file> <other-file>
 //! bitmod attack  [--noisy] [--seed N] [--glitch P] [--load-fail P]
-//!                [--votes N] [--budget N] [--stride N]
+//!                [--votes N] [--budget N] [--stride N] [--deadline-ms N]
 //!                [--journal PATH] [--resume] [--trace PATH] [--batch]
+//! bitmod serve   [--addr ADDR] [--root DIR] [--workers N]
+//! bitmod submit  [--addr ADDR] [attack spec flags...]
+//! bitmod status  [--addr ADDR] [ID]
+//! bitmod tail    [--addr ADDR] ID
+//! bitmod cancel  [--addr ADDR] ID
+//! bitmod shutdown [--addr ADDR]
 //! ```
 //!
 //! `attack` builds the simulated SNOW 3G victim board (ETSI Test
@@ -30,7 +36,18 @@
 //! issues up to 64 oracle queries per call, evaluated bit-parallel by
 //! the 64-lane gang simulator: the recovered key, per-query
 //! keystreams and load accounting are identical to a serial run, only
-//! faster.
+//! faster. Every flag combination is validated up front through the
+//! session-spec builder.
+//!
+//! `serve` runs the attack-as-a-service daemon: a work-stealing fleet
+//! of workers over a session store rooted at `--root`, behind a
+//! line-protocol server on `--addr` (a TCP address, or a Unix socket
+//! path / `unix:PATH`). `submit`, `status`, `tail`, `cancel` and
+//! `shutdown` are the thin client: `submit` takes the same spec flags
+//! as `attack` (minus the local-only `--journal`/`--resume`/`--trace`
+//! — the server owns each session's journal and trace inside its
+//! root) and prints the session id; `tail` streams the session's live
+//! NDJSON telemetry until it is terminal.
 //!
 //! Functions are catalogue names (`f2`, `m0b`, ...) or formulas over
 //! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`. With `--json`, `findlut`
@@ -40,41 +57,138 @@
 use std::process::ExitCode;
 
 use bitmod::cli;
+use bitmod::fleet::{Endpoint, Fleet, FleetClient, FleetConfig, FleetServer, SessionSpec};
 use bitstream::Bitstream;
 
+/// Parses the attack/submit spec flags through the validating
+/// builder. `local` admits the local-only flags
+/// (`--journal`/`--resume`/`--trace`); submissions reject them with a
+/// pointer at the server-owned layout.
+fn parse_spec(rest: &[String], local: bool) -> Result<SessionSpec, Box<dyn std::error::Error>> {
+    let mut b = SessionSpec::builder();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        b = match arg.as_str() {
+            "--noisy" => b.noisy(true),
+            "--seed" => b.seed(it.next().ok_or("--seed needs a value")?.parse()?),
+            "--glitch" => b.glitch(it.next().ok_or("--glitch needs a value")?.parse()?),
+            "--load-fail" => b.load_fail(it.next().ok_or("--load-fail needs a value")?.parse()?),
+            "--votes" => b.votes(it.next().ok_or("--votes needs a value")?.parse()?),
+            "--budget" => b.budget(it.next().ok_or("--budget needs a value")?.parse()?),
+            "--stride" => b.stride(it.next().ok_or("--stride needs a value")?.parse()?),
+            "--deadline-ms" => {
+                b.deadline_ms(it.next().ok_or("--deadline-ms needs a value")?.parse()?)
+            }
+            "--batch" => b.batch(fpga_sim::GANG_LANES),
+            "--journal" if local => b.journal(it.next().ok_or("--journal needs a path")?),
+            "--resume" if local => b.resume(true),
+            "--trace" if local => b.trace(it.next().ok_or("--trace needs a path")?),
+            "--journal" | "--resume" | "--trace" => {
+                return Err(format!(
+                    "'{arg}' is local-only; the server journals and traces every \
+                     session inside its --root"
+                )
+                .into());
+            }
+            flag => return Err(format!("unknown attack option '{flag}'").into()),
+        };
+    }
+    Ok(b.build()?)
+}
+
 fn run_attack(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let mut opts = cli::AttackOptions::default();
+    let spec = parse_spec(rest, true)?;
+    print!("{}", cli::cmd_attack(&spec)?);
+    Ok(())
+}
+
+fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:7545".to_string();
+    let mut root = ".bitmod-fleet".to_string();
+    let mut workers: Option<usize> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--noisy" => opts.noisy = true,
-            "--seed" => opts.seed = it.next().ok_or("--seed needs a value")?.parse()?,
-            "--glitch" => opts.glitch = it.next().ok_or("--glitch needs a value")?.parse()?,
-            "--load-fail" => {
-                opts.load_fail = it.next().ok_or("--load-fail needs a value")?.parse()?;
-            }
-            "--votes" => opts.votes = it.next().ok_or("--votes needs a value")?.parse()?,
-            "--budget" => opts.budget = Some(it.next().ok_or("--budget needs a value")?.parse()?),
-            "--stride" => opts.stride = it.next().ok_or("--stride needs a value")?.parse()?,
-            "--journal" => {
-                opts.journal = Some(it.next().ok_or("--journal needs a path")?.into());
-            }
-            "--resume" => opts.resume = true,
-            "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a path")?.into()),
-            "--batch" => opts.batch = true,
-            flag => return Err(format!("unknown attack option '{flag}'").into()),
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--root" => root = it.next().ok_or("--root needs a path")?.clone(),
+            "--workers" => workers = Some(it.next().ok_or("--workers needs a value")?.parse()?),
+            flag => return Err(format!("unknown serve option '{flag}'").into()),
         }
     }
-    print!("{}", cli::cmd_attack(&opts)?);
+    let mut config = FleetConfig::new(root);
+    if let Some(n) = workers {
+        config = config.workers(n);
+    }
+    let workers = config.worker_count();
+    let fleet = Fleet::start(config)?;
+    let server = FleetServer::bind(&Endpoint::parse(&addr), fleet)?;
+    println!(
+        "listening on {} ({} workers, root {})",
+        server.endpoint(),
+        workers,
+        server.fleet().root().display()
+    );
+    server.run();
+    Ok(())
+}
+
+/// Splits `--addr` off a client subcommand's arguments; everything
+/// else is returned for the subcommand to parse.
+fn split_addr(rest: &[String]) -> Result<(Endpoint, Vec<String>), Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:7545".to_string();
+    let mut remainder = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--addr" {
+            addr = it.next().ok_or("--addr needs a value")?.clone();
+        } else {
+            remainder.push(arg.clone());
+        }
+    }
+    Ok((Endpoint::parse(&addr), remainder))
+}
+
+fn run_client(cmd: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (endpoint, rest) = split_addr(rest)?;
+    let mut client = FleetClient::connect(&endpoint)?;
+    match cmd {
+        "submit" => {
+            let spec = parse_spec(&rest, false)?;
+            println!("{}", client.submit(&spec)?);
+        }
+        "status" => match rest.first() {
+            Some(id) => println!("{}", client.status(id)?),
+            None => println!("{}", client.list()?),
+        },
+        "tail" => {
+            let id = rest.first().ok_or("tail needs a session id")?;
+            let state = client.tail(id, &mut std::io::stdout())?;
+            println!("session {id}: {state}");
+        }
+        "cancel" => {
+            let id = rest.first().ok_or("cancel needs a session id")?;
+            client.cancel(id)?;
+            println!("cancelled {id}");
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("server shutting down");
+        }
+        _ => unreachable!("run_client called for '{cmd}'"),
+    }
     Ok(())
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "bitmod (findlut|table2|xorscan|packets|crc|diff|attack) <file> [...]";
+    let usage = "bitmod (findlut|table2|xorscan|packets|crc|diff|attack\
+                 |serve|submit|status|tail|cancel|shutdown) <file> [...]";
     let (cmd, rest) = args.split_first().ok_or(usage)?;
-    if cmd == "attack" {
-        return run_attack(rest);
+    match cmd.as_str() {
+        "attack" => return run_attack(rest),
+        "serve" => return run_serve(rest),
+        "submit" | "status" | "tail" | "cancel" | "shutdown" => return run_client(cmd, rest),
+        _ => {}
     }
     let (file, rest) = rest.split_first().ok_or(usage)?;
     let bs = Bitstream::from_bytes(std::fs::read(file)?);

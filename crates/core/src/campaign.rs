@@ -245,10 +245,33 @@ pub struct CellSupervisor {
 }
 
 impl CellSupervisor {
+    /// A free-standing supervisor over an explicit token, deadline
+    /// and recorder. The campaign engine builds these internally per
+    /// cell; the session facade and fleet workers build them directly
+    /// so every execution path shares the same oracle chokepoint.
+    #[must_use]
+    pub fn new(cancel: CancelToken, deadline: Option<Instant>, telemetry: Telemetry) -> Self {
+        Self { cancel, deadline, telemetry }
+    }
+
     /// Whether campaign cancellation has been requested.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
         self.cancel.is_cancelled()
+    }
+
+    /// The cooperative cancel token this supervisor enforces — what a
+    /// cell passes into the session facade so one token stops both
+    /// layers.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The wall-clock deadline this supervisor enforces, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// This cell's telemetry recorder. Pass it to
@@ -298,6 +321,35 @@ impl KeystreamOracle for SupervisedOracle<'_> {
             }
         }
         self.inner.keystream(bitstream, words)
+    }
+
+    /// Batches pass through to the inner oracle's wide path (the
+    /// 64-lane gang simulator) after one supervision check — the
+    /// whole batch is one device pass, so cancellation cannot land
+    /// between its lanes any more than it could land mid-keystream.
+    fn keystream_batch(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        self.telemetry.incr(names::SUPERVISED_CALLS, 1);
+        if self.cancel.is_cancelled() {
+            self.telemetry.incr(names::SUPERVISED_REJECTIONS, 1);
+            return bitstreams
+                .iter()
+                .map(|_| Err(OracleError::Rejected("campaign cancelled".into())))
+                .collect();
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                self.telemetry.incr(names::SUPERVISED_REJECTIONS, 1);
+                return bitstreams
+                    .iter()
+                    .map(|_| Err(OracleError::Rejected("cell wall-clock deadline exceeded".into())))
+                    .collect();
+            }
+        }
+        self.inner.keystream_batch(bitstreams, words)
     }
 
     fn state_snapshot(&self) -> Option<Vec<u8>> {

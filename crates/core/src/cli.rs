@@ -16,12 +16,13 @@ use boolfn::TruthTable;
 
 use bitstream::{Bitstream, Packet, FRAME_BYTES};
 
-use crate::attack::{Attack, AttackError};
+use crate::attack::AttackError;
 use crate::candidates::Catalogue;
 use crate::countermeasure::xor_half_scan;
 use crate::findlut::{LutHit, ScanConfigError, Scanner};
-use crate::oracle::KeystreamOracle;
-use crate::resilient::ResilienceConfig;
+use crate::fleet::{
+    ConfigError, ResumePolicy, SessionError, SessionIo, SessionOutcome, SessionSpec,
+};
 
 /// An error from a CLI operation.
 #[derive(Debug)]
@@ -47,6 +48,10 @@ pub enum CliError {
     Attack(AttackError),
     /// The telemetry trace sink could not be opened or written.
     Telemetry(crate::telemetry::TelemetryError),
+    /// The attack flags did not form a valid session spec.
+    Spec(ConfigError),
+    /// The session harness failed outside the attack pipeline.
+    Session(SessionError),
 }
 
 impl fmt::Display for CliError {
@@ -61,6 +66,8 @@ impl fmt::Display for CliError {
             CliError::Board(e) => write!(f, "victim board construction failed: {e}"),
             CliError::Attack(e) => write!(f, "attack failed: {e}"),
             CliError::Telemetry(e) => write!(f, "telemetry failure: {e}"),
+            CliError::Spec(e) => write!(f, "invalid session spec: {e}"),
+            CliError::Session(e) => write!(f, "session failed: {e}"),
         }
     }
 }
@@ -73,6 +80,8 @@ impl std::error::Error for CliError {
             CliError::Board(e) => Some(e),
             CliError::Attack(e) => Some(e),
             CliError::Telemetry(e) => Some(e),
+            CliError::Spec(e) => Some(e),
+            CliError::Session(e) => Some(e),
             _ => None,
         }
     }
@@ -99,6 +108,25 @@ impl From<AttackError> for CliError {
 impl From<crate::telemetry::TelemetryError> for CliError {
     fn from(e: crate::telemetry::TelemetryError) -> Self {
         CliError::Telemetry(e)
+    }
+}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Spec(e)
+    }
+}
+
+impl From<SessionError> for CliError {
+    fn from(e: SessionError) -> Self {
+        // Unwrap the variants with established CLI renderings so
+        // error text stays stable across the facade migration.
+        match e {
+            SessionError::Board(e) => CliError::Board(e),
+            SessionError::Attack(e) => CliError::Attack(e),
+            SessionError::Telemetry(e) => CliError::Telemetry(e),
+            other => CliError::Session(other),
+        }
     }
 }
 
@@ -311,8 +339,19 @@ pub fn default_stride() -> usize {
     FRAME_BYTES
 }
 
-/// Options for [`cmd_attack`]: the simulated end-to-end demo,
-/// optionally against an unreliable board.
+/// The pre-0.7 field bag behind `bitmod attack`.
+///
+/// Superseded by the validating session facade: build a
+/// [`SessionSpec`] (via [`SessionSpec::builder`] or
+/// [`AttackOptions::into_spec`]) and pass it to [`cmd_attack`] — the
+/// spec validates every field up front with typed [`ConfigError`]s
+/// where this struct silently accepted nonsense (even vote counts,
+/// rates above 1, a zero budget).
+#[deprecated(
+    since = "0.7.0",
+    note = "build a fleet::SessionSpec instead (SessionSpec::builder() or \
+            AttackOptions::into_spec()) and pass it to cmd_attack"
+)]
 #[derive(Debug, Clone)]
 pub struct AttackOptions {
     /// Run against an [`fpga_sim::UnreliableBoard`] instead of the
@@ -346,6 +385,7 @@ pub struct AttackOptions {
     pub batch: bool,
 }
 
+#[allow(deprecated)]
 impl Default for AttackOptions {
     fn default() -> Self {
         Self {
@@ -361,6 +401,38 @@ impl Default for AttackOptions {
             trace: None,
             batch: false,
         }
+    }
+}
+
+#[allow(deprecated)]
+impl AttackOptions {
+    /// Migrates this field bag into a validated [`SessionSpec`] — the
+    /// bridge for callers moving off the deprecated options struct.
+    /// `batch: true` maps to the full gang width, as `--batch` did.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] the validating builder finds.
+    pub fn into_spec(&self) -> Result<SessionSpec, ConfigError> {
+        let mut b = SessionSpec::builder()
+            .noisy(self.noisy)
+            .seed(self.seed)
+            .glitch(self.glitch)
+            .load_fail(self.load_fail)
+            .votes(self.votes)
+            .stride(self.stride)
+            .batch(if self.batch { fpga_sim::GANG_LANES } else { 1 })
+            .resume(self.resume);
+        if let Some(budget) = self.budget {
+            b = b.budget(budget);
+        }
+        if let Some(path) = &self.journal {
+            b = b.journal(path.clone());
+        }
+        if let Some(path) = &self.trace {
+            b = b.trace(path.clone());
+        }
+        b.build()
     }
 }
 
@@ -380,28 +452,19 @@ impl Default for AttackOptions {
 /// # Errors
 ///
 /// Propagates board-construction, journal and attack failures;
-/// [`CliError::Usage`] when `resume` is set without `journal`.
-pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
+/// [`CliError::Session`] when the spec/run-site combination is
+/// invalid (e.g. `--resume` pointing at a journal that does not
+/// exist).
+pub fn cmd_attack(spec: &SessionSpec) -> Result<String, CliError> {
     use fmt::Write;
     let config = netlist::snow3g_circuit::Snow3gCircuitConfig::unprotected(
         snow3g::vectors::TEST_SET_1_KEY,
         snow3g::vectors::TEST_SET_1_IV,
     );
     let board = fpga_sim::Snow3gBoard::build(config, &fpga_sim::ImplementOptions::default())?;
-    let golden = board.extract_bitstream();
-
-    let mut noisy_board = None;
-    let oracle: &dyn KeystreamOracle = if opts.noisy {
-        let profile = fpga_sim::FaultProfile::flaky(opts.seed)
-            .with_bit_glitch(opts.glitch)
-            .with_load_failure(opts.load_fail);
-        noisy_board.insert(fpga_sim::UnreliableBoard::new(board, profile))
-    } else {
-        &board
-    };
 
     let mut out = String::new();
-    let telemetry = match &opts.trace {
+    let telemetry = match spec.trace_path() {
         Some(path) => {
             let t = crate::telemetry::Telemetry::to_path(path)?;
             let _ = writeln!(out, "tracing to {}", path.display());
@@ -409,76 +472,53 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
         }
         None => crate::telemetry::Telemetry::off(),
     };
-    if opts.noisy {
+    if spec.noisy {
         let _ = writeln!(
             out,
             "noisy mode: glitch {:.2}%/bit, load failure {:.1}%, {} votes, seed {}",
-            opts.glitch * 100.0,
-            opts.load_fail * 100.0,
-            opts.votes,
-            opts.seed
+            spec.glitch * 100.0,
+            spec.load_fail * 100.0,
+            spec.votes,
+            spec.seed
         );
     }
-
-    let attack = if opts.resume {
-        let Some(path) = &opts.journal else {
-            return Err(CliError::Usage("attack --resume requires --journal PATH".into()));
-        };
-        let journal = crate::journal::AttackJournal::new(path);
+    if spec.resume {
+        // A validated spec cannot carry `resume` without a journal.
+        let path = spec.journal_path().expect("spec validation ties resume to a journal");
         let _ = writeln!(out, "resuming from journal {}", path.display());
-        match opts.budget {
-            // A fresh budget raises the cap of the resumed run; all
-            // trace-determining parameters stay journalled.
-            Some(budget) => {
-                let config = journal.load().map_err(AttackError::from)?.config.with_budget(budget);
-                Attack::resume_with(oracle, golden, journal, config)?
-            }
-            None => Attack::resume(oracle, golden, journal)?,
-        }
-        .with_telemetry(telemetry.clone())
-    } else {
-        let mut resilience = if opts.noisy {
-            // Decorrelate the jitter stream from the board's fault
-            // stream while keeping both functions of one user seed.
-            ResilienceConfig::noisy(opts.seed ^ 0x5EED).with_votes(opts.votes)
-        } else {
-            ResilienceConfig::off()
-        };
-        if let Some(budget) = opts.budget {
-            resilience = resilience.with_budget(budget);
-        }
-        let mut attack =
-            Attack::instrumented(oracle, golden, opts.stride, resilience, telemetry.clone())?;
-        if let Some(path) = &opts.journal {
-            attack = attack.with_journal(crate::journal::AttackJournal::new(path))?;
-            let _ = writeln!(out, "journalling to {}", path.display());
-        }
-        attack
+    } else if let Some(path) = spec.journal_path() {
+        let _ = writeln!(out, "journalling to {}", path.display());
+    }
+    if spec.batch > 1 {
+        let _ = writeln!(out, "batched oracle: up to {} queries per pass", spec.batch);
+    }
+
+    let io = SessionIo {
+        journal: spec.journal_path().map(std::path::Path::to_path_buf),
+        resume: if spec.resume { ResumePolicy::Require } else { ResumePolicy::Never },
+        telemetry: telemetry.clone(),
+        cancel: crate::campaign::CancelToken::new(),
+        // The CLI demo trusts the pipeline's own verification pass
+        // (as it always has) rather than cross-checking the key.
+        expected_key: None,
     };
-    let attack = if opts.batch {
-        let _ = writeln!(out, "batched oracle: up to {} queries per pass", fpga_sim::GANG_LANES);
-        attack.with_batch(fpga_sim::GANG_LANES)
+    let report = if spec.noisy {
+        let board = fpga_sim::UnreliableBoard::new(board, spec.fault_profile());
+        let golden = board.extract_bitstream();
+        let report = spec.run_against(&board, golden, &io)?;
+        // Board-side fault accounting (faults *injected*) — recorded
+        // after the run so the trace can set it against the retries
+        // the attack *observed* (glitched bits that majority voting
+        // outvotes never surface as retries).
+        crate::fleet::session::record_board_faults(&telemetry, &board);
+        report
     } else {
-        attack
+        let golden = board.extract_bitstream();
+        spec.run_against(&board, golden, &io)?
     };
 
-    let result = attack.run();
-    // Board-side fault accounting (faults *injected*) — recorded
-    // after the run so the trace can set it against the retries the
-    // attack *observed* (glitched bits that majority voting outvotes
-    // never surface as retries).
-    if let Some(b) = &noisy_board {
-        let fs = b.fault_stats();
-        telemetry.record_board_faults(
-            fs.loads_attempted,
-            fs.transient_failures,
-            fs.timeouts,
-            fs.truncated_reads,
-            fs.bits_flipped,
-        );
-    }
-    match result {
-        Ok(report) => {
+    match (&report.attack, &report.checkpoint) {
+        (Some(report), _) => {
             let _ = writeln!(out, "recovered key: {}", report.recovered.key);
             let _ = writeln!(out, "recovered iv:  {}", report.recovered.iv);
             let _ = writeln!(
@@ -499,15 +539,15 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
                 report.dead_candidates
             );
         }
-        Err(AttackError::Exhausted { checkpoint, source }) => {
-            let _ = writeln!(out, "query budget exhausted: {source}");
+        (None, Some(checkpoint)) => {
+            let _ = writeln!(out, "query budget exhausted: {}", report.outcome.note());
             let _ = writeln!(out, "partial result: {checkpoint}");
             let _ = writeln!(
                 out,
                 "  verified z-path bits: {:032b}",
                 checkpoint.z_luts.iter().fold(0u32, |m, z| m | 1 << z.bit)
             );
-            if let Some(path) = &opts.journal {
+            if let Some(path) = spec.journal_path() {
                 let _ = writeln!(
                     out,
                     "journal saved: rerun with --journal {} --resume --budget N to continue",
@@ -515,7 +555,11 @@ pub fn cmd_attack(opts: &AttackOptions) -> Result<String, CliError> {
                 );
             }
         }
-        Err(e) => return Err(e.into()),
+        (None, None) => {
+            // Cancelled (no cancel source exists on this path, but
+            // the facade's contract allows it).
+            let _ = writeln!(out, "session {}", SessionOutcome::Cancelled.state_str());
+        }
     }
     if telemetry.is_enabled() {
         telemetry.finish()?;

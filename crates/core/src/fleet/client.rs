@@ -1,0 +1,231 @@
+//! The thin fleet client behind `bitmod submit`, `status`, `tail` and
+//! `cancel`: one connection, newline-framed requests, JSON-line
+//! responses — the exact inverse of [`server`](super::server).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+use super::server::Endpoint;
+use super::session::SessionSpec;
+use super::wire;
+
+/// A client-side failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(io::Error),
+    /// The server answered `{"ok":false,…}`.
+    Server(String),
+    /// The server answered something that is not the protocol.
+    Protocol(String),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(line) => write!(f, "unexpected response: {line}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a fleet server.
+#[derive(Debug)]
+pub struct FleetClient {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl FleetClient {
+    /// Connects to a server endpoint.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect error.
+    pub fn connect(endpoint: &Endpoint) -> Result<Self, ClientError> {
+        let (reader, writer) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                (Conn::Tcp(stream.try_clone()?), Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                (Conn::Unix(stream.try_clone()?), Conn::Unix(stream))
+            }
+        };
+        Ok(Self { reader: BufReader::new(reader), writer })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// One request, one JSON-line response, `ok` checked.
+    fn round_trip(&mut self, request: &wire::Request) -> Result<String, ClientError> {
+        self.send(&request.to_line())?;
+        let line = self.read_line()?;
+        if wire::is_ok(&line) {
+            Ok(line)
+        } else if let Some(message) = wire::string_field(&line, "error") {
+            Err(ClientError::Server(message))
+        } else {
+            Err(ClientError::Protocol(line))
+        }
+    }
+
+    /// Submits a session; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure.
+    pub fn submit(&mut self, spec: &SessionSpec) -> Result<String, ClientError> {
+        let line = self.round_trip(&wire::Request::Submit(spec.clone()))?;
+        wire::string_field(&line, "id").ok_or(ClientError::Protocol(line))
+    }
+
+    /// One session's status, as the raw JSON response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure (including an
+    /// unknown id).
+    pub fn status(&mut self, id: &str) -> Result<String, ClientError> {
+        self.round_trip(&wire::Request::Status(id.to_string()))
+    }
+
+    /// Every session's status, as the raw JSON response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure.
+    pub fn list(&mut self) -> Result<String, ClientError> {
+        self.round_trip(&wire::Request::List)
+    }
+
+    /// Cancels a session.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure.
+    pub fn cancel(&mut self, id: &str) -> Result<(), ClientError> {
+        self.round_trip(&wire::Request::Cancel(id.to_string())).map(|_| ())
+    }
+
+    /// The fleet counters, as the raw JSON response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure.
+    pub fn counters(&mut self) -> Result<String, ClientError> {
+        self.round_trip(&wire::Request::Counters)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.round_trip(&wire::Request::Ping).map(|_| ())
+    }
+
+    /// Asks the server to shut down (it drains its fleet first).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.round_trip(&wire::Request::Shutdown).map(|_| ())
+    }
+
+    /// Streams a session's live NDJSON telemetry into `out` until the
+    /// session is terminal; returns the terminal state string.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure (including an
+    /// unknown id).
+    pub fn tail(&mut self, id: &str, out: &mut dyn Write) -> Result<String, ClientError> {
+        self.send(&wire::Request::Tail(id.to_string()).to_line())?;
+        loop {
+            let line = self.read_line()?;
+            if wire::is_tail_done(&line) {
+                return wire::string_field(&line, "state").ok_or(ClientError::Protocol(line));
+            }
+            if line.starts_with("{\"ok\":false") {
+                return Err(ClientError::Server(
+                    wire::string_field(&line, "error").unwrap_or(line),
+                ));
+            }
+            writeln!(out, "{line}")?;
+        }
+    }
+}

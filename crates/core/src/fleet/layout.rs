@@ -1,0 +1,279 @@
+//! Typed on-disk layout for attack sessions.
+//!
+//! A fleet worker (and the sweep binaries) write several artifacts
+//! per session — the crash-safe attack journal, the live NDJSON
+//! telemetry trace, the submitted spec, the final result — and all of
+//! them must land inside *one* session directory that either exists
+//! completely or not at all. Resolving each path independently (the
+//! pre-0.7 `noise-sweep --journal`/`--trace` behaviour) can
+//! half-create a session: the journal's parent directory exists, the
+//! trace's does not, and a killed worker leaves an undecodable
+//! mixture behind. [`SessionLayout`] owns the whole directory, and
+//! [`SessionLayout::create`] materialises it atomically (populate a
+//! hidden temp directory, then one `rename`), so a directory that
+//! exists is always complete.
+
+use core::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the crash-safe attack journal inside a session
+/// directory.
+pub const JOURNAL_FILE: &str = "attack.journal";
+
+/// File name of the live NDJSON telemetry trace.
+pub const TRACE_FILE: &str = "trace.ndjson";
+
+/// File name of the submitted session spec (wire form, one line).
+pub const SPEC_FILE: &str = "spec";
+
+/// File name of the terminal session result (one JSON line).
+pub const RESULT_FILE: &str = "result.json";
+
+/// A failure while resolving or materialising an output layout.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// Creating or renaming the session directory failed.
+    Io {
+        /// The directory being created.
+        dir: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// `--dir` was combined with an explicit `--journal`/`--trace`
+    /// path; the layout owns both, so the combination is ambiguous.
+    ConflictingPaths {
+        /// The flag that conflicted with `--dir`.
+        flag: &'static str,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::Io { dir, source } => {
+                write!(f, "cannot materialise session directory {}: {source}", dir.display())
+            }
+            LayoutError::ConflictingPaths { flag } => {
+                write!(f, "--dir resolves {flag} itself; drop the explicit {flag} path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LayoutError::Io { source, .. } => Some(source),
+            LayoutError::ConflictingPaths { .. } => None,
+        }
+    }
+}
+
+/// The on-disk home of one attack session (or one sweep): a single
+/// directory holding the journal, trace, spec and result files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionLayout {
+    dir: PathBuf,
+}
+
+impl SessionLayout {
+    /// The layout rooted at `dir` (not yet created — see
+    /// [`SessionLayout::create`]).
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The layout of session `id` under the fleet root `root`
+    /// (`root/id`).
+    #[must_use]
+    pub fn for_session(root: impl AsRef<Path>, id: &str) -> Self {
+        Self { dir: root.as_ref().join(id) }
+    }
+
+    /// The session directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the crash-safe attack journal.
+    #[must_use]
+    pub fn journal(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+
+    /// Path of the live NDJSON telemetry trace.
+    #[must_use]
+    pub fn trace(&self) -> PathBuf {
+        self.dir.join(TRACE_FILE)
+    }
+
+    /// Path of the submitted spec (wire form).
+    #[must_use]
+    pub fn spec(&self) -> PathBuf {
+        self.dir.join(SPEC_FILE)
+    }
+
+    /// Path of the terminal result record.
+    #[must_use]
+    pub fn result(&self) -> PathBuf {
+        self.dir.join(RESULT_FILE)
+    }
+
+    /// Whether the session directory exists (and is therefore
+    /// complete — see [`SessionLayout::create`]).
+    #[must_use]
+    pub fn exists(&self) -> bool {
+        self.dir.is_dir()
+    }
+
+    /// Materialises the session directory atomically: contents are
+    /// staged in a hidden sibling (`.<name>.tmp-<pid>`) and published
+    /// with a single `rename`, so a crash mid-create leaves no
+    /// half-built directory under the session's name. `seed_files`
+    /// are written into the staged directory before the rename
+    /// (`(file name, contents)` pairs — the spec, typically).
+    /// Idempotent: an existing directory is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::Io`] when staging or renaming fails.
+    pub fn create(&self, seed_files: &[(&str, &str)]) -> Result<(), LayoutError> {
+        if self.exists() {
+            return Ok(());
+        }
+        let io_err = |source| LayoutError::Io { dir: self.dir.clone(), source };
+        let parent = self.dir.parent().unwrap_or_else(|| Path::new("."));
+        fs::create_dir_all(parent).map_err(io_err)?;
+        let name = self.dir.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+        let staging = parent.join(format!(".{name}.tmp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&staging);
+        fs::create_dir(&staging).map_err(io_err)?;
+        for (file, contents) in seed_files {
+            fs::write(staging.join(file), contents).map_err(io_err)?;
+        }
+        match fs::rename(&staging, &self.dir) {
+            Ok(()) => Ok(()),
+            // Lost a create race: someone else published the
+            // directory first; theirs is complete, ours is surplus.
+            Err(_) if self.exists() => {
+                let _ = fs::remove_dir_all(&staging);
+                Ok(())
+            }
+            Err(source) => {
+                let _ = fs::remove_dir_all(&staging);
+                Err(io_err(source))
+            }
+        }
+    }
+}
+
+/// The resolved output paths of a journalled + traced run: both
+/// resolved through one call, so they cannot disagree about where the
+/// session lives. This is the CLI-facing face of [`SessionLayout`] —
+/// `noise-sweep` (and `bitmod attack`) feed their `--dir`,
+/// `--journal` and `--trace` flags through [`OutputPaths::resolve`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutputPaths {
+    /// Where the crash-safe journal goes (`None` = not journalled).
+    pub journal: Option<PathBuf>,
+    /// Where the NDJSON trace goes (`None` = not traced).
+    pub trace: Option<PathBuf>,
+}
+
+impl OutputPaths {
+    /// Resolves the three output flags into one consistent layout:
+    ///
+    /// * with `dir`, both paths live inside the atomically-created
+    ///   session directory ([`JOURNAL_FILE`], [`TRACE_FILE`]), and
+    ///   combining `dir` with an explicit path is a typed error;
+    /// * without `dir`, the explicit paths pass through unchanged
+    ///   (both may be `None`).
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::ConflictingPaths`] for `dir` + explicit path;
+    /// [`LayoutError::Io`] when the session directory cannot be
+    /// created.
+    pub fn resolve(
+        dir: Option<&Path>,
+        journal: Option<PathBuf>,
+        trace: Option<PathBuf>,
+    ) -> Result<Self, LayoutError> {
+        let Some(dir) = dir else { return Ok(Self { journal, trace }) };
+        if journal.is_some() {
+            return Err(LayoutError::ConflictingPaths { flag: "--journal" });
+        }
+        if trace.is_some() {
+            return Err(LayoutError::ConflictingPaths { flag: "--trace" });
+        }
+        let layout = SessionLayout::at(dir);
+        layout.create(&[])?;
+        Ok(Self { journal: Some(layout.journal()), trace: Some(layout.trace()) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bitmod-layout-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_is_atomic_and_idempotent() {
+        let root = tempdir("atomic");
+        let layout = SessionLayout::for_session(&root, "s000001");
+        assert!(!layout.exists());
+        layout.create(&[(SPEC_FILE, "seed=7\n")]).expect("creates");
+        assert!(layout.exists());
+        assert_eq!(fs::read_to_string(layout.spec()).expect("spec"), "seed=7\n");
+        // No staging residue.
+        let residue: Vec<_> = fs::read_dir(&root)
+            .expect("root")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(residue.is_empty(), "staging directory must not survive: {residue:?}");
+        // Re-creating does not clobber.
+        layout.create(&[(SPEC_FILE, "seed=9\n")]).expect("idempotent");
+        assert_eq!(fs::read_to_string(layout.spec()).expect("spec"), "seed=7\n");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn resolve_derives_both_paths_from_dir() {
+        let dir = tempdir("resolve");
+        let paths = OutputPaths::resolve(Some(dir.as_path()), None, None).expect("resolves");
+        assert_eq!(paths.journal.as_deref(), Some(dir.join(JOURNAL_FILE).as_path()));
+        assert_eq!(paths.trace.as_deref(), Some(dir.join(TRACE_FILE).as_path()));
+        assert!(dir.is_dir(), "the session directory is created");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_rejects_dir_plus_explicit_path() {
+        let dir = tempdir("conflict");
+        let err = OutputPaths::resolve(Some(dir.as_path()), Some("x.journal".into()), None)
+            .expect_err("conflict");
+        assert!(matches!(err, LayoutError::ConflictingPaths { flag: "--journal" }), "{err}");
+        let err = OutputPaths::resolve(Some(dir.as_path()), None, Some("x.ndjson".into()))
+            .expect_err("conflict");
+        assert!(err.to_string().contains("--trace"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_passes_explicit_paths_through() {
+        let paths = OutputPaths::resolve(None, Some("a.journal".into()), None).expect("passes");
+        assert_eq!(paths.journal.as_deref(), Some(Path::new("a.journal")));
+        assert_eq!(paths.trace, None);
+    }
+}

@@ -1,0 +1,553 @@
+//! The work-stealing worker pool: N board-backed workers sharding
+//! attack sessions, with kill-and-steal recovery over the crash-safe
+//! journals.
+//!
+//! Scheduling is deliberately simple — one mutex over an injector
+//! queue plus per-worker queues, a condvar, and steal-back-half when
+//! a worker runs dry — because the unit of work (a full key-recovery
+//! session, hundreds of physical loads) is enormous compared to the
+//! cost of a queue operation. What makes the pool a *fleet* rather
+//! than a thread pool is the recovery contract: every session is
+//! journalled write-ahead into its own
+//! [`SessionLayout`](super::layout::SessionLayout), so a worker that
+//! dies mid-session (the in-process kill switch here, `SIGKILL` of
+//! the whole daemon in the serve smoke test) leaves a journal a peer
+//! picks up and resumes to the *bit-identical* query trace — the same
+//! guarantee `tests/resume.rs` pins for single runs, lifted to the
+//! fleet.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bitstream::Bitstream;
+
+use crate::campaign::CellStats;
+use crate::oracle::{KeystreamOracle, OracleError};
+use crate::telemetry::{names, Metrics, Telemetry};
+
+use super::session::{
+    record_board_faults, stats_from, ResumePolicy, SessionError, SessionIo, SessionOutcome,
+    SessionSpec,
+};
+use super::store::{SessionHandle, SessionStore, TeeSink};
+
+/// How a [`Fleet`] is dimensioned.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    root: PathBuf,
+    workers: usize,
+}
+
+impl FleetConfig {
+    /// A fleet rooted at `root` (session directories live underneath)
+    /// with one worker per available core.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self { root: root.into(), workers }
+    }
+
+    /// Overrides the worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// The fleet root directory.
+    #[must_use]
+    pub fn root_dir(&self) -> &Path {
+        &self.root
+    }
+}
+
+/// The scheduler state under the one lock.
+#[derive(Debug)]
+struct Sched {
+    /// Overflow + recovery queue every worker drains from.
+    injector: VecDeque<String>,
+    /// Per-worker queues (submissions go to the least loaded).
+    queues: Vec<VecDeque<String>>,
+    /// Workers that exited after a kill.
+    dead: Vec<bool>,
+    /// Sessions currently executing.
+    active: usize,
+}
+
+impl Sched {
+    fn queued(&self) -> usize {
+        self.injector.len() + self.queues.iter().map(VecDeque::len).sum::<usize>()
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    store: SessionStore,
+    sched: Mutex<Sched>,
+    changed: Condvar,
+    shutdown: AtomicBool,
+    kills: Vec<Arc<AtomicBool>>,
+    telemetry: Telemetry,
+}
+
+/// The work-stealing fleet: submit [`SessionSpec`]s, get
+/// [`SessionHandle`]s, let the pool shard the load.
+#[derive(Debug)]
+pub struct Fleet {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Fleet {
+    /// Opens the fleet root, requeues every interrupted session found
+    /// there (they resume from their journals), and starts the worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Layout`] when the root cannot be opened.
+    pub fn start(config: FleetConfig) -> Result<Self, SessionError> {
+        let (store, pending) = SessionStore::open(&config.root)?;
+        let workers = config.workers;
+        let shared = Arc::new(Shared {
+            store,
+            sched: Mutex::new(Sched {
+                injector: pending.iter().map(|h| h.id().to_string()).collect(),
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                dead: vec![false; workers],
+                active: 0,
+            }),
+            changed: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            kills: (0..workers).map(|_| Arc::new(AtomicBool::new(false))).collect(),
+            telemetry: Telemetry::new(),
+        });
+        let threads = (0..workers)
+            .map(|index| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name(format!("fleet-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Ok(Self { shared, threads: Mutex::new(threads) })
+    }
+
+    /// Admits a session and queues it on the least-loaded live
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Layout`] when the session directory cannot be
+    /// created.
+    pub fn submit(&self, spec: SessionSpec) -> Result<SessionHandle, SessionError> {
+        let handle = self.shared.store.admit(spec)?;
+        let mut sched = self.shared.sched.lock().expect("sched lock");
+        let target = (0..sched.queues.len())
+            .filter(|&i| !sched.dead[i])
+            .min_by_key(|&i| sched.queues[i].len());
+        match target {
+            Some(i) => sched.queues[i].push_back(handle.id().to_string()),
+            // Every worker killed: park on the injector; the session
+            // stays durable and runs on the next boot.
+            None => sched.injector.push_back(handle.id().to_string()),
+        }
+        drop(sched);
+        self.shared.telemetry.incr(names::FLEET_SESSIONS_SUBMITTED, 1);
+        self.shared.changed.notify_all();
+        Ok(handle)
+    }
+
+    /// The handle of session `id`, when known.
+    #[must_use]
+    pub fn handle(&self, id: &str) -> Option<SessionHandle> {
+        self.shared.store.get(id)
+    }
+
+    /// Every known session, in id order.
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionHandle> {
+        self.shared.store.all()
+    }
+
+    /// The fleet root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        self.shared.store.root()
+    }
+
+    /// A snapshot of the fleet-level counters
+    /// (`fleet.sessions_submitted`, `fleet.steal_count`, …).
+    #[must_use]
+    pub fn counters(&self) -> Metrics {
+        self.shared.telemetry.metrics()
+    }
+
+    /// Flips worker `index`'s kill switch: its in-flight session is
+    /// rejected at the next oracle query and requeued (journal intact
+    /// — a peer resumes it bit-identically), its queue drains to the
+    /// injector, and the thread exits. The chaos hook behind the
+    /// kill-and-steal tests.
+    pub fn kill_worker(&self, index: usize) -> bool {
+        let Some(kill) = self.shared.kills.get(index) else { return false };
+        kill.store(true, Ordering::SeqCst);
+        self.shared.changed.notify_all();
+        true
+    }
+
+    /// Blocks until no session is queued or running (or `timeout`).
+    /// Returns whether the fleet went idle.
+    #[must_use]
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut sched = self.shared.sched.lock().expect("sched lock");
+        loop {
+            if sched.queued() == 0 && sched.active == 0 {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else { return false };
+            let (guard, _) = self
+                .shared
+                .changed
+                .wait_timeout(sched, left.min(Duration::from_millis(100)))
+                .expect("sched lock");
+            sched = guard;
+        }
+    }
+
+    /// Graceful shutdown: workers finish every queued session, then
+    /// exit; returns the final counter snapshot. Sessions submitted
+    /// after this call park durably and run on the next boot.
+    pub fn shutdown(&self) -> Metrics {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.changed.notify_all();
+        let threads: Vec<_> = self.threads.lock().expect("threads lock").drain(..).collect();
+        for thread in threads {
+            let _ = thread.join();
+        }
+        self.shared.telemetry.metrics()
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// An oracle wrapper enforcing a worker's kill switch at the query
+/// chokepoint — the in-process analogue of `SIGKILL`, except the
+/// worker gets to requeue its session instead of relying on the next
+/// boot scan.
+struct KillGate<'a> {
+    inner: &'a dyn KeystreamOracle,
+    kill: &'a AtomicBool,
+}
+
+impl KillGate<'_> {
+    fn killed(&self) -> bool {
+        self.kill.load(Ordering::SeqCst)
+    }
+}
+
+impl KeystreamOracle for KillGate<'_> {
+    fn keystream(&self, bitstream: &Bitstream, words: usize) -> Result<Vec<u32>, OracleError> {
+        if self.killed() {
+            return Err(OracleError::Rejected("worker killed".into()));
+        }
+        self.inner.keystream(bitstream, words)
+    }
+
+    fn keystream_batch(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        if self.killed() {
+            return bitstreams
+                .iter()
+                .map(|_| Err(OracleError::Rejected("worker killed".into())))
+                .collect();
+        }
+        self.inner.keystream_batch(bitstreams, words)
+    }
+
+    fn state_snapshot(&self) -> Option<Vec<u8>> {
+        self.inner.state_snapshot()
+    }
+
+    fn restore_state(&self, state: &[u8]) -> Result<(), OracleError> {
+        self.inner.restore_state(state)
+    }
+}
+
+fn build_board() -> Result<fpga_sim::Snow3gBoard, SessionError> {
+    let config = netlist::snow3g_circuit::Snow3gCircuitConfig::unprotected(
+        snow3g::vectors::TEST_SET_1_KEY,
+        snow3g::vectors::TEST_SET_1_IV,
+    );
+    fpga_sim::Snow3gBoard::build(config, &fpga_sim::ImplementOptions::default())
+        .map_err(SessionError::Board)
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let started = Instant::now();
+    let mut busy = Duration::ZERO;
+    // The worker's board pool: one built board, reused across
+    // sessions (clean sessions borrow it, noisy sessions wrap it in
+    // the fault model and unwrap it back). Lost to a panicked
+    // session, rebuilt lazily.
+    let mut pool: Option<fpga_sim::Snow3gBoard> = None;
+    let kill = shared.kills[index].clone();
+
+    while let Some(id) = next_session(shared, index, &kill) {
+        let Some(handle) = shared.store.get(&id) else {
+            session_done(shared);
+            continue;
+        };
+        let t0 = Instant::now();
+        let keep_going = run_session(shared, index, &mut pool, &kill, &handle);
+        busy += t0.elapsed();
+        session_done(shared);
+        if !keep_going {
+            // Killed mid-session: hand the session back (its journal
+            // stays on disk, so the peer resumes it bit-identically).
+            handle.mark_requeued();
+            let mut sched = shared.sched.lock().expect("sched lock");
+            sched.injector.push_back(id);
+            drop(sched);
+            shared.telemetry.incr(names::FLEET_STEAL_COUNT, 1);
+            shared.changed.notify_all();
+            break;
+        }
+    }
+
+    // Exit bookkeeping: drain the queue so peers can steal the work,
+    // record utilisation, mark the slot dead.
+    let mut sched = shared.sched.lock().expect("sched lock");
+    let leftover: Vec<String> = sched.queues[index].drain(..).collect();
+    sched.injector.extend(leftover);
+    sched.dead[index] = true;
+    drop(sched);
+    if kill.load(Ordering::SeqCst) {
+        shared.telemetry.incr(names::FLEET_WORKERS_KILLED, 1);
+    }
+    let total = started.elapsed().max(Duration::from_micros(1));
+    let pct = (100 * busy.as_micros() / total.as_micros()) as u64;
+    shared.telemetry.observe(names::FLEET_WORKER_UTILISATION_PCT, pct.min(100));
+    shared.changed.notify_all();
+}
+
+/// Blocks until this worker has a session to run; `None` means exit
+/// (killed, or shut down with nothing left to do).
+fn next_session(shared: &Shared, index: usize, kill: &AtomicBool) -> Option<String> {
+    let mut sched = shared.sched.lock().expect("sched lock");
+    loop {
+        if kill.load(Ordering::SeqCst) {
+            return None;
+        }
+        if let Some(id) = sched.queues[index].pop_front() {
+            sched.active += 1;
+            observe_active(shared, sched.active);
+            return Some(id);
+        }
+        if let Some(id) = sched.injector.pop_front() {
+            sched.active += 1;
+            observe_active(shared, sched.active);
+            return Some(id);
+        }
+        // Steal the back half of the longest peer queue.
+        let victim = (0..sched.queues.len())
+            .filter(|&j| j != index && !sched.queues[j].is_empty())
+            .max_by_key(|&j| sched.queues[j].len());
+        if let Some(j) = victim {
+            let take = sched.queues[j].len().div_ceil(2);
+            let at = sched.queues[j].len() - take;
+            let stolen: Vec<String> = sched.queues[j].split_off(at).into();
+            shared.telemetry.incr(names::FLEET_STEAL_COUNT, stolen.len() as u64);
+            for id in &stolen {
+                if let Some(handle) = shared.store.get(id) {
+                    handle.mark_requeued();
+                }
+            }
+            sched.queues[index].extend(stolen);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && sched.queued() == 0 {
+            return None;
+        }
+        let (guard, _) =
+            shared.changed.wait_timeout(sched, Duration::from_millis(50)).expect("sched lock");
+        sched = guard;
+    }
+}
+
+fn observe_active(shared: &Shared, active: usize) {
+    shared.telemetry.observe(names::FLEET_SESSIONS_ACTIVE, active as u64);
+}
+
+fn session_done(shared: &Shared) {
+    let mut sched = shared.sched.lock().expect("sched lock");
+    sched.active -= 1;
+    observe_active(shared, sched.active);
+    drop(sched);
+    shared.telemetry.incr(names::FLEET_SESSIONS_DONE, 1);
+    shared.changed.notify_all();
+}
+
+/// Runs one session on this worker. Returns `false` when the kill
+/// switch interrupted it (the caller requeues the session and exits).
+fn run_session(
+    shared: &Shared,
+    index: usize,
+    pool: &mut Option<fpga_sim::Snow3gBoard>,
+    kill: &AtomicBool,
+    handle: &SessionHandle,
+) -> bool {
+    let spec = handle.spec().clone();
+    let layout = handle.layout().clone();
+    handle.mark_running(index);
+    if layout.journal().exists() {
+        shared.telemetry.incr(names::FLEET_SESSIONS_RESUMED, 1);
+    }
+
+    let telemetry = match TeeSink::create(&layout.trace(), handle.tap()) {
+        Ok(sink) => Telemetry::with_sink(Box::new(sink)),
+        // A broken trace sink must not fail the session; metrics
+        // still accumulate in memory.
+        Err(_) => Telemetry::new(),
+    };
+    let io = SessionIo {
+        journal: Some(layout.journal()),
+        resume: ResumePolicy::IfJournalExists,
+        telemetry,
+        cancel: handle.cancel_token(),
+        expected_key: Some(snow3g::vectors::TEST_SET_1_KEY),
+    };
+
+    let board = match pool.take().map(Ok).unwrap_or_else(build_board) {
+        Ok(board) => board,
+        Err(e) => {
+            handle.finish(&SessionOutcome::Failed {
+                stats: CellStats::default(),
+                note: e.to_string(),
+            });
+            return true;
+        }
+    };
+
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if spec.is_noisy() {
+            let noisy = fpga_sim::UnreliableBoard::new(board, spec.fault_profile());
+            let gate = KillGate { inner: &noisy, kill };
+            let golden = noisy.extract_bitstream();
+            let result = spec.run_against(&gate, golden, &io);
+            record_board_faults(&io.telemetry, &noisy);
+            (result, noisy.into_inner())
+        } else {
+            let gate = KillGate { inner: &board, kill };
+            let golden = board.extract_bitstream();
+            let result = spec.run_against(&gate, golden, &io);
+            (result, board)
+        }
+    }));
+
+    match run {
+        Ok((result, board)) => {
+            *pool = Some(board);
+            match result {
+                Ok(report) => handle.finish(&report.outcome),
+                Err(e) => {
+                    if kill.load(Ordering::SeqCst) {
+                        return false;
+                    }
+                    let outcome = if io.cancel.is_cancelled() {
+                        SessionOutcome::Cancelled
+                    } else {
+                        SessionOutcome::Failed {
+                            stats: stats_from(&io.telemetry),
+                            note: e.to_string(),
+                        }
+                    };
+                    handle.finish(&outcome);
+                }
+            }
+        }
+        Err(panic) => {
+            // The board moved into the panicked closure and is gone;
+            // the pool rebuilds lazily.
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "session panicked".to_string());
+            handle.finish(&SessionOutcome::Failed {
+                stats: stats_from(&io.telemetry),
+                note: format!("panicked: {message}"),
+            });
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::store::SessionState;
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bitmod-fleet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn a_clean_session_recovers_through_the_fleet() {
+        let root = temp_root("clean");
+        let fleet = Fleet::start(FleetConfig::new(&root).workers(1)).expect("starts");
+        let spec = SessionSpec::builder().batch(fpga_sim::GANG_LANES).build().expect("valid");
+        let handle = fleet.submit(spec).expect("submits");
+        let status = handle.wait();
+        assert_eq!(status.state, SessionState::Recovered, "note: {}", status.note);
+        assert!(status.stats.physical > 0, "physical loads accounted");
+        assert!(handle.layout().result().exists(), "result.json persisted");
+        assert!(!handle.layout().journal().exists(), "journal removed on success");
+        let counters = fleet.shutdown();
+        assert_eq!(counters.counter(names::FLEET_SESSIONS_SUBMITTED), 1);
+        assert_eq!(counters.counter(names::FLEET_SESSIONS_DONE), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cancelling_a_session_reaches_a_cancelled_terminal_state() {
+        let root = temp_root("cancel");
+        let fleet = Fleet::start(FleetConfig::new(&root).workers(1)).expect("starts");
+        // Cancel before submission can win the race with the worker:
+        // cancel the handle immediately; whichever query it lands on,
+        // the terminal state must be Cancelled, never a wrong result.
+        let spec = SessionSpec::builder().build().expect("valid");
+        let handle = fleet.submit(spec).expect("submits");
+        handle.cancel();
+        let status = handle.wait();
+        assert!(
+            matches!(status.state, SessionState::Cancelled | SessionState::Recovered),
+            "cancel races completion, got {:?} ({})",
+            status.state,
+            status.note
+        );
+        let _ = fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

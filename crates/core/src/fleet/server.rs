@@ -1,0 +1,368 @@
+//! The `bitmod serve` daemon: a line-protocol front end over a
+//! [`Fleet`].
+//!
+//! One thread accepts connections (TCP or — on Unix — a Unix-domain
+//! socket); each connection gets a thread speaking the
+//! [`wire`](super::wire) protocol: newline-framed requests in, one
+//! JSON line out per request, except `tail`, which streams the
+//! session's NDJSON telemetry until the session is terminal. The
+//! daemon is deliberately boring: all scheduling intelligence lives
+//! in the [`Fleet`], all framing in [`wire`], so the server is a
+//! dispatch table.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use super::scheduler::Fleet;
+use super::store::SessionState;
+use super::wire::{self, Request};
+
+/// Where a fleet server listens (and a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address (`127.0.0.1:7545`; port 0 binds an ephemeral
+    /// port, printed at startup).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses an `--addr` argument: anything containing a path
+    /// separator (or prefixed `unix:`) is a Unix socket path,
+    /// everything else a TCP address.
+    #[must_use]
+    pub fn parse(addr: &str) -> Self {
+        #[cfg(unix)]
+        {
+            if let Some(path) = addr.strip_prefix("unix:") {
+                return Endpoint::Unix(PathBuf::from(path));
+            }
+            if addr.contains('/') {
+                return Endpoint::Unix(PathBuf::from(addr));
+            }
+        }
+        Endpoint::Tcp(addr.to_string())
+    }
+}
+
+impl core::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// The serving front end: bind, then [`FleetServer::run`] until a
+/// `shutdown` request arrives.
+#[derive(Debug)]
+pub struct FleetServer {
+    fleet: Arc<Fleet>,
+    listener: Listener,
+    endpoint: Endpoint,
+    stop: Arc<AtomicBool>,
+}
+
+impl FleetServer {
+    /// Binds the endpoint. With `Tcp("…:0")` the kernel assigns a
+    /// port — read the bound address back with
+    /// [`FleetServer::endpoint`].
+    ///
+    /// # Errors
+    ///
+    /// The underlying bind error.
+    pub fn bind(endpoint: &Endpoint, fleet: Fleet) -> io::Result<Self> {
+        let (listener, endpoint) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let bound = Endpoint::Tcp(listener.local_addr()?.to_string());
+                (Listener::Tcp(listener), bound)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // A stale socket file from a killed daemon would make
+                // every restart fail; remove it first (connect-level
+                // liveness is the client's problem, not bind's).
+                let _ = std::fs::remove_file(path);
+                (Listener::Unix(UnixListener::bind(path)?), Endpoint::Unix(path.clone()))
+            }
+        };
+        Ok(Self {
+            fleet: Arc::new(fleet),
+            listener,
+            endpoint,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound endpoint (with the real port when bound to port 0).
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The fleet behind the server.
+    #[must_use]
+    pub fn fleet(&self) -> &Arc<Fleet> {
+        &self.fleet
+    }
+
+    /// Accepts and serves connections until a `shutdown` request,
+    /// then drains the fleet (graceful worker shutdown) and returns.
+    pub fn run(self) {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn = match &self.listener {
+                Listener::Tcp(listener) => listener.accept().map(|(s, _)| Conn::Tcp(s)),
+                #[cfg(unix)]
+                Listener::Unix(listener) => listener.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            let Ok(conn) = conn else { continue };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let fleet = self.fleet.clone();
+            let stop = self.stop.clone();
+            let endpoint = self.endpoint.clone();
+            let _ = thread::Builder::new().name("fleet-conn".into()).spawn(move || {
+                let _ = serve_connection(&fleet, &stop, &endpoint, conn);
+            });
+        }
+        let _ = self.fleet.shutdown();
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Runs the accept loop on a background thread — the test/embed
+    /// entry point. The returned handle joins it.
+    #[must_use]
+    pub fn spawn(self) -> thread::JoinHandle<()> {
+        thread::Builder::new()
+            .name("fleet-server".into())
+            .spawn(move || self.run())
+            .expect("server thread spawns")
+    }
+}
+
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+use std::io::Read as _;
+
+fn serve_connection(
+    fleet: &Fleet,
+    stop: &AtomicBool,
+    endpoint: &Endpoint,
+    conn: Conn,
+) -> io::Result<()> {
+    let mut writer = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Guard against unbounded lines: read_line on a take()
+        // adapter caps what one request can buffer.
+        let n = (&mut reader).take(wire::MAX_LINE as u64 + 1).read_line(&mut line)?;
+        if n == 0 {
+            return Ok(());
+        }
+        let request = match Request::parse(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                writeln!(writer, "{}", wire::error_json(&e.to_string()))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Submit(spec) => {
+                let response = match fleet.submit(spec) {
+                    Ok(handle) => wire::submit_json(handle.id()),
+                    Err(e) => wire::error_json(&e.to_string()),
+                };
+                writeln!(writer, "{response}")?;
+            }
+            Request::Status(id) => {
+                let response = match fleet.handle(&id) {
+                    Some(handle) => wire::status_json(&handle.status()),
+                    None => wire::error_json(&format!("unknown session '{id}'")),
+                };
+                writeln!(writer, "{response}")?;
+            }
+            Request::List => {
+                let statuses: Vec<_> =
+                    fleet.sessions().iter().map(super::store::SessionHandle::status).collect();
+                writeln!(writer, "{}", wire::list_json(&statuses))?;
+            }
+            Request::Tail(id) => match fleet.handle(&id) {
+                Some(handle) => stream_tail(&mut writer, stop, &handle)?,
+                None => {
+                    writeln!(writer, "{}", wire::error_json(&format!("unknown session '{id}'")))?
+                }
+            },
+            Request::Cancel(id) => {
+                let response = match fleet.handle(&id) {
+                    Some(handle) => {
+                        handle.cancel();
+                        wire::submit_json(handle.id())
+                    }
+                    None => wire::error_json(&format!("unknown session '{id}'")),
+                };
+                writeln!(writer, "{response}")?;
+            }
+            Request::Counters => {
+                let metrics = fleet.counters();
+                let counters: Vec<(String, u64)> =
+                    metrics.counters().map(|(name, v)| (name.to_string(), v)).collect();
+                writeln!(writer, "{}", wire::counters_json(&counters))?;
+            }
+            Request::Ping => writeln!(writer, "{{\"ok\":true,\"pong\":true}}")?,
+            Request::Shutdown => {
+                writeln!(writer, "{{\"ok\":true,\"shutdown\":true}}")?;
+                writer.flush()?;
+                stop.store(true, Ordering::SeqCst);
+                wake_accept(endpoint);
+                return Ok(());
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Streams a session's NDJSON telemetry to `writer` until the session
+/// is terminal (or the server stops), then sends the `done`
+/// terminator.
+fn stream_tail(
+    writer: &mut Conn,
+    stop: &AtomicBool,
+    handle: &super::store::SessionHandle,
+) -> io::Result<()> {
+    let mut sent = 0;
+    loop {
+        let lines = handle.tap_lines();
+        for line in &lines[sent.min(lines.len())..] {
+            writeln!(writer, "{line}")?;
+        }
+        sent = lines.len();
+        writer.flush()?;
+        let state = handle.state();
+        if state.is_terminal() {
+            // One final drain so nothing between the last poll and
+            // the terminal transition is lost.
+            let lines = handle.tap_lines();
+            for line in &lines[sent.min(lines.len())..] {
+                writeln!(writer, "{line}")?;
+            }
+            writeln!(writer, "{}", wire::tail_done_json(&handle.status()))?;
+            writer.flush()?;
+            return Ok(());
+        }
+        if stop.load(Ordering::SeqCst) {
+            let status =
+                super::store::SessionStatus { state: SessionState::Queued, ..handle.status() };
+            writeln!(writer, "{}", wire::tail_done_json(&status))?;
+            writer.flush()?;
+            return Ok(());
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Unblocks the accept loop after `stop` flips: one throwaway
+/// self-connection.
+fn wake_accept(endpoint: &Endpoint) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_distinguishes_tcp_and_unix() {
+        assert_eq!(Endpoint::parse("127.0.0.1:7545"), Endpoint::Tcp("127.0.0.1:7545".into()));
+        #[cfg(unix)]
+        {
+            assert_eq!(
+                Endpoint::parse("/tmp/bitmod.sock"),
+                Endpoint::Unix(PathBuf::from("/tmp/bitmod.sock"))
+            );
+            assert_eq!(
+                Endpoint::parse("unix:relative.sock"),
+                Endpoint::Unix(PathBuf::from("relative.sock"))
+            );
+            assert_eq!(Endpoint::parse("unix:rel.sock").to_string(), "unix:rel.sock");
+        }
+    }
+}

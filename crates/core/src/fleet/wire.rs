@@ -1,0 +1,378 @@
+//! The fleet's framed line protocol.
+//!
+//! Requests are single text lines (≤ [`MAX_LINE`] bytes), responses
+//! single JSON lines — the same NDJSON discipline the telemetry trace
+//! uses, so `bitmod tail` can interleave the two streams without a
+//! second framing layer. The verbs:
+//!
+//! | request                     | response                                |
+//! |-----------------------------|-----------------------------------------|
+//! | `submit <k=v ...>`          | `{"ok":true,"id":"s000042"}`            |
+//! | `status <id>`               | `{"ok":true,"id":…,"state":…,…}`        |
+//! | `list`                      | `{"ok":true,"sessions":[…]}`            |
+//! | `tail <id>`                 | telemetry NDJSON…, then `{"ok":true,"done":true,…}` |
+//! | `cancel <id>`               | `{"ok":true,"id":…}`                    |
+//! | `counters`                  | `{"ok":true,"counters":{…}}`            |
+//! | `ping`                      | `{"ok":true,"pong":true}`               |
+//! | `shutdown`                  | `{"ok":true,"shutdown":true}`           |
+//!
+//! Every failure is `{"ok":false,"error":"…"}`. The submit payload is
+//! exactly [`SessionSpec::to_wire`], so a spec that validates in the
+//! CLI validates on the server — one construction path.
+
+use crate::campaign::CellStats;
+
+use super::session::{ConfigError, SessionSpec};
+use super::store::{SessionState, SessionStatus};
+
+/// Hard cap on a protocol line: a submit line is well under 200
+/// bytes, so anything near this is garbage or abuse.
+pub const MAX_LINE: usize = 8 * 1024;
+
+/// A malformed request line.
+#[derive(Debug, PartialEq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The line exceeded [`MAX_LINE`] bytes.
+    LineTooLong(usize),
+    /// The verb is not part of the protocol.
+    UnknownVerb(String),
+    /// The verb needs an argument (`status`/`tail`/`cancel` need an
+    /// id, `submit` a spec).
+    MissingArgument(&'static str),
+    /// The submit payload failed spec validation.
+    BadSpec(ConfigError),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::LineTooLong(n) => write!(f, "request line of {n} bytes exceeds {MAX_LINE}"),
+            WireError::UnknownVerb(v) => write!(f, "unknown verb '{v}'"),
+            WireError::MissingArgument(what) => write!(f, "missing {what}"),
+            WireError::BadSpec(e) => write!(f, "invalid spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit a new session.
+    Submit(SessionSpec),
+    /// One session's status.
+    Status(String),
+    /// Every session's status.
+    List,
+    /// Stream a session's NDJSON telemetry until it is terminal.
+    Tail(String),
+    /// Cancel a session.
+    Cancel(String),
+    /// The fleet-level counters.
+    Counters,
+    /// Liveness probe.
+    Ping,
+    /// Stop the server (sessions still queued stay journalled on disk
+    /// and resume on the next boot).
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`]; the server renders it into the standard
+    /// error response.
+    pub fn parse(line: &str) -> Result<Self, WireError> {
+        if line.len() > MAX_LINE {
+            return Err(WireError::LineTooLong(line.len()));
+        }
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((verb, rest)) => (verb, rest.trim()),
+            None => (line, ""),
+        };
+        let id = |what| {
+            if rest.is_empty() {
+                Err(WireError::MissingArgument(what))
+            } else {
+                Ok(rest.to_string())
+            }
+        };
+        Ok(match verb {
+            "submit" => {
+                if rest.is_empty() {
+                    return Err(WireError::MissingArgument("session spec"));
+                }
+                Request::Submit(SessionSpec::from_wire(rest).map_err(WireError::BadSpec)?)
+            }
+            "status" => Request::Status(id("session id")?),
+            "list" => Request::List,
+            "tail" => Request::Tail(id("session id")?),
+            "cancel" => Request::Cancel(id("session id")?),
+            "counters" => Request::Counters,
+            "ping" => Request::Ping,
+            "shutdown" => Request::Shutdown,
+            other => return Err(WireError::UnknownVerb(other.to_string())),
+        })
+    }
+
+    /// Renders the request back to its line form (what the client
+    /// sends).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Submit(spec) => format!("submit {}", spec.to_wire()),
+            Request::Status(id) => format!("status {id}"),
+            Request::List => "list".to_string(),
+            Request::Tail(id) => format!("tail {id}"),
+            Request::Cancel(id) => format!("cancel {id}"),
+            Request::Counters => "counters".to_string(),
+            Request::Ping => "ping".to_string(),
+            Request::Shutdown => "shutdown".to_string(),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The standard error response.
+#[must_use]
+pub fn error_json(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(message))
+}
+
+/// The submit acknowledgement.
+#[must_use]
+pub fn submit_json(id: &str) -> String {
+    format!("{{\"ok\":true,\"id\":\"{}\"}}", json_escape(id))
+}
+
+/// One status object (without the `ok` envelope — `status` wraps it,
+/// `list` embeds many).
+#[must_use]
+pub fn status_object(status: &SessionStatus) -> String {
+    let worker = match status.worker {
+        Some(w) => w.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"state\":\"{}\",\"worker\":{worker},\"steals\":{},\
+         \"physical\":{},\"logical\":{},\"retries\":{},\"backoff_ms\":{},\"note\":\"{}\"}}",
+        json_escape(&status.id),
+        status.state.as_str(),
+        status.steals,
+        status.stats.physical,
+        status.stats.logical,
+        status.stats.retries,
+        status.stats.backoff_ms,
+        json_escape(&status.note),
+    )
+}
+
+/// The `status` response.
+#[must_use]
+pub fn status_json(status: &SessionStatus) -> String {
+    let object = status_object(status);
+    format!("{{\"ok\":true,{}", &object[1..])
+}
+
+/// The `list` response.
+#[must_use]
+pub fn list_json(statuses: &[SessionStatus]) -> String {
+    let sessions: Vec<String> = statuses.iter().map(status_object).collect();
+    format!("{{\"ok\":true,\"sessions\":[{}]}}", sessions.join(","))
+}
+
+/// The `tail` terminator, carrying the terminal state.
+#[must_use]
+pub fn tail_done_json(status: &SessionStatus) -> String {
+    format!(
+        "{{\"ok\":true,\"done\":true,\"id\":\"{}\",\"state\":\"{}\"}}",
+        json_escape(&status.id),
+        status.state.as_str()
+    )
+}
+
+/// The `counters` response from name/value pairs.
+#[must_use]
+pub fn counters_json(counters: &[(String, u64)]) -> String {
+    let fields: Vec<String> =
+        counters.iter().map(|(name, v)| format!("\"{}\":{v}", json_escape(name))).collect();
+    format!("{{\"ok\":true,\"counters\":{{{}}}}}", fields.join(","))
+}
+
+/// The one-line terminal `result.json` a finished session persists.
+#[must_use]
+pub fn result_json(state: SessionState, stats: &CellStats, note: &str) -> String {
+    format!(
+        "{{\"state\":\"{}\",\"physical\":{},\"logical\":{},\"retries\":{},\
+         \"backoff_ms\":{},\"note\":\"{}\"}}\n",
+        state.as_str(),
+        stats.physical,
+        stats.logical,
+        stats.retries,
+        stats.backoff_ms,
+        json_escape(note),
+    )
+}
+
+/// Parses a `result.json` line back (boot-time slot rebuild).
+#[must_use]
+pub fn parse_result_json(line: &str) -> Option<(SessionState, CellStats, String)> {
+    let state = SessionState::from_str(&string_field(line, "state")?)?;
+    let stats = CellStats {
+        physical: number_field(line, "physical")?,
+        logical: number_field(line, "logical")?,
+        retries: number_field(line, "retries")?,
+        backoff_ms: number_field(line, "backoff_ms")?,
+    };
+    Some((state, stats, string_field(line, "note").unwrap_or_default()))
+}
+
+/// Extracts `"name":"value"` from a flat JSON line, un-escaping the
+/// common sequences [`json_escape`] produces.
+#[must_use]
+pub fn string_field(line: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":\"");
+    let start = line.find(&key)? + key.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                escaped => out.push(escaped),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts `"name":1234` from a flat JSON line.
+#[must_use]
+pub fn number_field(line: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let start = line.find(&key)? + key.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Whether a response line reports success.
+#[must_use]
+pub fn is_ok(line: &str) -> bool {
+    line.starts_with("{\"ok\":true")
+}
+
+/// Whether a line is a `tail` terminator.
+#[must_use]
+pub fn is_tail_done(line: &str) -> bool {
+    is_ok(line) && line.contains("\"done\":true")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_their_line_form() {
+        let spec = SessionSpec::builder().noisy(true).seed(3).batch(8).build().unwrap();
+        let requests = [
+            Request::Submit(spec),
+            Request::Status("s000001".into()),
+            Request::List,
+            Request::Tail("s000002".into()),
+            Request::Cancel("s000003".into()),
+            Request::Counters,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert_eq!(Request::parse(&line).expect("parses"), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_fail_typed() {
+        assert_eq!(Request::parse("status").unwrap_err(), WireError::MissingArgument("session id"));
+        assert_eq!(Request::parse("frob x").unwrap_err(), WireError::UnknownVerb("frob".into()));
+        assert!(matches!(Request::parse("submit votes=2").unwrap_err(), WireError::BadSpec(_)));
+        let long = format!("status {}", "x".repeat(MAX_LINE));
+        assert!(matches!(Request::parse(&long).unwrap_err(), WireError::LineTooLong(_)));
+    }
+
+    #[test]
+    fn result_json_round_trips() {
+        let stats = CellStats { physical: 545, logical: 123, retries: 4, backoff_ms: 90 };
+        let line = result_json(SessionState::Exhausted, &stats, "budget \"cut\"\nat phase 4");
+        let (state, parsed, note) = parse_result_json(&line).expect("parses");
+        assert_eq!(state, SessionState::Exhausted);
+        assert_eq!(parsed, stats);
+        assert_eq!(note, "budget \"cut\"\nat phase 4");
+    }
+
+    #[test]
+    fn status_json_carries_the_accounting() {
+        let status = SessionStatus {
+            id: "s000007".into(),
+            state: SessionState::Running,
+            worker: Some(2),
+            steals: 1,
+            stats: CellStats { physical: 10, logical: 4, retries: 0, backoff_ms: 0 },
+            note: String::new(),
+        };
+        let line = status_json(&status);
+        assert!(is_ok(&line));
+        assert_eq!(string_field(&line, "id").as_deref(), Some("s000007"));
+        assert_eq!(string_field(&line, "state").as_deref(), Some("running"));
+        assert_eq!(number_field(&line, "worker"), Some(2));
+        assert_eq!(number_field(&line, "physical"), Some(10));
+        let list = list_json(&[status.clone(), status]);
+        assert!(is_ok(&list));
+        assert_eq!(list.matches("s000007").count(), 2);
+    }
+
+    #[test]
+    fn tail_terminator_is_distinguishable_from_telemetry_events() {
+        let status = SessionStatus {
+            id: "s000001".into(),
+            state: SessionState::Recovered,
+            worker: None,
+            steals: 0,
+            stats: CellStats::default(),
+            note: String::new(),
+        };
+        let done = tail_done_json(&status);
+        assert!(is_tail_done(&done));
+        assert!(!is_tail_done("{\"seq\":0,\"event\":\"trace_start\"}"));
+    }
+}

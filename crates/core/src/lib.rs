@@ -27,6 +27,12 @@
 //! * [`campaign`] — the supervised multi-run campaign engine: a grid
 //!   of attack cells with panic isolation, cooperative cancellation,
 //!   per-cell deadlines and a write-ahead results journal;
+//! * [`fleet`] — the attack-as-a-service layer: the validating
+//!   [`SessionSpec`](fleet::SessionSpec) facade (the one way to run
+//!   attacks since 0.7), a work-stealing worker pool sharding
+//!   sessions across board-backed workers with kill-and-steal
+//!   recovery over the crash-safe journals, and the `bitmod serve`
+//!   line-protocol server plus `submit`/`status`/`tail` client;
 //! * [`telemetry`] — the attack-phase telemetry engine: hierarchical
 //!   spans over the attack phases, counters and histograms at the
 //!   oracle chokepoints, an NDJSON event sink
@@ -59,6 +65,7 @@ pub mod countermeasure;
 pub mod edit;
 pub mod error;
 pub mod findlut;
+pub mod fleet;
 pub mod journal;
 pub mod oracle;
 pub mod resilient;
@@ -75,6 +82,10 @@ pub use error::Error;
 pub use findlut::find_lut;
 pub use findlut::{
     find_lut_reference, FindLutParams, LutHit, ScanConfigError, ScanHit, Scanner, ScannerBuilder,
+};
+pub use fleet::{
+    ConfigError, Fleet, FleetClient, FleetConfig, FleetServer, SessionHandle, SessionIo,
+    SessionOutcome, SessionReport, SessionSpec, SessionState,
 };
 pub use journal::{AttackJournal, JournalDoc, JournalError};
 pub use oracle::{KeystreamOracle, OracleError};

@@ -96,6 +96,24 @@ pub mod names {
     /// Histogram: percent of gang lanes occupied per batched call
     /// (`100 × items / (gang passes × lanes per pass)`).
     pub const ORACLE_LANE_UTILISATION_PCT: &str = "oracle.lane_utilisation_pct";
+    /// Fleet: sessions admitted to the scheduler.
+    pub const FLEET_SESSIONS_SUBMITTED: &str = "fleet.sessions_submitted";
+    /// Fleet: histogram of concurrently-running sessions, observed at
+    /// every session start and finish.
+    pub const FLEET_SESSIONS_ACTIVE: &str = "fleet.sessions_active";
+    /// Fleet: sessions driven to a terminal state.
+    pub const FLEET_SESSIONS_DONE: &str = "fleet.sessions_done";
+    /// Fleet: sessions that changed hands — stolen from a busy or
+    /// killed worker's queue.
+    pub const FLEET_STEAL_COUNT: &str = "fleet.steal_count";
+    /// Fleet: sessions that started from an existing journal (a boot
+    /// recovery or a kill-and-steal resume).
+    pub const FLEET_SESSIONS_RESUMED: &str = "fleet.sessions_resumed";
+    /// Fleet: histogram of per-worker busy-time percentages, observed
+    /// once per worker at shutdown.
+    pub const FLEET_WORKER_UTILISATION_PCT: &str = "fleet.worker_utilisation_pct";
+    /// Fleet: workers that exited after a kill switch.
+    pub const FLEET_WORKERS_KILLED: &str = "fleet.workers_killed";
 }
 
 /// Number of histogram buckets: bucket 0 holds the value 0; bucket

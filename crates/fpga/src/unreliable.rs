@@ -258,6 +258,14 @@ impl UnreliableBoard {
         &self.inner
     }
 
+    /// Unwraps the fault model, returning the ideal board. Board
+    /// pools use this to reclaim a pooled board after a noisy
+    /// session finishes with it.
+    #[must_use]
+    pub fn into_inner(self) -> Snow3gBoard {
+        self.inner
+    }
+
     /// The active fault profile.
     #[must_use]
     pub fn profile(&self) -> &FaultProfile {

@@ -12,6 +12,11 @@
 //! layer's RNG/clock/stats and the simulated board's fault state, so
 //! nothing about the noisy trace depends on *when* the run was cut.
 
+// These exercise (or ride on) the pre-0.7 free-form `Attack`
+// constructors, kept working behind deprecation warnings; the
+// replacement surface is `bitmod::fleet::SessionSpec`.
+#![allow(deprecated)]
+
 use bitmod::journal::AttackJournal;
 use bitmod::resilient::ResilienceConfig;
 use bitmod::{Attack, AttackError};

@@ -10,6 +10,11 @@
 //! Everything is seeded: the same seed reproduces the same faults,
 //! the same retries and the same physical query count.
 
+// These exercise (or ride on) the pre-0.7 free-form `Attack`
+// constructors, kept working behind deprecation warnings; the
+// replacement surface is `bitmod::fleet::SessionSpec`.
+#![allow(deprecated)]
+
 use bitmod::resilient::ResilienceConfig;
 use bitmod::{Attack, AttackError};
 use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard};

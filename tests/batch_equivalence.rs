@@ -5,6 +5,11 @@
 //! trace. Batching is allowed to change throughput and journal write
 //! cadence, nothing else.
 
+// These exercise (or ride on) the pre-0.7 free-form `Attack`
+// constructors, kept working behind deprecation warnings; the
+// replacement surface is `bitmod::fleet::SessionSpec`.
+#![allow(deprecated)]
+
 use bitmod::telemetry::Telemetry;
 use bitmod::{Attack, AttackReport, ResilienceConfig};
 use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard, GANG_LANES};

@@ -3,6 +3,11 @@
 //! without touching any ground-truth artifact — only the extracted
 //! bitstream and the keystream oracle.
 
+// These exercise (or ride on) the pre-0.7 free-form `Attack`
+// constructors, kept working behind deprecation warnings; the
+// replacement surface is `bitmod::fleet::SessionSpec`.
+#![allow(deprecated)]
+
 use bitmod::Attack;
 use fpga_sim::{ImplementOptions, Snow3gBoard};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;

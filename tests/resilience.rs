@@ -6,6 +6,11 @@
 //! mid-run must yield a structured partial result, never a panic or
 //! an opaque error.
 
+// These exercise (or ride on) the pre-0.7 free-form `Attack`
+// constructors, kept working behind deprecation warnings; the
+// replacement surface is `bitmod::fleet::SessionSpec`.
+#![allow(deprecated)]
+
 use bitmod::attack::{AttackError, AttackPhase};
 use bitmod::resilient::{ResilienceConfig, ResilienceError};
 use bitmod::Attack;

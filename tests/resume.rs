@@ -5,6 +5,11 @@
 //! the journal replays the exact query trace, it does not merely
 //! approximate it.
 
+// These exercise (or ride on) the pre-0.7 free-form `Attack`
+// constructors, kept working behind deprecation warnings; the
+// replacement surface is `bitmod::fleet::SessionSpec`.
+#![allow(deprecated)]
+
 use bitmod::journal::{AttackJournal, JournalError};
 use bitmod::resilient::ResilienceConfig;
 use bitmod::{Attack, AttackError};

@@ -7,6 +7,11 @@
 //! never perturb the RNG streams, the virtual clock, or the query
 //! order. These tests fail if any future recording site forgets that.
 
+// These exercise (or ride on) the pre-0.7 free-form `Attack`
+// constructors, kept working behind deprecation warnings; the
+// replacement surface is `bitmod::fleet::SessionSpec`.
+#![allow(deprecated)]
+
 use bitmod::journal::AttackJournal;
 use bitmod::resilient::{ResilienceConfig, ResilientStats};
 use bitmod::telemetry::names;

@@ -35,15 +35,19 @@ use bitmod::Telemetry;
 use fpga_sim::UnreliableBoard;
 use snow3g::vectors::TEST_SET_1_KEY;
 
-fn run_cell(cell: &SweepCell, supervisor: &CellSupervisor) -> CellOutcome {
+fn run_cell(
+    cell: &SweepCell,
+    supervisor: &CellSupervisor,
+    cell_journal: Option<PathBuf>,
+) -> CellOutcome {
     let board = UnreliableBoard::new(bench::test_board(false), cell.spec.fault_profile());
     let golden = board.extract_bitstream();
     // One cancel token and one recorder span both layers: the
     // campaign's supervisor and the facade's supervised oracle.
     let telemetry = supervisor.telemetry();
     let io = SessionIo {
-        journal: None,
-        resume: ResumePolicy::Never,
+        journal: cell_journal.clone(),
+        resume: ResumePolicy::IfJournalExists,
         telemetry: telemetry.clone(),
         cancel: supervisor.cancel_token(),
         expected_key: Some(TEST_SET_1_KEY),
@@ -55,9 +59,15 @@ fn run_cell(cell: &SweepCell, supervisor: &CellSupervisor) -> CellOutcome {
             SessionOutcome::Recovered(stats) => CellOutcome::Recovered(stats),
             // The typed failure is the finding: it separates "voting
             // overwhelmed" (attack-layer mismatch) from "board never
-            // answered" (retries exhausted) from "budget cut".
+            // answered" (retries exhausted) from "budget cut". A
+            // budget cut additionally names the checkpoint journal a
+            // bigger-budget rerun of the same sweep resumes from.
             SessionOutcome::Exhausted { stats, summary } => {
-                CellOutcome::Failed { stats, note: summary }
+                let note = match &cell_journal {
+                    Some(path) => format!("{summary}; resume journal: {}", path.display()),
+                    None => summary,
+                };
+                CellOutcome::Failed { stats, note }
             }
             SessionOutcome::Failed { stats, note } => CellOutcome::Failed { stats, note },
             SessionOutcome::Cancelled => CellOutcome::Cancelled,
@@ -165,13 +175,26 @@ fn main() -> ExitCode {
         }
     };
 
+    // Per-cell checkpoint journals live next to the campaign journal:
+    // a budget-exhausted cell keeps its attack journal on disk and
+    // names it in the sweep table, so a bigger-budget rerun resumes
+    // the cell mid-phase instead of restarting it.
+    let cell_dir: Option<PathBuf> = paths.journal.as_ref().map(|j| j.with_extension("cells"));
+    if let Some(dir) = &cell_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("noise-sweep: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
     let mut campaign = Campaign::new().with_telemetry(telemetry.clone());
     if let Some(path) = &paths.journal {
         campaign = campaign.with_journal(path);
     }
-    let report = match campaign
-        .run(&grid.labels(), |i, supervisor| run_cell(&grid.cells()[i], supervisor))
-    {
+    let report = match campaign.run(&grid.labels(), |i, supervisor| {
+        let journal = cell_dir.as_ref().map(|d| d.join(format!("cell-{i:02}.journal")));
+        run_cell(&grid.cells()[i], supervisor, journal)
+    }) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("noise-sweep: {e}");

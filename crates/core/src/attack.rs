@@ -1316,7 +1316,7 @@ impl<'a> Attack<'a> {
             |l| lattice.accepts(l),
             |o5, o6| or_pair(o5).is_some() || or_pair(o6).is_some(),
         );
-        if self.batch > 1 && self.oracle.batching_transparent() {
+        if self.batch > 1 && self.oracle.reorder_transparent() {
             return self.find_load_mux_halves_batched(lattice, &raw);
         }
         while self.checkpoint.cursor < raw.len() {
@@ -1392,8 +1392,9 @@ impl<'a> Attack<'a> {
     /// Unlike the other batched phases this reorders queries relative
     /// to the serial loop (hit A's second query rides alongside hit
     /// B's first), so it is only taken when the oracle is order-free
-    /// — [`ResilientOracle::batching_transparent`] — and noisy
-    /// configurations keep the serial path and its exact fault trace.
+    /// — `ResilientOracle::reorder_transparent` — and noisy
+    /// configurations keep the serial path (whose batches the planned
+    /// path makes fault-exact without reordering).
     /// The query *set* is unchanged: every hit runs the same chain
     /// with the same verdicts as the serial loop, because
     ///

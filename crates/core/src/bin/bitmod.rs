@@ -8,6 +8,7 @@
 //! bitmod crc     <file> (--disable | --recompute) [-o OUT]
 //! bitmod diff    <file> <other-file>
 //! bitmod attack  [--noisy] [--seed N] [--glitch P] [--load-fail P]
+//!                [--burst E,X,G] [--drift P] [--stuck MASK] [--adaptive]
 //!                [--votes N] [--budget N] [--stride N] [--deadline-ms N]
 //!                [--journal PATH] [--resume] [--trace PATH] [--batch]
 //! bitmod serve   [--addr ADDR] [--root DIR] [--workers N]
@@ -47,7 +48,12 @@
 //! as `attack` (minus the local-only `--journal`/`--resume`/`--trace`
 //! — the server owns each session's journal and trace inside its
 //! root) and prints the session id; `tail` streams the session's live
-//! NDJSON telemetry until it is terminal.
+//! NDJSON telemetry until it is terminal. `status` with no id lists
+//! every session plus the fleet's board-health report: one line per
+//! worker board (healthy/suspect/dead with its injected-fault rate)
+//! and the observed-vs-injected fault gap — faults the boards
+//! injected that the attack never saw because voting and retries
+//! absorbed them.
 //!
 //! Functions are catalogue names (`f2`, `m0b`, ...) or formulas over
 //! `a1..a6`, e.g. `"(a1^a2^a3) a4 a5 ~a6"`. With `--json`, `findlut`
@@ -78,6 +84,22 @@ fn parse_spec(rest: &[String], local: bool) -> Result<SessionSpec, Box<dyn std::
             "--stride" => b.stride(it.next().ok_or("--stride needs a value")?.parse()?),
             "--deadline-ms" => {
                 b.deadline_ms(it.next().ok_or("--deadline-ms needs a value")?.parse()?)
+            }
+            "--adaptive" => b.adaptive(true),
+            "--burst" => {
+                let spec = it.next().ok_or("--burst needs ENTER,EXIT,GLITCH")?;
+                let mut parts = spec.split(',');
+                let mut rate = || -> Result<f64, Box<dyn std::error::Error>> {
+                    Ok(parts.next().ok_or("--burst needs ENTER,EXIT,GLITCH")?.parse()?)
+                };
+                let (enter, exit, glitch) = (rate()?, rate()?, rate()?);
+                b.burst(enter, exit, glitch)
+            }
+            "--drift" => b.drift(it.next().ok_or("--drift needs a value")?.parse()?),
+            "--stuck" => {
+                let mask = it.next().ok_or("--stuck needs a hex mask")?;
+                let digits = mask.strip_prefix("0x").unwrap_or(mask);
+                b.stuck(u32::from_str_radix(digits, 16)?)
             }
             "--batch" => b.batch(fpga_sim::GANG_LANES),
             "--journal" if local => b.journal(it.next().ok_or("--journal needs a path")?),
@@ -158,7 +180,13 @@ fn run_client(cmd: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Erro
         }
         "status" => match rest.first() {
             Some(id) => println!("{}", client.status(id)?),
-            None => println!("{}", client.list()?),
+            None => {
+                // The fleet-wide view: every session, then board
+                // health (quarantined boards show up as "dead") and
+                // the observed-vs-injected fault gap.
+                println!("{}", client.list()?);
+                println!("{}", client.health()?);
+            }
         },
         "tail" => {
             let id = rest.first().ok_or("tail needs a session id")?;

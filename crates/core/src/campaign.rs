@@ -359,6 +359,57 @@ impl KeystreamOracle for SupervisedOracle<'_> {
     fn restore_state(&self, state: &[u8]) -> Result<(), OracleError> {
         self.inner.restore_state(state)
     }
+
+    // Fault planning forwards verbatim: plans and clean reads carry
+    // no supervision of their own because the *committing* call paths
+    // above already gate every batch, and a cancellation that lands
+    // between planning and commit surfaces on the next supervised
+    // query exactly as it would between two serial queries.
+    fn fault_planning(&self) -> bool {
+        self.inner.fault_planning()
+    }
+
+    fn plan_read(&self, ahead: u64, words: usize) -> Option<fpga_sim::ReadPlan> {
+        self.inner.plan_read(ahead, words)
+    }
+
+    fn commit_reads(&self, plans: &[fpga_sim::ReadPlan]) {
+        self.inner.commit_reads(plans);
+    }
+
+    fn keystream_batch_clean(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        self.telemetry.incr(names::SUPERVISED_CALLS, 1);
+        if self.cancel.is_cancelled() {
+            self.telemetry.incr(names::SUPERVISED_REJECTIONS, 1);
+            return bitstreams
+                .iter()
+                .map(|_| Err(OracleError::Rejected("campaign cancelled".into())))
+                .collect();
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                self.telemetry.incr(names::SUPERVISED_REJECTIONS, 1);
+                return bitstreams
+                    .iter()
+                    .map(|_| Err(OracleError::Rejected("cell wall-clock deadline exceeded".into())))
+                    .collect();
+            }
+        }
+        self.inner.keystream_batch_clean(bitstreams, words)
+    }
+
+    fn resolve_plan(
+        &self,
+        plan: &fpga_sim::ReadPlan,
+        clean: Result<Vec<u32>, OracleError>,
+        want: usize,
+    ) -> Result<Vec<u32>, OracleError> {
+        self.inner.resolve_plan(plan, clean, want)
+    }
 }
 
 /// The supervised multi-run campaign engine. Configure, then

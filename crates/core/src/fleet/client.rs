@@ -188,6 +188,16 @@ impl FleetClient {
         self.round_trip(&wire::Request::Counters)
     }
 
+    /// Per-worker board health plus the observed-vs-injected fault
+    /// gap, as the raw JSON response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure.
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        self.round_trip(&wire::Request::Health)
+    }
+
     /// Liveness probe.
     ///
     /// # Errors

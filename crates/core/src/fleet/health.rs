@@ -1,0 +1,248 @@
+//! Board-health scoring and quarantine for the worker pool.
+//!
+//! A fleet worker is only as good as the physical board behind it,
+//! and the richer fault taxonomy ([`fpga_sim::FaultProfile`]) makes
+//! boards fail in ways a retry cannot paper over: progressive
+//! degradation drifts a board from "flaky" to "useless", and
+//! `dies_at` pathology kills one outright mid-session. This module
+//! gives the scheduler a memory of each board's behaviour:
+//!
+//! * [`BoardScore`] — a per-worker rolling tally of the faults the
+//!   board *injected* (from [`fpga_sim::FaultStats`], the ground
+//!   truth, not the attack's observations), classified by
+//!   [`BoardScore::health`] into [`BoardHealth`] bands;
+//! * **quarantine markers** — a dead board is recorded durably as
+//!   `<root>/quarantine/worker-<index>`, so the verdict survives the
+//!   daemon (a `SIGKILL`'d fleet reboots knowing which boards were
+//!   sick);
+//! * **boot re-probe** — [`Fleet::start`](super::Fleet) rescans the
+//!   markers and re-probes each quarantined board; one that answers a
+//!   probe read again (replaced or recovered hardware) rejoins the
+//!   pool and its marker is cleared.
+//!
+//! Sessions interrupted by a board death migrate to healthy peers
+//! over the existing kill-and-steal path: the journal stays on disk,
+//! the worker requeues the session and retires, and a peer resumes it
+//! to the bit-identical query trace — the board swap is invisible to
+//! the attack because `dies_at` pathology is excluded from
+//! [`fpga_sim::FaultProfile::same_ambient`].
+
+use core::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Injected-fault rate (milli units, faults per load) above which a
+/// board is reported [`BoardHealth::Suspect`].
+pub const SUSPECT_MILLI: u64 = 250;
+
+/// A worker board's health classification, derived from its
+/// [`BoardScore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoardHealth {
+    /// Fault rate within the profile's expected envelope.
+    Healthy,
+    /// Injected-fault rate above [`SUSPECT_MILLI`]: the board still
+    /// answers, but burns disproportionate retries.
+    Suspect,
+    /// The board died permanently and is quarantined.
+    Dead,
+}
+
+impl fmt::Display for BoardHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BoardHealth::Healthy => "healthy",
+            BoardHealth::Suspect => "suspect",
+            BoardHealth::Dead => "dead",
+        })
+    }
+}
+
+/// A rolling per-board fault tally, accumulated from each session's
+/// [`fpga_sim::FaultStats`] after the session finishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoardScore {
+    /// Sessions this board has run.
+    pub sessions: u64,
+    /// Configuration loads attempted on this board.
+    pub loads: u64,
+    /// Faults the board injected (transient load failures, timeouts,
+    /// truncated reads).
+    pub faults: u64,
+    /// Whether the board died permanently.
+    pub dead: bool,
+}
+
+impl BoardScore {
+    /// Folds one finished session's board-side fault accounting into
+    /// the score.
+    pub fn observe(&mut self, stats: &fpga_sim::FaultStats, dead: bool) {
+        self.sessions += 1;
+        self.loads += stats.loads_attempted;
+        self.faults += stats.transient_failures + stats.timeouts + stats.truncated_reads;
+        self.dead |= dead;
+    }
+
+    /// The injected-fault rate in milli units (faults per load ×
+    /// 1000); 0 before the first load.
+    #[must_use]
+    pub fn fault_milli(&self) -> u64 {
+        (self.faults * 1000).checked_div(self.loads).unwrap_or(0)
+    }
+
+    /// The health band this score falls in.
+    #[must_use]
+    pub fn health(&self) -> BoardHealth {
+        if self.dead {
+            BoardHealth::Dead
+        } else if self.fault_milli() > SUSPECT_MILLI {
+            BoardHealth::Suspect
+        } else {
+            BoardHealth::Healthy
+        }
+    }
+}
+
+/// One row of the fleet's health report: worker index, score, band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHealth {
+    /// The worker (and board) index.
+    pub worker: usize,
+    /// The rolling fault tally.
+    pub score: BoardScore,
+}
+
+impl WorkerHealth {
+    /// The health band of this worker's board.
+    #[must_use]
+    pub fn health(&self) -> BoardHealth {
+        self.score.health()
+    }
+}
+
+impl fmt::Display for WorkerHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker {}: {} ({} session(s), {} loads, {} faults injected, {}\u{2030} fault rate)",
+            self.worker,
+            self.health(),
+            self.score.sessions,
+            self.score.loads,
+            self.score.faults,
+            self.score.fault_milli(),
+        )
+    }
+}
+
+/// The quarantine directory under a fleet root.
+fn quarantine_dir(root: &Path) -> PathBuf {
+    root.join("quarantine")
+}
+
+/// The durable marker recording worker `index`'s board as
+/// quarantined.
+#[must_use]
+pub fn marker_path(root: &Path, index: usize) -> PathBuf {
+    quarantine_dir(root).join(format!("worker-{index}"))
+}
+
+/// Durably quarantines worker `index`'s board: writes the marker file
+/// (with the final score, for the operator) under
+/// `<root>/quarantine/`. Best-effort — a filesystem failure must not
+/// take the scheduler down with the board.
+pub fn mark_quarantined(root: &Path, index: usize, score: &BoardScore) {
+    let dir = quarantine_dir(root);
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let body = format!(
+        "sessions={} loads={} faults={} fault_milli={}\n",
+        score.sessions,
+        score.loads,
+        score.faults,
+        score.fault_milli()
+    );
+    let _ = fs::write(marker_path(root, index), body);
+}
+
+/// Clears worker `index`'s quarantine marker (after a successful
+/// re-probe).
+pub fn clear_quarantine(root: &Path, index: usize) {
+    let _ = fs::remove_file(marker_path(root, index));
+}
+
+/// The worker indices quarantined on disk, sorted. Unparsable entries
+/// are ignored (the directory is fleet-owned; stray files are not an
+/// error worth dying over).
+#[must_use]
+pub fn scan_quarantined(root: &Path) -> Vec<usize> {
+    let Ok(entries) = fs::read_dir(quarantine_dir(root)) else {
+        return Vec::new();
+    };
+    let mut indices: Vec<usize> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter_map(|name| name.strip_prefix("worker-")?.parse().ok())
+        .collect();
+    indices.sort_unstable();
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_classify_into_health_bands() {
+        let mut score = BoardScore::default();
+        assert_eq!(score.health(), BoardHealth::Healthy, "no data is healthy");
+        score.observe(
+            &fpga_sim::FaultStats {
+                loads_attempted: 100,
+                transient_failures: 10,
+                timeouts: 2,
+                truncated_reads: 1,
+                ..Default::default()
+            },
+            false,
+        );
+        assert_eq!(score.fault_milli(), 130);
+        assert_eq!(score.health(), BoardHealth::Healthy);
+        score.observe(
+            &fpga_sim::FaultStats {
+                loads_attempted: 100,
+                transient_failures: 60,
+                timeouts: 10,
+                truncated_reads: 5,
+                ..Default::default()
+            },
+            false,
+        );
+        assert!(score.fault_milli() > SUSPECT_MILLI);
+        assert_eq!(score.health(), BoardHealth::Suspect);
+        score.observe(&fpga_sim::FaultStats::default(), true);
+        assert_eq!(score.health(), BoardHealth::Dead, "death dominates the rate");
+        assert_eq!(score.sessions, 3);
+    }
+
+    #[test]
+    fn quarantine_markers_roundtrip_through_the_filesystem() {
+        let root = std::env::temp_dir().join(format!("bitmod-quarantine-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("root");
+        assert!(scan_quarantined(&root).is_empty(), "no markers yet");
+        let score = BoardScore { sessions: 2, loads: 50, faults: 9, dead: true };
+        mark_quarantined(&root, 3, &score);
+        mark_quarantined(&root, 1, &score);
+        assert_eq!(scan_quarantined(&root), vec![1, 3]);
+        let body = fs::read_to_string(marker_path(&root, 3)).expect("marker body");
+        assert!(body.contains("loads=50"), "marker records the score: {body}");
+        clear_quarantine(&root, 3);
+        assert_eq!(scan_quarantined(&root), vec![1]);
+        // Stray files in the directory are ignored, not errors.
+        fs::write(quarantine_dir(&root).join("README"), "not a marker").expect("stray");
+        assert_eq!(scan_quarantined(&root), vec![1]);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`scheduler`] — the work-stealing worker pool
 //!   ([`Fleet`](scheduler::Fleet)): per-worker queues, steal-on-idle,
 //!   kill-and-steal recovery over the crash-safe journals;
+//! * [`health`] — board-health scoring from injected-fault telemetry,
+//!   durable quarantine of dead boards, session migration to healthy
+//!   peers and the boot re-probe;
 //! * [`wire`] — the framed line protocol (`submit`/`status`/`tail`/
 //!   `cancel`/…) shared by server and client;
 //! * [`server`] / [`client`] — `bitmod serve` and the thin
@@ -28,6 +31,7 @@
 //!   binary and batch submissions share.
 
 pub mod client;
+pub mod health;
 pub mod layout;
 pub mod scheduler;
 pub mod server;
@@ -37,6 +41,7 @@ pub mod sweep;
 pub mod wire;
 
 pub use client::{ClientError, FleetClient};
+pub use health::{BoardHealth, BoardScore, WorkerHealth};
 pub use layout::{LayoutError, OutputPaths, SessionLayout};
 pub use scheduler::{Fleet, FleetConfig};
 pub use server::{Endpoint, FleetServer};

@@ -30,6 +30,7 @@ use crate::campaign::CellStats;
 use crate::oracle::{KeystreamOracle, OracleError};
 use crate::telemetry::{names, Metrics, Telemetry};
 
+use super::health::{self, BoardScore, WorkerHealth};
 use super::session::{
     record_board_faults, stats_from, ResumePolicy, SessionError, SessionIo, SessionOutcome,
     SessionSpec,
@@ -41,6 +42,11 @@ use super::store::{SessionHandle, SessionStore, TeeSink};
 pub struct FleetConfig {
     root: PathBuf,
     workers: usize,
+    /// Board-local pathology: `pathology[i]` kills worker `i`'s board
+    /// permanently at that load index. Chaos-testing hook — the spec
+    /// deliberately cannot express this
+    /// ([`SessionSpec::fault_profile`] owns only the ambient noise).
+    pathology: Vec<Option<u64>>,
 }
 
 impl FleetConfig {
@@ -49,13 +55,26 @@ impl FleetConfig {
     #[must_use]
     pub fn new(root: impl Into<PathBuf>) -> Self {
         let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self { root: root.into(), workers }
+        Self { root: root.into(), workers, pathology: Vec::new() }
     }
 
     /// Overrides the worker count (clamped to ≥ 1).
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Dooms worker `index`'s board to die permanently at noisy load
+    /// number `load` (counting this boot's loads on that board). The
+    /// chaos hook behind the board-death tests; sessions on the dying
+    /// board migrate to healthy peers.
+    #[must_use]
+    pub fn board_dies_at(mut self, index: usize, load: u64) -> Self {
+        if self.pathology.len() <= index {
+            self.pathology.resize(index + 1, None);
+        }
+        self.pathology[index] = Some(load);
         self
     }
 
@@ -99,6 +118,12 @@ struct Shared {
     shutdown: AtomicBool,
     kills: Vec<Arc<AtomicBool>>,
     telemetry: Telemetry,
+    /// Per-worker board-health scores, folded in after every noisy
+    /// session from the board's own fault accounting.
+    boards: Mutex<Vec<BoardScore>>,
+    /// Per-worker board pathology (see
+    /// [`FleetConfig::board_dies_at`]).
+    pathology: Vec<Option<u64>>,
 }
 
 /// The work-stealing fleet: submit [`SessionSpec`]s, get
@@ -132,7 +157,25 @@ impl Fleet {
             shutdown: AtomicBool::new(false),
             kills: (0..workers).map(|_| Arc::new(AtomicBool::new(false))).collect(),
             telemetry: Telemetry::new(),
+            boards: Mutex::new(vec![BoardScore::default(); workers]),
+            pathology: {
+                let mut pathology = config.pathology.clone();
+                pathology.resize(workers.max(pathology.len()), None);
+                pathology
+            },
         });
+        // Boot rescan: re-probe every board quarantined by a previous
+        // boot. A board that answers a probe read again (replaced or
+        // recovered hardware) rejoins the pool; its marker is cleared
+        // so this boot's health report starts clean.
+        for index in health::scan_quarantined(shared.store.root()) {
+            if build_board().map(|board| probe_board(&board)).unwrap_or(false) {
+                health::clear_quarantine(shared.store.root(), index);
+                shared.telemetry.incr(names::FLEET_BOARDS_REPROBED, 1);
+            } else if let Some(score) = shared.boards.lock().expect("boards lock").get_mut(index) {
+                score.dead = true;
+            }
+        }
         let threads = (0..workers)
             .map(|index| {
                 let shared = shared.clone();
@@ -193,6 +236,21 @@ impl Fleet {
     #[must_use]
     pub fn counters(&self) -> Metrics {
         self.shared.telemetry.metrics()
+    }
+
+    /// Per-worker board health, in worker order: the rolling
+    /// injected-fault score of each worker's board and its health
+    /// band. Surfaces in `bitmod status`.
+    #[must_use]
+    pub fn health(&self) -> Vec<WorkerHealth> {
+        self.shared
+            .boards
+            .lock()
+            .expect("boards lock")
+            .iter()
+            .enumerate()
+            .map(|(worker, score)| WorkerHealth { worker, score: *score })
+            .collect()
     }
 
     /// Flips worker `index`'s kill switch: its in-flight session is
@@ -291,6 +349,45 @@ impl KeystreamOracle for KillGate<'_> {
     fn restore_state(&self, state: &[u8]) -> Result<(), OracleError> {
         self.inner.restore_state(state)
     }
+
+    // Fault planning forwards verbatim: the kill switch is enforced
+    // on every *committing* call path above, and a kill that lands
+    // between planning and commit is caught at the next query exactly
+    // as it would be between two serial queries.
+    fn fault_planning(&self) -> bool {
+        self.inner.fault_planning()
+    }
+
+    fn plan_read(&self, ahead: u64, words: usize) -> Option<fpga_sim::ReadPlan> {
+        self.inner.plan_read(ahead, words)
+    }
+
+    fn commit_reads(&self, plans: &[fpga_sim::ReadPlan]) {
+        self.inner.commit_reads(plans);
+    }
+
+    fn keystream_batch_clean(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        if self.killed() {
+            return bitstreams
+                .iter()
+                .map(|_| Err(OracleError::Rejected("worker killed".into())))
+                .collect();
+        }
+        self.inner.keystream_batch_clean(bitstreams, words)
+    }
+
+    fn resolve_plan(
+        &self,
+        plan: &fpga_sim::ReadPlan,
+        clean: Result<Vec<u32>, OracleError>,
+        want: usize,
+    ) -> Result<Vec<u32>, OracleError> {
+        self.inner.resolve_plan(plan, clean, want)
+    }
 }
 
 fn build_board() -> Result<fpga_sim::Snow3gBoard, SessionError> {
@@ -300,6 +397,26 @@ fn build_board() -> Result<fpga_sim::Snow3gBoard, SessionError> {
     );
     fpga_sim::Snow3gBoard::build(config, &fpga_sim::ImplementOptions::default())
         .map_err(SessionError::Board)
+}
+
+/// One probe read against a candidate board: does it still answer?
+fn probe_board(board: &fpga_sim::Snow3gBoard) -> bool {
+    KeystreamOracle::keystream(board, &board.extract_bitstream(), 1).is_ok()
+}
+
+/// How one session run left its worker.
+enum Verdict {
+    /// Terminal outcome recorded; the worker keeps working.
+    Continue,
+    /// The kill switch interrupted the session: requeue it and exit
+    /// (kill-and-steal).
+    Requeue,
+    /// The board died mid-session and is quarantined: migrate the
+    /// session to a healthy peer and retire the worker.
+    Migrate,
+    /// The board died but the session still reached a terminal state:
+    /// retire the worker without requeueing anything.
+    Retire,
 }
 
 fn worker_loop(shared: &Shared, index: usize) {
@@ -318,19 +435,29 @@ fn worker_loop(shared: &Shared, index: usize) {
             continue;
         };
         let t0 = Instant::now();
-        let keep_going = run_session(shared, index, &mut pool, &kill, &handle);
+        let verdict = run_session(shared, index, &mut pool, &kill, &handle);
         busy += t0.elapsed();
         session_done(shared);
-        if !keep_going {
-            // Killed mid-session: hand the session back (its journal
-            // stays on disk, so the peer resumes it bit-identically).
-            handle.mark_requeued();
-            let mut sched = shared.sched.lock().expect("sched lock");
-            sched.injector.push_back(id);
-            drop(sched);
-            shared.telemetry.incr(names::FLEET_STEAL_COUNT, 1);
-            shared.changed.notify_all();
-            break;
+        match verdict {
+            Verdict::Continue => {}
+            // Interrupted mid-session: hand the session back (its
+            // journal stays on disk, so the peer resumes it
+            // bit-identically), then exit. A kill and a board death
+            // ride the same requeue path; only the counter differs.
+            Verdict::Requeue | Verdict::Migrate => {
+                handle.mark_requeued();
+                let mut sched = shared.sched.lock().expect("sched lock");
+                sched.injector.push_back(id);
+                drop(sched);
+                let counter = match verdict {
+                    Verdict::Migrate => names::FLEET_SESSIONS_MIGRATED,
+                    _ => names::FLEET_STEAL_COUNT,
+                };
+                shared.telemetry.incr(counter, 1);
+                shared.changed.notify_all();
+                break;
+            }
+            Verdict::Retire => break,
         }
     }
 
@@ -407,15 +534,15 @@ fn session_done(shared: &Shared) {
     shared.changed.notify_all();
 }
 
-/// Runs one session on this worker. Returns `false` when the kill
-/// switch interrupted it (the caller requeues the session and exits).
+/// Runs one session on this worker and reports how it left the
+/// worker (see [`Verdict`]).
 fn run_session(
     shared: &Shared,
     index: usize,
     pool: &mut Option<fpga_sim::Snow3gBoard>,
     kill: &AtomicBool,
     handle: &SessionHandle,
-) -> bool {
+) -> Verdict {
     let spec = handle.spec().clone();
     let layout = handle.layout().clone();
     handle.mark_running(index);
@@ -444,34 +571,94 @@ fn run_session(
                 stats: CellStats::default(),
                 note: e.to_string(),
             });
-            return true;
+            return Verdict::Continue;
         }
     };
 
     let run = catch_unwind(AssertUnwindSafe(|| {
         if spec.is_noisy() {
-            let noisy = fpga_sim::UnreliableBoard::new(board, spec.fault_profile());
+            // The spec owns the ambient noise; the fleet owns which
+            // board is pathological (`same_ambient` keeps the two
+            // separable, so a migrated session replays identically on
+            // the healthy peer).
+            let mut profile = spec.fault_profile();
+            if let Some(dies_at) = shared.pathology.get(index).copied().flatten() {
+                profile = profile.with_dies_at(dies_at);
+            }
+            let noisy = fpga_sim::UnreliableBoard::new(board, profile);
             let gate = KillGate { inner: &noisy, kill };
             let golden = noisy.extract_bitstream();
             let result = spec.run_against(&gate, golden, &io);
             record_board_faults(&io.telemetry, &noisy);
-            (result, noisy.into_inner())
+            // Two fault views with different owners: the session-wide
+            // counters (journal-restored across migrations) feed the
+            // fleet's observed-vs-injected gap, while the board-local
+            // wear feeds *this* worker's health score — a healthy
+            // board inheriting a dying peer's session is not blamed
+            // for the faults the dead board injected.
+            let fate = Some((noisy.fault_stats(), noisy.local_stats(), noisy.is_dead()));
+            (result, fate, noisy.into_inner())
         } else {
             let gate = KillGate { inner: &board, kill };
             let golden = board.extract_bitstream();
             let result = spec.run_against(&gate, golden, &io);
-            (result, board)
+            (result, None, board)
         }
     }));
 
     match run {
-        Ok((result, board)) => {
-            *pool = Some(board);
+        Ok((result, fate, board)) => {
+            // Fold the board's own fault accounting into its health
+            // score; a dead board is quarantined (durably) instead of
+            // returning to the pool.
+            let mut board_dead = false;
+            if let Some((session_stats, local_stats, dead)) = fate {
+                // Roll this run's observed-vs-injected gap — faults
+                // the board injected that never surfaced as retries,
+                // absorbed by voting — up into the fleet counters,
+                // where `bitmod status` reads it.
+                let injected = session_stats.transient_failures
+                    + session_stats.timeouts
+                    + session_stats.truncated_reads
+                    + session_stats.bits_flipped;
+                let observed = io.telemetry.metrics().counter(names::ORACLE_RETRIES);
+                shared.telemetry.incr(names::BOARD_FAULT_GAP, injected.saturating_sub(observed));
+                let score = {
+                    let mut boards = shared.boards.lock().expect("boards lock");
+                    boards[index].observe(&local_stats, dead);
+                    boards[index]
+                };
+                if dead {
+                    board_dead = true;
+                    health::mark_quarantined(shared.store.root(), index, &score);
+                    shared.telemetry.incr(names::FLEET_BOARDS_QUARANTINED, 1);
+                }
+            }
+            if board_dead {
+                // The physical board is out of service; its inner
+                // simulator does not return to the pool.
+                drop(board);
+            } else {
+                *pool = Some(board);
+            }
             match result {
-                Ok(report) => handle.finish(&report.outcome),
+                Ok(report) => {
+                    handle.finish(&report.outcome);
+                    if board_dead {
+                        Verdict::Retire
+                    } else {
+                        Verdict::Continue
+                    }
+                }
                 Err(e) => {
                     if kill.load(Ordering::SeqCst) {
-                        return false;
+                        return Verdict::Requeue;
+                    }
+                    if board_dead {
+                        // Board death is board-local, not
+                        // session-local: the journal stays on disk and
+                        // a healthy peer resumes the exact trace.
+                        return Verdict::Migrate;
                     }
                     let outcome = if io.cancel.is_cancelled() {
                         SessionOutcome::Cancelled
@@ -482,6 +669,7 @@ fn run_session(
                         }
                     };
                     handle.finish(&outcome);
+                    Verdict::Continue
                 }
             }
         }
@@ -497,9 +685,9 @@ fn run_session(
                 stats: stats_from(&io.telemetry),
                 note: format!("panicked: {message}"),
             });
+            Verdict::Continue
         }
     }
-    true
 }
 
 #[cfg(test)]

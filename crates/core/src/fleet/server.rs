@@ -279,6 +279,12 @@ fn serve_connection(
                     metrics.counters().map(|(name, v)| (name.to_string(), v)).collect();
                 writeln!(writer, "{}", wire::counters_json(&counters))?;
             }
+            Request::Health => {
+                // The gap counter lives in the merged fleet metrics:
+                // injected minus observed, folded per session.
+                let gap = fleet.counters().counter(crate::telemetry::names::BOARD_FAULT_GAP);
+                writeln!(writer, "{}", wire::health_json(&fleet.health(), gap))?;
+            }
             Request::Ping => writeln!(writer, "{{\"ok\":true,\"pong\":true}}")?,
             Request::Shutdown => {
                 writeln!(writer, "{{\"ok\":true,\"shutdown\":true}}")?;

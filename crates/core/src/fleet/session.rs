@@ -125,6 +125,22 @@ pub struct SessionSpec {
     pub(crate) load_fail: f64,
     /// Majority-vote reads per oracle query (noisy mode).
     pub(crate) votes: u32,
+    /// Drive votes/retries/backoff from the online fault-rate
+    /// estimator instead of fixed settings (noisy mode).
+    pub(crate) adaptive: bool,
+    /// Gilbert–Elliott burst entry probability per load (0 = no burst
+    /// model).
+    pub(crate) burst_enter: f64,
+    /// Gilbert–Elliott burst exit probability per load.
+    pub(crate) burst_exit: f64,
+    /// Per-bit glitch probability while inside a burst.
+    pub(crate) burst_glitch: f64,
+    /// Progressive degradation: per-load multiplicative fault-rate
+    /// drift (0 = stable board).
+    pub(crate) drift: f64,
+    /// Stuck-at mask over the first keystream word (0 = no stuck
+    /// bits).
+    pub(crate) stuck: u32,
     /// Cap on physical oracle attempts (`None` = unlimited).
     pub(crate) budget: Option<u64>,
     /// Sub-vector stride `d`.
@@ -151,6 +167,12 @@ impl Default for SessionSpec {
             glitch: 0.01,
             load_fail: 0.10,
             votes: 5,
+            adaptive: false,
+            burst_enter: 0.0,
+            burst_exit: 0.0,
+            burst_glitch: 0.0,
+            drift: 0.0,
+            stuck: 0,
             budget: None,
             stride: FRAME_BYTES,
             batch: 1,
@@ -202,6 +224,40 @@ impl SessionSpecBuilder {
     #[must_use]
     pub fn votes(mut self, votes: u32) -> Self {
         self.spec.votes = votes;
+        self
+    }
+
+    /// Let the adaptive policy controller drive votes/retries/backoff
+    /// from the online fault-rate estimate.
+    #[must_use]
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.spec.adaptive = adaptive;
+        self
+    }
+
+    /// Gilbert–Elliott burst noise: `enter`/`exit` are the per-load
+    /// state-transition probabilities, `glitch` the per-bit glitch
+    /// probability while inside a burst.
+    #[must_use]
+    pub fn burst(mut self, enter: f64, exit: f64, glitch: f64) -> Self {
+        self.spec.burst_enter = enter;
+        self.spec.burst_exit = exit;
+        self.spec.burst_glitch = glitch;
+        self
+    }
+
+    /// Progressive degradation: per-load multiplicative fault-rate
+    /// drift.
+    #[must_use]
+    pub fn drift(mut self, drift: f64) -> Self {
+        self.spec.drift = drift;
+        self
+    }
+
+    /// Stuck-at mask over the first keystream word.
+    #[must_use]
+    pub fn stuck(mut self, mask: u32) -> Self {
+        self.spec.stuck = mask;
         self
     }
 
@@ -261,7 +317,14 @@ impl SessionSpecBuilder {
     /// A typed [`ConfigError`] naming the first invalid field.
     pub fn build(self) -> Result<SessionSpec, ConfigError> {
         let s = self.spec;
-        for (name, value) in [("glitch", s.glitch), ("load_fail", s.load_fail)] {
+        for (name, value) in [
+            ("glitch", s.glitch),
+            ("load_fail", s.load_fail),
+            ("burst_enter", s.burst_enter),
+            ("burst_exit", s.burst_exit),
+            ("burst_glitch", s.burst_glitch),
+            ("drift", s.drift),
+        ] {
             if !(0.0..=1.0).contains(&value) || value.is_nan() {
                 return Err(ConfigError::RateOutOfRange { name, value });
             }
@@ -309,6 +372,24 @@ impl SessionSpec {
         if let Some(deadline) = self.deadline_ms {
             line.push_str(&format!(" deadline_ms={deadline}"));
         }
+        // Resilience/fault-taxonomy extensions ride the wire only when
+        // set, so pre-0.8 lines still parse and default lines still
+        // render identically.
+        if self.adaptive {
+            line.push_str(" adaptive=true");
+        }
+        if self.burst_enter > 0.0 {
+            line.push_str(&format!(
+                " burst_enter={} burst_exit={} burst_glitch={}",
+                self.burst_enter, self.burst_exit, self.burst_glitch
+            ));
+        }
+        if self.drift > 0.0 {
+            line.push_str(&format!(" drift={}", self.drift));
+        }
+        if self.stuck != 0 {
+            line.push_str(&format!(" stuck={:#010x}", self.stuck));
+        }
         line
     }
 
@@ -333,6 +414,24 @@ impl SessionSpec {
                 "glitch" => b.glitch(value.parse().map_err(|_| bad())?),
                 "load_fail" => b.load_fail(value.parse().map_err(|_| bad())?),
                 "votes" => b.votes(value.parse().map_err(|_| bad())?),
+                "adaptive" => b.adaptive(value.parse().map_err(|_| bad())?),
+                "burst_enter" => {
+                    b.spec.burst_enter = value.parse().map_err(|_| bad())?;
+                    b
+                }
+                "burst_exit" => {
+                    b.spec.burst_exit = value.parse().map_err(|_| bad())?;
+                    b
+                }
+                "burst_glitch" => {
+                    b.spec.burst_glitch = value.parse().map_err(|_| bad())?;
+                    b
+                }
+                "drift" => b.drift(value.parse().map_err(|_| bad())?),
+                "stuck" => {
+                    let digits = value.strip_prefix("0x").unwrap_or(value);
+                    b.stuck(u32::from_str_radix(digits, 16).map_err(|_| bad())?)
+                }
                 "budget" => b.budget(value.parse().map_err(|_| bad())?),
                 "stride" => b.stride(value.parse().map_err(|_| bad())?),
                 "batch" => b.batch(value.parse().map_err(|_| bad())?),
@@ -379,12 +478,27 @@ impl SessionSpec {
         self.trace.as_deref()
     }
 
-    /// The fault profile this spec describes (noisy mode).
+    /// The fault profile this spec describes (noisy mode): the flaky
+    /// baseline at the spec's rates, plus whichever taxonomy
+    /// extensions (burst chain, drift, stuck bits) the spec enables.
+    /// Board-local pathology (`dies_at`) is deliberately absent — the
+    /// fleet owns *which board* is dying, the spec only owns the
+    /// ambient noise (see [`fpga_sim::FaultProfile::same_ambient`]).
     #[must_use]
     pub fn fault_profile(&self) -> fpga_sim::FaultProfile {
-        fpga_sim::FaultProfile::flaky(self.seed)
+        let mut profile = fpga_sim::FaultProfile::flaky(self.seed)
             .with_bit_glitch(self.glitch)
-            .with_load_failure(self.load_fail)
+            .with_load_failure(self.load_fail);
+        if self.burst_enter > 0.0 {
+            profile = profile.with_burst(self.burst_enter, self.burst_exit, self.burst_glitch);
+        }
+        if self.drift > 0.0 {
+            profile = profile.with_drift(self.drift);
+        }
+        if self.stuck != 0 {
+            profile = profile.with_stuck_mask(self.stuck);
+        }
+        profile
     }
 
     /// The resilience configuration this spec describes: seeded
@@ -398,6 +512,9 @@ impl SessionSpec {
         } else {
             ResilienceConfig::off()
         };
+        if self.adaptive {
+            config = config.with_adaptive();
+        }
         if let Some(budget) = self.budget {
             config = config.with_budget(budget);
         }
@@ -828,6 +945,10 @@ mod tests {
             .glitch(0.015)
             .load_fail(0.25)
             .votes(9)
+            .adaptive(true)
+            .burst(0.05, 0.3, 0.12)
+            .drift(0.001)
+            .stuck(0x8000_0001)
             .budget(4_000)
             .stride(101)
             .batch(64)
@@ -837,6 +958,12 @@ mod tests {
         let wire = spec.to_wire();
         let parsed = SessionSpec::from_wire(&wire).expect("parses");
         assert_eq!(parsed, spec);
+        // Defaulted taxonomy fields stay off the wire, so pre-0.8
+        // lines and new default lines are byte-identical.
+        let plain = SessionSpec::builder().build().expect("valid").to_wire();
+        for field in ["adaptive", "burst", "drift", "stuck"] {
+            assert!(!plain.contains(field), "default wire line leaks '{field}'");
+        }
         // Local-only fields never cross the wire.
         let local = SessionSpec::builder().journal("x.journal").trace("x.ndjson").build().unwrap();
         assert!(!local.to_wire().contains("journal"));
@@ -854,6 +981,28 @@ mod tests {
         // Validation runs on wire specs exactly as on built ones.
         let err = SessionSpec::from_wire("votes=2").expect_err("even votes");
         assert_eq!(err, ConfigError::BadVotes(2));
+    }
+
+    #[test]
+    fn spec_maps_taxonomy_and_adaptive_flags_onto_profile_and_config() {
+        let spec = SessionSpec::builder()
+            .noisy(true)
+            .seed(3)
+            .adaptive(true)
+            .burst(0.2, 0.4, 0.1)
+            .drift(0.01)
+            .stuck(0xF)
+            .build()
+            .expect("valid");
+        let profile = spec.fault_profile();
+        assert_eq!(profile.burst_enter, 0.2);
+        assert_eq!(profile.burst_exit, 0.4);
+        assert_eq!(profile.burst_glitch, 0.1);
+        assert_eq!(profile.drift, 0.01);
+        assert_eq!(profile.stuck_mask, 0xF);
+        assert!(profile.dies_at.is_none(), "pathology is fleet-owned, not spec-owned");
+        assert!(spec.resilience_config().adaptive);
+        assert!(!SessionSpec::builder().build().expect("valid").resilience_config().adaptive);
     }
 
     #[test]

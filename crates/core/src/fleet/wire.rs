@@ -13,6 +13,7 @@
 //! | `tail <id>`                 | telemetry NDJSON…, then `{"ok":true,"done":true,…}` |
 //! | `cancel <id>`               | `{"ok":true,"id":…}`                    |
 //! | `counters`                  | `{"ok":true,"counters":{…}}`            |
+//! | `health`                    | `{"ok":true,"fault_gap":…,"boards":[…]}` |
 //! | `ping`                      | `{"ok":true,"pong":true}`               |
 //! | `shutdown`                  | `{"ok":true,"shutdown":true}`           |
 //!
@@ -22,6 +23,7 @@
 
 use crate::campaign::CellStats;
 
+use super::health::WorkerHealth;
 use super::session::{ConfigError, SessionSpec};
 use super::store::{SessionState, SessionStatus};
 
@@ -72,6 +74,9 @@ pub enum Request {
     Cancel(String),
     /// The fleet-level counters.
     Counters,
+    /// Per-worker board health and the observed-vs-injected fault
+    /// gap.
+    Health,
     /// Liveness probe.
     Ping,
     /// Stop the server (sessions still queued stay journalled on disk
@@ -114,6 +119,7 @@ impl Request {
             "tail" => Request::Tail(id("session id")?),
             "cancel" => Request::Cancel(id("session id")?),
             "counters" => Request::Counters,
+            "health" => Request::Health,
             "ping" => Request::Ping,
             "shutdown" => Request::Shutdown,
             other => return Err(WireError::UnknownVerb(other.to_string())),
@@ -131,6 +137,7 @@ impl Request {
             Request::Tail(id) => format!("tail {id}"),
             Request::Cancel(id) => format!("cancel {id}"),
             Request::Counters => "counters".to_string(),
+            Request::Health => "health".to_string(),
             Request::Ping => "ping".to_string(),
             Request::Shutdown => "shutdown".to_string(),
         }
@@ -219,6 +226,30 @@ pub fn counters_json(counters: &[(String, u64)]) -> String {
     let fields: Vec<String> =
         counters.iter().map(|(name, v)| format!("\"{}\":{v}", json_escape(name))).collect();
     format!("{{\"ok\":true,\"counters\":{{{}}}}}", fields.join(","))
+}
+
+/// The `health` response: one object per worker board plus the
+/// fleet-wide observed-vs-injected fault gap (faults the board
+/// injected that the attack never saw — absorbed by voting and
+/// retries).
+#[must_use]
+pub fn health_json(rows: &[WorkerHealth], fault_gap: u64) -> String {
+    let boards: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"worker\":{},\"health\":\"{}\",\"sessions\":{},\"loads\":{},\
+                 \"faults\":{},\"fault_milli\":{}}}",
+                row.worker,
+                row.health(),
+                row.score.sessions,
+                row.score.loads,
+                row.score.faults,
+                row.score.fault_milli(),
+            )
+        })
+        .collect();
+    format!("{{\"ok\":true,\"fault_gap\":{fault_gap},\"boards\":[{}]}}", boards.join(","))
 }
 
 /// The one-line terminal `result.json` a finished session persists.
@@ -312,6 +343,7 @@ mod tests {
             Request::Tail("s000002".into()),
             Request::Cancel("s000003".into()),
             Request::Counters,
+            Request::Health,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -359,6 +391,24 @@ mod tests {
         let list = list_json(&[status.clone(), status]);
         assert!(is_ok(&list));
         assert_eq!(list.matches("s000007").count(), 2);
+    }
+
+    #[test]
+    fn health_json_carries_bands_and_the_fault_gap() {
+        use super::super::health::BoardScore;
+        let rows = [
+            WorkerHealth { worker: 0, score: BoardScore::default() },
+            WorkerHealth {
+                worker: 1,
+                score: BoardScore { sessions: 2, loads: 100, faults: 40, dead: true },
+            },
+        ];
+        let line = health_json(&rows, 17);
+        assert!(is_ok(&line));
+        assert_eq!(number_field(&line, "fault_gap"), Some(17));
+        assert!(line.contains("\"health\":\"healthy\""));
+        assert!(line.contains("\"health\":\"dead\""));
+        assert!(line.contains("\"fault_milli\":400"));
     }
 
     #[test]

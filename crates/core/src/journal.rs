@@ -6,18 +6,27 @@
 //! scratch wastes every physical configuration already spent. The
 //! attack driver persists its complete mutable state here after every
 //! completed work item: the [`AttackCheckpoint`] (verified findings
-//! plus exact loop cursors), the resilience layer's RNG/clock/stats
-//! ([`ResilientSnapshot`]), and the board's opaque fault state
+//! plus exact loop cursors), the resilience layer's clock/stats and
+//! adaptive-policy controller ([`ResilientSnapshot`]), and the
+//! board's opaque fault state
 //! ([`crate::oracle::KeystreamOracle::state_snapshot`]). Reloading
 //! the journal resumes the run *mid-phase*, replaying the identical
 //! query trace an uninterrupted run would have produced.
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2)
+//!
+//! Version 2 dropped the resilience layer's 16-byte jitter-RNG state
+//! (jitter became a pure function of `(seed, query index, read
+//! ordinal)`, so the stats counters pin the resume point by
+//! themselves) and added the adaptive-policy flag and controller
+//! state. Version-1 journals are refused with
+//! [`JournalError::UnsupportedVersion`]-style typed errors rather
+//! than being misread.
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"BMODJRNL"
-//! 8       2     version (little-endian u16, currently 1)
+//! 8       2     version (little-endian u16, currently 2)
 //! 10      2     reserved (0)
 //! 12      4     payload length (little-endian u32)
 //! 16      n     payload (the encoded JournalDoc)
@@ -55,13 +64,16 @@ use crate::attack::{
 };
 use crate::candidates::Catalogue;
 use crate::findlut::LutHit;
-use crate::resilient::{ResilienceConfig, ResilientSnapshot, ResilientStats, RetryPolicy};
+use crate::resilient::adaptive::MAX_LEVEL;
+use crate::resilient::{
+    PolicyController, PolicyEvent, ResilienceConfig, ResilientSnapshot, ResilientStats, RetryPolicy,
+};
 
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"BMODJRNL";
 
 /// The current format version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// Frame header size: magic + version + reserved + payload length.
 const HEADER_BYTES: usize = 16;
@@ -149,7 +161,8 @@ impl fmt::Display for JournalError {
             JournalError::ConfigMismatch { .. } => write!(
                 f,
                 "resume configuration changes a trace-determining parameter \
-                 (votes, retry policy or seed); only budget and deadline may differ"
+                 (votes, retry policy, seed or the adaptive flag); only budget \
+                 and deadline may differ"
             ),
         }
     }
@@ -185,7 +198,7 @@ pub struct JournalDoc {
     /// one — the checkpoint's byte offsets would silently corrupt a
     /// different stream).
     pub golden_crc: u32,
-    /// The resilience layer's RNG/clock/stats.
+    /// The resilience layer's clock/stats and adaptive-policy state.
     pub resilient: ResilientSnapshot,
     /// The board's opaque fault-state snapshot (`None` for stateless
     /// oracles).
@@ -512,6 +525,7 @@ fn encode_doc(doc: &JournalDoc) -> Vec<u8> {
     e.opt(doc.config.budget, Enc::u64);
     e.opt(doc.config.deadline_ms, Enc::u64);
     e.u64(doc.config.seed);
+    e.u8(u8::from(doc.config.adaptive));
     // Attack geometry.
     e.usize(doc.d);
     e.usize(doc.words);
@@ -524,7 +538,17 @@ fn encode_doc(doc: &JournalDoc) -> Vec<u8> {
     e.u64(doc.resilient.stats.transient_errors);
     e.u64(doc.resilient.stats.backoff_ms);
     e.u64(doc.resilient.clock_ms);
-    e.raw(&doc.resilient.rng_state);
+    // Adaptive-policy controller state.
+    let p = &doc.resilient.policy;
+    e.u32(p.ewma_milli);
+    e.u8(p.level);
+    e.u32(p.cooldown);
+    e.seq(&p.events, |e, ev| {
+        e.u64(ev.at_query);
+        e.u8(ev.from_level);
+        e.u8(ev.to_level);
+        e.u32(ev.ewma_milli);
+    });
     // Board state.
     e.opt(doc.oracle_state.as_deref(), |e, s| e.bytes(s));
     // Checkpoint.
@@ -575,6 +599,11 @@ fn decode_doc(d: &mut Dec<'_>) -> Result<JournalDoc, JournalError> {
         budget: d.opt(Dec::u64)?,
         deadline_ms: d.opt(Dec::u64)?,
         seed: d.u64()?,
+        adaptive: match d.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(JournalError::Malformed(format!("adaptive flag {t}"))),
+        },
     };
     let stride = d.usize()?;
     if stride == 0 {
@@ -592,7 +621,7 @@ fn decode_doc(d: &mut Dec<'_>) -> Result<JournalDoc, JournalError> {
             backoff_ms: d.u64()?,
         },
         clock_ms: d.u64()?,
-        rng_state: d.take(16)?.try_into().expect("16 bytes"),
+        policy: decode_policy(d)?,
     };
     let oracle_state = d.opt(|d| Ok(d.bytes()?.to_vec()))?;
 
@@ -698,6 +727,33 @@ fn decode_doc(d: &mut Dec<'_>) -> Result<JournalDoc, JournalError> {
     })
 }
 
+fn decode_policy(d: &mut Dec<'_>) -> Result<PolicyController, JournalError> {
+    let ewma_milli = d.u32()?;
+    let level = d.u8()?;
+    let cooldown = d.u32()?;
+    if ewma_milli > 1000 || level > MAX_LEVEL {
+        return Err(JournalError::Malformed(format!(
+            "policy state out of range (ewma {ewma_milli} milli, level {level})"
+        )));
+    }
+    let events = d.seq(|d| {
+        let ev = PolicyEvent {
+            at_query: d.u64()?,
+            from_level: d.u8()?,
+            to_level: d.u8()?,
+            ewma_milli: d.u32()?,
+        };
+        if ev.from_level > MAX_LEVEL || ev.to_level > MAX_LEVEL || ev.from_level == ev.to_level {
+            return Err(JournalError::Malformed(format!(
+                "policy event {} -> {} at query {}",
+                ev.from_level, ev.to_level, ev.at_query
+            )));
+        }
+        Ok(ev)
+    })?;
+    Ok(PolicyController { ewma_milli, level, cooldown, events })
+}
+
 fn encode_hit(e: &mut Enc, hit: &LutHit) {
     e.usize(hit.l);
     e.u8(order_code(hit.order));
@@ -798,7 +854,17 @@ mod tests {
                     backoff_ms: 420,
                 },
                 clock_ms: 420,
-                rng_state: *b"0123456789abcdef",
+                policy: PolicyController {
+                    ewma_milli: 250,
+                    level: 1,
+                    cooldown: 5,
+                    events: vec![PolicyEvent {
+                        at_query: 6,
+                        from_level: 0,
+                        to_level: 1,
+                        ewma_milli: 231,
+                    }],
+                },
             },
             oracle_state: Some(vec![9u8; 96]),
             checkpoint: AttackCheckpoint {
@@ -944,7 +1010,19 @@ mod proptests {
                 doc.golden_crc = golden_crc;
                 doc.golden_len = u64::from(golden_crc) + 1;
                 doc.resilient.clock_ms = clock;
-                doc.resilient.rng_state[..8].copy_from_slice(&rng.to_le_bytes());
+                doc.resilient.policy = PolicyController {
+                    ewma_milli: (rng % 1001) as u32,
+                    level: (rng % (u64::from(MAX_LEVEL) + 1)) as u8,
+                    cooldown: (clock % 9) as u32,
+                    events: (0..(rng % 4))
+                        .map(|i| PolicyEvent {
+                            at_query: clock.wrapping_add(i),
+                            from_level: (i % 2) as u8,
+                            to_level: (i % 2) as u8 + 1,
+                            ewma_milli: (rng % 1001) as u32,
+                        })
+                        .collect(),
+                };
                 doc.oracle_state = with_oracle.then(|| vec![0xA5u8; oracle_len]);
                 if let Some(lattice) = &mut doc.checkpoint.lattice {
                     lattice.modulus = modulus as usize;
@@ -955,6 +1033,9 @@ mod proptests {
                 } else {
                     ResilienceConfig::noisy(rng).with_budget(attempts | 1)
                 };
+                if rng % 2 == 1 {
+                    doc.config = doc.config.with_adaptive();
+                }
                 // Honour the decoder's cross-field invariants.
                 doc.checkpoint.stuck_masks = match phase {
                     AttackPhase::PairDisambiguation => vec![rng as u32; cursor],

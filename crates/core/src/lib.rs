@@ -90,7 +90,7 @@ pub use fleet::{
 pub use journal::{AttackJournal, JournalDoc, JournalError};
 pub use oracle::{KeystreamOracle, OracleError};
 pub use resilient::{
-    ResilienceConfig, ResilienceError, ResilientOracle, ResilientSnapshot, ResilientStats,
-    RetryPolicy, VirtualClock,
+    PolicyController, PolicyEvent, ResilienceConfig, ResilienceError, ResilientOracle,
+    ResilientSnapshot, ResilientStats, RetryPolicy, VirtualClock,
 };
 pub use telemetry::{Histogram, Metrics, Span, Telemetry, TelemetryError};

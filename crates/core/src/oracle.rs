@@ -9,7 +9,7 @@ use core::fmt;
 use bitstream::Bitstream;
 
 /// An error from the device.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum OracleError {
     /// The device refused the bitstream (CRC failure, malformed
@@ -32,6 +32,12 @@ pub enum OracleError {
         /// Words requested.
         want: usize,
     },
+    /// The board died permanently (power or fabric failure). Not
+    /// transient — and unlike [`OracleError::Rejected`] the fault is
+    /// board-local, not query-local: the same query succeeds on a
+    /// healthy board, so the session should migrate rather than give
+    /// up.
+    BoardDead,
 }
 
 impl OracleError {
@@ -58,6 +64,9 @@ impl fmt::Display for OracleError {
             }
             OracleError::ShortRead { got, want } => {
                 write!(f, "short keystream read: {got} of {want} words")
+            }
+            OracleError::BoardDead => {
+                write!(f, "board died permanently (configuration port unresponsive)")
             }
         }
     }
@@ -116,6 +125,58 @@ pub trait KeystreamOracle {
     fn restore_state(&self, _state: &[u8]) -> Result<(), OracleError> {
         Err(OracleError::Rejected("oracle does not support state restoration".into()))
     }
+
+    /// Whether this oracle can *plan* its fault decisions ahead of
+    /// executing them ([`KeystreamOracle::plan_read`] /
+    /// [`KeystreamOracle::commit_reads`]). Fault-planning oracles let
+    /// the resilience layer run batched noisy queries that are
+    /// bit-identical to the serial loop: faults are planned for the
+    /// exact load indices serial execution would use, device data is
+    /// read clean in one wide pass, and only the reads serial
+    /// execution performs are committed.
+    fn fault_planning(&self) -> bool {
+        false
+    }
+
+    /// Plans the fault decisions of the physical read `ahead` loads
+    /// past the current commit point, without executing or committing
+    /// anything. `None` when this oracle does not plan
+    /// (`fault_planning()` is false).
+    fn plan_read(&self, _ahead: u64, _words: usize) -> Option<fpga_sim::ReadPlan> {
+        None
+    }
+
+    /// Commits planned reads (in load-index order), applying their
+    /// fault-stat deltas as if they had been executed serially. A
+    /// no-op for non-planning oracles.
+    fn commit_reads(&self, _plans: &[fpga_sim::ReadPlan]) {}
+
+    /// Loads every bitstream and reads keystream words from the
+    /// *clean* substrate, bypassing fault injection and fault
+    /// accounting entirely. The speculative data pass of planned
+    /// batched execution; the default (no fault model to bypass) is
+    /// the ordinary batch.
+    fn keystream_batch_clean(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        self.keystream_batch(bitstreams, words)
+    }
+
+    /// Resolves one planned read against its clean device data:
+    /// applies the plan's fault outcome (typed error, truncation,
+    /// glitch masks, stuck bits) to `clean` exactly as executing the
+    /// plan against the device would have. The default (non-planning
+    /// oracle) passes the clean result through.
+    fn resolve_plan(
+        &self,
+        _plan: &fpga_sim::ReadPlan,
+        clean: Result<Vec<u32>, OracleError>,
+        _want: usize,
+    ) -> Result<Vec<u32>, OracleError> {
+        clean
+    }
 }
 
 impl KeystreamOracle for fpga_sim::Snow3gBoard {
@@ -151,6 +212,7 @@ impl KeystreamOracle for fpga_sim::UnreliableBoard {
             Err(BoardError::Program(ProgramError::ConfigTimeout { ms })) => {
                 Err(OracleError::Timeout { ms })
             }
+            Err(BoardError::Program(ProgramError::BoardDead)) => Err(OracleError::BoardDead),
             Err(e) => Err(OracleError::Rejected(e.to_string())),
         }
     }
@@ -163,6 +225,58 @@ impl KeystreamOracle for fpga_sim::UnreliableBoard {
         let snapshot = fpga_sim::FaultSnapshot::from_bytes(state)
             .ok_or_else(|| OracleError::Rejected("malformed fault-state snapshot".into()))?;
         self.restore(&snapshot).map_err(|e| OracleError::Rejected(e.to_string()))
+    }
+
+    fn fault_planning(&self) -> bool {
+        true
+    }
+
+    fn plan_read(&self, ahead: u64, words: usize) -> Option<fpga_sim::ReadPlan> {
+        Some(self.plan_read(ahead, words))
+    }
+
+    fn commit_reads(&self, plans: &[fpga_sim::ReadPlan]) {
+        self.commit_plans(plans);
+    }
+
+    /// The clean substrate is the inner ideal board's 64-lane gang
+    /// batch: no faults, no fault accounting.
+    fn keystream_batch_clean(
+        &self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        self.inner()
+            .keystream_batch(bitstreams, words)
+            .into_iter()
+            .map(|r| r.map_err(|e| OracleError::Rejected(e.to_string())))
+            .collect()
+    }
+
+    fn resolve_plan(
+        &self,
+        plan: &fpga_sim::ReadPlan,
+        clean: Result<Vec<u32>, OracleError>,
+        want: usize,
+    ) -> Result<Vec<u32>, OracleError> {
+        use fpga_sim::ReadOutcome;
+        match &plan.outcome {
+            ReadOutcome::TransientLoad => {
+                Err(OracleError::TransientLoad("configuration port glitched mid-load".into()))
+            }
+            ReadOutcome::Timeout { ms } => Err(OracleError::Timeout { ms: *ms }),
+            ReadOutcome::Dead => Err(OracleError::BoardDead),
+            ReadOutcome::Read { keep, glitch, .. } => {
+                let mut z = clean?;
+                z.truncate(*keep);
+                let z = self.corrupt(z, glitch);
+                if z.len() < want {
+                    Err(OracleError::ShortRead { got: z.len(), want })
+                } else {
+                    Ok(z)
+                }
+            }
+        }
     }
 }
 

@@ -4,9 +4,10 @@
 //! The paper's attack assumes every *load bitstream / read keystream*
 //! query succeeds and returns the true keystream. A real lab board
 //! does not cooperate: loads transiently fail, the configuration port
-//! times out, readback glitches bits and truncates transfers (the
-//! fault classes modelled by `fpga_sim::UnreliableBoard`). This
-//! module wraps any [`KeystreamOracle`] in a resilience layer:
+//! times out, readback glitches bits and truncates transfers, glitch
+//! rates burst and drift, and boards die outright (the fault classes
+//! modelled by `fpga_sim::UnreliableBoard`). This module wraps any
+//! [`KeystreamOracle`] in a resilience layer:
 //!
 //! * **retry with exponential backoff** — transient errors
 //!   ([`OracleError::is_transient`]) are retried up to a configured
@@ -23,22 +24,36 @@
 //!   converts into a checkpointed partial result;
 //! * **virtual clock** — backoff advances a deterministic virtual
 //!   clock instead of sleeping, so noisy runs are bit-reproducible
-//!   and tests run instantly.
+//!   and tests run instantly;
+//! * **adaptive policy** ([`adaptive`]) — with
+//!   [`ResilienceConfig::with_adaptive`], an online EWMA fault-rate
+//!   estimator drives a hysteresis ladder that escalates and
+//!   de-escalates votes, retries and backoff as the board degrades
+//!   and recovers, emitting typed [`PolicyEvent`]s.
 //!
-//! Determinism argument: faults come from the board's seeded RNG,
-//! jitter from this layer's seeded RNG, time from the virtual clock,
-//! and queries are issued sequentially — a fixed (seed, call
-//! sequence) pair replays the identical noisy run.
+//! Determinism argument: faults come from the board's counter-keyed
+//! draws, jitter from this layer's counter-keyed draws (a pure
+//! function of `(seed, query index, read ordinal)` — no shared RNG
+//! cursor), time from the virtual clock, and the adaptive controller
+//! consumes only counters derived from that trace. A fixed
+//! (seed, call sequence) pair therefore replays the identical noisy
+//! run, a journal resumes it from counters alone, and *batched* noisy
+//! queries can be planned speculatively yet produce the bit-identical
+//! trace of the serial loop ([`ResilientOracle::query_batch`]).
+
+pub mod adaptive;
 
 use core::fmt;
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use bitstream::Bitstream;
 
 use crate::oracle::{KeystreamOracle, OracleError};
 use crate::telemetry::Telemetry;
+
+pub use adaptive::{PolicyController, PolicyEvent};
 
 /// A deterministic clock: backoff advances it, nothing sleeps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -124,6 +139,11 @@ pub struct ResilienceConfig {
     pub deadline_ms: Option<u64>,
     /// Seed for the backoff jitter.
     pub seed: u64,
+    /// Whether the adaptive policy controller is on: `votes` and
+    /// `retry` become the *floor*, and the [`adaptive`] hysteresis
+    /// ladder escalates or de-escalates effort with the observed
+    /// fault rate.
+    pub adaptive: bool,
 }
 
 impl ResilienceConfig {
@@ -132,14 +152,21 @@ impl ResilienceConfig {
     /// unwrapped behaviour.
     #[must_use]
     pub fn off() -> Self {
-        Self { votes: 1, retry: RetryPolicy::none(), budget: None, deadline_ms: None, seed: 0 }
+        Self {
+            votes: 1,
+            retry: RetryPolicy::none(),
+            budget: None,
+            deadline_ms: None,
+            seed: 0,
+            adaptive: false,
+        }
     }
 
     /// The flaky-board configuration: 5 votes, standard backoff, no
-    /// budget.
+    /// budget, fixed (non-adaptive) policy.
     #[must_use]
     pub fn noisy(seed: u64) -> Self {
-        Self { votes: 5, retry: RetryPolicy::standard(), budget: None, deadline_ms: None, seed }
+        Self { votes: 5, retry: RetryPolicy::standard(), seed, ..Self::off() }
     }
 
     /// Overrides the vote count.
@@ -170,15 +197,26 @@ impl ResilienceConfig {
         self
     }
 
+    /// Turns the adaptive policy controller on.
+    #[must_use]
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
     /// Whether two configurations drive the *same* noisy trace: the
-    /// vote count, retry policy and jitter seed determine every RNG
-    /// draw and backoff, while `budget` and `deadline_ms` only decide
-    /// where a run is cut short. A journal may therefore be resumed
-    /// under a raised budget or deadline, but never under a different
+    /// vote count, retry policy, jitter seed and adaptive flag
+    /// determine every draw, backoff and policy decision, while
+    /// `budget` and `deadline_ms` only decide where a run is cut
+    /// short. A journal may therefore be resumed under a raised
+    /// budget or deadline, but never under a different
     /// trace-determining configuration.
     #[must_use]
     pub fn same_trace(&self, other: &Self) -> bool {
-        self.votes == other.votes && self.retry == other.retry && self.seed == other.seed
+        self.votes == other.votes
+            && self.retry == other.retry
+            && self.seed == other.seed
+            && self.adaptive == other.adaptive
     }
 }
 
@@ -261,15 +299,19 @@ pub struct ResilientStats {
 /// crash-safe journals. Restoring it (with the *same* trace-relevant
 /// [`ResilienceConfig`], see [`ResilienceConfig::same_trace`]) makes
 /// the resumed layer produce the identical stream of jitter draws,
-/// backoff delays and stats a never-interrupted run would have.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// backoff delays, policy decisions and stats a never-interrupted run
+/// would have. There is no RNG state here: jitter is a pure function
+/// of `(seed, query index, read ordinal)`, so the counters pin the
+/// resume point by themselves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResilientSnapshot {
     /// Effort counters at the snapshot point.
     pub stats: ResilientStats,
     /// Virtual-clock position, in milliseconds.
     pub clock_ms: u64,
-    /// Raw jitter-RNG state ([`SmallRng::state_bytes`]).
-    pub rng_state: [u8; 16],
+    /// Adaptive-policy controller state (level 0 with an empty
+    /// history on non-adaptive runs).
+    pub policy: PolicyController,
 }
 
 /// A [`KeystreamOracle`] front-end that retries, votes and meters.
@@ -277,12 +319,13 @@ pub struct ResilientOracle<'a> {
     inner: &'a dyn KeystreamOracle,
     config: ResilienceConfig,
     clock: VirtualClock,
-    rng: SmallRng,
     stats: ResilientStats,
+    policy: PolicyController,
     /// Inert observer: records per-query effort deltas *after* each
-    /// query completes. Never consulted for control flow, never draws
-    /// from the RNG, never advances the clock — so an instrumented
-    /// run replays the identical query trace (see `telemetry`).
+    /// query completes. Never consulted for control flow, never
+    /// influences a draw, never advances the clock — so an
+    /// instrumented run replays the identical query trace (see
+    /// `telemetry`).
     telemetry: Telemetry,
 }
 
@@ -290,11 +333,12 @@ impl fmt::Debug for ResilientOracle<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ResilientOracle(votes: {}, attempts: {}/{:?}, t: {} ms)",
+            "ResilientOracle(votes: {}, attempts: {}/{:?}, t: {} ms, level: {})",
             self.config.votes,
             self.stats.attempts,
             self.config.budget,
-            self.clock.now_ms()
+            self.clock.now_ms(),
+            self.policy.level(),
         )
     }
 }
@@ -307,8 +351,8 @@ impl<'a> ResilientOracle<'a> {
             inner,
             config,
             clock: VirtualClock::new(),
-            rng: SmallRng::seed_from_u64(config.seed),
             stats: ResilientStats::default(),
+            policy: PolicyController::new(),
             telemetry: Telemetry::off(),
         }
     }
@@ -329,8 +373,8 @@ impl<'a> ResilientOracle<'a> {
             inner,
             config,
             clock,
-            rng: SmallRng::from_state_bytes(snap.rng_state),
             stats: snap.stats,
+            policy: snap.policy.clone(),
             telemetry: Telemetry::off(),
         }
     }
@@ -353,7 +397,7 @@ impl<'a> ResilientOracle<'a> {
         ResilientSnapshot {
             stats: self.stats,
             clock_ms: self.clock.now_ms(),
-            rng_state: self.rng.state_bytes(),
+            policy: self.policy.clone(),
         }
     }
 
@@ -375,6 +419,13 @@ impl<'a> ResilientOracle<'a> {
         self.stats
     }
 
+    /// The adaptive policy controller (level 0 and inert unless
+    /// [`ResilienceConfig::with_adaptive`] is set).
+    #[must_use]
+    pub fn policy(&self) -> &PolicyController {
+        &self.policy
+    }
+
     /// The virtual timeline (advanced by backoff only).
     #[must_use]
     pub fn clock(&self) -> &VirtualClock {
@@ -387,9 +438,66 @@ impl<'a> ResilientOracle<'a> {
         self.config.budget.map(|limit| limit.saturating_sub(self.stats.attempts))
     }
 
-    /// One logical query: collect the configured number of full
-    /// reads (each individually retried) and return their bitwise
-    /// majority.
+    /// The jitter generator for read `ordinal` of logical query `q` —
+    /// a pure function of the key, so draws are order-free across
+    /// queries and resumable from counters alone.
+    fn jitter_rng(&self, q: u64, ordinal: u64) -> SmallRng {
+        rand::counter_rng(self.config.seed, q, ordinal)
+    }
+
+    /// Majority votes per logical query under the current policy
+    /// level (the configured count is the floor; each adaptive level
+    /// adds two, keeping an odd count odd).
+    fn effective_votes(&self) -> u32 {
+        let base = self.config.votes.max(1);
+        if self.config.adaptive {
+            base + 2 * u32::from(self.policy.level())
+        } else {
+            base
+        }
+    }
+
+    /// The retry policy under the current policy level (each adaptive
+    /// level adds two attempts and doubles the backoff base, capped
+    /// at the ceiling).
+    fn effective_retry(&self) -> RetryPolicy {
+        let mut p = self.config.retry;
+        if self.config.adaptive && self.policy.level() > 0 {
+            let level = self.policy.level();
+            p.max_attempts = p.max_attempts.max(1) + 2 * u32::from(level);
+            p.base_delay_ms = (p.base_delay_ms << level).min(p.max_delay_ms.max(p.base_delay_ms));
+        }
+        p
+    }
+
+    /// Feeds one *completed* query's fault sample into the adaptive
+    /// controller: transient errors plus outvoted ballots, per
+    /// physical attempt, in milli units. Failed (budget- or
+    /// deadline-cut) queries are never observed — they are re-issued
+    /// verbatim after a resume, so observing them would make a
+    /// killed-and-resumed run diverge from an uninterrupted one.
+    fn observe_query(&mut self, q: u64, mismatches: u64, before: ResilientStats) {
+        if !self.config.adaptive {
+            return;
+        }
+        let attempts = self.stats.attempts - before.attempts;
+        if attempts == 0 {
+            return;
+        }
+        let faults = (self.stats.transient_errors - before.transient_errors) + mismatches;
+        let sample = u32::try_from((faults * 1000 / attempts).min(1000)).expect("clamped");
+        if let Some(event) = self.policy.observe(q, sample) {
+            self.telemetry.record_policy(
+                event.at_query,
+                event.from_level,
+                event.to_level,
+                event.ewma_milli,
+            );
+        }
+    }
+
+    /// One logical query: collect the policy's number of full reads
+    /// (each individually retried) and return their bitwise majority.
     ///
     /// # Errors
     ///
@@ -404,58 +512,52 @@ impl<'a> ResilientOracle<'a> {
     ) -> Result<Vec<u32>, ResilienceError> {
         let before = self.stats;
         let result = self.query_inner(bitstream, words);
-        if self.telemetry.is_enabled() {
-            let outcome = match &result {
-                Ok(_) => "ok",
-                Err(ResilienceError::BudgetExhausted { .. }) => "budget-exhausted",
-                Err(ResilienceError::DeadlineExceeded { .. }) => "deadline-exceeded",
-                Err(ResilienceError::RetriesExhausted { .. }) => "retries-exhausted",
-                Err(_) => "fatal",
-            };
-            self.telemetry.record_query(
-                self.stats.attempts - before.attempts,
-                self.stats.votes_cast - before.votes_cast,
-                self.stats.transient_errors - before.transient_errors,
-                self.stats.backoff_ms - before.backoff_ms,
-                outcome,
-            );
-        }
+        self.record_query_telemetry(before, &result);
         result
     }
 
-    /// Whether a batch of queries is *order-free*: with a single
-    /// vote, a single attempt and zero base backoff, no query draws
-    /// from the jitter RNG or advances the simulated clock, so the
-    /// answer to each query is independent of where in the batch it
-    /// runs. Callers that want to reorder speculative query waves
-    /// (the attack's batched candidate scan) must check this first —
-    /// on a voting/retrying configuration the draw order defines the
-    /// reproducible noisy trace, and only the serial order is
-    /// faithful.
-    #[must_use]
-    pub fn batching_transparent(&self) -> bool {
+    /// Whether a *reordered* speculative query wave is faithful: only
+    /// when no query draws jitter, votes, retries, backs off, adapts,
+    /// or consumes a fault stream indexed by load order. The attack's
+    /// batched candidate scan interleaves queries from different
+    /// candidates, so it must check this — a fault-planning oracle's
+    /// trace is defined by serial load order, and only
+    /// [`query_batch`](Self::query_batch) (which preserves that
+    /// order) is exact there.
+    pub(crate) fn reorder_transparent(&self) -> bool {
+        self.pass_through() && !self.inner.fault_planning()
+    }
+
+    /// Whether this configuration is pass-through: a single vote, a
+    /// single attempt, zero base backoff and a fixed policy — no
+    /// query draws jitter or advances the simulated clock.
+    fn pass_through(&self) -> bool {
         self.config.votes.max(1) == 1
             && self.config.retry.max_attempts.max(1) == 1
             && self.config.retry.base_delay_ms == 0
+            && !self.config.adaptive
     }
 
-    /// A batch of independent logical queries, answered positionally.
+    /// A batch of independent logical queries, answered positionally,
+    /// always bit-identical to the serial [`query`](Self::query) loop
+    /// in results, accounting and fault trace:
     ///
-    /// On the pass-through configuration (single vote, single
-    /// attempt, zero base backoff — e.g. [`ResilienceConfig::off`])
-    /// the whole batch is dispatched through the inner oracle's
-    /// [`KeystreamOracle::keystream_batch`] so a gang-simulated board
-    /// evaluates up to 64 candidates per device pass. Every piece of
-    /// bookkeeping — budget and deadline gates, stats, per-query
-    /// telemetry — replicates the serial [`query`](Self::query) loop
-    /// item by item in input order, so results, load accounting and
-    /// journal snapshots are bit-identical to serial execution.
-    ///
-    /// Any configuration that retries, votes or backs off falls back
-    /// to that serial loop outright: those paths draw from the jitter
-    /// RNG and the board's fault stream, whose draw *order* defines
-    /// the reproducible noisy trace, so batching is defined as
-    /// sequential per-item execution there (pinned by tests).
+    /// * against a **fault-planning oracle** (an `UnreliableBoard`),
+    ///   the whole batch — retries, votes, backoff, budget gates and
+    ///   the adaptive policy — is *simulated* against speculative
+    ///   fault plans for the exact load indices serial execution
+    ///   would use, device data is read once from the clean substrate
+    ///   via [`KeystreamOracle::keystream_batch_clean`] (a
+    ///   gang-simulated board evaluates up to 64 lanes per pass), and
+    ///   exactly the reads serial execution performs are committed.
+    ///   This is what lets noisy runs batch end-to-end;
+    /// * on a **pass-through configuration** over a non-planning
+    ///   oracle, the batch is dispatched wide through
+    ///   [`KeystreamOracle::keystream_batch`] with the serial
+    ///   bookkeeping replayed item by item;
+    /// * otherwise (a voting/retrying configuration over an oracle
+    ///   whose fault stream cannot be planned), batching is defined
+    ///   as the sequential per-item loop outright.
     pub fn query_batch(
         &mut self,
         bitstreams: &[Bitstream],
@@ -464,7 +566,9 @@ impl<'a> ResilientOracle<'a> {
         if bitstreams.is_empty() {
             return Vec::new();
         }
-        let results = if self.batching_transparent() {
+        let results = if self.inner.fault_planning() {
+            self.query_batch_planned(bitstreams, words)
+        } else if self.pass_through() {
             self.query_batch_wide(bitstreams, words)
         } else {
             bitstreams.iter().map(|bs| self.query(bs, words)).collect()
@@ -473,6 +577,127 @@ impl<'a> ResilientOracle<'a> {
             self.telemetry.record_batch(bitstreams.len() as u64, fpga_sim::GANG_LANES as u64);
         }
         results
+    }
+
+    /// The planned batch path: the board's fault decisions are pure
+    /// functions of `(board seed, load index)`, so the entire serial
+    /// state machine — vote loops, retry loops, budget and deadline
+    /// gates, jitter, the virtual clock and the adaptive controller —
+    /// is replayed here against *planned* reads, in input order,
+    /// without touching the device. Device data comes from one
+    /// speculative clean wide pass (side-effect-free; items the
+    /// budget cuts never commit), and the plans serial execution
+    /// would have performed are committed to the board afterwards,
+    /// leaving it in the bit-identical state.
+    fn query_batch_planned(
+        &mut self,
+        bitstreams: &[Bitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, ResilienceError>> {
+        let clean = self.inner.keystream_batch_clean(bitstreams, words);
+        let mut plans: Vec<fpga_sim::ReadPlan> = Vec::new();
+        let mut out = Vec::with_capacity(bitstreams.len());
+        for item_clean in &clean {
+            let before = self.stats;
+            let result = self.query_planned_one(item_clean, words, &mut plans);
+            self.record_query_telemetry(before, &result);
+            out.push(result);
+        }
+        self.inner.commit_reads(&plans);
+        out
+    }
+
+    /// One logical query of the planned path — the exact mirror of
+    /// [`query_inner`](Self::query_inner) with planned reads in place
+    /// of device reads.
+    fn query_planned_one(
+        &mut self,
+        clean: &Result<Vec<u32>, OracleError>,
+        words: usize,
+        plans: &mut Vec<fpga_sim::ReadPlan>,
+    ) -> Result<Vec<u32>, ResilienceError> {
+        let before = self.stats;
+        self.stats.queries += 1;
+        let q = self.stats.queries - 1;
+        let votes = self.effective_votes();
+        let mut reads = 0u64;
+        let mut ballots: Vec<Vec<u32>> = Vec::with_capacity(votes as usize);
+        for _ in 0..votes {
+            ballots.push(self.planned_read_once(clean, words, q, &mut reads, plans)?);
+        }
+        let (z, mismatches) = tally(ballots);
+        self.observe_query(q, mismatches, before);
+        Ok(z)
+    }
+
+    /// One planned full read, retried through planned transient
+    /// faults — the exact mirror of [`read_once`](Self::read_once).
+    fn planned_read_once(
+        &mut self,
+        clean: &Result<Vec<u32>, OracleError>,
+        words: usize,
+        q: u64,
+        reads: &mut u64,
+        plans: &mut Vec<fpga_sim::ReadPlan>,
+    ) -> Result<Vec<u32>, ResilienceError> {
+        let policy = self.effective_retry();
+        let attempts = policy.max_attempts.max(1);
+        let mut last: Option<OracleError> = None;
+        for attempt in 0..attempts {
+            if let Some(limit) = self.config.budget {
+                if self.stats.attempts >= limit {
+                    return Err(ResilienceError::BudgetExhausted {
+                        used: self.stats.attempts,
+                        limit,
+                    });
+                }
+            }
+            if let Some(limit_ms) = self.config.deadline_ms {
+                if self.clock.now_ms() > limit_ms {
+                    return Err(ResilienceError::DeadlineExceeded {
+                        now_ms: self.clock.now_ms(),
+                        limit_ms,
+                    });
+                }
+            }
+            self.stats.attempts += 1;
+            let ordinal = *reads;
+            *reads += 1;
+            // `plans.len()` loads are already planned ahead of the
+            // board's commit point, so this read's load index is that
+            // many past it — exactly where serial execution would be.
+            let plan = self
+                .inner
+                .plan_read(plans.len() as u64, words)
+                .expect("planned path requires a fault-planning oracle");
+            let outcome = self.inner.resolve_plan(&plan, clean.clone(), words);
+            plans.push(plan);
+            let outcome = match outcome {
+                Ok(z) if z.len() < words => {
+                    Err(OracleError::ShortRead { got: z.len(), want: words })
+                }
+                other => other,
+            };
+            match outcome {
+                Ok(z) => {
+                    self.stats.votes_cast += 1;
+                    return Ok(z);
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.transient_errors += 1;
+                    let mut rng = self.jitter_rng(q, ordinal);
+                    let delay = policy.delay_ms(attempt, &mut rng);
+                    self.clock.advance(delay);
+                    self.stats.backoff_ms += delay;
+                    last = Some(e);
+                }
+                Err(e) => return Err(ResilienceError::Fatal(e)),
+            }
+        }
+        Err(ResilienceError::RetriesExhausted {
+            attempts,
+            last: last.unwrap_or(OracleError::ShortRead { got: 0, want: words }),
+        })
     }
 
     /// The wide batch path: one inner `keystream_batch` call for the
@@ -505,6 +730,7 @@ impl<'a> ResilientOracle<'a> {
         for i in 0..bitstreams.len() {
             let before = self.stats;
             self.stats.queries += 1;
+            let q = self.stats.queries - 1;
             let result: Result<Vec<u32>, ResilienceError> = if i >= admitted {
                 // Same gate order as `read_once`: budget, then
                 // deadline.
@@ -534,7 +760,8 @@ impl<'a> ResilientOracle<'a> {
                         // arm; with base delay 0 this draws nothing
                         // and advances nothing.
                         self.stats.transient_errors += 1;
-                        let delay = self.config.retry.delay_ms(0, &mut self.rng);
+                        let mut rng = self.jitter_rng(q, 0);
+                        let delay = self.config.retry.delay_ms(0, &mut rng);
                         self.clock.advance(delay);
                         self.stats.backoff_ms += delay;
                         Err(ResilienceError::RetriesExhausted { attempts: 1, last: e })
@@ -542,44 +769,31 @@ impl<'a> ResilientOracle<'a> {
                     Err(e) => Err(ResilienceError::Fatal(e)),
                 }
             };
-            if self.telemetry.is_enabled() {
-                let outcome = match &result {
-                    Ok(_) => "ok",
-                    Err(ResilienceError::BudgetExhausted { .. }) => "budget-exhausted",
-                    Err(ResilienceError::DeadlineExceeded { .. }) => "deadline-exceeded",
-                    Err(ResilienceError::RetriesExhausted { .. }) => "retries-exhausted",
-                    Err(_) => "fatal",
-                };
-                self.telemetry.record_query(
-                    self.stats.attempts - before.attempts,
-                    self.stats.votes_cast - before.votes_cast,
-                    self.stats.transient_errors - before.transient_errors,
-                    self.stats.backoff_ms - before.backoff_ms,
-                    outcome,
-                );
-            }
+            self.record_query_telemetry(before, &result);
             out.push(result);
         }
         out
     }
 
     /// The uninstrumented query body — everything that touches the
-    /// RNG, clock and budget lives here, *before* any recording.
+    /// clock, budget and policy lives here, *before* any recording.
     fn query_inner(
         &mut self,
         bitstream: &Bitstream,
         words: usize,
     ) -> Result<Vec<u32>, ResilienceError> {
+        let before = self.stats;
         self.stats.queries += 1;
-        let votes = self.config.votes.max(1);
+        let q = self.stats.queries - 1;
+        let votes = self.effective_votes();
+        let mut reads = 0u64;
         let mut ballots: Vec<Vec<u32>> = Vec::with_capacity(votes as usize);
         for _ in 0..votes {
-            ballots.push(self.read_once(bitstream, words)?);
+            ballots.push(self.read_once(bitstream, words, q, &mut reads)?);
         }
-        if ballots.len() == 1 {
-            return Ok(ballots.pop().expect("one ballot"));
-        }
-        Ok(majority(&ballots))
+        let (z, mismatches) = tally(ballots);
+        self.observe_query(q, mismatches, before);
+        Ok(z)
     }
 
     /// One full read, retried through transient errors.
@@ -587,8 +801,10 @@ impl<'a> ResilientOracle<'a> {
         &mut self,
         bitstream: &Bitstream,
         words: usize,
+        q: u64,
+        reads: &mut u64,
     ) -> Result<Vec<u32>, ResilienceError> {
-        let policy = self.config.retry;
+        let policy = self.effective_retry();
         let attempts = policy.max_attempts.max(1);
         let mut last: Option<OracleError> = None;
         for attempt in 0..attempts {
@@ -609,6 +825,8 @@ impl<'a> ResilientOracle<'a> {
                 }
             }
             self.stats.attempts += 1;
+            let ordinal = *reads;
+            *reads += 1;
             // A short Ok from a non-typed oracle is the same fault as
             // a typed ShortRead: retry it.
             let outcome = match self.inner.keystream(bitstream, words) {
@@ -624,7 +842,8 @@ impl<'a> ResilientOracle<'a> {
                 }
                 Err(e) if e.is_transient() => {
                     self.stats.transient_errors += 1;
-                    let delay = policy.delay_ms(attempt, &mut self.rng);
+                    let mut rng = self.jitter_rng(q, ordinal);
+                    let delay = policy.delay_ms(attempt, &mut rng);
                     self.clock.advance(delay);
                     self.stats.backoff_ms += delay;
                     last = Some(e);
@@ -637,6 +856,45 @@ impl<'a> ResilientOracle<'a> {
             last: last.unwrap_or(OracleError::ShortRead { got: 0, want: words }),
         })
     }
+
+    /// Records one completed query's effort deltas and outcome
+    /// (inert; no-op when telemetry is off).
+    fn record_query_telemetry(
+        &self,
+        before: ResilientStats,
+        result: &Result<Vec<u32>, ResilienceError>,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let outcome = match result {
+            Ok(_) => "ok",
+            Err(ResilienceError::BudgetExhausted { .. }) => "budget-exhausted",
+            Err(ResilienceError::DeadlineExceeded { .. }) => "deadline-exceeded",
+            Err(ResilienceError::RetriesExhausted { .. }) => "retries-exhausted",
+            Err(_) => "fatal",
+        };
+        self.telemetry.record_query(
+            self.stats.attempts - before.attempts,
+            self.stats.votes_cast - before.votes_cast,
+            self.stats.transient_errors - before.transient_errors,
+            self.stats.backoff_ms - before.backoff_ms,
+            outcome,
+        );
+    }
+}
+
+/// Reduces a query's ballots to its answer and the number of outvoted
+/// ballots (the adaptive controller's glitch signal): with one ballot
+/// the answer is the ballot itself; otherwise the per-bit majority,
+/// counting ballots that differ from it anywhere.
+fn tally(mut ballots: Vec<Vec<u32>>) -> (Vec<u32>, u64) {
+    if ballots.len() == 1 {
+        return (ballots.pop().expect("one ballot"), 0);
+    }
+    let z = majority(&ballots);
+    let mismatches = ballots.iter().filter(|b| b.as_slice() != z.as_slice()).count() as u64;
+    (z, mismatches)
 }
 
 /// The bitwise majority of equal-length ballots: bit `b` of word `w`
@@ -862,6 +1120,7 @@ mod tests {
         assert!(!base.same_trace(&ResilienceConfig::noisy(6)));
         assert!(!base.same_trace(&base.with_votes(3)));
         assert!(!base.same_trace(&base.with_retry(RetryPolicy::none())));
+        assert!(!base.same_trace(&base.with_adaptive()));
     }
 
     #[test]
@@ -907,10 +1166,11 @@ mod tests {
     }
 
     #[test]
-    fn noisy_batch_is_defined_as_sequential_per_item_execution() {
-        // A retrying/voting configuration must fall back to the
-        // serial loop so the fault-draw order (hence the reproducible
-        // noisy trace) is unchanged.
+    fn noisy_batch_over_an_unplannable_oracle_is_the_serial_loop() {
+        // A retrying/voting configuration over an oracle whose fault
+        // stream cannot be planned must fall back to the sequential
+        // loop so the fault-draw order (hence the reproducible noisy
+        // trace) is unchanged.
         let script = || -> Vec<Result<Vec<u32>, OracleError>> {
             vec![
                 Err(OracleError::TransientLoad("glitch".into())),
@@ -936,7 +1196,7 @@ mod tests {
 
         assert_eq!(a.stats(), b.stats(), "identical fault trace and accounting");
         assert_eq!(a.clock().now_ms(), b.clock().now_ms());
-        assert_eq!(a.snapshot().rng_state, b.snapshot().rng_state, "same jitter draws");
+        assert_eq!(a.snapshot(), b.snapshot(), "identical snapshots either way");
         let unwrap_all = |v: Vec<Result<Vec<u32>, ResilienceError>>| -> Vec<Vec<u32>> {
             v.into_iter().map(|r| r.expect("recovers")).collect()
         };
@@ -955,5 +1215,122 @@ mod tests {
             r.stats().backoff_ms
         };
         assert_eq!(run(11), run(11), "jitter is a function of the seed");
+    }
+
+    #[test]
+    fn jitter_is_order_free_across_queries() {
+        // The backoff a failing query accumulates is keyed by
+        // (seed, query index, read ordinal), not by a shared RNG
+        // cursor — so the draws of *earlier* queries cannot influence
+        // it, which is exactly what lets planned batches replay
+        // serial jitter without replaying a cursor.
+        let config = ResilienceConfig::noisy(77).with_votes(1);
+        let backoff_of_query = |clean_before: usize| {
+            let mut script: Vec<Result<Vec<u32>, OracleError>> =
+                (0..clean_before).map(|_| Ok(vec![2])).collect();
+            script.push(Err(OracleError::TransientLoad("a".into())));
+            script.push(Err(OracleError::TransientLoad("b".into())));
+            let oracle = Scripted::new(vec![1], script);
+            let mut r = ResilientOracle::new(&oracle, config);
+            for _ in 0..clean_before {
+                r.query(&bs(), 1).expect("clean");
+            }
+            let before = r.stats().backoff_ms;
+            r.query(&bs(), 1).expect("recovers");
+            (r.stats().queries - 1, r.stats().backoff_ms - before)
+        };
+        let (q0, b0) = backoff_of_query(0);
+        let (q2, b2) = backoff_of_query(2);
+        assert!(b0 > 0 && b2 > 0, "both failing queries backed off");
+        assert_ne!(q0, q2);
+        // Same query index → same draws, regardless of history: a
+        // second run with the same prefix length reproduces exactly.
+        assert_eq!(backoff_of_query(2), (q2, b2));
+    }
+
+    mod on_a_real_board {
+        use super::*;
+        use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard};
+        use netlist::snow3g_circuit::Snow3gCircuitConfig;
+        use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+
+        fn noisy_board(profile: FaultProfile) -> UnreliableBoard {
+            let config = Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV);
+            let inner =
+                Snow3gBoard::build(config, &ImplementOptions::default()).expect("board builds");
+            UnreliableBoard::new(inner, profile)
+        }
+
+        /// The headline batched-noise property: against a
+        /// fault-planning board, `query_batch` on a voting + retrying
+        /// configuration produces the results, stats, clock, policy
+        /// state *and board fault trace* of the serial loop, bit for
+        /// bit — including a budget cut mid-batch.
+        #[test]
+        fn planned_batch_equals_the_serial_loop_on_a_noisy_board() {
+            let profile = FaultProfile::bursty(17).with_truncate(0.10);
+            for (label, config) in [
+                ("fixed", ResilienceConfig::noisy(0xBAD5EED).with_votes(3).with_budget(40)),
+                ("adaptive", ResilienceConfig::noisy(0xBAD5EED).with_votes(3).with_adaptive()),
+            ] {
+                let board_a = noisy_board(profile);
+                let golden = board_a.extract_bitstream();
+                let batch: Vec<Bitstream> = (0..12).map(|_| golden.clone()).collect();
+                let mut a = ResilientOracle::new(&board_a, config);
+                let batched = a.query_batch(&batch, 4);
+
+                let board_b = noisy_board(profile);
+                let mut b = ResilientOracle::new(&board_b, config);
+                let serial: Vec<_> = batch.iter().map(|x| b.query(x, 4)).collect();
+
+                assert_eq!(a.stats(), b.stats(), "{label}: oracle accounting");
+                assert_eq!(a.clock().now_ms(), b.clock().now_ms(), "{label}: virtual clock");
+                assert_eq!(a.snapshot(), b.snapshot(), "{label}: snapshot incl. policy");
+                assert_eq!(
+                    board_a.fault_stats(),
+                    board_b.fault_stats(),
+                    "{label}: board-side fault trace"
+                );
+                assert_eq!(batched.len(), serial.len());
+                for (i, (x, y)) in batched.iter().zip(&serial).enumerate() {
+                    match (x, y) {
+                        (Ok(zx), Ok(zy)) => assert_eq!(zx, zy, "{label}: item {i}"),
+                        (Err(ex), Err(ey)) => {
+                            assert_eq!(format!("{ex:?}"), format!("{ey:?}"), "{label}: item {i}");
+                        }
+                        other => panic!("{label}: item {i} diverged: {other:?}"),
+                    }
+                }
+            }
+        }
+
+        /// Adaptive policy end-to-end: a board stuck in its bad burst
+        /// state makes the controller escalate, and the policy state
+        /// is identical between a traced and an untraced run.
+        #[test]
+        fn adaptive_policy_escalates_under_burst_noise_identically_traced_or_not() {
+            let profile = FaultProfile::clean(33).with_burst(1.0, 0.0, 0.10).with_timeout(0.05);
+            let run = |traced: bool| {
+                let board = noisy_board(profile);
+                let golden = board.extract_bitstream();
+                let mut r = ResilientOracle::new(
+                    &board,
+                    ResilienceConfig::noisy(5).with_votes(3).with_adaptive(),
+                );
+                if traced {
+                    r.set_telemetry(Telemetry::new());
+                }
+                for _ in 0..40 {
+                    let _ = r.query(&golden, 4);
+                }
+                (r.policy().clone(), r.stats())
+            };
+            let (policy_untraced, stats_untraced) = run(false);
+            let (policy_traced, stats_traced) = run(true);
+            assert!(!policy_untraced.events().is_empty(), "the storm escalates the policy");
+            assert!(policy_untraced.level() > 0);
+            assert_eq!(policy_untraced, policy_traced, "telemetry never perturbs the policy");
+            assert_eq!(stats_untraced, stats_traced);
+        }
     }
 }

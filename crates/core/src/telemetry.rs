@@ -85,6 +85,19 @@ pub mod names {
     pub const BOARD_BITS_FLIPPED: &str = "board.faults.bits_flipped";
     /// Board: total faults injected across all classes.
     pub const BOARD_INJECTED: &str = "board.faults.injected";
+    /// Board: faults the board injected that the oracle layer never
+    /// observed as retries — the observed-vs-injected gap. Truncations
+    /// surface as short reads (observed), but bit glitches only show
+    /// up when a majority ballot is outvoted, so a persistent gap on a
+    /// glitchy board means the vote count is too low to *see* the
+    /// noise it is absorbing.
+    pub const BOARD_FAULT_GAP: &str = "board.faults.unobserved_gap";
+    /// Adaptive policy: escalation transitions.
+    pub const POLICY_ESCALATIONS: &str = "policy.escalations";
+    /// Adaptive policy: de-escalation transitions.
+    pub const POLICY_DEESCALATIONS: &str = "policy.de_escalations";
+    /// Histogram: policy level after each transition.
+    pub const POLICY_LEVEL: &str = "policy.level";
     /// FINDLUT candidates found (phase 1, all shapes).
     pub const SCAN_CANDIDATES: &str = "scan.candidates";
     /// Batched oracle calls issued (each covers many candidates).
@@ -114,6 +127,14 @@ pub mod names {
     pub const FLEET_WORKER_UTILISATION_PCT: &str = "fleet.worker_utilisation_pct";
     /// Fleet: workers that exited after a kill switch.
     pub const FLEET_WORKERS_KILLED: &str = "fleet.workers_killed";
+    /// Fleet: boards quarantined after failing a health check.
+    pub const FLEET_BOARDS_QUARANTINED: &str = "fleet.boards_quarantined";
+    /// Fleet: sessions migrated off a quarantined board to a healthy
+    /// peer.
+    pub const FLEET_SESSIONS_MIGRATED: &str = "fleet.sessions_migrated";
+    /// Fleet: quarantined boards that answered the boot re-probe and
+    /// rejoined the pool.
+    pub const FLEET_BOARDS_REPROBED: &str = "fleet.boards_reprobed";
 }
 
 /// Number of histogram buckets: bucket 0 holds the value 0; bucket
@@ -647,6 +668,14 @@ impl Telemetry {
             s.metrics.incr(names::BOARD_TRUNCATED, truncated);
             s.metrics.incr(names::BOARD_BITS_FLIPPED, bits_flipped);
             s.metrics.incr(names::BOARD_INJECTED, injected);
+            // The observed-vs-injected gap, against the retries this
+            // same recorder saw at the oracle chokepoint. Recompute
+            // the cumulative gap rather than a per-call delta so the
+            // counter stays right however the calls interleave.
+            let observed = s.metrics.counter(names::ORACLE_RETRIES);
+            let injected_total = s.metrics.counter(names::BOARD_INJECTED);
+            let gap = injected_total.saturating_sub(observed);
+            s.metrics.counters.insert(names::BOARD_FAULT_GAP.to_string(), gap);
             let line = Json::event(s.seq, "board")
                 .num("loads_attempted", loads_attempted)
                 .num("transient", transient)
@@ -654,6 +683,30 @@ impl Telemetry {
                 .num("truncated", truncated)
                 .num("bits_flipped", bits_flipped)
                 .num("injected", injected)
+                .num("unobserved_gap", gap)
+                .finish();
+            s.seq += 1;
+            s.emit(&line);
+        });
+    }
+
+    /// Records one adaptive-policy transition (called from the
+    /// resilience layer *after* the controller already switched —
+    /// observation only, never a control input).
+    pub fn record_policy(&self, at_query: u64, from_level: u8, to_level: u8, ewma_milli: u32) {
+        self.with_state(|s| {
+            let name = if to_level > from_level {
+                names::POLICY_ESCALATIONS
+            } else {
+                names::POLICY_DEESCALATIONS
+            };
+            s.metrics.incr(name, 1);
+            s.metrics.observe(names::POLICY_LEVEL, u64::from(to_level));
+            let line = Json::event(s.seq, "policy")
+                .num("at_query", at_query)
+                .num("from_level", u64::from(from_level))
+                .num("to_level", u64::from(to_level))
+                .num("ewma_milli", u64::from(ewma_milli))
                 .finish();
             s.seq += 1;
             s.emit(&line);
@@ -998,6 +1051,42 @@ mod tests {
         assert!(table.contains("journal.writes"), "{table}");
         assert!(table.contains("journal.bytes_per_write"), "{table}");
         assert!(table.contains("200.0"), "mean rendered: {table}");
+    }
+
+    #[test]
+    fn board_faults_expose_the_observed_vs_injected_gap() {
+        let t = Telemetry::new();
+        // The oracle observed 3 retries; the board injected 10 faults
+        // (2 transient + 1 timeout + 3 truncated + 4 flipped bits):
+        // 7 slipped past the retry layer.
+        t.record_query(4, 1, 3, 30, "ok");
+        t.record_board_faults(20, 2, 1, 3, 4);
+        let m = t.metrics();
+        assert_eq!(m.counter(names::BOARD_INJECTED), 10);
+        assert_eq!(m.counter(names::BOARD_FAULT_GAP), 7);
+        assert!(t.summary_table().contains("board.faults.unobserved_gap"));
+        // A later delta call refreshes the cumulative gap.
+        t.record_board_faults(5, 0, 0, 0, 2);
+        assert_eq!(t.metrics().counter(names::BOARD_FAULT_GAP), 9);
+    }
+
+    #[test]
+    fn policy_transitions_are_counted_by_direction() {
+        let (tx, rx) = mpsc::channel();
+        let t = Telemetry::with_sink(Box::new(ChannelSink { tx, fail: false }));
+        t.record_policy(10, 0, 1, 240);
+        t.record_policy(25, 1, 2, 310);
+        t.record_policy(80, 2, 1, 40);
+        t.finish().expect("sink healthy");
+        let m = t.metrics();
+        assert_eq!(m.counter(names::POLICY_ESCALATIONS), 2);
+        assert_eq!(m.counter(names::POLICY_DEESCALATIONS), 1);
+        let h = m.histogram(names::POLICY_LEVEL).expect("level histogram");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), Some(2));
+        let lines = collect_lines(&rx);
+        let policy_line = lines.iter().find(|l| l.contains("\"ev\":\"policy\"")).expect("event");
+        assert!(policy_line.contains("\"ewma_milli\":240"), "{policy_line}");
     }
 
     #[test]

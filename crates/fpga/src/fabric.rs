@@ -99,6 +99,11 @@ pub enum ProgramError {
         /// Milliseconds waited before giving up (simulated).
         ms: u64,
     },
+    /// The board died permanently (power/fabric failure). Not
+    /// transient: no retry on this board can succeed — the session
+    /// must migrate to another board. Only injected by fault models
+    /// such as [`crate::UnreliableBoard`].
+    BoardDead,
 }
 
 impl fmt::Display for ProgramError {
@@ -116,6 +121,9 @@ impl fmt::Display for ProgramError {
             }
             ProgramError::ConfigTimeout { ms } => {
                 write!(f, "configuration interface timed out after {ms} ms (transient)")
+            }
+            ProgramError::BoardDead => {
+                write!(f, "board died permanently (configuration port unresponsive)")
             }
         }
     }
@@ -138,7 +146,8 @@ impl std::error::Error for ProgramError {
             ProgramError::WrongFrameCount { .. }
             | ProgramError::WrongDevice { .. }
             | ProgramError::TransientLoad
-            | ProgramError::ConfigTimeout { .. } => None,
+            | ProgramError::ConfigTimeout { .. }
+            | ProgramError::BoardDead => None,
         }
     }
 }

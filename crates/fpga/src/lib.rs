@@ -38,4 +38,6 @@ pub use fabric::{ConfiguredFpga, Fpga, ProgramError};
 pub use gang::{GangConfiguredFpga, GANG_LANES};
 pub use geom::{Geometry, InitLayout, SiteId};
 pub use implementer::{implement, ImplementError, ImplementOptions, Implementation};
-pub use unreliable::{FaultProfile, FaultSnapshot, FaultStats, RestoreError, UnreliableBoard};
+pub use unreliable::{
+    FaultProfile, FaultSnapshot, FaultStats, ReadOutcome, ReadPlan, RestoreError, UnreliableBoard,
+};

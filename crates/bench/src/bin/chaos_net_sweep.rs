@@ -1,0 +1,242 @@
+//! Wire-chaos sweep: the fleet's line protocol across a grid of
+//! transport fault rates — the robustness experiment behind the
+//! EXPERIMENTS.md fault-rate vs completed-session-rate table.
+//!
+//! ```text
+//! chaos-net-sweep [--smoke] [--seed N] [--sessions N] [--drop R]
+//!                 [--out PATH]
+//! ```
+//!
+//! Each cell boots an in-process fleet behind a loopback
+//! [`FleetServer`] whose accepted connections are wrapped in the
+//! seeded [`ChaosProfile`] injector (dropped connections, partial
+//! writes, garbled bytes, injected read delays scale with the cell's
+//! drop rate), then drives a batch of sessions through the hardened
+//! client — submit, tail to completion, status. Reported per cell:
+//! sessions completed, client-side reconnects, and the server's wire
+//! counters. The gate: every session completes at every rate up to
+//! 10% per-op; the 20% cell is reported as the degradation point, not
+//! gated. `--smoke` runs the single 5%-drop cell (for CI); `--drop R`
+//! runs one cell at rate R; `--out` writes the final cell's wire
+//! counters as one JSON line (the CI smoke-trace artifact).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bitmod::fleet::{
+    wire, ChaosProfile, ClientConfig, Endpoint, Fleet, FleetClient, FleetConfig, FleetServer,
+    SessionSpec,
+};
+use bitmod::telemetry::names;
+
+struct Cell {
+    drop: f64,
+    completed: usize,
+    attempted: usize,
+    client_reconnects: u64,
+    server: String,
+}
+
+fn counter(counters: &str, name: &str) -> u64 {
+    wire::number_field(counters, name).unwrap_or(0)
+}
+
+fn run_cell(drop: f64, seed: u64, sessions: usize) -> Result<Cell, String> {
+    let root = std::env::temp_dir().join(format!(
+        "bitmod-chaos-net-sweep-{}-{}",
+        std::process::id(),
+        (drop * 1000.0) as u64
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let fleet = Fleet::start(FleetConfig::new(&root).workers(2)).map_err(|e| e.to_string())?;
+    // The companion fault classes scale with the headline drop rate:
+    // a wire that drops also tears, garbles and stalls.
+    let profile = ChaosProfile::new(seed)
+        .with_drop(drop)
+        .with_partial(drop * 2.0)
+        .with_garble(drop / 2.0)
+        .with_delay(drop / 2.0);
+    let mut server =
+        FleetServer::bind(&Endpoint::parse("127.0.0.1:0"), fleet).map_err(|e| e.to_string())?;
+    if profile.is_active() {
+        server = server.with_chaos(profile);
+    }
+    let endpoint = server.endpoint().clone();
+    let join = server.spawn();
+
+    let config = ClientConfig::default()
+        .with_read_timeout(Duration::from_secs(2))
+        .with_retries(20)
+        .with_backoff(Duration::from_millis(5), Duration::from_millis(50))
+        .with_seed(seed);
+    let mut client = FleetClient::connect_with(&endpoint, config).map_err(|e| e.to_string())?;
+
+    let spec =
+        SessionSpec::builder().batch(fpga_sim::GANG_LANES).build().map_err(|e| e.to_string())?;
+    let mut completed = 0usize;
+    for i in 0..sessions {
+        let id = match client.submit(&spec) {
+            Ok(id) => id,
+            Err(e) => {
+                eprintln!("chaos-net-sweep: drop {drop}: session {i} submit failed: {e}");
+                continue;
+            }
+        };
+        let mut sink = std::io::sink();
+        match client.tail(&id, &mut sink) {
+            Ok(state) if state == "recovered" => completed += 1,
+            Ok(state) => {
+                eprintln!("chaos-net-sweep: drop {drop}: session {i} ({id}) ended '{state}'");
+            }
+            Err(e) => {
+                eprintln!("chaos-net-sweep: drop {drop}: session {i} ({id}) tail failed: {e}");
+            }
+        }
+    }
+    let server_counters = client.counters().map_err(|e| e.to_string())?;
+    let reconnects = client.reconnects();
+    client.shutdown().map_err(|e| e.to_string())?;
+    join.join().map_err(|_| "server thread panicked".to_string())?;
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(Cell {
+        drop,
+        completed,
+        attempted: sessions,
+        client_reconnects: reconnects,
+        server: server_counters,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut seed = 42u64;
+    let mut sessions = 4usize;
+    let mut single: Option<f64> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => seed = v,
+                _ => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sessions" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) if v > 0 => sessions = v,
+                _ => {
+                    eprintln!("--sessions needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--drop" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => single = Some(v),
+                _ => {
+                    eprintln!("--drop needs a rate");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--smoke" => {}
+            other => {
+                eprintln!(
+                    "unknown option '{other}'; usage: chaos-net-sweep \
+                     [--smoke] [--seed N] [--sessions N] [--drop R] [--out PATH]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let single_cell;
+    let rates: &[f64] = if let Some(rate) = single {
+        single_cell = [rate];
+        &single_cell
+    } else if smoke {
+        &[0.05]
+    } else {
+        &[0.0, 0.02, 0.05, 0.10, 0.20]
+    };
+    println!("chaos-net sweep: seed {seed}, {sessions} session(s) per cell");
+    println!("drop/op | completed | reconnects | chaos faults | frames rejected | srv reconnects");
+
+    let mut cells = Vec::new();
+    for &drop in rates {
+        match run_cell(drop, seed, sessions) {
+            Ok(cell) => {
+                println!(
+                    "{:>6.1}% | {:>4}/{:<4} | {:>10} | {:>12} | {:>15} | {:>14}",
+                    cell.drop * 100.0,
+                    cell.completed,
+                    cell.attempted,
+                    cell.client_reconnects,
+                    counter(&cell.server, names::FLEET_NET_CHAOS_FAULTS),
+                    counter(&cell.server, names::FLEET_NET_FRAMES_REJECTED),
+                    counter(&cell.server, names::FLEET_NET_RECONNECTS),
+                );
+                cells.push(cell);
+            }
+            Err(e) => {
+                eprintln!("chaos-net-sweep: cell at drop {drop} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The acceptance gate: every submitted session completes at every
+    // rate up to 10% per-op — the hardening absorbs that much chaos
+    // outright within the default retry budget. Harsher cells are
+    // reported, not gated: they are the degradation data the
+    // EXPERIMENTS table exists to show.
+    const GATED_MAX_DROP: f64 = 0.10;
+    let all_completed = cells
+        .iter()
+        .filter(|c| c.drop <= GATED_MAX_DROP + 1e-9)
+        .all(|c| c.completed == c.attempted);
+    if !all_completed {
+        eprintln!(
+            "chaos-net-sweep: a session failed at a gated rate (<= {:.0}% drop)",
+            GATED_MAX_DROP * 100.0
+        );
+    }
+
+    if let Some(path) = out {
+        // The CI artifact: the last (noisiest) cell's wire counters.
+        let last = cells.last().expect("at least one cell ran");
+        let line = format!(
+            "{{\"drop\":{},\"sessions\":{},\"completed\":{},\"client_reconnects\":{},\
+             \"{}\":{},\"{}\":{},\"{}\":{},\"{}\":{}}}",
+            last.drop,
+            last.attempted,
+            last.completed,
+            last.client_reconnects,
+            names::FLEET_NET_CHAOS_FAULTS,
+            counter(&last.server, names::FLEET_NET_CHAOS_FAULTS),
+            names::FLEET_NET_FRAMES_REJECTED,
+            counter(&last.server, names::FLEET_NET_FRAMES_REJECTED),
+            names::FLEET_NET_RECONNECTS,
+            counter(&last.server, names::FLEET_NET_RECONNECTS),
+            names::FLEET_NET_SUBMIT_DEDUPED,
+            counter(&last.server, names::FLEET_NET_SUBMIT_DEDUPED),
+        );
+        if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
+            eprintln!("chaos-net-sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wire counters written to {path}");
+    }
+
+    if all_completed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

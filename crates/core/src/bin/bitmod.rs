@@ -12,12 +12,23 @@
 //!                [--votes N] [--budget N] [--stride N] [--deadline-ms N]
 //!                [--journal PATH] [--resume] [--trace PATH] [--batch]
 //! bitmod serve   [--addr ADDR] [--root DIR] [--workers N]
-//! bitmod submit  [--addr ADDR] [attack spec flags...]
-//! bitmod status  [--addr ADDR] [ID]
-//! bitmod tail    [--addr ADDR] ID
-//! bitmod cancel  [--addr ADDR] ID
-//! bitmod shutdown [--addr ADDR]
+//!                [--idle-timeout-ms N] [--chaos-seed N] [--chaos-drop P]
+//!                [--chaos-partial P] [--chaos-garble P] [--chaos-delay P]
+//!                [--chaos-dup P]
+//! bitmod submit  [--addr ADDR] [client flags] [attack spec flags...]
+//! bitmod status  [--addr ADDR] [client flags] [ID]
+//! bitmod tail    [--addr ADDR] [client flags] ID
+//! bitmod cancel  [--addr ADDR] [client flags] ID
+//! bitmod shutdown [--addr ADDR] [client flags]
 //! ```
+//!
+//! Client flags (every client subcommand): `--connect-timeout MS`
+//! (default 5000), `--read-timeout MS` (default 30000) and
+//! `--retries N` (default 2) — the deadlines and transport-failure
+//! retry budget behind every request. A dead daemon surfaces as a
+//! typed timeout instead of a hang; a flaky wire is retried with
+//! exponential, jittered backoff, and retried submits carry an
+//! idempotency token so they never double-enqueue.
 //!
 //! `attack` builds the simulated SNOW 3G victim board (ETSI Test
 //! Set 1) and runs the full key-recovery pipeline against it. With
@@ -43,7 +54,11 @@
 //! `serve` runs the attack-as-a-service daemon: a work-stealing fleet
 //! of workers over a session store rooted at `--root`, behind a
 //! line-protocol server on `--addr` (a TCP address, or a Unix socket
-//! path / `unix:PATH`). `submit`, `status`, `tail`, `cancel` and
+//! path / `unix:PATH`). `--idle-timeout-ms` closes connections whose
+//! reads stall past the deadline, and the `--chaos-*` flags wrap every
+//! accepted connection in the seeded fault injector (drop, partial
+//! write, garble, delay, duplicate — for soak-testing clients against
+//! a hostile wire; rates are probabilities per I/O operation). `submit`, `status`, `tail`, `cancel` and
 //! `shutdown` are the thin client: `submit` takes the same spec flags
 //! as `attack` (minus the local-only `--journal`/`--resume`/`--trace`
 //! — the server owns each session's journal and trace inside its
@@ -63,7 +78,9 @@
 use std::process::ExitCode;
 
 use bitmod::cli;
-use bitmod::fleet::{Endpoint, Fleet, FleetClient, FleetConfig, FleetServer, SessionSpec};
+use bitmod::fleet::{
+    wire, ClientConfig, Endpoint, Fleet, FleetClient, FleetConfig, FleetServer, SessionSpec,
+};
 use bitstream::Bitstream;
 
 /// Parses the attack/submit spec flags through the validating
@@ -128,12 +145,30 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut addr = "127.0.0.1:7545".to_string();
     let mut root = ".bitmod-fleet".to_string();
     let mut workers: Option<usize> = None;
+    let mut idle_timeout: Option<u64> = None;
+    let mut chaos_seed: u64 = 0;
+    let (mut drop, mut partial, mut garble, mut delay, mut dup) = (0.0, 0.0, 0.0, 0.0, 0.0);
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
             "--root" => root = it.next().ok_or("--root needs a path")?.clone(),
             "--workers" => workers = Some(it.next().ok_or("--workers needs a value")?.parse()?),
+            "--idle-timeout-ms" => {
+                idle_timeout = Some(it.next().ok_or("--idle-timeout-ms needs a value")?.parse()?);
+            }
+            "--chaos-seed" => {
+                chaos_seed = it.next().ok_or("--chaos-seed needs a value")?.parse()?;
+            }
+            "--chaos-drop" => drop = it.next().ok_or("--chaos-drop needs a value")?.parse()?,
+            "--chaos-partial" => {
+                partial = it.next().ok_or("--chaos-partial needs a value")?.parse()?;
+            }
+            "--chaos-garble" => {
+                garble = it.next().ok_or("--chaos-garble needs a value")?.parse()?;
+            }
+            "--chaos-delay" => delay = it.next().ok_or("--chaos-delay needs a value")?.parse()?,
+            "--chaos-dup" => dup = it.next().ok_or("--chaos-dup needs a value")?.parse()?,
             flag => return Err(format!("unknown serve option '{flag}'").into()),
         }
     }
@@ -143,7 +178,20 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let workers = config.worker_count();
     let fleet = Fleet::start(config)?;
-    let server = FleetServer::bind(&Endpoint::parse(&addr), fleet)?;
+    let mut server = FleetServer::bind(&Endpoint::parse(&addr), fleet)?;
+    if let Some(ms) = idle_timeout {
+        server = server.with_read_timeout(std::time::Duration::from_millis(ms));
+    }
+    let profile = bitmod::fleet::ChaosProfile::new(chaos_seed)
+        .with_drop(drop)
+        .with_partial(partial)
+        .with_garble(garble)
+        .with_delay(delay)
+        .with_dup(dup);
+    if profile.is_active() {
+        server = server.with_chaos(profile);
+        println!("chaos wire enabled (seed {chaos_seed})");
+    }
     println!(
         "listening on {} ({} workers, root {})",
         server.endpoint(),
@@ -154,25 +202,61 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Splits `--addr` off a client subcommand's arguments; everything
-/// else is returned for the subcommand to parse.
-fn split_addr(rest: &[String]) -> Result<(Endpoint, Vec<String>), Box<dyn std::error::Error>> {
+/// Splits `--addr` and the client transport flags
+/// (`--connect-timeout MS`, `--read-timeout MS`, `--retries N`) off a
+/// client subcommand's arguments; everything else is returned for the
+/// subcommand to parse.
+fn split_addr(
+    rest: &[String],
+) -> Result<(Endpoint, ClientConfig, Vec<String>), Box<dyn std::error::Error>> {
     let mut addr = "127.0.0.1:7545".to_string();
+    let mut config = ClientConfig::default();
     let mut remainder = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
-        if arg == "--addr" {
-            addr = it.next().ok_or("--addr needs a value")?.clone();
-        } else {
-            remainder.push(arg.clone());
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--connect-timeout" => {
+                let ms: u64 = it.next().ok_or("--connect-timeout needs milliseconds")?.parse()?;
+                config = config.with_connect_timeout(std::time::Duration::from_millis(ms));
+            }
+            "--read-timeout" => {
+                let ms: u64 = it.next().ok_or("--read-timeout needs milliseconds")?.parse()?;
+                config = config.with_read_timeout(std::time::Duration::from_millis(ms));
+            }
+            "--retries" => {
+                config = config.with_retries(it.next().ok_or("--retries needs a value")?.parse()?);
+            }
+            _ => remainder.push(arg.clone()),
         }
     }
-    Ok((Endpoint::parse(&addr), remainder))
+    Ok((Endpoint::parse(&addr), config, remainder))
+}
+
+/// Renders the transport-health line under `bitmod status`: the
+/// server's wire counters (connections, rejected frames, reconnects,
+/// deduped submits, reaped leases, chaos faults, torn journals)
+/// pulled out of the counters response.
+fn transport_health(counters: &str) -> String {
+    let field = |name: &str| wire::number_field(counters, name).unwrap_or(0);
+    format!(
+        "transport: {} connections, {} reconnects, {} frames rejected, \
+         {} submits deduped, {} leases reaped, {} idle closed, \
+         {} chaos faults, {} torn journals discarded",
+        field("fleet.net.connections"),
+        field("fleet.net.reconnects"),
+        field("fleet.net.frames_rejected"),
+        field("fleet.net.submit_deduped"),
+        field("fleet.net.leases_reaped"),
+        field("fleet.net.idle_closed"),
+        field("fleet.net.chaos_faults"),
+        field("journal.torn_discarded"),
+    )
 }
 
 fn run_client(cmd: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let (endpoint, rest) = split_addr(rest)?;
-    let mut client = FleetClient::connect(&endpoint)?;
+    let (endpoint, config, rest) = split_addr(rest)?;
+    let mut client = FleetClient::connect_with(&endpoint, config)?;
     match cmd {
         "submit" => {
             let spec = parse_spec(&rest, false)?;
@@ -182,10 +266,12 @@ fn run_client(cmd: &str, rest: &[String]) -> Result<(), Box<dyn std::error::Erro
             Some(id) => println!("{}", client.status(id)?),
             None => {
                 // The fleet-wide view: every session, then board
-                // health (quarantined boards show up as "dead") and
-                // the observed-vs-injected fault gap.
+                // health (quarantined boards show up as "dead" and
+                // the observed-vs-injected fault gap), then the
+                // wire's own health.
                 println!("{}", client.list()?);
                 println!("{}", client.health()?);
+                println!("{}", transport_health(&client.counters()?));
             }
         },
         "tail" => {

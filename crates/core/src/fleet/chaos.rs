@@ -1,0 +1,725 @@
+//! Seeded, deterministic fault injection for the fleet's wire and
+//! disk.
+//!
+//! The attack's resilience story covered the *oracle* (PR 2/7: seeded
+//! board faults) and the *process* (PR 3/6: crash-safe journals,
+//! kill-and-steal) but treated the transport between client and
+//! daemon, and the filesystem under the journals, as reliable. Real
+//! campaigns run over flaky links to board farms where drops are the
+//! norm, so this module makes the delivery channel itself a fault
+//! surface — with the same discipline [`fpga_sim::UnreliableBoard`]
+//! established: every fault is drawn from a counter-keyed RNG stream
+//! (`(seed, connection, direction, operation)`), so a chaos run is a
+//! pure function of its seed and replays exactly.
+//!
+//! Three layers:
+//!
+//! * [`ChaosStream`] / [`ChaosListener`] — a transport wrapper over
+//!   any [`NetStream`] (loopback TCP, Unix sockets, or the in-process
+//!   [`duplex`] pair) injecting partial writes, mid-frame disconnects,
+//!   garbled and duplicated frames, and read delays on a virtual
+//!   clock (surfaced as timeout errors, never wall-clock sleeps);
+//! * torn-write simulation ([`simulate_torn_write`], [`truncate_at`])
+//!   — materialises every post-crash on-disk state of the journal's
+//!   temp-write → fsync → rename sequence, so recovery tests cover
+//!   each byte boundary without racing a real crash;
+//! * the garbling rule: corruption is always *detectable* (a flipped
+//!   high bit makes the byte invalid UTF-8, so the line protocol
+//!   rejects the frame instead of parsing an imposter request) —
+//!   chaos must never be able to turn one valid request into a
+//!   different valid request, or the determinism pin would be
+//!   unsound.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use rand::{counter_rng, Rng, RngCore};
+
+/// A bidirectional byte stream the fleet can serve over: both socket
+/// families, the chaos wrapper, and the in-process [`duplex`] pair.
+/// The one capability beyond `Read + Write` is cloning into an
+/// independently-owned handle (the server splits each connection into
+/// a reader and a writer half).
+pub trait NetStream: Read + Write + Send {
+    /// Clones the stream into a second handle over the same
+    /// connection (both halves see the same fault schedule when
+    /// chaos-wrapped).
+    ///
+    /// # Errors
+    ///
+    /// The underlying clone error.
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>>;
+}
+
+impl NetStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+#[cfg(unix)]
+impl NetStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+/// How flaky a chaos transport is: per-operation fault probabilities,
+/// all drawn from counter-keyed streams under one seed. Rates are
+/// clamped to `[0, 1]`; the zero profile injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosProfile {
+    /// The chaos seed (fault schedule is a pure function of it).
+    pub seed: u64,
+    /// Mid-frame disconnect probability per write: a random prefix of
+    /// the buffer reaches the wire, then the connection dies.
+    pub drop_rate: f64,
+    /// Short-write probability per write (the transport accepts only
+    /// half the buffer; callers must loop).
+    pub partial_rate: f64,
+    /// Byte-garble probability per write (one byte's high bit flips —
+    /// detectably invalid UTF-8, see the module docs).
+    pub garble_rate: f64,
+    /// Injected read-delay probability (surfaced as a timeout error
+    /// and a virtual-clock tick, never a wall-clock sleep).
+    pub delay_rate: f64,
+    /// Duplicated-write probability (the buffer reaches the wire
+    /// twice).
+    pub dup_rate: f64,
+}
+
+impl ChaosProfile {
+    /// The quiet profile under `seed`: all rates zero.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.0,
+            partial_rate: 0.0,
+            garble_rate: 0.0,
+            delay_rate: 0.0,
+            dup_rate: 0.0,
+        }
+    }
+
+    /// Sets the mid-frame disconnect rate.
+    #[must_use]
+    pub fn with_drop(mut self, rate: f64) -> Self {
+        self.drop_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Sets the short-write rate.
+    #[must_use]
+    pub fn with_partial(mut self, rate: f64) -> Self {
+        self.partial_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Sets the byte-garble rate.
+    #[must_use]
+    pub fn with_garble(mut self, rate: f64) -> Self {
+        self.garble_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Sets the injected read-delay rate.
+    #[must_use]
+    pub fn with_delay(mut self, rate: f64) -> Self {
+        self.delay_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Sets the duplicated-write rate.
+    #[must_use]
+    pub fn with_dup(mut self, rate: f64) -> Self {
+        self.dup_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Whether this profile can inject anything at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        [self.drop_rate, self.partial_rate, self.garble_rate, self.delay_rate, self.dup_rate]
+            .iter()
+            .any(|&r| r > 0.0)
+    }
+}
+
+fn clamp_rate(rate: f64) -> f64 {
+    if rate.is_nan() {
+        0.0
+    } else {
+        rate.clamp(0.0, 1.0)
+    }
+}
+
+/// Allocates per-connection chaos state: each wrapped stream gets the
+/// next connection index, so the whole accept sequence replays under
+/// one seed. Also the aggregation point for the injected-fault and
+/// virtual-clock counters the server surfaces as
+/// `fleet.net.chaos_faults`.
+#[derive(Debug)]
+pub struct ChaosListener {
+    profile: ChaosProfile,
+    next_conn: AtomicU64,
+    faults: Arc<AtomicU64>,
+    clock: Arc<AtomicU64>,
+}
+
+impl ChaosListener {
+    /// A listener-side wrapper factory under `profile`.
+    #[must_use]
+    pub fn new(profile: ChaosProfile) -> Self {
+        Self {
+            profile,
+            next_conn: AtomicU64::new(0),
+            faults: Arc::new(AtomicU64::new(0)),
+            clock: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The profile this listener injects.
+    #[must_use]
+    pub fn profile(&self) -> ChaosProfile {
+        self.profile
+    }
+
+    /// Wraps one accepted stream; the wrapper owns the connection's
+    /// fault schedule (counter-keyed by the connection index this call
+    /// allocates).
+    pub fn wrap(&self, inner: Box<dyn NetStream>) -> ChaosStream {
+        let conn = self.next_conn.fetch_add(1, Ordering::SeqCst);
+        ChaosStream {
+            inner,
+            state: Arc::new(ChaosShared {
+                profile: self.profile,
+                conn,
+                writes: AtomicU64::new(0),
+                reads: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+                faults: self.faults.clone(),
+                clock: self.clock.clone(),
+            }),
+        }
+    }
+
+    /// Total faults injected across every wrapped connection.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::SeqCst)
+    }
+
+    /// The virtual clock: injected read delays to date. No wall time
+    /// ever passes for an injected delay — it surfaces as a timeout
+    /// error and one tick here.
+    #[must_use]
+    pub fn clock_ticks(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-connection state shared by the reader and writer halves, so a
+/// disconnect injected on one half kills both and the operation
+/// counters stay a single sequence per direction.
+#[derive(Debug)]
+struct ChaosShared {
+    profile: ChaosProfile,
+    conn: u64,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    dead: AtomicBool,
+    faults: Arc<AtomicU64>,
+    clock: Arc<AtomicU64>,
+}
+
+/// Which faults one operation draws. All five rolls happen for every
+/// operation in a fixed order, so enabling one fault class never
+/// shifts another's schedule — the same draw-order discipline
+/// [`fpga_sim::UnreliableBoard`] uses.
+struct Faults {
+    dup: bool,
+    garble: bool,
+    partial: bool,
+    drop: bool,
+    delay: bool,
+    rng: rand::rngs::SmallRng,
+}
+
+impl ChaosShared {
+    fn draw(&self, dir: u64, op: u64) -> Faults {
+        let mut rng =
+            counter_rng(self.profile.seed, self.conn.wrapping_mul(2).wrapping_add(dir), op);
+        let mut roll = || (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let dup = roll() < self.profile.dup_rate;
+        let garble = roll() < self.profile.garble_rate;
+        let partial = roll() < self.profile.partial_rate;
+        let drop = roll() < self.profile.drop_rate;
+        let delay = roll() < self.profile.delay_rate;
+        Faults { dup, garble, partial, drop, delay, rng }
+    }
+
+    fn fault(&self) {
+        self.faults.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// A fault-injecting wrapper over any [`NetStream`]. Faults are a
+/// pure function of `(profile.seed, connection, direction, op index)`
+/// — two runs with the same seed and the same operation sequence see
+/// the same partial writes, the same garbled bytes, the same
+/// disconnect at the same frame offset.
+#[derive(Debug)]
+pub struct ChaosStream {
+    inner: Box<dyn NetStream>,
+    state: Arc<ChaosShared>,
+}
+
+impl std::fmt::Debug for Box<dyn NetStream> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("NetStream")
+    }
+}
+
+const DIR_WRITE: u64 = 0;
+const DIR_READ: u64 = 1;
+
+impl ChaosStream {
+    /// Whether an injected disconnect has killed this connection.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.state.dead.load(Ordering::SeqCst)
+    }
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "chaos: connection dead"));
+        }
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        let op = self.state.reads.fetch_add(1, Ordering::SeqCst);
+        let faults = self.state.draw(DIR_READ, op);
+        if faults.delay {
+            self.state.fault();
+            self.state.clock.fetch_add(1, Ordering::SeqCst);
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "chaos: injected delay"));
+        }
+        if faults.drop {
+            self.state.fault();
+            self.state.dead.store(true, Ordering::SeqCst);
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "chaos: read drop"));
+        }
+        if faults.partial && buf.len() > 1 {
+            // A short read: the transport hands over half the buffer.
+            // Benign for correct callers (BufRead loops), but it
+            // shifts framing boundaries around, which is the point.
+            self.state.fault();
+            let half = buf.len() / 2;
+            return self.inner.read(&mut buf[..half]);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "chaos: connection dead"));
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let op = self.state.writes.fetch_add(1, Ordering::SeqCst);
+        let mut faults = self.state.draw(DIR_WRITE, op);
+        if faults.drop {
+            // Mid-frame disconnect: a random prefix reaches the wire,
+            // then the connection dies — the peer sees a torn frame.
+            self.state.fault();
+            let k = faults.rng.gen_range(0..buf.len() as u64) as usize;
+            let _ = self.inner.write(&buf[..k]);
+            let _ = self.inner.flush();
+            self.state.dead.store(true, Ordering::SeqCst);
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "chaos: write drop"));
+        }
+        if faults.garble {
+            // Flip one byte's high bit: detectably invalid UTF-8, so
+            // the line protocol rejects the frame rather than parsing
+            // an imposter request (see the module docs).
+            self.state.fault();
+            let mut garbled = buf.to_vec();
+            let at = faults.rng.gen_range(0..garbled.len() as u64) as usize;
+            garbled[at] ^= 0x80;
+            return match self.inner.write(&garbled) {
+                // Report the caller's bytes as consumed so it does not
+                // resend them clean.
+                Ok(n) => Ok(n),
+                Err(e) => Err(e),
+            };
+        }
+        if faults.dup {
+            self.state.fault();
+            self.inner.write_all(buf)?;
+            self.inner.write_all(buf)?;
+            return Ok(buf.len());
+        }
+        if faults.partial && buf.len() > 1 {
+            self.state.fault();
+            let half = buf.len() / 2;
+            return self.inner.write(&buf[..half]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "chaos: connection dead"));
+        }
+        self.inner.flush()
+    }
+}
+
+impl NetStream for ChaosStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(ChaosStream {
+            inner: self.inner.try_clone_stream()?,
+            state: self.state.clone(),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process duplex transport
+// ---------------------------------------------------------------------------
+
+/// One direction of an in-process pipe.
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: Vec<u8>,
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    ready: Condvar,
+}
+
+impl Pipe {
+    fn write(&self, bytes: &[u8]) -> io::Result<usize> {
+        let mut state = self.state.lock().expect("pipe lock");
+        if state.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "duplex closed"));
+        }
+        state.buf.extend_from_slice(bytes);
+        drop(state);
+        self.ready.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        let mut state = self.state.lock().expect("pipe lock");
+        loop {
+            if !state.buf.is_empty() {
+                let n = buf.len().min(state.buf.len());
+                buf[..n].copy_from_slice(&state.buf[..n]);
+                state.buf.drain(..n);
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0);
+            }
+            state = match timeout {
+                Some(t) => {
+                    let (guard, result) = self.ready.wait_timeout(state, t).expect("pipe lock");
+                    if result.timed_out() && guard.buf.is_empty() && !guard.closed {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "duplex read timed out",
+                        ));
+                    }
+                    guard
+                }
+                None => self.ready.wait(state).expect("pipe lock"),
+            };
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("pipe lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One endpoint of an in-process [`duplex`] pair: reads from one pipe,
+/// writes the other. The chaos unit tests (and any in-process
+/// embedding) use this to exercise the transport layer without
+/// sockets.
+#[derive(Debug, Clone)]
+pub struct MemoryStream {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    read_timeout: Option<Duration>,
+}
+
+impl MemoryStream {
+    /// Sets the read deadline (the socket-equivalent of
+    /// `set_read_timeout`).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    /// Closes both directions: the peer reads EOF, writes fail with a
+    /// broken pipe.
+    pub fn close(&self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+impl Read for MemoryStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.rx.read(buf, self.read_timeout)
+    }
+}
+
+impl Write for MemoryStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl NetStream for MemoryStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn NetStream>> {
+        Ok(Box::new(self.clone()))
+    }
+}
+
+/// An in-process bidirectional stream pair: what one end writes the
+/// other reads. Both ends satisfy [`NetStream`], so they compose with
+/// [`ChaosListener::wrap`] for socket-free chaos tests.
+#[must_use]
+pub fn duplex() -> (MemoryStream, MemoryStream) {
+    let a_to_b = Arc::new(Pipe::default());
+    let b_to_a = Arc::new(Pipe::default());
+    (
+        MemoryStream { rx: b_to_a.clone(), tx: a_to_b.clone(), read_timeout: None },
+        MemoryStream { rx: a_to_b, tx: b_to_a, read_timeout: None },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Disk chaos: torn-write simulation
+// ---------------------------------------------------------------------------
+
+/// Where the crash lands inside the atomic write sequence
+/// (`temp write → fsync → rename`) that
+/// [`AttackJournal::save`](crate::journal::AttackJournal::save) and
+/// the session store's `result.json` writer share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornWritePoint {
+    /// Crash mid-way through writing the temp file: `k` bytes of the
+    /// new frame on the temp path, the target untouched.
+    TempPartial(usize),
+    /// Crash after the temp write (and fsync) but before the rename:
+    /// the full new frame on the temp path, the target untouched.
+    TempComplete,
+    /// Crash after the rename: the new frame is the target; no temp
+    /// residue.
+    Renamed,
+}
+
+/// Materialises the post-crash on-disk state of one atomic write of
+/// `bytes` to `path`, using the same sibling temp naming the journal's
+/// `write_atomic` uses. Recovery code must treat every one of these
+/// states as a legitimate boot condition.
+///
+/// # Errors
+///
+/// The underlying filesystem error.
+pub fn simulate_torn_write(path: &Path, bytes: &[u8], point: TornWritePoint) -> io::Result<()> {
+    let tmp = path.with_extension("journal.tmp");
+    match point {
+        TornWritePoint::TempPartial(k) => {
+            std::fs::write(&tmp, &bytes[..k.min(bytes.len())])?;
+        }
+        TornWritePoint::TempComplete => {
+            std::fs::write(&tmp, bytes)?;
+        }
+        TornWritePoint::Renamed => {
+            std::fs::write(&tmp, bytes)?;
+            std::fs::rename(&tmp, path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Truncates the file at `path` to its first `len` bytes — the
+/// byte-boundary torn-write injector the recovery tests sweep.
+///
+/// # Errors
+///
+/// The underlying filesystem error.
+pub fn truncate_at(path: &Path, len: u64) -> io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic_pair(profile: ChaosProfile) -> (ChaosStream, MemoryStream) {
+        let listener = ChaosListener::new(profile);
+        let (a, b) = duplex();
+        (listener.wrap(Box::new(a)), b)
+    }
+
+    /// Runs a fixed write schedule through a chaos wrapper and records
+    /// what each operation did — the replayable fault trace.
+    fn fault_trace(profile: ChaosProfile) -> (Vec<String>, Vec<u8>) {
+        let (mut chaotic, mut peer) = chaotic_pair(profile);
+        let mut trace = Vec::new();
+        for i in 0..64u8 {
+            let frame = [i; 16];
+            match chaotic.write(&frame) {
+                Ok(n) => trace.push(format!("ok:{n}")),
+                Err(e) => trace.push(format!("err:{:?}", e.kind())),
+            }
+        }
+        let mut wire = Vec::new();
+        peer.set_read_timeout(Some(Duration::from_millis(1)));
+        let mut buf = [0u8; 256];
+        while let Ok(n) = peer.read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            wire.extend_from_slice(&buf[..n]);
+        }
+        (trace, wire)
+    }
+
+    #[test]
+    fn the_fault_schedule_is_a_pure_function_of_the_seed() {
+        let profile =
+            ChaosProfile::new(42).with_drop(0.05).with_partial(0.3).with_garble(0.1).with_dup(0.1);
+        let (trace_a, wire_a) = fault_trace(profile);
+        let (trace_b, wire_b) = fault_trace(profile);
+        assert_eq!(trace_a, trace_b, "same seed, same fault trace");
+        assert_eq!(wire_a, wire_b, "same seed, same bytes on the wire");
+        let (trace_c, _) = fault_trace(ChaosProfile { seed: 43, ..profile });
+        assert_ne!(trace_a, trace_c, "a different seed draws a different schedule");
+        assert!(
+            trace_a.iter().any(|t| t != "ok:16"),
+            "an aggressive profile injected something: {trace_a:?}"
+        );
+    }
+
+    #[test]
+    fn a_drop_kills_both_halves_and_leaves_a_torn_prefix() {
+        let profile = ChaosProfile::new(7).with_drop(1.0);
+        let (mut chaotic, mut peer) = chaotic_pair(profile);
+        let mut reader = chaotic.try_clone_stream().expect("clones");
+        let err = chaotic.write(b"submit seed=3\n").expect_err("drops");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(chaotic.is_dead());
+        // The clone shares the dead flag.
+        let mut buf = [0u8; 8];
+        let err = reader.read(&mut buf).expect_err("dead reads fail");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // Whatever prefix reached the wire is shorter than the frame.
+        peer.set_read_timeout(Some(Duration::from_millis(1)));
+        let mut wire = Vec::new();
+        let mut chunk = [0u8; 64];
+        while let Ok(n) = peer.read(&mut chunk) {
+            if n == 0 {
+                break;
+            }
+            wire.extend_from_slice(&chunk[..n]);
+        }
+        assert!(wire.len() < b"submit seed=3\n".len(), "torn frame: {wire:?}");
+    }
+
+    #[test]
+    fn garbling_is_detectable_as_invalid_utf8() {
+        let profile = ChaosProfile::new(11).with_garble(1.0);
+        let (mut chaotic, mut peer) = chaotic_pair(profile);
+        chaotic.write_all(b"status s000001\n").expect("writes");
+        let mut buf = [0u8; 64];
+        let n = peer.read(&mut buf).expect("reads");
+        assert_eq!(n, 15);
+        assert!(
+            std::str::from_utf8(&buf[..n]).is_err(),
+            "the garbled frame must not decode as UTF-8: {:?}",
+            &buf[..n]
+        );
+    }
+
+    #[test]
+    fn delays_tick_the_virtual_clock_without_sleeping() {
+        let listener = ChaosListener::new(ChaosProfile::new(3).with_delay(1.0));
+        let (a, mut b) = duplex();
+        let mut chaotic = listener.wrap(Box::new(a));
+        b.write_all(b"hello").expect("peer writes");
+        let started = std::time::Instant::now();
+        let mut buf = [0u8; 8];
+        let err = chaotic.read(&mut buf).expect_err("delay injected");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(started.elapsed() < Duration::from_millis(50), "no wall-clock sleep");
+        assert_eq!(listener.clock_ticks(), 1);
+        assert_eq!(listener.faults_injected(), 1);
+    }
+
+    #[test]
+    fn the_quiet_profile_is_transparent() {
+        let (mut chaotic, mut peer) = chaotic_pair(ChaosProfile::new(1));
+        assert!(!ChaosProfile::new(1).is_active());
+        chaotic.write_all(b"ping\n").expect("writes");
+        let mut buf = [0u8; 8];
+        let n = peer.read(&mut buf).expect("reads");
+        assert_eq!(&buf[..n], b"ping\n");
+    }
+
+    #[test]
+    fn torn_write_simulation_materialises_each_crash_state() {
+        let dir = std::env::temp_dir().join(format!("bitmod-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let target = dir.join("attack.journal");
+        let tmp = target.with_extension("journal.tmp");
+
+        simulate_torn_write(&target, b"0123456789", TornWritePoint::TempPartial(4))
+            .expect("partial");
+        assert!(!target.exists());
+        assert_eq!(std::fs::read(&tmp).expect("tmp"), b"0123");
+
+        simulate_torn_write(&target, b"0123456789", TornWritePoint::TempComplete).expect("full");
+        assert!(!target.exists());
+        assert_eq!(std::fs::read(&tmp).expect("tmp"), b"0123456789");
+
+        simulate_torn_write(&target, b"0123456789", TornWritePoint::Renamed).expect("renamed");
+        assert_eq!(std::fs::read(&target).expect("target"), b"0123456789");
+        assert!(!tmp.exists());
+
+        truncate_at(&target, 3).expect("truncates");
+        assert_eq!(std::fs::read(&target).expect("target"), b"012");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

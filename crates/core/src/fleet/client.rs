@@ -1,15 +1,108 @@
-//! The thin fleet client behind `bitmod submit`, `status`, `tail` and
-//! `cancel`: one connection, newline-framed requests, JSON-line
-//! responses — the exact inverse of [`server`](super::server).
+//! The fleet client behind `bitmod submit`, `status`, `tail` and
+//! `cancel`: newline-framed requests, JSON-line responses — the exact
+//! inverse of [`server`](super::server) — hardened for a flaky wire.
+//!
+//! Three behaviours distinguish it from a naive line client:
+//!
+//! * **deadlines** — every socket carries connect/read/write timeouts
+//!   ([`ClientConfig`]), so a daemon that dies mid-`tail` surfaces as
+//!   a typed [`ClientError::Timeout`] instead of a permanent block;
+//! * **reconnects** — transport failures tear the connection down and
+//!   retry with exponential, seeded-jitter backoff (server-reported
+//!   errors never retry: the daemon answered, the answer stands);
+//! * **idempotence** — [`FleetClient::submit`] attaches a
+//!   client-generated token, so a retried submit whose first
+//!   acknowledgement was lost mid-frame dedupes server-side against
+//!   the session store instead of double-enqueuing, and
+//!   [`FleetClient::tail`] counts delivered events into a cursor so a
+//!   dropped stream resumes (`tail <id> from=N`) without replaying or
+//!   losing events.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
+use rand::{counter_rng, RngCore};
+
+use super::chaos::NetStream;
 use super::server::Endpoint;
 use super::session::SessionSpec;
 use super::wire;
+
+/// Deadlines and retry policy for one [`FleetClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-read deadline (also what a dead daemon mid-`tail` hits).
+    pub read_timeout: Duration,
+    /// Per-write deadline.
+    pub write_timeout: Duration,
+    /// Transport-failure retries per operation (0 = fail on the first
+    /// drop). Server-reported errors are never retried.
+    pub retries: u32,
+    /// First backoff step (doubles per retry).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the jittered backoff draws (deterministic per
+    /// client).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            retries: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the connect deadline.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the read deadline.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the transport-failure retry count.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the backoff base and cap.
+    #[must_use]
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Sets the jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -17,6 +110,11 @@ use super::wire;
 pub enum ClientError {
     /// The connection failed or dropped.
     Io(io::Error),
+    /// A deadline expired: the peer is alive enough to hold the
+    /// socket open but did not answer in time (or is gone without a
+    /// reset). The bound is the configured deadline — never an
+    /// unbounded block.
+    Timeout(Duration),
     /// The server answered `{"ok":false,…}`.
     Server(String),
     /// The server answered something that is not the protocol.
@@ -27,6 +125,9 @@ impl core::fmt::Display for ClientError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Timeout(after) => {
+                write!(f, "timed out after {}ms waiting for the server", after.as_millis())
+            }
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Protocol(line) => write!(f, "unexpected response: {line}"),
         }
@@ -48,106 +149,255 @@ impl From<io::Error> for ClientError {
     }
 }
 
-#[derive(Debug)]
-enum Conn {
-    Tcp(TcpStream),
-    #[cfg(unix)]
-    Unix(UnixStream),
-}
-
-impl io::Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl io::Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.flush(),
-        }
-    }
-}
-
-/// One connection to a fleet server.
+/// One logical connection to a fleet server (transparently redialled
+/// after transport failures, per [`ClientConfig`]).
 #[derive(Debug)]
 pub struct FleetClient {
-    reader: BufReader<Conn>,
-    writer: Conn,
+    endpoint: Endpoint,
+    config: ClientConfig,
+    conn: Option<Wire>,
+    /// Transport-level reconnects performed (surfaced by the CLI next
+    /// to the server's own counters).
+    reconnects: u64,
+    /// Backoff jitter draw counter (keyed with the config seed).
+    backoff_draws: u64,
+    /// Submit-token uniqueness: a per-client base mixed from clock,
+    /// pid and seed, plus a per-submit counter.
+    token_base: u64,
+    tokens_issued: u64,
+}
+
+#[derive(Debug)]
+struct Wire {
+    reader: BufReader<Box<dyn NetStream>>,
+    writer: Box<dyn NetStream>,
+}
+
+/// Maps a transport error to the typed timeout when the deadline is
+/// what fired.
+fn classify(e: io::Error, deadline: Duration) -> ClientError {
+    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+        ClientError::Timeout(deadline)
+    } else {
+        ClientError::Io(e)
+    }
+}
+
+/// True when a redial failure proves the listener itself is gone — a
+/// refused TCP connect, or a unix socket whose file was unlinked. A
+/// reset or broken pipe does NOT qualify: those happen on live but
+/// flaky wires.
+fn server_gone(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(ioe)
+            if matches!(ioe.kind(), io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound)
+    )
 }
 
 impl FleetClient {
-    /// Connects to a server endpoint.
+    /// Connects to a server endpoint with the default deadlines and
+    /// retry policy.
     ///
     /// # Errors
     ///
-    /// The underlying connect error.
+    /// The underlying connect error (or [`ClientError::Timeout`] when
+    /// the connect deadline fires).
     pub fn connect(endpoint: &Endpoint) -> Result<Self, ClientError> {
-        let (reader, writer) = match endpoint {
+        Self::connect_with(endpoint, ClientConfig::default())
+    }
+
+    /// Connects with explicit deadlines and retry policy.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect error (or [`ClientError::Timeout`] when
+    /// the connect deadline fires).
+    pub fn connect_with(endpoint: &Endpoint, config: ClientConfig) -> Result<Self, ClientError> {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0))
+            .unwrap_or(0);
+        let mut client = Self {
+            endpoint: endpoint.clone(),
+            config,
+            conn: None,
+            reconnects: 0,
+            backoff_draws: 0,
+            token_base: clock ^ u64::from(std::process::id()).rotate_left(32) ^ config.seed,
+            tokens_issued: 0,
+        };
+        client.dial()?;
+        Ok(client)
+    }
+
+    /// Transport reconnects this client has performed.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn dial(&mut self) -> Result<(), ClientError> {
+        let stream: Box<dyn NetStream> = match &self.endpoint {
             Endpoint::Tcp(addr) => {
-                let stream = TcpStream::connect(addr)?;
-                (Conn::Tcp(stream.try_clone()?), Conn::Tcp(stream))
+                use std::net::ToSocketAddrs;
+                let target = addr
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| ClientError::Protocol(format!("unresolvable '{addr}'")))?;
+                let stream = TcpStream::connect_timeout(&target, self.config.connect_timeout)
+                    .map_err(|e| classify(e, self.config.connect_timeout))?;
+                stream.set_read_timeout(Some(self.config.read_timeout))?;
+                stream.set_write_timeout(Some(self.config.write_timeout))?;
+                Box::new(stream)
             }
             #[cfg(unix)]
             Endpoint::Unix(path) => {
                 let stream = UnixStream::connect(path)?;
-                (Conn::Unix(stream.try_clone()?), Conn::Unix(stream))
+                stream.set_read_timeout(Some(self.config.read_timeout))?;
+                stream.set_write_timeout(Some(self.config.write_timeout))?;
+                Box::new(stream)
             }
         };
-        Ok(Self { reader: BufReader::new(reader), writer })
+        let reader = stream.try_clone_stream()?;
+        self.conn = Some(Wire { reader: BufReader::new(reader), writer: stream });
+        Ok(())
+    }
+
+    fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn wire(&mut self) -> Result<&mut Wire, ClientError> {
+        if self.conn.is_none() {
+            self.dial()?;
+        }
+        Ok(self.conn.as_mut().expect("dialled above"))
+    }
+
+    /// Sleeps the jittered exponential backoff for retry `attempt`
+    /// (1-based). The jitter is a counter-keyed draw under the config
+    /// seed, so a client's retry schedule is reproducible.
+    fn backoff(&mut self, attempt: u32) {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let step = self.config.backoff_base.saturating_mul(1 << doublings);
+        let capped = step.min(self.config.backoff_cap);
+        let mut rng = counter_rng(self.config.seed, u64::MAX, self.backoff_draws);
+        self.backoff_draws += 1;
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        // Full jitter in [0.5, 1.5): desynchronises reconnect storms
+        // without ever collapsing the delay to zero.
+        std::thread::sleep(capped.mul_f64(0.5 + unit));
     }
 
     fn send(&mut self, line: &str) -> Result<(), ClientError> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
+        let deadline = self.config.write_timeout;
+        let wire = self.wire()?;
+        writeln!(wire.writer, "{line}").map_err(|e| classify(e, deadline))?;
+        wire.writer.flush().map_err(|e| classify(e, deadline))?;
         Ok(())
     }
 
     fn read_line(&mut self) -> Result<String, ClientError> {
+        let deadline = self.config.read_timeout;
+        let wire = self.wire()?;
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        let n = wire.reader.read_line(&mut line).map_err(|e| classify(e, deadline))?;
+        if n == 0 {
             return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             )));
         }
+        // Frame hygiene, client side: bytes without their newline are
+        // a torn frame from a connection that died mid-write. Never
+        // parse them — surface a retryable transport error instead.
+        if !line.ends_with('\n') {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection died mid-frame",
+            )));
+        }
         Ok(line.trim_end().to_string())
     }
 
-    /// One request, one JSON-line response, `ok` checked.
-    fn round_trip(&mut self, request: &wire::Request) -> Result<String, ClientError> {
-        self.send(&request.to_line())?;
-        let line = self.read_line()?;
-        if wire::is_ok(&line) {
-            Ok(line)
-        } else if let Some(message) = wire::string_field(&line, "error") {
+    /// One request, one JSON-line response, `ok` checked — no
+    /// retries; [`FleetClient::round_trip`] adds them.
+    fn try_round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        self.send(line)?;
+        let response = self.read_line()?;
+        // One line out per request in: leftover buffered bytes mean a
+        // duplicated or desynchronised stream. Drop the connection so
+        // the next request starts clean (this response already
+        // parsed, so it stands).
+        if let Some(wire) = &self.conn {
+            if !wire.reader.buffer().is_empty() {
+                self.disconnect();
+            }
+        }
+        if wire::is_ok(&response) {
+            Ok(response)
+        } else if let Some(message) = wire::string_field(&response, "error") {
             Err(ClientError::Server(message))
         } else {
-            Err(ClientError::Protocol(line))
+            Err(ClientError::Protocol(response))
         }
     }
 
-    /// Submits a session; returns its id.
+    /// One request with transport-failure retries: drops the
+    /// connection, backs off with jitter, redials, resends. A
+    /// server-reported error returns immediately — the daemon
+    /// answered; retrying would re-run a request the server already
+    /// rejected.
+    fn round_trip(&mut self, request: &wire::Request) -> Result<String, ClientError> {
+        let line = request.to_line();
+        let mut attempt = 0u32;
+        loop {
+            match self.try_round_trip(&line) {
+                Ok(response) => return Ok(response),
+                Err(ClientError::Server(message)) => return Err(ClientError::Server(message)),
+                Err(e) => {
+                    self.disconnect();
+                    if attempt >= self.config.retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.reconnects += 1;
+                    self.backoff(attempt);
+                }
+            }
+        }
+    }
+
+    /// Submits a session; returns its id. The submit carries a
+    /// client-generated idempotency token, so a retry after a lost
+    /// acknowledgement returns the original session's id instead of
+    /// enqueuing a twin.
     ///
     /// # Errors
     ///
     /// [`ClientError`] on transport or server failure.
     pub fn submit(&mut self, spec: &SessionSpec) -> Result<String, ClientError> {
-        let line = self.round_trip(&wire::Request::Submit(spec.clone()))?;
+        self.tokens_issued += 1;
+        let token = format!("{:016x}-{:04x}", self.token_base, self.tokens_issued);
+        self.submit_with_token(spec, &token)
+    }
+
+    /// [`FleetClient::submit`] with a caller-chosen idempotency token
+    /// (1–64 ASCII alphanumeric/`-`/`_` characters). Two submits with
+    /// one token — same client, a retry, or a different process after
+    /// a daemon restart — admit exactly one session.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or server failure.
+    pub fn submit_with_token(
+        &mut self,
+        spec: &SessionSpec,
+        token: &str,
+    ) -> Result<String, ClientError> {
+        let request = wire::Request::Submit { spec: spec.clone(), token: Some(token.to_string()) };
+        let line = self.round_trip(&request)?;
         wire::string_field(&line, "id").ok_or(ClientError::Protocol(line))
     }
 
@@ -207,34 +457,122 @@ impl FleetClient {
         self.round_trip(&wire::Request::Ping).map(|_| ())
     }
 
-    /// Asks the server to shut down (it drains its fleet first).
+    /// Asks the server to shut down (it drains its fleet: running
+    /// sessions checkpoint, queued sessions persist for the next
+    /// boot). Shutdown is idempotent: if the acknowledgement is lost
+    /// but a retry finds the listener gone, the order evidently
+    /// landed, and that counts as success — not as a transport error.
     ///
     /// # Errors
     ///
     /// [`ClientError`] on transport or server failure.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.round_trip(&wire::Request::Shutdown).map(|_| ())
+        let line = wire::Request::Shutdown.to_line();
+        let mut attempt = 0u32;
+        let mut sent = false;
+        loop {
+            let result = self.send(&line).and_then(|()| {
+                sent = true;
+                self.read_line()
+            });
+            match result {
+                Ok(response) => {
+                    // The daemon is closing this connection anyway.
+                    self.disconnect();
+                    return if wire::is_ok(&response) {
+                        Ok(())
+                    } else if let Some(message) = wire::string_field(&response, "error") {
+                        Err(ClientError::Server(message))
+                    } else {
+                        Err(ClientError::Protocol(response))
+                    };
+                }
+                Err(e) => {
+                    self.disconnect();
+                    // A refused (or, for unix sockets, unlinked) redial
+                    // after the request went out means the server
+                    // stopped before its acknowledgement reached us.
+                    if sent && server_gone(&e) {
+                        return Ok(());
+                    }
+                    if attempt >= self.config.retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.reconnects += 1;
+                    self.backoff(attempt);
+                }
+            }
+        }
     }
 
     /// Streams a session's live NDJSON telemetry into `out` until the
-    /// session is terminal; returns the terminal state string.
+    /// session is terminal; returns the terminal state string. The
+    /// stream is cursor-resumable: delivered events are counted, and
+    /// a transport drop reconnects with `tail <id> from=<count>` so
+    /// nothing is replayed into `out` and nothing is lost. Server
+    /// heartbeats on idle stretches are consumed (not written to
+    /// `out`) and count as liveness — only consecutive failures
+    /// without any delivered line burn the retry budget.
     ///
     /// # Errors
     ///
     /// [`ClientError`] on transport or server failure (including an
     /// unknown id).
     pub fn tail(&mut self, id: &str, out: &mut dyn Write) -> Result<String, ClientError> {
-        self.send(&wire::Request::Tail(id.to_string()).to_line())?;
+        let mut cursor: u64 = 0;
+        let mut progress: u64 = 0;
+        let mut attempt = 0u32;
+        loop {
+            let seen = progress;
+            match self.try_tail(id, out, &mut cursor, &mut progress) {
+                Ok(state) => return Ok(state),
+                Err(ClientError::Server(message)) => return Err(ClientError::Server(message)),
+                Err(e) => {
+                    self.disconnect();
+                    if progress > seen {
+                        // The stream moved before dropping: a live but
+                        // flaky wire, not a dead daemon. Reset the
+                        // budget.
+                        attempt = 0;
+                    }
+                    if attempt >= self.config.retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.reconnects += 1;
+                    self.backoff(attempt);
+                }
+            }
+        }
+    }
+
+    fn try_tail(
+        &mut self,
+        id: &str,
+        out: &mut dyn Write,
+        cursor: &mut u64,
+        progress: &mut u64,
+    ) -> Result<String, ClientError> {
+        let request = wire::Request::Tail { id: id.to_string(), from: *cursor };
+        self.send(&request.to_line())?;
         loop {
             let line = self.read_line()?;
+            *progress += 1;
             if wire::is_tail_done(&line) {
                 return wire::string_field(&line, "state").ok_or(ClientError::Protocol(line));
+            }
+            if wire::is_heartbeat(&line) {
+                // Liveness only — not an event, not part of the
+                // cursor.
+                continue;
             }
             if line.starts_with("{\"ok\":false") {
                 return Err(ClientError::Server(
                     wire::string_field(&line, "error").unwrap_or(line),
                 ));
             }
+            *cursor += 1;
             writeln!(out, "{line}")?;
         }
     }

@@ -31,6 +31,12 @@ pub const SPEC_FILE: &str = "spec";
 /// File name of the terminal session result (one JSON line).
 pub const RESULT_FILE: &str = "result.json";
 
+/// File name of the client's submit idempotency token (absent when
+/// the submit carried none). Persisted so the boot rescan can rebuild
+/// the dedup map and a client retrying across a daemon restart still
+/// gets the original session back.
+pub const TOKEN_FILE: &str = "client.token";
+
 /// A failure while resolving or materialising an output layout.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -122,6 +128,12 @@ impl SessionLayout {
     #[must_use]
     pub fn result(&self) -> PathBuf {
         self.dir.join(RESULT_FILE)
+    }
+
+    /// Path of the submit idempotency token (may not exist).
+    #[must_use]
+    pub fn token(&self) -> PathBuf {
+        self.dir.join(TOKEN_FILE)
     }
 
     /// Whether the session directory exists (and is therefore

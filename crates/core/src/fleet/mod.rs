@@ -23,6 +23,9 @@
 //! * [`health`] — board-health scoring from injected-fault telemetry,
 //!   durable quarantine of dead boards, session migration to healthy
 //!   peers and the boot re-probe;
+//! * [`chaos`] — seeded wire-and-disk fault injection
+//!   ([`ChaosStream`](chaos::ChaosStream) transport wrapper, torn-write
+//!   simulation) that the hardened client/server are tested under;
 //! * [`wire`] — the framed line protocol (`submit`/`status`/`tail`/
 //!   `cancel`/…) shared by server and client;
 //! * [`server`] / [`client`] — `bitmod serve` and the thin
@@ -30,6 +33,7 @@
 //! * [`sweep`] — the validating sweep-grid builder the noise-sweep
 //!   binary and batch submissions share.
 
+pub mod chaos;
 pub mod client;
 pub mod health;
 pub mod layout;
@@ -40,7 +44,8 @@ pub mod store;
 pub mod sweep;
 pub mod wire;
 
-pub use client::{ClientError, FleetClient};
+pub use chaos::{ChaosListener, ChaosProfile, ChaosStream, NetStream};
+pub use client::{ClientConfig, ClientError, FleetClient};
 pub use health::{BoardHealth, BoardScore, WorkerHealth};
 pub use layout::{LayoutError, OutputPaths, SessionLayout};
 pub use scheduler::{Fleet, FleetConfig};

@@ -116,6 +116,11 @@ struct Shared {
     sched: Mutex<Sched>,
     changed: Condvar,
     shutdown: AtomicBool,
+    /// A graceful drain is in flight: workers are being stopped via
+    /// their kill switches, but the requeues are parked checkpoints,
+    /// not steals — the counters (and the next boot) must tell the
+    /// difference.
+    draining: AtomicBool,
     kills: Vec<Arc<AtomicBool>>,
     telemetry: Telemetry,
     /// Per-worker board-health scores, folded in after every noisy
@@ -155,6 +160,7 @@ impl Fleet {
             }),
             changed: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             kills: (0..workers).map(|_| Arc::new(AtomicBool::new(false))).collect(),
             telemetry: Telemetry::new(),
             boards: Mutex::new(vec![BoardScore::default(); workers]),
@@ -196,7 +202,27 @@ impl Fleet {
     /// [`SessionError::Layout`] when the session directory cannot be
     /// created.
     pub fn submit(&self, spec: SessionSpec) -> Result<SessionHandle, SessionError> {
-        let handle = self.shared.store.admit(spec)?;
+        self.submit_with_token(spec, None).map(|(handle, _)| handle)
+    }
+
+    /// [`Fleet::submit`] with an optional client idempotency token: a
+    /// token the store has already admitted returns the original
+    /// session's handle and `true` without queueing anything — the
+    /// dedup behind retried `submit`s on a flaky link.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Layout`] when the session directory cannot be
+    /// created.
+    pub fn submit_with_token(
+        &self,
+        spec: SessionSpec,
+        token: Option<&str>,
+    ) -> Result<(SessionHandle, bool), SessionError> {
+        let (handle, deduped) = self.shared.store.admit_with_token(spec, token)?;
+        if deduped {
+            return Ok((handle, true));
+        }
         let mut sched = self.shared.sched.lock().expect("sched lock");
         let target = (0..sched.queues.len())
             .filter(|&i| !sched.dead[i])
@@ -210,7 +236,15 @@ impl Fleet {
         drop(sched);
         self.shared.telemetry.incr(names::FLEET_SESSIONS_SUBMITTED, 1);
         self.shared.changed.notify_all();
-        Ok(handle)
+        Ok((handle, false))
+    }
+
+    /// The fleet's telemetry registry (where the server folds in its
+    /// transport counters, so `counters` reports wire health next to
+    /// scheduling health).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// The handle of session `id`, when known.
@@ -290,6 +324,28 @@ impl Fleet {
     /// after this call park durably and run on the next boot.
     pub fn shutdown(&self) -> Metrics {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.changed.notify_all();
+        let threads: Vec<_> = self.threads.lock().expect("threads lock").drain(..).collect();
+        for thread in threads {
+            let _ = thread.join();
+        }
+        self.shared.telemetry.metrics()
+    }
+
+    /// Graceful *drain*: stop now, lose nothing. Running sessions are
+    /// interrupted at their next oracle query and requeued with their
+    /// journals intact (a checkpoint, counted as
+    /// `fleet.drain_parked`); queued sessions stay durable on disk
+    /// (no `result.json`). The next [`Fleet::start`] on the same root
+    /// rescans and resumes every one of them bit-identically. This is
+    /// what the serve daemon runs on `shutdown` — unlike
+    /// [`Fleet::shutdown`], it does not wait for the backlog.
+    pub fn drain(&self) -> Metrics {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for kill in &self.shared.kills {
+            kill.store(true, Ordering::SeqCst);
+        }
         self.shared.changed.notify_all();
         let threads: Vec<_> = self.threads.lock().expect("threads lock").drain(..).collect();
         for thread in threads {
@@ -451,6 +507,9 @@ fn worker_loop(shared: &Shared, index: usize) {
                 drop(sched);
                 let counter = match verdict {
                     Verdict::Migrate => names::FLEET_SESSIONS_MIGRATED,
+                    // A drain's requeue is a parked checkpoint, not a
+                    // steal: no peer will pick it up this boot.
+                    _ if shared.draining.load(Ordering::SeqCst) => names::FLEET_DRAIN_PARKED,
                     _ => names::FLEET_STEAL_COUNT,
                 };
                 shared.telemetry.incr(counter, 1);
@@ -468,7 +527,7 @@ fn worker_loop(shared: &Shared, index: usize) {
     sched.injector.extend(leftover);
     sched.dead[index] = true;
     drop(sched);
-    if kill.load(Ordering::SeqCst) {
+    if kill.load(Ordering::SeqCst) && !shared.draining.load(Ordering::SeqCst) {
         shared.telemetry.incr(names::FLEET_WORKERS_KILLED, 1);
     }
     let total = started.elapsed().max(Duration::from_micros(1));
@@ -608,6 +667,13 @@ fn run_session(
 
     match run {
         Ok((result, fate, board)) => {
+            // Torn-checkpoint discards happen inside the session run,
+            // against its own telemetry; roll them up where
+            // `bitmod status` and the fleet counters can see them.
+            let torn = io.telemetry.metrics().counter(names::JOURNAL_TORN_DISCARDED);
+            if torn > 0 {
+                shared.telemetry.incr(names::JOURNAL_TORN_DISCARDED, torn);
+            }
             // Fold the board's own fault accounting into its health
             // score; a dead board is quarantined (durably) instead of
             // returning to the pool.

@@ -600,25 +600,22 @@ impl SessionSpec {
             ResumePolicy::Require => return Err(SessionError::Config(missing_journal(io))),
         };
 
-        let attack = if resuming {
+        let build_resumed = |golden: Bitstream| {
             let path = io.journal.as_ref().expect("resuming implies a journal path");
             let journal = AttackJournal::new(path);
             let attack = match self.budget {
                 // A fresh budget raises the cap of the resumed run;
                 // all trace-determining parameters stay journalled.
                 Some(budget) => {
-                    let config = journal
-                        .load()
-                        .map_err(AttackError::from)
-                        .map_err(SessionError::Attack)?
-                        .config
-                        .with_budget(budget);
+                    let config =
+                        journal.load().map_err(AttackError::from)?.config.with_budget(budget);
                     Attack::resume_with(&supervised, golden, journal, config)
                 }
                 None => Attack::resume(&supervised, golden, journal),
             };
-            attack.map_err(SessionError::Attack)?.with_telemetry(telemetry.clone())
-        } else {
+            attack.map(|attack| attack.with_telemetry(telemetry.clone()))
+        };
+        let build_fresh = |golden: Bitstream| {
             // The one blessed call site of the deprecated free-form
             // constructor: every other path builds sessions here.
             #[allow(deprecated)]
@@ -634,7 +631,36 @@ impl SessionSpec {
                 attack =
                     attack.with_journal(AttackJournal::new(path)).map_err(SessionError::Attack)?;
             }
-            attack
+            Ok::<_, SessionError>(attack)
+        };
+
+        let attack = if resuming {
+            match build_resumed(golden.clone()) {
+                Ok(attack) => Some(attack),
+                // A torn journal (crash mid-checkpoint under opt-in
+                // resume) is not a dead session: discard the damaged
+                // frame and restart from scratch. The attack is a pure
+                // function of its seed, so the fresh run reaches the
+                // same totals the journalled run would have — the only
+                // cost is the re-burned queries. `Require` still
+                // escalates (the caller asserted the journal's truth).
+                Err(AttackError::Journal(je))
+                    if je.is_corruption() && io.resume == ResumePolicy::IfJournalExists =>
+                {
+                    telemetry.incr(names::JOURNAL_TORN_DISCARDED, 1);
+                    if let Some(path) = &io.journal {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    None
+                }
+                Err(e) => return Err(SessionError::Attack(e)),
+            }
+        } else {
+            None
+        };
+        let attack = match attack {
+            Some(attack) => attack,
+            None => build_fresh(golden)?,
         };
         let attack = attack.with_batch(self.batch);
 

@@ -22,7 +22,7 @@ use std::time::Duration;
 use crate::campaign::{CancelToken, CellStats};
 use crate::journal;
 
-use super::layout::{SessionLayout, SPEC_FILE};
+use super::layout::{SessionLayout, SPEC_FILE, TOKEN_FILE};
 use super::session::{SessionError, SessionOutcome, SessionSpec};
 use super::wire;
 
@@ -333,6 +333,10 @@ pub struct SessionStore {
     root: PathBuf,
     slots: Mutex<BTreeMap<String, Arc<SessionSlot>>>,
     next: Mutex<u64>,
+    /// Submit idempotency: token → session id. Rebuilt from the
+    /// per-session token files on boot, so a client retrying a submit
+    /// across a daemon restart still dedupes.
+    tokens: Mutex<BTreeMap<String, String>>,
 }
 
 impl SessionStore {
@@ -352,8 +356,12 @@ impl SessionStore {
             SessionError::Layout(super::layout::LayoutError::Io { dir: root.clone(), source })
         };
         fs::create_dir_all(&root).map_err(io_err)?;
-        let store =
-            Self { root: root.clone(), slots: Mutex::new(BTreeMap::new()), next: Mutex::new(1) };
+        let store = Self {
+            root: root.clone(),
+            slots: Mutex::new(BTreeMap::new()),
+            next: Mutex::new(1),
+            tokens: Mutex::new(BTreeMap::new()),
+        };
         let mut pending = Vec::new();
         let mut max_id = 0u64;
         for entry in fs::read_dir(&root).map_err(io_err)? {
@@ -364,15 +372,24 @@ impl SessionStore {
             let layout = SessionLayout::for_session(&root, &name);
             let Ok(spec_line) = fs::read_to_string(layout.spec()) else { continue };
             let Ok(spec) = SessionSpec::from_wire(spec_line.trim()) else { continue };
-            let (state, stats, note, requeue) = match fs::read_to_string(layout.result()) {
-                Ok(line) => {
-                    let (state, stats, note) = wire::parse_result_json(&line).unwrap_or((
-                        SessionState::Failed,
-                        CellStats::default(),
-                        String::new(),
-                    ));
-                    (state, stats, note, false)
+            if let Ok(token) = fs::read_to_string(layout.token()) {
+                let token = token.trim().to_string();
+                if !token.is_empty() {
+                    store.tokens.lock().expect("token lock").insert(token, name.clone());
                 }
+            }
+            let (state, stats, note, requeue) = match fs::read_to_string(layout.result()) {
+                // A result that exists but does not parse is a torn
+                // write (crash mid-rename): the truth it recorded is
+                // gone, so requeue and let the deterministic attack
+                // re-derive it — same seed, same totals.
+                Ok(line) => match wire::parse_result_json(&line) {
+                    Some((state, stats, note)) => (state, stats, note, false),
+                    None => {
+                        let _ = fs::remove_file(layout.result());
+                        (SessionState::Queued, CellStats::default(), String::new(), true)
+                    }
+                },
                 // No result: the session was interrupted — requeue it.
                 Err(_) => (SessionState::Queued, CellStats::default(), String::new(), true),
             };
@@ -409,6 +426,34 @@ impl SessionStore {
     ///
     /// [`SessionError::Layout`] when the directory cannot be created.
     pub fn admit(&self, spec: SessionSpec) -> Result<SessionHandle, SessionError> {
+        self.admit_with_token(spec, None).map(|(handle, _)| handle)
+    }
+
+    /// [`SessionStore::admit`] with an optional client idempotency
+    /// token. A token the store has already admitted returns the
+    /// *original* session's handle and `true` — a client retrying a
+    /// submit whose acknowledgement was lost mid-frame never enqueues
+    /// a twin. The token is persisted inside the session directory so
+    /// dedup survives a daemon restart.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Layout`] when the directory cannot be created.
+    pub fn admit_with_token(
+        &self,
+        spec: SessionSpec,
+        token: Option<&str>,
+    ) -> Result<(SessionHandle, bool), SessionError> {
+        // Held across id allocation + directory creation so two racing
+        // submits with one token cannot both miss the map.
+        let mut tokens = self.tokens.lock().expect("token lock");
+        if let Some(token) = token {
+            if let Some(id) = tokens.get(token) {
+                if let Some(handle) = self.get(id) {
+                    return Ok((handle, true));
+                }
+            }
+        }
         let id = {
             let mut next = self.next.lock().expect("id lock");
             let id = format!("s{:06}", *next);
@@ -417,7 +462,17 @@ impl SessionStore {
         };
         let layout = SessionLayout::for_session(&self.root, &id);
         let spec_line = format!("{}\n", spec.to_wire());
-        layout.create(&[(SPEC_FILE, &spec_line)])?;
+        let token_line;
+        let mut seed_files = vec![(SPEC_FILE, spec_line.as_str())];
+        if let Some(token) = token {
+            token_line = format!("{token}\n");
+            seed_files.push((TOKEN_FILE, token_line.as_str()));
+        }
+        layout.create(&seed_files)?;
+        if let Some(token) = token {
+            tokens.insert(token.to_string(), id.clone());
+        }
+        drop(tokens);
         let slot = Arc::new(SessionSlot {
             id: id.clone(),
             spec,
@@ -434,7 +489,7 @@ impl SessionStore {
             changed: Condvar::new(),
         });
         self.slots.lock().expect("slots lock").insert(id, slot.clone());
-        Ok(SessionHandle { slot })
+        Ok((SessionHandle { slot }, false))
     }
 
     /// The handle of session `id`, when known.
@@ -520,6 +575,57 @@ mod tests {
         // Fresh ids continue past the scanned maximum.
         let next = store.admit(SessionSpec::builder().build().unwrap()).expect("admits");
         assert_eq!(next.id(), "s000003");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tokened_admission_dedupes_within_and_across_boots() {
+        let root = temp_root("token");
+        let spec = SessionSpec::builder().seed(4).build().expect("valid");
+        {
+            let (store, _) = SessionStore::open(&root).expect("opens");
+            let (a, deduped) = store.admit_with_token(spec.clone(), Some("tok-1")).expect("admits");
+            assert!(!deduped);
+            let (b, deduped) = store.admit_with_token(spec.clone(), Some("tok-1")).expect("dedups");
+            assert!(deduped);
+            assert_eq!(a.id(), b.id());
+            let (c, deduped) = store.admit_with_token(spec.clone(), Some("tok-2")).expect("admits");
+            assert!(!deduped);
+            assert_ne!(a.id(), c.id());
+            assert_eq!(store.all().len(), 2);
+        }
+        // The token file survives the restart and still dedupes.
+        let (store, pending) = SessionStore::open(&root).expect("reopens");
+        assert_eq!(pending.len(), 2, "both interrupted sessions requeue");
+        let (again, deduped) = store.admit_with_token(spec, Some("tok-1")).expect("dedups");
+        assert!(deduped);
+        assert_eq!(again.id(), "s000001");
+        assert_eq!(store.all().len(), 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_torn_result_json_requeues_instead_of_reporting_garbage() {
+        let root = temp_root("torn-result");
+        {
+            let (store, _) = SessionStore::open(&root).expect("opens");
+            let handle = store.admit(SessionSpec::builder().build().unwrap()).expect("admits");
+            handle.finish(&SessionOutcome::Recovered(CellStats {
+                physical: 545,
+                logical: 100,
+                retries: 0,
+                backoff_ms: 0,
+            }));
+            // Tear the result mid-line, as a crash between write and
+            // fsync would.
+            let full = fs::read_to_string(handle.layout().result()).expect("result");
+            fs::write(handle.layout().result(), &full[..full.len() / 2]).expect("tears");
+        }
+        let (store, pending) = SessionStore::open(&root).expect("reopens");
+        assert_eq!(pending.len(), 1, "the torn session is requeued, not marked failed");
+        assert_eq!(pending[0].state(), SessionState::Queued);
+        assert!(!pending[0].layout().result().exists(), "the torn record is cleared");
+        drop(store);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -7,10 +7,10 @@
 //!
 //! | request                     | response                                |
 //! |-----------------------------|-----------------------------------------|
-//! | `submit <k=v ...>`          | `{"ok":true,"id":"s000042"}`            |
+//! | `submit [token=<t>] <k=v ...>` | `{"ok":true,"id":"s000042"}` (`,"deduped":true` on an idempotent replay) |
 //! | `status <id>`               | `{"ok":true,"id":…,"state":…,…}`        |
 //! | `list`                      | `{"ok":true,"sessions":[…]}`            |
-//! | `tail <id>`                 | telemetry NDJSON…, then `{"ok":true,"done":true,…}` |
+//! | `tail <id> [from=N]`        | telemetry NDJSON…, then `{"ok":true,"done":true,…}` |
 //! | `cancel <id>`               | `{"ok":true,"id":…}`                    |
 //! | `counters`                  | `{"ok":true,"counters":{…}}`            |
 //! | `health`                    | `{"ok":true,"fault_gap":…,"boards":[…]}` |
@@ -20,6 +20,14 @@
 //! Every failure is `{"ok":false,"error":"…"}`. The submit payload is
 //! exactly [`SessionSpec::to_wire`], so a spec that validates in the
 //! CLI validates on the server — one construction path.
+//!
+//! Two affordances exist for flaky links: a client-generated submit
+//! `token` makes retried submits idempotent (the server dedupes
+//! against the session store instead of double-enqueuing), and the
+//! `tail` cursor (`from=N`, events already seen) lets a dropped
+//! stream resume without replaying or losing events. Idle `tail`
+//! streams carry `{"ok":true,"hb":N}` heartbeats so both ends can
+//! tell a quiet session from a dead peer.
 
 use crate::campaign::CellStats;
 
@@ -30,6 +38,9 @@ use super::store::{SessionState, SessionStatus};
 /// Hard cap on a protocol line: a submit line is well under 200
 /// bytes, so anything near this is garbage or abuse.
 pub const MAX_LINE: usize = 8 * 1024;
+
+/// Hard cap on a submit idempotency token.
+pub const MAX_TOKEN: usize = 64;
 
 /// A malformed request line.
 #[derive(Debug, PartialEq)]
@@ -44,6 +55,13 @@ pub enum WireError {
     MissingArgument(&'static str),
     /// The submit payload failed spec validation.
     BadSpec(ConfigError),
+    /// The request bytes are not UTF-8 — a garbled or binary frame.
+    NotUtf8,
+    /// The submit idempotency token is malformed (must be 1 to
+    /// [`MAX_TOKEN`] ASCII alphanumeric/`-`/`_` characters).
+    BadToken(String),
+    /// The `tail` cursor is not a number.
+    BadCursor(String),
 }
 
 impl core::fmt::Display for WireError {
@@ -53,6 +71,9 @@ impl core::fmt::Display for WireError {
             WireError::UnknownVerb(v) => write!(f, "unknown verb '{v}'"),
             WireError::MissingArgument(what) => write!(f, "missing {what}"),
             WireError::BadSpec(e) => write!(f, "invalid spec: {e}"),
+            WireError::NotUtf8 => write!(f, "request is not valid UTF-8"),
+            WireError::BadToken(t) => write!(f, "malformed submit token '{t}'"),
+            WireError::BadCursor(c) => write!(f, "malformed tail cursor '{c}'"),
         }
     }
 }
@@ -62,14 +83,28 @@ impl std::error::Error for WireError {}
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Admit a new session.
-    Submit(SessionSpec),
+    /// Admit a new session. The optional client-generated `token`
+    /// makes retried submits idempotent: a token the store has seen
+    /// returns the original session id instead of enqueuing a twin.
+    Submit {
+        /// The validated session spec.
+        spec: SessionSpec,
+        /// The client's idempotency token, if it sent one.
+        token: Option<String>,
+    },
     /// One session's status.
     Status(String),
     /// Every session's status.
     List,
-    /// Stream a session's NDJSON telemetry until it is terminal.
-    Tail(String),
+    /// Stream a session's NDJSON telemetry until it is terminal,
+    /// skipping the first `from` events (already seen by a resuming
+    /// subscriber).
+    Tail {
+        /// The session id.
+        id: String,
+        /// Events already delivered to this subscriber.
+        from: u64,
+    },
     /// Cancel a session.
     Cancel(String),
     /// The fleet-level counters.
@@ -112,11 +147,52 @@ impl Request {
                 if rest.is_empty() {
                     return Err(WireError::MissingArgument("session spec"));
                 }
-                Request::Submit(SessionSpec::from_wire(rest).map_err(WireError::BadSpec)?)
+                let (token, spec_text) = match rest.strip_prefix("token=") {
+                    Some(tail) => {
+                        let (token, spec_text) = match tail.split_once(char::is_whitespace) {
+                            Some((token, spec_text)) => (token, spec_text.trim()),
+                            None => (tail, ""),
+                        };
+                        if token.is_empty()
+                            || token.len() > MAX_TOKEN
+                            || !token
+                                .bytes()
+                                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+                        {
+                            return Err(WireError::BadToken(token.to_string()));
+                        }
+                        (Some(token.to_string()), spec_text)
+                    }
+                    None => (None, rest),
+                };
+                if spec_text.is_empty() {
+                    return Err(WireError::MissingArgument("session spec"));
+                }
+                Request::Submit {
+                    spec: SessionSpec::from_wire(spec_text).map_err(WireError::BadSpec)?,
+                    token,
+                }
             }
             "status" => Request::Status(id("session id")?),
             "list" => Request::List,
-            "tail" => Request::Tail(id("session id")?),
+            "tail" => {
+                let (id, from) = match rest.split_once(char::is_whitespace) {
+                    Some((id, cursor)) => {
+                        let cursor = cursor.trim();
+                        let digits = cursor
+                            .strip_prefix("from=")
+                            .ok_or_else(|| WireError::BadCursor(cursor.to_string()))?;
+                        let from =
+                            digits.parse().map_err(|_| WireError::BadCursor(cursor.to_string()))?;
+                        (id, from)
+                    }
+                    None => (rest, 0),
+                };
+                if id.is_empty() {
+                    return Err(WireError::MissingArgument("session id"));
+                }
+                Request::Tail { id: id.to_string(), from }
+            }
             "cancel" => Request::Cancel(id("session id")?),
             "counters" => Request::Counters,
             "health" => Request::Health,
@@ -131,10 +207,14 @@ impl Request {
     #[must_use]
     pub fn to_line(&self) -> String {
         match self {
-            Request::Submit(spec) => format!("submit {}", spec.to_wire()),
+            Request::Submit { spec, token: None } => format!("submit {}", spec.to_wire()),
+            Request::Submit { spec, token: Some(token) } => {
+                format!("submit token={token} {}", spec.to_wire())
+            }
             Request::Status(id) => format!("status {id}"),
             Request::List => "list".to_string(),
-            Request::Tail(id) => format!("tail {id}"),
+            Request::Tail { id, from: 0 } => format!("tail {id}"),
+            Request::Tail { id, from } => format!("tail {id} from={from}"),
             Request::Cancel(id) => format!("cancel {id}"),
             Request::Counters => "counters".to_string(),
             Request::Health => "health".to_string(),
@@ -142,6 +222,25 @@ impl Request {
             Request::Shutdown => "shutdown".to_string(),
         }
     }
+}
+
+/// Decodes one raw request frame (without its trailing newline) into
+/// a [`Request`]: total over arbitrary bytes. The length cap is
+/// checked *before* UTF-8 validation so an oversized binary blast is
+/// rejected without inspecting it, and a garbled frame (chaos flips a
+/// high bit) fails typed as [`WireError::NotUtf8`] instead of being
+/// parsed as an imposter request.
+///
+/// # Errors
+///
+/// A typed [`WireError`] for oversized, non-UTF-8, or malformed
+/// frames; never panics, never allocates beyond the frame itself.
+pub fn decode_line(bytes: &[u8]) -> Result<Request, WireError> {
+    if bytes.len() > MAX_LINE {
+        return Err(WireError::LineTooLong(bytes.len()));
+    }
+    let line = std::str::from_utf8(bytes).map_err(|_| WireError::NotUtf8)?;
+    Request::parse(line)
 }
 
 /// Escapes a string for embedding in a JSON literal.
@@ -172,6 +271,29 @@ pub fn error_json(message: &str) -> String {
 #[must_use]
 pub fn submit_json(id: &str) -> String {
     format!("{{\"ok\":true,\"id\":\"{}\"}}", json_escape(id))
+}
+
+/// The submit acknowledgement for an idempotent replay: the token was
+/// already admitted, so the original session id comes back instead of
+/// a twin being enqueued.
+#[must_use]
+pub fn submit_deduped_json(id: &str) -> String {
+    format!("{{\"ok\":true,\"id\":\"{}\",\"deduped\":true}}", json_escape(id))
+}
+
+/// A `tail` heartbeat: emitted on an idle stream so a subscriber can
+/// tell a quiet session from a dead peer (and the server can reap
+/// subscribers whose socket stops accepting them).
+#[must_use]
+pub fn heartbeat_json(n: u64) -> String {
+    format!("{{\"ok\":true,\"hb\":{n}}}")
+}
+
+/// Whether a line is a `tail` heartbeat (not a telemetry event — a
+/// cursor-counting subscriber must skip it).
+#[must_use]
+pub fn is_heartbeat(line: &str) -> bool {
+    is_ok(line) && line.contains("\"hb\":")
 }
 
 /// One status object (without the `ok` envelope — `status` wraps it,
@@ -337,10 +459,12 @@ mod tests {
     fn requests_round_trip_through_their_line_form() {
         let spec = SessionSpec::builder().noisy(true).seed(3).batch(8).build().unwrap();
         let requests = [
-            Request::Submit(spec),
+            Request::Submit { spec: spec.clone(), token: None },
+            Request::Submit { spec, token: Some("c1a2-0007".into()) },
             Request::Status("s000001".into()),
             Request::List,
-            Request::Tail("s000002".into()),
+            Request::Tail { id: "s000002".into(), from: 0 },
+            Request::Tail { id: "s000002".into(), from: 1234 },
             Request::Cancel("s000003".into()),
             Request::Counters,
             Request::Health,
@@ -360,6 +484,49 @@ mod tests {
         assert!(matches!(Request::parse("submit votes=2").unwrap_err(), WireError::BadSpec(_)));
         let long = format!("status {}", "x".repeat(MAX_LINE));
         assert!(matches!(Request::parse(&long).unwrap_err(), WireError::LineTooLong(_)));
+    }
+
+    #[test]
+    fn submit_tokens_and_tail_cursors_are_validated() {
+        assert!(matches!(
+            Request::parse("submit token= seed=1").unwrap_err(),
+            WireError::BadToken(_)
+        ));
+        assert!(matches!(
+            Request::parse("submit token=no/slash seed=1").unwrap_err(),
+            WireError::BadToken(_)
+        ));
+        let oversized = format!("submit token={} seed=1", "t".repeat(MAX_TOKEN + 1));
+        assert!(matches!(Request::parse(&oversized).unwrap_err(), WireError::BadToken(_)));
+        assert_eq!(
+            Request::parse("submit token=abc").unwrap_err(),
+            WireError::MissingArgument("session spec")
+        );
+        assert!(matches!(
+            Request::parse("tail s000001 from=xyz").unwrap_err(),
+            WireError::BadCursor(_)
+        ));
+        assert!(matches!(Request::parse("tail s000001 99").unwrap_err(), WireError::BadCursor(_)));
+    }
+
+    #[test]
+    fn decode_line_rejects_binary_and_oversized_frames_typed() {
+        assert_eq!(decode_line(b"ping").expect("decodes"), Request::Ping);
+        assert_eq!(decode_line(b"pin\x87g").unwrap_err(), WireError::NotUtf8);
+        let oversized = vec![0xFFu8; MAX_LINE + 1];
+        assert!(matches!(decode_line(&oversized).unwrap_err(), WireError::LineTooLong(_)));
+    }
+
+    #[test]
+    fn heartbeats_are_ok_but_not_events_or_terminators() {
+        let hb = heartbeat_json(3);
+        assert!(is_ok(&hb));
+        assert!(is_heartbeat(&hb));
+        assert!(!is_tail_done(&hb));
+        assert!(!is_heartbeat("{\"seq\":0,\"event\":\"trace_start\"}"));
+        let deduped = submit_deduped_json("s000001");
+        assert!(is_ok(&deduped));
+        assert!(deduped.contains("\"deduped\":true"));
     }
 
     #[test]

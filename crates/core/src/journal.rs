@@ -168,6 +168,29 @@ impl fmt::Display for JournalError {
     }
 }
 
+impl JournalError {
+    /// Whether this failure means the on-disk journal *bytes* are
+    /// unusable — a torn write, truncation, bit rot or an
+    /// unrecognisable frame — as opposed to a sound journal the caller
+    /// is holding wrong (I/O trouble reaching it, a golden or config
+    /// mismatch). The fleet's resume policy uses this split: a
+    /// corrupt journal is discarded and the session restarts fresh
+    /// (trace-identical, because the fault streams are counter-keyed),
+    /// while a mismatch is a refusal that must surface.
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            JournalError::TooShort { .. }
+                | JournalError::BadMagic
+                | JournalError::UnsupportedVersion(_)
+                | JournalError::LengthMismatch { .. }
+                | JournalError::CrcMismatch { .. }
+                | JournalError::Malformed(_)
+        )
+    }
+}
+
 impl std::error::Error for JournalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {

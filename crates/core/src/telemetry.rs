@@ -135,6 +135,37 @@ pub mod names {
     /// Fleet: quarantined boards that answered the boot re-probe and
     /// rejoined the pool.
     pub const FLEET_BOARDS_REPROBED: &str = "fleet.boards_reprobed";
+    /// Fleet wire: connections the server accepted.
+    pub const FLEET_NET_CONNECTIONS: &str = "fleet.net.connections";
+    /// Fleet wire: request frames rejected before dispatch — torn
+    /// (unterminated) lines, oversized lines, invalid UTF-8, unknown
+    /// verbs and malformed specs all count here.
+    pub const FLEET_NET_FRAMES_REJECTED: &str = "fleet.net.frames_rejected";
+    /// Fleet wire: reconnect-shaped arrivals — deduplicated submit
+    /// retries and cursor-resumed tails, the server-side shadow of
+    /// client reconnect loops.
+    pub const FLEET_NET_RECONNECTS: &str = "fleet.net.reconnects";
+    /// Fleet wire: submit retries answered with an existing session id
+    /// via the idempotency token instead of a double enqueue.
+    pub const FLEET_NET_SUBMIT_DEDUPED: &str = "fleet.net.submit_deduped";
+    /// Fleet wire: tail streams opened (leases granted).
+    pub const FLEET_NET_TAILS_OPENED: &str = "fleet.net.tails_opened";
+    /// Fleet wire: tail leases reaped after a dead subscriber stopped
+    /// acknowledging writes (the heartbeat surfaced the broken pipe).
+    pub const FLEET_NET_LEASES_REAPED: &str = "fleet.net.leases_reaped";
+    /// Fleet wire: connections closed by the per-connection read
+    /// deadline (idle or stalled peers).
+    pub const FLEET_NET_IDLE_CLOSED: &str = "fleet.net.idle_closed";
+    /// Fleet wire: faults the chaos transport layer injected
+    /// (partial/garbled/duplicated writes, drops, delays).
+    pub const FLEET_NET_CHAOS_FAULTS: &str = "fleet.net.chaos_faults";
+    /// Fleet: running sessions parked (checkpointed and requeued) by a
+    /// graceful drain, as distinct from steals and kills.
+    pub const FLEET_DRAIN_PARKED: &str = "fleet.drain_parked";
+    /// Journals discarded as torn (corruption-class load failure under
+    /// the fleet resume policy); the session restarts fresh, which the
+    /// counter-keyed fault streams make trace-identical.
+    pub const JOURNAL_TORN_DISCARDED: &str = "journal.torn_discarded";
 }
 
 /// Number of histogram buckets: bucket 0 holds the value 0; bucket

@@ -12,7 +12,7 @@
 //! restores the resilience layer (stats, clock, adaptive policy)
 //! exactly. Here the three are exercised together.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use bitmod::fleet::{
@@ -224,5 +224,135 @@ fn a_sigkilled_daemon_resumes_an_adaptive_noisy_session_to_serial_totals() {
 
     client.shutdown().expect("clean shutdown");
     let _ = second.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("copy target");
+    for entry in std::fs::read_dir(from).expect("readable source") {
+        let entry = entry.expect("dir entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).expect("file copies");
+        }
+    }
+}
+
+/// Parks one mid-flight noisy session via a graceful drain and
+/// returns (root, session id, journal bytes, serial-baseline stats):
+/// the shared fixture for the torn-write recovery sweeps below.
+fn parked_session(tag: &str) -> (PathBuf, String, Vec<u8>, bitmod::campaign::CellStats) {
+    let spec = SessionSpec::builder().noisy(true).seed(7).build().expect("valid spec");
+    let baseline = spec.run_local().expect("serial baseline completes");
+    let SessionOutcome::Recovered(serial_stats) = baseline.outcome else {
+        panic!("serial baseline did not recover: {:?}", baseline.outcome);
+    };
+
+    let root = temp_root(tag);
+    let fleet = Fleet::start(FleetConfig::new(&root).workers(1)).expect("fleet starts");
+    let handle = fleet.submit(spec).expect("submits");
+    let journal = handle.layout().journal();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while !journal.exists() {
+        assert!(Instant::now() < deadline, "session never journalled");
+        assert!(!handle.state().is_terminal(), "session outran the drain");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let metrics = fleet.drain();
+    assert!(metrics.counter(names::FLEET_DRAIN_PARKED) >= 1, "drain parked the session");
+    let bytes = std::fs::read(&journal).expect("parked journal readable");
+    let id = handle.id().to_string();
+    drop((handle, fleet));
+    (root, id, bytes, serial_stats)
+}
+
+/// Journal decode totality: a checkpoint truncated at *every* byte
+/// boundary — every possible torn tail — comes back as a typed
+/// corruption error; only the complete frame decodes. No panic, no
+/// misdecode, at any cut.
+#[test]
+fn a_journal_truncated_at_every_byte_boundary_decodes_to_typed_errors() {
+    use bitmod::journal;
+
+    let (root, _, bytes, _) = parked_session("torn-sweep");
+    assert!(journal::decode_frame(&bytes).is_ok(), "the untorn frame decodes");
+    for cut in 0..bytes.len() {
+        match journal::decode_frame(&bytes[..cut]) {
+            Ok(doc) => panic!("a {cut}-byte torn prefix decoded to {doc:?}"),
+            Err(e) => {
+                assert!(e.is_corruption(), "typed corruption at cut {cut}, got {e:?}");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Torn-write recovery, end to end: representative crash states of
+/// the journal write path (mid-frame truncations of the journal
+/// itself, plus the atomic-rename states a crash mid-`save` leaves
+/// behind) are each planted under a fresh boot, and every boot must
+/// finish the session to key recovery with effort totals
+/// bit-identical to the uninterrupted serial run — a torn checkpoint
+/// is discarded and restarted, an intact one is resumed, and neither
+/// path changes a single count.
+#[test]
+fn every_torn_write_crash_state_boots_to_serial_identical_totals() {
+    use bitmod::fleet::chaos::{simulate_torn_write, truncate_at, TornWritePoint};
+    use bitmod::fleet::SessionLayout;
+
+    let (root, id, bytes, serial_stats) = parked_session("torn-boot");
+
+    // (tag, journal truncation, tmp-file state, torn checkpoint?)
+    let states: &[(&str, Option<u64>, Option<TornWritePoint>, bool)] = &[
+        ("mid-frame", Some(bytes.len() as u64 / 2), None, true),
+        ("one-short", Some(bytes.len() as u64 - 1), None, true),
+        ("header-only", Some(10), None, true),
+        ("empty", Some(0), None, true),
+        // A crash mid-save: the tmp file is torn or complete but the
+        // rename never happened — the *previous* checkpoint is intact
+        // and must be resumed, tmp debris notwithstanding.
+        ("tmp-partial", None, Some(TornWritePoint::TempPartial(7)), false),
+        ("tmp-complete", None, Some(TornWritePoint::TempComplete), false),
+    ];
+
+    for (tag, cut, tmp, torn) in states {
+        let boot_root = temp_root(&format!("torn-boot-{tag}"));
+        copy_dir(&root, &boot_root);
+        let journal = SessionLayout::for_session(&boot_root, &id).journal();
+        if let Some(cut) = cut {
+            truncate_at(&journal, *cut).expect("truncates the checkpoint");
+        }
+        if let Some(point) = tmp {
+            simulate_torn_write(&journal, &bytes, *point).expect("plants tmp debris");
+        }
+
+        let fleet = Fleet::start(FleetConfig::new(&boot_root).workers(1)).expect("boots");
+        let handle = fleet.handle(&id).expect("boot rescan readmits the session");
+        let status = handle.wait_timeout(Duration::from_secs(600)).expect("terminates");
+        assert_eq!(
+            status.state,
+            SessionState::Recovered,
+            "crash state '{tag}' recovers ({})",
+            status.note
+        );
+        assert_eq!(
+            status.stats, serial_stats,
+            "crash state '{tag}' reaches serial-identical totals"
+        );
+        let discarded = fleet.counters().counter(names::JOURNAL_TORN_DISCARDED);
+        if *torn {
+            assert!(discarded >= 1, "crash state '{tag}' discarded the torn checkpoint");
+        } else {
+            assert_eq!(discarded, 0, "crash state '{tag}' must resume, not discard");
+            assert!(
+                fleet.counters().counter(names::FLEET_SESSIONS_RESUMED) >= 1,
+                "crash state '{tag}' resumed from the intact checkpoint"
+            );
+        }
+        fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&boot_root);
+    }
     let _ = std::fs::remove_dir_all(&root);
 }

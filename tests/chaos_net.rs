@@ -1,0 +1,276 @@
+//! Wire chaos tests: the fleet's line protocol under a hostile
+//! transport. The server wraps every accepted connection in the
+//! seeded [`ChaosProfile`] fault injector (dropped connections,
+//! partial writes, garbled bytes, injected read delays) and the
+//! hardened client must ride it out: deadlines instead of hangs,
+//! reconnect-with-backoff instead of failures, idempotency tokens
+//! instead of duplicate sessions, and a tail cursor instead of lost
+//! or replayed events — all while the session underneath recovers the
+//! key with totals bit-identical to a clean serial run.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use bitmod::fleet::{
+    ChaosProfile, ClientConfig, ClientError, Endpoint, Fleet, FleetClient, FleetConfig,
+    FleetServer, SessionOutcome, SessionSpec, SessionState,
+};
+use bitmod::telemetry::names;
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bitmod-chaosnet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A noisy, adaptive, seed-pinned session: enough telemetry traffic
+/// to give the chaos injector real surface, and a serial baseline to
+/// pin totals against.
+fn noisy_spec() -> SessionSpec {
+    SessionSpec::builder()
+        .noisy(true)
+        .seed(11)
+        .burst(0.02, 0.30, 0.08)
+        .adaptive(true)
+        .build()
+        .expect("valid noisy spec")
+}
+
+/// A hardened client config for a deliberately hostile wire: short
+/// read deadline (injected delays surface fast), deep retry budget,
+/// tight seeded backoff so the test stays quick.
+fn hardened() -> ClientConfig {
+    ClientConfig::default()
+        .with_read_timeout(Duration::from_secs(2))
+        .with_retries(12)
+        .with_backoff(Duration::from_millis(10), Duration::from_millis(100))
+        .with_seed(1)
+}
+
+/// Polls the server's counter dump until `name` reaches `want`.
+fn wait_counter(client: &mut FleetClient, name: &str, want: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let counters = client.counters().expect("counters");
+        let got = bitmod::fleet::wire::number_field(&counters, name).unwrap_or(0);
+        if got >= want {
+            return got;
+        }
+        assert!(Instant::now() < deadline, "counter {name} stuck at {got}, want {want}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The flagship pin: a full campaign over a wire that drops, tears,
+/// garbles and delays frames recovers the key with effort totals
+/// bit-identical to an uninterrupted serial run — chaos on the wire
+/// never leaks into the attack.
+#[test]
+fn a_campaign_over_a_chaotic_wire_recovers_serial_identical_totals() {
+    let spec = noisy_spec();
+    let baseline = spec.run_local().expect("serial baseline completes");
+    let SessionOutcome::Recovered(serial_stats) = baseline.outcome else {
+        panic!("serial baseline did not recover: {:?}", baseline.outcome);
+    };
+
+    let root = temp_root("pin");
+    let fleet = Fleet::start(FleetConfig::new(&root).workers(1)).expect("fleet starts");
+    let profile =
+        ChaosProfile::new(42).with_drop(0.08).with_partial(0.20).with_garble(0.05).with_delay(0.05);
+    let server = FleetServer::bind(&Endpoint::parse("127.0.0.1:0"), fleet)
+        .expect("binds")
+        .with_chaos(profile);
+    let endpoint = server.endpoint().clone();
+    let join = server.spawn();
+
+    let mut client = FleetClient::connect_with(&endpoint, hardened()).expect("connects");
+    let id = client.submit(&spec).expect("submit survives the chaotic wire");
+
+    // Tail rides the same wire: dropped mid-stream connections resume
+    // from the cursor, so the event stream arrives complete.
+    let mut tailed = Vec::new();
+    let state = client.tail(&id, &mut tailed).expect("tail survives the chaotic wire");
+    assert_eq!(state, "recovered", "session recovered over chaos");
+    assert!(!tailed.is_empty(), "telemetry was streamed");
+
+    let status = client.status(&id).expect("status");
+    let field = |name: &str| bitmod::fleet::wire::number_field(&status, name);
+    assert_eq!(field("physical"), Some(serial_stats.physical), "physical loads pinned: {status}");
+    assert_eq!(field("logical"), Some(serial_stats.logical), "logical queries pinned: {status}");
+    assert_eq!(field("retries"), Some(serial_stats.retries), "retries pinned: {status}");
+
+    // The injector really fired, and the counters prove the hardening
+    // earned its keep rather than the wire happening to be clean.
+    let counters = client.counters().expect("counters");
+    let counter = |name: &str| bitmod::fleet::wire::number_field(&counters, name).unwrap_or(0);
+    assert!(counter(names::FLEET_NET_CHAOS_FAULTS) > 0, "chaos injected faults: {counters}");
+    assert!(counter(names::FLEET_NET_CONNECTIONS) > 1, "client redialled: {counters}");
+    assert!(client.reconnects() > 0, "client-side reconnects counted");
+
+    client.shutdown().expect("shutdown survives the chaotic wire");
+    join.join().expect("server thread exits");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A submit torn mid-frame admits nothing, and a retried submit with
+/// the same idempotency token never creates a duplicate session.
+#[test]
+fn torn_and_retried_submits_never_duplicate_a_session() {
+    let root = temp_root("dedup");
+    let fleet = Fleet::start(FleetConfig::new(&root).workers(1)).expect("fleet starts");
+    let server = FleetServer::bind(&Endpoint::parse("127.0.0.1:0"), fleet).expect("binds");
+    let endpoint = server.endpoint().clone();
+    let addr = match &endpoint {
+        Endpoint::Tcp(addr) => addr.clone(),
+        other => panic!("expected a TCP endpoint, got {other:?}"),
+    };
+    let join = server.spawn();
+    let mut client = FleetClient::connect(&endpoint).expect("connects");
+
+    // A mid-frame disconnect: the submit line stops without its
+    // newline. The server must reject the torn frame without parsing
+    // — the prefix is a syntactically complete request.
+    let spec = SessionSpec::builder().seed(5).build().expect("valid spec");
+    {
+        let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+        raw.write_all(b"submit token=tok1").expect("torn frame written");
+        // Dropping the stream closes it mid-frame.
+    }
+    wait_counter(&mut client, names::FLEET_NET_FRAMES_REJECTED, 1);
+    let list = client.list().expect("list");
+    assert_eq!(list.matches("\"id\":").count(), 0, "torn submit admitted nothing: {list}");
+
+    // The client's retry path: same token, two sends, one session.
+    let first = client.submit_with_token(&spec, "tok1").expect("first submit");
+    let second = client.submit_with_token(&spec, "tok1").expect("retried submit");
+    assert_eq!(first, second, "one token, one session");
+    let deduped = wait_counter(&mut client, names::FLEET_NET_SUBMIT_DEDUPED, 1);
+    assert!(deduped >= 1, "dedup counted");
+    let list = client.list().expect("list");
+    assert_eq!(list.matches("\"id\":").count(), 1, "exactly one session admitted: {list}");
+
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread exits");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A daemon that accepts but never answers surfaces as a typed
+/// timeout bounded by the configured deadline — not a forever-hang.
+#[test]
+fn a_silent_server_times_out_instead_of_hanging() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+    let addr = listener.local_addr().expect("addr");
+    let hold = std::thread::spawn(move || {
+        // Accept and hold connections open without ever replying.
+        let mut held = Vec::new();
+        while let Ok((conn, _)) = listener.accept() {
+            held.push(conn);
+            if held.len() >= 2 {
+                break;
+            }
+        }
+        held
+    });
+
+    let config =
+        ClientConfig::default().with_read_timeout(Duration::from_millis(200)).with_retries(0);
+    let endpoint = Endpoint::parse(&addr.to_string());
+    let mut client = FleetClient::connect_with(&endpoint, config).expect("connects");
+    let started = Instant::now();
+    match client.ping() {
+        Err(ClientError::Timeout(after)) => {
+            assert_eq!(after, Duration::from_millis(200), "the configured deadline is reported");
+        }
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(30), "bounded by the deadline, not a hang");
+    // Unblock the holder thread.
+    let _ = std::net::TcpStream::connect(addr);
+    let _ = hold.join();
+}
+
+/// A tail subscriber that vanishes without closing cleanly is reaped
+/// via its lease: the server notices the dead stream on a heartbeat
+/// or event write and frees the connection thread.
+#[cfg(unix)]
+#[test]
+fn a_vanished_tail_subscriber_is_lease_reaped() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let root = temp_root("lease");
+    let sock = root.join("serve.sock");
+    std::fs::create_dir_all(&root).expect("test root");
+    let fleet = Fleet::start(FleetConfig::new(root.join("fleet")).workers(1)).expect("starts");
+    let endpoint = Endpoint::Unix(sock.clone());
+    let server = FleetServer::bind(&endpoint, fleet).expect("binds");
+    let join = server.spawn();
+    let mut client = FleetClient::connect(&endpoint).expect("connects");
+
+    // A long-lived noisy session keeps the tail stream alive.
+    let id = client.submit(&noisy_spec()).expect("submits");
+    {
+        let raw = UnixStream::connect(&sock).expect("raw tail connect");
+        let mut writer = raw.try_clone().expect("clone");
+        writeln!(writer, "tail {id} from=0").expect("tail request");
+        let mut line = String::new();
+        BufReader::new(raw).read_line(&mut line).expect("first tail line");
+        assert!(!line.is_empty(), "the lease opened and streamed");
+        // Dropping both halves closes the socket without ceremony.
+    }
+    wait_counter(&mut client, names::FLEET_NET_TAILS_OPENED, 1);
+    wait_counter(&mut client, names::FLEET_NET_LEASES_REAPED, 1);
+
+    client.cancel(&id).expect("cancel the backing session");
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread exits");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Graceful drain: `shutdown` checkpoints the running session and
+/// persists the queued one; a fresh fleet on the same root finishes
+/// both with serial-identical totals.
+#[test]
+fn drain_checkpoints_running_and_persists_queued_sessions() {
+    let spec = noisy_spec();
+    let baseline = spec.run_local().expect("serial baseline completes");
+    let SessionOutcome::Recovered(serial_stats) = baseline.outcome else {
+        panic!("serial baseline did not recover: {:?}", baseline.outcome);
+    };
+
+    let root = temp_root("drain");
+    let fleet = Fleet::start(FleetConfig::new(&root).workers(1)).expect("fleet starts");
+    let running = fleet.submit(spec.clone()).expect("first submit");
+    let queued = fleet.submit(spec.clone()).expect("second submit");
+
+    // Wait for the first write-ahead checkpoint so the drain has a
+    // mid-flight session to park.
+    let journal = running.layout().journal();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while !journal.exists() {
+        assert!(Instant::now() < deadline, "running session never journalled");
+        assert!(!running.state().is_terminal(), "session outran the drain");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let metrics = fleet.drain();
+    assert!(
+        metrics.counter(names::FLEET_DRAIN_PARKED) >= 1,
+        "the running session was parked, not killed"
+    );
+    assert!(journal.exists(), "the checkpoint survived the drain");
+    let (running_id, queued_id) = (running.id().to_string(), queued.id().to_string());
+    drop((running, queued, fleet));
+
+    // Reboot on the same root: the boot rescan requeues both, the
+    // parked one resumes from its journal.
+    let fleet = Fleet::start(FleetConfig::new(&root).workers(1)).expect("fleet reboots");
+    for id in [&running_id, &queued_id] {
+        let handle = fleet.handle(id).unwrap_or_else(|| panic!("session {id} survived the drain"));
+        let status = handle.wait_timeout(Duration::from_secs(600)).expect("terminates");
+        assert_eq!(status.state, SessionState::Recovered, "{id} recovered ({})", status.note);
+        assert_eq!(status.stats, serial_stats, "{id} totals pinned to the serial run");
+    }
+    assert!(fleet.counters().counter(names::FLEET_SESSIONS_RESUMED) >= 1, "resume counted");
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,91 @@
+//! Totality fuzz over the two on-disk/on-wire frame decoders: the
+//! line protocol's [`wire::decode_line`] and the journal's
+//! [`journal::decode_frame`]. Arbitrary bytes, truncated frames and
+//! hostile length prefixes must come back as *typed* errors — never a
+//! panic, and never an allocation sized by attacker-controlled input.
+
+use bitmod::fleet::wire::{self, Request, WireError, MAX_LINE};
+use bitmod::fleet::SessionSpec;
+use bitmod::journal::{self, JournalError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any byte soup decodes to a request or a typed error.
+    #[test]
+    fn decode_line_is_total_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        match wire::decode_line(&bytes) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(!e.to_string().is_empty(), "typed, printable error"),
+        }
+    }
+
+    /// Every prefix of a valid request line — a mid-frame disconnect
+    /// caught at any byte — decodes to a request or a typed error.
+    #[test]
+    fn every_truncation_of_a_valid_line_is_total(cut in 0usize..200) {
+        let spec = SessionSpec::builder().noisy(true).seed(3).build().expect("valid spec");
+        let line = Request::Submit { spec, token: Some("tok-7".into()) }.to_line();
+        let bytes = line.as_bytes();
+        let _ = wire::decode_line(&bytes[..cut.min(bytes.len())]);
+    }
+
+    /// A tokened submit round-trips through the wire verbatim.
+    #[test]
+    fn tokened_submits_roundtrip(seed in any::<u64>(), cursor in any::<u64>()) {
+        let spec = SessionSpec::builder().seed(seed % 1_000_000).build().expect("valid spec");
+        let submit = Request::Submit { spec, token: Some(format!("t{:x}", seed)) };
+        prop_assert_eq!(Request::parse(&submit.to_line()).expect("parses"), submit);
+        let tail = Request::Tail { id: "s42".into(), from: cursor };
+        prop_assert_eq!(Request::parse(&tail.to_line()).expect("parses"), tail);
+    }
+
+    /// Random bytes never decode to a journal document: the frame
+    /// decoder answers with a typed corruption error (magic, length
+    /// and CRC all have to hold), and never panics.
+    #[test]
+    fn journal_decode_is_total_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..160),
+    ) {
+        match journal::decode_frame(&bytes) {
+            Ok(doc) => prop_assert!(false, "byte soup decoded to {doc:?}"),
+            Err(e) => prop_assert!(e.is_corruption(), "typed corruption error, got {e:?}"),
+        }
+    }
+}
+
+/// An over-cap line is refused by length *before* UTF-8 validation or
+/// any parsing — the reply to a flooding peer costs O(1).
+#[test]
+fn an_oversized_line_is_rejected_before_parsing() {
+    let invalid_utf8 = vec![0xFFu8; MAX_LINE + 1];
+    assert!(matches!(
+        wire::decode_line(&invalid_utf8),
+        Err(WireError::LineTooLong(n)) if n == MAX_LINE + 1
+    ));
+    let valid_ascii = vec![b'a'; MAX_LINE + 100];
+    assert!(matches!(wire::decode_line(&valid_ascii), Err(WireError::LineTooLong(_))));
+}
+
+/// A journal header whose length prefix claims ~4 GiB fails fast with
+/// a typed error: the decoder checks the claim against the bytes it
+/// actually has and never allocates from the prefix.
+#[test]
+fn an_oversized_journal_length_prefix_fails_without_allocating() {
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&journal::MAGIC);
+    hostile.extend_from_slice(&journal::VERSION.to_le_bytes());
+    hostile.extend_from_slice(&0u16.to_le_bytes());
+    hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+    hostile.extend_from_slice(&[0u8; 32]);
+    match journal::decode_frame(&hostile) {
+        Err(JournalError::TooShort { got, need }) => {
+            assert_eq!(got, hostile.len());
+            assert!(need > u32::MAX as usize / 2, "the hostile claim is what is reported");
+        }
+        other => panic!("expected TooShort, got {other:?}"),
+    }
+}

@@ -1,0 +1,180 @@
+//! Encrypted-container overhead gate: runs the full attack over the
+//! plaintext bitstream and over the Fig. 1 secure container in one
+//! process, and reports the ciphertext tax.
+//!
+//! ```text
+//! encrypted-throughput [--iterations N]
+//! encrypted-throughput --write BENCH_encrypted.json
+//! encrypted-throughput --check BENCH_encrypted.json
+//! ```
+//!
+//! The encrypted arm pays AES-256-CBC, HMAC-SHA-256 and the seekable
+//! patch oracle on every candidate load; the whole point of the
+//! position-seekable design is that this tax stays a small constant
+//! factor instead of O(container) per load. `--write` records the
+//! measurement and the ratio ceiling into a committed baseline;
+//! `--check` re-measures and exits non-zero if the encrypted/plaintext
+//! ratio climbs above the baseline's `max_ratio` — the CI regression
+//! gate keeping the patch oracle honest about being seekable. The
+//! gate statistic is the median *paired* ratio across interleaved
+//! iterations (after a warmup run), so transient machine load cancels
+//! in the quotient. Both arms must recover the Test Set 1 key and
+//! report identical oracle load counts, so the gate doubles as a
+//! cheap encrypted/plaintext equivalence smoke test.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bitmod::fleet::SessionSpec;
+use bitmod::SessionOutcome;
+use snow3g::vectors::TEST_SET_1_KEY;
+
+/// The ceiling written into fresh baselines (the acceptance bound):
+/// the encrypted run may cost at most this multiple of the plaintext
+/// run.
+const MAX_RATIO: f64 = 1.5;
+
+/// One full clean-board attack through the session facade; returns
+/// wall-clock milliseconds and the number of oracle loads it issued.
+fn timed_run(encrypted: bool) -> Result<(f64, usize), String> {
+    let spec = SessionSpec::builder().encrypted(encrypted).build().map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    let report = spec.run_local().map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    let attack = match report.outcome {
+        SessionOutcome::Recovered(_) => {
+            report.attack.ok_or("recovered session carries no attack report")?
+        }
+        other => return Err(format!("attack did not recover the key: {other:?}")),
+    };
+    if attack.recovered.key != TEST_SET_1_KEY {
+        return Err("attack did not recover the Test Set 1 key".into());
+    }
+    Ok((elapsed, attack.oracle_loads))
+}
+
+struct Measurement {
+    plain_ms: f64,
+    encrypted_ms: f64,
+    loads: usize,
+    ratio: f64,
+}
+
+fn measure(iterations: u32) -> Result<Measurement, String> {
+    // One untimed warmup run pays the cold costs that would otherwise
+    // bias whichever arm runs first.
+    timed_run(false)?;
+    let mut plain_ms = f64::INFINITY;
+    let mut encrypted_ms = f64::INFINITY;
+    let mut loads = None;
+    let mut ratios = Vec::with_capacity(iterations as usize);
+    // Median paired ratio, as in attack-throughput: a load spike hits
+    // both arms of an interleaved iteration about equally and cancels
+    // in the quotient.
+    for _ in 0..iterations {
+        let (plain, plain_loads) = timed_run(false)?;
+        let (encrypted, encrypted_loads) = timed_run(true)?;
+        if plain_loads != encrypted_loads {
+            return Err(format!(
+                "load accounting diverged: plaintext {plain_loads}, encrypted {encrypted_loads}"
+            ));
+        }
+        loads = Some(plain_loads);
+        plain_ms = plain_ms.min(plain);
+        encrypted_ms = encrypted_ms.min(encrypted);
+        ratios.push(encrypted / plain);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    Ok(Measurement {
+        plain_ms,
+        encrypted_ms,
+        loads: loads.unwrap_or(0),
+        ratio: ratios[ratios.len() / 2],
+    })
+}
+
+fn baseline_json(m: &Measurement, iterations: u32) -> String {
+    format!(
+        "{{\n  \"bench\": \"encrypted-throughput\",\n  \
+         \"workload\": \"clean-board full attack, plaintext vs Fig. 1 encrypted container\",\n  \
+         \"iterations\": {iterations},\n  \
+         \"max_ratio\": {MAX_RATIO},\n  \
+         \"oracle_loads\": {},\n  \
+         \"recorded_plain_ms\": {:.2},\n  \
+         \"recorded_encrypted_ms\": {:.2},\n  \
+         \"recorded_ratio\": {:.2}\n}}\n",
+        m.loads, m.plain_ms, m.encrypted_ms, m.ratio
+    )
+}
+
+/// Pulls `"max_ratio": <float>` out of the baseline file without a
+/// JSON dependency.
+fn parse_ceiling(text: &str) -> Option<f64> {
+    let rest = text.split("\"max_ratio\"").nth(1)?;
+    let rest = rest.trim_start().strip_prefix(':')?;
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iterations = 5u32;
+    let mut write: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iterations" => {
+                iterations = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--iterations needs an integer")?;
+            }
+            "--write" => write = Some(it.next().ok_or("--write needs a path")?.clone()),
+            "--check" => check = Some(it.next().ok_or("--check needs a path")?.clone()),
+            other => {
+                return Err(format!(
+                    "unknown option '{other}'; usage: encrypted-throughput \
+                     [--iterations N] [--write PATH | --check PATH]"
+                ));
+            }
+        }
+    }
+
+    let m = measure(iterations)?;
+    println!(
+        "encrypted throughput: plaintext {:.2} ms, encrypted {:.2} ms, ratio {:.2}x \
+         ({} oracle loads in both arms)",
+        m.plain_ms, m.encrypted_ms, m.ratio, m.loads
+    );
+
+    if let Some(path) = write {
+        std::fs::write(&path, baseline_json(&m, iterations))
+            .map_err(|e| format!("cannot write baseline {path}: {e}"))?;
+        println!("baseline written to {path} (ceiling {MAX_RATIO}x)");
+    }
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let ceiling = parse_ceiling(&text).ok_or(format!("no max_ratio in baseline {path}"))?;
+        if m.ratio > ceiling {
+            eprintln!(
+                "encrypted-throughput: {:.2}x is above the {ceiling}x ceiling from {path}",
+                m.ratio
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("below the {ceiling}x ceiling from {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("encrypted-throughput: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

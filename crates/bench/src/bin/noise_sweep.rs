@@ -4,14 +4,18 @@
 //!
 //! ```text
 //! noise-sweep [--smoke] [--seed N] [--votes N] [--dir DIR]
-//!             [--journal PATH] [--trace PATH]
+//!             [--journal PATH] [--trace PATH] [--encrypted]
 //! ```
 //!
 //! Each cell wraps the victim in [`UnreliableBoard`] at a (per-bit
 //! keystream glitch, transient load failure) rate pair, runs the
 //! attack through the resilience layer, and reports whether the
 //! Test Set 1 key was recovered plus the physical query cost.
-//! `--smoke` runs a single noisy cell (for CI).
+//! `--smoke` runs a single noisy cell (for CI). With `--encrypted`
+//! every cell runs over the Fig. 1 secure container: candidate loads
+//! go through the seekable CBC patch oracle and the device-side
+//! verifier before the noisy board sees them — the recovered keys and
+//! query traces must match the plaintext sweep cell for cell.
 //!
 //! The grid is built by the validating [`SweepGrid`] builder and each
 //! cell runs through the session facade
@@ -52,7 +56,7 @@ fn run_cell(
         cancel: supervisor.cancel_token(),
         expected_key: Some(TEST_SET_1_KEY),
     };
-    let report = cell.spec.run_against(&board, golden, &io);
+    let report = cell.spec.run_harnessed(&board, golden, &io);
     bitmod::fleet::session::record_board_faults(&telemetry, &board);
     match report {
         Ok(report) => match report.outcome {
@@ -82,6 +86,7 @@ fn run_cell(
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let encrypted = args.iter().any(|a| a == "--encrypted");
     let mut seed = 7u64;
     let mut votes = 5u32;
     let mut dir: Option<PathBuf> = None;
@@ -125,12 +130,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--smoke" => {}
+            "--smoke" | "--encrypted" => {}
             other => {
                 eprintln!(
                     "unknown option '{other}'; usage: \
                      noise-sweep [--smoke] [--seed N] [--votes N] [--dir DIR] \
-                     [--journal PATH] [--trace PATH]"
+                     [--journal PATH] [--trace PATH] [--encrypted]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -162,7 +167,7 @@ fn main() -> ExitCode {
         None => Telemetry::off(),
     };
 
-    let mut builder = SweepGrid::builder().seed(seed).votes(votes);
+    let mut builder = SweepGrid::builder().seed(seed).votes(votes).encrypted(encrypted);
     if smoke {
         // One genuinely noisy cell at the acceptance floor.
         builder = builder.smoke();
@@ -202,7 +207,11 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("noise sweep: seed {seed}, {votes} votes, {} cell(s)", grid.len());
+    println!(
+        "noise sweep: seed {seed}, {votes} votes, {} cell(s){}",
+        grid.len(),
+        if encrypted { ", encrypted container" } else { "" }
+    );
     if report.resumed_count() > 0 {
         println!("resumed: {} cell(s) replayed from the journal", report.resumed_count());
     }

@@ -38,3 +38,7 @@ pub use delta::DeltaCrc;
 pub use frame::{FrameData, FRAME_BYTES, FRAME_WORDS};
 pub use image::{Bitstream, BitstreamBuilder, ConfigData, ParseBitstreamError};
 pub use packet::{CommandCode, Packet, PacketEncodeError, RegisterAddress, SYNC_WORD};
+pub use secure::patch::{
+    BodyEdit, PatchError, PatchOracle, PatchStats, BODY_OFFSET, MIDSTATE_STRIDE,
+};
+pub use secure::{CbcError, OpenSecureError, ScaOracle, SecureBitstream};

@@ -12,7 +12,12 @@
 //! `K_A`, modifies the bitstream, recomputes the MAC and re-encrypts.
 //!
 //! The primitives (SHA-256, HMAC, AES-256) are implemented here from
-//! the FIPS specifications and pinned by standard test vectors.
+//! the FIPS specifications and pinned by standard test vectors. The
+//! [`patch`] submodule builds the position-seekable CBC patch oracle
+//! on top of them: it re-seals a candidate edit by touching only the
+//! ciphertext blocks downstream of the edit, never the whole stream.
+
+pub mod patch;
 
 use core::fmt;
 
@@ -34,31 +39,107 @@ const K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
-/// Computes SHA-256 of `data`.
-#[must_use]
-pub fn sha256(data: &[u8]) -> [u8; 32] {
-    let mut h: [u32; 8] = [
-        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-        0x5be0cd19,
-    ];
-    let bitlen = (data.len() as u64) * 8;
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bitlen.to_be_bytes());
+/// Streaming SHA-256 with a cloneable midstate.
+///
+/// The patch oracle checkpoints copies of this state at fixed
+/// boundaries of the authenticated body so a candidate edit can
+/// re-MAC from the nearest checkpoint instead of from byte zero.
+#[derive(Clone, Copy)]
+pub struct Sha256 {
+    h: [u32; 8],
+    /// Bytes absorbed so far (including those still buffered).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
 
-    for block in msg.chunks_exact(64) {
+impl fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sha256(absorbed: {} bytes)", self.len)
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Starts a fresh hash.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            h: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len += data.len() as u64;
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len < 64 {
+                // `take` drained all of `rest`, or the buffer would
+                // be full — nothing left for the block loop below.
+                return;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(chunk);
+            self.compress(&block);
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// Pads and produces the digest.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bitlen = self.len * 8;
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // The length block must not count toward the message length,
+        // but `update` only reads `buf_len` for padding logic, so
+        // feeding it through is safe.
+        self.update(&bitlen.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
-        for (i, c) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(c.try_into().expect("4 bytes"));
+        for (w, c) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *w = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
             w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
+        let h = &mut self.h;
         let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh) =
             (h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]);
         for i in 0..64 {
@@ -86,30 +167,70 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
         h[6] = h[6].wrapping_add(g);
         h[7] = h[7].wrapping_add(hh);
     }
-    let mut out = [0u8; 32];
-    for (i, word) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+}
+
+/// Computes SHA-256 of `data`.
+#[must_use]
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+/// Streaming HMAC-SHA-256 with a cloneable midstate (the inner-hash
+/// state can be checkpointed and resumed like [`Sha256`]).
+#[derive(Clone, Copy)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// The padded key block, kept to build the opad at finalize time.
+    key_block: [u8; 64],
+}
+
+impl fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HmacSha256(<key material redacted>)")
     }
-    out
+}
+
+impl HmacSha256 {
+    /// Starts a MAC under `key`.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; 64];
+        if key.len() > 64 {
+            key_block[..32].copy_from_slice(&sha256(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner = Sha256::new();
+        let ipad: [u8; 64] = core::array::from_fn(|i| key_block[i] ^ 0x36);
+        inner.update(&ipad);
+        Self { inner, key_block }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the tag.
+    #[must_use]
+    pub fn finalize(self) -> [u8; 32] {
+        let ih = self.inner.finalize();
+        let mut outer = Sha256::new();
+        let opad: [u8; 64] = core::array::from_fn(|i| self.key_block[i] ^ 0x5c);
+        outer.update(&opad);
+        outer.update(&ih);
+        outer.finalize()
+    }
 }
 
 /// Computes HMAC-SHA-256 of `data` under `key`.
 #[must_use]
 pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
-    let mut k = [0u8; 64];
-    if key.len() > 64 {
-        k[..32].copy_from_slice(&sha256(key));
-    } else {
-        k[..key.len()].copy_from_slice(key);
-    }
-    let mut inner = Vec::with_capacity(64 + data.len());
-    inner.extend(k.iter().map(|b| b ^ 0x36));
-    inner.extend_from_slice(data);
-    let ih = sha256(&inner);
-    let mut outer = Vec::with_capacity(64 + 32);
-    outer.extend(k.iter().map(|b| b ^ 0x5c));
-    outer.extend_from_slice(&ih);
-    sha256(&outer)
+    let mut mac = HmacSha256::new(key);
+    mac.update(data);
+    mac.finalize()
 }
 
 // --------------------------------------------------------------------
@@ -178,6 +299,44 @@ fn gmul(a: u8, mut b: u8) -> u8 {
         b >>= 1;
     }
     p
+}
+
+/// Precomputed GF(2^8) multiplication tables for the (Inv)MixColumns
+/// constants. The bit-serial [`gmul`] is kept as the generating
+/// reference; these tables exist because the patch oracle puts block
+/// en/decryption on the per-candidate hot path (DESIGN.md §16).
+struct MulTables {
+    m2: [u8; 256],
+    m3: [u8; 256],
+    m9: [u8; 256],
+    m11: [u8; 256],
+    m13: [u8; 256],
+    m14: [u8; 256],
+}
+
+fn mul_tables() -> &'static MulTables {
+    use std::sync::OnceLock;
+    static T: OnceLock<MulTables> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut t = MulTables {
+            m2: [0; 256],
+            m3: [0; 256],
+            m9: [0; 256],
+            m11: [0; 256],
+            m13: [0; 256],
+            m14: [0; 256],
+        };
+        for a in 0..=255u8 {
+            let i = a as usize;
+            t.m2[i] = gmul(a, 2);
+            t.m3[i] = gmul(a, 3);
+            t.m9[i] = gmul(a, 9);
+            t.m11[i] = gmul(a, 11);
+            t.m13[i] = gmul(a, 13);
+            t.m14[i] = gmul(a, 14);
+        }
+        t
+    })
 }
 
 /// An expanded AES-256 key (15 round keys).
@@ -290,34 +449,75 @@ impl Aes256 {
         out
     }
 
-    /// Decrypts CBC + PKCS#7. Returns `None` on invalid length or
-    /// padding.
-    #[must_use]
-    pub fn cbc_decrypt(&self, iv: &[u8; 16], ciphertext: &[u8]) -> Option<Vec<u8>> {
+    /// Decrypts CBC + PKCS#7.
+    ///
+    /// # Errors
+    ///
+    /// [`CbcError::BadLength`] when the ciphertext is empty or not a
+    /// multiple of the block size (a framing problem — no key was
+    /// consulted); [`CbcError::BadPadding`] when decryption succeeds
+    /// structurally but the PKCS#7 trailer is inconsistent (wrong key
+    /// or tampered final blocks).
+    pub fn cbc_decrypt(&self, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, CbcError> {
         if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
-            return None;
+            return Err(CbcError::BadLength { len: ciphertext.len() });
         }
         let mut prev = *iv;
         let mut out = Vec::with_capacity(ciphertext.len());
         for chunk in ciphertext.chunks_exact(16) {
-            let block: [u8; 16] = chunk.try_into().expect("16 bytes");
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
             let dec = self.decrypt_block(&block);
             for (i, d) in dec.iter().enumerate() {
                 out.push(d ^ prev[i]);
             }
             prev = block;
         }
-        let pad = *out.last()? as usize;
-        if pad == 0 || pad > 16 || out.len() < pad {
-            return None;
-        }
-        if !out[out.len() - pad..].iter().all(|&b| b == pad as u8) {
-            return None;
-        }
-        out.truncate(out.len() - pad);
-        Some(out)
+        strip_pkcs7(&mut out)?;
+        Ok(out)
     }
 }
+
+/// Validates and removes PKCS#7 padding in place.
+pub(crate) fn strip_pkcs7(out: &mut Vec<u8>) -> Result<(), CbcError> {
+    let pad = *out.last().ok_or(CbcError::BadPadding)? as usize;
+    if pad == 0 || pad > 16 || out.len() < pad {
+        return Err(CbcError::BadPadding);
+    }
+    if !out[out.len() - pad..].iter().all(|&b| b == pad as u8) {
+        return Err(CbcError::BadPadding);
+    }
+    out.truncate(out.len() - pad);
+    Ok(())
+}
+
+/// An error from [`Aes256::cbc_decrypt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbcError {
+    /// The ciphertext length is not a non-zero multiple of the AES
+    /// block size — a framing/truncation problem, detected before any
+    /// key material is consulted.
+    BadLength {
+        /// The offending ciphertext length in bytes.
+        len: usize,
+    },
+    /// The PKCS#7 padding did not verify after decryption — a wrong
+    /// key or tampered trailing blocks.
+    BadPadding,
+}
+
+impl fmt::Display for CbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CbcError::BadLength { len } => {
+                write!(f, "ciphertext length {len} is not a non-zero multiple of 16")
+            }
+            CbcError::BadPadding => write!(f, "pkcs#7 padding check failed"),
+        }
+    }
+}
+
+impl std::error::Error for CbcError {}
 
 fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
     for i in 0..16 {
@@ -351,22 +551,30 @@ fn inv_shift_rows(s: &mut [u8; 16]) {
 }
 
 fn mix_columns(s: &mut [u8; 16]) {
+    let t = mul_tables();
     for c in 0..4 {
-        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
-        s[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
-        s[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
-        s[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
-        s[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+        let b = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        let i = [b[0] as usize, b[1] as usize, b[2] as usize, b[3] as usize];
+        s[4 * c] = t.m2[i[0]] ^ t.m3[i[1]] ^ b[2] ^ b[3];
+        s[4 * c + 1] = b[0] ^ t.m2[i[1]] ^ t.m3[i[2]] ^ b[3];
+        s[4 * c + 2] = b[0] ^ b[1] ^ t.m2[i[2]] ^ t.m3[i[3]];
+        s[4 * c + 3] = t.m3[i[0]] ^ b[1] ^ b[2] ^ t.m2[i[3]];
     }
 }
 
 fn inv_mix_columns(s: &mut [u8; 16]) {
+    let t = mul_tables();
     for c in 0..4 {
-        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
-        s[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        s[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        s[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        s[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        let i = [
+            s[4 * c] as usize,
+            s[4 * c + 1] as usize,
+            s[4 * c + 2] as usize,
+            s[4 * c + 3] as usize,
+        ];
+        s[4 * c] = t.m14[i[0]] ^ t.m11[i[1]] ^ t.m13[i[2]] ^ t.m9[i[3]];
+        s[4 * c + 1] = t.m9[i[0]] ^ t.m14[i[1]] ^ t.m11[i[2]] ^ t.m13[i[3]];
+        s[4 * c + 2] = t.m13[i[0]] ^ t.m9[i[1]] ^ t.m14[i[2]] ^ t.m11[i[3]];
+        s[4 * c + 3] = t.m11[i[0]] ^ t.m13[i[1]] ^ t.m9[i[2]] ^ t.m14[i[3]];
     }
 }
 
@@ -389,8 +597,9 @@ pub struct SecureBitstream {
 /// An error from [`SecureBitstream::open`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpenSecureError {
-    /// Decryption failed (wrong key or corrupted ciphertext).
-    Decrypt,
+    /// Decryption failed (wrong key or corrupted ciphertext); carries
+    /// whether the problem was framing or padding.
+    Decrypt(CbcError),
     /// The payload structure is malformed.
     Malformed,
     /// The HMAC does not verify. Reported via `BOOTSTS` in real
@@ -401,14 +610,21 @@ pub enum OpenSecureError {
 impl fmt::Display for OpenSecureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OpenSecureError::Decrypt => write!(f, "decryption failed"),
+            OpenSecureError::Decrypt(e) => write!(f, "decryption failed: {e}"),
             OpenSecureError::Malformed => write!(f, "malformed secure payload"),
             OpenSecureError::MacMismatch => write!(f, "hmac verification failed"),
         }
     }
 }
 
-impl std::error::Error for OpenSecureError {}
+impl std::error::Error for OpenSecureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpenSecureError::Decrypt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// The decrypted contents of a secure bitstream.
 #[derive(Debug, Clone)]
@@ -449,28 +665,41 @@ impl SecureBitstream {
     pub fn open(&self, k_enc: &[u8; 32]) -> Result<OpenedBitstream, OpenSecureError> {
         let plain = Aes256::new(k_enc)
             .cbc_decrypt(&self.iv, &self.ciphertext)
-            .ok_or(OpenSecureError::Decrypt)?;
-        if plain.len() < 8 + 32 + 8 + 32 + 32 || &plain[..8] != MAGIC {
-            return Err(OpenSecureError::Malformed);
-        }
-        let mut k_auth = [0u8; 32];
-        k_auth.copy_from_slice(&plain[8..40]);
-        let len = u64::from_be_bytes(plain[40..48].try_into().expect("8 bytes")) as usize;
-        let body_end = 48 + len;
-        if plain.len() != body_end + 32 + 32 {
-            return Err(OpenSecureError::Malformed);
-        }
-        let body = &plain[48..body_end];
-        let footer_key = &plain[body_end..body_end + 32];
-        if footer_key != k_auth {
-            return Err(OpenSecureError::Malformed);
-        }
-        let mac = &plain[body_end + 32..];
-        if hmac_sha256(&k_auth, body) != mac[..32] {
-            return Err(OpenSecureError::MacMismatch);
-        }
-        Ok(OpenedBitstream { bitstream: Bitstream::from_bytes(body.to_vec()), k_auth })
+            .map_err(OpenSecureError::Decrypt)?;
+        let (body, k_auth) = parse_and_verify_plain(&plain)?;
+        Ok(OpenedBitstream { bitstream: Bitstream::from_bytes(plain[body].to_vec()), k_auth })
     }
+}
+
+/// Validates a decrypted container payload (structure, footer key,
+/// MAC) and returns the body range plus the embedded `K_A`. Shared by
+/// [`SecureBitstream::open`] and the patch oracle's slow path so both
+/// agree byte-for-byte on what the device accepts.
+pub(crate) fn parse_and_verify_plain(
+    plain: &[u8],
+) -> Result<(core::ops::Range<usize>, [u8; 32]), OpenSecureError> {
+    if plain.len() < 8 + 32 + 8 + 32 + 32 || &plain[..8] != MAGIC {
+        return Err(OpenSecureError::Malformed);
+    }
+    let mut k_auth = [0u8; 32];
+    k_auth.copy_from_slice(&plain[8..40]);
+    let len_bytes: [u8; 8] =
+        plain.get(40..48).and_then(|s| s.try_into().ok()).ok_or(OpenSecureError::Malformed)?;
+    let len = u64::from_be_bytes(len_bytes) as usize;
+    let body_end = 48usize.checked_add(len).ok_or(OpenSecureError::Malformed)?;
+    if plain.len() != body_end.checked_add(32 + 32).ok_or(OpenSecureError::Malformed)? {
+        return Err(OpenSecureError::Malformed);
+    }
+    let body = &plain[48..body_end];
+    let footer_key = &plain[body_end..body_end + 32];
+    if footer_key != k_auth {
+        return Err(OpenSecureError::Malformed);
+    }
+    let mac = &plain[body_end + 32..];
+    if hmac_sha256(&k_auth, body) != mac[..32] {
+        return Err(OpenSecureError::MacMismatch);
+    }
+    Ok((48..body_end, k_auth))
 }
 
 /// A model of the side-channel capability assumed by the attack
@@ -502,6 +731,13 @@ impl ScaOracle {
     #[must_use]
     pub fn extract_key(&self, traces: u32) -> Option<[u8; 32]> {
         (traces >= self.traces_needed).then_some(self.k_enc)
+    }
+
+    /// The measurement effort this oracle demands before it yields
+    /// the key.
+    #[must_use]
+    pub fn traces_needed(&self) -> u32 {
+        self.traces_needed
     }
 }
 
@@ -573,7 +809,45 @@ mod tests {
         let iv = [2u8; 16];
         let aes = Aes256::new(&key);
         let ct = aes.cbc_encrypt(&iv, b"hello");
-        assert!(aes.cbc_decrypt(&iv, &ct[..ct.len() - 1]).is_none());
+        // Truncation is a framing error, caught before decryption.
+        assert_eq!(
+            aes.cbc_decrypt(&iv, &ct[..ct.len() - 1]),
+            Err(CbcError::BadLength { len: ct.len() - 1 })
+        );
+        assert_eq!(aes.cbc_decrypt(&iv, &[]), Err(CbcError::BadLength { len: 0 }));
+        // A wrong key decrypts to garbage: structurally fine, padding
+        // almost surely wrong — and distinguishable from framing.
+        let wrong = Aes256::new(&[3u8; 32]);
+        assert_eq!(wrong.cbc_decrypt(&iv, &ct), Err(CbcError::BadPadding));
+    }
+
+    #[test]
+    fn streaming_sha256_matches_oneshot_at_all_split_points() {
+        let msg: Vec<u8> = (0..300u32).map(|i| (i * 7 % 256) as u8).collect();
+        let want = sha256(&msg);
+        for split in [0, 1, 55, 56, 63, 64, 65, 128, 299, 300] {
+            let mut h = Sha256::new();
+            h.update(&msg[..split]);
+            // The clone is a midstate: resuming it must not disturb
+            // the original semantics.
+            let mut resumed = h;
+            resumed.update(&msg[split..]);
+            assert_eq!(resumed.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn streaming_hmac_matches_oneshot() {
+        let msg: Vec<u8> = (0..517u32).map(|i| (i * 11 % 256) as u8).collect();
+        let want = hmac_sha256(b"a key", &msg);
+        let mut mac = HmacSha256::new(b"a key");
+        mac.update(&msg[..129]);
+        let checkpoint = mac;
+        mac.update(&msg[129..]);
+        assert_eq!(mac.finalize(), want);
+        let mut resumed = checkpoint;
+        resumed.update(&msg[129..]);
+        assert_eq!(resumed.finalize(), want);
     }
 
     #[test]

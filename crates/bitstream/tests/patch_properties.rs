@@ -1,0 +1,169 @@
+//! Patch-oracle properties: for *any* edit list, a sealed patch must
+//! be byte-identical to a from-scratch reseal of the edited body — the
+//! dirty-window optimisation is pure bookkeeping, never semantics.
+//! And the seekable device-side open must be total: any garbled,
+//! truncated or foreign container yields exactly the typed error the
+//! full open yields, never a panic.
+
+use bitstream::{
+    Bitstream, BitstreamBuilder, BodyEdit, FrameData, OpenSecureError, PatchError, PatchOracle,
+    SecureBitstream, BODY_OFFSET,
+};
+use proptest::prelude::*;
+
+const K_ENC: [u8; 32] = [0xC4; 32];
+const K_AUTH: [u8; 32] = [0x9B; 32];
+const IV: [u8; 16] = [0x52; 16];
+
+/// A well-formed golden bitstream with pseudo-random frame contents.
+fn golden(frames: usize, seed: u64) -> Bitstream {
+    let mut data = FrameData::new(frames);
+    let mut x = seed | 1;
+    for b in data.as_mut_bytes().iter_mut() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *b = (x >> 56) as u8;
+    }
+    BitstreamBuilder::new(data).build()
+}
+
+fn oracle(frames: usize, seed: u64) -> (Bitstream, PatchOracle) {
+    let bs = golden(frames, seed);
+    let sealed = SecureBitstream::seal(&bs, &K_ENC, &K_AUTH, IV);
+    let oracle = PatchOracle::new(&sealed, &K_ENC).expect("golden container opens");
+    (bs, oracle)
+}
+
+/// Raw generator output → edit list. Offsets land anywhere in (and
+/// slightly past) the body so `OutOfRange` is exercised too.
+fn to_edits(raw: &[(u64, u8, u8)], body: usize) -> Vec<BodyEdit> {
+    raw.iter()
+        .map(|&(pos, len, fill)| {
+            let len = usize::from(len % 4) + 1;
+            let offset = (pos as usize) % (body + 8);
+            BodyEdit::new(offset, vec![fill; len])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any edit list either fails typed (overlap / out of range) or
+    /// seals to *exactly* the container a from-scratch reseal of the
+    /// edited body produces — and the device accepts it.
+    #[test]
+    fn patched_containers_equal_full_reseals(
+        frames in 1usize..4,
+        seed in any::<u64>(),
+        raw in prop::collection::vec((any::<u64>(), any::<u8>(), any::<u8>()), 0..4),
+    ) {
+        let (bs, oracle) = oracle(frames, seed);
+        let edits = to_edits(&raw, bs.len());
+        match oracle.patch_edits(&edits) {
+            Err(PatchError::OutOfRange { .. } | PatchError::Overlap { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected patch error: {e}"),
+            Ok(patched) => {
+                let mut body = bs.as_bytes().to_vec();
+                for e in &edits {
+                    body[e.offset..e.offset + e.bytes.len()].copy_from_slice(&e.bytes);
+                }
+                let edited = Bitstream::from_bytes(body.clone());
+                let resealed = SecureBitstream::seal(&edited, &K_ENC, &K_AUTH, IV);
+                prop_assert_eq!(&patched, &resealed, "patch must equal the full reseal");
+
+                // HMAC verifies and the device sees the edited body.
+                let opened = patched.open(&K_ENC).expect("device opens the patched container");
+                prop_assert_eq!(opened.bitstream.as_bytes(), &body[..]);
+
+                // Ciphertext before the dirty window is untouched.
+                if let Some(first) = edits.iter().map(|e| e.offset).min() {
+                    let clean = (BODY_OFFSET + first) / 16 * 16;
+                    let golden_ct = oracle.golden_container().ciphertext;
+                    prop_assert_eq!(
+                        &patched.ciphertext[..clean],
+                        &golden_ct[..clean],
+                        "clean prefix blocks must be reused byte-for-byte"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The seekable open is total and agrees with the full open on
+    /// every mangled container: same plaintext on success, same typed
+    /// error on refusal.
+    #[test]
+    fn open_patched_is_total_and_agrees_with_open(
+        frames in 1usize..3,
+        seed in any::<u64>(),
+        garbles in prop::collection::vec((any::<u64>(), 0u8..8), 0..3),
+        cut in any::<u64>(),
+        truncate in any::<bool>(),
+    ) {
+        let (_, oracle) = oracle(frames, seed);
+        let mut sealed = oracle.golden_container();
+        for &(pos, bit) in &garbles {
+            let n = sealed.ciphertext.len();
+            sealed.ciphertext[(pos as usize) % n] ^= 1 << bit;
+        }
+        if truncate {
+            let n = sealed.ciphertext.len();
+            sealed.ciphertext.truncate((cut as usize) % (n + 1));
+        }
+        let full = sealed.open(&K_ENC).map(|o| o.bitstream);
+        let seek = oracle.open_patched(&sealed);
+        match (seek, full) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "typed errors must agree"),
+            (seek, full) => prop_assert!(
+                false,
+                "seekable and full opens disagree: {seek:?} vs {full:?}"
+            ),
+        }
+    }
+
+    /// Payload-mode edits always yield a container the device both
+    /// MAC-accepts and CRC-accepts — the oracle's delta-CRC repair is
+    /// part of the contract.
+    #[test]
+    fn payload_edits_always_reseal_with_a_valid_crc(
+        frames in 1usize..4,
+        seed in any::<u64>(),
+        pos in any::<u64>(),
+        word in any::<u32>(),
+    ) {
+        let (bs, oracle) = oracle(frames, seed);
+        let payload = bs.fdri_data_range().expect("payload");
+        let offset = payload.start + (pos as usize) % (payload.len() - 4) / 4 * 4;
+        let edit = BodyEdit::new(offset, word.to_be_bytes().to_vec());
+        let patched = oracle
+            .patch_payload_edits(std::slice::from_ref(&edit))
+            .expect("payload edits are always repairable");
+        let opened = patched.open(&K_ENC).expect("device opens");
+        let parsed = opened.bitstream.parse().expect("patched stream parses");
+        prop_assert!(parsed.crc_checked, "delta repair must leave a valid config CRC");
+        prop_assert_eq!(
+            &opened.bitstream.as_bytes()[offset..offset + 4],
+            &word.to_be_bytes()[..]
+        );
+    }
+
+    /// Arbitrary bytes never panic the constructor: any byte soup is
+    /// either a (vanishingly unlikely) valid container or a typed
+    /// [`OpenSecureError`].
+    #[test]
+    fn construction_is_total_over_arbitrary_containers(
+        iv in any::<[u8; 16]>(),
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let sealed = SecureBitstream { iv, ciphertext: bytes };
+        match PatchOracle::new(&sealed, &K_ENC) {
+            Ok(_) => {}
+            Err(
+                OpenSecureError::Decrypt(_)
+                | OpenSecureError::Malformed
+                | OpenSecureError::MacMismatch,
+            ) => {}
+        }
+    }
+}

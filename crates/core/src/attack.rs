@@ -318,7 +318,7 @@ pub struct AttackCheckpoint {
 }
 
 impl AttackCheckpoint {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             phase: AttackPhase::CandidateSearch,
             pass: 0,
@@ -520,6 +520,10 @@ pub struct Attack<'a> {
     checkpoint: AttackCheckpoint,
     journal: Option<crate::journal::AttackJournal>,
     telemetry: Telemetry,
+    /// Side-channel traces the encrypted path spent recovering `K_E`
+    /// (0 on plaintext runs); journalled so a resumed encrypted
+    /// session reports identical SCA accounting.
+    sca_traces: u32,
 }
 
 impl fmt::Debug for Attack<'_> {
@@ -638,6 +642,7 @@ impl<'a> Attack<'a> {
             checkpoint: AttackCheckpoint::new(),
             journal: None,
             telemetry,
+            sca_traces: 0,
         };
         attack.golden_keystream = attack.run_oracle(&attack.golden.clone())?;
         attack.checkpoint.golden_keystream = attack.golden_keystream.clone();
@@ -764,7 +769,27 @@ impl<'a> Attack<'a> {
             checkpoint: doc.checkpoint,
             journal: Some(journal),
             telemetry: Telemetry::off(),
+            sca_traces: doc.sca_traces,
         })
+    }
+
+    /// Records the side-channel effort of an encrypted run: `traces`
+    /// is the number of power traces spent recovering `K_E` before
+    /// the attack started. Persisted in the journal (format v3) and
+    /// reported in telemetry, so a killed-and-resumed encrypted
+    /// session replays identical SCA accounting.
+    #[must_use]
+    pub fn with_sca_traces(mut self, traces: u32) -> Self {
+        self.sca_traces = traces;
+        self.telemetry.incr(crate::telemetry::names::SCA_TRACES, u64::from(traces));
+        self
+    }
+
+    /// Side-channel traces recorded for this run (0 on plaintext
+    /// runs).
+    #[must_use]
+    pub fn sca_traces(&self) -> u32 {
+        self.sca_traces
     }
 
     /// Persists the current checkpoint (no-op without a journal).
@@ -779,6 +804,7 @@ impl<'a> Attack<'a> {
             golden_crc: self.golden_crc,
             resilient: self.oracle.snapshot(),
             oracle_state: self.oracle.inner().state_snapshot(),
+            sca_traces: self.sca_traces,
             checkpoint: self.checkpoint.clone(),
         };
         let bytes = journal.save(&doc)?;

@@ -11,6 +11,7 @@
 //!                [--burst E,X,G] [--drift P] [--stuck MASK] [--adaptive]
 //!                [--votes N] [--budget N] [--stride N] [--deadline-ms N]
 //!                [--journal PATH] [--resume] [--trace PATH] [--batch]
+//!                [--encrypted] [--sca-traces N]
 //! bitmod serve   [--addr ADDR] [--root DIR] [--workers N]
 //!                [--idle-timeout-ms N] [--chaos-seed N] [--chaos-drop P]
 //!                [--chaos-partial P] [--chaos-garble P] [--chaos-delay P]
@@ -48,7 +49,16 @@
 //! issues up to 64 oracle queries per call, evaluated bit-parallel by
 //! the 64-lane gang simulator: the recovered key, per-query
 //! keystreams and load accounting are identical to a serial run, only
-//! faster. Every flag combination is validated up front through the
+//! faster. With `--encrypted` the victim's bitstream sits in flash as
+//! the Fig. 1 secure container (AES-256-CBC + HMAC-SHA-256): the
+//! attack first spends `--sca-traces` power traces recovering the
+//! on-chip AES key, then runs the whole pipeline over the ciphertext
+//! through the seekable CBC patch oracle — each of the ~545 candidate
+//! loads re-encrypts only the CBC blocks its LUT edit touches. The
+//! recovered key, query trace and load accounting are identical to
+//! the plaintext run; an insufficient trace budget is a structured
+//! partial result, resumable by re-running with a larger budget.
+//! Every flag combination is validated up front through the
 //! session-spec builder.
 //!
 //! `serve` runs the attack-as-a-service daemon: a work-stealing fleet
@@ -119,6 +129,8 @@ fn parse_spec(rest: &[String], local: bool) -> Result<SessionSpec, Box<dyn std::
                 b.stuck(u32::from_str_radix(digits, 16)?)
             }
             "--batch" => b.batch(fpga_sim::GANG_LANES),
+            "--encrypted" => b.encrypted(true),
+            "--sca-traces" => b.sca_traces(it.next().ok_or("--sca-traces needs a value")?.parse()?),
             "--journal" if local => b.journal(it.next().ok_or("--journal needs a path")?),
             "--resume" if local => b.resume(true),
             "--trace" if local => b.trace(it.next().ok_or("--trace needs a path")?),

@@ -482,6 +482,14 @@ pub fn cmd_attack(spec: &SessionSpec) -> Result<String, CliError> {
             spec.seed
         );
     }
+    if spec.encrypted {
+        let _ = writeln!(
+            out,
+            "encrypted container: Fig. 1 seal (AES-256-CBC + HMAC-SHA-256), \
+             {} SCA traces budgeted",
+            spec.sca_traces
+        );
+    }
     if spec.resume {
         // A validated spec cannot carry `resume` without a journal.
         let path = spec.journal_path().expect("spec validation ties resume to a journal");
@@ -505,7 +513,7 @@ pub fn cmd_attack(spec: &SessionSpec) -> Result<String, CliError> {
     let report = if spec.noisy {
         let board = fpga_sim::UnreliableBoard::new(board, spec.fault_profile());
         let golden = board.extract_bitstream();
-        let report = spec.run_against(&board, golden, &io)?;
+        let report = spec.run_harnessed(&board, golden, &io)?;
         // Board-side fault accounting (faults *injected*) — recorded
         // after the run so the trace can set it against the retries
         // the attack *observed* (glitched bits that majority voting
@@ -514,7 +522,7 @@ pub fn cmd_attack(spec: &SessionSpec) -> Result<String, CliError> {
         report
     } else {
         let golden = board.extract_bitstream();
-        spec.run_against(&board, golden, &io)?
+        spec.run_harnessed(&board, golden, &io)?
     };
 
     match (&report.attack, &report.checkpoint) {

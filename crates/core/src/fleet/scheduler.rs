@@ -647,7 +647,7 @@ fn run_session(
             let noisy = fpga_sim::UnreliableBoard::new(board, profile);
             let gate = KillGate { inner: &noisy, kill };
             let golden = noisy.extract_bitstream();
-            let result = spec.run_against(&gate, golden, &io);
+            let result = spec.run_harnessed(&gate, golden, &io);
             record_board_faults(&io.telemetry, &noisy);
             // Two fault views with different owners: the session-wide
             // counters (journal-restored across migrations) feed the
@@ -660,7 +660,7 @@ fn run_session(
         } else {
             let gate = KillGate { inner: &board, kill };
             let golden = board.extract_bitstream();
-            let result = spec.run_against(&gate, golden, &io);
+            let result = spec.run_harnessed(&gate, golden, &io);
             (result, None, board)
         }
     }));

@@ -157,6 +157,14 @@ pub struct SessionSpec {
     pub(crate) resume: bool,
     /// NDJSON telemetry trace path (local runs).
     pub(crate) trace: Option<PathBuf>,
+    /// Run the attack over the sealed container: the golden bitstream
+    /// is only available as ciphertext, `K_E` comes from the
+    /// side-channel trace budget, and every candidate load is
+    /// patch-sealed and device-verified before the board sees it.
+    pub(crate) encrypted: bool,
+    /// Side-channel power traces the encrypted session may spend
+    /// recovering `K_E`.
+    pub(crate) sca_traces: u32,
 }
 
 impl Default for SessionSpec {
@@ -180,6 +188,8 @@ impl Default for SessionSpec {
             journal: None,
             resume: false,
             trace: None,
+            encrypted: false,
+            sca_traces: crate::encrypted::SCA_TRACES_REQUIRED,
         }
     }
 }
@@ -310,6 +320,22 @@ impl SessionSpecBuilder {
         self
     }
 
+    /// Run the attack over the sealed container (ciphertext-only
+    /// attacker; `K_E` from the side channel).
+    #[must_use]
+    pub fn encrypted(mut self, encrypted: bool) -> Self {
+        self.spec.encrypted = encrypted;
+        self
+    }
+
+    /// Side-channel trace budget of an encrypted session (defaults to
+    /// [`crate::encrypted::SCA_TRACES_REQUIRED`]).
+    #[must_use]
+    pub fn sca_traces(mut self, traces: u32) -> Self {
+        self.spec.sca_traces = traces;
+        self
+    }
+
     /// Validates and produces the spec.
     ///
     /// # Errors
@@ -390,6 +416,15 @@ impl SessionSpec {
         if self.stuck != 0 {
             line.push_str(&format!(" stuck={:#010x}", self.stuck));
         }
+        // Encrypted-path extensions (0.10): absent on plaintext specs
+        // with the default trace budget, so pre-0.10 lines still parse
+        // and default lines still render identically.
+        if self.encrypted {
+            line.push_str(" encrypted=true");
+        }
+        if self.sca_traces != crate::encrypted::SCA_TRACES_REQUIRED {
+            line.push_str(&format!(" sca_traces={}", self.sca_traces));
+        }
         line
     }
 
@@ -436,6 +471,8 @@ impl SessionSpec {
                 "stride" => b.stride(value.parse().map_err(|_| bad())?),
                 "batch" => b.batch(value.parse().map_err(|_| bad())?),
                 "deadline_ms" => b.deadline_ms(value.parse().map_err(|_| bad())?),
+                "encrypted" => b.encrypted(value.parse().map_err(|_| bad())?),
+                "sca_traces" => b.sca_traces(value.parse().map_err(|_| bad())?),
                 _ => return Err(ConfigError::UnknownField(key.to_string())),
             };
         }
@@ -464,6 +501,18 @@ impl SessionSpec {
     #[must_use]
     pub fn batch_width(&self) -> usize {
         self.batch
+    }
+
+    /// Whether this session runs over the sealed container.
+    #[must_use]
+    pub fn is_encrypted(&self) -> bool {
+        self.encrypted
+    }
+
+    /// The side-channel trace budget of an encrypted session.
+    #[must_use]
+    pub fn sca_trace_budget(&self) -> u32 {
+        self.sca_traces
     }
 
     /// The journal path of a local run, when journalled.
@@ -553,13 +602,73 @@ impl SessionSpec {
         if self.noisy {
             let board = fpga_sim::UnreliableBoard::new(board, self.fault_profile());
             let golden = board.extract_bitstream();
-            let report = self.run_against(&board, golden, &io)?;
+            let report = self.run_harnessed(&board, golden, &io)?;
             record_board_faults(&io.telemetry, &board);
             Ok(report)
         } else {
             let golden = board.extract_bitstream();
-            self.run_against(&board, golden, &io)
+            self.run_harnessed(&board, golden, &io)
         }
+    }
+
+    /// Runs this session with the spec's container mode honoured: a
+    /// plaintext spec passes straight to
+    /// [`SessionSpec::run_against`]; an encrypted spec first seals
+    /// `golden` into the demo Fig. 1 container (the vendor-side step
+    /// that produced what sits in flash), spends the spec's
+    /// side-channel trace budget recovering `K_E`, builds the
+    /// seekable patch oracle over the ciphertext, and runs the same
+    /// engine through an [`EncryptedOracle`](crate::EncryptedOracle)
+    /// — the attack's golden bitstream comes *out of the container*,
+    /// and every candidate load is patch-sealed and device-verified.
+    ///
+    /// An insufficient trace budget is a
+    /// [`SessionOutcome::Exhausted`] with an empty checkpoint (the
+    /// attack never started), not an error: re-submit with a raised
+    /// `sca_traces` to proceed.
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionSpec::run_against`], plus [`SessionError::Attack`]
+    /// when the sealed container is rejected under the recovered key.
+    pub fn run_harnessed(
+        &self,
+        oracle: &dyn KeystreamOracle,
+        golden: Bitstream,
+        io: &SessionIo,
+    ) -> Result<SessionReport, SessionError> {
+        if !self.encrypted {
+            return self.run_against(oracle, golden, io);
+        }
+        // Vendor side: seal, then forget the plaintext — from here on
+        // the attacker's world is the container.
+        let sealed = crate::encrypted::demo_seal(&golden);
+        drop(golden);
+        let patcher = match crate::encrypted::open_with_sca(
+            &sealed,
+            &crate::encrypted::demo_sca(),
+            self.sca_traces,
+        ) {
+            Ok(patcher) => patcher,
+            Err(AttackError::Exhausted { checkpoint, source }) => {
+                return Ok(SessionReport {
+                    outcome: SessionOutcome::Exhausted {
+                        stats: CellStats::default(),
+                        summary: source.to_string(),
+                    },
+                    metrics: io.telemetry.metrics(),
+                    attack: None,
+                    checkpoint: Some(*checkpoint),
+                });
+            }
+            Err(e) => return Err(SessionError::Attack(e)),
+        };
+        // Attacker side: the golden bitstream is *recovered from the
+        // ciphertext*; the plaintext never crossed the seal boundary.
+        let recovered_golden = patcher.golden().clone();
+        let enc = crate::encrypted::EncryptedOracle::new(oracle, patcher)
+            .with_telemetry(io.telemetry.clone());
+        self.run_against(&enc, recovered_golden, io)
     }
 
     /// Runs this session against a caller-supplied oracle — the
@@ -627,6 +736,11 @@ impl SessionSpec {
                 telemetry.clone(),
             )
             .map_err(SessionError::Attack)?;
+            if self.encrypted {
+                // Before the journal attaches, so the initial frame
+                // already carries the SCA accounting.
+                attack = attack.with_sca_traces(self.sca_traces);
+            }
             if let Some(path) = &io.journal {
                 attack =
                     attack.with_journal(AttackJournal::new(path)).map_err(SessionError::Attack)?;

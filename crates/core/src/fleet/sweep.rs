@@ -79,6 +79,7 @@ pub struct SweepGridBuilder {
     votes: u32,
     budget: Option<u64>,
     batch: usize,
+    encrypted: bool,
 }
 
 impl Default for SweepGridBuilder {
@@ -90,6 +91,7 @@ impl Default for SweepGridBuilder {
             votes: 5,
             budget: None,
             batch: 1,
+            encrypted: false,
         }
     }
 }
@@ -146,6 +148,15 @@ impl SweepGridBuilder {
         self
     }
 
+    /// Runs every cell over the Fig. 1 encrypted container: each
+    /// candidate load is patch-sealed through the CBC patch oracle
+    /// and device-verified before the noisy board sees it.
+    #[must_use]
+    pub fn encrypted(mut self, encrypted: bool) -> Self {
+        self.encrypted = encrypted;
+        self
+    }
+
     /// Validates and produces the grid: each axis must be non-empty,
     /// and every cell spec passes full session validation.
     ///
@@ -170,14 +181,19 @@ impl SweepGridBuilder {
                     .glitch(glitch)
                     .load_fail(load_fail)
                     .votes(self.votes)
-                    .batch(self.batch);
+                    .batch(self.batch)
+                    .encrypted(self.encrypted);
                 if let Some(budget) = self.budget {
                     builder = builder.budget(budget);
                 }
                 let spec = builder.build()?;
+                // The label carries everything trace-determining;
+                // `encrypted` changes the journal contents (SCA
+                // accounting), so it must split the campaign cells.
+                let container = if self.encrypted { " encrypted" } else { "" };
                 cells.push(SweepCell {
                     label: format!(
-                        "glitch={glitch} load_fail={load_fail} seed={} votes={}",
+                        "glitch={glitch} load_fail={load_fail} seed={} votes={}{container}",
                         self.seed, self.votes
                     ),
                     glitch,
@@ -209,6 +225,17 @@ mod tests {
         assert_eq!(grid.len(), 1);
         assert_eq!(grid.cells()[0].glitch, 0.01);
         assert_eq!(grid.cells()[0].load_fail, 0.10);
+    }
+
+    #[test]
+    fn encrypted_grids_mark_every_cell_and_label() {
+        let grid = SweepGrid::builder().smoke().encrypted(true).build().expect("valid");
+        assert!(grid.cells().iter().all(|c| c.spec.is_encrypted()));
+        assert!(grid.cells()[0].label.ends_with(" encrypted"));
+        // Plaintext labels are untouched — existing campaign journals
+        // keep resuming.
+        let plain = SweepGrid::builder().smoke().build().expect("valid");
+        assert!(!plain.cells()[0].label.contains("encrypted"));
     }
 
     #[test]

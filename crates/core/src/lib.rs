@@ -63,6 +63,7 @@ pub mod candidates;
 pub mod cli;
 pub mod countermeasure;
 pub mod edit;
+pub mod encrypted;
 pub mod error;
 pub mod findlut;
 pub mod fleet;
@@ -77,6 +78,9 @@ pub use campaign::{
     CellSupervisor, SupervisedOracle,
 };
 pub use candidates::{Catalogue, Role, Shape};
+pub use encrypted::{
+    demo_sca, demo_seal, EncryptedOracle, DEMO_IV, DEMO_K_AUTH, DEMO_K_ENC, SCA_TRACES_REQUIRED,
+};
 pub use error::Error;
 #[allow(deprecated)]
 pub use findlut::find_lut;

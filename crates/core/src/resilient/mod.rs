@@ -249,6 +249,17 @@ pub enum ResilienceError {
     },
     /// A non-transient oracle error; retrying cannot help.
     Fatal(OracleError),
+    /// The side-channel trace budget of an encrypted session is too
+    /// small to recover `K_E`: the golden container cannot be opened,
+    /// so the attack cannot even start. Like a budget cut, the attack
+    /// driver turns this into a checkpointed partial result — rerun
+    /// with a raised trace budget to proceed.
+    ScaTracesExhausted {
+        /// Power traces the session was allowed to collect.
+        collected: u32,
+        /// Traces the side-channel attack needs for key recovery.
+        needed: u32,
+    },
 }
 
 impl fmt::Display for ResilienceError {
@@ -264,6 +275,13 @@ impl fmt::Display for ResilienceError {
                 write!(f, "read still failing after {attempts} attempts: {last}")
             }
             ResilienceError::Fatal(e) => write!(f, "unrecoverable oracle error: {e}"),
+            ResilienceError::ScaTracesExhausted { collected, needed } => {
+                write!(
+                    f,
+                    "side-channel trace budget exhausted ({collected}/{needed} traces): \
+                     K_E not recovered, container cannot be opened"
+                )
+            }
         }
     }
 }
@@ -271,9 +289,9 @@ impl fmt::Display for ResilienceError {
 impl std::error::Error for ResilienceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ResilienceError::BudgetExhausted { .. } | ResilienceError::DeadlineExceeded { .. } => {
-                None
-            }
+            ResilienceError::BudgetExhausted { .. }
+            | ResilienceError::DeadlineExceeded { .. }
+            | ResilienceError::ScaTracesExhausted { .. } => None,
             ResilienceError::RetriesExhausted { last, .. } => Some(last),
             ResilienceError::Fatal(e) => Some(e),
         }

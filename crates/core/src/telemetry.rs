@@ -166,6 +166,25 @@ pub mod names {
     /// the fleet resume policy); the session restarts fresh, which the
     /// counter-keyed fault streams make trace-identical.
     pub const JOURNAL_TORN_DISCARDED: &str = "journal.torn_discarded";
+    /// Encrypted path: side-channel power traces collected before
+    /// `K_E` was recovered (recorded once per encrypted session).
+    pub const SCA_TRACES: &str = "sca.traces_collected";
+    /// Encrypted path: candidate loads shipped through the container
+    /// (patch-seal + device-side open round trips).
+    pub const ENCRYPTED_LOADS: &str = "encrypted.loads";
+    /// Encrypted path: CBC blocks re-encrypted across all patches (the
+    /// dirty windows).
+    pub const ENCRYPTED_BLOCKS_REENCRYPTED: &str = "encrypted.blocks_reencrypted";
+    /// Encrypted path: ciphertext blocks reused untouched from the
+    /// golden container (the clean prefixes the seekable oracle never
+    /// re-processes).
+    pub const ENCRYPTED_BLOCKS_REUSED: &str = "encrypted.blocks_reused";
+    /// Encrypted path: CBC blocks the device-side seekable verifier
+    /// actually decrypted.
+    pub const ENCRYPTED_BLOCKS_DECRYPTED: &str = "encrypted.blocks_decrypted";
+    /// Encrypted path: body bytes absorbed by incremental re-MACs
+    /// (midstate checkpoints make this a suffix, not the whole body).
+    pub const ENCRYPTED_MAC_BYTES: &str = "encrypted.mac_bytes";
 }
 
 /// Number of histogram buckets: bucket 0 holds the value 0; bucket

@@ -31,6 +31,7 @@ pub mod fabric;
 pub mod gang;
 pub mod geom;
 pub mod implementer;
+pub mod sealed;
 pub mod unreliable;
 
 pub use board::{BoardError, Snow3gBoard};
@@ -38,6 +39,7 @@ pub use fabric::{ConfiguredFpga, Fpga, ProgramError};
 pub use gang::{GangConfiguredFpga, GANG_LANES};
 pub use geom::{Geometry, InitLayout, SiteId};
 pub use implementer::{implement, ImplementError, ImplementOptions, Implementation};
+pub use sealed::{SealedBoard, SealedLoadError};
 pub use unreliable::{
     FaultProfile, FaultSnapshot, FaultStats, ReadOutcome, ReadPlan, RestoreError, UnreliableBoard,
 };

@@ -1,0 +1,138 @@
+//! Negative paths of the encrypted attack: a wrong `K_A` guess is a
+//! typed device rejection, an insufficient side-channel trace budget
+//! is a structured (and resumable) exhaustion, and mangled containers
+//! surface as typed `OpenSecureError`s — never panics, never silent
+//! acceptance.
+
+use bitmod::encrypted::{demo_sca, demo_seal, open_with_sca};
+use bitmod::fleet::{SessionOutcome, SessionSpec};
+use bitmod::resilient::ResilienceError;
+use bitmod::{AttackError, SCA_TRACES_REQUIRED};
+use bitstream::{OpenSecureError, PatchOracle};
+use fpga_sim::{ImplementOptions, SealedBoard, SealedLoadError, Snow3gBoard};
+use netlist::snow3g_circuit::Snow3gCircuitConfig;
+use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
+
+const K_ENC: [u8; 32] = *b"the on-chip key under test......";
+const K_AUTH: [u8; 32] = *b"the vendor authentication key...";
+const IV: [u8; 16] = *b"sixteen iv bytes";
+
+fn sealed_board() -> SealedBoard {
+    let board = Snow3gBoard::build(
+        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
+        &ImplementOptions::default(),
+    )
+    .expect("board builds");
+    SealedBoard::new(board, K_ENC)
+}
+
+#[test]
+fn a_wrong_mac_key_guess_is_rejected_by_the_board() {
+    let board = sealed_board();
+    let golden_sealed = board.extract_sealed(&K_AUTH, IV);
+
+    // The attacker has K_E (side channel) but *guesses* K_A instead
+    // of reading it from the opened container.
+    let patcher = PatchOracle::new(&golden_sealed, &K_ENC)
+        .expect("container opens under K_E")
+        .with_mac_key([0xEE; 32]);
+    let mut variant = patcher.golden().clone();
+    let range = variant.fdri_data_range().expect("payload");
+    variant.as_mut_bytes()[range.start + 256] ^= 0x20;
+    variant.recompute_crc();
+    let forged = patcher.patch_bitstream(&variant).expect("seals under the guessed key");
+
+    let err = board.load_sealed(&forged, 4).expect_err("the board must refuse the forgery");
+    assert!(
+        matches!(err, SealedLoadError::Container(OpenSecureError::MacMismatch)),
+        "typed HMAC rejection, got: {err}"
+    );
+
+    // Reading K_A from the container (the Fig. 1 flaw) fixes it.
+    let honest = PatchOracle::new(&golden_sealed, &K_ENC).expect("container opens");
+    let resealed = honest.patch_bitstream(&variant).expect("seals under the embedded key");
+    let words = board.load_sealed(&resealed, 4).expect("the board accepts the honest reseal");
+    assert_eq!(words.len(), 4);
+}
+
+#[test]
+fn garbled_and_truncated_containers_fail_typed() {
+    let board = sealed_board();
+    let mut sealed = board.extract_sealed(&K_AUTH, IV);
+
+    // Bit flip deep in the body: MAC (or padding) must catch it.
+    let mid = sealed.ciphertext.len() / 2;
+    sealed.ciphertext[mid] ^= 0x01;
+    let err = board.load_sealed(&sealed, 1).expect_err("tampered ciphertext refused");
+    assert!(matches!(err, SealedLoadError::Container(_)), "typed refusal, got: {err}");
+
+    // Truncation to a non-block length is a typed CBC error.
+    let mut short = board.extract_sealed(&K_AUTH, IV);
+    short.ciphertext.truncate(short.ciphertext.len() - 3);
+    let err = board.load_sealed(&short, 1).expect_err("ragged container refused");
+    assert!(
+        matches!(err, SealedLoadError::Container(OpenSecureError::Decrypt(_))),
+        "typed CBC-length refusal, got: {err}"
+    );
+
+    // Empty container.
+    let mut empty = board.extract_sealed(&K_AUTH, IV);
+    empty.ciphertext.clear();
+    assert!(board.load_sealed(&empty, 1).is_err(), "empty container refused");
+}
+
+#[test]
+fn an_insufficient_trace_budget_is_a_structured_exhaustion() {
+    let board = sealed_board();
+    let golden = board.board().extract_bitstream();
+    let sealed = demo_seal(&golden);
+
+    let err = open_with_sca(&sealed, &demo_sca(), SCA_TRACES_REQUIRED - 1)
+        .expect_err("too few traces must not yield K_E");
+    match err {
+        AttackError::Exhausted { checkpoint, source } => {
+            assert!(
+                matches!(
+                    source,
+                    ResilienceError::ScaTracesExhausted { collected, needed }
+                        if collected == SCA_TRACES_REQUIRED - 1 && needed == SCA_TRACES_REQUIRED
+                ),
+                "typed trace accounting, got: {source}"
+            );
+            // Nothing was decrypted, so the checkpoint is empty: a
+            // rerun starts from scratch, not from a half-open state.
+            assert_eq!(checkpoint.oracle_attempts, 0);
+        }
+        other => panic!("expected a structured exhaustion, got: {other}"),
+    }
+
+    // Raising the budget to the requirement opens the container.
+    let patcher = open_with_sca(&sealed, &demo_sca(), SCA_TRACES_REQUIRED)
+        .expect("enough traces recover K_E");
+    assert_eq!(patcher.golden(), &golden);
+}
+
+#[test]
+fn a_session_with_too_few_traces_exhausts_and_resumes_on_a_raised_budget() {
+    let spec =
+        SessionSpec::builder().encrypted(true).sca_traces(1_000).build().expect("valid spec");
+    let report = spec.run_local().expect("the refusal is an outcome, not an error");
+    let SessionOutcome::Exhausted { summary, .. } = &report.outcome else {
+        panic!("1k traces must exhaust, got {:?}", report.outcome);
+    };
+    assert!(summary.contains("trace budget"), "summary names the cause: {summary}");
+    assert!(report.attack.is_none(), "no key was recovered");
+    assert!(report.checkpoint.is_some(), "the refusal carries the (empty) checkpoint");
+
+    // The raised budget is the whole fix: same spec otherwise.
+    let spec = SessionSpec::builder()
+        .encrypted(true)
+        .sca_traces(SCA_TRACES_REQUIRED)
+        .build()
+        .expect("valid spec");
+    let report = spec.run_local().expect("session runs");
+    let SessionOutcome::Recovered(_) = &report.outcome else {
+        panic!("raised trace budget must recover, got {:?}", report.outcome);
+    };
+    assert_eq!(report.attack.expect("attack report").recovered.key, TEST_SET_1_KEY);
+}

@@ -30,6 +30,7 @@ pub mod delta;
 pub mod frame;
 pub mod image;
 pub mod packet;
+pub mod partial;
 pub mod secure;
 pub mod xi;
 
@@ -38,6 +39,9 @@ pub use delta::DeltaCrc;
 pub use frame::{FrameData, FRAME_BYTES, FRAME_WORDS};
 pub use image::{Bitstream, BitstreamBuilder, ConfigData, ParseBitstreamError};
 pub use packet::{CommandCode, Packet, PacketEncodeError, RegisterAddress, SYNC_WORD};
+pub use partial::{
+    ParsePartialError, PartialBitstream, PartialConfig, PartialDelta, PartialForge, PartialRun,
+};
 pub use secure::patch::{
     BodyEdit, PatchError, PatchOracle, PatchStats, BODY_OFFSET, MIDSTATE_STRIDE,
 };

@@ -583,7 +583,7 @@ fn inv_mix_columns(s: &mut [u8; 16]) {
 // --------------------------------------------------------------------
 
 /// Magic prefix of the authenticated payload.
-const MAGIC: &[u8; 8] = b"XLNXSEC1";
+pub(crate) const MAGIC: &[u8; 8] = b"XLNXSEC1";
 
 /// A sealed (MAC-then-encrypt) bitstream.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -546,6 +546,60 @@ impl PatchOracle {
         Ok(Bitstream::from_bytes(body.to_vec()))
     }
 
+    /// Seals an arbitrary body — a *partial* bitstream, whose length
+    /// has nothing to do with the golden container — into a fresh
+    /// Fig. 1 container under the oracle's keys. Partial streams are a
+    /// few frames long, so there is no clean prefix to reuse: the
+    /// whole (small) container is MACed and encrypted, and the work is
+    /// charged to the same counters as a patch.
+    ///
+    /// The MAC is computed under the oracle's re-MAC key (normally the
+    /// embedded `K_A`; a [`PatchOracle::with_mac_key`] guess produces
+    /// containers the device rejects, exactly like the full-load
+    /// path).
+    #[must_use]
+    pub fn seal_fresh(&self, body: &[u8]) -> SecureBitstream {
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(body);
+        let mac = mac.finalize();
+        let mut plain = Vec::with_capacity(body.len() + 128);
+        plain.extend_from_slice(crate::secure::MAGIC);
+        plain.extend_from_slice(&self.k_auth);
+        plain.extend_from_slice(&(body.len() as u64).to_be_bytes());
+        plain.extend_from_slice(body);
+        plain.extend_from_slice(&self.k_auth);
+        plain.extend_from_slice(&mac);
+        let ciphertext = self.aes.cbc_encrypt(&self.iv, &plain);
+        let mut stats = self.stats.get();
+        stats.patches += 1;
+        stats.blocks_reencrypted += (ciphertext.len() / 16) as u64;
+        stats.mac_bytes += body.len() as u64;
+        self.stats.set(stats);
+        SecureBitstream { iv: self.iv, ciphertext }
+    }
+
+    /// Device-side open of a fresh (non-golden-geometry) container:
+    /// full decrypt + structural + `K_A` + MAC verification, exactly
+    /// as [`SecureBitstream::open`] under the construction key.
+    /// Returns the raw body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`SecureBitstream::open`]'s errors.
+    pub fn open_fresh(&self, sealed: &SecureBitstream) -> Result<Vec<u8>, OpenSecureError> {
+        let plain = self
+            .aes
+            .cbc_decrypt(&sealed.iv, &sealed.ciphertext)
+            .map_err(OpenSecureError::Decrypt)?;
+        let (body_range, _) = parse_and_verify_plain(&plain)?;
+        let mut stats = self.stats.get();
+        stats.opens += 1;
+        stats.full_opens += 1;
+        stats.blocks_decrypted += (sealed.ciphertext.len() / 16) as u64;
+        self.stats.set(stats);
+        Ok(plain[body_range].to_vec())
+    }
+
     /// The slow-path open under the construction key, for containers
     /// the seekable path cannot relate to the golden one.
     fn open_full(&self, sealed: &SecureBitstream) -> Result<Bitstream, OpenSecureError> {
@@ -614,6 +668,32 @@ mod tests {
             let opened = patched.open(&K_ENC).expect("device opens");
             assert_eq!(opened.bitstream, variant);
         }
+    }
+
+    #[test]
+    fn fresh_container_round_trips_and_matches_full_seal() {
+        let (_, oracle) = oracle(4, 7);
+        // A short body (a partial stream is a few hundred bytes, not a
+        // whole configuration) seals into a device-valid container.
+        let body: Vec<u8> = (0u16..600).map(|i| (i * 7) as u8).collect();
+        let fresh = oracle.seal_fresh(&body);
+        assert_eq!(
+            fresh,
+            SecureBitstream::seal(&Bitstream::from_bytes(body.clone()), &K_ENC, &K_AUTH, IV),
+            "a fresh seal is byte-identical to the vendor sealer"
+        );
+        assert_eq!(oracle.open_fresh(&fresh).expect("device opens"), body);
+        // The full-container open agrees too.
+        assert_eq!(fresh.open(&K_ENC).expect("opens").bitstream.as_bytes(), &body[..]);
+    }
+
+    #[test]
+    fn fresh_container_under_wrong_mac_key_is_refused() {
+        let (_, oracle) = oracle(4, 8);
+        let oracle = oracle.with_mac_key([0x77; 32]);
+        let fresh = oracle.seal_fresh(&[1, 2, 3, 4]);
+        assert_eq!(oracle.open_fresh(&fresh), Err(OpenSecureError::MacMismatch));
+        assert!(matches!(fresh.open(&K_ENC), Err(OpenSecureError::MacMismatch)));
     }
 
     #[test]

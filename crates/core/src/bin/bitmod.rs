@@ -11,7 +11,7 @@
 //!                [--burst E,X,G] [--drift P] [--stuck MASK] [--adaptive]
 //!                [--votes N] [--budget N] [--stride N] [--deadline-ms N]
 //!                [--journal PATH] [--resume] [--trace PATH] [--batch]
-//!                [--encrypted] [--sca-traces N]
+//!                [--partial] [--encrypted] [--sca-traces N]
 //! bitmod serve   [--addr ADDR] [--root DIR] [--workers N]
 //!                [--idle-timeout-ms N] [--chaos-seed N] [--chaos-drop P]
 //!                [--chaos-partial P] [--chaos-garble P] [--chaos-delay P]
@@ -49,7 +49,14 @@
 //! issues up to 64 oracle queries per call, evaluated bit-parallel by
 //! the 64-lane gang simulator: the recovered key, per-query
 //! keystreams and load accounting are identical to a serial run, only
-//! faster. With `--encrypted` the victim's bitstream sits in flash as
+//! faster. With `--partial` each candidate ships as a frame-delta
+//! partial-reconfiguration stream against the image the previous load
+//! left on the device — the first load is full, every later one
+//! writes only the touched frames (rollbacks ride the next delta),
+//! and candidates the forge cannot express fall back to full loads,
+//! so the recovered key and logical query trace are identical to a
+//! full-load run while configuration traffic drops by well over an
+//! order of magnitude. With `--encrypted` the victim's bitstream sits in flash as
 //! the Fig. 1 secure container (AES-256-CBC + HMAC-SHA-256): the
 //! attack first spends `--sca-traces` power traces recovering the
 //! on-chip AES key, then runs the whole pipeline over the ciphertext
@@ -129,6 +136,7 @@ fn parse_spec(rest: &[String], local: bool) -> Result<SessionSpec, Box<dyn std::
                 b.stuck(u32::from_str_radix(digits, 16)?)
             }
             "--batch" => b.batch(fpga_sim::GANG_LANES),
+            "--partial" => b.partial(true),
             "--encrypted" => b.encrypted(true),
             "--sca-traces" => b.sca_traces(it.next().ok_or("--sca-traces needs a value")?.parse()?),
             "--journal" if local => b.journal(it.next().ok_or("--journal needs a path")?),

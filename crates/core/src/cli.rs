@@ -500,6 +500,13 @@ pub fn cmd_attack(spec: &SessionSpec) -> Result<String, CliError> {
     if spec.batch > 1 {
         let _ = writeln!(out, "batched oracle: up to {} queries per pass", spec.batch);
     }
+    if spec.partial {
+        let _ = writeln!(
+            out,
+            "partial reconfiguration: candidates ship as frame-delta streams \
+             (first load full, rollbacks ride the next delta)"
+        );
+    }
 
     let io = SessionIo {
         journal: spec.journal_path().map(std::path::Path::to_path_buf),

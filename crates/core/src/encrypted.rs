@@ -29,7 +29,7 @@
 
 use core::fmt;
 
-use bitstream::{Bitstream, PatchOracle, PatchStats, ScaOracle, SecureBitstream};
+use bitstream::{Bitstream, PartialBitstream, PatchOracle, PatchStats, ScaOracle, SecureBitstream};
 
 use crate::oracle::{KeystreamOracle, OracleError};
 use crate::telemetry::{names, Telemetry};
@@ -175,6 +175,27 @@ impl<'a> EncryptedOracle<'a> {
         Ok(opened)
     }
 
+    /// One partial-reconfiguration trip through the container: the
+    /// forged frame-delta is sealed into a *fresh* (short) Fig. 1
+    /// container, then opened exactly as the device's encrypted
+    /// partial port would. The sealed container is a few frames long,
+    /// so the crypto work is O(delta), not O(full configuration) —
+    /// the encrypted path's share of the partial-loading win.
+    fn ship_partial(&self, partial: &PartialBitstream) -> Result<PartialBitstream, OracleError> {
+        let sealed = self.patcher.seal_fresh(partial.as_bytes());
+        let body = self
+            .patcher
+            .open_fresh(&sealed)
+            .map_err(|e| OracleError::Rejected(format!("device rejected container: {e}")))?;
+        self.telemetry.incr(names::ENCRYPTED_LOADS, 1);
+        self.telemetry
+            .incr(names::ENCRYPTED_BLOCKS_REENCRYPTED, (sealed.ciphertext.len() / 16) as u64);
+        self.telemetry
+            .incr(names::ENCRYPTED_BLOCKS_DECRYPTED, (sealed.ciphertext.len() / 16) as u64);
+        self.telemetry.incr(names::ENCRYPTED_MAC_BYTES, partial.len() as u64);
+        Ok(PartialBitstream::from_bytes(body))
+    }
+
     /// Ships a whole batch, short-circuiting per lane on container
     /// rejection.
     fn ship_batch(
@@ -261,6 +282,54 @@ impl KeystreamOracle for EncryptedOracle<'_> {
         want: usize,
     ) -> Result<Vec<u32>, OracleError> {
         self.inner.resolve_plan(plan, clean, want)
+    }
+
+    fn partial_capable(&self) -> bool {
+        self.inner.partial_capable()
+    }
+
+    fn keystream_partial(
+        &self,
+        partial: &PartialBitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, OracleError> {
+        let opened = self.ship_partial(partial)?;
+        self.inner.keystream_partial(&opened, words)
+    }
+
+    fn keystream_partial_batch_clean(
+        &self,
+        partials: &[PartialBitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        let shipped: Vec<Result<PartialBitstream, OracleError>> =
+            partials.iter().map(|p| self.ship_partial(p)).collect();
+        if shipped.iter().all(Result::is_ok) {
+            let opened: Vec<PartialBitstream> =
+                shipped.into_iter().filter_map(Result::ok).collect();
+            self.inner.keystream_partial_batch_clean(&opened, words)
+        } else {
+            // A refused container breaks the serial delta chain for
+            // every later lane, exactly as a refused partial stream
+            // would on the device.
+            let mut out = Vec::with_capacity(partials.len());
+            let mut broken = false;
+            for r in shipped {
+                match r {
+                    Ok(p) if !broken => out.extend(
+                        self.inner.keystream_partial_batch_clean(core::slice::from_ref(&p), words),
+                    ),
+                    Ok(_) => out.push(Err(OracleError::Rejected(
+                        "partial chain broken by an earlier refused container".into(),
+                    ))),
+                    Err(e) => {
+                        broken = true;
+                        out.push(Err(e));
+                    }
+                }
+            }
+            out
+        }
     }
 }
 

@@ -165,6 +165,11 @@ pub struct SessionSpec {
     /// Side-channel power traces the encrypted session may spend
     /// recovering `K_E`.
     pub(crate) sca_traces: u32,
+    /// Ship candidate loads as frame-delta partial-reconfiguration
+    /// streams (first load full, later candidates delta from the
+    /// on-device image; non-expressible candidates fall back to full
+    /// loads).
+    pub(crate) partial: bool,
 }
 
 impl Default for SessionSpec {
@@ -190,6 +195,7 @@ impl Default for SessionSpec {
             trace: None,
             encrypted: false,
             sca_traces: crate::encrypted::SCA_TRACES_REQUIRED,
+            partial: false,
         }
     }
 }
@@ -336,6 +342,14 @@ impl SessionSpecBuilder {
         self
     }
 
+    /// Ship candidate loads as frame-delta partial-reconfiguration
+    /// streams instead of full configurations.
+    #[must_use]
+    pub fn partial(mut self, partial: bool) -> Self {
+        self.spec.partial = partial;
+        self
+    }
+
     /// Validates and produces the spec.
     ///
     /// # Errors
@@ -425,6 +439,12 @@ impl SessionSpec {
         if self.sca_traces != crate::encrypted::SCA_TRACES_REQUIRED {
             line.push_str(&format!(" sca_traces={}", self.sca_traces));
         }
+        // Partial-reconfiguration extension (0.11): absent when off,
+        // so pre-0.11 lines still parse and default lines still
+        // render identically.
+        if self.partial {
+            line.push_str(" partial=true");
+        }
         line
     }
 
@@ -473,6 +493,7 @@ impl SessionSpec {
                 "deadline_ms" => b.deadline_ms(value.parse().map_err(|_| bad())?),
                 "encrypted" => b.encrypted(value.parse().map_err(|_| bad())?),
                 "sca_traces" => b.sca_traces(value.parse().map_err(|_| bad())?),
+                "partial" => b.partial(value.parse().map_err(|_| bad())?),
                 _ => return Err(ConfigError::UnknownField(key.to_string())),
             };
         }
@@ -513,6 +534,12 @@ impl SessionSpec {
     #[must_use]
     pub fn sca_trace_budget(&self) -> u32 {
         self.sca_traces
+    }
+
+    /// Whether candidate loads ship as frame-delta partial streams.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        self.partial
     }
 
     /// The journal path of a local run, when journalled.
@@ -697,9 +724,14 @@ impl SessionSpec {
         // never perturbs the query trace.
         let telemetry =
             if io.telemetry.is_enabled() { io.telemetry.clone() } else { Telemetry::new() };
+        // Delta loading sits directly above the device (below
+        // supervision and resilience): with `partial` unset — or an
+        // oracle without a partial-reconfiguration port — it is a pure
+        // pass-through.
+        let pr = crate::pr::PrOracle::new(oracle, self.partial).with_telemetry(telemetry.clone());
         let deadline = self.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let supervisor = CellSupervisor::new(io.cancel.clone(), deadline, telemetry.clone());
-        let supervised = supervisor.supervise(oracle);
+        let supervised = supervisor.supervise(&pr);
 
         let journal_exists = io.journal.as_ref().is_some_and(|p| p.exists());
         let resuming = match io.resume {

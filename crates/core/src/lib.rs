@@ -69,6 +69,7 @@ pub mod findlut;
 pub mod fleet;
 pub mod journal;
 pub mod oracle;
+pub mod pr;
 pub mod resilient;
 pub mod telemetry;
 
@@ -93,6 +94,7 @@ pub use fleet::{
 };
 pub use journal::{AttackJournal, JournalDoc, JournalError};
 pub use oracle::{KeystreamOracle, OracleError};
+pub use pr::PrOracle;
 pub use resilient::{
     PolicyController, PolicyEvent, ResilienceConfig, ResilienceError, ResilientOracle,
     ResilientSnapshot, ResilientStats, RetryPolicy, VirtualClock,

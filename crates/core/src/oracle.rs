@@ -6,7 +6,7 @@
 
 use core::fmt;
 
-use bitstream::Bitstream;
+use bitstream::{Bitstream, PartialBitstream};
 
 /// An error from the device.
 #[derive(Debug, Clone)]
@@ -177,6 +177,47 @@ pub trait KeystreamOracle {
     ) -> Result<Vec<u32>, OracleError> {
         clean
     }
+
+    /// Whether this oracle's device accepts partial-reconfiguration
+    /// streams ([`KeystreamOracle::keystream_partial`]). The default
+    /// is `false`: callers fall back to full loads.
+    fn partial_capable(&self) -> bool {
+        false
+    }
+
+    /// Partial reconfiguration: applies a frame-delta to the current
+    /// on-device image (established by the last successful full
+    /// [`keystream`](Self::keystream) load) and returns `words`
+    /// keystream words, exactly as a full load of the resulting image
+    /// would. One physical load — fault models draw for it exactly as
+    /// for a full load at the same load index.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::Rejected`] when the device refuses the stream,
+    /// no base image exists, or — the default — the device has no
+    /// partial-reconfiguration port at all.
+    fn keystream_partial(
+        &self,
+        _partial: &PartialBitstream,
+        _words: usize,
+    ) -> Result<Vec<u32>, OracleError> {
+        Err(OracleError::Rejected("device has no partial-reconfiguration port".into()))
+    }
+
+    /// Batched partial reconfiguration with serial-chain semantics:
+    /// lane `i`'s delta is applied to the image lane `i − 1` left
+    /// behind, on the *clean* substrate (no fault injection or
+    /// accounting — the partial analogue of
+    /// [`keystream_batch_clean`](Self::keystream_batch_clean)). The
+    /// default is the serial loop.
+    fn keystream_partial_batch_clean(
+        &self,
+        partials: &[PartialBitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        partials.iter().map(|p| self.keystream_partial(p, words)).collect()
+    }
 }
 
 impl KeystreamOracle for fpga_sim::Snow3gBoard {
@@ -194,6 +235,32 @@ impl KeystreamOracle for fpga_sim::Snow3gBoard {
         words: usize,
     ) -> Vec<Result<Vec<u32>, OracleError>> {
         self.keystream_batch(bitstreams, words)
+            .into_iter()
+            .map(|r| r.map_err(|e| OracleError::Rejected(e.to_string())))
+            .collect()
+    }
+
+    fn partial_capable(&self) -> bool {
+        true
+    }
+
+    fn keystream_partial(
+        &self,
+        partial: &PartialBitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, OracleError> {
+        self.generate_keystream_partial(partial, words)
+            .map_err(|e| OracleError::Rejected(e.to_string()))
+    }
+
+    /// Gang-simulated serial-chain batch: deltas apply sequentially,
+    /// lanes run 64-wide.
+    fn keystream_partial_batch_clean(
+        &self,
+        partials: &[PartialBitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        self.generate_keystream_partial_batch(partials, words)
             .into_iter()
             .map(|r| r.map_err(|e| OracleError::Rejected(e.to_string())))
             .collect()
@@ -248,6 +315,48 @@ impl KeystreamOracle for fpga_sim::UnreliableBoard {
     ) -> Vec<Result<Vec<u32>, OracleError>> {
         self.inner()
             .keystream_batch(bitstreams, words)
+            .into_iter()
+            .map(|r| r.map_err(|e| OracleError::Rejected(e.to_string())))
+            .collect()
+    }
+
+    fn partial_capable(&self) -> bool {
+        true
+    }
+
+    /// One physical load under the identical fault model: the partial
+    /// load at load index `q` draws exactly the plan a full load at
+    /// `q` would, so a run's fault trace is invariant under switching
+    /// load modes.
+    fn keystream_partial(
+        &self,
+        partial: &PartialBitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, OracleError> {
+        use fpga_sim::{BoardError, ProgramError};
+        match self.generate_keystream_partial(partial, words) {
+            Ok(z) if z.len() < words => Err(OracleError::ShortRead { got: z.len(), want: words }),
+            Ok(z) => Ok(z),
+            Err(BoardError::Program(ProgramError::TransientLoad)) => {
+                Err(OracleError::TransientLoad("configuration port glitched mid-load".into()))
+            }
+            Err(BoardError::Program(ProgramError::ConfigTimeout { ms })) => {
+                Err(OracleError::Timeout { ms })
+            }
+            Err(BoardError::Program(ProgramError::BoardDead)) => Err(OracleError::BoardDead),
+            Err(e) => Err(OracleError::Rejected(e.to_string())),
+        }
+    }
+
+    /// Clean substrate: the inner ideal board's gang-simulated
+    /// serial-chain partial batch.
+    fn keystream_partial_batch_clean(
+        &self,
+        partials: &[PartialBitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, OracleError>> {
+        self.inner()
+            .generate_keystream_partial_batch(partials, words)
             .into_iter()
             .map(|r| r.map_err(|e| OracleError::Rejected(e.to_string())))
             .collect()

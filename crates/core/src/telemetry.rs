@@ -185,6 +185,23 @@ pub mod names {
     /// Encrypted path: body bytes absorbed by incremental re-MACs
     /// (midstate checkpoints make this a suffix, not the whole body).
     pub const ENCRYPTED_MAC_BYTES: &str = "encrypted.mac_bytes";
+    /// Partial reconfiguration: loads shipped as frame-delta partial
+    /// bitstreams instead of full configurations.
+    pub const PR_PARTIAL_LOADS: &str = "pr.partial_loads";
+    /// Partial reconfiguration: loads that fell back to (or started
+    /// as) full configurations.
+    pub const PR_FULL_LOADS: &str = "pr.full_loads";
+    /// Partial reconfiguration: configuration frames written through
+    /// the partial port (cumulative).
+    pub const PR_FRAMES_WRITTEN: &str = "pr.frames_written";
+    /// Configuration bytes shipped over the wire, partial and full
+    /// loads combined — the quantity delta loading exists to shrink.
+    pub const PR_BYTES_SHIPPED: &str = "pr.bytes_shipped";
+    /// Histogram: logical queries occupying each gang pass of a
+    /// batched call — the per-pass companion of
+    /// [`ORACLE_LANE_UTILISATION_PCT`], which averages over the whole
+    /// batch and hides the ragged final pass.
+    pub const BATCH_OCCUPANCY: &str = "batch.occupancy";
 }
 
 /// Number of histogram buckets: bucket 0 holds the value 0; bucket
@@ -674,6 +691,13 @@ impl Telemetry {
             let passes = items.div_ceil(lanes).max(1);
             let utilisation = (items * 100) / (passes * lanes);
             s.metrics.observe(names::ORACLE_LANE_UTILISATION_PCT, utilisation);
+            // Per-pass occupancy: every full pass carries `lanes`
+            // queries; the last carries the remainder.
+            let remainder = items - (passes - 1) * lanes;
+            for _ in 1..passes {
+                s.metrics.observe(names::BATCH_OCCUPANCY, lanes);
+            }
+            s.metrics.observe(names::BATCH_OCCUPANCY, remainder);
             let span = s.spans.last().map(|f| f.id);
             let line = Json::event(s.seq, "batch")
                 .opt_num("span", span)

@@ -3,14 +3,17 @@
 //! collect keystream words*.
 
 use core::fmt;
+use std::sync::Mutex;
 
 use netlist::snow3g_circuit::{Snow3gCircuit, Snow3gCircuitConfig, WARMUP_CYCLES};
 use netlist::NodeId;
 use techmap::{map, MapConfig, MappedDesign};
 
-use bitstream::Bitstream;
+use bitstream::partial::PartialBitstream;
+use bitstream::{Bitstream, FrameData};
+use boolfn::DualOutputInit;
 
-use crate::fabric::{Fpga, ProgramError};
+use crate::fabric::{Fpga, PartialApplyError, ProgramError};
 use crate::implementer::{implement, ImplementError, ImplementOptions, Implementation};
 
 /// An error from board construction or operation.
@@ -22,6 +25,11 @@ pub enum BoardError {
     Implement(ImplementError),
     /// Configuration was refused.
     Program(ProgramError),
+    /// A partial-reconfiguration stream was refused.
+    PartialApply(PartialApplyError),
+    /// A partial stream arrived before any full load established the
+    /// on-device configuration image it deltas against.
+    NoPartialBase,
 }
 
 impl fmt::Display for BoardError {
@@ -30,6 +38,10 @@ impl fmt::Display for BoardError {
             BoardError::Map(e) => write!(f, "mapping failed: {e}"),
             BoardError::Implement(e) => write!(f, "implementation failed: {e}"),
             BoardError::Program(e) => write!(f, "programming failed: {e}"),
+            BoardError::PartialApply(e) => write!(f, "partial reconfiguration refused: {e}"),
+            BoardError::NoPartialBase => {
+                write!(f, "no full configuration precedes this partial stream")
+            }
         }
     }
 }
@@ -54,6 +66,13 @@ impl From<ProgramError> for BoardError {
     }
 }
 
+/// The configuration-memory image a successful full load leaves on
+/// the device — the base later frame-deltas are applied to.
+struct PrBase {
+    frames: FrameData,
+    inits: Vec<DualOutputInit>,
+}
+
 /// A SNOW 3G victim board.
 ///
 /// Construction runs the full implementation flow (circuit
@@ -67,6 +86,10 @@ pub struct Snow3gBoard {
     run_net: NodeId,
     z_nets: Vec<NodeId>,
     valid_net: NodeId,
+    /// On-device configuration image: latched by every successful
+    /// full load, advanced by every applied partial, dropped when a
+    /// batched full-stream load leaves the final image unobserved.
+    pr_base: Mutex<Option<PrBase>>,
     /// Ground-truth artifacts for tests and evaluation only.
     pub circuit: Snow3gCircuit,
     /// The mapped design (ground truth, tests only).
@@ -106,6 +129,7 @@ impl Snow3gBoard {
             run_net: circuit.run,
             z_nets: circuit.z_out.clone(),
             valid_net: circuit.valid,
+            pr_base: Mutex::new(None),
             circuit,
             design,
             implementation_placement: placement,
@@ -138,7 +162,18 @@ impl Snow3gBoard {
         bitstream: &Bitstream,
         words: usize,
     ) -> Result<Vec<u32>, BoardError> {
-        let mut dev = self.fpga.program(bitstream)?;
+        let (frames, inits) = self.fpga.decode_with_frames(bitstream)?;
+        let out = self.collect_keystream(inits.clone(), words);
+        // The load succeeded: the configuration memory now holds this
+        // stream's frames, and partial streams may delta against it.
+        *self.pr_base.lock().expect("pr base lock") = Some(PrBase { frames, inits });
+        Ok(out)
+    }
+
+    /// Runs a freshly-configured device (global set/reset just
+    /// released) and collects `words` keystream words.
+    fn collect_keystream(&self, inits: Vec<DualOutputInit>, words: usize) -> Vec<u32> {
+        let mut dev = self.fpga.configured_from_inits(inits);
         dev.set_input(self.run_net, true);
         dev.run(WARMUP_CYCLES);
         let mut out = Vec::with_capacity(words);
@@ -146,7 +181,119 @@ impl Snow3gBoard {
             dev.step();
             out.push(dev.word(&self.z_nets));
         }
-        Ok(out)
+        out
+    }
+
+    /// Whether a full load has established the on-device image partial
+    /// streams delta against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the
+    /// internal lock.
+    #[must_use]
+    pub fn has_partial_base(&self) -> bool {
+        self.pr_base.lock().expect("pr base lock").is_some()
+    }
+
+    /// Partial-reconfiguration oracle: applies a frame-delta to the
+    /// current on-device image in O(touched frames), pulses global
+    /// set/reset, and collects `words` keystream words — functionally
+    /// identical to a full [`Self::generate_keystream`] of the
+    /// bitstream the delta produces, at a fraction of the
+    /// configuration traffic and decode work.
+    ///
+    /// # Errors
+    ///
+    /// [`BoardError::NoPartialBase`] if no full load preceded this
+    /// call; [`BoardError::PartialApply`] if the device refuses the
+    /// stream (the image is untouched in both cases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the
+    /// internal lock.
+    pub fn generate_keystream_partial(
+        &self,
+        partial: &PartialBitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, BoardError> {
+        let inits = {
+            let mut guard = self.pr_base.lock().expect("pr base lock");
+            let base = guard.as_mut().ok_or(BoardError::NoPartialBase)?;
+            self.fpga
+                .apply_partial_base(&mut base.frames, &mut base.inits, partial)
+                .map_err(BoardError::PartialApply)?;
+            base.inits.clone()
+        };
+        Ok(self.collect_keystream(inits, words))
+    }
+
+    /// Batched partial oracle: applies each frame-delta to the image
+    /// left by the previous lane (serial-chain semantics — lane `i`'s
+    /// delta is against the post-lane-`i−1` image), then gang-runs the
+    /// per-lane configurations. Per-item results are positionally
+    /// aligned with the input; each lane is bit-identical to a serial
+    /// [`Self::generate_keystream_partial`] call.
+    ///
+    /// A refused lane poisons the chain: the device image no longer
+    /// matches what later deltas assume, so they — and the base — are
+    /// dropped, and the next load must be full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the
+    /// internal lock.
+    #[must_use]
+    pub fn generate_keystream_partial_batch(
+        &self,
+        partials: &[PartialBitstream],
+        words: usize,
+    ) -> Vec<Result<Vec<u32>, BoardError>> {
+        let mut guard = self.pr_base.lock().expect("pr base lock");
+        let Some(mut base) = guard.take() else {
+            return partials.iter().map(|_| Err(BoardError::NoPartialBase)).collect();
+        };
+        let mut out: Vec<Result<Vec<u32>, BoardError>> = Vec::with_capacity(partials.len());
+        let mut live: Vec<(usize, Vec<DualOutputInit>)> = Vec::new();
+        let mut poisoned = false;
+        for (i, partial) in partials.iter().enumerate() {
+            if poisoned {
+                out.push(Err(BoardError::NoPartialBase));
+                continue;
+            }
+            match self.fpga.apply_partial_base(&mut base.frames, &mut base.inits, partial) {
+                Ok(_) => {
+                    live.push((i, base.inits.clone()));
+                    out.push(Ok(Vec::with_capacity(words)));
+                }
+                Err(e) => {
+                    poisoned = true;
+                    out.push(Err(BoardError::PartialApply(e)));
+                }
+            }
+        }
+        if !poisoned {
+            *guard = Some(base);
+        }
+        drop(guard);
+        for chunk in live.chunks(crate::gang::GANG_LANES) {
+            let lanes: Vec<Vec<DualOutputInit>> =
+                chunk.iter().map(|(_, inits)| inits.clone()).collect();
+            let mut gang = crate::gang::GangConfiguredFpga::with_inits(&self.fpga, &lanes);
+            gang.set_input(self.run_net, u64::MAX);
+            gang.run(WARMUP_CYCLES);
+            for _ in 0..words {
+                gang.step();
+                for (lane, (slot, _)) in chunk.iter().enumerate() {
+                    let z = gang.word(lane, &self.z_nets);
+                    if let Ok(zs) = &mut out[*slot] {
+                        zs.push(z);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Batched oracle: loads every bitstream and collects `words`
@@ -166,6 +313,11 @@ impl Snow3gBoard {
         bitstreams: &[Bitstream],
         words: usize,
     ) -> Vec<Result<Vec<u32>, BoardError>> {
+        // The batch's differential decode never materialises frame
+        // images, so the final on-device image is unobserved: drop the
+        // partial-reconfiguration base — the next partial caller must
+        // re-establish it with a full load.
+        *self.pr_base.lock().expect("pr base lock") = None;
         // Differential decode of the whole batch (one full walk, then
         // payload deltas), then dense-pack the accepted lanes into
         // gangs so a refused lane does not waste a slot.
@@ -325,6 +477,65 @@ mod tests {
                 (got, want) => panic!("lane {i}: batched {got:?} vs serial {want:?}"),
             }
         }
+    }
+
+    #[test]
+    fn partial_load_equals_full_load_of_the_candidate() {
+        let b = board(false);
+        let golden = b.extract_bitstream();
+        assert!(!b.has_partial_base());
+        assert!(matches!(
+            b.generate_keystream_partial(&bitstream::PartialBitstream::from_bytes(vec![0; 64]), 1),
+            Err(BoardError::NoPartialBase)
+        ));
+        let full_golden = b.generate_keystream(&golden, 6).expect("full load");
+        assert!(b.has_partial_base());
+
+        // Forge a delta for a one-LUT edit and ship it partially.
+        let mut forge = bitstream::PartialForge::new(&golden).expect("analyzes");
+        let mut cand = golden.clone();
+        let range = cand.fdri_data_range().unwrap();
+        let z0 = b.circuit.z_out[0];
+        let d0 = b.design.dffs.iter().find(|ff| ff.q == z0).unwrap().d;
+        let (idx, _) = b
+            .design
+            .luts
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.o6 == d0 || l.o5 == Some(d0))
+            .expect("z0 driver is a LUT");
+        let site = b.implementation_placement[idx];
+        let loc = b.fpga().geometry().lut_location(site);
+        bitstream::codec::write_lut(
+            &mut cand.as_mut_bytes()[range],
+            loc,
+            boolfn::DualOutputInit::new(0),
+        );
+        cand.recompute_crc();
+        let delta = forge.delta(&golden, &cand).expect("expressible");
+        assert!(delta.stream.len() < golden.len() / 10, "delta ships a fraction of the bytes");
+
+        let via_partial = b.generate_keystream_partial(&delta.stream, 6).expect("applies");
+        let via_full = b.generate_keystream(&cand, 6).expect("full load");
+        assert_eq!(via_partial, via_full, "partial load behaves as the full candidate load");
+
+        // Roll back to golden with a second delta (the image now holds
+        // the candidate) and check the batch path too.
+        let back = forge.delta(&cand, &golden).expect("rollback delta");
+        let again = forge.delta(&golden, &cand).expect("re-edit delta");
+        let batched = b.generate_keystream_partial_batch(&[back.stream, again.stream.clone()], 6);
+        assert_eq!(batched[0].as_ref().expect("rollback lane"), &full_golden);
+        assert_eq!(batched[1].as_ref().expect("edit lane"), &via_full);
+
+        // A garbled delta poisons the chain: its lane and all later
+        // lanes fail, and the base is dropped.
+        let poisoned = b.generate_keystream_partial_batch(
+            &[bitstream::PartialBitstream::from_bytes(vec![0xAA; 96]), again.stream.clone()],
+            2,
+        );
+        assert!(matches!(poisoned[0], Err(BoardError::PartialApply(_))));
+        assert!(matches!(poisoned[1], Err(BoardError::NoPartialBase)));
+        assert!(!b.has_partial_base(), "refusal mid-chain drops the base");
     }
 
     #[test]

@@ -7,7 +7,8 @@ use std::collections::HashMap;
 use boolfn::DualOutputInit;
 use netlist::NodeId;
 
-use bitstream::{codec, Bitstream, DeltaCrc, ParseBitstreamError};
+use bitstream::partial::{ParsePartialError, PartialBitstream};
+use bitstream::{codec, Bitstream, DeltaCrc, FrameData, ParseBitstreamError, FRAME_BYTES};
 
 use crate::geom::{Geometry, SiteId};
 
@@ -158,6 +159,59 @@ impl From<ParseBitstreamError> for ProgramError {
     }
 }
 
+/// An error from [`ConfiguredFpga::apply_partial`]. All variants are
+/// permanent refusals of the stream (the partial-reconfiguration
+/// analogue of the CRC/size/IDCODE refusals of a full load); the
+/// device image is untouched when any of them is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartialApplyError {
+    /// The partial stream failed to parse or its CRC mismatched.
+    Stream(ParsePartialError),
+    /// The stream was built for a different device (IDCODE mismatch),
+    /// or carried no IDCODE at all.
+    WrongDevice {
+        /// IDCODE found in the stream, if any.
+        got: Option<u32>,
+        /// This device's IDCODE.
+        expected: u32,
+    },
+    /// A frame run writes past the end of the device's frame space.
+    FrameOutOfRange {
+        /// First frame of the offending run.
+        start: usize,
+        /// Frames in the run.
+        frames: usize,
+        /// Frames the device has.
+        device_frames: usize,
+    },
+}
+
+impl fmt::Display for PartialApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartialApplyError::Stream(e) => write!(f, "partial stream refused: {e}"),
+            PartialApplyError::WrongDevice { got, expected } => {
+                write!(f, "partial idcode {got:08x?} does not match device {expected:08x}")
+            }
+            PartialApplyError::FrameOutOfRange { start, frames, device_frames } => {
+                write!(
+                    f,
+                    "frame run {start}+{frames} writes past the device's {device_frames} frames"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartialApplyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartialApplyError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// One evaluation step of the configured fabric. Shared with the
 /// gang simulator so both walk the identical topological order.
 #[derive(Debug, Clone, Copy)]
@@ -228,7 +282,14 @@ impl Fpga {
     /// Returns [`ProgramError`] if parsing fails, the CRC mismatches
     /// or the payload size is wrong.
     pub fn program(&self, bs: &Bitstream) -> Result<ConfiguredFpga<'_>, ProgramError> {
-        let inits = self.decode_lut_inits(bs)?;
+        Ok(self.configured_from_inits(self.decode_lut_inits(bs)?))
+    }
+
+    /// Builds a freshly-configured simulator from already-decoded INIT
+    /// values — the global-set/reset half of programming: every FF at
+    /// its power-up value, ties driven, cycle counter at zero.
+    #[must_use]
+    pub fn configured_from_inits(&self, inits: Vec<DualOutputInit>) -> ConfiguredFpga<'_> {
         let mut values = vec![false; self.net_count];
         for ff in &self.db.ffs {
             values[ff.q.index()] = ff.init;
@@ -237,7 +298,7 @@ impl Fpga {
             values[net.index()] = v;
         }
         let latch = vec![false; self.db.ffs.len()];
-        Ok(ConfiguredFpga { fpga: self, inits, values, latch, clean: false, cycle: 0 })
+        ConfiguredFpga { fpga: self, inits, values, latch, clean: false, cycle: 0 }
     }
 
     /// Parses and validates a bitstream exactly like [`Fpga::program`]
@@ -250,6 +311,21 @@ impl Fpga {
     /// Returns [`ProgramError`] if parsing fails, the CRC mismatches
     /// or the payload size is wrong.
     pub fn decode_lut_inits(&self, bs: &Bitstream) -> Result<Vec<DualOutputInit>, ProgramError> {
+        Ok(self.decode_with_frames(bs)?.1)
+    }
+
+    /// [`Fpga::decode_lut_inits`] with the parsed frame image retained
+    /// — the configuration-memory state a partial-reconfiguration base
+    /// needs (later frame-deltas are applied to it absolutely).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if parsing fails, the CRC mismatches
+    /// or the payload size is wrong.
+    pub fn decode_with_frames(
+        &self,
+        bs: &Bitstream,
+    ) -> Result<(FrameData, Vec<DualOutputInit>), ProgramError> {
         let config = bs.parse()?;
         if config.idcode != Some(self.idcode) {
             return Err(ProgramError::WrongDevice { got: config.idcode, expected: self.idcode });
@@ -260,13 +336,65 @@ impl Fpga {
                 expected: self.geometry.frame_count(),
             });
         }
-        let data = config.frames.as_bytes();
-        Ok(self
+        let inits = self
             .db
             .luts
             .iter()
-            .map(|cell| codec::read_lut(data, self.geometry.lut_location(cell.site)))
-            .collect())
+            .map(|cell| {
+                codec::read_lut(config.frames.as_bytes(), self.geometry.lut_location(cell.site))
+            })
+            .collect();
+        Ok((config.frames, inits))
+    }
+
+    /// Applies a partial stream to a configuration-memory base:
+    /// validates the stream in full first (the apply is atomic —
+    /// refusal leaves `frames` and `inits` untouched), writes each
+    /// frame run absolutely into `frames`, and re-reads only the LUTs
+    /// whose truth-table bytes lie in a touched frame. Returns the
+    /// number of frames written.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartialApplyError`].
+    pub fn apply_partial_base(
+        &self,
+        frames: &mut FrameData,
+        inits: &mut [DualOutputInit],
+        partial: &PartialBitstream,
+    ) -> Result<usize, PartialApplyError> {
+        let cfg = partial.parse().map_err(PartialApplyError::Stream)?;
+        if cfg.idcode != Some(self.idcode) {
+            return Err(PartialApplyError::WrongDevice { got: cfg.idcode, expected: self.idcode });
+        }
+        let device_frames = self.geometry.frame_count();
+        for run in &cfg.runs {
+            if run.start_frame + run.frames.frame_count() > device_frames {
+                return Err(PartialApplyError::FrameOutOfRange {
+                    start: run.start_frame,
+                    frames: run.frames.frame_count(),
+                    device_frames,
+                });
+            }
+        }
+        for run in &cfg.runs {
+            let at = run.start_frame * FRAME_BYTES;
+            let len = run.frames.as_bytes().len();
+            frames.as_mut_bytes()[at..at + len].copy_from_slice(run.frames.as_bytes());
+        }
+        let touched = |byte: usize| {
+            let f = byte / FRAME_BYTES;
+            cfg.runs
+                .iter()
+                .any(|r| f >= r.start_frame && f < r.start_frame + r.frames.frame_count())
+        };
+        for (i, cell) in self.db.luts.iter().enumerate() {
+            let loc = self.geometry.lut_location(cell.site);
+            if loc.byte_indices().iter().any(|&b| touched(b)) {
+                inits[i] = codec::read_lut(frames.as_bytes(), loc);
+            }
+        }
+        Ok(cfg.frames_written())
     }
 
     /// Decodes many bitstreams with per-item results, exactly as if
@@ -615,6 +743,41 @@ impl ConfiguredFpga<'_> {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Partial reconfiguration: applies a frame-delta stream to this
+    /// configured device in O(touched frames) — `frames` is the
+    /// device's configuration-memory image (as retained by
+    /// [`Fpga::decode_with_frames`]); runs are written into it
+    /// absolutely, only the LUTs whose bytes lie in a touched frame
+    /// are re-decoded, and the `Start` command pulses global
+    /// set/reset: every FF returns to its power-up value and the
+    /// cycle counter restarts, exactly as a full reload would leave
+    /// the device. Refusal is atomic — neither `frames` nor the
+    /// loaded INITs change.
+    ///
+    /// # Errors
+    ///
+    /// See [`PartialApplyError`].
+    pub fn apply_partial(
+        &mut self,
+        partial: &PartialBitstream,
+        frames: &mut FrameData,
+    ) -> Result<usize, PartialApplyError> {
+        let written = self.fpga.apply_partial_base(frames, &mut self.inits, partial)?;
+        for v in &mut self.values {
+            *v = false;
+        }
+        for ff in &self.fpga.db.ffs {
+            self.values[ff.q.index()] = ff.init;
+        }
+        for &(net, v) in &self.fpga.db.ties {
+            self.values[net.index()] = v;
+        }
+        self.latch.fill(false);
+        self.clean = false;
+        self.cycle = 0;
+        Ok(written)
     }
 
     /// Configuration readback (the `FDRO` path of real devices):

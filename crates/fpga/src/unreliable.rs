@@ -764,27 +764,62 @@ impl UnreliableBoard {
         bitstream: &Bitstream,
         words: usize,
     ) -> Result<Vec<u32>, BoardError> {
-        // Plan the next read and commit it atomically under the stats
-        // lock, then execute the committed plan.
-        let plan = {
-            let mut stats = self.stats.lock().expect("fault stats lock");
-            let plan = self.plan_at(stats.loads_attempted, words);
-            stats.loads_attempted += 1;
-            match &plan.outcome {
-                ReadOutcome::TransientLoad => stats.transient_failures += 1,
-                ReadOutcome::Timeout { .. } => stats.timeouts += 1,
-                ReadOutcome::Dead => {}
-                ReadOutcome::Read { truncated, glitch, .. } => {
-                    if *truncated {
-                        stats.truncated_reads += 1;
-                    }
-                    stats.bits_flipped +=
-                        glitch.iter().map(|m| u64::from(m.count_ones())).sum::<u64>();
-                }
-            }
-            plan
-        };
+        let plan = self.commit_next_plan(words);
         self.apply_plan(&plan, bitstream)
+    }
+
+    /// Partial-reconfiguration oracle with the identical fault model:
+    /// a partial load is one physical load, so it draws the exact plan
+    /// the full load at the same load index would have drawn — the
+    /// fault trace of a run is unchanged by switching load modes.
+    ///
+    /// # Errors
+    ///
+    /// Injected faults as [`Self::generate_keystream`], plus
+    /// everything [`Snow3gBoard::generate_keystream_partial`] can
+    /// return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous caller panicked while holding the
+    /// internal lock.
+    pub fn generate_keystream_partial(
+        &self,
+        partial: &bitstream::partial::PartialBitstream,
+        words: usize,
+    ) -> Result<Vec<u32>, BoardError> {
+        let plan = self.commit_next_plan(words);
+        match &plan.outcome {
+            ReadOutcome::TransientLoad => Err(BoardError::Program(ProgramError::TransientLoad)),
+            ReadOutcome::Timeout { ms } => {
+                Err(BoardError::Program(ProgramError::ConfigTimeout { ms: *ms }))
+            }
+            ReadOutcome::Dead => Err(BoardError::Program(ProgramError::BoardDead)),
+            ReadOutcome::Read { keep, glitch, .. } => {
+                let z = self.inner.generate_keystream_partial(partial, *keep)?;
+                Ok(self.corrupt(z, glitch))
+            }
+        }
+    }
+
+    /// Plans the next read and commits it atomically under the stats
+    /// lock.
+    fn commit_next_plan(&self, words: usize) -> ReadPlan {
+        let mut stats = self.stats.lock().expect("fault stats lock");
+        let plan = self.plan_at(stats.loads_attempted, words);
+        stats.loads_attempted += 1;
+        match &plan.outcome {
+            ReadOutcome::TransientLoad => stats.transient_failures += 1,
+            ReadOutcome::Timeout { .. } => stats.timeouts += 1,
+            ReadOutcome::Dead => {}
+            ReadOutcome::Read { truncated, glitch, .. } => {
+                if *truncated {
+                    stats.truncated_reads += 1;
+                }
+                stats.bits_flipped += glitch.iter().map(|m| u64::from(m.count_ones())).sum::<u64>();
+            }
+        }
+        plan
     }
 }
 

@@ -12,25 +12,8 @@
 //! layer's RNG/clock/stats and the simulated board's fault state, so
 //! nothing about the noisy trace depends on *when* the run was cut.
 
-// These exercise (or ride on) the pre-0.7 free-form `Attack`
-// constructors, kept working behind deprecation warnings; the
-// replacement surface is `bitmod::fleet::SessionSpec`.
-#![allow(deprecated)]
-
-use bitmod::journal::AttackJournal;
-use bitmod::resilient::ResilienceConfig;
-use bitmod::{Attack, AttackError};
-use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard};
-use netlist::snow3g_circuit::Snow3gCircuitConfig;
-use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
-
-fn flaky_board(seed: u64) -> Result<UnreliableBoard, Box<dyn std::error::Error>> {
-    let ideal = Snow3gBoard::build(
-        Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
-        &ImplementOptions::default(),
-    )?;
-    Ok(UnreliableBoard::new(ideal, FaultProfile::flaky(seed)))
-}
+use bitmod::fleet::{SessionOutcome, SessionSpec};
+use snow3g::vectors::TEST_SET_1_KEY;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 7u64;
@@ -40,41 +23,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Leg 1: a journalled run dies at its query budget ==");
     // A fresh board + a 600-attempt budget models a run killed early;
     // a real crash (SIGKILL, power cut) leaves the same journal.
-    let board = flaky_board(seed)?;
-    let golden = board.extract_bitstream();
-    let config = ResilienceConfig::noisy(seed ^ 0x5EED).with_budget(600);
-    let outcome = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)?
-        .with_journal(AttackJournal::new(&path))?
-        .run();
-    match outcome {
-        Err(AttackError::Exhausted { checkpoint, source }) => {
-            println!("cut down: {source}");
-            println!("journalled: {checkpoint}");
+    let spec = SessionSpec::builder().noisy(true).seed(seed).budget(600).journal(&path).build()?;
+    let report = spec.run_local()?;
+    match report.outcome {
+        SessionOutcome::Exhausted { summary, .. } => {
+            println!("cut down and journalled: {summary}");
         }
-        other => return Err(format!("expected a budget cut, got {other:?}").into()),
+        other => return Err(format!("expected a budget cut, got {other}").into()),
     }
 
     println!("\n== Leg 2: a new process resumes from the journal ==");
-    // A *new* board object, as a restarted process would build; its
-    // fault-model position is restored from the journal so the noisy
-    // trace continues exactly where it stopped.
-    let board = flaky_board(seed)?;
-    let golden = board.extract_bitstream();
-    let raised = AttackJournal::new(&path).load()?.config.with_budget(8_000);
-    let report = Attack::resume_with(&board, golden, AttackJournal::new(&path), raised)?.run()?;
+    // A *new* session (as a restarted process would start), the same
+    // spec with a raised budget and `resume`; the fault-model position
+    // is restored from the journal so the noisy trace continues
+    // exactly where it stopped.
+    let spec = SessionSpec::builder()
+        .noisy(true)
+        .seed(seed)
+        .budget(8_000)
+        .journal(&path)
+        .resume(true)
+        .build()?;
+    let report = spec.run_local()?;
+    let SessionOutcome::Recovered(_) = report.outcome else {
+        return Err(format!("resumed run did not recover: {}", report.outcome).into());
+    };
+    let attack = report.attack.expect("recovered sessions carry a report");
 
-    println!("recovered key: 0x{}", report.recovered.key);
-    assert_eq!(report.recovered.key, TEST_SET_1_KEY);
+    println!("recovered key: 0x{}", attack.recovered.key);
+    assert_eq!(attack.recovered.key, TEST_SET_1_KEY);
     println!(
         "totals: {} physical loads, {} logical queries, {} retries, {} virtual ms backoff",
-        report.oracle_loads,
-        report.resilience.queries,
-        report.resilience.transient_errors,
-        report.resilience.backoff_ms
+        attack.oracle_loads,
+        attack.resilience.queries,
+        attack.resilience.transient_errors,
+        attack.resilience.backoff_ms
     );
     // The accounting matches an uninterrupted seed-7 run exactly —
     // resume replays the identical query trace.
-    assert_eq!(report.oracle_loads, 3_133);
+    assert_eq!(attack.oracle_loads, 3_145);
     println!("(bit-identical to an uninterrupted run)");
 
     // The journal removes itself on success.

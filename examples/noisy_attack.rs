@@ -10,57 +10,58 @@
 //! Everything is seeded: the same seed reproduces the same faults,
 //! the same retries and the same physical query count.
 
-// These exercise (or ride on) the pre-0.7 free-form `Attack`
-// constructors, kept working behind deprecation warnings; the
-// replacement surface is `bitmod::fleet::SessionSpec`.
-#![allow(deprecated)]
-
-use bitmod::resilient::ResilienceConfig;
-use bitmod::{Attack, AttackError};
-use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard};
+use bitmod::campaign::CancelToken;
+use bitmod::fleet::{ResumePolicy, SessionIo, SessionOutcome, SessionSpec};
+use bitmod::Telemetry;
+use fpga_sim::{ImplementOptions, Snow3gBoard, UnreliableBoard};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;
 use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 7u64;
 
-    println!("== Building the victim ==");
+    println!("== Describing the session ==");
+    // The spec is the whole experiment: the "flaky" fault preset (10%
+    // transient load failures, 2% timeouts, 2% truncated reads, 1%
+    // per-bit keystream glitches), 5-ballot per-bit majority voting,
+    // seeded exponential backoff (jitter stream decorrelated from the
+    // fault stream), and a hard physical-attempt budget.
+    let spec = SessionSpec::builder().noisy(true).seed(seed).budget(8_000).build()?;
+
+    println!("\n== Building the victim and wrapping it in the fault profile ==");
+    let profile = spec.fault_profile();
+    println!("{profile:?}");
     let ideal = Snow3gBoard::build(
         Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
         &ImplementOptions::default(),
     )?;
-
-    println!("\n== Wrapping it in a fault profile (seed {seed}) ==");
-    // The "flaky" preset: 10% transient load failures, 2% timeouts,
-    // 2% truncated reads, 1% per-bit keystream glitches.
-    let profile = FaultProfile::flaky(seed);
-    println!("{profile:?}");
     let board = UnreliableBoard::new(ideal, profile);
     let golden = board.extract_bitstream();
 
     println!("\n== Running the attack through the resilience layer ==");
-    // 5-ballot per-bit majority voting, 8 retry attempts with seeded
-    // exponential backoff, and a hard physical-attempt budget. The
-    // jitter seed is decorrelated from the fault seed.
-    let config = ResilienceConfig::noisy(seed ^ 0x5EED).with_budget(8_000);
-    let outcome = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)?.run();
-
-    let report = match outcome {
-        Ok(report) => report,
+    let io = SessionIo {
+        journal: None,
+        resume: ResumePolicy::Never,
+        telemetry: Telemetry::off(),
+        cancel: CancelToken::new(),
+        expected_key: Some(TEST_SET_1_KEY),
+    };
+    let report = spec.run_harnessed(&board, golden, &io)?;
+    let attack = match report.outcome {
+        SessionOutcome::Recovered(_) => report.attack.expect("recovered sessions carry a report"),
         // A budget cut mid-run is a structured partial result, not a
-        // panic: the checkpoint says which phase stopped and what was
+        // panic: the summary says which phase stopped and what was
         // already verified.
-        Err(AttackError::Exhausted { checkpoint, source }) => {
-            println!("budget exhausted: {source}");
-            println!("partial result: {checkpoint}");
+        SessionOutcome::Exhausted { summary, .. } => {
+            println!("budget exhausted; partial result: {summary}");
             return Ok(());
         }
-        Err(e) => return Err(e.into()),
+        other => return Err(format!("session did not recover: {other}").into()),
     };
 
-    println!("recovered key: 0x{}", report.recovered.key);
-    println!("recovered IV : 0x{}", report.recovered.iv);
-    assert_eq!(report.recovered.key, TEST_SET_1_KEY);
+    println!("recovered key: 0x{}", attack.recovered.key);
+    println!("recovered IV : 0x{}", attack.recovered.iv);
+    assert_eq!(attack.recovered.key, TEST_SET_1_KEY);
 
     println!("\n== What the flaky board threw at us ==");
     let faults = board.fault_stats();
@@ -71,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("keystream bits flipped   : {}", faults.bits_flipped);
 
     println!("\n== What surviving it cost ==");
-    let r = &report.resilience;
+    let r = &attack.resilience;
     println!("logical oracle queries   : {}", r.queries);
     println!("physical attempts        : {}", r.attempts);
     println!("majority-vote ballots    : {}", r.votes_cast);

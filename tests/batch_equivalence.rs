@@ -5,14 +5,11 @@
 //! trace. Batching is allowed to change throughput and journal write
 //! cadence, nothing else.
 
-// These exercise (or ride on) the pre-0.7 free-form `Attack`
-// constructors, kept working behind deprecation warnings; the
-// replacement surface is `bitmod::fleet::SessionSpec`.
-#![allow(deprecated)]
-
+use bitmod::campaign::CancelToken;
+use bitmod::fleet::{ResumePolicy, SessionIo, SessionSpec};
 use bitmod::telemetry::Telemetry;
-use bitmod::{Attack, AttackReport, ResilienceConfig};
-use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard, GANG_LANES};
+use bitmod::{Attack, AttackReport};
+use fpga_sim::{ImplementOptions, Snow3gBoard, UnreliableBoard, GANG_LANES};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;
 use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
 
@@ -22,6 +19,16 @@ fn build_board() -> Snow3gBoard {
         &ImplementOptions::default(),
     )
     .expect("board builds")
+}
+
+fn io(telemetry: Telemetry) -> SessionIo {
+    SessionIo {
+        journal: None,
+        resume: ResumePolicy::Never,
+        telemetry,
+        cancel: CancelToken::new(),
+        expected_key: Some(TEST_SET_1_KEY),
+    }
 }
 
 /// Every attack outcome that must not depend on the batch width.
@@ -83,16 +90,12 @@ fn batched_noisy_attack_replays_the_serial_fault_trace() {
     // fault draws, identical retries, identical board-side fault
     // accounting.
     let run = |batch: usize| {
-        let board = build_board();
-        let golden = board.extract_bitstream();
-        let noisy = UnreliableBoard::new(board, FaultProfile::flaky(7));
-        let config = ResilienceConfig::noisy(7 ^ 0x5EED);
-        let report = Attack::with_resilience(&noisy, golden, bitstream::FRAME_BYTES, config)
-            .expect("prepares")
-            .with_batch(batch)
-            .run()
-            .expect("runs");
-        (report, noisy.fault_stats())
+        let spec =
+            SessionSpec::builder().noisy(true).seed(7).batch(batch).build().expect("valid spec");
+        let noisy = UnreliableBoard::new(build_board(), spec.fault_profile());
+        let golden = noisy.extract_bitstream();
+        let session = spec.run_harnessed(&noisy, golden, &io(Telemetry::off())).expect("runs");
+        (session.attack.expect("recovers"), noisy.fault_stats())
     };
     let (serial, serial_faults) = run(1);
     let (batched, batched_faults) = run(GANG_LANES);
@@ -114,23 +117,18 @@ fn traced_batched_run_is_bit_identical_to_untraced() {
     let trace_path =
         std::env::temp_dir().join(format!("bitmod-batch-trace-{}.ndjson", std::process::id()));
 
-    let untraced = Attack::new(&board, golden.clone())
-        .expect("prepares")
-        .with_batch(GANG_LANES)
-        .run()
-        .expect("runs");
+    let spec = SessionSpec::builder().batch(GANG_LANES).build().expect("valid spec");
+    let untraced = spec
+        .run_harnessed(&board, golden.clone(), &io(Telemetry::off()))
+        .expect("runs")
+        .attack
+        .expect("recovers");
     let telemetry = Telemetry::to_path(&trace_path).expect("trace sink opens");
-    let traced = Attack::instrumented(
-        &board,
-        golden,
-        bitstream::FRAME_BYTES,
-        ResilienceConfig::off(),
-        telemetry.clone(),
-    )
-    .expect("prepares")
-    .with_batch(GANG_LANES)
-    .run()
-    .expect("runs");
+    let traced = spec
+        .run_harnessed(&board, golden, &io(telemetry.clone()))
+        .expect("runs")
+        .attack
+        .expect("recovers");
     telemetry.finish().expect("trace flushes");
 
     assert_equivalent(&untraced, &traced);

@@ -3,11 +3,6 @@
 //! without touching any ground-truth artifact — only the extracted
 //! bitstream and the keystream oracle.
 
-// These exercise (or ride on) the pre-0.7 free-form `Attack`
-// constructors, kept working behind deprecation warnings; the
-// replacement surface is `bitmod::fleet::SessionSpec`.
-#![allow(deprecated)]
-
 use bitmod::Attack;
 use fpga_sim::{ImplementOptions, Snow3gBoard};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;
@@ -134,10 +129,18 @@ fn attack_works_on_the_d101_device_family() {
     .expect("board builds");
     // Sanity: the family really uses the paper's stride.
     assert_eq!(board.fpga().geometry().stride(), 101);
-    let report = bitmod::Attack::with_stride(&board, board.extract_bitstream(), 101)
-        .expect("prepares")
-        .run()
-        .expect("runs");
+    // The stride is a session parameter now: the facade validates it
+    // and threads it through to the forge.
+    let spec = bitmod::fleet::SessionSpec::builder().stride(101).build().expect("valid spec");
+    let io = bitmod::fleet::SessionIo {
+        journal: None,
+        resume: bitmod::fleet::ResumePolicy::Never,
+        telemetry: bitmod::Telemetry::off(),
+        cancel: bitmod::campaign::CancelToken::new(),
+        expected_key: Some(key),
+    };
+    let session = spec.run_harnessed(&board, board.extract_bitstream(), &io).expect("runs");
+    let report = session.attack.expect("recovered sessions carry a report");
     assert_eq!(report.recovered.key, key);
     assert_eq!(report.recovered.iv, iv);
     assert_eq!(report.key_independent_keystream, PAPER_TABLE_III);

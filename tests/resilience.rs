@@ -6,15 +6,11 @@
 //! mid-run must yield a structured partial result, never a panic or
 //! an opaque error.
 
-// These exercise (or ride on) the pre-0.7 free-form `Attack`
-// constructors, kept working behind deprecation warnings; the
-// replacement surface is `bitmod::fleet::SessionSpec`.
-#![allow(deprecated)]
-
-use bitmod::attack::{AttackError, AttackPhase};
-use bitmod::resilient::{ResilienceConfig, ResilienceError};
-use bitmod::Attack;
-use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard};
+use bitmod::attack::AttackPhase;
+use bitmod::campaign::CancelToken;
+use bitmod::fleet::{ResumePolicy, SessionIo, SessionOutcome, SessionSpec};
+use bitmod::Telemetry;
+use fpga_sim::{ImplementOptions, Snow3gBoard, UnreliableBoard};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;
 use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
 
@@ -27,31 +23,41 @@ const SEED: u64 = 7;
 /// incidental query-order changes.
 const BUDGET: u64 = 8_000;
 
-fn flaky_board(seed: u64) -> UnreliableBoard {
+/// The noisy session every test here starts from: the "flaky" fault
+/// preset (≥ 1% per-bit keystream glitches, ≥ 10% transient load
+/// failures, plus the preset's timeouts and truncated reads) with
+/// seeded retry/voting — the acceptance floor.
+fn noisy_spec(budget: u64) -> SessionSpec {
+    SessionSpec::builder().noisy(true).seed(SEED).budget(budget).build().expect("valid spec")
+}
+
+/// The flaky board the spec's own fault profile describes.
+fn flaky_board(spec: &SessionSpec) -> UnreliableBoard {
     let board = Snow3gBoard::build(
         Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
         &ImplementOptions::default(),
     )
     .expect("board builds");
-    // The acceptance floor: ≥ 1% per-bit keystream glitches and
-    // ≥ 10% transient load failures (plus the preset's timeouts and
-    // truncated reads).
-    UnreliableBoard::new(board, FaultProfile::flaky(seed))
+    UnreliableBoard::new(board, spec.fault_profile())
 }
 
-fn noisy_config(seed: u64) -> ResilienceConfig {
-    ResilienceConfig::noisy(seed ^ 0x5EED).with_budget(BUDGET)
+fn io() -> SessionIo {
+    SessionIo {
+        journal: None,
+        resume: ResumePolicy::Never,
+        telemetry: Telemetry::off(),
+        cancel: CancelToken::new(),
+        expected_key: Some(TEST_SET_1_KEY),
+    }
 }
 
 #[test]
 fn noisy_attack_recovers_key_within_budget() {
-    let board = flaky_board(SEED);
+    let spec = noisy_spec(BUDGET);
+    let board = flaky_board(&spec);
     let golden = board.extract_bitstream();
-    let report =
-        Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, noisy_config(SEED))
-            .expect("prepares")
-            .run()
-            .expect("attack survives the flaky board");
+    let session = spec.run_harnessed(&board, golden, &io()).expect("session runs");
+    let report = session.attack.expect("attack survives the flaky board");
 
     assert_eq!(report.recovered.key, TEST_SET_1_KEY);
     assert_eq!(report.recovered.iv, TEST_SET_1_IV);
@@ -79,13 +85,11 @@ fn noisy_attack_recovers_key_within_budget() {
 #[test]
 fn noisy_attack_is_deterministic_for_a_fixed_seed() {
     let run = || {
-        let board = flaky_board(SEED);
+        let spec = noisy_spec(BUDGET);
+        let board = flaky_board(&spec);
         let golden = board.extract_bitstream();
-        let report =
-            Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, noisy_config(SEED))
-                .expect("prepares")
-                .run()
-                .expect("runs");
+        let session = spec.run_harnessed(&board, golden, &io()).expect("session runs");
+        let report = session.attack.expect("runs");
         (report.oracle_loads, report.resilience.backoff_ms, board.fault_stats())
     };
     let (loads_a, backoff_a, faults_a) = run();
@@ -97,22 +101,20 @@ fn noisy_attack_is_deterministic_for_a_fixed_seed() {
 
 #[test]
 fn budget_exhaustion_yields_structured_partial_result() {
-    let board = flaky_board(SEED);
-    let golden = board.extract_bitstream();
     // 500 attempts is enough to verify the keystream path but not to
     // finish the feedback hypothesis at these fault rates.
-    let config = noisy_config(SEED).with_budget(500);
-    let err = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)
-        .expect("prepares")
-        .run()
-        .expect_err("the budget must not cover the full attack");
+    let spec = noisy_spec(500);
+    let board = flaky_board(&spec);
+    let golden = board.extract_bitstream();
+    let session = spec.run_harnessed(&board, golden, &io()).expect("session runs");
 
-    let AttackError::Exhausted { checkpoint, source } = err else {
-        panic!("expected a checkpointed exhaustion, got: {err}");
+    let SessionOutcome::Exhausted { summary, .. } = &session.outcome else {
+        panic!("expected a checkpointed exhaustion, got: {:?}", session.outcome);
     };
-    assert!(matches!(source, ResilienceError::BudgetExhausted { used: 500, limit: 500 }));
+    assert!(summary.contains("500/500"), "the cut names its budget: {summary}");
     // The partial result carries real progress: phase 2 completed
     // (all 32 keystream-path LUTs) and phase 3 was underway.
+    let checkpoint = session.checkpoint.expect("exhaustion carries the checkpoint");
     assert!(checkpoint.phase >= AttackPhase::FeedbackHypothesis, "phase: {}", checkpoint.phase);
     assert_eq!(checkpoint.z_luts.len(), 32);
     assert!(!checkpoint.feedback_luts.is_empty(), "some feedback LUTs verified before the cut");
@@ -134,11 +136,9 @@ fn resilience_off_matches_the_ideal_run() {
     )
     .expect("board builds");
     let golden = board.extract_bitstream();
-    let report =
-        Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, ResilienceConfig::off())
-            .expect("prepares")
-            .run()
-            .expect("runs");
+    let spec = SessionSpec::builder().build().expect("valid spec");
+    let session = spec.run_harnessed(&board, golden, &io()).expect("session runs");
+    let report = session.attack.expect("runs");
     assert_eq!(report.recovered.key, TEST_SET_1_KEY);
     assert_eq!(report.oracle_loads as u64, report.resilience.queries);
     assert_eq!(report.resilience.transient_errors, 0);

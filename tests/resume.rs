@@ -5,18 +5,14 @@
 //! the journal replays the exact query trace, it does not merely
 //! approximate it.
 
-// These exercise (or ride on) the pre-0.7 free-form `Attack`
-// constructors, kept working behind deprecation warnings; the
-// replacement surface is `bitmod::fleet::SessionSpec`.
-#![allow(deprecated)]
-
+use bitmod::campaign::CancelToken;
+use bitmod::fleet::{ResumePolicy, SessionIo, SessionOutcome, SessionSpec};
 use bitmod::journal::{AttackJournal, JournalError};
-use bitmod::resilient::ResilienceConfig;
-use bitmod::{Attack, AttackError};
-use fpga_sim::{FaultProfile, ImplementOptions, Snow3gBoard, UnreliableBoard};
+use bitmod::{Attack, AttackError, Telemetry};
+use fpga_sim::{ImplementOptions, Snow3gBoard, UnreliableBoard};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;
 use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// The fault seed every deterministic assertion in this file pins.
 const SEED: u64 = 7;
@@ -24,17 +20,22 @@ const SEED: u64 = 7;
 /// Ample ceiling for a full run at seed 7 (needs ≈3,100 attempts).
 const BUDGET: u64 = 8_000;
 
-fn flaky_board(seed: u64) -> UnreliableBoard {
+/// The noisy journalled session every test here starts from.
+fn spec(budget: u64, journal: Option<&Path>, resume: bool) -> SessionSpec {
+    let mut b = SessionSpec::builder().noisy(true).seed(SEED).budget(budget).resume(resume);
+    if let Some(path) = journal {
+        b = b.journal(path);
+    }
+    b.build().expect("valid spec")
+}
+
+fn flaky_board(spec: &SessionSpec) -> UnreliableBoard {
     let board = Snow3gBoard::build(
         Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
         &ImplementOptions::default(),
     )
     .expect("board builds");
-    UnreliableBoard::new(board, FaultProfile::flaky(seed))
-}
-
-fn noisy_config(seed: u64) -> ResilienceConfig {
-    ResilienceConfig::noisy(seed ^ 0x5EED).with_budget(BUDGET)
+    UnreliableBoard::new(board, spec.fault_profile())
 }
 
 fn journal_path(tag: &str) -> PathBuf {
@@ -48,16 +49,7 @@ struct RunTotals {
     backoff_ms: u64,
 }
 
-/// The ground truth: the uninterrupted run's key and accounting.
-fn uninterrupted() -> RunTotals {
-    let board = flaky_board(SEED);
-    let golden = board.extract_bitstream();
-    let report =
-        Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, noisy_config(SEED))
-            .expect("prepares")
-            .run()
-            .expect("uninterrupted run recovers");
-    assert_eq!(report.recovered.key, TEST_SET_1_KEY);
+fn totals_of(report: &bitmod::AttackReport) -> RunTotals {
     RunTotals {
         physical: report.oracle_loads,
         logical: report.resilience.queries,
@@ -66,43 +58,36 @@ fn uninterrupted() -> RunTotals {
     }
 }
 
+/// The ground truth: the uninterrupted run's key and accounting.
+fn uninterrupted() -> RunTotals {
+    let session = spec(BUDGET, None, false).run_local().expect("uninterrupted run completes");
+    let report = session.attack.expect("uninterrupted run recovers");
+    assert_eq!(report.recovered.key, TEST_SET_1_KEY);
+    totals_of(&report)
+}
+
 /// Cuts a journalled run at `budget` physical attempts ("the kill"),
-/// then resumes it from the journal on a fresh board object ("the new
+/// then resumes it from the journal in a fresh session ("the new
 /// process") with the full budget.
 fn kill_and_resume(tag: &str, budget: u64) -> RunTotals {
     let path = journal_path(tag);
     let _ = std::fs::remove_file(&path);
 
-    let board = flaky_board(SEED);
-    let golden = board.extract_bitstream();
-    let config = noisy_config(SEED).with_budget(budget);
-    let err = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)
-        .expect("prepares")
-        .with_journal(AttackJournal::new(&path))
-        .expect("journal attaches")
-        .run()
-        .expect_err("the cut budget must not cover the full attack");
-    assert!(matches!(err, AttackError::Exhausted { .. }), "structured cut, got: {err}");
+    let session = spec(budget, Some(&path), false).run_local().expect("cut run completes");
+    assert!(
+        matches!(session.outcome, SessionOutcome::Exhausted { .. }),
+        "structured cut, got: {:?}",
+        session.outcome
+    );
     assert!(path.exists(), "the journal survives the kill");
 
-    let board = flaky_board(SEED);
-    let golden = board.extract_bitstream();
-    let raised =
-        AttackJournal::new(&path).load().expect("journal loads").config.with_budget(BUDGET);
-    let report = Attack::resume_with(&board, golden, AttackJournal::new(&path), raised)
-        .expect("resumes")
-        .run()
-        .expect("resumed run recovers");
+    let session = spec(BUDGET, Some(&path), true).run_local().expect("resumed run completes");
+    let report = session.attack.expect("resumed run recovers");
 
     assert_eq!(report.recovered.key, TEST_SET_1_KEY);
     assert_eq!(report.recovered.iv, TEST_SET_1_IV);
     assert!(!path.exists(), "the journal removes itself on success");
-    RunTotals {
-        physical: report.oracle_loads,
-        logical: report.resilience.queries,
-        retries: report.resilience.transient_errors,
-        backoff_ms: report.resilience.backoff_ms,
-    }
+    totals_of(&report)
 }
 
 #[test]
@@ -120,23 +105,32 @@ fn a_killed_run_resumes_to_the_bit_identical_trace() {
     }
 }
 
+/// Journals a cut run for the refusal tests, against a caller-owned
+/// board, and returns the cut session's outcome.
+fn journal_a_cut(path: &Path) -> SessionOutcome {
+    let cut_spec = spec(600, None, false);
+    let board = flaky_board(&cut_spec);
+    let golden = board.extract_bitstream();
+    let io = SessionIo {
+        journal: Some(path.to_path_buf()),
+        resume: ResumePolicy::Never,
+        telemetry: Telemetry::off(),
+        cancel: CancelToken::new(),
+        expected_key: Some(TEST_SET_1_KEY),
+    };
+    cut_spec.run_harnessed(&board, golden, &io).expect("cut run completes").outcome
+}
+
 #[test]
 fn resume_refuses_a_different_golden_bitstream() {
     let path = journal_path("wrong-golden");
     let _ = std::fs::remove_file(&path);
-
-    let board = flaky_board(SEED);
-    let golden = board.extract_bitstream();
-    let config = noisy_config(SEED).with_budget(600);
-    let _ = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)
-        .expect("prepares")
-        .with_journal(AttackJournal::new(&path))
-        .expect("journal attaches")
-        .run();
+    let outcome = journal_a_cut(&path);
+    assert!(matches!(outcome, SessionOutcome::Exhausted { .. }), "cut, got {outcome:?}");
 
     // A different victim build produces a different golden bitstream;
     // resuming against it must be refused, not silently attempted.
-    let board = flaky_board(SEED);
+    let board = flaky_board(&spec(BUDGET, None, false));
     let mut golden = board.extract_bitstream();
     let n = golden.as_bytes().len();
     golden.as_mut_bytes()[n / 2] ^= 0x40;
@@ -153,21 +147,14 @@ fn resume_refuses_a_different_golden_bitstream() {
 fn resume_refuses_a_trace_changing_config_override() {
     let path = journal_path("wrong-config");
     let _ = std::fs::remove_file(&path);
-
-    let board = flaky_board(SEED);
-    let golden = board.extract_bitstream();
-    let config = noisy_config(SEED).with_budget(600);
-    let _ = Attack::with_resilience(&board, golden, bitstream::FRAME_BYTES, config)
-        .expect("prepares")
-        .with_journal(AttackJournal::new(&path))
-        .expect("journal attaches")
-        .run();
+    let outcome = journal_a_cut(&path);
+    assert!(matches!(outcome, SessionOutcome::Exhausted { .. }), "cut, got {outcome:?}");
 
     // Changing the vote count would diverge the physical trace from
     // the journalled prefix — refused. Raising the budget is fine.
-    let board = flaky_board(SEED);
+    let board = flaky_board(&spec(BUDGET, None, false));
     let golden = board.extract_bitstream();
-    let diverging = noisy_config(SEED).with_votes(3);
+    let diverging = spec(BUDGET, None, false).resilience_config().with_votes(3);
     let err = Attack::resume_with(&board, golden, AttackJournal::new(&path), diverging)
         .expect_err("trace-changing override refused");
     assert!(

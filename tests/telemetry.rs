@@ -7,20 +7,16 @@
 //! never perturb the RNG streams, the virtual clock, or the query
 //! order. These tests fail if any future recording site forgets that.
 
-// These exercise (or ride on) the pre-0.7 free-form `Attack`
-// constructors, kept working behind deprecation warnings; the
-// replacement surface is `bitmod::fleet::SessionSpec`.
-#![allow(deprecated)]
-
-use bitmod::journal::AttackJournal;
-use bitmod::resilient::{ResilienceConfig, ResilientStats};
+use bitmod::campaign::CancelToken;
+use bitmod::fleet::{ResumePolicy, SessionIo, SessionOutcome, SessionSpec};
+use bitmod::resilient::ResilientStats;
 use bitmod::telemetry::names;
-use bitmod::{Attack, AttackError, Metrics, Telemetry};
-use fpga_sim::{FaultProfile, FaultStats, ImplementOptions, Snow3gBoard, UnreliableBoard};
+use bitmod::{Metrics, Telemetry};
+use fpga_sim::{FaultStats, ImplementOptions, Snow3gBoard, UnreliableBoard};
 use netlist::snow3g_circuit::Snow3gCircuitConfig;
 use snow3g::vectors::{TEST_SET_1_IV, TEST_SET_1_KEY};
 use snow3g::Key;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// The fault seed every deterministic assertion in this file pins.
 const SEED: u64 = 7;
@@ -31,17 +27,31 @@ const BUDGET: u64 = 8_000;
 /// A cut that lands mid-run (inside the key-independent phase).
 const CUT: u64 = 600;
 
-fn flaky_board(seed: u64) -> UnreliableBoard {
+fn noisy_spec(budget: u64, journal: Option<&Path>, resume: bool) -> SessionSpec {
+    let mut b = SessionSpec::builder().noisy(true).seed(SEED).budget(budget).resume(resume);
+    if let Some(path) = journal {
+        b = b.journal(path);
+    }
+    b.build().expect("valid spec")
+}
+
+fn flaky_board(spec: &SessionSpec) -> UnreliableBoard {
     let board = Snow3gBoard::build(
         Snow3gCircuitConfig::unprotected(TEST_SET_1_KEY, TEST_SET_1_IV),
         &ImplementOptions::default(),
     )
     .expect("board builds");
-    UnreliableBoard::new(board, FaultProfile::flaky(seed))
+    UnreliableBoard::new(board, spec.fault_profile())
 }
 
-fn noisy_config(seed: u64) -> ResilienceConfig {
-    ResilienceConfig::noisy(seed ^ 0x5EED).with_budget(BUDGET)
+fn io(telemetry: Telemetry, journal: Option<&Path>, resume: ResumePolicy) -> SessionIo {
+    SessionIo {
+        journal: journal.map(Path::to_path_buf),
+        resume,
+        telemetry,
+        cancel: CancelToken::new(),
+        expected_key: Some(TEST_SET_1_KEY),
+    }
 }
 
 fn scratch_path(tag: &str, ext: &str) -> PathBuf {
@@ -66,29 +76,28 @@ fn cut_and_resume(tag: &str, traced: bool) -> (Vec<u8>, Fingerprint, Metrics) {
     let path = scratch_path(tag, "journal");
     let _ = std::fs::remove_file(&path);
 
-    let board = flaky_board(SEED);
+    let spec = noisy_spec(CUT, None, false);
+    let board = flaky_board(&spec);
     let golden = board.extract_bitstream();
-    let config = noisy_config(SEED).with_budget(CUT);
     let telemetry = if traced { Telemetry::new() } else { Telemetry::off() };
-    let err = Attack::instrumented(&board, golden, bitstream::FRAME_BYTES, config, telemetry)
-        .expect("prepares")
-        .with_journal(AttackJournal::new(&path))
-        .expect("journal attaches")
-        .run()
-        .expect_err("the cut budget must not cover the full attack");
-    assert!(matches!(err, AttackError::Exhausted { .. }), "structured cut, got: {err}");
+    let session = spec
+        .run_harnessed(&board, golden, &io(telemetry, Some(&path), ResumePolicy::Never))
+        .expect("cut run completes");
+    assert!(
+        matches!(session.outcome, SessionOutcome::Exhausted { .. }),
+        "structured cut, got: {:?}",
+        session.outcome
+    );
     let journal_bytes = std::fs::read(&path).expect("the journal survives the cut");
 
-    let board = flaky_board(SEED);
+    let spec = noisy_spec(BUDGET, None, false);
+    let board = flaky_board(&spec);
     let golden = board.extract_bitstream();
-    let raised =
-        AttackJournal::new(&path).load().expect("journal loads").config.with_budget(BUDGET);
     let telemetry = if traced { Telemetry::new() } else { Telemetry::off() };
-    let report = Attack::resume_with(&board, golden, AttackJournal::new(&path), raised)
-        .expect("resumes")
-        .with_telemetry(telemetry.clone())
-        .run()
-        .expect("resumed run recovers");
+    let session = spec
+        .run_harnessed(&board, golden, &io(telemetry.clone(), Some(&path), ResumePolicy::Require))
+        .expect("resumed run completes");
+    let report = session.attack.expect("resumed run recovers");
 
     let fingerprint = Fingerprint {
         key: report.recovered.key,
@@ -118,19 +127,14 @@ fn tracing_is_inert_across_cut_resume_and_journal_bytes() {
 #[test]
 fn metrics_reconcile_with_the_report_and_are_deterministic() {
     let run = || {
-        let board = flaky_board(SEED);
+        let spec = noisy_spec(BUDGET, None, false);
+        let board = flaky_board(&spec);
         let golden = board.extract_bitstream();
         let telemetry = Telemetry::new();
-        let report = Attack::instrumented(
-            &board,
-            golden,
-            bitstream::FRAME_BYTES,
-            noisy_config(SEED),
-            telemetry.clone(),
-        )
-        .expect("prepares")
-        .run()
-        .expect("recovers");
+        let session = spec
+            .run_harnessed(&board, golden, &io(telemetry.clone(), None, ResumePolicy::Never))
+            .expect("session runs");
+        let report = session.attack.expect("recovers");
         assert_eq!(report.recovered.key, TEST_SET_1_KEY);
         (report.oracle_loads, report.resilience, telemetry.metrics())
     };
@@ -160,19 +164,14 @@ fn the_ndjson_trace_is_well_formed() {
     let path = scratch_path("trace", "ndjson");
     let _ = std::fs::remove_file(&path);
 
-    let board = flaky_board(SEED);
+    let spec = noisy_spec(BUDGET, None, false);
+    let board = flaky_board(&spec);
     let golden = board.extract_bitstream();
     let telemetry = Telemetry::to_path(&path).expect("sink opens");
-    let report = Attack::instrumented(
-        &board,
-        golden,
-        bitstream::FRAME_BYTES,
-        noisy_config(SEED),
-        telemetry.clone(),
-    )
-    .expect("prepares")
-    .run()
-    .expect("recovers");
+    let session = spec
+        .run_harnessed(&board, golden, &io(telemetry.clone(), None, ResumePolicy::Never))
+        .expect("session runs");
+    let report = session.attack.expect("recovers");
     assert_eq!(report.recovered.key, TEST_SET_1_KEY);
     let fs = board.fault_stats();
     telemetry.record_board_faults(
